@@ -1,0 +1,207 @@
+//! Experiment specification and (parallel) sweep execution.
+
+use crate::stats::Summary;
+use disp_core::runner::{run_rooted, Algorithm, RunSpec, Schedule};
+use disp_graph::generators::GraphFamily;
+use disp_graph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::thread;
+
+/// One point of a sweep: an algorithm/schedule pair on a graph family at a
+/// given number of agents.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentPoint {
+    /// Graph family to instantiate.
+    pub family: GraphFamily,
+    /// Number of agents (the graph is instantiated with ≈ `k / occupancy`
+    /// nodes).
+    pub k: usize,
+    /// Fraction of nodes carrying agents (1.0 = `k = n`).
+    pub occupancy: f64,
+    /// Algorithm to run.
+    pub algorithm: Algorithm,
+    /// Scheduler to run under.
+    pub schedule: Schedule,
+    /// Number of repetitions (different seeds).
+    pub repetitions: usize,
+}
+
+/// Aggregated result of one experiment point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Measurement {
+    /// The point this measurement belongs to.
+    pub point: ExperimentPoint,
+    /// Realized number of agents.
+    pub k: usize,
+    /// Realized number of nodes.
+    pub n: usize,
+    /// Realized number of edges.
+    pub m: usize,
+    /// Realized maximum degree.
+    pub max_degree: usize,
+    /// Mean time (rounds for SYNC, epochs for ASYNC) over the repetitions.
+    pub time_mean: f64,
+    /// Minimum observed time.
+    pub time_min: f64,
+    /// Maximum observed time.
+    pub time_max: f64,
+    /// Mean total number of agent moves.
+    pub moves_mean: f64,
+    /// Largest peak per-agent memory (bits) observed.
+    pub peak_memory_bits: usize,
+    /// Whether every repetition ended in a valid dispersion.
+    pub all_dispersed: bool,
+}
+
+/// A sweep over several points.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentSpec {
+    /// The points to measure.
+    pub points: Vec<ExperimentPoint>,
+}
+
+impl ExperimentPoint {
+    /// Run this point's repetitions and aggregate them.
+    pub fn measure(&self) -> Measurement {
+        let n_target = ((self.k as f64 / self.occupancy).ceil() as usize).max(self.k);
+        let mut times = Vec::new();
+        let mut moves = Vec::new();
+        let mut peak_mem = 0usize;
+        let mut all_dispersed = true;
+        let mut realized = (self.k, 0usize, 0usize, 0usize);
+        for rep in 0..self.repetitions.max(1) {
+            let seed = 1000 * rep as u64 + 17;
+            let graph = self.family.instantiate(n_target, seed);
+            let k = self.k.min(graph.num_nodes());
+            let spec = RunSpec {
+                algorithm: self.algorithm,
+                schedule: self.schedule,
+                seed,
+                ..RunSpec::default()
+            };
+            let report = run_rooted(&graph, k, NodeId(0), &spec)
+                .expect("experiment run exceeded the step limit");
+            realized = (
+                report.outcome.k,
+                report.outcome.n,
+                report.outcome.m,
+                report.outcome.max_degree,
+            );
+            times.push(report.outcome.time() as f64);
+            moves.push(report.outcome.total_moves as f64);
+            peak_mem = peak_mem.max(report.outcome.peak_memory_bits);
+            all_dispersed &= report.dispersed;
+        }
+        let t = Summary::of(&times);
+        let mv = Summary::of(&moves);
+        Measurement {
+            point: self.clone(),
+            k: realized.0,
+            n: realized.1,
+            m: realized.2,
+            max_degree: realized.3,
+            time_mean: t.mean,
+            time_min: t.min,
+            time_max: t.max,
+            moves_mean: mv.mean,
+            peak_memory_bits: peak_mem,
+            all_dispersed,
+        }
+    }
+}
+
+impl ExperimentSpec {
+    /// Run every point sequentially.
+    pub fn run(&self) -> Vec<Measurement> {
+        self.points.iter().map(ExperimentPoint::measure).collect()
+    }
+
+    /// Run the points across `threads` OS threads (order of results matches
+    /// the order of points).
+    pub fn run_parallel(&self, threads: usize) -> Vec<Measurement> {
+        let threads = threads.max(1);
+        if threads == 1 || self.points.len() <= 1 {
+            return self.run();
+        }
+        let chunks: Vec<Vec<(usize, ExperimentPoint)>> = {
+            let mut chunks = vec![Vec::new(); threads];
+            for (i, p) in self.points.iter().enumerate() {
+                chunks[i % threads].push((i, p.clone()));
+            }
+            chunks
+        };
+        let mut indexed: Vec<(usize, Measurement)> = thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .into_iter()
+                            .map(|(i, p)| (i, p.measure()))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("experiment worker panicked"))
+                .collect()
+        });
+        indexed.sort_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, m)| m).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_point(algorithm: Algorithm, schedule: Schedule) -> ExperimentPoint {
+        ExperimentPoint {
+            family: GraphFamily::RandomTree,
+            k: 16,
+            occupancy: 1.0,
+            algorithm,
+            schedule,
+            repetitions: 2,
+        }
+    }
+
+    #[test]
+    fn measure_produces_dispersed_results() {
+        let m = small_point(Algorithm::ProbeDfs, Schedule::Sync).measure();
+        assert!(m.all_dispersed);
+        assert!(m.time_mean > 0.0);
+        assert!(m.peak_memory_bits > 0);
+        assert_eq!(m.k, 16);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let spec = ExperimentSpec {
+            points: vec![
+                small_point(Algorithm::KsDfs, Schedule::Sync),
+                small_point(Algorithm::ProbeDfs, Schedule::Sync),
+                small_point(Algorithm::SyncSeeker, Schedule::Sync),
+            ],
+        };
+        let seq = spec.run();
+        let par = spec.run_parallel(3);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!(a.time_mean, b.time_mean);
+            assert_eq!(a.point.algorithm.label(), b.point.algorithm.label());
+        }
+    }
+
+    #[test]
+    fn async_measurement_reports_epochs() {
+        let m = small_point(
+            Algorithm::ProbeDfs,
+            Schedule::AsyncRandom { prob: 0.6, seed: 5 },
+        )
+        .measure();
+        assert!(m.all_dispersed);
+        assert!(m.time_mean >= 1.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! # disp-analysis
+//!
+//! Experiment sweeps, scaling fits and report generation for the dispersion
+//! reproduction. The [`experiment`] module runs parameter sweeps (optionally
+//! across threads), [`fit`] estimates log–log scaling exponents so the
+//! harness can check the *shape* of the paper's bounds, [`stats`] provides
+//! the usual summaries, and [`report`] renders Markdown and CSV tables for
+//! `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod fit;
+pub mod report;
+pub mod stats;
+
+pub use experiment::{ExperimentPoint, ExperimentSpec, Measurement};
+pub use fit::{loglog_fit, LogLogFit};
+pub use report::{csv_table, markdown_table};
+pub use stats::Summary;

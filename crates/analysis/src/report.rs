@@ -1,0 +1,69 @@
+//! Markdown / CSV rendering of experiment results.
+
+/// Render rows as a GitHub-flavoured Markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&headers.join(" | "));
+    out.push_str(" |\n|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+/// Render rows as CSV (simple escaping: fields containing commas are quoted).
+pub fn csv_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let escape = |s: &str| {
+        if s.contains(',') || s.contains('"') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    let mut out = headers
+        .iter()
+        .map(|h| escape(h))
+        .collect::<Vec<_>>()
+        .join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(
+            &row.iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_structure() {
+        let t = markdown_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        assert!(t.starts_with("| a | b |\n|---|---|\n"));
+        assert!(t.contains("| 1 | 2 |"));
+        assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let t = csv_table(&["x"], &[vec!["a,b".into()], vec!["say \"hi\"".into()]]);
+        assert!(t.contains("\"a,b\""));
+        assert!(t.contains("\"say \"\"hi\"\"\""));
+    }
+}

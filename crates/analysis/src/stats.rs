@@ -1,0 +1,70 @@
+//! Summary statistics over repeated measurements.
+
+/// Mean / min / max / standard deviation of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Number of samples.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Summarize a sample (empty samples produce NaN statistics).
+    pub fn of(values: &[f64]) -> Summary {
+        let count = values.len();
+        if count == 0 {
+            return Summary {
+                mean: f64::NAN,
+                min: f64::NAN,
+                max: f64::NAN,
+                stddev: f64::NAN,
+                count: 0,
+            };
+        }
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        Summary {
+            mean,
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            stddev: var.sqrt(),
+            count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_summary() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.count, 4);
+        assert!((s.stddev - 1.118).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_summary_is_nan() {
+        let s = Summary::of(&[]);
+        assert!(s.mean.is_nan());
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.stddev, 0.0);
+    }
+}

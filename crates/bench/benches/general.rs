@@ -1,0 +1,43 @@
+//! Table 1, general-configuration rows: multiple groups starting from
+//! scattered nodes (handled by the `KsDfs` baseline with the scatter
+//! fallback — see DESIGN.md for the fidelity note on subsumption).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disp_core::runner::{run, Algorithm, RunSpec, Schedule};
+use disp_graph::generators::GraphFamily;
+use disp_graph::NodeId;
+use std::hint::black_box;
+
+fn bench_general(c: &mut Criterion) {
+    let mut group = c.benchmark_group("general");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    let k = 64;
+    for family in [GraphFamily::RandomTree, GraphFamily::Grid, GraphFamily::ErdosRenyi { avg_degree: 6.0 }] {
+        for &num_groups in &[2usize, 8] {
+            let id = BenchmarkId::new(format!("{}", family), format!("l{num_groups}"));
+            group.bench_function(id, |b| {
+                let graph = family.instantiate(k, 5);
+                let n = graph.num_nodes();
+                let positions: Vec<NodeId> = (0..k.min(n))
+                    .map(|i| NodeId(((i % num_groups) * (n / num_groups)) as u32))
+                    .collect();
+                let spec = RunSpec {
+                    algorithm: Algorithm::KsDfs,
+                    schedule: Schedule::Sync,
+                    ..RunSpec::default()
+                };
+                b.iter(|| {
+                    let report = run(&graph, positions.clone(), &spec).expect("run");
+                    assert!(report.dispersed);
+                    black_box(report.outcome.rounds)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_general);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benches for the graph substrate: generator throughput and the
+//! structural queries the simulator performs on every agent move.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disp_graph::prelude::*;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graphgen");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for &n in &[256usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("random_tree", n), &n, |b, &n| {
+            b.iter(|| black_box(generators::random_tree(n, 7)))
+        });
+        group.bench_with_input(BenchmarkId::new("erdos_renyi", n), &n, |b, &n| {
+            b.iter(|| black_box(generators::erdos_renyi_connected(n, 8.0 / n as f64, 7)))
+        });
+        group.bench_with_input(BenchmarkId::new("grid", n), &n, |b, &n| {
+            let side = (n as f64).sqrt() as usize;
+            b.iter(|| black_box(generators::grid2d(side, side)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_traverse(c: &mut Criterion) {
+    let g = generators::erdos_renyi_connected(1024, 0.01, 3);
+    let mut group = c.benchmark_group("traverse");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    group.bench_function("full_edge_walk", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in g.nodes() {
+                for p in g.ports(v) {
+                    let (u, q) = g.traverse(v, p);
+                    acc += u.0 as u64 + q.0 as u64;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_traverse);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Micro-benchmarks of the probing subroutines: how long (in simulated
+//! rounds) a single dispersion run spends at a high-degree hub under the two
+//! probing strategies. Complements the wall-clock numbers with the simulated
+//! time the paper's analysis is about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disp_core::prelude::*;
+use disp_core::rooted_sync::SyncConfig;
+use disp_graph::{generators, NodeId};
+use disp_sim::{RunConfig, SyncRunner, World};
+use std::hint::black_box;
+
+fn bench_probe_strategies_on_star(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe_star");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for &k in &[64usize, 128] {
+        group.bench_with_input(BenchmarkId::new("seeker_pool", k), &k, |b, &k| {
+            b.iter(|| {
+                let g = generators::star(k);
+                let mut world = World::new_rooted(g, k, NodeId(0));
+                let mut proto = RootedSyncDisp::with_config(&world, SyncConfig::default());
+                let out = SyncRunner::new(RunConfig::default())
+                    .run(&mut world, &mut proto)
+                    .unwrap();
+                black_box(out.rounds)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("doubling_probe", k), &k, |b, &k| {
+            b.iter(|| {
+                let g = generators::star(k);
+                let mut world = World::new_rooted(g, k, NodeId(0));
+                let mut proto = ProbeDfs::new(&world);
+                let out = SyncRunner::new(RunConfig::default())
+                    .run(&mut world, &mut proto)
+                    .unwrap();
+                black_box(out.rounds)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scan", k), &k, |b, &k| {
+            b.iter(|| {
+                let g = generators::star(k);
+                let mut world = World::new_rooted(g, k, NodeId(0));
+                let mut proto = KsDfs::new(&world);
+                let out = SyncRunner::new(RunConfig::default())
+                    .run(&mut world, &mut proto)
+                    .unwrap();
+                black_box(out.rounds)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe_strategies_on_star);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Shared helpers for the reproduction harness binaries (`table1`,
+//! `figures`, `ablations`) and the Criterion benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use disp_analysis::experiment::{ExperimentPoint, Measurement};
+use disp_core::runner::{Algorithm, Schedule};
+use disp_graph::generators::GraphFamily;
+
+/// The k values swept by the harness in quick mode.
+pub fn quick_ks() -> Vec<usize> {
+    vec![16, 32, 64, 128]
+}
+
+/// The k values swept by the harness in full mode.
+pub fn full_ks() -> Vec<usize> {
+    vec![16, 32, 64, 128, 256, 512]
+}
+
+/// Build the sweep points for one Table-1 section.
+pub fn section_points(
+    families: &[GraphFamily],
+    ks: &[usize],
+    algorithms: &[Algorithm],
+    schedule: Schedule,
+    repetitions: usize,
+) -> Vec<ExperimentPoint> {
+    let mut points = Vec::new();
+    for &family in families {
+        for &k in ks {
+            for &algorithm in algorithms {
+                points.push(ExperimentPoint {
+                    family,
+                    k,
+                    occupancy: 1.0,
+                    algorithm,
+                    schedule,
+                    repetitions,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Format a measurement row for the harness tables.
+pub fn measurement_row(m: &Measurement) -> Vec<String> {
+    vec![
+        m.point.family.label(),
+        m.point.algorithm.label().to_string(),
+        m.point.schedule.label(),
+        m.k.to_string(),
+        m.n.to_string(),
+        m.max_degree.to_string(),
+        format!("{:.1}", m.time_mean),
+        format!("{:.2}", m.time_mean / m.k as f64),
+        format!(
+            "{:.2}",
+            m.time_mean / (m.k as f64 * (m.k as f64 + 2.0).log2())
+        ),
+        m.peak_memory_bits.to_string(),
+        if m.all_dispersed { "yes" } else { "NO" }.to_string(),
+    ]
+}
+
+/// Header matching [`measurement_row`].
+pub fn measurement_header() -> Vec<&'static str> {
+    vec![
+        "family",
+        "algorithm",
+        "schedule",
+        "k",
+        "n",
+        "max_deg",
+        "time",
+        "time/k",
+        "time/(k·log k)",
+        "peak_mem_bits",
+        "dispersed",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_points_cover_the_grid() {
+        let pts = section_points(
+            &[GraphFamily::Line, GraphFamily::Star],
+            &[16, 32],
+            &[Algorithm::KsDfs, Algorithm::ProbeDfs],
+            Schedule::Sync,
+            1,
+        );
+        assert_eq!(pts.len(), 2 * 2 * 2);
+    }
+
+    #[test]
+    fn header_and_row_lengths_match() {
+        let pts = section_points(
+            &[GraphFamily::Line],
+            &[16],
+            &[Algorithm::ProbeDfs],
+            Schedule::Sync,
+            1,
+        );
+        let m = pts[0].measure();
+        assert_eq!(measurement_row(&m).len(), measurement_header().len());
+    }
+}

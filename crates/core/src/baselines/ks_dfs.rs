@@ -1,0 +1,711 @@
+//! The OPODIS'21-style group-DFS dispersion baseline (`O(min{m, kΔ})` time,
+//! `O(log(k+Δ))` bits per agent), usable under both the SYNC and ASYNC
+//! schedulers.
+//!
+//! ## Algorithm
+//!
+//! All unsettled agents that started on the same node travel together as a
+//! *group* led by the largest-ID agent among them. At every node the group
+//! visits for the first time, the smallest-ID unsettled member settles and
+//! becomes the node's *settler*; the settler stores the port back to its DFS
+//! parent and a scan cursor over its remaining ports. The group then examines
+//! the settler's ports one at a time: it moves to the neighbor, settles an
+//! agent there if the neighbor is free, and otherwise returns and advances
+//! the cursor. When a node's ports are exhausted the group backtracks to the
+//! parent. The traversal therefore charges `O(1)` group moves per examined
+//! edge, i.e. `O(min{m, kΔ})` time overall.
+//!
+//! ## General initial configurations
+//!
+//! Multiple groups (one per initially-occupied node) run their DFSs
+//! concurrently and treat *any* settled agent — of any group — as an occupied
+//! node. This replaces the size-based subsumption of Kshemkalyani–Sharma with
+//! a simpler scheme (documented in `DESIGN.md`): if a group exhausts its DFS
+//! with members still unsettled (it got boxed into a "pocket" of occupied
+//! nodes), the leftover members switch to *scatter mode* — independent seeded
+//! random walks that settle on the first free node found. Scatter mode keeps
+//! the algorithm correct on every input; its time is measured empirically
+//! rather than bounded analytically.
+//!
+//! ## Group movement protocol
+//!
+//! The leader never outruns its followers: it publishes a move order (a port
+//! plus a flip bit), waits until every follower has executed it and left the
+//! node, and only then moves itself. This costs a small constant factor over
+//! the paper's idealized counting and works identically under asynchronous
+//! activation.
+
+use crate::verify;
+use disp_graph::Port;
+use disp_sim::{bits, ActivationCtx, AgentId, AgentProtocol, World};
+
+/// A published group move order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GroupOrder {
+    /// Flips every time a new order is published.
+    flip: bool,
+    /// The port every follower must take.
+    port: Port,
+}
+
+/// Why the leader is moving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MoveIntent {
+    /// Moving to an unexamined neighbor to check whether it is free.
+    Scan,
+    /// Returning to the DFS node after finding the neighbor occupied.
+    Return,
+    /// Backtracking to the DFS parent.
+    Backtrack,
+}
+
+/// Leader control state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LeaderPhase {
+    /// At a node with the whole group; ready to decide the next action.
+    Decide,
+    /// Order published; waiting for all followers to leave, then move with
+    /// the given intent.
+    Departing(MoveIntent),
+    /// Arrived at a scan target; decide whether to settle here or go back.
+    CheckNeighbor,
+}
+
+/// Per-agent persistent state.
+#[derive(Debug, Clone)]
+enum AgentState {
+    /// Travels with its leader, executing published orders.
+    Follower {
+        /// Simulator id of this agent's leader.
+        leader: AgentId,
+        /// Flip bit of the last executed order.
+        executed: bool,
+    },
+    /// Runs the DFS for its group.
+    Leader {
+        phase: LeaderPhase,
+        /// Number of unsettled followers in the group (leader excluded).
+        group_size: usize,
+        /// Currently published order, if any.
+        order: Option<GroupOrder>,
+        /// Port back to the DFS node while checking a neighbor.
+        return_port: Option<Port>,
+        /// `pin` recorded on the last move (parent port for a new settler).
+        arrival_pin: Option<Port>,
+        /// Algorithmic label of this group's tree (the leader's ID).
+        treelabel: u32,
+    },
+    /// Settled at its node; stores the DFS bookkeeping for that node.
+    Settled {
+        parent_port: Option<Port>,
+        /// Next port (1-based) to examine from this node.
+        next_port: u32,
+        treelabel: u32,
+    },
+    /// Scatter mode: random walk, settle at the first free node.
+    Scatter {
+        /// Small xorshift state, seeded per agent.
+        rng: u64,
+    },
+}
+
+/// The group-DFS baseline protocol (rooted and general configurations).
+#[derive(Debug)]
+pub struct KsDfs {
+    states: Vec<AgentState>,
+    /// Algorithmic IDs (index + 1 by default).
+    ids: Vec<u32>,
+    k: usize,
+    max_degree: usize,
+    settled_count: usize,
+    scatter_seed: u64,
+}
+
+impl KsDfs {
+    /// Build the protocol for the given world. One group is formed per
+    /// initially-occupied node, led by the largest-ID agent on that node.
+    pub fn new(world: &World) -> Self {
+        Self::with_seed(world, 0xD15F_ECE5)
+    }
+
+    /// Like [`KsDfs::new`] with an explicit seed for the scatter-mode RNG.
+    pub fn with_seed(world: &World, scatter_seed: u64) -> Self {
+        let k = world.num_agents();
+        let ids: Vec<u32> = (0..k as u32).map(|i| i + 1).collect();
+        let mut states: Vec<Option<AgentState>> = vec![None; k];
+        for v in world.graph().nodes() {
+            let here = world.agents_at(v);
+            if here.is_empty() {
+                continue;
+            }
+            let leader = *here.iter().max().expect("non-empty");
+            for &a in here {
+                if a == leader {
+                    states[a.index()] = Some(AgentState::Leader {
+                        phase: LeaderPhase::Decide,
+                        group_size: here.len() - 1,
+                        order: None,
+                        return_port: None,
+                        arrival_pin: None,
+                        treelabel: ids[leader.index()],
+                    });
+                } else {
+                    states[a.index()] = Some(AgentState::Follower {
+                        leader,
+                        executed: false,
+                    });
+                }
+            }
+        }
+        KsDfs {
+            states: states.into_iter().map(|s| s.expect("every agent grouped")).collect(),
+            ids,
+            k,
+            max_degree: world.graph().max_degree(),
+            settled_count: 0,
+            scatter_seed,
+        }
+    }
+
+    /// Number of settled agents so far.
+    pub fn settled_count(&self) -> usize {
+        self.settled_count
+    }
+
+    /// Whether any agent had to fall back to scatter mode (pocket case).
+    pub fn used_scatter_fallback(&self) -> bool {
+        self.states
+            .iter()
+            .any(|s| matches!(s, AgentState::Scatter { .. }))
+    }
+
+    fn settler_at(&self, ctx: &ActivationCtx<'_>) -> Option<AgentId> {
+        ctx.colocated()
+            .into_iter()
+            .find(|a| matches!(self.states[a.index()], AgentState::Settled { .. }))
+    }
+
+    /// Smallest-ID co-located follower of `leader` (unsettled group member).
+    fn smallest_follower_here(&self, ctx: &ActivationCtx<'_>, leader: AgentId) -> Option<AgentId> {
+        ctx.colocated()
+            .into_iter()
+            .filter(|a| {
+                matches!(self.states[a.index()], AgentState::Follower { leader: l, .. } if l == leader)
+            })
+            .min_by_key(|a| self.ids[a.index()])
+    }
+
+    fn followers_here(&self, ctx: &ActivationCtx<'_>, leader: AgentId) -> usize {
+        ctx.colocated()
+            .into_iter()
+            .filter(|a| {
+                matches!(self.states[a.index()], AgentState::Follower { leader: l, .. } if l == leader)
+            })
+            .count()
+    }
+
+    fn settle(&mut self, agent: AgentId, parent_port: Option<Port>, treelabel: u32) {
+        self.states[agent.index()] = AgentState::Settled {
+            parent_port,
+            next_port: 1,
+            treelabel,
+        };
+        self.settled_count += 1;
+    }
+
+    fn act_leader(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        let AgentState::Leader {
+            phase,
+            group_size,
+            order,
+            return_port,
+            arrival_pin,
+            treelabel,
+        } = self.states[agent.index()].clone()
+        else {
+            unreachable!("act_leader on non-leader");
+        };
+        let mut phase = phase;
+        let mut group_size = group_size;
+        let mut order = order;
+        let mut return_port = return_port;
+        let mut arrival_pin = arrival_pin;
+
+        match phase {
+            LeaderPhase::Decide => {
+                let settler = self.settler_at(ctx);
+                match settler {
+                    None => {
+                        // First visit of this node by anyone: settle here.
+                        if group_size == 0 {
+                            // The leader is the last unsettled member.
+                            self.settle(agent, arrival_pin, treelabel);
+                            return;
+                        }
+                        let chosen = self
+                            .smallest_follower_here(ctx, agent)
+                            .expect("group_size > 0 implies a co-located follower");
+                        self.settle(chosen, arrival_pin, treelabel);
+                        group_size -= 1;
+                        // Stay in Decide: the settler now exists and scanning
+                        // starts at the next activation.
+                    }
+                    Some(settler) => {
+                        // Scan the settler's ports. The DFS bookkeeping lives
+                        // in the settler (legal: it is co-located).
+                        let (parent_port, mut next_port, s_label) = match self.states
+                            [settler.index()]
+                        {
+                            AgentState::Settled {
+                                parent_port,
+                                next_port,
+                                treelabel,
+                            } => (parent_port, next_port, treelabel),
+                            _ => unreachable!(),
+                        };
+                        if s_label != treelabel {
+                            // A node settled by a different group while our
+                            // group stood on it (can only happen transiently
+                            // at scan targets, which are handled in
+                            // CheckNeighbor) — treat as occupied and scatter
+                            // to stay safe.
+                            self.enter_scatter(agent, ctx);
+                            return;
+                        }
+                        // Skip the parent port in the scan.
+                        if Some(Port(next_port)) == parent_port {
+                            next_port += 1;
+                        }
+                        if next_port as usize > ctx.degree() {
+                            // Node exhausted: backtrack, or finish/fallback at
+                            // the root.
+                            match parent_port {
+                                Some(p) => {
+                                    order = Some(GroupOrder {
+                                        flip: order.map(|o| !o.flip).unwrap_or(true),
+                                        port: p,
+                                    });
+                                    phase = LeaderPhase::Departing(MoveIntent::Backtrack);
+                                }
+                                None => {
+                                    // Root exhausted with members left: the
+                                    // group is boxed in ("pocket"); fall back
+                                    // to scatter mode for the remaining
+                                    // members (including the leader).
+                                    self.scatter_group(agent, ctx);
+                                    return;
+                                }
+                            }
+                        } else {
+                            // Examine the neighbor behind `next_port`.
+                            if let AgentState::Settled {
+                                next_port: np, ..
+                            } = &mut self.states[settler.index()]
+                            {
+                                *np = next_port + 1;
+                            }
+                            order = Some(GroupOrder {
+                                flip: order.map(|o| !o.flip).unwrap_or(true),
+                                port: Port(next_port),
+                            });
+                            phase = LeaderPhase::Departing(MoveIntent::Scan);
+                        }
+                    }
+                }
+            }
+            LeaderPhase::Departing(intent) => {
+                let o = order.expect("departing without an order");
+                if self.followers_here(ctx, agent) == 0 {
+                    // All followers executed the order; follow them.
+                    let pin = ctx.move_via(o.port);
+                    arrival_pin = Some(pin);
+                    match intent {
+                        MoveIntent::Scan => {
+                            return_port = Some(pin);
+                            phase = LeaderPhase::CheckNeighbor;
+                        }
+                        MoveIntent::Return | MoveIntent::Backtrack => {
+                            phase = LeaderPhase::Decide;
+                        }
+                    }
+                }
+                // else: keep waiting for stragglers.
+            }
+            LeaderPhase::CheckNeighbor => {
+                let rp = return_port.expect("checking a neighbor without a return port");
+                if self.settler_at(ctx).is_some() {
+                    // Occupied: go back and try the next port.
+                    order = Some(GroupOrder {
+                        flip: order.map(|o| !o.flip).unwrap_or(true),
+                        port: rp,
+                    });
+                    phase = LeaderPhase::Departing(MoveIntent::Return);
+                } else {
+                    // Free node: settle here (forward move of the DFS).
+                    if group_size == 0 {
+                        self.settle(agent, Some(rp), treelabel);
+                        return;
+                    }
+                    let chosen = self
+                        .smallest_follower_here(ctx, agent)
+                        .expect("group_size > 0 implies a co-located follower");
+                    self.settle(chosen, Some(rp), treelabel);
+                    group_size -= 1;
+                    phase = LeaderPhase::Decide;
+                }
+            }
+        }
+
+        self.states[agent.index()] = AgentState::Leader {
+            phase,
+            group_size,
+            order,
+            return_port,
+            arrival_pin,
+            treelabel,
+        };
+    }
+
+    /// Switch the whole co-located group (leader included) to scatter mode.
+    fn scatter_group(&mut self, leader: AgentId, ctx: &ActivationCtx<'_>) {
+        let members: Vec<AgentId> = ctx
+            .colocated()
+            .into_iter()
+            .filter(|a| {
+                matches!(self.states[a.index()], AgentState::Follower { leader: l, .. } if l == leader)
+            })
+            .collect();
+        for a in members {
+            self.states[a.index()] = AgentState::Scatter {
+                rng: self.scatter_seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(a.index() as u64 + 1)),
+            };
+        }
+        self.states[leader.index()] = AgentState::Scatter {
+            rng: self.scatter_seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(leader.index() as u64 + 1)),
+        };
+    }
+
+    fn enter_scatter(&mut self, agent: AgentId, _ctx: &ActivationCtx<'_>) {
+        self.states[agent.index()] = AgentState::Scatter {
+            rng: self.scatter_seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(agent.index() as u64 + 1)),
+        };
+    }
+
+    fn act_follower(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        let AgentState::Follower { leader, executed } = self.states[agent.index()] else {
+            unreachable!();
+        };
+        // Execute the leader's published order, if a fresh one is visible.
+        if ctx.colocated().contains(&leader) {
+            if let AgentState::Leader {
+                order: Some(o), ..
+            } = self.states[leader.index()]
+            {
+                if o.flip != executed {
+                    ctx.move_via(o.port);
+                    self.states[agent.index()] = AgentState::Follower {
+                        leader,
+                        executed: o.flip,
+                    };
+                }
+            }
+        }
+    }
+
+    fn act_scatter(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        let AgentState::Scatter { mut rng } = self.states[agent.index()] else {
+            unreachable!();
+        };
+        // If the current node is free of settlers, settle here (activation
+        // order breaks ties between walkers arriving in the same round).
+        if self.settler_at(ctx).is_none() {
+            self.settle(agent, None, self.ids[agent.index()]);
+            return;
+        }
+        // Otherwise take a pseudo-random step (xorshift64*).
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        let d = ctx.degree();
+        if d > 0 {
+            let port = Port((rng % d as u64) as u32 + 1);
+            ctx.move_via(port);
+        }
+        self.states[agent.index()] = AgentState::Scatter { rng };
+    }
+}
+
+impl AgentProtocol for KsDfs {
+    fn on_activate(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        match self.states[agent.index()] {
+            AgentState::Settled { .. } => {}
+            AgentState::Leader { .. } => self.act_leader(agent, ctx),
+            AgentState::Follower { .. } => self.act_follower(agent, ctx),
+            AgentState::Scatter { .. } => self.act_scatter(agent, ctx),
+        }
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.settled_count == self.k
+    }
+
+    fn memory_bits(&self, agent: AgentId) -> usize {
+        let id = bits::id_bits(self.k);
+        let port = bits::port_bits(self.max_degree);
+        match &self.states[agent.index()] {
+            AgentState::Follower { .. } => id + id + bits::flag_bits(),
+            AgentState::Leader { .. } => {
+                // phase tag + group size counter + order (flag+port) +
+                // return/arrival ports + treelabel + own id.
+                id + 3
+                    + bits::counter_bits(self.k as u64)
+                    + bits::flag_bits()
+                    + bits::opt_port_bits(self.max_degree)
+                    + 2 * bits::opt_port_bits(self.max_degree)
+                    + id
+            }
+            AgentState::Settled { .. } => {
+                id + bits::opt_port_bits(self.max_degree) + port + 1 + id
+            }
+            AgentState::Scatter { .. } => id + 64,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ks-dfs"
+    }
+}
+
+/// Convenience: verify the final configuration after a run (panics with a
+/// readable message on violation). Tests and the harness call this after the
+/// runner finishes.
+pub fn assert_dispersed(world: &World) {
+    if let Err(v) = verify::check_dispersion(world) {
+        panic!("dispersion violated by ks-dfs: {v}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{check_dispersion, envelope};
+    use disp_graph::{generators, NodeId};
+    use disp_sim::{
+        AsyncRunner, LaggingAdversary, RandomSubsetAdversary, RoundRobinAdversary, RunConfig,
+        SyncRunner,
+    };
+
+    fn run_sync(world: &mut World) -> disp_sim::Outcome {
+        let mut proto = KsDfs::new(world);
+        let out = SyncRunner::new(RunConfig::default())
+            .run(world, &mut proto)
+            .expect("ks-dfs must terminate");
+        check_dispersion(world).expect("ks-dfs must disperse");
+        out
+    }
+
+    #[test]
+    fn rooted_on_line_settles_everyone() {
+        let g = generators::line(12);
+        let mut world = World::new_rooted(g, 12, NodeId(0));
+        let out = run_sync(&mut world);
+        assert!(out.terminated);
+        assert!(envelope::within_min_m_k_delta(&out, 20.0));
+    }
+
+    #[test]
+    fn rooted_on_line_from_middle() {
+        let g = generators::line(15);
+        let mut world = World::new_rooted(g, 15, NodeId(7));
+        run_sync(&mut world);
+    }
+
+    #[test]
+    fn rooted_on_star() {
+        let g = generators::star(16);
+        let mut world = World::new_rooted(g, 16, NodeId(0));
+        let out = run_sync(&mut world);
+        assert!(out.rounds > 0);
+    }
+
+    #[test]
+    fn rooted_on_star_from_leaf() {
+        let g = generators::star(16);
+        let mut world = World::new_rooted(g, 16, NodeId(3));
+        run_sync(&mut world);
+    }
+
+    #[test]
+    fn rooted_fewer_agents_than_nodes() {
+        let g = generators::random_tree(40, 5);
+        let mut world = World::new_rooted(g, 17, NodeId(0));
+        run_sync(&mut world);
+    }
+
+    #[test]
+    fn rooted_on_complete_graph() {
+        let g = generators::complete(10);
+        let mut world = World::new_rooted(g, 10, NodeId(4));
+        run_sync(&mut world);
+    }
+
+    #[test]
+    fn rooted_on_random_graphs_many_seeds() {
+        for seed in 0..5 {
+            let g = generators::erdos_renyi_connected(30, 0.15, seed);
+            let mut world = World::new_rooted(g, 30, NodeId(0));
+            run_sync(&mut world);
+        }
+    }
+
+    #[test]
+    fn single_agent_settles_immediately() {
+        let g = generators::ring(5);
+        let mut world = World::new_rooted(g, 1, NodeId(2));
+        let out = run_sync(&mut world);
+        assert!(out.rounds <= 2);
+        assert_eq!(world.position(AgentId(0)), NodeId(2));
+    }
+
+    #[test]
+    fn two_agents() {
+        let g = generators::line(4);
+        let mut world = World::new_rooted(g, 2, NodeId(1));
+        run_sync(&mut world);
+    }
+
+    #[test]
+    fn general_two_groups_on_line() {
+        let g = generators::line(10);
+        let positions = vec![
+            NodeId(0),
+            NodeId(0),
+            NodeId(0),
+            NodeId(9),
+            NodeId(9),
+            NodeId(9),
+        ];
+        let mut world = World::new(g, positions);
+        run_sync(&mut world);
+    }
+
+    #[test]
+    fn general_groups_collide_in_middle() {
+        // Two large groups from both ends of a short line are forced into the
+        // pocket/scatter fallback or tight interleaving; either way the final
+        // configuration must be dispersed.
+        let g = generators::line(8);
+        let positions = vec![
+            NodeId(0),
+            NodeId(0),
+            NodeId(0),
+            NodeId(0),
+            NodeId(7),
+            NodeId(7),
+            NodeId(7),
+            NodeId(7),
+        ];
+        let mut world = World::new(g, positions);
+        run_sync(&mut world);
+    }
+
+    #[test]
+    fn general_random_placements() {
+        for seed in 0..4 {
+            let g = generators::erdos_renyi_connected(36, 0.12, seed);
+            let n = g.num_nodes();
+            let positions: Vec<NodeId> = (0..24)
+                .map(|i| NodeId(((i * 7 + seed as usize * 3) % n) as u32))
+                .collect();
+            let mut world = World::new(g, positions);
+            run_sync(&mut world);
+        }
+    }
+
+    #[test]
+    fn dispersion_configuration_is_a_fixpoint_quickly() {
+        // Agents already dispersed: every group has size 1, each leader
+        // settles at its own start node.
+        let g = generators::ring(9);
+        let positions: Vec<NodeId> = (0..6).map(|i| NodeId(i as u32)).collect();
+        let mut world = World::new(g, positions);
+        let out = run_sync(&mut world);
+        assert!(out.rounds <= 2);
+        assert_eq!(out.total_moves, 0);
+    }
+
+    #[test]
+    fn async_round_robin_disperses() {
+        let g = generators::random_tree(20, 9);
+        let mut world = World::new_rooted(g, 20, NodeId(0));
+        let mut proto = KsDfs::new(&world);
+        let out = AsyncRunner::new(RunConfig::default(), RoundRobinAdversary)
+            .run(&mut world, &mut proto)
+            .unwrap();
+        check_dispersion(&world).unwrap();
+        assert!(out.epochs > 0);
+    }
+
+    #[test]
+    fn async_random_subset_disperses() {
+        let g = generators::erdos_renyi_connected(25, 0.15, 3);
+        let mut world = World::new_rooted(g, 25, NodeId(0));
+        let mut proto = KsDfs::new(&world);
+        let out = AsyncRunner::new(RunConfig::default(), RandomSubsetAdversary::new(0.5, 11))
+            .run(&mut world, &mut proto)
+            .unwrap();
+        check_dispersion(&world).unwrap();
+        assert!(out.epochs > 0);
+        assert!(out.steps >= out.epochs);
+    }
+
+    #[test]
+    fn async_lagging_adversary_disperses_general_config() {
+        let g = generators::grid2d(5, 5);
+        let positions = vec![
+            NodeId(0),
+            NodeId(0),
+            NodeId(24),
+            NodeId(24),
+            NodeId(12),
+            NodeId(12),
+            NodeId(12),
+        ];
+        let mut world = World::new(g, positions);
+        let mut proto = KsDfs::new(&world);
+        AsyncRunner::new(RunConfig::default(), LaggingAdversary::new(6, 5))
+            .run(&mut world, &mut proto)
+            .unwrap();
+        check_dispersion(&world).unwrap();
+    }
+
+    #[test]
+    fn memory_stays_logarithmic() {
+        let g = generators::star(64);
+        let mut world = World::new_rooted(g, 64, NodeId(0));
+        let out = run_sync(&mut world);
+        assert!(
+            envelope::memory_logarithmic(&out, 30.0),
+            "peak {} bits is not O(log(k+Δ))",
+            out.peak_memory_bits
+        );
+    }
+
+    #[test]
+    fn time_scales_like_m_on_dense_graphs() {
+        // On the complete graph, m = k(k-1)/2 dominates, and the baseline's
+        // time should grow clearly super-linearly in k.
+        let t = |k: usize| {
+            let g = generators::complete(k);
+            let mut world = World::new_rooted(g, k, NodeId(0));
+            run_sync(&mut world).rounds as f64
+        };
+        let t16 = t(16);
+        let t32 = t(32);
+        // Doubling k should much more than double the time (quadratic-ish).
+        assert!(
+            t32 / t16 > 2.5,
+            "expected super-linear growth, got {t16} -> {t32}"
+        );
+    }
+}

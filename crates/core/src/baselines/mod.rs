@@ -1,0 +1,12 @@
+//! State-of-the-art baselines the paper compares against.
+//!
+//! * [`ks_dfs`] — the Kshemkalyani–Sharma (OPODIS'21) style group DFS with
+//!   `O(min{m, kΔ})` time, the asynchronous state of the art before this
+//!   paper.
+//! * [`probe_dfs`] (in the crate root as [`crate::probe_dfs`]) doubles as the
+//!   Sudo et al. (DISC'24) style doubling-probe baseline when run under the
+//!   synchronous scheduler.
+
+pub mod ks_dfs;
+
+pub use ks_dfs::KsDfs;

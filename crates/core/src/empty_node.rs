@@ -1,0 +1,404 @@
+//! `Empty_Node_Selection()` — Algorithm 1 of the paper and Lemma 1.
+//!
+//! The SYNC technique keeps ≥ ⌈k/3⌉ nodes of the (monotonically growing) DFS
+//! tree empty so that ⌈k/3⌉ *seeker* agents remain available for `O(1)`-round
+//! synchronous probing until the DFS finishes. This module implements the
+//! selection rule on explicit trees — both the centralized form of
+//! Algorithm 1 and the incremental form used while a DFS tree grows — and
+//! checks Lemma 1 (at least ⌈k/3⌉ empty nodes) plus the coverage property
+//! needed by Lemmas 2–3 (every empty node is covered by a settler within two
+//! hops, with ≤ 3 covered children or ≤ 2 covered siblings per coverer).
+
+use std::collections::HashMap;
+
+/// A rooted tree given by parent pointers (`parent[root] == usize::MAX`).
+///
+/// This is an *analysis* structure (used by the selection algorithm, its
+/// tests and the ablation benches), not something agents store — agents only
+/// ever hold the `O(log(k+Δ))`-bit fragments of it described in the paper.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    parent: Vec<usize>,
+    children: Vec<Vec<usize>>,
+    depth: Vec<usize>,
+    root: usize,
+}
+
+impl Tree {
+    /// Build a tree from parent pointers. `parent[i] == usize::MAX` marks the
+    /// root (exactly one node must be the root, and every node must reach it).
+    pub fn from_parents(parent: Vec<usize>) -> Self {
+        let n = parent.len();
+        let mut children = vec![Vec::new(); n];
+        let mut root = usize::MAX;
+        for (i, &p) in parent.iter().enumerate() {
+            if p == usize::MAX {
+                assert_eq!(root, usize::MAX, "tree must have exactly one root");
+                root = i;
+            } else {
+                assert!(p < n, "parent index out of range");
+                children[p].push(i);
+            }
+        }
+        assert_ne!(root, usize::MAX, "tree must have a root");
+        // Depths via BFS from the root.
+        let mut depth = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        depth[root] = 0;
+        queue.push_back(root);
+        let mut seen = 1;
+        while let Some(v) = queue.pop_front() {
+            for &c in &children[v] {
+                depth[c] = depth[v] + 1;
+                seen += 1;
+                queue.push_back(c);
+            }
+        }
+        assert_eq!(seen, n, "every node must be reachable from the root");
+        Tree {
+            parent,
+            children,
+            depth,
+            root,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the tree is empty (it never is — kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The root node.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Depth of `v` (root = 0).
+    pub fn depth(&self, v: usize) -> usize {
+        self.depth[v]
+    }
+
+    /// Children of `v` in insertion order (the DFS attaches children in the
+    /// order it discovers them, which is the order Algorithm 1 groups them).
+    pub fn children(&self, v: usize) -> &[usize] {
+        &self.children[v]
+    }
+
+    /// Parent of `v` (`None` for the root).
+    pub fn parent(&self, v: usize) -> Option<usize> {
+        let p = self.parent[v];
+        (p != usize::MAX).then_some(p)
+    }
+
+    /// Whether `v` is a leaf.
+    pub fn is_leaf(&self, v: usize) -> bool {
+        self.children[v].is_empty()
+    }
+}
+
+/// Who covers an empty node (Lemmas 2–3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coverer {
+    /// Covered by the settler at its parent (Case I oscillation: the parent
+    /// visits up to 3 empty children).
+    Parent(usize),
+    /// Covered by the settler at a sibling (Case II oscillation: the sibling
+    /// goes up to the shared parent and visits up to 2 empty siblings).
+    Sibling(usize),
+}
+
+/// Output of the selection: which nodes keep a settler, and how each empty
+/// node is covered.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// `settled[v]` — whether node `v` keeps a settler.
+    pub settled: Vec<bool>,
+    /// For every empty node, the covering settler.
+    pub coverage: HashMap<usize, Coverer>,
+}
+
+impl Selection {
+    /// Number of empty (unsettled) nodes.
+    pub fn num_empty(&self) -> usize {
+        self.settled.iter().filter(|&&s| !s).count()
+    }
+
+    /// Number of settled nodes.
+    pub fn num_settled(&self) -> usize {
+        self.settled.iter().filter(|&&s| s).count()
+    }
+}
+
+/// Algorithm 1, centralized form: settle agents on the nodes of `tree` so
+/// that at most ⌊2k/3⌋ nodes are settled and at least ⌈k/3⌉ are left empty
+/// (Lemma 1, for k ≥ 3), with every empty node covered per Lemmas 2–3.
+///
+/// Rules (matching the paper):
+/// * nodes at even depth get a settler, nodes at odd depth are left empty;
+/// * **Case A** — among the *leaf* children of an odd-depth (empty) node,
+///   only every third one (the 1st, 4th, 7th, …) keeps its settler; each
+///   kept one covers the following ≤ 2 removed leaf siblings;
+/// * **Case B** — an even-depth node with more than 3 (odd-depth, empty)
+///   children gets extra settlers on its 4th, 7th, … children; each covers
+///   the following ≤ 2 empty siblings, while the node's own settler covers
+///   the first 3.
+pub fn empty_node_selection(tree: &Tree) -> Selection {
+    let n = tree.len();
+    let mut settled = vec![false; n];
+    let mut coverage: HashMap<usize, Coverer> = HashMap::new();
+
+    // Step 1: settle every even-depth node.
+    for v in 0..n {
+        settled[v] = tree.depth(v) % 2 == 0;
+    }
+
+    // Step 2, Case B: even-depth nodes with many (empty) children put extra
+    // settlers on children 4, 7, 10, …; assign coverage for the rest.
+    for v in 0..n {
+        if tree.depth(v) % 2 != 0 {
+            continue;
+        }
+        for (idx, &c) in tree.children(v).iter().enumerate() {
+            let pos = idx + 1; // 1-based child position
+            if pos <= 3 {
+                coverage.insert(c, Coverer::Parent(v));
+            } else if pos % 3 == 1 {
+                settled[c] = true;
+                coverage.remove(&c);
+            } else {
+                // Covered by the most recent kept sibling (position 4, 7, …).
+                let kept_pos = pos - ((pos - 1) % 3);
+                let kept = tree.children(v)[kept_pos - 1];
+                coverage.insert(c, Coverer::Sibling(kept));
+            }
+        }
+    }
+
+    // Step 3, Case A: odd-depth (empty) nodes whose children include leaves —
+    // those leaf children all start settled (even depth); keep only every
+    // third, the kept one covers the next ≤ 2.
+    for v in 0..n {
+        if tree.depth(v) % 2 == 0 {
+            continue;
+        }
+        let leaf_children: Vec<usize> = tree
+            .children(v)
+            .iter()
+            .copied()
+            .filter(|&c| tree.is_leaf(c))
+            .collect();
+        for (idx, &c) in leaf_children.iter().enumerate() {
+            let pos = idx + 1;
+            if pos % 3 == 1 {
+                // keeps its settler; covers the next two leaf siblings
+            } else {
+                settled[c] = false;
+                let kept_pos = pos - ((pos - 1) % 3);
+                let kept = leaf_children[kept_pos - 1];
+                coverage.insert(c, Coverer::Sibling(kept));
+            }
+        }
+    }
+
+    Selection { settled, coverage }
+}
+
+/// Check Lemma 1: for trees of size `k ≥ 3`, at least ⌈k/3⌉ nodes are empty.
+pub fn satisfies_lemma1(tree: &Tree, sel: &Selection) -> bool {
+    let k = tree.len();
+    if k < 3 {
+        return true;
+    }
+    sel.num_empty() >= k.div_ceil(3)
+}
+
+/// Check the coverage structure required by Lemmas 2–3:
+/// * every empty node has a coverer, and the coverer is settled;
+/// * a `Parent` coverer is the node's tree parent; a `Sibling` coverer shares
+///   the node's parent;
+/// * no coverer covers more than 3 children or more than 2 siblings (so every
+///   oscillation trip finishes within 6 rounds — Lemma 2).
+pub fn check_coverage(tree: &Tree, sel: &Selection) -> Result<(), String> {
+    let mut parent_load: HashMap<usize, usize> = HashMap::new();
+    let mut sibling_load: HashMap<usize, usize> = HashMap::new();
+    for v in 0..tree.len() {
+        if sel.settled[v] {
+            continue;
+        }
+        let Some(&coverer) = sel.coverage.get(&v) else {
+            return Err(format!("empty node {v} has no coverer"));
+        };
+        match coverer {
+            Coverer::Parent(p) => {
+                if tree.parent(v) != Some(p) {
+                    return Err(format!("node {v}: parent-coverer {p} is not its parent"));
+                }
+                if !sel.settled[p] {
+                    return Err(format!("node {v}: parent-coverer {p} is not settled"));
+                }
+                *parent_load.entry(p).or_default() += 1;
+            }
+            Coverer::Sibling(s) => {
+                if tree.parent(v) != tree.parent(s) || v == s {
+                    return Err(format!("node {v}: sibling-coverer {s} is not a sibling"));
+                }
+                if !sel.settled[s] {
+                    return Err(format!("node {v}: sibling-coverer {s} is not settled"));
+                }
+                *sibling_load.entry(s).or_default() += 1;
+            }
+        }
+    }
+    for (p, load) in parent_load {
+        if load > 3 {
+            return Err(format!("parent-coverer {p} covers {load} > 3 children"));
+        }
+    }
+    for (s, load) in sibling_load {
+        if load > 2 {
+            return Err(format!("sibling-coverer {s} covers {load} > 2 siblings"));
+        }
+    }
+    Ok(())
+}
+
+/// Build a [`Tree`] from a random attachment process — a convenient source of
+/// arbitrary tree shapes for tests and benches. Deterministic per seed.
+pub fn random_attachment_tree(k: usize, seed: u64) -> Tree {
+    assert!(k >= 1);
+    let mut parent = vec![usize::MAX; k];
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    for (v, p) in parent.iter_mut().enumerate().skip(1) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        *p = (state % v as u64) as usize;
+    }
+    Tree::from_parents(parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn line_tree(k: usize) -> Tree {
+        let parent: Vec<usize> = (0..k)
+            .map(|i| if i == 0 { usize::MAX } else { i - 1 })
+            .collect();
+        Tree::from_parents(parent)
+    }
+
+    fn star_tree(k: usize) -> Tree {
+        let parent: Vec<usize> = (0..k).map(|i| if i == 0 { usize::MAX } else { 0 }).collect();
+        Tree::from_parents(parent)
+    }
+
+    #[test]
+    fn line_selection_settles_even_depths_only() {
+        let t = line_tree(9);
+        let sel = empty_node_selection(&t);
+        for v in 0..9 {
+            assert_eq!(sel.settled[v], v % 2 == 0);
+        }
+        assert!(satisfies_lemma1(&t, &sel));
+        check_coverage(&t, &sel).unwrap();
+    }
+
+    #[test]
+    fn line_of_three_matches_lemma1_base_case() {
+        let t = line_tree(3);
+        let sel = empty_node_selection(&t);
+        assert_eq!(sel.num_empty(), 1);
+        assert!(satisfies_lemma1(&t, &sel));
+    }
+
+    #[test]
+    fn star_selection_keeps_every_third_leaf() {
+        // All children of the root are leaves at depth 1 (odd) — Case B first
+        // settles children 4, 7, …; Case A then thins the *leaf* children.
+        let t = star_tree(13);
+        let sel = empty_node_selection(&t);
+        assert!(satisfies_lemma1(&t, &sel), "{sel:?}");
+        check_coverage(&t, &sel).unwrap();
+        // The root plus at most ⌊2k/3⌋ - 1 children are settled.
+        assert!(sel.num_settled() <= 2 * 13 / 3);
+    }
+
+    #[test]
+    fn binary_tree_selection() {
+        // Heap-shaped binary tree on 31 nodes.
+        let parent: Vec<usize> = (0..31)
+            .map(|i| if i == 0 { usize::MAX } else { (i - 1) / 2 })
+            .collect();
+        let t = Tree::from_parents(parent);
+        let sel = empty_node_selection(&t);
+        assert!(satisfies_lemma1(&t, &sel));
+        check_coverage(&t, &sel).unwrap();
+    }
+
+    #[test]
+    fn coverage_groups_respect_oscillation_limits() {
+        for seed in 0..20 {
+            let t = random_attachment_tree(60, seed);
+            let sel = empty_node_selection(&t);
+            check_coverage(&t, &sel).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn tiny_trees_do_not_panic() {
+        for k in 1..=4 {
+            let t = line_tree(k);
+            let sel = empty_node_selection(&t);
+            assert_eq!(sel.num_empty() + sel.num_settled(), k);
+            check_coverage(&t, &sel).unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one root")]
+    fn two_roots_rejected() {
+        let _ = Tree::from_parents(vec![usize::MAX, usize::MAX, 0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Lemma 1 on arbitrary random trees: ≥ ⌈k/3⌉ empty nodes for k ≥ 3.
+        #[test]
+        fn lemma1_holds_on_random_trees(k in 3usize..300, seed in 0u64..10_000) {
+            let t = random_attachment_tree(k, seed);
+            let sel = empty_node_selection(&t);
+            prop_assert!(
+                satisfies_lemma1(&t, &sel),
+                "k={}, empty={}, settled={}",
+                k, sel.num_empty(), sel.num_settled()
+            );
+        }
+
+        /// Lemmas 2–3 structure on arbitrary random trees.
+        #[test]
+        fn coverage_holds_on_random_trees(k in 1usize..300, seed in 0u64..10_000) {
+            let t = random_attachment_tree(k, seed);
+            let sel = empty_node_selection(&t);
+            prop_assert!(check_coverage(&t, &sel).is_ok());
+        }
+
+        /// Selection is deterministic and total: every node is either settled
+        /// or covered.
+        #[test]
+        fn selection_is_total(k in 1usize..200, seed in 0u64..10_000) {
+            let t = random_attachment_tree(k, seed);
+            let sel = empty_node_selection(&t);
+            for v in 0..k {
+                prop_assert!(sel.settled[v] || sel.coverage.contains_key(&v));
+            }
+        }
+    }
+}

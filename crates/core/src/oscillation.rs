@@ -1,0 +1,237 @@
+//! Oscillation groups and trips (paper §5.2, Lemmas 2–3).
+//!
+//! Given an [`crate::empty_node::Selection`] over a DFS tree, every empty
+//! node is covered by a settled agent within two hops: either its parent's
+//! settler visits it (Case I) or a sibling's settler does, via the shared
+//! parent (Case II). The covering settler repeats a short round-robin trip —
+//! the *oscillation trip* — so that any probing seeker waiting 6 rounds at a
+//! covered node is guaranteed to meet it (that is what makes `Sync_Probe`
+//! sound on trees with empty nodes).
+//!
+//! This module derives the concrete trips from a selection and verifies
+//! Lemma 2: every trip finishes within 6 moves.
+
+use crate::empty_node::{Coverer, Selection, Tree};
+use disp_sim::Trip;
+use std::collections::HashMap;
+
+/// The oscillation plan of one covering settler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OscillationGroup {
+    /// The settled node that performs the trip.
+    pub coverer: usize,
+    /// The empty nodes it is responsible for (≤ 3 children or ≤ 2 siblings).
+    pub covered: Vec<usize>,
+    /// Whether this is a Case I (children) or Case II (siblings) group.
+    pub kind: GroupKind,
+}
+
+/// Which of the two oscillation cases of Lemma 2 a group uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupKind {
+    /// The coverer visits empty children one at a time (`s−a−s−b−s−c−s`).
+    Children,
+    /// The coverer goes up to the shared parent and visits empty siblings
+    /// (`s−p−a−p−b−p−s`).
+    Siblings,
+}
+
+impl OscillationGroup {
+    /// Number of edge traversals of one full trip (Lemma 2: at most 6).
+    pub fn trip_moves(&self) -> usize {
+        match self.kind {
+            GroupKind::Children => 2 * self.covered.len(),
+            GroupKind::Siblings => 2 + 2 * self.covered.len(),
+        }
+    }
+
+    /// Materialize the trip as a [`disp_sim::Trip`], given the local ports the
+    /// coverer needs (the algorithm hands these over when it assigns
+    /// coverage; here the caller supplies them, e.g. from the graph layer in
+    /// tests). `ports` must contain one port per covered node; for the
+    /// sibling case `parent_port` is the coverer's port toward the shared
+    /// parent and `ports` are ports *at the parent*.
+    pub fn to_trip(&self, parent_port: Option<disp_graph::Port>, ports: &[disp_graph::Port]) -> Trip {
+        assert_eq!(ports.len(), self.covered.len(), "one port per covered node");
+        match self.kind {
+            GroupKind::Children => Trip::oscillate_children(ports),
+            GroupKind::Siblings => Trip::oscillate_siblings(
+                parent_port.expect("sibling trips need the parent port"),
+                ports,
+            ),
+        }
+    }
+}
+
+/// Group the coverage assignments of a [`Selection`] into oscillation groups
+/// (one per covering settler).
+pub fn oscillation_groups(tree: &Tree, sel: &Selection) -> Vec<OscillationGroup> {
+    let mut children_groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut sibling_groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    for v in 0..tree.len() {
+        if sel.settled[v] {
+            continue;
+        }
+        match sel.coverage[&v] {
+            Coverer::Parent(p) => children_groups.entry(p).or_default().push(v),
+            Coverer::Sibling(s) => sibling_groups.entry(s).or_default().push(v),
+        }
+    }
+    let mut groups = Vec::new();
+    for (coverer, mut covered) in children_groups {
+        covered.sort_unstable();
+        groups.push(OscillationGroup {
+            coverer,
+            covered,
+            kind: GroupKind::Children,
+        });
+    }
+    for (coverer, mut covered) in sibling_groups {
+        covered.sort_unstable();
+        groups.push(OscillationGroup {
+            coverer,
+            covered,
+            kind: GroupKind::Siblings,
+        });
+    }
+    groups.sort_by_key(|g| g.coverer);
+    groups
+}
+
+/// Lemma 2 check: every oscillation trip needs at most 6 moves, and with a
+/// 6-round wait a prober is guaranteed to overlap the coverer at the covered
+/// node (the trip visits each covered node once per period).
+pub fn check_lemma2(groups: &[OscillationGroup]) -> Result<(), String> {
+    for g in groups {
+        if g.trip_moves() > 6 {
+            return Err(format!(
+                "coverer {} has a trip of {} moves (> 6): {:?}",
+                g.coverer,
+                g.trip_moves(),
+                g
+            ));
+        }
+        match g.kind {
+            GroupKind::Children if g.covered.len() > 3 => {
+                return Err(format!("coverer {} covers > 3 children", g.coverer))
+            }
+            GroupKind::Siblings if g.covered.len() > 2 => {
+                return Err(format!("coverer {} covers > 2 siblings", g.coverer))
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Lemma 3 classification: which settlers oscillate at all. A settler
+/// oscillates iff it owns at least one (non-empty) oscillation group.
+pub fn oscillating_settlers(groups: &[OscillationGroup]) -> Vec<usize> {
+    let mut v: Vec<usize> = groups
+        .iter()
+        .filter(|g| !g.covered.is_empty())
+        .map(|g| g.coverer)
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::empty_node::{empty_node_selection, random_attachment_tree, Tree};
+    use disp_graph::Port;
+    use disp_sim::TripStep;
+    use proptest::prelude::*;
+
+    fn line_tree(k: usize) -> Tree {
+        Tree::from_parents(
+            (0..k)
+                .map(|i| if i == 0 { usize::MAX } else { i - 1 })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn line_oscillation_is_child_groups_of_one() {
+        let t = line_tree(7);
+        let sel = empty_node_selection(&t);
+        let groups = oscillation_groups(&t, &sel);
+        check_lemma2(&groups).unwrap();
+        for g in &groups {
+            assert_eq!(g.kind, GroupKind::Children);
+            assert_eq!(g.covered.len(), 1);
+            assert_eq!(g.trip_moves(), 2);
+        }
+        assert_eq!(oscillating_settlers(&groups).len(), groups.len());
+    }
+
+    #[test]
+    fn star_oscillation_mixes_cases() {
+        let t = Tree::from_parents(
+            (0..13)
+                .map(|i| if i == 0 { usize::MAX } else { 0 })
+                .collect(),
+        );
+        let sel = empty_node_selection(&t);
+        let groups = oscillation_groups(&t, &sel);
+        check_lemma2(&groups).unwrap();
+        assert!(groups.iter().any(|g| g.kind == GroupKind::Children));
+        assert!(groups.iter().any(|g| g.kind == GroupKind::Siblings));
+    }
+
+    #[test]
+    fn trips_materialize_with_correct_lengths() {
+        let g = OscillationGroup {
+            coverer: 0,
+            covered: vec![1, 2, 3],
+            kind: GroupKind::Children,
+        };
+        let trip = g.to_trip(None, &[Port(1), Port(2), Port(3)]);
+        assert_eq!(trip.num_moves(), 6);
+        let g = OscillationGroup {
+            coverer: 5,
+            covered: vec![6, 7],
+            kind: GroupKind::Siblings,
+        };
+        let trip = g.to_trip(Some(Port(4)), &[Port(1), Port(2)]);
+        assert_eq!(trip.num_moves(), 6);
+        assert!(matches!(trip.steps()[0], TripStep::Out(Port(4))));
+    }
+
+    #[test]
+    fn every_empty_node_is_in_exactly_one_group() {
+        for seed in 0..10 {
+            let t = random_attachment_tree(80, seed);
+            let sel = empty_node_selection(&t);
+            let groups = oscillation_groups(&t, &sel);
+            let covered_total: usize = groups.iter().map(|g| g.covered.len()).sum();
+            assert_eq!(covered_total, sel.num_empty());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Lemma 2 holds on arbitrary random trees.
+        #[test]
+        fn lemma2_on_random_trees(k in 1usize..250, seed in 0u64..10_000) {
+            let t = random_attachment_tree(k, seed);
+            let sel = empty_node_selection(&t);
+            let groups = oscillation_groups(&t, &sel);
+            prop_assert!(check_lemma2(&groups).is_ok());
+        }
+
+        /// Oscillating settlers are always settled nodes (Lemma 3 sanity).
+        #[test]
+        fn oscillators_are_settled(k in 1usize..200, seed in 0u64..10_000) {
+            let t = random_attachment_tree(k, seed);
+            let sel = empty_node_selection(&t);
+            let groups = oscillation_groups(&t, &sel);
+            for s in oscillating_settlers(&groups) {
+                prop_assert!(sel.settled[s]);
+            }
+        }
+    }
+}

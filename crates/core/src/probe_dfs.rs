@@ -1,0 +1,1051 @@
+//! Doubling-probe DFS dispersion: the paper's `RootedAsyncDisp`
+//! (Algorithm 8, built from `Async_Probe` = Algorithm 3 and
+//! `Guest_See_Off` = Algorithm 4, Theorem 7.1).
+//!
+//! Run under the ASYNC scheduler this is the paper's `O(k log k)`-epoch,
+//! `O(log(k+Δ))`-bit rooted dispersion algorithm. Run under the SYNC
+//! scheduler the very same protocol reproduces the Sudo et al. [DISC'24]
+//! style doubling-probe baseline (`O(k log k)` rounds), which is what the
+//! paper extends to asynchrony.
+//!
+//! ## How probing works
+//!
+//! The group (leader `a_max` plus the unsettled followers) sits at a DFS node
+//! `w` whose settler `α(w)` stays put. To find a fully-unsettled neighbor:
+//!
+//! 1. The leader assigns one unprobed port each to the available helpers
+//!    (unsettled followers plus *guests* — settlers recruited from already
+//!    probed neighbors). Each helper makes a round trip through its port.
+//! 2. A helper that finds a settler at the neighbor recruits it: the settler
+//!    walks to `w` and becomes a guest (remembering the port of `w` it came
+//!    in through, so it can go home later). A helper that finds no settler
+//!    reports the port as leading to a fully-unsettled node.
+//! 3. Every completed iteration without a hit doubles the helper pool, so at
+//!    most `O(log min{k, δ_w})` iterations (2 epochs each) are needed.
+//! 4. Before the DFS moves on, `Guest_See_Off` sends every guest home in
+//!    `O(log k)` halving rounds: guests are paired, each pair walks to the
+//!    first guest's home, the second guest confirms the first arrived and
+//!    returns; a single leftover guest is escorted by `α(w)` itself.
+//!
+//! Waiting until guests are confirmed home is what makes the probe results
+//! trustworthy under asynchrony (paper §4.3): a node reported empty really
+//! is fully unsettled, never the momentarily-vacant home of a helper.
+//!
+//! This protocol assumes a **rooted** initial configuration (all agents on
+//! one node); see `DESIGN.md` for how general configurations are handled.
+
+use disp_graph::Port;
+use disp_sim::{bits, ActivationCtx, AgentId, AgentProtocol, World};
+
+/// A published group move order (see `ks_dfs` for the movement protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GroupOrder {
+    flip: bool,
+    port: Port,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MoveIntent {
+    Forward,
+    Backtrack,
+}
+
+/// Stages of a helper's probe round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProbeStage {
+    /// Assigned; has not left `w` yet.
+    Out,
+    /// At the neighbor; decide whether to recruit its settler.
+    AtNeighbor,
+    /// Waiting for the recruited settler to depart for `w`.
+    WaitGuestGone { recruited: AgentId },
+    /// Walking back to `w`.
+    GoHome { found_settler: bool },
+    /// Back at `w`, waiting to be collected by the leader.
+    Returned { found_settler: bool },
+}
+
+/// What a prober reverts to once the leader collects its report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProberOrigin {
+    Follower,
+    Guest {
+        home_port: Port,
+        saved_parent_port: Option<Port>,
+    },
+}
+
+/// Travel status of a recruited settler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GuestTravel {
+    /// Ordered to walk to the probe site through this port of its home.
+    ToProbeSite { via: Port },
+    /// At the probe site; `home_port` is the port of the probe site leading
+    /// back to its home node.
+    Idle { home_port: Port },
+    /// Ordered home (see-off).
+    GoingHome { via: Port },
+}
+
+/// Stages of an escorting agent during `Guest_See_Off`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EscortStage {
+    Going,
+    AtPartnerHome,
+    Returned,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LeaderPhase {
+    /// At a DFS node with the group; start probing (or settle at the start).
+    Decide,
+    /// Assign ports to available helpers (or probe solo).
+    ProbeAssign,
+    /// Wait for all assigned probers of this iteration to return.
+    ProbeWait { assigned: u32 },
+    /// Leader probing alone: on the way out.
+    SoloOut,
+    /// Leader probing alone: at the neighbor.
+    SoloAtNeighbor,
+    /// Leader probing alone: waiting for the recruited settler to leave.
+    SoloWaitGuestGone { recruited: AgentId },
+    /// Leader probing alone: walking back.
+    SoloReturn { found_settler: bool },
+    /// Dispatch one halving round of `Guest_See_Off`.
+    SeeOffAssign,
+    /// Wait for this halving round's escorts to come back.
+    SeeOffWait { expect_idle: u32 },
+    /// The node's own settler is escorting the last guest home; wait for it.
+    SeeOffWaitSettler,
+    /// Movement order published; waiting for followers to leave, then move.
+    Departing(MoveIntent),
+    /// Arrived at a fully-unsettled node: settle an agent there.
+    ArriveForward,
+}
+
+#[derive(Debug, Clone)]
+enum AgentState {
+    Follower {
+        executed: bool,
+    },
+    Prober {
+        origin: ProberOrigin,
+        port: Port,
+        pin: Option<Port>,
+        stage: ProbeStage,
+    },
+    Guest {
+        saved_parent_port: Option<Port>,
+        travel: GuestTravel,
+    },
+    /// A guest escorting another guest home (or `α(w)` doing the same for the
+    /// final leftover guest).
+    Escort {
+        /// What to restore on return: `None` means "this is the node settler
+        /// α(w); restore Settled at the probe site", otherwise the guest data.
+        guest_self: Option<(Port, Option<Port>)>,
+        saved_parent_port: Option<Port>,
+        via: Port,
+        pin: Option<Port>,
+        stage: EscortStage,
+    },
+    Settled {
+        parent_port: Option<Port>,
+    },
+    Leader {
+        phase: LeaderPhase,
+        group_size: usize,
+        order: Option<GroupOrder>,
+        arrival_pin: Option<Port>,
+        /// Ports of the current node probed so far.
+        checked: u32,
+        /// Smallest port found to lead to a fully-unsettled node.
+        next_empty: Option<Port>,
+        /// Solo-probe bookkeeping.
+        solo_pin: Option<Port>,
+    },
+}
+
+/// The doubling-probe dispersion protocol (rooted configurations).
+#[derive(Debug)]
+pub struct ProbeDfs {
+    states: Vec<AgentState>,
+    ids: Vec<u32>,
+    leader: AgentId,
+    k: usize,
+    max_degree: usize,
+    settled_count: usize,
+    /// Counts `Async_Probe` invocations (one per `Decide`), for tests.
+    probe_invocations: u64,
+    /// Largest number of probe iterations within a single invocation.
+    max_probe_iterations: u32,
+    current_probe_iterations: u32,
+}
+
+impl ProbeDfs {
+    /// Build the protocol for a rooted world (all agents on one node).
+    pub fn new(world: &World) -> Self {
+        let k = world.num_agents();
+        let root = world.position(AgentId(0));
+        assert!(
+            world
+                .positions()
+                .iter()
+                .all(|&p| p == root),
+            "ProbeDfs handles rooted initial configurations; use KsDfs or the general wrappers for scattered starts"
+        );
+        let leader = AgentId(k as u32 - 1);
+        let mut states = vec![
+            AgentState::Follower { executed: false };
+            k
+        ];
+        states[leader.index()] = AgentState::Leader {
+            phase: LeaderPhase::Decide,
+            group_size: k - 1,
+            order: None,
+            arrival_pin: None,
+            checked: 0,
+            next_empty: None,
+            solo_pin: None,
+        };
+        ProbeDfs {
+            states,
+            ids: (1..=k as u32).collect(),
+            leader,
+            k,
+            max_degree: world.graph().max_degree(),
+            settled_count: 0,
+            probe_invocations: 0,
+            max_probe_iterations: 0,
+            current_probe_iterations: 0,
+        }
+    }
+
+    /// Number of `Async_Probe` invocations so far (≤ 2(k-1) by Theorem 7.1's
+    /// accounting).
+    pub fn probe_invocations(&self) -> u64 {
+        self.probe_invocations
+    }
+
+    /// Largest number of doubling iterations observed within one probe
+    /// invocation (should stay `O(log min{k, Δ})`).
+    pub fn max_probe_iterations(&self) -> u32 {
+        self.max_probe_iterations
+    }
+
+    fn settler_here(&self, ctx: &ActivationCtx<'_>) -> Option<AgentId> {
+        ctx.colocated()
+            .into_iter()
+            .find(|a| matches!(self.states[a.index()], AgentState::Settled { .. }))
+    }
+
+    fn settle(&mut self, agent: AgentId, parent_port: Option<Port>) {
+        self.states[agent.index()] = AgentState::Settled { parent_port };
+        self.settled_count += 1;
+    }
+
+    fn smallest_follower(&self, ctx: &ActivationCtx<'_>) -> Option<AgentId> {
+        ctx.colocated()
+            .into_iter()
+            .filter(|a| matches!(self.states[a.index()], AgentState::Follower { .. }))
+            .min_by_key(|a| self.ids[a.index()])
+    }
+
+    fn count_followers(&self, ctx: &ActivationCtx<'_>) -> usize {
+        ctx.colocated()
+            .into_iter()
+            .filter(|a| matches!(self.states[a.index()], AgentState::Follower { .. }))
+            .count()
+    }
+
+    fn idle_guests(&self, ctx: &ActivationCtx<'_>) -> Vec<AgentId> {
+        let mut v: Vec<AgentId> = ctx
+            .colocated()
+            .into_iter()
+            .filter(|a| {
+                matches!(
+                    self.states[a.index()],
+                    AgentState::Guest {
+                        travel: GuestTravel::Idle { .. },
+                        ..
+                    }
+                )
+            })
+            .collect();
+        v.sort_by_key(|a| self.ids[a.index()]);
+        v
+    }
+
+    fn returned_probers(&self, ctx: &ActivationCtx<'_>) -> Vec<AgentId> {
+        ctx.colocated()
+            .into_iter()
+            .filter(|a| {
+                matches!(
+                    self.states[a.index()],
+                    AgentState::Prober {
+                        stage: ProbeStage::Returned { .. },
+                        ..
+                    }
+                )
+            })
+            .collect()
+    }
+
+    /// Helpers eligible for a probe assignment right now.
+    fn available_helpers(&self, ctx: &ActivationCtx<'_>) -> Vec<AgentId> {
+        let mut v: Vec<AgentId> = ctx
+            .colocated()
+            .into_iter()
+            .filter(|a| {
+                matches!(self.states[a.index()], AgentState::Follower { .. })
+                    || matches!(
+                        self.states[a.index()],
+                        AgentState::Guest {
+                            travel: GuestTravel::Idle { .. },
+                            ..
+                        }
+                    )
+            })
+            .collect();
+        v.sort_by_key(|a| self.ids[a.index()]);
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Leader
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn act_leader(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        let AgentState::Leader {
+            phase,
+            mut group_size,
+            mut order,
+            mut arrival_pin,
+            mut checked,
+            mut next_empty,
+            mut solo_pin,
+        } = self.states[agent.index()].clone()
+        else {
+            unreachable!("act_leader on non-leader");
+        };
+        let mut phase = phase;
+
+        match phase {
+            LeaderPhase::Decide => {
+                if self.settler_here(ctx).is_none() {
+                    // Start node: settle the smallest follower (or the leader
+                    // itself if it is alone).
+                    if group_size == 0 {
+                        self.settle(agent, arrival_pin);
+                        return;
+                    }
+                    let chosen = self.smallest_follower(ctx).expect("group_size > 0");
+                    self.settle(chosen, arrival_pin);
+                    group_size -= 1;
+                } else {
+                    // Begin a fresh Async_Probe invocation at this node.
+                    checked = 0;
+                    next_empty = None;
+                    self.probe_invocations += 1;
+                    self.current_probe_iterations = 0;
+                    phase = LeaderPhase::ProbeAssign;
+                }
+            }
+
+            LeaderPhase::ProbeAssign => {
+                if next_empty.is_some() || checked as usize >= ctx.degree() {
+                    phase = self.finish_probing(ctx, next_empty);
+                } else {
+                    let helpers = self.available_helpers(ctx);
+                    self.current_probe_iterations += 1;
+                    self.max_probe_iterations = self
+                        .max_probe_iterations
+                        .max(self.current_probe_iterations);
+                    if helpers.is_empty() {
+                        // The leader is the only unsettled agent left at this
+                        // node: probe the next port itself.
+                        let port = Port(checked + 1);
+                        let pin = ctx.move_via(port);
+                        solo_pin = Some(pin);
+                        phase = LeaderPhase::SoloOut;
+                    } else {
+                        let want = (ctx.degree() - checked as usize).min(helpers.len());
+                        for (i, helper) in helpers.iter().take(want).enumerate() {
+                            let port = Port(checked + 1 + i as u32);
+                            let origin = match &self.states[helper.index()] {
+                                AgentState::Follower { .. } => ProberOrigin::Follower,
+                                AgentState::Guest {
+                                    saved_parent_port,
+                                    travel: GuestTravel::Idle { home_port },
+                                } => ProberOrigin::Guest {
+                                    home_port: *home_port,
+                                    saved_parent_port: *saved_parent_port,
+                                },
+                                _ => unreachable!("available_helpers filter"),
+                            };
+                            self.states[helper.index()] = AgentState::Prober {
+                                origin,
+                                port,
+                                pin: None,
+                                stage: ProbeStage::Out,
+                            };
+                        }
+                        checked += want as u32;
+                        phase = LeaderPhase::ProbeWait {
+                            assigned: want as u32,
+                        };
+                    }
+                }
+            }
+
+            LeaderPhase::ProbeWait { assigned } => {
+                let returned = self.returned_probers(ctx);
+                if returned.len() as u32 == assigned {
+                    // Collect reports, revert probers.
+                    let flip = order.map(|o| o.flip).unwrap_or(false);
+                    for prober in returned {
+                        let AgentState::Prober {
+                            origin,
+                            port,
+                            stage: ProbeStage::Returned { found_settler },
+                            ..
+                        } = self.states[prober.index()].clone()
+                        else {
+                            unreachable!()
+                        };
+                        if !found_settler {
+                            next_empty = Some(match next_empty {
+                                Some(p) if p < port => p,
+                                _ => port,
+                            });
+                        }
+                        self.states[prober.index()] = match origin {
+                            ProberOrigin::Follower => AgentState::Follower { executed: flip },
+                            ProberOrigin::Guest {
+                                home_port,
+                                saved_parent_port,
+                            } => AgentState::Guest {
+                                saved_parent_port,
+                                travel: GuestTravel::Idle { home_port },
+                            },
+                        };
+                    }
+                    phase = LeaderPhase::ProbeAssign;
+                }
+            }
+
+            LeaderPhase::SoloOut => {
+                // Arrived at the solo-probed neighbor.
+                phase = LeaderPhase::SoloAtNeighbor;
+            }
+
+            LeaderPhase::SoloAtNeighbor => {
+                if let Some(settler) = self.settler_here(ctx) {
+                    let AgentState::Settled { parent_port } = self.states[settler.index()] else {
+                        unreachable_settled()
+                    };
+                    self.states[settler.index()] = AgentState::Guest {
+                        saved_parent_port: parent_port,
+                        travel: GuestTravel::ToProbeSite {
+                            via: solo_pin.expect("solo pin recorded"),
+                        },
+                    };
+                    self.settled_count -= 1;
+                    phase = LeaderPhase::SoloWaitGuestGone { recruited: settler };
+                } else {
+                    let pin = solo_pin.expect("solo pin recorded");
+                    ctx.move_via(pin);
+                    phase = LeaderPhase::SoloReturn {
+                        found_settler: false,
+                    };
+                }
+            }
+
+            LeaderPhase::SoloWaitGuestGone { recruited } => {
+                if !ctx.colocated().contains(&recruited) {
+                    let pin = solo_pin.expect("solo pin recorded");
+                    ctx.move_via(pin);
+                    phase = LeaderPhase::SoloReturn {
+                        found_settler: true,
+                    };
+                }
+            }
+
+            LeaderPhase::SoloReturn { found_settler } => {
+                // Back at the DFS node.
+                if !found_settler {
+                    next_empty = Some(Port(checked + 1));
+                }
+                checked += 1;
+                solo_pin = None;
+                phase = LeaderPhase::ProbeAssign;
+            }
+
+            LeaderPhase::SeeOffAssign => {
+                let guests = self.idle_guests(ctx);
+                match guests.len() {
+                    0 => {
+                        phase = self.movement_phase(ctx, next_empty, &mut order, group_size);
+                    }
+                    1 => {
+                        // α(w) escorts the single leftover guest home.
+                        let guest = guests[0];
+                        let settler = self
+                            .settler_here(ctx)
+                            .expect("probe node must have a settler");
+                        let AgentState::Guest {
+                            saved_parent_port,
+                            travel: GuestTravel::Idle { home_port },
+                        } = self.states[guest.index()].clone()
+                        else {
+                            unreachable!()
+                        };
+                        let AgentState::Settled {
+                            parent_port: settler_parent,
+                        } = self.states[settler.index()]
+                        else {
+                            unreachable!()
+                        };
+                        self.states[guest.index()] = AgentState::Guest {
+                            saved_parent_port,
+                            travel: GuestTravel::GoingHome { via: home_port },
+                        };
+                        self.states[settler.index()] = AgentState::Escort {
+                            guest_self: None,
+                            saved_parent_port: settler_parent,
+                            via: home_port,
+                            pin: None,
+                            stage: EscortStage::Going,
+                        };
+                        self.settled_count -= 1;
+                        phase = LeaderPhase::SeeOffWaitSettler;
+                    }
+                    x => {
+                        let pairs = x / 2;
+                        for i in 0..pairs {
+                            let a = guests[2 * i];
+                            let b = guests[2 * i + 1];
+                            let AgentState::Guest {
+                                saved_parent_port: a_parent,
+                                travel: GuestTravel::Idle { home_port: a_home },
+                            } = self.states[a.index()].clone()
+                            else {
+                                unreachable!()
+                            };
+                            let AgentState::Guest {
+                                saved_parent_port: b_parent,
+                                travel: GuestTravel::Idle { home_port: b_home },
+                            } = self.states[b.index()].clone()
+                            else {
+                                unreachable!()
+                            };
+                            self.states[a.index()] = AgentState::Guest {
+                                saved_parent_port: a_parent,
+                                travel: GuestTravel::GoingHome { via: a_home },
+                            };
+                            self.states[b.index()] = AgentState::Escort {
+                                guest_self: Some((b_home, b_parent)),
+                                saved_parent_port: a_parent,
+                                via: a_home,
+                                pin: None,
+                                stage: EscortStage::Going,
+                            };
+                        }
+                        phase = LeaderPhase::SeeOffWait {
+                            expect_idle: (x - pairs) as u32,
+                        };
+                    }
+                }
+            }
+
+            LeaderPhase::SeeOffWait { expect_idle } => {
+                if self.idle_guests(ctx).len() as u32 == expect_idle {
+                    phase = LeaderPhase::SeeOffAssign;
+                }
+            }
+
+            LeaderPhase::SeeOffWaitSettler => {
+                if self.settler_here(ctx).is_some() {
+                    phase = self.movement_phase(ctx, next_empty, &mut order, group_size);
+                }
+            }
+
+            LeaderPhase::Departing(intent) => {
+                let o = order.expect("departing without an order");
+                if self.count_followers(ctx) == 0 {
+                    let pin = ctx.move_via(o.port);
+                    arrival_pin = Some(pin);
+                    phase = match intent {
+                        MoveIntent::Forward => LeaderPhase::ArriveForward,
+                        MoveIntent::Backtrack => LeaderPhase::Decide,
+                    };
+                }
+            }
+
+            LeaderPhase::ArriveForward => {
+                debug_assert!(
+                    self.settler_here(ctx).is_none(),
+                    "forward target must be fully unsettled"
+                );
+                if group_size == 0 {
+                    self.settle(agent, arrival_pin);
+                    return;
+                }
+                let chosen = self.smallest_follower(ctx).expect("group_size > 0");
+                self.settle(chosen, arrival_pin);
+                group_size -= 1;
+                phase = LeaderPhase::Decide;
+            }
+        }
+
+        self.states[agent.index()] = AgentState::Leader {
+            phase,
+            group_size,
+            order,
+            arrival_pin,
+            checked,
+            next_empty,
+            solo_pin,
+        };
+    }
+
+    /// After probing finished (hit or exhausted): run see-off if guests are
+    /// present, otherwise go straight to the movement decision.
+    fn finish_probing(
+        &mut self,
+        ctx: &ActivationCtx<'_>,
+        next_empty: Option<Port>,
+    ) -> LeaderPhase {
+        let _ = next_empty;
+        if self.idle_guests(ctx).is_empty() {
+            LeaderPhase::SeeOffWaitSettler // settler is present; falls through
+        } else {
+            LeaderPhase::SeeOffAssign
+        }
+    }
+
+    /// Publish the DFS move (forward to the discovered unsettled neighbor, or
+    /// backtrack to the parent).
+    fn movement_phase(
+        &mut self,
+        ctx: &ActivationCtx<'_>,
+        next_empty: Option<Port>,
+        order: &mut Option<GroupOrder>,
+        _group_size: usize,
+    ) -> LeaderPhase {
+        let flip = order.map(|o| !o.flip).unwrap_or(true);
+        match next_empty {
+            Some(p) => {
+                *order = Some(GroupOrder { flip, port: p });
+                LeaderPhase::Departing(MoveIntent::Forward)
+            }
+            None => {
+                let settler = self
+                    .settler_here(ctx)
+                    .expect("backtracking from a settled node");
+                let AgentState::Settled { parent_port } = self.states[settler.index()] else {
+                    unreachable!()
+                };
+                let p = parent_port
+                    .expect("DFS root can only be exhausted after every agent settled");
+                *order = Some(GroupOrder { flip, port: p });
+                LeaderPhase::Departing(MoveIntent::Backtrack)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn act_follower(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        let AgentState::Follower { executed } = self.states[agent.index()] else {
+            unreachable!()
+        };
+        if ctx.colocated().contains(&self.leader) {
+            if let AgentState::Leader {
+                order: Some(o), ..
+            } = self.states[self.leader.index()]
+            {
+                if o.flip != executed {
+                    ctx.move_via(o.port);
+                    self.states[agent.index()] = AgentState::Follower { executed: o.flip };
+                }
+            }
+        }
+    }
+
+    fn act_prober(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        let AgentState::Prober {
+            origin,
+            port,
+            mut pin,
+            stage,
+        } = self.states[agent.index()].clone()
+        else {
+            unreachable!()
+        };
+        let mut stage = stage;
+        match stage {
+            ProbeStage::Out => {
+                pin = Some(ctx.move_via(port));
+                stage = ProbeStage::AtNeighbor;
+            }
+            ProbeStage::AtNeighbor => {
+                if let Some(settler) = self.settler_here(ctx) {
+                    let AgentState::Settled { parent_port } = self.states[settler.index()] else {
+                        unreachable!()
+                    };
+                    self.states[settler.index()] = AgentState::Guest {
+                        saved_parent_port: parent_port,
+                        travel: GuestTravel::ToProbeSite {
+                            via: pin.expect("pin recorded on the way out"),
+                        },
+                    };
+                    self.settled_count -= 1;
+                    stage = ProbeStage::WaitGuestGone { recruited: settler };
+                } else {
+                    stage = ProbeStage::GoHome {
+                        found_settler: false,
+                    };
+                }
+            }
+            ProbeStage::WaitGuestGone { recruited } => {
+                if !ctx.colocated().contains(&recruited) {
+                    stage = ProbeStage::GoHome {
+                        found_settler: true,
+                    };
+                }
+            }
+            ProbeStage::GoHome { found_settler } => {
+                ctx.move_via(pin.expect("pin recorded on the way out"));
+                stage = ProbeStage::Returned { found_settler };
+            }
+            ProbeStage::Returned { .. } => {}
+        }
+        self.states[agent.index()] = AgentState::Prober {
+            origin,
+            port,
+            pin,
+            stage,
+        };
+    }
+
+    fn act_guest(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        let AgentState::Guest {
+            saved_parent_port,
+            travel,
+        } = self.states[agent.index()].clone()
+        else {
+            unreachable!()
+        };
+        match travel {
+            GuestTravel::ToProbeSite { via } => {
+                let pin = ctx.move_via(via);
+                self.states[agent.index()] = AgentState::Guest {
+                    saved_parent_port,
+                    travel: GuestTravel::Idle { home_port: pin },
+                };
+            }
+            GuestTravel::Idle { .. } => {}
+            GuestTravel::GoingHome { via } => {
+                ctx.move_via(via);
+                self.states[agent.index()] = AgentState::Settled {
+                    parent_port: saved_parent_port,
+                };
+                self.settled_count += 1;
+            }
+        }
+    }
+
+    fn act_escort(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        let AgentState::Escort {
+            guest_self,
+            saved_parent_port,
+            via,
+            mut pin,
+            stage,
+        } = self.states[agent.index()].clone()
+        else {
+            unreachable!()
+        };
+        let mut stage = stage;
+        match stage {
+            EscortStage::Going => {
+                pin = Some(ctx.move_via(via));
+                stage = EscortStage::AtPartnerHome;
+            }
+            EscortStage::AtPartnerHome => {
+                // Wait until the partner guest has arrived and re-settled.
+                if self.settler_here(ctx).is_some() {
+                    ctx.move_via(pin.expect("pin recorded on the way out"));
+                    stage = EscortStage::Returned;
+                }
+            }
+            EscortStage::Returned => {
+                // Restore.
+                match guest_self {
+                    None => {
+                        self.states[agent.index()] = AgentState::Settled {
+                            parent_port: saved_parent_port,
+                        };
+                        self.settled_count += 1;
+                    }
+                    Some((home_port, my_parent)) => {
+                        self.states[agent.index()] = AgentState::Guest {
+                            saved_parent_port: my_parent,
+                            travel: GuestTravel::Idle { home_port },
+                        };
+                    }
+                }
+                return;
+            }
+        }
+        self.states[agent.index()] = AgentState::Escort {
+            guest_self,
+            saved_parent_port,
+            via,
+            pin,
+            stage,
+        };
+    }
+}
+
+fn unreachable_settled() -> ! {
+    unreachable!("settler_here returned a non-settled agent")
+}
+
+impl AgentProtocol for ProbeDfs {
+    fn on_activate(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        match self.states[agent.index()] {
+            AgentState::Settled { .. } => {}
+            AgentState::Leader { .. } => self.act_leader(agent, ctx),
+            AgentState::Follower { .. } => self.act_follower(agent, ctx),
+            AgentState::Prober { .. } => self.act_prober(agent, ctx),
+            AgentState::Guest { .. } => self.act_guest(agent, ctx),
+            AgentState::Escort { .. } => self.act_escort(agent, ctx),
+        }
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.settled_count == self.k
+    }
+
+    fn memory_bits(&self, agent: AgentId) -> usize {
+        let id = bits::id_bits(self.k);
+        let port = bits::port_bits(self.max_degree);
+        let opt_port = bits::opt_port_bits(self.max_degree);
+        match &self.states[agent.index()] {
+            AgentState::Follower { .. } => id + 1,
+            AgentState::Prober { .. } => id + 3 + port + opt_port + 1 + id + 2 * opt_port,
+            AgentState::Guest { .. } => id + 2 + opt_port + port,
+            AgentState::Escort { .. } => id + 2 + 2 * opt_port + port + opt_port,
+            AgentState::Settled { .. } => id + opt_port,
+            AgentState::Leader { .. } => {
+                id + 4
+                    + bits::counter_bits(self.k as u64)
+                    + 1
+                    + port
+                    + 2 * opt_port
+                    + bits::counter_bits(self.max_degree as u64)
+                    + opt_port
+                    + opt_port
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "probe-dfs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{check_dispersion, envelope};
+    use disp_graph::{generators, NodeId};
+    use disp_sim::{
+        AsyncRunner, LaggingAdversary, Outcome, RandomSubsetAdversary, RoundRobinAdversary,
+        RunConfig, SyncRunner,
+    };
+
+    fn run_sync(world: &mut World) -> (Outcome, ProbeDfs) {
+        let mut proto = ProbeDfs::new(world);
+        let out = SyncRunner::new(RunConfig::default())
+            .run(world, &mut proto)
+            .expect("probe-dfs must terminate");
+        check_dispersion(world).expect("probe-dfs must disperse");
+        (out, proto)
+    }
+
+    fn run_async(world: &mut World, seed: u64) -> (Outcome, ProbeDfs) {
+        let mut proto = ProbeDfs::new(world);
+        let out = AsyncRunner::new(RunConfig::default(), RandomSubsetAdversary::new(0.5, seed))
+            .run(world, &mut proto)
+            .expect("probe-dfs must terminate");
+        check_dispersion(world).expect("probe-dfs must disperse");
+        (out, proto)
+    }
+
+    #[test]
+    fn line_rooted_sync() {
+        let g = generators::line(16);
+        let mut world = World::new_rooted(g, 16, NodeId(0));
+        let (out, _) = run_sync(&mut world);
+        assert!(out.terminated);
+        assert!(envelope::within_k_log_k(&out, 25.0));
+    }
+
+    #[test]
+    fn star_rooted_sync_probes_in_logarithmic_iterations() {
+        let g = generators::star(40);
+        let mut world = World::new_rooted(g, 40, NodeId(0));
+        let (_, proto) = run_sync(&mut world);
+        // Doubling probers: ⌈log₂ 39⌉ + 1 iterations at the hub at most.
+        assert!(
+            proto.max_probe_iterations() <= 8,
+            "expected O(log k) probe iterations, saw {}",
+            proto.max_probe_iterations()
+        );
+    }
+
+    #[test]
+    fn star_rooted_from_leaf() {
+        let g = generators::star(24);
+        let mut world = World::new_rooted(g, 24, NodeId(5));
+        run_sync(&mut world);
+    }
+
+    #[test]
+    fn complete_graph_rooted() {
+        let g = generators::complete(12);
+        let mut world = World::new_rooted(g, 12, NodeId(3));
+        run_sync(&mut world);
+    }
+
+    #[test]
+    fn random_trees_many_seeds() {
+        for seed in 0..4 {
+            let g = generators::random_tree(30, seed);
+            let mut world = World::new_rooted(g, 30, NodeId(0));
+            run_sync(&mut world);
+        }
+    }
+
+    #[test]
+    fn random_graphs_k_less_than_n() {
+        for seed in 0..3 {
+            let g = generators::erdos_renyi_connected(40, 0.1, seed);
+            let mut world = World::new_rooted(g, 25, NodeId(1));
+            run_sync(&mut world);
+        }
+    }
+
+    #[test]
+    fn tiny_configurations() {
+        for k in 1..=4 {
+            let g = generators::line(6);
+            let mut world = World::new_rooted(g, k, NodeId(2));
+            let (out, _) = run_sync(&mut world);
+            assert!(out.terminated, "k={k} must terminate");
+        }
+    }
+
+    #[test]
+    fn probe_invocation_count_is_at_most_2k() {
+        let g = generators::random_tree(40, 11);
+        let mut world = World::new_rooted(g, 40, NodeId(0));
+        let (_, proto) = run_sync(&mut world);
+        assert!(
+            proto.probe_invocations() <= 2 * 40,
+            "Async_Probe invoked {} times, expected ≤ 2(k-1)",
+            proto.probe_invocations()
+        );
+    }
+
+    #[test]
+    fn async_round_robin() {
+        let g = generators::random_tree(25, 2);
+        let mut world = World::new_rooted(g, 25, NodeId(0));
+        let mut proto = ProbeDfs::new(&world);
+        let out = AsyncRunner::new(RunConfig::default(), RoundRobinAdversary)
+            .run(&mut world, &mut proto)
+            .unwrap();
+        check_dispersion(&world).unwrap();
+        assert!(envelope::within_k_log_k(&out, 40.0));
+    }
+
+    #[test]
+    fn async_random_subset_various_seeds() {
+        for seed in 0..3 {
+            let g = generators::erdos_renyi_connected(30, 0.12, seed);
+            let mut world = World::new_rooted(g, 30, NodeId(0));
+            run_async(&mut world, seed * 7 + 1);
+        }
+    }
+
+    #[test]
+    fn async_lagging_adversary() {
+        let g = generators::star(20);
+        let mut world = World::new_rooted(g, 20, NodeId(0));
+        let mut proto = ProbeDfs::new(&world);
+        AsyncRunner::new(RunConfig::default(), LaggingAdversary::new(5, 9))
+            .run(&mut world, &mut proto)
+            .unwrap();
+        check_dispersion(&world).unwrap();
+    }
+
+    #[test]
+    fn async_grid() {
+        let g = generators::grid2d(5, 5);
+        let mut world = World::new_rooted(g, 25, NodeId(12));
+        run_async(&mut world, 3);
+    }
+
+    #[test]
+    fn memory_stays_logarithmic() {
+        let g = generators::star(80);
+        let mut world = World::new_rooted(g, 80, NodeId(0));
+        let (out, _) = run_sync(&mut world);
+        assert!(
+            envelope::memory_logarithmic(&out, 30.0),
+            "peak {} bits is not O(log(k+Δ))",
+            out.peak_memory_bits
+        );
+    }
+
+    #[test]
+    fn beats_scan_baseline_on_the_complete_graph() {
+        // The separating instance for probing vs scanning is a dense graph:
+        // on K_k the scan baseline pays Θ(k²) (each new node re-examines the
+        // already-settled neighbors one at a time) while doubling probes pay
+        // O(k log k). The star is *not* separating — there every scan hits an
+        // empty leaf immediately — which is exactly the `min{m, kΔ}` shape
+        // the paper's Table 1 describes.
+        let k = 40;
+        let g = generators::complete(k);
+        let mut probe_world = World::new_rooted(g.clone(), k, NodeId(0));
+        let (probe_out, _) = run_sync(&mut probe_world);
+        let mut scan_world = World::new_rooted(g, k, NodeId(0));
+        let mut scan = crate::KsDfs::new(&scan_world);
+        let scan_out = SyncRunner::new(RunConfig::default())
+            .run(&mut scan_world, &mut scan)
+            .unwrap();
+        assert!(
+            (probe_out.rounds as f64) < 0.7 * scan_out.rounds as f64,
+            "probe {} rounds should clearly beat scan {} rounds on K_{k}",
+            probe_out.rounds,
+            scan_out.rounds
+        );
+        assert!(envelope::within_k_log_k(&probe_out, 30.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rooted")]
+    fn rejects_non_rooted_start() {
+        let g = generators::line(6);
+        let world = World::new(g, vec![NodeId(0), NodeId(3)]);
+        let _ = ProbeDfs::new(&world);
+    }
+}

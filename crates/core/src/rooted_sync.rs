@@ -1,0 +1,607 @@
+//! Seeker-based synchronous dispersion (`Sync_Probe`, Algorithms 2 and 5–7).
+//!
+//! This protocol reproduces the *probing structure* of the paper's SYNC
+//! algorithm `RootedSyncDisp`: at every DFS node the leader dispatches a pool
+//! of **seekers** in parallel, one unprobed port each; each seeker makes a
+//! round trip (optionally waiting a configurable number of rounds at the
+//! neighbor, the paper's 6-round wait) and reports whether the neighbor
+//! hosts a settler. With a pool of `p` seekers, `min{k, δ_w}` ports are
+//! covered in `⌈min{k, δ_w}/p⌉` iterations of `O(1)` rounds each.
+//!
+//! **Fidelity note (see `DESIGN.md`).** The full Theorem 6.1 algorithm
+//! additionally leaves ≥ ⌈k/3⌉ DFS-tree nodes empty (Algorithm 1, module
+//! [`crate::empty_node`]) and covers them by oscillating settlers (module
+//! [`crate::oscillation`]) so that the seeker pool never shrinks below
+//! ⌈k/3⌉. This implementation settles an agent at every visited node
+//! instead, so the pool shrinks as the DFS progresses: the measured time is
+//! `O(k)` whenever node degrees stay below the remaining pool size and
+//! degrades toward the `O(k log k)` of the DISC'24 baseline on high-degree
+//! graphs. The empty-node selection and oscillation components are
+//! implemented and verified separately; wiring them into this protocol is
+//! the one fidelity gap of this reproduction (tracked in `EXPERIMENTS.md`).
+
+use disp_graph::Port;
+use disp_sim::{bits, ActivationCtx, AgentId, AgentProtocol, World};
+
+/// Tuning knobs (also used by the ablation benches).
+#[derive(Debug, Clone, Copy)]
+pub struct SyncConfig {
+    /// Rounds a seeker waits at the probed neighbor before returning. The
+    /// paper uses 6 (needed when tree nodes can be empty and are covered by
+    /// oscillating settlers); with every node settled, 1 suffices.
+    pub wait_rounds: u32,
+    /// Cap on the number of seekers dispatched per probe iteration
+    /// (`None` = use every available unsettled agent, the default).
+    pub max_probers: Option<usize>,
+}
+
+impl Default for SyncConfig {
+    fn default() -> Self {
+        SyncConfig {
+            wait_rounds: 1,
+            max_probers: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GroupOrder {
+    flip: bool,
+    port: Port,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MoveIntent {
+    Forward,
+    Backtrack,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SeekStage {
+    Out,
+    Waiting { left: u32, saw_settler: bool },
+    Returned { saw_settler: bool },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LeaderPhase {
+    Decide,
+    ProbeAssign,
+    ProbeWait { assigned: u32 },
+    SoloOut,
+    SoloWait { left: u32, saw_settler: bool },
+    SoloReturned { saw_settler: bool },
+    Departing(MoveIntent),
+    ArriveForward,
+}
+
+#[derive(Debug, Clone)]
+enum AgentState {
+    Follower {
+        executed: bool,
+    },
+    Seeker {
+        port: Port,
+        pin: Option<Port>,
+        stage: SeekStage,
+    },
+    Settled {
+        parent_port: Option<Port>,
+    },
+    Leader {
+        phase: LeaderPhase,
+        group_size: usize,
+        order: Option<GroupOrder>,
+        arrival_pin: Option<Port>,
+        checked: u32,
+        next_empty: Option<Port>,
+        solo_pin: Option<Port>,
+    },
+}
+
+/// The seeker-probing SYNC dispersion protocol (rooted configurations).
+#[derive(Debug)]
+pub struct RootedSyncDisp {
+    config: SyncConfig,
+    states: Vec<AgentState>,
+    ids: Vec<u32>,
+    leader: AgentId,
+    k: usize,
+    max_degree: usize,
+    settled_count: usize,
+    max_probe_iterations: u32,
+    current_probe_iterations: u32,
+}
+
+impl RootedSyncDisp {
+    /// Build the protocol for a rooted world with default configuration.
+    pub fn new(world: &World) -> Self {
+        Self::with_config(world, SyncConfig::default())
+    }
+
+    /// Build the protocol with explicit tuning knobs.
+    pub fn with_config(world: &World, config: SyncConfig) -> Self {
+        let k = world.num_agents();
+        let root = world.position(AgentId(0));
+        assert!(
+            world.positions().iter().all(|&p| p == root),
+            "RootedSyncDisp handles rooted initial configurations"
+        );
+        let leader = AgentId(k as u32 - 1);
+        let mut states = vec![AgentState::Follower { executed: false }; k];
+        states[leader.index()] = AgentState::Leader {
+            phase: LeaderPhase::Decide,
+            group_size: k - 1,
+            order: None,
+            arrival_pin: None,
+            checked: 0,
+            next_empty: None,
+            solo_pin: None,
+        };
+        RootedSyncDisp {
+            config,
+            states,
+            ids: (1..=k as u32).collect(),
+            leader,
+            k,
+            max_degree: world.graph().max_degree(),
+            settled_count: 0,
+            max_probe_iterations: 0,
+            current_probe_iterations: 0,
+        }
+    }
+
+    /// Largest number of probe iterations observed at a single node.
+    pub fn max_probe_iterations(&self) -> u32 {
+        self.max_probe_iterations
+    }
+
+    fn settler_here(&self, ctx: &ActivationCtx<'_>) -> Option<AgentId> {
+        ctx.colocated()
+            .into_iter()
+            .find(|a| matches!(self.states[a.index()], AgentState::Settled { .. }))
+    }
+
+    fn settle(&mut self, agent: AgentId, parent_port: Option<Port>) {
+        self.states[agent.index()] = AgentState::Settled { parent_port };
+        self.settled_count += 1;
+    }
+
+    fn followers_here(&self, ctx: &ActivationCtx<'_>) -> Vec<AgentId> {
+        let mut v: Vec<AgentId> = ctx
+            .colocated()
+            .into_iter()
+            .filter(|a| matches!(self.states[a.index()], AgentState::Follower { .. }))
+            .collect();
+        v.sort_by_key(|a| self.ids[a.index()]);
+        v
+    }
+
+    fn returned_seekers(&self, ctx: &ActivationCtx<'_>) -> Vec<AgentId> {
+        ctx.colocated()
+            .into_iter()
+            .filter(|a| {
+                matches!(
+                    self.states[a.index()],
+                    AgentState::Seeker {
+                        stage: SeekStage::Returned { .. },
+                        ..
+                    }
+                )
+            })
+            .collect()
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn act_leader(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        let AgentState::Leader {
+            phase,
+            mut group_size,
+            mut order,
+            mut arrival_pin,
+            mut checked,
+            mut next_empty,
+            mut solo_pin,
+        } = self.states[agent.index()].clone()
+        else {
+            unreachable!()
+        };
+        let mut phase = phase;
+
+        match phase {
+            LeaderPhase::Decide => {
+                if self.settler_here(ctx).is_none() {
+                    if group_size == 0 {
+                        self.settle(agent, arrival_pin);
+                        return;
+                    }
+                    let chosen = self.followers_here(ctx)[0];
+                    self.settle(chosen, arrival_pin);
+                    group_size -= 1;
+                } else {
+                    checked = 0;
+                    next_empty = None;
+                    self.current_probe_iterations = 0;
+                    phase = LeaderPhase::ProbeAssign;
+                }
+            }
+
+            LeaderPhase::ProbeAssign => {
+                if next_empty.is_some() || checked as usize >= ctx.degree() {
+                    phase = self.movement_phase(ctx, next_empty, &mut order);
+                } else {
+                    self.current_probe_iterations += 1;
+                    self.max_probe_iterations =
+                        self.max_probe_iterations.max(self.current_probe_iterations);
+                    let mut pool = self.followers_here(ctx);
+                    if let Some(cap) = self.config.max_probers {
+                        pool.truncate(cap.max(1));
+                    }
+                    if pool.is_empty() {
+                        // Leader probes the next port itself.
+                        let port = Port(checked + 1);
+                        solo_pin = Some(ctx.move_via(port));
+                        phase = LeaderPhase::SoloOut;
+                    } else {
+                        let want = (ctx.degree() - checked as usize).min(pool.len());
+                        for (i, seeker) in pool.iter().take(want).enumerate() {
+                            self.states[seeker.index()] = AgentState::Seeker {
+                                port: Port(checked + 1 + i as u32),
+                                pin: None,
+                                stage: SeekStage::Out,
+                            };
+                        }
+                        checked += want as u32;
+                        phase = LeaderPhase::ProbeWait {
+                            assigned: want as u32,
+                        };
+                    }
+                }
+            }
+
+            LeaderPhase::ProbeWait { assigned } => {
+                let returned = self.returned_seekers(ctx);
+                if returned.len() as u32 == assigned {
+                    let flip = order.map(|o| o.flip).unwrap_or(false);
+                    for s in returned {
+                        let AgentState::Seeker {
+                            port,
+                            stage: SeekStage::Returned { saw_settler },
+                            ..
+                        } = self.states[s.index()].clone()
+                        else {
+                            unreachable!()
+                        };
+                        if !saw_settler {
+                            next_empty = Some(match next_empty {
+                                Some(p) if p < port => p,
+                                _ => port,
+                            });
+                        }
+                        self.states[s.index()] = AgentState::Follower { executed: flip };
+                    }
+                    phase = LeaderPhase::ProbeAssign;
+                }
+            }
+
+            LeaderPhase::SoloOut => {
+                let saw = self.settler_here(ctx).is_some();
+                phase = LeaderPhase::SoloWait {
+                    left: self.config.wait_rounds,
+                    saw_settler: saw,
+                };
+            }
+
+            LeaderPhase::SoloWait { left, saw_settler } => {
+                let saw = saw_settler || self.settler_here(ctx).is_some();
+                if left == 0 {
+                    ctx.move_via(solo_pin.expect("solo pin recorded"));
+                    phase = LeaderPhase::SoloReturned { saw_settler: saw };
+                } else {
+                    phase = LeaderPhase::SoloWait {
+                        left: left - 1,
+                        saw_settler: saw,
+                    };
+                }
+            }
+
+            LeaderPhase::SoloReturned { saw_settler } => {
+                if !saw_settler {
+                    next_empty = Some(Port(checked + 1));
+                }
+                checked += 1;
+                solo_pin = None;
+                phase = LeaderPhase::ProbeAssign;
+            }
+
+            LeaderPhase::Departing(intent) => {
+                let o = order.expect("departing without an order");
+                if self.followers_here(ctx).is_empty() {
+                    let pin = ctx.move_via(o.port);
+                    arrival_pin = Some(pin);
+                    phase = match intent {
+                        MoveIntent::Forward => LeaderPhase::ArriveForward,
+                        MoveIntent::Backtrack => LeaderPhase::Decide,
+                    };
+                }
+            }
+
+            LeaderPhase::ArriveForward => {
+                debug_assert!(self.settler_here(ctx).is_none());
+                if group_size == 0 {
+                    self.settle(agent, arrival_pin);
+                    return;
+                }
+                let chosen = self.followers_here(ctx)[0];
+                self.settle(chosen, arrival_pin);
+                group_size -= 1;
+                phase = LeaderPhase::Decide;
+            }
+        }
+
+        self.states[agent.index()] = AgentState::Leader {
+            phase,
+            group_size,
+            order,
+            arrival_pin,
+            checked,
+            next_empty,
+            solo_pin,
+        };
+    }
+
+    fn movement_phase(
+        &mut self,
+        ctx: &ActivationCtx<'_>,
+        next_empty: Option<Port>,
+        order: &mut Option<GroupOrder>,
+    ) -> LeaderPhase {
+        let flip = order.map(|o| !o.flip).unwrap_or(true);
+        match next_empty {
+            Some(p) => {
+                *order = Some(GroupOrder { flip, port: p });
+                LeaderPhase::Departing(MoveIntent::Forward)
+            }
+            None => {
+                let settler = self
+                    .settler_here(ctx)
+                    .expect("backtracking from a settled node");
+                let AgentState::Settled { parent_port } = self.states[settler.index()] else {
+                    unreachable!()
+                };
+                let p =
+                    parent_port.expect("the DFS root can only be exhausted after everyone settled");
+                *order = Some(GroupOrder { flip, port: p });
+                LeaderPhase::Departing(MoveIntent::Backtrack)
+            }
+        }
+    }
+
+    fn act_follower(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        let AgentState::Follower { executed } = self.states[agent.index()] else {
+            unreachable!()
+        };
+        if ctx.colocated().contains(&self.leader) {
+            if let AgentState::Leader {
+                order: Some(o), ..
+            } = self.states[self.leader.index()]
+            {
+                if o.flip != executed {
+                    ctx.move_via(o.port);
+                    self.states[agent.index()] = AgentState::Follower { executed: o.flip };
+                }
+            }
+        }
+    }
+
+    fn act_seeker(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        let AgentState::Seeker { port, mut pin, stage } = self.states[agent.index()].clone() else {
+            unreachable!()
+        };
+        let mut stage = stage;
+        match stage {
+            SeekStage::Out => {
+                pin = Some(ctx.move_via(port));
+                stage = SeekStage::Waiting {
+                    left: self.config.wait_rounds,
+                    saw_settler: false,
+                };
+            }
+            SeekStage::Waiting { left, saw_settler } => {
+                let saw = saw_settler || self.settler_here(ctx).is_some();
+                if left == 0 {
+                    ctx.move_via(pin.expect("pin recorded"));
+                    stage = SeekStage::Returned { saw_settler: saw };
+                } else {
+                    stage = SeekStage::Waiting {
+                        left: left - 1,
+                        saw_settler: saw,
+                    };
+                }
+            }
+            SeekStage::Returned { .. } => {}
+        }
+        self.states[agent.index()] = AgentState::Seeker { port, pin, stage };
+    }
+}
+
+impl AgentProtocol for RootedSyncDisp {
+    fn on_activate(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        match self.states[agent.index()] {
+            AgentState::Settled { .. } => {}
+            AgentState::Leader { .. } => self.act_leader(agent, ctx),
+            AgentState::Follower { .. } => self.act_follower(agent, ctx),
+            AgentState::Seeker { .. } => self.act_seeker(agent, ctx),
+        }
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.settled_count == self.k
+    }
+
+    fn memory_bits(&self, agent: AgentId) -> usize {
+        let id = bits::id_bits(self.k);
+        let port = bits::port_bits(self.max_degree);
+        let opt_port = bits::opt_port_bits(self.max_degree);
+        match &self.states[agent.index()] {
+            AgentState::Follower { .. } => id + 1,
+            AgentState::Seeker { .. } => id + 2 + port + opt_port + bits::counter_bits(8) + 1,
+            AgentState::Settled { .. } => id + opt_port,
+            AgentState::Leader { .. } => {
+                id + 3
+                    + bits::counter_bits(self.k as u64)
+                    + 1
+                    + port
+                    + 2 * opt_port
+                    + bits::counter_bits(self.max_degree as u64)
+                    + opt_port
+                    + opt_port
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "rooted-sync-seeker"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{check_dispersion, envelope};
+    use disp_graph::{generators, NodeId};
+    use disp_sim::{Outcome, RunConfig, SyncRunner};
+
+    fn run(world: &mut World, config: SyncConfig) -> (Outcome, RootedSyncDisp) {
+        let mut proto = RootedSyncDisp::with_config(world, config);
+        let out = SyncRunner::new(RunConfig::default())
+            .run(world, &mut proto)
+            .expect("must terminate");
+        check_dispersion(world).expect("must disperse");
+        (out, proto)
+    }
+
+    #[test]
+    fn line_is_linear_time() {
+        let g = generators::line(64);
+        let mut world = World::new_rooted(g, 64, NodeId(0));
+        let (out, _) = run(&mut world, SyncConfig::default());
+        assert!(out.terminated);
+        assert!(
+            envelope::within_linear(&out, 20.0),
+            "rounds {} not O(k) on the line",
+            out.rounds
+        );
+    }
+
+    #[test]
+    fn ring_and_grid_disperse() {
+        let g = generators::ring(30);
+        let mut world = World::new_rooted(g, 30, NodeId(3));
+        run(&mut world, SyncConfig::default());
+        let g = generators::grid2d(6, 6);
+        let mut world = World::new_rooted(g, 36, NodeId(0));
+        run(&mut world, SyncConfig::default());
+    }
+
+    #[test]
+    fn random_trees_and_graphs() {
+        for seed in 0..4 {
+            let g = generators::random_tree(40, seed);
+            let mut world = World::new_rooted(g, 40, NodeId(0));
+            run(&mut world, SyncConfig::default());
+        }
+        for seed in 0..3 {
+            let g = generators::erdos_renyi_connected(35, 0.12, seed);
+            let mut world = World::new_rooted(g, 35, NodeId(2));
+            run(&mut world, SyncConfig::default());
+        }
+    }
+
+    #[test]
+    fn star_probes_in_few_iterations_with_a_large_pool() {
+        // With an uncapped pool, probing the hub takes O(1) iterations while
+        // more than ~Δ unsettled agents remain.
+        let g = generators::star(48);
+        let mut world = World::new_rooted(g, 48, NodeId(0));
+        let (out, proto) = run(&mut world, SyncConfig::default());
+        assert!(out.terminated);
+        assert!(proto.max_probe_iterations() <= 48);
+    }
+
+    #[test]
+    fn seeker_cap_ablation_increases_iterations() {
+        let g = generators::star(30);
+        let mut w1 = World::new_rooted(g.clone(), 30, NodeId(0));
+        let (_, uncapped) = run(&mut w1, SyncConfig::default());
+        let mut w2 = World::new_rooted(g, 30, NodeId(0));
+        let (_, capped) = run(
+            &mut w2,
+            SyncConfig {
+                wait_rounds: 1,
+                max_probers: Some(3),
+            },
+        );
+        assert!(
+            capped.max_probe_iterations() >= uncapped.max_probe_iterations(),
+            "capping the pool cannot reduce probe iterations"
+        );
+    }
+
+    #[test]
+    fn wait_rounds_ablation_costs_time_but_preserves_correctness() {
+        let g = generators::random_tree(30, 7);
+        let mut w1 = World::new_rooted(g.clone(), 30, NodeId(0));
+        let (fast, _) = run(&mut w1, SyncConfig { wait_rounds: 1, max_probers: None });
+        let mut w2 = World::new_rooted(g, 30, NodeId(0));
+        let (slow, _) = run(&mut w2, SyncConfig { wait_rounds: 6, max_probers: None });
+        assert!(slow.rounds > fast.rounds);
+    }
+
+    #[test]
+    fn k_smaller_than_n() {
+        let g = generators::erdos_renyi_connected(50, 0.08, 5);
+        let mut world = World::new_rooted(g, 20, NodeId(0));
+        run(&mut world, SyncConfig::default());
+    }
+
+    #[test]
+    fn tiny_k() {
+        for k in 1..=3 {
+            let g = generators::ring(5);
+            let mut world = World::new_rooted(g, k, NodeId(1));
+            let (out, _) = run(&mut world, SyncConfig::default());
+            assert!(out.terminated);
+        }
+    }
+
+    #[test]
+    fn memory_is_logarithmic() {
+        let g = generators::complete(40);
+        let mut world = World::new_rooted(g, 40, NodeId(0));
+        let (out, _) = run(&mut world, SyncConfig::default());
+        assert!(envelope::memory_logarithmic(&out, 30.0));
+    }
+
+    #[test]
+    fn faster_than_probe_dfs_on_dense_graphs() {
+        // The seeker pool checks many ports per O(1) rounds without the
+        // recruit-and-see-off overhead, so on dense graphs it beats the
+        // doubling-probe protocol run synchronously.
+        let k = 36;
+        let g = generators::complete(k);
+        let mut w1 = World::new_rooted(g.clone(), k, NodeId(0));
+        let (seeker_out, _) = run(&mut w1, SyncConfig::default());
+        let mut w2 = World::new_rooted(g, k, NodeId(0));
+        let mut probe = crate::ProbeDfs::new(&w2);
+        let probe_out = SyncRunner::new(RunConfig::default())
+            .run(&mut w2, &mut probe)
+            .unwrap();
+        assert!(
+            seeker_out.rounds < probe_out.rounds,
+            "seeker probing ({}) should beat doubling probing ({}) on K_{k}",
+            seeker_out.rounds,
+            probe_out.rounds
+        );
+    }
+}

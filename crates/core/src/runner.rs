@@ -1,0 +1,242 @@
+//! A uniform entry point for running any algorithm under any scheduler —
+//! used by the examples, the experiment harness and the benches.
+
+use crate::baselines::ks_dfs::KsDfs;
+use crate::probe_dfs::ProbeDfs;
+use crate::rooted_sync::{RootedSyncDisp, SyncConfig};
+use crate::verify;
+use disp_graph::{NodeId, PortGraph};
+use disp_sim::{
+    AgentProtocol, AsyncRunner, LaggingAdversary, Outcome, RandomSubsetAdversary,
+    RoundRobinAdversary, RunConfig, RunError, SyncRunner, World,
+};
+use serde::{Deserialize, Serialize};
+
+/// Which dispersion algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Group DFS with port scanning — the `O(min{m, kΔ})` baseline
+    /// (Kshemkalyani–Sharma, OPODIS'21). Supports general configurations.
+    KsDfs,
+    /// Doubling-probe DFS (`Async_Probe` + `Guest_See_Off`) — the paper's
+    /// `RootedAsyncDisp` (Theorem 7.1); under SYNC it is the DISC'24-style
+    /// baseline. Rooted configurations.
+    ProbeDfs,
+    /// Seeker-pool synchronous probing (`Sync_Probe`, Algorithms 2/5–7).
+    /// Rooted configurations, SYNC scheduler.
+    SyncSeeker,
+}
+
+impl Algorithm {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::KsDfs => "ks-dfs",
+            Algorithm::ProbeDfs => "probe-dfs",
+            Algorithm::SyncSeeker => "sync-seeker",
+        }
+    }
+
+    /// Whether the algorithm accepts non-rooted (general) starts.
+    pub fn supports_general(&self) -> bool {
+        matches!(self, Algorithm::KsDfs)
+    }
+}
+
+/// Which scheduler to run under.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Synchronous rounds.
+    Sync,
+    /// Asynchronous, round-robin activations (benign schedule).
+    AsyncRoundRobin,
+    /// Asynchronous, independent random activations with the given per-step
+    /// probability.
+    AsyncRandom {
+        /// Per-agent activation probability per step.
+        prob: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Asynchronous with heterogeneous lags up to `max_lag`.
+    AsyncLagging {
+        /// Largest per-agent activation period.
+        max_lag: u64,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl Schedule {
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Schedule::Sync => "sync".into(),
+            Schedule::AsyncRoundRobin => "async-rr".into(),
+            Schedule::AsyncRandom { prob, .. } => format!("async-rand{prob}"),
+            Schedule::AsyncLagging { max_lag, .. } => format!("async-lag{max_lag}"),
+        }
+    }
+}
+
+/// A complete run specification.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Algorithm to run.
+    pub algorithm: Algorithm,
+    /// Scheduler to run under.
+    pub schedule: Schedule,
+    /// Runner limits.
+    pub limits: RunConfig,
+    /// Tuning for the SyncSeeker algorithm (ignored by the others).
+    pub sync_config: SyncConfig,
+    /// Seed for algorithm-internal randomness (scatter fallback).
+    pub seed: u64,
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec {
+            algorithm: Algorithm::ProbeDfs,
+            schedule: Schedule::Sync,
+            limits: RunConfig::default(),
+            sync_config: SyncConfig::default(),
+            seed: 1,
+        }
+    }
+}
+
+/// The result of [`run`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Schedule label.
+    pub schedule: String,
+    /// Graph label.
+    pub graph: String,
+    /// Raw measurements.
+    pub outcome: Outcome,
+    /// Whether the final configuration is a valid dispersion.
+    pub dispersed: bool,
+}
+
+fn drive(
+    spec: &RunSpec,
+    world: &mut World,
+    protocol: &mut dyn AgentProtocol,
+) -> Result<Outcome, RunError> {
+    match spec.schedule {
+        Schedule::Sync => SyncRunner::new(spec.limits.clone()).run(world, protocol),
+        Schedule::AsyncRoundRobin => {
+            AsyncRunner::new(spec.limits.clone(), RoundRobinAdversary).run(world, protocol)
+        }
+        Schedule::AsyncRandom { prob, seed } => {
+            AsyncRunner::new(spec.limits.clone(), RandomSubsetAdversary::new(prob, seed))
+                .run(world, protocol)
+        }
+        Schedule::AsyncLagging { max_lag, seed } => {
+            AsyncRunner::new(spec.limits.clone(), LaggingAdversary::new(max_lag, seed))
+                .run(world, protocol)
+        }
+    }
+}
+
+/// Run `spec` on `graph` with the given initial positions and report the
+/// outcome together with a dispersion check of the final configuration.
+pub fn run(graph: &PortGraph, positions: Vec<NodeId>, spec: &RunSpec) -> Result<RunReport, RunError> {
+    let mut world = World::new(graph.clone(), positions);
+    let outcome = match spec.algorithm {
+        Algorithm::KsDfs => {
+            let mut proto = KsDfs::with_seed(&world, spec.seed);
+            drive(spec, &mut world, &mut proto)?
+        }
+        Algorithm::ProbeDfs => {
+            let mut proto = ProbeDfs::new(&world);
+            drive(spec, &mut world, &mut proto)?
+        }
+        Algorithm::SyncSeeker => {
+            let mut proto = RootedSyncDisp::with_config(&world, spec.sync_config);
+            drive(spec, &mut world, &mut proto)?
+        }
+    };
+    Ok(RunReport {
+        algorithm: spec.algorithm.label().to_string(),
+        schedule: spec.schedule.label(),
+        graph: graph.name().to_string(),
+        dispersed: verify::is_dispersed(&world),
+        outcome,
+    })
+}
+
+/// Convenience wrapper for rooted starts: all `k` agents begin on `root`.
+pub fn run_rooted(
+    graph: &PortGraph,
+    k: usize,
+    root: NodeId,
+    spec: &RunSpec,
+) -> Result<RunReport, RunError> {
+    run(graph, vec![root; k], spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disp_graph::generators;
+
+    #[test]
+    fn every_algorithm_runs_through_the_uniform_entry_point() {
+        let g = generators::random_tree(20, 1);
+        for algo in [Algorithm::KsDfs, Algorithm::ProbeDfs, Algorithm::SyncSeeker] {
+            let spec = RunSpec {
+                algorithm: algo,
+                ..RunSpec::default()
+            };
+            let report = run_rooted(&g, 20, NodeId(0), &spec).unwrap();
+            assert!(report.dispersed, "{algo:?} must disperse");
+            assert!(report.outcome.terminated);
+            assert_eq!(report.algorithm, algo.label());
+        }
+    }
+
+    #[test]
+    fn async_schedules_work_for_async_capable_algorithms() {
+        let g = generators::erdos_renyi_connected(24, 0.15, 2);
+        for schedule in [
+            Schedule::AsyncRoundRobin,
+            Schedule::AsyncRandom { prob: 0.5, seed: 3 },
+            Schedule::AsyncLagging { max_lag: 4, seed: 7 },
+        ] {
+            for algo in [Algorithm::KsDfs, Algorithm::ProbeDfs] {
+                let spec = RunSpec {
+                    algorithm: algo,
+                    schedule,
+                    ..RunSpec::default()
+                };
+                let report = run_rooted(&g, 24, NodeId(0), &spec).unwrap();
+                assert!(report.dispersed, "{algo:?} under {schedule:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn general_configuration_through_ks_dfs() {
+        let g = generators::grid2d(5, 5);
+        let positions: Vec<NodeId> = (0..15).map(|i| NodeId((i % 25) as u32)).collect();
+        let spec = RunSpec {
+            algorithm: Algorithm::KsDfs,
+            ..RunSpec::default()
+        };
+        let report = run(&g, positions, &spec).unwrap();
+        assert!(report.dispersed);
+        assert!(Algorithm::KsDfs.supports_general());
+        assert!(!Algorithm::ProbeDfs.supports_general());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Algorithm::ProbeDfs.label(), "probe-dfs");
+        assert_eq!(Schedule::Sync.label(), "sync");
+        assert_eq!(Schedule::AsyncLagging { max_lag: 9, seed: 0 }.label(), "async-lag9");
+    }
+}

@@ -1,0 +1,137 @@
+//! Verification of dispersion configurations and complexity envelopes.
+
+use disp_graph::NodeId;
+use disp_sim::{AgentId, Outcome, World};
+use std::collections::HashMap;
+
+/// A violation of the dispersion requirement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DispersionViolation {
+    /// Two (or more) agents ended on the same node.
+    Collision {
+        /// The node hosting more than one agent.
+        node: NodeId,
+        /// The agents on it.
+        agents: Vec<AgentId>,
+    },
+}
+
+impl std::fmt::Display for DispersionViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DispersionViolation::Collision { node, agents } => {
+                write!(f, "node {node} hosts {} agents: {:?}", agents.len(), agents)
+            }
+        }
+    }
+}
+
+impl std::error::Error for DispersionViolation {}
+
+/// Check that the world is in a *dispersion configuration*: every agent is on
+/// a distinct node.
+pub fn check_dispersion(world: &World) -> Result<(), DispersionViolation> {
+    let mut seen: HashMap<NodeId, Vec<AgentId>> = HashMap::new();
+    for (i, &v) in world.positions().iter().enumerate() {
+        seen.entry(v).or_default().push(AgentId(i as u32));
+    }
+    for (node, agents) in seen {
+        if agents.len() > 1 {
+            let mut agents = agents;
+            agents.sort();
+            return Err(DispersionViolation::Collision { node, agents });
+        }
+    }
+    Ok(())
+}
+
+/// `true` iff every agent is on a distinct node.
+pub fn is_dispersed(world: &World) -> bool {
+    check_dispersion(world).is_ok()
+}
+
+/// Convenience assertions about the measured complexity of an [`Outcome`],
+/// used by tests and the experiment harness to check the *shape* of the
+/// bounds (constants are generous because the simulator charges extra rounds
+/// for the leader/follower coordination that the paper's idealized counting
+/// does not).
+pub mod envelope {
+    use super::Outcome;
+
+    /// `time ≤ factor · k` (the `O(k)` envelope).
+    pub fn within_linear(outcome: &Outcome, factor: f64) -> bool {
+        (outcome.time() as f64) <= factor * outcome.k as f64 + factor
+    }
+
+    /// `time ≤ factor · k·log₂(k+2)` (the `O(k log k)` envelope).
+    pub fn within_k_log_k(outcome: &Outcome, factor: f64) -> bool {
+        let k = outcome.k as f64;
+        (outcome.time() as f64) <= factor * k * (k + 2.0).log2() + factor
+    }
+
+    /// `time ≤ factor · min{m, k·Δ}` (the `O(min{m, kΔ})` envelope).
+    pub fn within_min_m_k_delta(outcome: &Outcome, factor: f64) -> bool {
+        let bound = (outcome.m as f64).min(outcome.k as f64 * outcome.max_degree as f64);
+        (outcome.time() as f64) <= factor * bound + factor
+    }
+
+    /// `peak memory ≤ factor · log₂(k + Δ + 2)` bits (the `O(log(k+Δ))`
+    /// envelope).
+    pub fn memory_logarithmic(outcome: &Outcome, factor: f64) -> bool {
+        let bound = ((outcome.k + outcome.max_degree) as f64 + 2.0).log2();
+        (outcome.peak_memory_bits as f64) <= factor * bound + factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disp_graph::generators;
+    use disp_sim::World;
+
+    #[test]
+    fn distinct_positions_pass() {
+        let g = generators::line(5);
+        let w = World::new(g, vec![NodeId(0), NodeId(2), NodeId(4)]);
+        assert!(is_dispersed(&w));
+        assert!(check_dispersion(&w).is_ok());
+    }
+
+    #[test]
+    fn collision_is_reported_with_all_agents() {
+        let g = generators::line(5);
+        let w = World::new(g, vec![NodeId(1), NodeId(3), NodeId(1)]);
+        let err = check_dispersion(&w).unwrap_err();
+        match err {
+            DispersionViolation::Collision { node, agents } => {
+                assert_eq!(node, NodeId(1));
+                assert_eq!(agents, vec![AgentId(0), AgentId(2)]);
+            }
+        }
+        assert!(!is_dispersed(&w));
+    }
+
+    #[test]
+    fn envelope_checks() {
+        let out = Outcome {
+            rounds: 100,
+            steps: 0,
+            epochs: 100,
+            activations: 0,
+            total_moves: 0,
+            max_moves_per_agent: 0,
+            peak_memory_bits: 20,
+            terminated: true,
+            k: 50,
+            n: 100,
+            m: 200,
+            max_degree: 10,
+        };
+        assert!(envelope::within_linear(&out, 3.0));
+        assert!(!envelope::within_linear(&out, 1.0));
+        assert!(envelope::within_k_log_k(&out, 1.0));
+        assert!(envelope::within_min_m_k_delta(&out, 1.0));
+        assert!(envelope::memory_logarithmic(&out, 4.0));
+        assert!(!envelope::memory_logarithmic(&out, 1.0));
+    }
+}

@@ -1,0 +1,282 @@
+//! Incremental construction of [`PortGraph`]s with validation.
+
+use crate::graph::PortGraph;
+use crate::ids::{NodeId, Port};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Errors reported while building or validating a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node index was out of range for the declared node count.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of nodes declared at construction.
+        num_nodes: usize,
+    },
+    /// A self loop `{v, v}` was added; the model forbids them.
+    SelfLoop(NodeId),
+    /// The same undirected edge was added twice; the model forbids
+    /// parallel edges.
+    DuplicateEdge(NodeId, NodeId),
+    /// The built graph is not connected (required by the dispersion model).
+    Disconnected {
+        /// Number of nodes reachable from node 0.
+        reachable: usize,
+        /// Total number of nodes.
+        num_nodes: usize,
+    },
+    /// The graph has no nodes.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range (graph has {num_nodes} nodes)")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self loop at node {v} is not allowed"),
+            GraphError::DuplicateEdge(u, v) => {
+                write!(f, "duplicate edge {{{u}, {v}}} is not allowed")
+            }
+            GraphError::Disconnected {
+                reachable,
+                num_nodes,
+            } => write!(
+                f,
+                "graph is disconnected: only {reachable} of {num_nodes} nodes reachable from node 0"
+            ),
+            GraphError::Empty => write!(f, "graph must have at least one node"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Builder for [`PortGraph`].
+///
+/// Ports are assigned per node in edge-insertion order: the first edge
+/// incident to `v` gets port 1 at `v`, the second port 2, and so on. Use
+/// [`crate::generators::permute_ports`] to randomize the labeling afterwards
+/// (the model makes no promise about any correlation between the two labels
+/// of an edge).
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    adjacency: Vec<Vec<(NodeId, usize)>>,
+    edge_set: HashSet<(u32, u32)>,
+    name: String,
+    check_connectivity: bool,
+}
+
+impl GraphBuilder {
+    /// Start a builder for a graph on `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        GraphBuilder {
+            num_nodes,
+            adjacency: vec![Vec::new(); num_nodes],
+            edge_set: HashSet::new(),
+            name: String::from("custom"),
+            check_connectivity: true,
+        }
+    }
+
+    /// Set the human-readable name recorded on the built graph.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Disable the connectivity check in [`GraphBuilder::build`] (useful for
+    /// tests that construct deliberately broken graphs).
+    pub fn allow_disconnected(mut self) -> Self {
+        self.check_connectivity = false;
+        self
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edge_set.len()
+    }
+
+    /// Current degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adjacency[v.index()].len()
+    }
+
+    /// Whether the undirected edge `{u, v}` has already been added.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let key = if u.0 <= v.0 { (u.0, v.0) } else { (v.0, u.0) };
+        self.edge_set.contains(&key)
+    }
+
+    /// Add the undirected edge `{u, v}`.
+    ///
+    /// Returns the ports assigned at `u` and at `v` respectively.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(Port, Port), GraphError> {
+        if u.index() >= self.num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: u,
+                num_nodes: self.num_nodes,
+            });
+        }
+        if v.index() >= self.num_nodes {
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                num_nodes: self.num_nodes,
+            });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        let key = if u.0 <= v.0 { (u.0, v.0) } else { (v.0, u.0) };
+        if !self.edge_set.insert(key) {
+            return Err(GraphError::DuplicateEdge(u, v));
+        }
+        let pu = Port::from_offset(self.adjacency[u.index()].len());
+        let pv = Port::from_offset(self.adjacency[v.index()].len());
+        // Each adjacency entry remembers the slot of the reverse entry so the
+        // CSR back-port array can be filled in O(1) per edge at build time.
+        self.adjacency[u.index()].push((v, pv.offset()));
+        self.adjacency[v.index()].push((u, pu.offset()));
+        Ok((pu, pv))
+    }
+
+    /// Finalize into an immutable [`PortGraph`].
+    pub fn build(self) -> Result<PortGraph, GraphError> {
+        if self.num_nodes == 0 {
+            return Err(GraphError::Empty);
+        }
+        let mut offsets = Vec::with_capacity(self.num_nodes + 1);
+        offsets.push(0usize);
+        let mut neighbors = Vec::with_capacity(2 * self.edge_set.len());
+        let mut back_ports = Vec::with_capacity(2 * self.edge_set.len());
+        for adj in &self.adjacency {
+            for &(nbr, back_slot) in adj {
+                neighbors.push(nbr);
+                back_ports.push(Port::from_offset(back_slot));
+            }
+            offsets.push(neighbors.len());
+        }
+        let graph = PortGraph {
+            offsets,
+            neighbors,
+            back_ports,
+            name: self.name,
+        };
+        if self.check_connectivity {
+            let reachable = crate::properties::reachable_from(&graph, NodeId(0));
+            if reachable != graph.num_nodes() {
+                return Err(GraphError::Disconnected {
+                    reachable,
+                    num_nodes: graph.num_nodes(),
+                });
+            }
+        }
+        debug_assert!(crate::validate::check_port_labeling(&graph).is_ok());
+        Ok(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ports_assigned_in_insertion_order() {
+        let mut b = GraphBuilder::new(4).name("path4");
+        assert_eq!(
+            b.add_edge(NodeId(0), NodeId(1)).unwrap(),
+            (Port(1), Port(1))
+        );
+        assert_eq!(
+            b.add_edge(NodeId(1), NodeId(2)).unwrap(),
+            (Port(2), Port(1))
+        );
+        assert_eq!(
+            b.add_edge(NodeId(2), NodeId(3)).unwrap(),
+            (Port(2), Port(1))
+        );
+        let g = b.build().unwrap();
+        assert_eq!(g.name(), "path4");
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.traverse(NodeId(0), Port(1)), (NodeId(1), Port(1)));
+        assert_eq!(g.traverse(NodeId(1), Port(2)), (NodeId(2), Port(1)));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(
+            b.add_edge(NodeId(0), NodeId(0)),
+            Err(GraphError::SelfLoop(NodeId(0)))
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_edge_in_either_direction() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(
+            b.add_edge(NodeId(1), NodeId(0)),
+            Err(GraphError::DuplicateEdge(NodeId(1), NodeId(0)))
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_node() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(
+            b.add_edge(NodeId(0), NodeId(5)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_disconnected_graph() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1)).unwrap();
+        b.add_edge(NodeId(2), NodeId(3)).unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::Disconnected {
+                reachable: 2,
+                num_nodes: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn allow_disconnected_skips_check() {
+        let mut b = GraphBuilder::new(4).allow_disconnected();
+        b.add_edge(NodeId(0), NodeId(1)).unwrap();
+        b.add_edge(NodeId(2), NodeId(3)).unwrap();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn rejects_empty_graph() {
+        assert_eq!(GraphBuilder::new(0).build(), Err(GraphError::Empty));
+    }
+
+    #[test]
+    fn single_node_graph_is_fine() {
+        let g = GraphBuilder::new(1).build().unwrap();
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = GraphError::DuplicateEdge(NodeId(1), NodeId(2));
+        assert!(e.to_string().contains("duplicate edge"));
+        let e = GraphError::Disconnected {
+            reachable: 1,
+            num_nodes: 3,
+        };
+        assert!(e.to_string().contains("disconnected"));
+    }
+}

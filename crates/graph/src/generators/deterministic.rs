@@ -1,0 +1,318 @@
+//! Deterministic graph families.
+
+use crate::builder::GraphBuilder;
+use crate::graph::PortGraph;
+use crate::ids::NodeId;
+
+fn must_build(b: GraphBuilder) -> PortGraph {
+    b.build().expect("generator produced an invalid graph")
+}
+
+/// Path (line) graph on `n ≥ 1` nodes: `0 - 1 - 2 - … - (n-1)`.
+///
+/// The line graph is the canonical `Ω(k)` lower-bound instance for
+/// dispersion time: agents starting at one end must travel distance `k - 1`.
+pub fn line(n: usize) -> PortGraph {
+    assert!(n >= 1, "line graph needs at least one node");
+    let mut b = GraphBuilder::new(n).name(format!("line-{n}"));
+    for i in 1..n {
+        b.add_edge(NodeId(i as u32 - 1), NodeId(i as u32)).unwrap();
+    }
+    must_build(b)
+}
+
+/// Cycle (ring) on `n ≥ 3` nodes.
+pub fn ring(n: usize) -> PortGraph {
+    assert!(n >= 3, "ring needs at least three nodes");
+    let mut b = GraphBuilder::new(n).name(format!("ring-{n}"));
+    for i in 0..n {
+        b.add_edge(NodeId(i as u32), NodeId(((i + 1) % n) as u32))
+            .unwrap();
+    }
+    must_build(b)
+}
+
+/// Complete graph `K_n` on `n ≥ 1` nodes. Maximum-degree stress test:
+/// `Δ = n - 1`, `m = n(n-1)/2`.
+pub fn complete(n: usize) -> PortGraph {
+    assert!(n >= 1, "complete graph needs at least one node");
+    let mut b = GraphBuilder::new(n).name(format!("complete-{n}"));
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(NodeId(i as u32), NodeId(j as u32)).unwrap();
+        }
+    }
+    must_build(b)
+}
+
+/// Star on `n ≥ 2` nodes: node 0 is the center, nodes `1..n` are leaves.
+///
+/// High-degree hub: the classic instance separating `O(k)`/`O(k log k)`
+/// probing from the `O(kΔ)` neighbor-scanning baseline.
+pub fn star(n: usize) -> PortGraph {
+    assert!(n >= 2, "star needs at least two nodes");
+    let mut b = GraphBuilder::new(n).name(format!("star-{n}"));
+    for i in 1..n {
+        b.add_edge(NodeId(0), NodeId(i as u32)).unwrap();
+    }
+    must_build(b)
+}
+
+/// Complete binary tree on `n ≥ 1` nodes (heap-shaped: node `i` has children
+/// `2i+1`, `2i+2` when they exist).
+pub fn binary_tree(n: usize) -> PortGraph {
+    assert!(n >= 1, "binary tree needs at least one node");
+    let mut b = GraphBuilder::new(n).name(format!("bintree-{n}"));
+    for i in 1..n {
+        let parent = (i - 1) / 2;
+        b.add_edge(NodeId(parent as u32), NodeId(i as u32)).unwrap();
+    }
+    must_build(b)
+}
+
+/// Caterpillar tree: a spine of `spine` nodes, each carrying `legs` leaf
+/// children. Total nodes: `spine * (1 + legs)`.
+///
+/// Caterpillars exercise the paper's branching-node cases (Algorithm 1,
+/// Cases A and B) heavily: every spine node is a branching node.
+pub fn caterpillar(spine: usize, legs: usize) -> PortGraph {
+    assert!(spine >= 1, "caterpillar needs at least one spine node");
+    let n = spine * (1 + legs);
+    let mut b = GraphBuilder::new(n).name(format!("caterpillar-{spine}x{legs}"));
+    for s in 1..spine {
+        b.add_edge(NodeId(s as u32 - 1), NodeId(s as u32)).unwrap();
+    }
+    let mut next = spine;
+    for s in 0..spine {
+        for _ in 0..legs {
+            b.add_edge(NodeId(s as u32), NodeId(next as u32)).unwrap();
+            next += 1;
+        }
+    }
+    must_build(b)
+}
+
+/// 2-D grid (mesh) with `rows × cols` nodes and no wraparound.
+pub fn grid2d(rows: usize, cols: usize) -> PortGraph {
+    assert!(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+    let idx = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    let mut b = GraphBuilder::new(rows * cols).name(format!("grid-{rows}x{cols}"));
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(idx(r, c), idx(r, c + 1)).unwrap();
+            }
+            if r + 1 < rows {
+                b.add_edge(idx(r, c), idx(r + 1, c)).unwrap();
+            }
+        }
+    }
+    must_build(b)
+}
+
+/// 2-D torus with `rows × cols` nodes (wraparound in both dimensions).
+///
+/// Requires `rows ≥ 3` and `cols ≥ 3` so that wraparound edges do not create
+/// parallel edges.
+pub fn torus2d(rows: usize, cols: usize) -> PortGraph {
+    assert!(rows >= 3 && cols >= 3, "torus needs both dimensions ≥ 3");
+    let idx = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    let mut b = GraphBuilder::new(rows * cols).name(format!("torus-{rows}x{cols}"));
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(idx(r, c), idx(r, (c + 1) % cols)).unwrap();
+            b.add_edge(idx(r, c), idx((r + 1) % rows, c)).unwrap();
+        }
+    }
+    must_build(b)
+}
+
+/// Hypercube on `2^dim` nodes (`dim ≥ 1`).
+pub fn hypercube(dim: usize) -> PortGraph {
+    assert!(dim >= 1, "hypercube dimension must be at least 1");
+    let n = 1usize << dim;
+    let mut b = GraphBuilder::new(n).name(format!("hypercube-{dim}"));
+    for v in 0..n {
+        for bit in 0..dim {
+            let u = v ^ (1 << bit);
+            if v < u {
+                b.add_edge(NodeId(v as u32), NodeId(u as u32)).unwrap();
+            }
+        }
+    }
+    must_build(b)
+}
+
+/// Barbell graph: two cliques of size `clique` joined by a path of `path`
+/// intermediate nodes. Total nodes: `2*clique + path`.
+///
+/// Combines the high-degree cliques with a long low-degree bridge; good for
+/// observing crossovers between probing-based and scanning-based algorithms.
+pub fn barbell(clique: usize, path: usize) -> PortGraph {
+    assert!(clique >= 2, "barbell cliques need at least two nodes");
+    let n = 2 * clique + path;
+    let mut b = GraphBuilder::new(n).name(format!("barbell-{clique}-{path}"));
+    let add_clique = |b: &mut GraphBuilder, start: usize| {
+        for i in 0..clique {
+            for j in (i + 1)..clique {
+                b.add_edge(NodeId((start + i) as u32), NodeId((start + j) as u32))
+                    .unwrap();
+            }
+        }
+    };
+    add_clique(&mut b, 0);
+    add_clique(&mut b, clique + path);
+    // Bridge: last node of left clique - path nodes - first node of right clique.
+    let mut prev = clique - 1;
+    for p in 0..path {
+        let cur = clique + p;
+        b.add_edge(NodeId(prev as u32), NodeId(cur as u32)).unwrap();
+        prev = cur;
+    }
+    b.add_edge(NodeId(prev as u32), NodeId((clique + path) as u32))
+        .unwrap();
+    must_build(b)
+}
+
+/// Lollipop graph: a clique of size `clique` attached to a path of `path`
+/// nodes. Total nodes: `clique + path`.
+pub fn lollipop(clique: usize, path: usize) -> PortGraph {
+    assert!(clique >= 2, "lollipop clique needs at least two nodes");
+    let n = clique + path;
+    let mut b = GraphBuilder::new(n).name(format!("lollipop-{clique}-{path}"));
+    for i in 0..clique {
+        for j in (i + 1)..clique {
+            b.add_edge(NodeId(i as u32), NodeId(j as u32)).unwrap();
+        }
+    }
+    let mut prev = clique - 1;
+    for p in 0..path {
+        let cur = clique + p;
+        b.add_edge(NodeId(prev as u32), NodeId(cur as u32)).unwrap();
+        prev = cur;
+    }
+    must_build(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+    use crate::validate;
+
+    fn check(g: &PortGraph) {
+        validate::check_port_labeling(g).unwrap();
+        assert!(properties::is_connected(g));
+    }
+
+    #[test]
+    fn line_counts() {
+        let g = line(17);
+        check(&g);
+        assert_eq!(g.num_nodes(), 17);
+        assert_eq!(g.num_edges(), 16);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 1);
+    }
+
+    #[test]
+    fn single_node_line() {
+        let g = line(1);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn ring_counts() {
+        let g = ring(9);
+        check(&g);
+        assert_eq!(g.num_edges(), 9);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 2);
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(7);
+        check(&g);
+        assert_eq!(g.num_edges(), 21);
+        assert_eq!(g.max_degree(), 6);
+    }
+
+    #[test]
+    fn star_counts() {
+        let g = star(12);
+        check(&g);
+        assert_eq!(g.num_edges(), 11);
+        assert_eq!(g.degree(NodeId(0)), 11);
+        assert_eq!(g.degree(NodeId(5)), 1);
+    }
+
+    #[test]
+    fn binary_tree_structure() {
+        let g = binary_tree(15);
+        check(&g);
+        assert!(properties::is_tree(&g));
+        assert_eq!(g.degree(NodeId(0)), 2);
+        // Internal nodes have degree 3, leaves degree 1.
+        assert_eq!(g.degree(NodeId(3)), 3);
+        assert_eq!(g.degree(NodeId(14)), 1);
+    }
+
+    #[test]
+    fn caterpillar_structure() {
+        let g = caterpillar(5, 3);
+        check(&g);
+        assert!(properties::is_tree(&g));
+        assert_eq!(g.num_nodes(), 20);
+        // Interior spine nodes: 2 spine neighbors + 3 legs.
+        assert_eq!(g.degree(NodeId(2)), 5);
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid2d(4, 5);
+        check(&g);
+        assert_eq!(g.num_nodes(), 20);
+        assert_eq!(g.num_edges(), 4 * 4 + 3 * 5);
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.min_degree(), 2);
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus2d(4, 5);
+        check(&g);
+        assert_eq!(g.min_degree(), 4);
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.num_edges(), 2 * 20);
+    }
+
+    #[test]
+    fn hypercube_is_dim_regular() {
+        let g = hypercube(4);
+        check(&g);
+        assert_eq!(g.num_nodes(), 16);
+        assert_eq!(g.min_degree(), 4);
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.num_edges(), 32);
+        assert_eq!(properties::diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn barbell_structure() {
+        let g = barbell(5, 3);
+        check(&g);
+        assert_eq!(g.num_nodes(), 13);
+        assert_eq!(g.max_degree(), 5);
+        assert!(properties::diameter(&g).unwrap() >= 5);
+    }
+
+    #[test]
+    fn lollipop_structure() {
+        let g = lollipop(6, 4);
+        check(&g);
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.max_degree(), 6);
+    }
+}

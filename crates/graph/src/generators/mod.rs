@@ -1,0 +1,24 @@
+//! Graph families used throughout the dispersion literature.
+//!
+//! Deterministic families live in [`deterministic`], randomized families in
+//! [`random`], and [`family`] provides a serializable [`GraphFamily`]
+//! descriptor used by the experiment harness to name and instantiate
+//! workloads.
+//!
+//! All generators produce **validated** [`crate::PortGraph`]s: simple,
+//! undirected, connected, with proper 1-based port labels at every node. The
+//! port labels at the two endpoints of an edge are deliberately uncorrelated;
+//! use [`permute_ports`] to apply an additional random relabeling when a test
+//! needs to confirm that an algorithm does not secretly depend on the labels
+//! produced by a particular construction order.
+
+pub mod deterministic;
+pub mod family;
+pub mod random;
+
+pub use deterministic::{
+    barbell, binary_tree, caterpillar, complete, grid2d, hypercube, line, lollipop, ring, star,
+    torus2d,
+};
+pub use family::GraphFamily;
+pub use random::{erdos_renyi_connected, permute_ports, random_regular, random_tree};

@@ -1,0 +1,96 @@
+//! Strongly-typed identifiers for nodes and local ports.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node in a [`crate::PortGraph`].
+///
+/// Nodes are *anonymous* in the dispersion model: algorithms must never use
+/// the numeric value for decisions (it exists only so the simulator and the
+/// test/verification code can refer to nodes). The algorithm crates uphold
+/// this convention; the type keeps accidental arithmetic at bay.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The underlying index as `usize` (for slice indexing).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A local port number at a node.
+///
+/// Ports are **1-based**, matching the paper: the edges incident to a node
+/// `v` are labeled `1..=δ_v`. `Port(0)` is never a valid label; the sentinel
+/// "no port" (the paper's `⊥`) is represented by `Option<Port>`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Port(pub u32);
+
+impl Port {
+    /// Zero-based offset for indexing into adjacency slices.
+    #[inline]
+    pub fn offset(self) -> usize {
+        debug_assert!(self.0 >= 1, "ports are 1-based");
+        (self.0 - 1) as usize
+    }
+
+    /// Construct from a zero-based offset.
+    #[inline]
+    pub fn from_offset(offset: usize) -> Self {
+        Port(offset as u32 + 1)
+    }
+}
+
+impl fmt::Debug for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_index_roundtrip() {
+        assert_eq!(NodeId(7).index(), 7);
+        assert_eq!(format!("{:?}", NodeId(7)), "n7");
+        assert_eq!(format!("{}", NodeId(7)), "7");
+    }
+
+    #[test]
+    fn port_offset_roundtrip() {
+        for i in 0..100usize {
+            let p = Port::from_offset(i);
+            assert_eq!(p.offset(), i);
+            assert_eq!(p.0 as usize, i + 1);
+        }
+        assert_eq!(format!("{:?}", Port(3)), "p3");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Port(1) < Port(2));
+        assert!(NodeId(1) < NodeId(10));
+    }
+}

@@ -1,0 +1,144 @@
+//! Validation of the port-labeled graph model invariants.
+
+use crate::graph::PortGraph;
+use crate::ids::{NodeId, Port};
+use std::fmt;
+
+/// A violation of the port-labeled graph model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A CSR back-port entry does not point back to the originating slot.
+    AsymmetricEdge {
+        /// Node where the traversal started.
+        from: NodeId,
+        /// Port used at `from`.
+        port: Port,
+    },
+    /// A node has a self loop.
+    SelfLoop(NodeId),
+    /// The same neighbor appears behind two different ports of one node
+    /// (parallel edges).
+    ParallelEdge {
+        /// The node with the duplicate neighbor.
+        node: NodeId,
+        /// The duplicated neighbor.
+        neighbor: NodeId,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::AsymmetricEdge { from, port } => {
+                write!(f, "edge leaving {from} via {port} is not symmetric")
+            }
+            ValidationError::SelfLoop(v) => write!(f, "self loop at {v}"),
+            ValidationError::ParallelEdge { node, neighbor } => {
+                write!(f, "parallel edge between {node} and {neighbor}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Check that the graph is a simple undirected graph with a consistent
+/// port labeling: every port `p` at `v` leads to a node `u ≠ v`, the recorded
+/// incoming port leads straight back, and no neighbor repeats.
+pub fn check_port_labeling(g: &PortGraph) -> Result<(), ValidationError> {
+    for v in g.nodes() {
+        let mut seen = std::collections::HashSet::new();
+        for p in g.ports(v) {
+            let (u, q) = g.traverse(v, p);
+            if u == v {
+                return Err(ValidationError::SelfLoop(v));
+            }
+            if !seen.insert(u) {
+                return Err(ValidationError::ParallelEdge { node: v, neighbor: u });
+            }
+            if q.offset() >= g.degree(u) || g.traverse(u, q) != (v, p) {
+                return Err(ValidationError::AsymmetricEdge { from: v, port: p });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check the additional port restriction assumed by the ASYNC **general**
+/// algorithm (paper §8.2):
+///
+/// > For any edge `(u, v)`, the two ports cannot be labelled `(1,1)`, `(1,2)`,
+/// > `(2,1)`, or `(2,2)`, except that port 1 is permitted at a degree-1 node
+/// > and port 2 is permitted at a degree-2 node.
+///
+/// We read the exceptions as exempting low ports at nodes of degree ≤ 2
+/// entirely (such nodes have no ports other than 1 and 2, so any stricter
+/// reading would make the restriction unsatisfiable on, e.g., path graphs).
+/// The restriction therefore bites only when a node of degree ≥ 3 uses one of
+/// its low ports on an edge whose other endpoint also uses a low port.
+///
+/// Returns the list of offending edges (empty means the restriction holds).
+pub fn async_port_restriction_violations(g: &PortGraph) -> Vec<(NodeId, Port, NodeId, Port)> {
+    let exempt = |v: NodeId, _p: Port| -> bool { g.degree(v) <= 2 };
+    g.edges()
+        .filter(|&(u, p, v, q)| {
+            let low = |x: Port| x == Port(1) || x == Port(2);
+            // A low-low pair is permitted only if *every* endpoint using a low
+            // port is covered by one of the two exemptions.
+            low(p) && low(q) && (!exempt(u, p) || !exempt(v, q))
+        })
+        .collect()
+}
+
+/// Whether the §8.2 ASYNC port restriction holds for `g`.
+pub fn satisfies_async_port_restriction(g: &PortGraph) -> bool {
+    async_port_restriction_violations(g).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn generated_graphs_validate() {
+        for g in [
+            generators::line(12),
+            generators::ring(9),
+            generators::complete(8),
+            generators::random_tree(30, 3),
+            generators::erdos_renyi_connected(30, 0.2, 3),
+        ] {
+            check_port_labeling(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn line_satisfies_async_restriction_via_exemptions() {
+        // In a line every interior node has degree 2 and endpoints degree 1,
+        // so all low-port pairs fall under the exemptions.
+        let g = generators::line(10);
+        assert!(satisfies_async_port_restriction(&g));
+    }
+
+    #[test]
+    fn star_low_port_pairs_are_detected() {
+        // In a star built in insertion order, the edge (center, leaf 1) is
+        // (port 1, port 1) and the center has degree > 2, so it violates the
+        // restriction (the leaf is exempt but the center is not — both ends
+        // must be exempt or high).
+        let g = generators::star(8);
+        let v = async_port_restriction_violations(&g);
+        assert!(!v.is_empty());
+        assert!(!satisfies_async_port_restriction(&g));
+    }
+
+    #[test]
+    fn violation_reporting_is_consistent() {
+        let g = generators::complete(6);
+        for (u, p, v, q) in async_port_restriction_violations(&g) {
+            assert_eq!(g.traverse(u, p), (v, q));
+            assert!(p.0 <= 2 && q.0 <= 2);
+        }
+    }
+}

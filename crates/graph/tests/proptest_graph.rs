@@ -1,0 +1,80 @@
+//! Property-based tests on the graph substrate.
+
+use disp_graph::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated random tree is a valid, connected tree whose
+    /// traversal function is an involution.
+    #[test]
+    fn random_tree_invariants(n in 1usize..200, seed in 0u64..1000) {
+        let g = generators::random_tree(n, seed);
+        prop_assert_eq!(g.num_nodes(), n);
+        prop_assert_eq!(g.num_edges(), n - 1);
+        prop_assert!(properties::is_tree(&g));
+        validate::check_port_labeling(&g).unwrap();
+        for v in g.nodes() {
+            for p in g.ports(v) {
+                let (u, pin) = g.traverse(v, p);
+                prop_assert_eq!(g.traverse(u, pin), (v, p));
+            }
+        }
+    }
+
+    /// Erdős–Rényi graphs are connected and simple for any p.
+    #[test]
+    fn er_invariants(n in 2usize..80, p in 0.0f64..1.0, seed in 0u64..1000) {
+        let g = generators::erdos_renyi_connected(n, p, seed);
+        prop_assert!(properties::is_connected(&g));
+        validate::check_port_labeling(&g).unwrap();
+        prop_assert!(g.num_edges() >= n - 1);
+        prop_assert!(g.num_edges() <= n * (n - 1) / 2);
+    }
+
+    /// Port permutation preserves the edge multiset and degrees.
+    #[test]
+    fn permute_ports_preserves_edges(n in 2usize..60, p in 0.05f64..0.5, s1 in 0u64..100, s2 in 0u64..100) {
+        let g = generators::erdos_renyi_connected(n, p, s1);
+        let h = generators::permute_ports(&g, s2);
+        validate::check_port_labeling(&h).unwrap();
+        let canon = |g: &PortGraph| {
+            let mut e: Vec<(u32, u32)> = g.edges().map(|(u, _, v, _)| (u.0, v.0)).collect();
+            e.sort();
+            e
+        };
+        prop_assert_eq!(canon(&g), canon(&h));
+        for v in g.nodes() {
+            prop_assert_eq!(g.degree(v), h.degree(v));
+        }
+    }
+
+    /// BFS distances satisfy the triangle property along edges:
+    /// |d(u) - d(v)| ≤ 1 for every edge {u, v}.
+    #[test]
+    fn bfs_distance_lipschitz(n in 2usize..80, p in 0.02f64..0.4, seed in 0u64..500) {
+        let g = generators::erdos_renyi_connected(n, p, seed);
+        let dist = properties::bfs_distances(&g, NodeId(0));
+        for (u, _, v, _) in g.edges() {
+            let du = dist[u.index()].unwrap() as i64;
+            let dv = dist[v.index()].unwrap() as i64;
+            prop_assert!((du - dv).abs() <= 1);
+        }
+    }
+
+    /// The double-sweep diameter estimate never exceeds the exact diameter
+    /// and matches it exactly on trees.
+    #[test]
+    fn double_sweep_bounds(n in 2usize..80, seed in 0u64..300) {
+        let tree = generators::random_tree(n, seed);
+        prop_assert_eq!(
+            properties::diameter(&tree),
+            properties::diameter_double_sweep(&tree)
+        );
+        let g = generators::erdos_renyi_connected(n, 0.1, seed);
+        let exact = properties::diameter(&g).unwrap();
+        let sweep = properties::diameter_double_sweep(&g).unwrap();
+        prop_assert!(sweep <= exact);
+    }
+}

@@ -1,0 +1,209 @@
+//! ASYNC activation adversaries.
+//!
+//! The asynchronous model lets an adversary decide when each agent performs
+//! its CCM cycles, subject only to "every agent is activated infinitely
+//! often". An [`Adversary`] produces, for each scheduler step, the ordered
+//! list of agents to activate during that step.
+
+use crate::ids::AgentId;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A source of ASYNC activation decisions.
+pub trait Adversary {
+    /// The agents to activate at scheduler step `step` (in activation order).
+    /// Must eventually activate every agent (fairness); may return an empty
+    /// list occasionally, but not forever.
+    fn next_step(&mut self, k: usize, step: u64) -> Vec<AgentId>;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Activates every agent exactly once per step, rotating the starting agent,
+/// so each step is an epoch. The most benign legal schedule; useful as a
+/// best-case reference and for differential testing against SYNC runs.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobinAdversary;
+
+impl Adversary for RoundRobinAdversary {
+    fn next_step(&mut self, k: usize, step: u64) -> Vec<AgentId> {
+        let start = (step % k as u64) as usize;
+        (0..k)
+            .map(|i| AgentId(((start + i) % k) as u32))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Activates each agent independently with probability `prob` per step, in a
+/// random order. Models uncoordinated agents with similar speeds.
+#[derive(Debug)]
+pub struct RandomSubsetAdversary {
+    prob: f64,
+    rng: StdRng,
+}
+
+impl RandomSubsetAdversary {
+    /// `prob` is the per-agent activation probability per step.
+    pub fn new(prob: f64, seed: u64) -> Self {
+        assert!(
+            prob > 0.0 && prob <= 1.0,
+            "activation probability must be in (0, 1]"
+        );
+        RandomSubsetAdversary {
+            prob,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Adversary for RandomSubsetAdversary {
+    fn next_step(&mut self, k: usize, _step: u64) -> Vec<AgentId> {
+        let mut chosen: Vec<AgentId> = (0..k as u32)
+            .map(AgentId)
+            .filter(|_| self.rng.random_bool(self.prob))
+            .collect();
+        if chosen.is_empty() {
+            chosen.push(AgentId(self.rng.random_range(0..k) as u32));
+        }
+        chosen.shuffle(&mut self.rng);
+        chosen
+    }
+
+    fn name(&self) -> &'static str {
+        "random-subset"
+    }
+}
+
+/// Each agent has its own (randomly drawn) activation period in
+/// `1..=max_lag`; the adversary re-draws the period after every activation.
+/// Models strongly heterogeneous agent speeds — some agents lag behind
+/// others by up to `max_lag` steps, stretching epochs accordingly.
+#[derive(Debug)]
+pub struct LaggingAdversary {
+    max_lag: u64,
+    next_due: Vec<u64>,
+    rng: StdRng,
+}
+
+impl LaggingAdversary {
+    /// `max_lag ≥ 1` is the largest number of steps an agent can sleep
+    /// between consecutive activations.
+    pub fn new(max_lag: u64, seed: u64) -> Self {
+        assert!(max_lag >= 1, "max_lag must be at least 1");
+        LaggingAdversary {
+            max_lag,
+            next_due: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Adversary for LaggingAdversary {
+    fn next_step(&mut self, k: usize, step: u64) -> Vec<AgentId> {
+        if self.next_due.len() != k {
+            self.next_due = (0..k)
+                .map(|_| self.rng.random_range(0..self.max_lag))
+                .collect();
+        }
+        let mut due: Vec<AgentId> = (0..k)
+            .filter(|&i| self.next_due[i] <= step)
+            .map(|i| AgentId(i as u32))
+            .collect();
+        for a in &due {
+            self.next_due[a.index()] = step + 1 + self.rng.random_range(0..self.max_lag);
+        }
+        due.shuffle(&mut self.rng);
+        due
+    }
+
+    fn name(&self) -> &'static str {
+        "lagging"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn activates_everyone_eventually(adv: &mut dyn Adversary, k: usize, horizon: u64) {
+        let mut seen = HashSet::new();
+        for step in 0..horizon {
+            for a in adv.next_step(k, step) {
+                assert!(a.index() < k, "{} produced out-of-range agent", adv.name());
+                seen.insert(a);
+            }
+        }
+        assert_eq!(seen.len(), k, "{} starved some agent", adv.name());
+    }
+
+    #[test]
+    fn round_robin_covers_everyone_each_step() {
+        let mut adv = RoundRobinAdversary;
+        let acts = adv.next_step(5, 3);
+        assert_eq!(acts.len(), 5);
+        let set: HashSet<_> = acts.iter().copied().collect();
+        assert_eq!(set.len(), 5);
+        activates_everyone_eventually(&mut adv, 7, 3);
+    }
+
+    #[test]
+    fn round_robin_rotates_start() {
+        let mut adv = RoundRobinAdversary;
+        assert_eq!(adv.next_step(3, 0)[0], AgentId(0));
+        assert_eq!(adv.next_step(3, 1)[0], AgentId(1));
+        assert_eq!(adv.next_step(3, 2)[0], AgentId(2));
+        assert_eq!(adv.next_step(3, 3)[0], AgentId(0));
+    }
+
+    #[test]
+    fn random_subset_is_fair_and_nonempty() {
+        let mut adv = RandomSubsetAdversary::new(0.3, 42);
+        for step in 0..50 {
+            assert!(!adv.next_step(6, step).is_empty());
+        }
+        activates_everyone_eventually(&mut RandomSubsetAdversary::new(0.3, 43), 6, 200);
+    }
+
+    #[test]
+    fn random_subset_is_deterministic_per_seed() {
+        let mut a = RandomSubsetAdversary::new(0.5, 7);
+        let mut b = RandomSubsetAdversary::new(0.5, 7);
+        for step in 0..20 {
+            assert_eq!(a.next_step(8, step), b.next_step(8, step));
+        }
+    }
+
+    #[test]
+    fn lagging_adversary_is_fair_within_max_lag() {
+        let mut adv = LaggingAdversary::new(5, 11);
+        // Every agent must be activated at least once in any window of
+        // max_lag + 1 consecutive steps after warm-up.
+        let k = 4;
+        let mut last_seen = vec![0u64; k];
+        for step in 0..200u64 {
+            for a in adv.next_step(k, step) {
+                last_seen[a.index()] = step;
+            }
+            if step > 10 {
+                for (i, &seen) in last_seen.iter().enumerate() {
+                    assert!(
+                        step - seen <= 6,
+                        "agent {i} starved for more than max_lag+1 steps"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn zero_probability_rejected() {
+        let _ = RandomSubsetAdversary::new(0.0, 1);
+    }
+}

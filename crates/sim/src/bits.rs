@@ -1,0 +1,80 @@
+//! Helpers for accounting persistent agent memory in bits.
+//!
+//! The paper measures memory complexity as the number of bits stored at an
+//! agent from one CCM cycle to the next. Algorithm implementations compute
+//! their footprint from these helpers so that the reported
+//! `O(log(k + Δ))`-style bounds correspond to what the structs actually
+//! store (an ID costs `⌈log₂ k⌉` bits, a port `⌈log₂(Δ+1)⌉` bits, an optional
+//! field one extra flag bit, and so on).
+
+/// Bits needed to store one value from a domain of `domain_size` distinct
+/// values (`⌈log₂ domain_size⌉`, and at least 1 for a non-trivial domain).
+pub fn bits_for_domain(domain_size: u64) -> usize {
+    if domain_size <= 1 {
+        0
+    } else {
+        (u64::BITS - (domain_size - 1).leading_zeros()) as usize
+    }
+}
+
+/// Bits for an agent ID drawn from `[1, k^c]`; the paper assumes `c = O(1)`,
+/// we charge for the common `c = 1` case plus nothing extra: `⌈log₂ k⌉`.
+pub fn id_bits(k: usize) -> usize {
+    bits_for_domain(k as u64).max(1)
+}
+
+/// Bits for a port number in `[1, Δ]`.
+pub fn port_bits(max_degree: usize) -> usize {
+    bits_for_domain(max_degree as u64).max(1)
+}
+
+/// Bits for an optional port (`⊥` or a port in `[1, Δ]`).
+pub fn opt_port_bits(max_degree: usize) -> usize {
+    1 + port_bits(max_degree)
+}
+
+/// Bits for a counter in `[0, max]`.
+pub fn counter_bits(max: u64) -> usize {
+    bits_for_domain(max + 1)
+}
+
+/// One boolean flag.
+pub fn flag_bits() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_bits() {
+        assert_eq!(bits_for_domain(0), 0);
+        assert_eq!(bits_for_domain(1), 0);
+        assert_eq!(bits_for_domain(2), 1);
+        assert_eq!(bits_for_domain(3), 2);
+        assert_eq!(bits_for_domain(4), 2);
+        assert_eq!(bits_for_domain(5), 3);
+        assert_eq!(bits_for_domain(1024), 10);
+        assert_eq!(bits_for_domain(1025), 11);
+    }
+
+    #[test]
+    fn id_and_port_bits_grow_logarithmically() {
+        assert_eq!(id_bits(1), 1);
+        assert_eq!(id_bits(2), 1);
+        assert_eq!(id_bits(1000), 10);
+        assert_eq!(port_bits(1), 1);
+        assert_eq!(port_bits(8), 3);
+        assert_eq!(opt_port_bits(8), 4);
+    }
+
+    #[test]
+    fn counter_bits_cover_range() {
+        assert_eq!(counter_bits(0), 0);
+        assert_eq!(counter_bits(1), 1);
+        assert_eq!(counter_bits(6), 3);
+        assert_eq!(counter_bits(255), 8);
+        assert_eq!(counter_bits(256), 9);
+    }
+}

@@ -1,0 +1,134 @@
+//! Time accounting: rounds (SYNC), steps and epochs (ASYNC).
+
+/// Tracks simulated time.
+///
+/// * In SYNC, a *round* activates every agent once; an epoch equals a round.
+/// * In ASYNC, the adversary activates agents in arbitrary order; an *epoch*
+///   is the smallest interval in which every agent has completed at least one
+///   CCM cycle (the standard definition, [Cord-Landwehr et al., ICALP'11],
+///   used by the paper).
+#[derive(Debug, Clone)]
+pub struct Clock {
+    rounds: u64,
+    steps: u64,
+    epochs: u64,
+    activated_this_epoch: Vec<bool>,
+    remaining_this_epoch: usize,
+    total_activations: u64,
+}
+
+impl Clock {
+    /// New clock for `k` agents.
+    pub fn new(k: usize) -> Self {
+        Clock {
+            rounds: 0,
+            steps: 0,
+            epochs: 0,
+            activated_this_epoch: vec![false; k],
+            remaining_this_epoch: k,
+            total_activations: 0,
+        }
+    }
+
+    /// Completed SYNC rounds.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Completed ASYNC scheduler steps (one step = one adversary decision).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Completed epochs.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Total individual agent activations.
+    pub fn total_activations(&self) -> u64 {
+        self.total_activations
+    }
+
+    /// Record that agent `index` completed a CCM cycle; updates the epoch
+    /// counter when every agent has been active since the last epoch boundary.
+    pub fn note_activation(&mut self, index: usize) {
+        self.total_activations += 1;
+        if !self.activated_this_epoch[index] {
+            self.activated_this_epoch[index] = true;
+            self.remaining_this_epoch -= 1;
+            if self.remaining_this_epoch == 0 {
+                self.epochs += 1;
+                self.activated_this_epoch.fill(false);
+                self.remaining_this_epoch = self.activated_this_epoch.len();
+            }
+        }
+    }
+
+    /// Record the end of a SYNC round (the runner activates every agent
+    /// before calling this, so a round is also an epoch).
+    pub fn end_round(&mut self) {
+        self.rounds += 1;
+    }
+
+    /// Record the end of one ASYNC scheduler step.
+    pub fn end_step(&mut self) {
+        self.steps += 1;
+    }
+
+    /// The current time value handed to activation contexts: rounds in SYNC
+    /// runs, steps in ASYNC runs (they are interchangeable for the purpose of
+    /// local wait counting).
+    pub fn now(&self) -> u64 {
+        self.rounds.max(self.steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_rounds_count() {
+        let mut c = Clock::new(3);
+        for _ in 0..5 {
+            for a in 0..3 {
+                c.note_activation(a);
+            }
+            c.end_round();
+        }
+        assert_eq!(c.rounds(), 5);
+        assert_eq!(c.epochs(), 5);
+        assert_eq!(c.total_activations(), 15);
+    }
+
+    #[test]
+    fn epoch_requires_every_agent() {
+        let mut c = Clock::new(3);
+        // Agent 0 is activated many times; no epoch completes until 1 and 2
+        // have also been activated.
+        for _ in 0..10 {
+            c.note_activation(0);
+        }
+        assert_eq!(c.epochs(), 0);
+        c.note_activation(1);
+        assert_eq!(c.epochs(), 0);
+        c.note_activation(2);
+        assert_eq!(c.epochs(), 1);
+        // Epoch window resets afterwards.
+        c.note_activation(1);
+        c.note_activation(2);
+        assert_eq!(c.epochs(), 1);
+        c.note_activation(0);
+        assert_eq!(c.epochs(), 2);
+    }
+
+    #[test]
+    fn single_agent_epochs_equal_activations() {
+        let mut c = Clock::new(1);
+        for i in 1..=7 {
+            c.note_activation(0);
+            assert_eq!(c.epochs(), i);
+        }
+    }
+}

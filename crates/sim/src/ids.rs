@@ -1,0 +1,46 @@
+//! Agent identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of an agent in a [`crate::World`] (`0..k`).
+///
+/// This is the *simulator's* handle for an agent. The *algorithmic* unique ID
+/// (the paper's `a_i.ID ∈ [1, k^O(1)]`) is stored by the protocol itself and
+/// accounted in its memory footprint; by default [`crate::World::new_rooted`]
+/// and friends assign algorithmic IDs equal to `index + 1`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AgentId(pub u32);
+
+impl AgentId {
+    /// The underlying index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_and_index() {
+        assert_eq!(AgentId(4).index(), 4);
+        assert_eq!(format!("{:?}", AgentId(4)), "a4");
+        assert_eq!(format!("{}", AgentId(4)), "4");
+        assert!(AgentId(1) < AgentId(2));
+    }
+}

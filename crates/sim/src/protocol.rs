@@ -1,0 +1,53 @@
+//! The protocol trait implemented by dispersion algorithms.
+
+use crate::ids::AgentId;
+use crate::world::ActivationCtx;
+
+/// A mobile-agent protocol.
+///
+/// The protocol object owns the persistent state of *all* agents (that is
+/// just an implementation convenience — conceptually each agent owns its own
+/// slice of it). The runners call [`AgentProtocol::on_activate`] once per CCM
+/// cycle of an agent; the implementation must base its decisions only on
+/// that agent's own state, the states of co-located agents (the paper's
+/// local communication model allows reading and writing those), and the
+/// local information exposed by [`ActivationCtx`].
+pub trait AgentProtocol {
+    /// One Communicate–Compute–Move cycle of `agent`.
+    fn on_activate(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>);
+
+    /// Whether the protocol has (locally detectably) finished. Runners stop
+    /// at the end of the round/step in which this becomes true.
+    fn is_terminated(&self) -> bool;
+
+    /// Persistent memory of `agent` in bits, counted as the paper counts it:
+    /// the number of bits stored at the agent *between* CCM cycles (temporary
+    /// compute-phase memory is free).
+    fn memory_bits(&self, agent: AgentId) -> usize;
+
+    /// Human-readable protocol name (used in reports and traces).
+    fn name(&self) -> &'static str {
+        "unnamed-protocol"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Idle;
+    impl AgentProtocol for Idle {
+        fn on_activate(&mut self, _agent: AgentId, _ctx: &mut ActivationCtx<'_>) {}
+        fn is_terminated(&self) -> bool {
+            true
+        }
+        fn memory_bits(&self, _agent: AgentId) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn default_name() {
+        assert_eq!(Idle.name(), "unnamed-protocol");
+    }
+}

@@ -1,0 +1,361 @@
+//! Synchronous and asynchronous execution drivers.
+
+use crate::adversary::Adversary;
+use crate::clock::Clock;
+use crate::ids::AgentId;
+use crate::metrics::Outcome;
+use crate::protocol::AgentProtocol;
+use crate::world::World;
+
+/// Limits and sampling knobs for a run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Maximum SYNC rounds before the runner gives up.
+    pub max_rounds: u64,
+    /// Maximum ASYNC scheduler steps before the runner gives up.
+    pub max_steps: u64,
+    /// Sample per-agent memory every this many rounds/steps (a final sample
+    /// is always taken). Smaller values catch short-lived peaks at the cost
+    /// of `O(k)` work per sample.
+    pub memory_sample_interval: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            max_rounds: 5_000_000,
+            max_steps: 20_000_000,
+            memory_sample_interval: 4,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A config with explicit round/step limits (useful for tests that want
+    /// small bounds).
+    pub fn with_limits(max_rounds: u64, max_steps: u64) -> Self {
+        RunConfig {
+            max_rounds,
+            max_steps,
+            ..RunConfig::default()
+        }
+    }
+}
+
+/// Why a run did not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The protocol did not report termination within the configured limit.
+    /// Carries the partial outcome observed so far.
+    LimitExceeded {
+        /// Metrics accumulated up to the point the limit was hit.
+        outcome: Outcome,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::LimitExceeded { outcome } => write!(
+                f,
+                "protocol did not terminate within the limit (rounds={}, steps={}, epochs={})",
+                outcome.rounds, outcome.steps, outcome.epochs
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+fn sample_memory<P: AgentProtocol + ?Sized>(world: &mut World, protocol: &P) {
+    let k = world.num_agents();
+    let max_bits = (0..k)
+        .map(|i| protocol.memory_bits(AgentId(i as u32)))
+        .max()
+        .unwrap_or(0);
+    world.metrics_mut().record_memory_sample(max_bits);
+}
+
+fn build_outcome(world: &World, clock: &Clock, terminated: bool) -> Outcome {
+    Outcome {
+        rounds: clock.rounds(),
+        steps: clock.steps(),
+        epochs: clock.epochs(),
+        activations: clock.total_activations(),
+        total_moves: world.metrics().total_moves(),
+        max_moves_per_agent: world.metrics().max_moves_per_agent(),
+        peak_memory_bits: world.metrics().peak_memory_bits(),
+        terminated,
+        k: world.num_agents(),
+        n: world.graph().num_nodes(),
+        m: world.graph().num_edges(),
+        max_degree: world.graph().max_degree(),
+    }
+}
+
+/// Drives a protocol under the synchronous scheduler: every agent is
+/// activated once per round, in agent-index order.
+///
+/// Activating agents sequentially within a round is a deterministic
+/// refinement of the synchronous model (it only ever gives agents *fresher*
+/// information than true simultaneity would); the paper's algorithms are
+/// leader-driven and insensitive to the difference, and the round counting —
+/// which is what the reproduction measures — is identical.
+#[derive(Debug, Clone, Default)]
+pub struct SyncRunner {
+    config: RunConfig,
+}
+
+impl SyncRunner {
+    /// A runner with the given configuration.
+    pub fn new(config: RunConfig) -> Self {
+        SyncRunner { config }
+    }
+
+    /// Run `protocol` on `world` until it terminates or the round limit is
+    /// hit.
+    pub fn run<P: AgentProtocol + ?Sized>(
+        &self,
+        world: &mut World,
+        protocol: &mut P,
+    ) -> Result<Outcome, RunError> {
+        let k = world.num_agents();
+        let mut clock = Clock::new(k);
+        sample_memory(world, protocol);
+        while !protocol.is_terminated() {
+            if clock.rounds() >= self.config.max_rounds {
+                return Err(RunError::LimitExceeded {
+                    outcome: build_outcome(world, &clock, false),
+                });
+            }
+            let now = clock.rounds();
+            for i in 0..k {
+                let agent = AgentId(i as u32);
+                world.begin_activation(agent);
+                let mut ctx = world.ctx(agent, now);
+                protocol.on_activate(agent, &mut ctx);
+                clock.note_activation(i);
+            }
+            clock.end_round();
+            if clock.rounds() % self.config.memory_sample_interval == 0 {
+                sample_memory(world, protocol);
+            }
+        }
+        sample_memory(world, protocol);
+        Ok(build_outcome(world, &clock, true))
+    }
+}
+
+/// Drives a protocol under an asynchronous scheduler controlled by an
+/// [`Adversary`]. Time is reported in epochs.
+pub struct AsyncRunner<A: Adversary> {
+    config: RunConfig,
+    adversary: A,
+}
+
+impl<A: Adversary> AsyncRunner<A> {
+    /// A runner with the given configuration and adversary.
+    pub fn new(config: RunConfig, adversary: A) -> Self {
+        AsyncRunner { config, adversary }
+    }
+
+    /// The adversary's name (for reports).
+    pub fn adversary_name(&self) -> &'static str {
+        self.adversary.name()
+    }
+
+    /// Run `protocol` on `world` until it terminates or the step limit is
+    /// hit.
+    pub fn run<P: AgentProtocol + ?Sized>(
+        &mut self,
+        world: &mut World,
+        protocol: &mut P,
+    ) -> Result<Outcome, RunError> {
+        let k = world.num_agents();
+        let mut clock = Clock::new(k);
+        sample_memory(world, protocol);
+        while !protocol.is_terminated() {
+            if clock.steps() >= self.config.max_steps {
+                return Err(RunError::LimitExceeded {
+                    outcome: build_outcome(world, &clock, false),
+                });
+            }
+            let now = clock.steps();
+            let activations = self.adversary.next_step(k, now);
+            for agent in activations {
+                assert!(
+                    agent.index() < k,
+                    "adversary produced an out-of-range agent id"
+                );
+                world.begin_activation(agent);
+                let mut ctx = world.ctx(agent, now);
+                protocol.on_activate(agent, &mut ctx);
+                clock.note_activation(agent.index());
+            }
+            clock.end_step();
+            if clock.steps() % self.config.memory_sample_interval == 0 {
+                sample_memory(world, protocol);
+            }
+        }
+        sample_memory(world, protocol);
+        Ok(build_outcome(world, &clock, true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{LaggingAdversary, RandomSubsetAdversary, RoundRobinAdversary};
+    use crate::world::ActivationCtx;
+    use disp_graph::{generators, NodeId, Port};
+
+    /// Every agent walks once around the ring (n moves each), then stops.
+    struct WalkAround {
+        laps_left: Vec<u32>,
+    }
+
+    impl WalkAround {
+        fn new(k: usize, n: u32) -> Self {
+            WalkAround {
+                laps_left: vec![n; k],
+            }
+        }
+    }
+
+    impl AgentProtocol for WalkAround {
+        fn on_activate(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+            if self.laps_left[agent.index()] > 0 {
+                ctx.move_via(Port(2));
+                self.laps_left[agent.index()] -= 1;
+            }
+        }
+        fn is_terminated(&self) -> bool {
+            self.laps_left.iter().all(|&l| l == 0)
+        }
+        fn memory_bits(&self, agent: AgentId) -> usize {
+            crate::bits::counter_bits(self.laps_left[agent.index()] as u64)
+        }
+        fn name(&self) -> &'static str {
+            "walk-around"
+        }
+    }
+
+    #[test]
+    fn sync_runner_counts_rounds_and_moves() {
+        let g = generators::ring(8);
+        let mut world = World::new_rooted(g, 3, NodeId(0));
+        let mut proto = WalkAround::new(3, 8);
+        let out = SyncRunner::new(RunConfig::default())
+            .run(&mut world, &mut proto)
+            .unwrap();
+        assert!(out.terminated);
+        assert_eq!(out.rounds, 8);
+        assert_eq!(out.epochs, 8);
+        assert_eq!(out.total_moves, 24);
+        assert_eq!(out.max_moves_per_agent, 8);
+        assert_eq!(out.k, 3);
+        assert_eq!(out.n, 8);
+        // Everyone is back at the root.
+        for i in 0..3 {
+            assert_eq!(world.position(AgentId(i)), NodeId(0));
+        }
+    }
+
+    #[test]
+    fn sync_runner_reports_limit_exceeded() {
+        struct Never;
+        impl AgentProtocol for Never {
+            fn on_activate(&mut self, _a: AgentId, _c: &mut ActivationCtx<'_>) {}
+            fn is_terminated(&self) -> bool {
+                false
+            }
+            fn memory_bits(&self, _a: AgentId) -> usize {
+                0
+            }
+        }
+        let g = generators::ring(4);
+        let mut world = World::new_rooted(g, 2, NodeId(0));
+        let err = SyncRunner::new(RunConfig::with_limits(10, 10))
+            .run(&mut world, &mut Never)
+            .unwrap_err();
+        match err {
+            RunError::LimitExceeded { outcome } => {
+                assert_eq!(outcome.rounds, 10);
+                assert!(!outcome.terminated);
+            }
+        }
+    }
+
+    #[test]
+    fn async_round_robin_matches_sync_epochs() {
+        let g = generators::ring(8);
+        let mut world = World::new_rooted(g, 3, NodeId(0));
+        let mut proto = WalkAround::new(3, 8);
+        let out = AsyncRunner::new(RunConfig::default(), RoundRobinAdversary)
+            .run(&mut world, &mut proto)
+            .unwrap();
+        assert!(out.terminated);
+        assert_eq!(out.epochs, 8);
+        assert_eq!(out.total_moves, 24);
+    }
+
+    #[test]
+    fn async_random_subset_takes_more_steps_but_same_moves() {
+        let g = generators::ring(8);
+        let mut world = World::new_rooted(g, 3, NodeId(0));
+        let mut proto = WalkAround::new(3, 8);
+        let out = AsyncRunner::new(
+            RunConfig::default(),
+            RandomSubsetAdversary::new(0.4, 17),
+        )
+        .run(&mut world, &mut proto)
+        .unwrap();
+        assert!(out.terminated);
+        assert_eq!(out.total_moves, 24);
+        assert!(out.steps >= out.epochs, "steps {} < epochs {}", out.steps, out.epochs);
+        assert!(out.epochs >= 1);
+        // With per-step activation probability 0.4, finishing 8 activations
+        // per agent requires clearly more scheduler steps than rounds the
+        // SYNC run needed.
+        assert!(out.steps > 8);
+    }
+
+    #[test]
+    fn async_lagging_adversary_still_terminates() {
+        let g = generators::ring(6);
+        let mut world = World::new_rooted(g, 4, NodeId(2));
+        let mut proto = WalkAround::new(4, 6);
+        let out = AsyncRunner::new(RunConfig::default(), LaggingAdversary::new(7, 23))
+            .run(&mut world, &mut proto)
+            .unwrap();
+        assert!(out.terminated);
+        assert_eq!(out.total_moves, 24);
+        assert_eq!(out.max_moves_per_agent, 6);
+        assert!(out.epochs >= 1);
+    }
+
+    #[test]
+    fn memory_peak_reflects_protocol_reports() {
+        let g = generators::ring(8);
+        let mut world = World::new_rooted(g, 2, NodeId(0));
+        let mut proto = WalkAround::new(2, 8);
+        let out = SyncRunner::new(RunConfig::default())
+            .run(&mut world, &mut proto)
+            .unwrap();
+        // counter_bits(8) = 4 bits is the largest footprint.
+        assert_eq!(out.peak_memory_bits, 4);
+    }
+
+    #[test]
+    fn already_terminated_protocol_runs_zero_rounds() {
+        let g = generators::ring(4);
+        let mut world = World::new_rooted(g, 1, NodeId(0));
+        let mut proto = WalkAround::new(1, 0);
+        let out = SyncRunner::new(RunConfig::default())
+            .run(&mut world, &mut proto)
+            .unwrap();
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.total_moves, 0);
+        assert!(out.terminated);
+    }
+}

@@ -1,0 +1,127 @@
+//! Optional event tracing for debugging and for tests that assert on
+//! fine-grained behaviour (e.g. "the seeker met the oscillating settler").
+
+use crate::ids::AgentId;
+use disp_graph::{NodeId, Port};
+use serde::{Deserialize, Serialize};
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// An agent traversed an edge.
+    Move {
+        /// The agent that moved.
+        agent: AgentId,
+        /// Node it left.
+        from: NodeId,
+        /// Node it arrived at.
+        to: NodeId,
+        /// Port used at `from`.
+        port: Port,
+        /// Incoming port observed at `to`.
+        pin: Port,
+        /// Round (SYNC) or step (ASYNC) at which the move happened.
+        time: u64,
+    },
+    /// A protocol-defined milestone (settlement, subsumption, phase change…).
+    Milestone {
+        /// The agent the milestone concerns.
+        agent: AgentId,
+        /// Node at which it happened.
+        node: NodeId,
+        /// Protocol-defined code (documented by each protocol).
+        code: u32,
+        /// Round/step.
+        time: u64,
+    },
+}
+
+/// A bounded-growth event log. Disabled by default; when disabled, recording
+/// is a no-op so protocols can emit milestones unconditionally.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// A trace that ignores all events.
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// A trace that records all events.
+    pub fn enabled() -> Self {
+        Trace {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded `Move` events.
+    pub fn move_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Move { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_ignores_events() {
+        let mut t = Trace::disabled();
+        t.record(TraceEvent::Milestone {
+            agent: AgentId(0),
+            node: NodeId(0),
+            code: 1,
+            time: 0,
+        });
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_and_counts() {
+        let mut t = Trace::enabled();
+        t.record(TraceEvent::Move {
+            agent: AgentId(0),
+            from: NodeId(0),
+            to: NodeId(1),
+            port: Port(1),
+            pin: Port(2),
+            time: 3,
+        });
+        t.record(TraceEvent::Milestone {
+            agent: AgentId(0),
+            node: NodeId(1),
+            code: 9,
+            time: 4,
+        });
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.move_count(), 1);
+    }
+}

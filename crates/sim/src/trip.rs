@@ -1,0 +1,263 @@
+//! Reusable movement itineraries (round trips, oscillation trips).
+//!
+//! Dispersion algorithms send helper agents on short, pre-planned journeys:
+//! "leave through port `p`, wait 6 rounds, come back", or the oscillating
+//! settler trips of the SYNC algorithm (`s − a − s − b − s − c − s`). A
+//! [`Trip`] describes such a journey as a sequence of [`TripStep`]s; a
+//! [`TripProgress`] executes it one primitive per activation, remembering the
+//! incoming ports needed to retrace its steps.
+
+use crate::bits;
+use crate::world::ActivationCtx;
+use disp_graph::Port;
+
+/// One primitive of a trip. Each primitive consumes one activation, except
+/// that [`TripStep::Wait`] with `n` ticks consumes `n` activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TripStep {
+    /// Move out through the given port; the observed incoming port is pushed
+    /// on the trip's pin stack so a later [`TripStep::Back`] can return.
+    Out(Port),
+    /// Move back through the most recently recorded incoming port (pops it).
+    Back,
+    /// Stay put for the given number of activations.
+    Wait(u32),
+}
+
+/// A pre-planned journey.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trip {
+    steps: Vec<TripStep>,
+}
+
+impl Trip {
+    /// A trip from an explicit step list.
+    pub fn new(steps: Vec<TripStep>) -> Self {
+        Trip { steps }
+    }
+
+    /// The classic probe round trip: out through `port`, wait `wait`
+    /// activations at the neighbor, come back.
+    pub fn round_trip(port: Port, wait: u32) -> Self {
+        if wait == 0 {
+            Trip::new(vec![TripStep::Out(port), TripStep::Back])
+        } else {
+            Trip::new(vec![TripStep::Out(port), TripStep::Wait(wait), TripStep::Back])
+        }
+    }
+
+    /// An oscillation trip over children: visit each of the given child ports
+    /// in order, returning home in between (`s − a − s − b − s − …`). This is
+    /// Case I of the paper's oscillation (Lemma 2): at most 3 children, at
+    /// most 6 moves.
+    pub fn oscillate_children(child_ports: &[Port]) -> Self {
+        let mut steps = Vec::with_capacity(child_ports.len() * 2);
+        for &p in child_ports {
+            steps.push(TripStep::Out(p));
+            steps.push(TripStep::Back);
+        }
+        Trip::new(steps)
+    }
+
+    /// An oscillation trip over siblings: go up to the parent through
+    /// `parent_port`, visit each sibling (ports *at the parent*) with a
+    /// round trip, and come home (`s − p − a − p − b − p − s`). This is Case
+    /// II of the paper's oscillation (Lemma 2): at most 2 siblings, at most
+    /// 6 moves.
+    pub fn oscillate_siblings(parent_port: Port, sibling_ports_at_parent: &[Port]) -> Self {
+        let mut steps = Vec::with_capacity(2 + sibling_ports_at_parent.len() * 2);
+        steps.push(TripStep::Out(parent_port));
+        for &p in sibling_ports_at_parent {
+            steps.push(TripStep::Out(p));
+            steps.push(TripStep::Back);
+        }
+        steps.push(TripStep::Back);
+        Trip::new(steps)
+    }
+
+    /// The steps of the trip.
+    pub fn steps(&self) -> &[TripStep] {
+        &self.steps
+    }
+
+    /// Number of edge traversals the trip performs.
+    pub fn num_moves(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, TripStep::Out(_) | TripStep::Back))
+            .count()
+    }
+
+    /// Number of activations the trip consumes in total.
+    pub fn num_activations(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                TripStep::Wait(n) => *n as usize,
+                _ => 1,
+            })
+            .sum()
+    }
+
+    /// Whether the trip is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Completion status of a [`TripProgress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TripStatus {
+    /// More activations needed.
+    InProgress,
+    /// The trip has finished (the agent is back where the trip semantics
+    /// leave it — for round trips and oscillations, its starting node).
+    Completed,
+}
+
+/// Executes a [`Trip`] one primitive per activation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TripProgress {
+    trip: Trip,
+    idx: usize,
+    wait_left: u32,
+    pin_stack: Vec<Port>,
+}
+
+impl TripProgress {
+    /// Start executing `trip`.
+    pub fn new(trip: Trip) -> Self {
+        TripProgress {
+            trip,
+            idx: 0,
+            wait_left: 0,
+            pin_stack: Vec::new(),
+        }
+    }
+
+    /// The underlying trip.
+    pub fn trip(&self) -> &Trip {
+        &self.trip
+    }
+
+    /// Whether the trip has completed.
+    pub fn is_complete(&self) -> bool {
+        self.idx >= self.trip.steps.len()
+    }
+
+    /// Restart the trip from the beginning (used by oscillating settlers,
+    /// which repeat their trip until told otherwise).
+    pub fn restart(&mut self) {
+        self.idx = 0;
+        self.wait_left = 0;
+        self.pin_stack.clear();
+    }
+
+    /// Replace the trip and restart (used when an oscillation group changes).
+    pub fn replace(&mut self, trip: Trip) {
+        self.trip = trip;
+        self.restart();
+    }
+
+    /// Execute at most one primitive using this activation. Returns the new
+    /// status.
+    pub fn step(&mut self, ctx: &mut ActivationCtx<'_>) -> TripStatus {
+        if self.is_complete() {
+            return TripStatus::Completed;
+        }
+        match self.trip.steps[self.idx] {
+            TripStep::Out(port) => {
+                let pin = ctx.move_via(port);
+                self.pin_stack.push(pin);
+                self.idx += 1;
+            }
+            TripStep::Back => {
+                let pin = self
+                    .pin_stack
+                    .pop()
+                    .expect("Back step without a recorded incoming port");
+                ctx.move_via(pin);
+                self.idx += 1;
+            }
+            TripStep::Wait(n) => {
+                if self.wait_left == 0 {
+                    self.wait_left = n;
+                }
+                self.wait_left -= 1;
+                if self.wait_left == 0 {
+                    self.idx += 1;
+                }
+            }
+        }
+        if self.is_complete() {
+            TripStatus::Completed
+        } else {
+            TripStatus::InProgress
+        }
+    }
+
+    /// Persistent memory needed to carry this trip between activations:
+    /// the stored ports plus a step cursor, a wait counter and the pin stack.
+    /// Trips used by the paper's algorithms have O(1) steps, so this is
+    /// `O(log Δ)` bits.
+    pub fn memory_bits(&self, max_degree: usize) -> usize {
+        let port_fields = self
+            .trip
+            .steps
+            .iter()
+            .filter(|s| matches!(s, TripStep::Out(_)))
+            .count();
+        let stack_capacity = port_fields.min(self.trip.steps.len());
+        port_fields * bits::port_bits(max_degree)
+            + stack_capacity * bits::port_bits(max_degree)
+            + bits::counter_bits(self.trip.steps.len() as u64 + 1)
+            + bits::counter_bits(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_shape() {
+        let t = Trip::round_trip(Port(3), 6);
+        assert_eq!(t.num_moves(), 2);
+        assert_eq!(t.num_activations(), 8);
+        assert_eq!(
+            t.steps(),
+            &[TripStep::Out(Port(3)), TripStep::Wait(6), TripStep::Back]
+        );
+        let t0 = Trip::round_trip(Port(3), 0);
+        assert_eq!(t0.num_activations(), 2);
+    }
+
+    #[test]
+    fn oscillation_trips_respect_lemma2_bounds() {
+        // Case I: ≤ 3 children → ≤ 6 moves.
+        let t = Trip::oscillate_children(&[Port(1), Port(4), Port(5)]);
+        assert_eq!(t.num_moves(), 6);
+        // Case II: ≤ 2 siblings → 2 + 4 = 6 moves.
+        let t = Trip::oscillate_siblings(Port(2), &[Port(1), Port(3)]);
+        assert_eq!(t.num_moves(), 6);
+        // Smaller groups are shorter.
+        assert_eq!(Trip::oscillate_children(&[Port(1)]).num_moves(), 2);
+        assert_eq!(Trip::oscillate_siblings(Port(2), &[Port(1)]).num_moves(), 4);
+    }
+
+    #[test]
+    fn empty_trip_is_immediately_complete() {
+        let p = TripProgress::new(Trip::new(vec![]));
+        assert!(p.is_complete());
+        assert!(p.trip().is_empty());
+    }
+
+    #[test]
+    fn memory_bits_are_logarithmic_in_degree() {
+        let t = TripProgress::new(Trip::oscillate_children(&[Port(1), Port(2), Port(3)]));
+        let small = t.memory_bits(8);
+        let large = t.memory_bits(1 << 20);
+        assert!(small < large);
+        assert!(large < 200, "trip memory must stay O(log Δ): got {large}");
+    }
+}

@@ -1,0 +1,375 @@
+//! The world: agent positions, co-location, and the movement API.
+
+use crate::ids::AgentId;
+use crate::metrics::Metrics;
+use crate::trace::{Trace, TraceEvent};
+use disp_graph::{NodeId, Port, PortGraph};
+
+/// Errors that a movement attempt can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveError {
+    /// The agent already traversed an edge during this activation.
+    AlreadyMoved,
+    /// The requested port does not exist at the agent's current node.
+    InvalidPort {
+        /// The requested port.
+        port: Port,
+        /// Degree of the node the agent is at.
+        degree: usize,
+    },
+}
+
+impl std::fmt::Display for MoveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MoveError::AlreadyMoved => write!(f, "agent already moved during this activation"),
+            MoveError::InvalidPort { port, degree } => {
+                write!(f, "port {port} invalid at a node of degree {degree}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MoveError {}
+
+/// Mutable world state: where every agent is, plus bookkeeping.
+///
+/// The world does not know anything about the algorithm being run; protocols
+/// keep their own per-agent state and interact with the world only through
+/// [`ActivationCtx`].
+#[derive(Debug, Clone)]
+pub struct World {
+    graph: PortGraph,
+    positions: Vec<NodeId>,
+    at_node: Vec<Vec<AgentId>>,
+    moved: Vec<bool>,
+    metrics: Metrics,
+    trace: Trace,
+}
+
+impl World {
+    /// Create a world with the given initial agent positions (`positions[i]`
+    /// is the start node of agent `i`).
+    pub fn new(graph: PortGraph, positions: Vec<NodeId>) -> Self {
+        assert!(
+            !positions.is_empty(),
+            "a world needs at least one agent"
+        );
+        assert!(
+            positions.len() <= graph.num_nodes(),
+            "the dispersion model requires k ≤ n (got k={} agents on n={} nodes)",
+            positions.len(),
+            graph.num_nodes()
+        );
+        let mut at_node = vec![Vec::new(); graph.num_nodes()];
+        for (i, &v) in positions.iter().enumerate() {
+            assert!(
+                v.index() < graph.num_nodes(),
+                "agent {i} starts at nonexistent node {v}"
+            );
+            at_node[v.index()].push(AgentId(i as u32));
+        }
+        let k = positions.len();
+        World {
+            graph,
+            positions,
+            at_node,
+            moved: vec![false; k],
+            metrics: Metrics::new(k),
+            trace: Trace::disabled(),
+        }
+    }
+
+    /// Create a *rooted* initial configuration: all `k` agents start on
+    /// `root`.
+    pub fn new_rooted(graph: PortGraph, k: usize, root: NodeId) -> Self {
+        World::new(graph, vec![root; k])
+    }
+
+    /// Enable event tracing (off by default; traces grow linearly with the
+    /// number of moves).
+    pub fn enable_trace(&mut self) {
+        self.trace = Trace::enabled();
+    }
+
+    /// Access the recorded trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Number of agents `k`.
+    #[inline]
+    pub fn num_agents(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// The underlying graph.
+    ///
+    /// Intended for verifiers, metrics and the experiment harness. Protocol
+    /// implementations must not use it for algorithmic decisions — agents only
+    /// ever observe their local node through [`ActivationCtx`].
+    #[inline]
+    pub fn graph(&self) -> &PortGraph {
+        &self.graph
+    }
+
+    /// Current node of `agent`.
+    #[inline]
+    pub fn position(&self, agent: AgentId) -> NodeId {
+        self.positions[agent.index()]
+    }
+
+    /// Current positions of all agents, indexed by agent.
+    #[inline]
+    pub fn positions(&self) -> &[NodeId] {
+        &self.positions
+    }
+
+    /// Agents currently located at node `v` (in no particular order).
+    #[inline]
+    pub fn agents_at(&self, v: NodeId) -> &[AgentId] {
+        &self.at_node[v.index()]
+    }
+
+    /// Movement and memory metrics accumulated so far.
+    #[inline]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable access to metrics (used by the runners for memory sampling).
+    #[inline]
+    pub(crate) fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Prepare `agent` for one activation (resets its per-activation move
+    /// budget). Called by the runners.
+    pub(crate) fn begin_activation(&mut self, agent: AgentId) {
+        self.moved[agent.index()] = false;
+    }
+
+    /// Borrow an [`ActivationCtx`] for `agent`. Runners call this right after
+    /// [`World::begin_activation`].
+    pub(crate) fn ctx(&mut self, agent: AgentId, time: u64) -> ActivationCtx<'_> {
+        ActivationCtx {
+            world: self,
+            agent,
+            time,
+        }
+    }
+
+    fn apply_move(&mut self, agent: AgentId, port: Port, time: u64) -> Result<Port, MoveError> {
+        if self.moved[agent.index()] {
+            return Err(MoveError::AlreadyMoved);
+        }
+        let from = self.positions[agent.index()];
+        let degree = self.graph.degree(from);
+        if port.0 == 0 || port.offset() >= degree {
+            return Err(MoveError::InvalidPort { port, degree });
+        }
+        let (to, pin) = self.graph.traverse(from, port);
+        self.moved[agent.index()] = true;
+        self.positions[agent.index()] = to;
+        let slot = self.at_node[from.index()]
+            .iter()
+            .position(|&a| a == agent)
+            .expect("co-location index out of sync");
+        self.at_node[from.index()].swap_remove(slot);
+        self.at_node[to.index()].push(agent);
+        self.metrics.record_move(agent);
+        self.trace.record(TraceEvent::Move {
+            agent,
+            from,
+            to,
+            port,
+            pin,
+            time,
+        });
+        Ok(pin)
+    }
+}
+
+/// An agent's restricted view of the world during one activation.
+///
+/// The context exposes exactly what the model allows an activated agent to
+/// see and do: its own location's degree, the set of co-located agents, and
+/// one move through a local port. Reading/writing co-located agents' *state*
+/// is the protocol's business (the protocol owns all agent state); the
+/// context provides the co-location information needed to do so lawfully.
+pub struct ActivationCtx<'w> {
+    world: &'w mut World,
+    agent: AgentId,
+    time: u64,
+}
+
+impl<'w> ActivationCtx<'w> {
+    /// The agent being activated.
+    #[inline]
+    pub fn agent(&self) -> AgentId {
+        self.agent
+    }
+
+    /// The node the agent currently occupies.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.world.positions[self.agent.index()]
+    }
+
+    /// Degree `δ_v` of the current node (the number of local ports).
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.world.graph.degree(self.node())
+    }
+
+    /// The current simulation time (round number in SYNC, step number in
+    /// ASYNC). Protocols may use it only for round-counting waits, which the
+    /// model permits (agents can count their own activations).
+    #[inline]
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Other agents co-located with this one (self excluded).
+    pub fn colocated(&self) -> Vec<AgentId> {
+        self.world
+            .agents_at(self.node())
+            .iter()
+            .copied()
+            .filter(|&a| a != self.agent)
+            .collect()
+    }
+
+    /// Number of co-located agents (self excluded).
+    pub fn num_colocated(&self) -> usize {
+        self.world.agents_at(self.node()).len() - 1
+    }
+
+    /// Whether this agent already used its move for this activation.
+    #[inline]
+    pub fn has_moved(&self) -> bool {
+        self.world.moved[self.agent.index()]
+    }
+
+    /// Move through local port `port`; returns the incoming port (`pin`) at
+    /// the destination.
+    ///
+    /// # Panics
+    /// Panics if the agent already moved during this activation or the port
+    /// is invalid — both indicate protocol bugs.
+    pub fn move_via(&mut self, port: Port) -> Port {
+        self.try_move_via(port)
+            .unwrap_or_else(|e| panic!("agent {} illegal move: {e}", self.agent))
+    }
+
+    /// Fallible variant of [`ActivationCtx::move_via`].
+    pub fn try_move_via(&mut self, port: Port) -> Result<Port, MoveError> {
+        self.world.apply_move(self.agent, port, self.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disp_graph::generators;
+
+    fn world_on_ring(k: usize) -> World {
+        World::new_rooted(generators::ring(6), k, NodeId(0))
+    }
+
+    #[test]
+    fn rooted_world_colocates_all_agents() {
+        let w = world_on_ring(4);
+        assert_eq!(w.num_agents(), 4);
+        assert_eq!(w.agents_at(NodeId(0)).len(), 4);
+        assert_eq!(w.agents_at(NodeId(1)).len(), 0);
+        for a in 0..4 {
+            assert_eq!(w.position(AgentId(a)), NodeId(0));
+        }
+    }
+
+    #[test]
+    fn move_updates_positions_and_colocation() {
+        let mut w = world_on_ring(2);
+        w.begin_activation(AgentId(0));
+        let pin = w.ctx(AgentId(0), 0).move_via(Port(1));
+        // Ring built with edges (i, i+1): port 1 of node 0 goes to node 1,
+        // arriving on node 1's port 1.
+        assert_eq!(pin, Port(1));
+        assert_eq!(w.position(AgentId(0)), NodeId(1));
+        assert_eq!(w.agents_at(NodeId(0)), &[AgentId(1)]);
+        assert_eq!(w.agents_at(NodeId(1)), &[AgentId(0)]);
+        assert_eq!(w.metrics().total_moves(), 1);
+    }
+
+    #[test]
+    fn second_move_in_one_activation_is_rejected() {
+        let mut w = world_on_ring(1);
+        w.begin_activation(AgentId(0));
+        let mut ctx = w.ctx(AgentId(0), 0);
+        ctx.move_via(Port(1));
+        assert_eq!(ctx.try_move_via(Port(1)), Err(MoveError::AlreadyMoved));
+    }
+
+    #[test]
+    fn next_activation_restores_move_budget() {
+        let mut w = world_on_ring(1);
+        for t in 0..6u64 {
+            w.begin_activation(AgentId(0));
+            w.ctx(AgentId(0), t).move_via(Port(2));
+        }
+        assert_eq!(w.metrics().total_moves(), 6);
+        // Walking port 2 six times around a 6-ring returns to the start.
+        assert_eq!(w.position(AgentId(0)), NodeId(0));
+    }
+
+    #[test]
+    fn invalid_port_is_rejected() {
+        let mut w = world_on_ring(1);
+        w.begin_activation(AgentId(0));
+        let mut ctx = w.ctx(AgentId(0), 0);
+        assert!(matches!(
+            ctx.try_move_via(Port(3)),
+            Err(MoveError::InvalidPort { .. })
+        ));
+        assert!(matches!(
+            ctx.try_move_via(Port(0)),
+            Err(MoveError::InvalidPort { .. })
+        ));
+    }
+
+    #[test]
+    fn colocated_excludes_self() {
+        let mut w = world_on_ring(3);
+        w.begin_activation(AgentId(1));
+        let ctx = w.ctx(AgentId(1), 0);
+        let peers = ctx.colocated();
+        assert_eq!(peers.len(), 2);
+        assert!(!peers.contains(&AgentId(1)));
+        assert_eq!(ctx.num_colocated(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≤ n")]
+    fn more_agents_than_nodes_is_rejected() {
+        let _ = World::new_rooted(generators::ring(3), 4, NodeId(0));
+    }
+
+    #[test]
+    fn trace_records_moves_when_enabled() {
+        let mut w = world_on_ring(1);
+        w.enable_trace();
+        w.begin_activation(AgentId(0));
+        w.ctx(AgentId(0), 7).move_via(Port(1));
+        assert_eq!(w.trace().events().len(), 1);
+        match w.trace().events()[0] {
+            TraceEvent::Move { agent, from, to, time, .. } => {
+                assert_eq!(agent, AgentId(0));
+                assert_eq!(from, NodeId(0));
+                assert_eq!(to, NodeId(1));
+                assert_eq!(time, 7);
+            }
+            _ => panic!("expected a move event"),
+        }
+    }
+}

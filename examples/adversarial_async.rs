@@ -1,0 +1,59 @@
+//! How much does the adversary matter? Run the asynchronous doubling-probe
+//! algorithm (Theorem 7.1) under increasingly hostile activation schedules
+//! and report epochs, steps and moves.
+//!
+//! ```text
+//! cargo run --example adversarial_async
+//! ```
+
+use dispersion::prelude::*;
+
+fn main() {
+    let k = 80;
+    let graph = generators::erdos_renyi_connected(k, 6.0 / k as f64, 13);
+    println!(
+        "graph: {} nodes, {} edges, max degree {}; k = {k} agents rooted at node 0\n",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.max_degree()
+    );
+    println!(
+        "{:<28} {:>8} {:>10} {:>10} {:>10}",
+        "schedule", "epochs", "steps", "moves", "dispersed"
+    );
+
+    let schedules = vec![
+        ("async round-robin", Schedule::AsyncRoundRobin),
+        ("async random p=0.9", Schedule::AsyncRandom { prob: 0.9, seed: 1 }),
+        ("async random p=0.5", Schedule::AsyncRandom { prob: 0.5, seed: 1 }),
+        ("async random p=0.2", Schedule::AsyncRandom { prob: 0.2, seed: 1 }),
+        ("async lagging ≤4", Schedule::AsyncLagging { max_lag: 4, seed: 1 }),
+        ("async lagging ≤16", Schedule::AsyncLagging { max_lag: 16, seed: 1 }),
+    ];
+
+    for (label, schedule) in schedules {
+        let report = run_rooted(
+            &graph,
+            k,
+            NodeId(0),
+            &RunSpec {
+                algorithm: Algorithm::ProbeDfs,
+                schedule,
+                ..RunSpec::default()
+            },
+        )
+        .expect("run");
+        println!(
+            "{:<28} {:>8} {:>10} {:>10} {:>10}",
+            label,
+            report.outcome.epochs,
+            report.outcome.steps,
+            report.outcome.total_moves,
+            report.dispersed
+        );
+    }
+
+    println!("\nEpoch counts stay in the same O(k log k) envelope regardless of the");
+    println!("adversary — the paper's point that the probing technique is not");
+    println!("inherently tied to synchrony.");
+}

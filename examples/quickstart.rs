@@ -1,0 +1,71 @@
+//! Quickstart: disperse `k` agents from a single node of a random tree under
+//! both schedulers and print the measured costs.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use dispersion::prelude::*;
+
+fn main() {
+    let k = 64;
+    let graph = generators::random_tree(k, 7);
+    println!(
+        "graph: {} ({} nodes, {} edges, max degree {})",
+        graph.name(),
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.max_degree()
+    );
+
+    // Synchronous run of the seeker-probing algorithm (Theorem 6.1 family).
+    let sync = run_rooted(
+        &graph,
+        k,
+        NodeId(0),
+        &RunSpec {
+            algorithm: Algorithm::SyncSeeker,
+            schedule: Schedule::Sync,
+            ..RunSpec::default()
+        },
+    )
+    .expect("sync run");
+    println!(
+        "SYNC  seeker probing : {:>6} rounds, {:>7} moves, {:>3} bits/agent, dispersed: {}",
+        sync.outcome.rounds, sync.outcome.total_moves, sync.outcome.peak_memory_bits, sync.dispersed
+    );
+
+    // Asynchronous run of the doubling-probe algorithm (Theorem 7.1).
+    let asy = run_rooted(
+        &graph,
+        k,
+        NodeId(0),
+        &RunSpec {
+            algorithm: Algorithm::ProbeDfs,
+            schedule: Schedule::AsyncRandom { prob: 0.7, seed: 3 },
+            ..RunSpec::default()
+        },
+    )
+    .expect("async run");
+    println!(
+        "ASYNC doubling probe : {:>6} epochs, {:>7} moves, {:>3} bits/agent, dispersed: {}",
+        asy.outcome.epochs, asy.outcome.total_moves, asy.outcome.peak_memory_bits, asy.dispersed
+    );
+
+    // The OPODIS'21 baseline for comparison.
+    let base = run_rooted(
+        &graph,
+        k,
+        NodeId(0),
+        &RunSpec {
+            algorithm: Algorithm::KsDfs,
+            schedule: Schedule::AsyncRandom { prob: 0.7, seed: 3 },
+            ..RunSpec::default()
+        },
+    )
+    .expect("baseline run");
+    println!(
+        "ASYNC scan baseline  : {:>6} epochs, {:>7} moves, {:>3} bits/agent, dispersed: {}",
+        base.outcome.epochs, base.outcome.total_moves, base.outcome.peak_memory_bits, base.dispersed
+    );
+}

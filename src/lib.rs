@@ -1,0 +1,45 @@
+//! # dispersion
+//!
+//! Facade crate for the reproduction of *"Dispersion is (Almost) Optimal
+//! under (A)synchrony"* (SPAA 2025). It re-exports the workspace crates and
+//! hosts the runnable examples and cross-crate integration tests.
+//!
+//! * [`graph`] — anonymous, port-labeled graphs and generators.
+//! * [`sim`] — the mobile-agent execution engine (SYNC rounds, ASYNC
+//!   adversaries, epoch accounting, metrics).
+//! * [`core`] — the dispersion algorithms (paper + baselines), verification
+//!   and the uniform runner.
+//! * [`analysis`] — experiment sweeps, scaling fits, report generation.
+//!
+//! ```
+//! use dispersion::prelude::*;
+//!
+//! // Disperse 20 agents from one corner of a random tree, asynchronously.
+//! let graph = generators::random_tree(20, 42);
+//! let spec = RunSpec {
+//!     algorithm: Algorithm::ProbeDfs,
+//!     schedule: Schedule::AsyncRandom { prob: 0.7, seed: 1 },
+//!     ..RunSpec::default()
+//! };
+//! let report = run_rooted(&graph, 20, NodeId(0), &spec).unwrap();
+//! assert!(report.dispersed);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use disp_analysis as analysis;
+pub use disp_core as core;
+pub use disp_graph as graph;
+pub use disp_sim as sim;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use disp_analysis::{loglog_fit, markdown_table, Summary};
+    pub use disp_core::prelude::*;
+    pub use disp_core::rooted_sync::SyncConfig;
+    pub use disp_core::runner::{run, run_rooted, Algorithm, RunReport, RunSpec, Schedule};
+    pub use disp_core::verify;
+    pub use disp_graph::prelude::*;
+    pub use disp_sim::prelude::*;
+}

@@ -1,0 +1,130 @@
+//! Cross-crate integration tests: every algorithm × scheduler × graph-family
+//! combination must produce a valid dispersion, within the expected
+//! complexity envelopes, with logarithmic per-agent memory.
+
+use dispersion::prelude::*;
+use dispersion::graph::generators::GraphFamily;
+
+fn rooted_report(family: GraphFamily, k: usize, algo: Algorithm, schedule: Schedule) -> RunReport {
+    let graph = family.instantiate(k, 11);
+    let k = k.min(graph.num_nodes());
+    run_rooted(&graph, k, NodeId(0), &RunSpec {
+        algorithm: algo,
+        schedule,
+        ..RunSpec::default()
+    })
+    .expect("run must terminate")
+}
+
+#[test]
+fn all_algorithms_disperse_on_all_quick_families_sync() {
+    for family in GraphFamily::quick() {
+        for algo in [Algorithm::KsDfs, Algorithm::ProbeDfs, Algorithm::SyncSeeker] {
+            let report = rooted_report(family, 48, algo, Schedule::Sync);
+            assert!(report.dispersed, "{algo:?} on {family}");
+            assert!(report.outcome.terminated);
+        }
+    }
+}
+
+#[test]
+fn async_algorithms_disperse_under_all_adversaries() {
+    for schedule in [
+        Schedule::AsyncRoundRobin,
+        Schedule::AsyncRandom { prob: 0.5, seed: 2 },
+        Schedule::AsyncLagging { max_lag: 6, seed: 2 },
+    ] {
+        for algo in [Algorithm::KsDfs, Algorithm::ProbeDfs] {
+            let report = rooted_report(GraphFamily::RandomTree, 40, algo, schedule);
+            assert!(report.dispersed, "{algo:?} under {schedule:?}");
+        }
+    }
+}
+
+#[test]
+fn probe_dfs_stays_within_k_log_k_async() {
+    for family in [GraphFamily::Line, GraphFamily::Star, GraphFamily::RandomTree] {
+        let report = rooted_report(
+            family,
+            96,
+            Algorithm::ProbeDfs,
+            Schedule::AsyncRandom { prob: 0.8, seed: 5 },
+        );
+        assert!(
+            verify::envelope::within_k_log_k(&report.outcome, 60.0),
+            "{family}: {} epochs exceeds the O(k log k) envelope",
+            report.outcome.epochs
+        );
+    }
+}
+
+#[test]
+fn seeker_sync_is_linear_on_bounded_degree_families() {
+    for family in [GraphFamily::Line, GraphFamily::Ring, GraphFamily::Grid] {
+        let report = rooted_report(family, 100, Algorithm::SyncSeeker, Schedule::Sync);
+        assert!(
+            verify::envelope::within_linear(&report.outcome, 25.0),
+            "{family}: {} rounds exceeds the O(k) envelope",
+            report.outcome.rounds
+        );
+    }
+}
+
+#[test]
+fn memory_is_logarithmic_for_every_algorithm() {
+    for algo in [Algorithm::KsDfs, Algorithm::ProbeDfs, Algorithm::SyncSeeker] {
+        let report = rooted_report(GraphFamily::Star, 128, algo, Schedule::Sync);
+        assert!(
+            verify::envelope::memory_logarithmic(&report.outcome, 30.0),
+            "{algo:?}: {} bits is not O(log(k+Δ))",
+            report.outcome.peak_memory_bits
+        );
+    }
+}
+
+#[test]
+fn baseline_is_superlinear_on_dense_graphs_while_probe_is_not() {
+    let small = rooted_report(GraphFamily::Complete, 24, Algorithm::KsDfs, Schedule::Sync);
+    let large = rooted_report(GraphFamily::Complete, 48, Algorithm::KsDfs, Schedule::Sync);
+    let ratio_scan = large.outcome.rounds as f64 / small.outcome.rounds as f64;
+    let small_p = rooted_report(GraphFamily::Complete, 24, Algorithm::ProbeDfs, Schedule::Sync);
+    let large_p = rooted_report(GraphFamily::Complete, 48, Algorithm::ProbeDfs, Schedule::Sync);
+    let ratio_probe = large_p.outcome.rounds as f64 / small_p.outcome.rounds as f64;
+    assert!(
+        ratio_scan > ratio_probe,
+        "doubling k should hurt the scan baseline ({ratio_scan:.2}x) more than probing ({ratio_probe:.2}x)"
+    );
+}
+
+#[test]
+fn general_configurations_disperse_with_many_groups() {
+    let graph = GraphFamily::Grid.instantiate(100, 3);
+    let n = graph.num_nodes();
+    let positions: Vec<NodeId> = (0..70).map(|i| NodeId(((i * 13) % n) as u32)).collect();
+    for schedule in [Schedule::Sync, Schedule::AsyncRandom { prob: 0.6, seed: 1 }] {
+        let report = run(&graph, positions.clone(), &RunSpec {
+            algorithm: Algorithm::KsDfs,
+            schedule,
+            ..RunSpec::default()
+        })
+        .expect("run");
+        assert!(report.dispersed);
+    }
+}
+
+#[test]
+fn port_relabeling_does_not_break_dispersion() {
+    // Algorithms on anonymous port-labeled graphs must not depend on how the
+    // generator happened to assign port numbers.
+    let base = GraphFamily::RandomTree.instantiate(60, 21);
+    let permuted = generators::permute_ports(&base, 99);
+    for graph in [base, permuted] {
+        let report = run_rooted(&graph, 60, NodeId(0), &RunSpec {
+            algorithm: Algorithm::ProbeDfs,
+            schedule: Schedule::Sync,
+            ..RunSpec::default()
+        })
+        .expect("run");
+        assert!(report.dispersed);
+    }
+}
