@@ -1,15 +1,22 @@
-//! Experiment specification and (parallel) sweep execution.
+//! Experiment specification, per-trial execution and (parallel) sweeps.
+//!
+//! The unit of work is a **trial**: one `(ExperimentPoint, repetition, seed)`
+//! execution producing a [`TrialRecord`]. Sweep aggregation
+//! ([`Measurement::from_trials`]) is a pure function of trial records, so the
+//! same types serve the in-process sweeps here and the streamed JSONL
+//! checkpoints of the `disp-campaign` engine (see [`crate::jsonl`]).
 
+use crate::json::Json;
 use crate::stats::Summary;
 use disp_core::runner::{run_rooted, Algorithm, RunSpec, Schedule};
 use disp_graph::generators::GraphFamily;
 use disp_graph::NodeId;
-use serde::{Deserialize, Serialize};
+use disp_sim::Outcome;
 use std::thread;
 
 /// One point of a sweep: an algorithm/schedule pair on a graph family at a
 /// given number of agents.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentPoint {
     /// Graph family to instantiate.
     pub family: GraphFamily,
@@ -26,8 +33,25 @@ pub struct ExperimentPoint {
     pub repetitions: usize,
 }
 
+/// The result of one trial — the atomic record the campaign engine streams
+/// to disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRecord {
+    /// The point this trial belongs to.
+    pub point: ExperimentPoint,
+    /// Repetition index within the point (`0..point.repetitions`).
+    pub rep: usize,
+    /// The seed that fully determines this trial (graph instance, adversary
+    /// and algorithm-internal randomness).
+    pub seed: u64,
+    /// Raw measurements.
+    pub outcome: Outcome,
+    /// Whether the final configuration is a valid dispersion.
+    pub dispersed: bool,
+}
+
 /// Aggregated result of one experiment point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Measurement {
     /// The point this measurement belongs to.
     pub point: ExperimentPoint,
@@ -60,52 +84,245 @@ pub struct ExperimentSpec {
     pub points: Vec<ExperimentPoint>,
 }
 
+impl PartialEq for ExperimentPoint {
+    fn eq(&self, other: &Self) -> bool {
+        self.point_id() == other.point_id() && self.repetitions == other.repetitions
+    }
+}
+
 impl ExperimentPoint {
-    /// Run this point's repetitions and aggregate them.
-    pub fn measure(&self) -> Measurement {
+    /// A canonical identity string for this point, stable across runs and
+    /// releases — the checkpoint key of the campaign store.
+    ///
+    /// Adversary seeds stored inside `schedule` are deliberately *excluded*:
+    /// the campaign engine reseeds every trial from its own derivation, so
+    /// two grids differing only in embedded schedule seeds describe the same
+    /// experiments.
+    pub fn point_id(&self) -> String {
+        format!(
+            "{}|{}|{}|k{}|occ{}",
+            self.family.label(),
+            self.algorithm.label(),
+            self.schedule.label(),
+            self.k,
+            self.occupancy
+        )
+    }
+
+    /// Run one repetition under `seed` and record the result.
+    ///
+    /// The seed determines everything random about the trial: the graph
+    /// instance, the (reseeded) adversary, and algorithm-internal
+    /// randomness. Two calls with the same point and seed produce identical
+    /// records regardless of threads, process or execution order.
+    pub fn run_trial(&self, rep: usize, seed: u64) -> TrialRecord {
         let n_target = ((self.k as f64 / self.occupancy).ceil() as usize).max(self.k);
-        let mut times = Vec::new();
-        let mut moves = Vec::new();
-        let mut peak_mem = 0usize;
-        let mut all_dispersed = true;
-        let mut realized = (self.k, 0usize, 0usize, 0usize);
-        for rep in 0..self.repetitions.max(1) {
-            let seed = 1000 * rep as u64 + 17;
-            let graph = self.family.instantiate(n_target, seed);
-            let k = self.k.min(graph.num_nodes());
-            let spec = RunSpec {
-                algorithm: self.algorithm,
-                schedule: self.schedule,
-                seed,
-                ..RunSpec::default()
-            };
-            let report = run_rooted(&graph, k, NodeId(0), &spec)
-                .expect("experiment run exceeded the step limit");
-            realized = (
-                report.outcome.k,
-                report.outcome.n,
-                report.outcome.m,
-                report.outcome.max_degree,
-            );
-            times.push(report.outcome.time() as f64);
-            moves.push(report.outcome.total_moves as f64);
-            peak_mem = peak_mem.max(report.outcome.peak_memory_bits);
-            all_dispersed &= report.dispersed;
+        let graph = self.family.instantiate(n_target, seed);
+        let k = self.k.min(graph.num_nodes());
+        let spec = RunSpec {
+            algorithm: self.algorithm,
+            schedule: self.schedule.reseeded(seed),
+            seed,
+            ..RunSpec::default()
+        };
+        let report = run_rooted(&graph, k, NodeId(0), &spec)
+            .expect("experiment run exceeded the step limit");
+        TrialRecord {
+            point: self.clone(),
+            rep,
+            seed,
+            outcome: report.outcome,
+            dispersed: report.dispersed,
         }
+    }
+
+    /// Run this point's repetitions (with the legacy fixed seed schedule)
+    /// and aggregate them.
+    pub fn measure(&self) -> Measurement {
+        let trials: Vec<TrialRecord> = (0..self.repetitions.max(1))
+            .map(|rep| self.run_trial(rep, 1000 * rep as u64 + 17))
+            .collect();
+        Measurement::from_trials(self, &trials)
+    }
+
+    /// Serialize to a JSON object (schedule seeds included, so a parsed
+    /// point reproduces the original exactly).
+    pub fn to_json(&self) -> Json {
+        let schedule = match self.schedule {
+            Schedule::Sync => Json::Obj(vec![("kind".into(), Json::Str("sync".into()))]),
+            Schedule::AsyncRoundRobin => {
+                Json::Obj(vec![("kind".into(), Json::Str("async-rr".into()))])
+            }
+            Schedule::AsyncRandom { prob, seed } => Json::Obj(vec![
+                ("kind".into(), Json::Str("async-rand".into())),
+                ("prob".into(), Json::Num(prob)),
+                ("seed".into(), Json::from_u64_lossless(seed)),
+            ]),
+            Schedule::AsyncLagging { max_lag, seed } => Json::Obj(vec![
+                ("kind".into(), Json::Str("async-lag".into())),
+                ("max_lag".into(), Json::Num(max_lag as f64)),
+                ("seed".into(), Json::from_u64_lossless(seed)),
+            ]),
+        };
+        Json::Obj(vec![
+            ("family".into(), Json::Str(self.family.label())),
+            ("k".into(), Json::Num(self.k as f64)),
+            ("occupancy".into(), Json::Num(self.occupancy)),
+            (
+                "algorithm".into(),
+                Json::Str(self.algorithm.label().to_string()),
+            ),
+            ("schedule".into(), schedule),
+            ("repetitions".into(), Json::Num(self.repetitions as f64)),
+        ])
+    }
+
+    /// Inverse of [`ExperimentPoint::to_json`].
+    pub fn from_json(v: &Json) -> Result<ExperimentPoint, String> {
+        let family_label = v
+            .get("family")
+            .and_then(Json::as_str)
+            .ok_or("point: missing family")?;
+        let family = GraphFamily::from_label(family_label)
+            .ok_or_else(|| format!("point: unknown family '{family_label}'"))?;
+        let algorithm_label = v
+            .get("algorithm")
+            .and_then(Json::as_str)
+            .ok_or("point: missing algorithm")?;
+        let algorithm = Algorithm::from_label(algorithm_label)
+            .ok_or_else(|| format!("point: unknown algorithm '{algorithm_label}'"))?;
+        let sched = v.get("schedule").ok_or("point: missing schedule")?;
+        let kind = sched
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("point: missing schedule kind")?;
+        let schedule = match kind {
+            "sync" => Schedule::Sync,
+            "async-rr" => Schedule::AsyncRoundRobin,
+            "async-rand" => Schedule::AsyncRandom {
+                prob: sched
+                    .get("prob")
+                    .and_then(Json::as_f64)
+                    .ok_or("point: missing prob")?,
+                seed: sched
+                    .get("seed")
+                    .and_then(Json::as_u64_lossless)
+                    .unwrap_or(0),
+            },
+            "async-lag" => Schedule::AsyncLagging {
+                max_lag: sched
+                    .get("max_lag")
+                    .and_then(Json::as_u64)
+                    .ok_or("point: missing max_lag")?,
+                seed: sched
+                    .get("seed")
+                    .and_then(Json::as_u64_lossless)
+                    .unwrap_or(0),
+            },
+            other => return Err(format!("point: unknown schedule kind '{other}'")),
+        };
+        Ok(ExperimentPoint {
+            family,
+            k: v.get("k")
+                .and_then(Json::as_u64)
+                .ok_or("point: missing k")? as usize,
+            occupancy: v
+                .get("occupancy")
+                .and_then(Json::as_f64)
+                .ok_or("point: missing occupancy")?,
+            algorithm,
+            schedule,
+            repetitions: v
+                .get("repetitions")
+                .and_then(Json::as_u64)
+                .ok_or("point: missing repetitions")? as usize,
+        })
+    }
+}
+
+impl TrialRecord {
+    /// The checkpoint identity of this trial within its campaign.
+    pub fn trial_id(&self) -> String {
+        format!("{}#r{}", self.point.point_id(), self.rep)
+    }
+
+    /// Serialize as one compact JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        Json::Obj(vec![
+            ("point".into(), self.point.to_json()),
+            ("rep".into(), Json::Num(self.rep as f64)),
+            ("seed".into(), Json::from_u64_lossless(self.seed)),
+            (
+                "outcome".into(),
+                Json::Obj(
+                    self.outcome
+                        .flat_fields()
+                        .iter()
+                        .map(|&(k, v)| (k.to_string(), Json::Num(v as f64)))
+                        .collect(),
+                ),
+            ),
+            ("dispersed".into(), Json::Bool(self.dispersed)),
+        ])
+        .to_string_compact()
+    }
+
+    /// Parse a line produced by [`TrialRecord::to_json_line`].
+    pub fn from_json_line(line: &str) -> Result<TrialRecord, String> {
+        let v = Json::parse(line)?;
+        let point = ExperimentPoint::from_json(v.get("point").ok_or("trial: missing point")?)?;
+        let outcome_obj = v.get("outcome").ok_or("trial: missing outcome")?;
+        let outcome = Outcome::from_named(|name| outcome_obj.get(name).and_then(Json::as_u64))
+            .ok_or("trial: incomplete outcome")?;
+        Ok(TrialRecord {
+            point,
+            rep: v
+                .get("rep")
+                .and_then(Json::as_u64)
+                .ok_or("trial: missing rep")? as usize,
+            seed: v
+                .get("seed")
+                .and_then(Json::as_u64_lossless)
+                .ok_or("trial: missing seed")?,
+            outcome,
+            dispersed: v
+                .get("dispersed")
+                .and_then(Json::as_bool)
+                .ok_or("trial: missing dispersed")?,
+        })
+    }
+}
+
+impl Measurement {
+    /// Aggregate trial records of one point. The realized graph shape is
+    /// taken from the last record (matching the legacy in-process sweep);
+    /// panics if `trials` is empty.
+    pub fn from_trials(point: &ExperimentPoint, trials: &[TrialRecord]) -> Measurement {
+        assert!(!trials.is_empty(), "cannot aggregate zero trials");
+        let times: Vec<f64> = trials.iter().map(|t| t.outcome.time() as f64).collect();
+        let moves: Vec<f64> = trials
+            .iter()
+            .map(|t| t.outcome.total_moves as f64)
+            .collect();
+        let last = &trials[trials.len() - 1].outcome;
         let t = Summary::of(&times);
         let mv = Summary::of(&moves);
         Measurement {
-            point: self.clone(),
-            k: realized.0,
-            n: realized.1,
-            m: realized.2,
-            max_degree: realized.3,
+            point: point.clone(),
+            k: last.k,
+            n: last.n,
+            m: last.m,
+            max_degree: last.max_degree,
             time_mean: t.mean,
             time_min: t.min,
             time_max: t.max,
             moves_mean: mv.mean,
-            peak_memory_bits: peak_mem,
-            all_dispersed,
+            peak_memory_bits: trials
+                .iter()
+                .map(|t| t.outcome.peak_memory_bits)
+                .max()
+                .unwrap_or(0),
+            all_dispersed: trials.iter().all(|t| t.dispersed),
         }
     }
 }
@@ -203,5 +420,101 @@ mod tests {
         .measure();
         assert!(m.all_dispersed);
         assert!(m.time_mean >= 1.0);
+    }
+
+    #[test]
+    fn run_trial_is_deterministic_in_the_seed() {
+        let p = small_point(
+            Algorithm::ProbeDfs,
+            Schedule::AsyncRandom { prob: 0.7, seed: 0 },
+        );
+        let a = p.run_trial(0, 999);
+        let b = p.run_trial(0, 999);
+        let c = p.run_trial(0, 1000);
+        assert_eq!(a, b);
+        assert_eq!(a.outcome, b.outcome);
+        assert!(a.seed != c.seed);
+    }
+
+    #[test]
+    fn trial_records_round_trip_through_jsonl() {
+        for schedule in [
+            Schedule::Sync,
+            Schedule::AsyncRoundRobin,
+            Schedule::AsyncRandom { prob: 0.7, seed: 4 },
+            Schedule::AsyncLagging {
+                max_lag: 3,
+                seed: 9,
+            },
+        ] {
+            let rec = small_point(Algorithm::KsDfs, schedule).run_trial(1, 42);
+            let line = rec.to_json_line();
+            assert!(!line.contains('\n'));
+            let back = TrialRecord::from_json_line(&line).unwrap();
+            assert_eq!(back, rec);
+            assert_eq!(back.outcome, rec.outcome);
+            assert_eq!(back.point.schedule, rec.point.schedule);
+        }
+    }
+
+    #[test]
+    fn seeds_above_2_pow_53_survive_the_jsonl_round_trip() {
+        // Derived trial seeds are uniform 64-bit mix() outputs, so almost
+        // all of them exceed f64's exact-integer range; the wire format
+        // must not round them (regression test for the lossless encoding).
+        let big = u64::MAX - 12345;
+        let rec = small_point(
+            Algorithm::ProbeDfs,
+            Schedule::AsyncRandom {
+                prob: 0.7,
+                seed: big,
+            },
+        )
+        .run_trial(0, big);
+        assert_eq!(rec.seed, big);
+        let back = TrialRecord::from_json_line(&rec.to_json_line()).unwrap();
+        assert_eq!(back.seed, big);
+        assert_eq!(
+            back.point.schedule,
+            Schedule::AsyncRandom {
+                prob: 0.7,
+                seed: big
+            }
+            .reseeded(big)
+        );
+        // The recorded seed must reproduce the recorded outcome exactly.
+        let replay = back.point.run_trial(back.rep, back.seed);
+        assert_eq!(replay.outcome, rec.outcome);
+    }
+
+    #[test]
+    fn point_id_ignores_schedule_seeds_only() {
+        let a = small_point(
+            Algorithm::ProbeDfs,
+            Schedule::AsyncRandom { prob: 0.7, seed: 1 },
+        );
+        let b = small_point(
+            Algorithm::ProbeDfs,
+            Schedule::AsyncRandom { prob: 0.7, seed: 2 },
+        );
+        let c = small_point(
+            Algorithm::ProbeDfs,
+            Schedule::AsyncRandom { prob: 0.8, seed: 1 },
+        );
+        assert_eq!(a.point_id(), b.point_id());
+        assert_ne!(a.point_id(), c.point_id());
+    }
+
+    #[test]
+    fn from_trials_aggregates_like_measure() {
+        let p = small_point(Algorithm::ProbeDfs, Schedule::Sync);
+        let direct = p.measure();
+        let trials: Vec<TrialRecord> = (0..2)
+            .map(|r| p.run_trial(r, 1000 * r as u64 + 17))
+            .collect();
+        let merged = Measurement::from_trials(&p, &trials);
+        assert_eq!(direct.time_mean, merged.time_mean);
+        assert_eq!(direct.peak_memory_bits, merged.peak_memory_bits);
+        assert_eq!(direct.n, merged.n);
     }
 }

@@ -1,21 +1,28 @@
 //! # disp-analysis
 //!
 //! Experiment sweeps, scaling fits and report generation for the dispersion
-//! reproduction. The [`experiment`] module runs parameter sweeps (optionally
-//! across threads), [`fit`] estimates log–log scaling exponents so the
-//! harness can check the *shape* of the paper's bounds, [`stats`] provides
-//! the usual summaries, and [`report`] renders Markdown and CSV tables for
-//! `EXPERIMENTS.md`.
+//! reproduction. The [`experiment`] module defines experiment points, runs
+//! individual seeded trials and parameter sweeps (optionally across
+//! threads), [`jsonl`] streams and merges the trial records the
+//! `disp-campaign` engine checkpoints to disk, [`json`] is the minimal
+//! dependency-free JSON layer underneath, [`fit`] estimates log–log scaling
+//! exponents so the harness can check the *shape* of the paper's bounds,
+//! [`stats`] provides the usual summaries, and [`report`] renders Markdown
+//! and CSV tables for `EXPERIMENTS.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiment;
 pub mod fit;
+pub mod json;
+pub mod jsonl;
 pub mod report;
 pub mod stats;
 
-pub use experiment::{ExperimentPoint, ExperimentSpec, Measurement};
+pub use experiment::{ExperimentPoint, ExperimentSpec, Measurement, TrialRecord};
 pub use fit::{loglog_fit, LogLogFit};
-pub use report::{csv_table, markdown_table};
+pub use json::Json;
+pub use jsonl::{dedup_trials, merge_trials, read_trials, Ingest};
+pub use report::{csv_table, markdown_table, measurement_header, measurement_row};
 pub use stats::Summary;

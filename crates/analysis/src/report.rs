@@ -1,5 +1,7 @@
 //! Markdown / CSV rendering of experiment results.
 
+use crate::experiment::Measurement;
+
 /// Render rows as a GitHub-flavoured Markdown table.
 pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
@@ -34,20 +36,70 @@ pub fn csv_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         .join(",");
     out.push('\n');
     for row in rows {
-        out.push_str(
-            &row.iter()
-                .map(|c| escape(c))
-                .collect::<Vec<_>>()
-                .join(","),
-        );
+        out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
         out.push('\n');
     }
     out
 }
 
+/// Format a measurement as the standard harness table row (matches
+/// [`measurement_header`]).
+pub fn measurement_row(m: &Measurement) -> Vec<String> {
+    vec![
+        m.point.family.label(),
+        m.point.algorithm.label().to_string(),
+        m.point.schedule.label(),
+        m.k.to_string(),
+        m.n.to_string(),
+        m.max_degree.to_string(),
+        format!("{:.1}", m.time_mean),
+        format!("{:.2}", m.time_mean / m.k as f64),
+        format!(
+            "{:.2}",
+            m.time_mean / (m.k as f64 * (m.k as f64 + 2.0).log2())
+        ),
+        m.peak_memory_bits.to_string(),
+        if m.all_dispersed { "yes" } else { "NO" }.to_string(),
+    ]
+}
+
+/// Header matching [`measurement_row`].
+pub fn measurement_header() -> Vec<&'static str> {
+    vec![
+        "family",
+        "algorithm",
+        "schedule",
+        "k",
+        "n",
+        "max_deg",
+        "time",
+        "time/k",
+        "time/(k·log k)",
+        "peak_mem_bits",
+        "dispersed",
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiment::ExperimentPoint;
+    use disp_core::runner::{Algorithm, Schedule};
+    use disp_graph::generators::GraphFamily;
+
+    #[test]
+    fn measurement_row_matches_header_length() {
+        let m = ExperimentPoint {
+            family: GraphFamily::Line,
+            k: 8,
+            occupancy: 1.0,
+            algorithm: Algorithm::ProbeDfs,
+            schedule: Schedule::Sync,
+            repetitions: 1,
+        }
+        .measure();
+        assert_eq!(measurement_row(&m).len(), measurement_header().len());
+    }
 
     #[test]
     fn markdown_structure() {

@@ -1,7 +1,8 @@
 //! Table 1, ASYNC rooted rows: cost of simulating the asynchronous
 //! algorithms under the random-subset adversary.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disp_bench::harness::{BenchmarkId, Criterion};
+use disp_bench::{criterion_group, criterion_main};
 use disp_core::runner::{run_rooted, Algorithm, RunSpec, Schedule};
 use disp_graph::generators::GraphFamily;
 use disp_graph::NodeId;
@@ -13,14 +14,21 @@ fn bench_async_rooted(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(900));
     let k = 64;
-    for family in [GraphFamily::Line, GraphFamily::RandomTree, GraphFamily::Complete] {
+    for family in [
+        GraphFamily::Line,
+        GraphFamily::RandomTree,
+        GraphFamily::Complete,
+    ] {
         for algo in [Algorithm::KsDfs, Algorithm::ProbeDfs] {
             let id = BenchmarkId::new(format!("{}", family), algo.label());
             group.bench_function(id, |b| {
                 let graph = family.instantiate(k, 5);
                 let spec = RunSpec {
                     algorithm: algo,
-                    schedule: Schedule::AsyncRandom { prob: 0.7, seed: 11 },
+                    schedule: Schedule::AsyncRandom {
+                        prob: 0.7,
+                        seed: 11,
+                    },
                     ..RunSpec::default()
                 };
                 b.iter(|| {

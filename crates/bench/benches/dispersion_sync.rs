@@ -2,7 +2,8 @@
 //! across graph families (the simulated-round counts are produced by the
 //! `table1` harness binary).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disp_bench::harness::{BenchmarkId, Criterion};
+use disp_bench::{criterion_group, criterion_main};
 use disp_core::runner::{run_rooted, Algorithm, RunSpec, Schedule};
 use disp_graph::generators::GraphFamily;
 use disp_graph::NodeId;
@@ -14,7 +15,11 @@ fn bench_sync_rooted(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(900));
     let k = 96;
-    for family in [GraphFamily::Line, GraphFamily::RandomTree, GraphFamily::Complete] {
+    for family in [
+        GraphFamily::Line,
+        GraphFamily::RandomTree,
+        GraphFamily::Complete,
+    ] {
         for algo in [Algorithm::KsDfs, Algorithm::ProbeDfs, Algorithm::SyncSeeker] {
             let id = BenchmarkId::new(format!("{}", family), algo.label());
             group.bench_function(id, |b| {

@@ -2,7 +2,8 @@
 //! scattered nodes (handled by the `KsDfs` baseline with the scatter
 //! fallback — see DESIGN.md for the fidelity note on subsumption).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disp_bench::harness::{BenchmarkId, Criterion};
+use disp_bench::{criterion_group, criterion_main};
 use disp_core::runner::{run, Algorithm, RunSpec, Schedule};
 use disp_graph::generators::GraphFamily;
 use disp_graph::NodeId;
@@ -14,7 +15,11 @@ fn bench_general(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(900));
     let k = 64;
-    for family in [GraphFamily::RandomTree, GraphFamily::Grid, GraphFamily::ErdosRenyi { avg_degree: 6.0 }] {
+    for family in [
+        GraphFamily::RandomTree,
+        GraphFamily::Grid,
+        GraphFamily::ErdosRenyi { avg_degree: 6.0 },
+    ] {
         for &num_groups in &[2usize, 8] {
             let id = BenchmarkId::new(format!("{}", family), format!("l{num_groups}"));
             group.bench_function(id, |b| {

@@ -1,7 +1,8 @@
 //! Criterion benches for the graph substrate: generator throughput and the
 //! structural queries the simulator performs on every agent move.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disp_bench::harness::{BenchmarkId, Criterion};
+use disp_bench::{criterion_group, criterion_main};
 use disp_graph::prelude::*;
 use std::hint::black_box;
 

@@ -3,7 +3,8 @@
 //! probing strategies. Complements the wall-clock numbers with the simulated
 //! time the paper's analysis is about.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disp_bench::harness::{BenchmarkId, Criterion};
+use disp_bench::{criterion_group, criterion_main};
 use disp_core::prelude::*;
 use disp_core::rooted_sync::SyncConfig;
 use disp_graph::{generators, NodeId};

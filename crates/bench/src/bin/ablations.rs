@@ -7,12 +7,18 @@
 //!   versus shorter waits (relevant once tree nodes can be empty and are
 //!   covered by oscillating settlers).
 //!
+//! The configuration sweeps run on the `disp-campaign` work-stealing engine
+//! (results stay in deterministic sweep order regardless of thread count).
+//!
 //! Usage:
 //! ```text
-//! cargo run --release -p disp-bench --bin ablations -- [--study <seeker-fraction|wait-length|all>]
+//! cargo run --release -p disp-bench --bin ablations -- \
+//!     [--study <seeker-fraction|wait-length|all>] [--threads N]
 //! ```
 
 use disp_analysis::report::markdown_table;
+use disp_bench::cli;
+use disp_campaign::engine::parallel_map;
 use disp_core::rooted_sync::{RootedSyncDisp, SyncConfig};
 use disp_core::verify::check_dispersion;
 use disp_graph::generators;
@@ -21,18 +27,14 @@ use disp_sim::{RunConfig, SyncRunner, World};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let study = args
-        .iter()
-        .position(|a| a == "--study")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
+    let study = cli::flag_value(&args, "--study").unwrap_or_else(|| "all".to_string());
+    let threads = cli::threads(&args);
 
     if study == "seeker-fraction" || study == "all" {
-        seeker_fraction_study();
+        seeker_fraction_study(threads);
     }
     if study == "wait-length" || study == "all" {
-        wait_length_study();
+        wait_length_study(threads);
     }
 }
 
@@ -47,22 +49,27 @@ fn run_once(k: usize, config: SyncConfig) -> (u64, u32) {
     (out.rounds, proto.max_probe_iterations())
 }
 
-fn seeker_fraction_study() {
+fn seeker_fraction_study(threads: usize) {
     println!("## Ablation: seeker-pool cap (star graph, k = 96)\n");
     let k = 96;
-    let mut rows = Vec::new();
-    for cap in [Some(k / 12), Some(k / 6), Some(k / 3), Some(k / 2), None] {
-        let config = SyncConfig {
-            wait_rounds: 1,
-            max_probers: cap,
-        };
-        let (rounds, iters) = run_once(k, config);
-        rows.push(vec![
-            cap.map(|c| c.to_string()).unwrap_or_else(|| "all".into()),
-            rounds.to_string(),
-            iters.to_string(),
-        ]);
-    }
+    let caps = vec![Some(k / 12), Some(k / 6), Some(k / 3), Some(k / 2), None];
+    let (rows, _) = parallel_map(
+        caps,
+        threads,
+        |_, &cap| {
+            let config = SyncConfig {
+                wait_rounds: 1,
+                max_probers: cap,
+            };
+            let (rounds, iters) = run_once(k, config);
+            vec![
+                cap.map(|c| c.to_string()).unwrap_or_else(|| "all".into()),
+                rounds.to_string(),
+                iters.to_string(),
+            ]
+        },
+        |_, _| {},
+    );
     println!(
         "{}",
         markdown_table(&["seeker cap", "rounds", "max probe iterations"], &rows)
@@ -70,26 +77,31 @@ fn seeker_fraction_study() {
     println!("The paper reserves ceil(k/3) seekers: enough to keep probe iterations O(1).\n");
 }
 
-fn wait_length_study() {
+fn wait_length_study(threads: usize) {
     println!("## Ablation: neighbor wait length (random tree, k = 96)\n");
     let k = 96;
-    let mut rows = Vec::new();
-    for wait in [0u32, 1, 2, 4, 6, 8] {
-        let g = generators::random_tree(k, 7);
-        let mut world = World::new_rooted(g, k, NodeId(0));
-        let mut proto = RootedSyncDisp::with_config(
-            &world,
-            SyncConfig {
-                wait_rounds: wait,
-                max_probers: None,
-            },
-        );
-        let out = SyncRunner::new(RunConfig::default())
-            .run(&mut world, &mut proto)
-            .expect("must terminate");
-        check_dispersion(&world).expect("must disperse");
-        rows.push(vec![wait.to_string(), out.rounds.to_string()]);
-    }
+    let waits: Vec<u32> = vec![0, 1, 2, 4, 6, 8];
+    let (rows, _) = parallel_map(
+        waits,
+        threads,
+        |_, &wait| {
+            let g = generators::random_tree(k, 7);
+            let mut world = World::new_rooted(g, k, NodeId(0));
+            let mut proto = RootedSyncDisp::with_config(
+                &world,
+                SyncConfig {
+                    wait_rounds: wait,
+                    max_probers: None,
+                },
+            );
+            let out = SyncRunner::new(RunConfig::default())
+                .run(&mut world, &mut proto)
+                .expect("must terminate");
+            check_dispersion(&world).expect("must disperse");
+            vec![wait.to_string(), out.rounds.to_string()]
+        },
+        |_, _| {},
+    );
     println!("{}", markdown_table(&["wait rounds", "rounds"], &rows));
     println!("The 6-round wait is the price of soundness when tree nodes may be empty");
     println!("(covered by oscillating settlers, Lemma 2); with every node settled it is");

@@ -3,66 +3,45 @@
 //! figures; these series are what an experimental evaluation of its claims
 //! would plot (see `EXPERIMENTS.md`).
 //!
+//! A thin description over the `disp-campaign` engine (see `table1.rs`).
+//!
 //! Usage:
 //! ```text
-//! cargo run --release -p disp-bench --bin figures -- [--full] [--out DIR]
+//! cargo run --release -p disp-bench --bin figures -- \
+//!     [--full] [--out DIR] [--threads N] [--seed S]
 //! ```
 
-use disp_analysis::experiment::ExperimentSpec;
-use disp_analysis::report::csv_table;
-use disp_bench::{full_ks, measurement_header, measurement_row, quick_ks, section_points};
-use disp_core::runner::{Algorithm, Schedule};
-use disp_graph::generators::GraphFamily;
+use disp_bench::cli;
+use disp_campaign::grid::{CampaignSpec, Mode};
+use disp_campaign::report::{render_section_csv, section_measurements};
+use disp_campaign::run::run_campaign;
 use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let full = args.iter().any(|a| a == "--full");
-    let out_dir = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
+    let mode = if args.iter().any(|a| a == "--full") {
+        Mode::Full
+    } else {
+        Mode::Quick
+    };
+    let out_dir = cli::flag_value(&args, "--out")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("target/figures"));
+    let seed = cli::seed(&args);
+    let threads = cli::threads(&args);
     std::fs::create_dir_all(&out_dir).expect("create output directory");
 
-    let ks = if full { full_ks() } else { quick_ks() };
-    let families = if full {
-        GraphFamily::all()
-    } else {
-        GraphFamily::quick()
-    };
-    let reps = if full { 3 } else { 1 };
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4);
-
-    let sections: Vec<(&str, Vec<Algorithm>, Schedule)> = vec![
-        (
-            "fig_sync_rooted",
-            vec![Algorithm::KsDfs, Algorithm::ProbeDfs, Algorithm::SyncSeeker],
-            Schedule::Sync,
-        ),
-        (
-            "fig_async_rooted",
-            vec![Algorithm::KsDfs, Algorithm::ProbeDfs],
-            Schedule::AsyncRandom { prob: 0.7, seed: 11 },
-        ),
-        (
-            "fig_async_lagging",
-            vec![Algorithm::KsDfs, Algorithm::ProbeDfs],
-            Schedule::AsyncLagging { max_lag: 4, seed: 3 },
-        ),
-    ];
-
-    for (name, algorithms, schedule) in sections {
-        let points = section_points(&families, &ks, &algorithms, schedule, reps);
-        let results = ExperimentSpec { points }.run_parallel(threads);
-        let rows: Vec<Vec<String>> = results.iter().map(measurement_row).collect();
-        let csv = csv_table(&measurement_header(), &rows);
-        let path = out_dir.join(format!("{name}.csv"));
+    let spec = CampaignSpec::figures(mode, seed);
+    let (records, summary) = run_campaign(&spec, None, threads).expect("campaign run");
+    eprintln!(
+        "({} trials in {:.2?}, {} steals)",
+        summary.executed, summary.wall, summary.stats.steals
+    );
+    for (section, measurements) in section_measurements(&spec, records) {
+        let csv = render_section_csv(&measurements);
+        let path = out_dir.join(format!("{}.csv", section.name));
         std::fs::write(&path, &csv).expect("write CSV");
-        println!("wrote {} ({} rows)", path.display(), rows.len());
+        println!("wrote {} ({} rows)", path.display(), measurements.len());
     }
     println!("done; plot time vs k per (family, algorithm) series.");
 }

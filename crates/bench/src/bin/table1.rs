@@ -3,104 +3,64 @@
 //! algorithms and the state-of-the-art baselines, across graph families and
 //! agent counts.
 //!
+//! This binary is a thin description over the `disp-campaign` engine: it
+//! names the campaign, picks the mode, and renders — sweeping, seeding,
+//! parallelism and (optionally, via the `disp-campaign` CLI) checkpointing
+//! all live in the engine.
+//!
 //! Usage:
 //! ```text
-//! cargo run --release -p disp-bench --bin table1 -- [--full] [--section <sync-rooted|async-rooted|all>]
+//! cargo run --release -p disp-bench --bin table1 -- \
+//!     [--full] [--section <sync-rooted|async-rooted|all>] [--threads N] [--seed S]
 //! ```
 
-use disp_analysis::experiment::ExperimentSpec;
-use disp_analysis::fit::loglog_fit;
-use disp_analysis::report::markdown_table;
-use disp_bench::{full_ks, measurement_header, measurement_row, quick_ks, section_points};
-use disp_core::runner::{Algorithm, Schedule};
-use disp_graph::generators::GraphFamily;
+use disp_bench::cli;
+use disp_campaign::grid::{CampaignSpec, Mode};
+use disp_campaign::report::{render_section_markdown, section_measurements};
+use disp_campaign::run::run_campaign;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let full = args.iter().any(|a| a == "--full");
-    let section = args
-        .iter()
-        .position(|a| a == "--section")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
-    let ks = if full { full_ks() } else { quick_ks() };
-    let families = if full {
-        GraphFamily::all()
+    let mode = if args.iter().any(|a| a == "--full") {
+        Mode::Full
     } else {
-        GraphFamily::quick()
+        Mode::Quick
     };
-    let reps = if full { 3 } else { 1 };
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4);
+    let section = cli::flag_value(&args, "--section").unwrap_or_else(|| "all".to_string());
+    let seed = cli::seed(&args);
+    let threads = cli::threads(&args);
+
+    let spec = CampaignSpec::table1(mode, seed);
+    let spec = if section == "all" {
+        spec
+    } else {
+        let filtered = spec.with_sections(&[section.as_str()]);
+        if filtered.sections.is_empty() {
+            eprintln!("unknown section '{section}' (sync-rooted, async-rooted, all)");
+            std::process::exit(1);
+        }
+        filtered
+    };
 
     println!("# Table 1 (measured)\n");
     println!(
-        "Mode: {} | families: {} | k in {:?} | repetitions: {}\n",
-        if full { "full" } else { "quick" },
-        families.len(),
-        ks,
-        reps
+        "Mode: {} | sections: {} | trials: {} | seed: {} | threads: {}\n",
+        spec.mode.label(),
+        spec.sections.len(),
+        spec.trials().len(),
+        spec.seed,
+        threads
     );
 
-    if section == "sync-rooted" || section == "all" {
-        let points = section_points(
-            &families,
-            &ks,
-            &[Algorithm::KsDfs, Algorithm::ProbeDfs, Algorithm::SyncSeeker],
-            Schedule::Sync,
-            reps,
-        );
-        let results = ExperimentSpec { points }.run_parallel(threads);
-        println!("## SYNC, rooted configurations (rounds)\n");
-        let rows: Vec<Vec<String>> = results.iter().map(measurement_row).collect();
-        println!("{}", markdown_table(&measurement_header(), &rows));
-        print_fits("sync", &results);
-    }
-
-    if section == "async-rooted" || section == "all" {
-        let points = section_points(
-            &families,
-            &ks,
-            &[Algorithm::KsDfs, Algorithm::ProbeDfs],
-            Schedule::AsyncRandom { prob: 0.7, seed: 11 },
-            reps,
-        );
-        let results = ExperimentSpec { points }.run_parallel(threads);
-        println!("## ASYNC, rooted configurations (epochs, random-subset adversary)\n");
-        let rows: Vec<Vec<String>> = results.iter().map(measurement_row).collect();
-        println!("{}", markdown_table(&measurement_header(), &rows));
-        print_fits("async", &results);
+    let (records, summary) = run_campaign(&spec, None, threads).expect("campaign run");
+    eprintln!(
+        "({} trials in {:.2?}, {} steals)",
+        summary.executed, summary.wall, summary.stats.steals
+    );
+    for (section, measurements) in section_measurements(&spec, records) {
+        println!("{}", render_section_markdown(section, &measurements));
     }
 
     println!("\nInterpretation: `time/k` flat => O(k); `time/(k*log k)` flat => O(k log k);");
     println!("`peak_mem_bits` growing additively with log2(k+max_deg) => O(log(k+D)) memory.");
-}
-
-fn print_fits(label: &str, results: &[disp_analysis::experiment::Measurement]) {
-    use std::collections::BTreeMap;
-    let mut series: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
-    for m in results {
-        series
-            .entry((m.point.family.label(), m.point.algorithm.label().to_string()))
-            .or_default()
-            .push((m.k as f64, m.time_mean));
-    }
-    println!("### Log-log scaling exponents ({label})\n");
-    let mut rows = Vec::new();
-    for ((family, algo), pts) in series {
-        if let Some(fit) = loglog_fit(&pts) {
-            rows.push(vec![
-                family,
-                algo,
-                format!("{:.2}", fit.exponent),
-                format!("{:.3}", fit.r_squared),
-            ]);
-        }
-    }
-    println!(
-        "{}",
-        markdown_table(&["family", "algorithm", "exponent", "R^2"], &rows)
-    );
 }

@@ -1,89 +1,57 @@
-//! Shared helpers for the reproduction harness binaries (`table1`,
-//! `figures`, `ablations`) and the Criterion benches.
+//! Shared pieces for the reproduction harness binaries (`table1`,
+//! `figures`, `ablations`) and the wall-clock benches.
+//!
+//! The sweep machinery that used to live here moved into `disp-campaign`
+//! (grids, seeds, the work-stealing engine) and `disp-analysis` (row
+//! formatting); the re-exports below keep the old call sites working. What
+//! remains local is [`harness`], the criterion-shaped bench harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use disp_analysis::experiment::{ExperimentPoint, Measurement};
-use disp_core::runner::{Algorithm, Schedule};
-use disp_graph::generators::GraphFamily;
+pub mod harness;
 
-/// The k values swept by the harness in quick mode.
-pub fn quick_ks() -> Vec<usize> {
-    vec![16, 32, 64, 128]
-}
+pub use disp_analysis::report::{measurement_header, measurement_row};
+pub use disp_campaign::grid::{full_ks, quick_ks, section_points};
 
-/// The k values swept by the harness in full mode.
-pub fn full_ks() -> Vec<usize> {
-    vec![16, 32, 64, 128, 256, 512]
-}
-
-/// Build the sweep points for one Table-1 section.
-pub fn section_points(
-    families: &[GraphFamily],
-    ks: &[usize],
-    algorithms: &[Algorithm],
-    schedule: Schedule,
-    repetitions: usize,
-) -> Vec<ExperimentPoint> {
-    let mut points = Vec::new();
-    for &family in families {
-        for &k in ks {
-            for &algorithm in algorithms {
-                points.push(ExperimentPoint {
-                    family,
-                    k,
-                    occupancy: 1.0,
-                    algorithm,
-                    schedule,
-                    repetitions,
-                });
-            }
-        }
+/// Minimal argument helpers shared by the harness binaries (they accept a
+/// handful of `--flag value` pairs; anything richer lives in the
+/// `disp-campaign` CLI).
+pub mod cli {
+    /// The value following `--name`, if present.
+    pub fn flag_value(args: &[String], name: &str) -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
     }
-    points
-}
 
-/// Format a measurement row for the harness tables.
-pub fn measurement_row(m: &Measurement) -> Vec<String> {
-    vec![
-        m.point.family.label(),
-        m.point.algorithm.label().to_string(),
-        m.point.schedule.label(),
-        m.k.to_string(),
-        m.n.to_string(),
-        m.max_degree.to_string(),
-        format!("{:.1}", m.time_mean),
-        format!("{:.2}", m.time_mean / m.k as f64),
-        format!(
-            "{:.2}",
-            m.time_mean / (m.k as f64 * (m.k as f64 + 2.0).log2())
-        ),
-        m.peak_memory_bits.to_string(),
-        if m.all_dispersed { "yes" } else { "NO" }.to_string(),
-    ]
-}
+    /// `--threads N` if given and parseable, else the machine's available
+    /// parallelism.
+    pub fn threads(args: &[String]) -> usize {
+        flag_value(args, "--threads")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(4)
+            })
+    }
 
-/// Header matching [`measurement_row`].
-pub fn measurement_header() -> Vec<&'static str> {
-    vec![
-        "family",
-        "algorithm",
-        "schedule",
-        "k",
-        "n",
-        "max_deg",
-        "time",
-        "time/k",
-        "time/(k·log k)",
-        "peak_mem_bits",
-        "dispersed",
-    ]
+    /// `--seed S` if given and parseable, else 1.
+    pub fn seed(args: &[String]) -> u64 {
+        flag_value(args, "--seed")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use disp_analysis::experiment::ExperimentPoint;
+    use disp_core::runner::{Algorithm, Schedule};
+    use disp_graph::generators::GraphFamily;
 
     #[test]
     fn section_points_cover_the_grid() {
@@ -99,14 +67,22 @@ mod tests {
 
     #[test]
     fn header_and_row_lengths_match() {
-        let pts = section_points(
-            &[GraphFamily::Line],
-            &[16],
-            &[Algorithm::ProbeDfs],
-            Schedule::Sync,
-            1,
-        );
-        let m = pts[0].measure();
+        let m = ExperimentPoint {
+            family: GraphFamily::Line,
+            k: 16,
+            occupancy: 1.0,
+            algorithm: Algorithm::ProbeDfs,
+            schedule: Schedule::Sync,
+            repetitions: 1,
+        }
+        .measure();
         assert_eq!(measurement_row(&m).len(), measurement_header().len());
+    }
+
+    #[test]
+    fn quick_ks_is_a_prefix_of_full_ks() {
+        let quick = quick_ks();
+        let full = full_ks();
+        assert_eq!(&full[..quick.len()], &quick[..]);
     }
 }

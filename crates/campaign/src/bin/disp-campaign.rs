@@ -1,0 +1,218 @@
+//! The campaign CLI: run, resume and report experiment campaigns.
+//!
+//! ```text
+//! disp-campaign run    [--campaign table1|figures] [--quick|--full]
+//!                      [--threads N] [--seed S] [--section NAME]...
+//!                      [--out DIR] [--force]
+//! disp-campaign resume --out DIR [--threads N]
+//! disp-campaign report --out DIR [--csv DIR]
+//! ```
+//!
+//! `run` without `--out` executes in memory and prints the report; with
+//! `--out` every finished trial is checkpointed to `DIR/trials.jsonl`
+//! (flushed per line), so a killed run can be continued with `resume`,
+//! which skips completed trials. Results are byte-identical for any
+//! `--threads` value with the same `--seed`.
+
+use disp_campaign::grid::{CampaignSpec, Mode};
+use disp_campaign::report::{render_section_csv, render_section_markdown, section_measurements};
+use disp_campaign::run::{run_campaign, RunSummary};
+use disp_campaign::store::CampaignStore;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("resume") => cmd_resume(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("disp-campaign: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+disp-campaign — parallel, deterministic experiment campaigns
+
+USAGE:
+  disp-campaign run    [--campaign table1|figures] [--quick|--full]
+                       [--threads N] [--seed S] [--section NAME]...
+                       [--out DIR] [--force]
+  disp-campaign resume --out DIR [--threads N]
+  disp-campaign report --out DIR [--csv DIR]
+
+Trial seeds derive from (campaign seed, point id, repetition): output is
+byte-identical for any --threads value. With --out, finished trials stream
+to DIR/trials.jsonl (flushed per line); a killed run resumes with `resume`.
+";
+
+struct Flags {
+    campaign: String,
+    mode: Mode,
+    threads: usize,
+    seed: u64,
+    sections: Vec<String>,
+    out: Option<PathBuf>,
+    force: bool,
+    csv: Option<PathBuf>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        campaign: "table1".into(),
+        mode: Mode::Quick,
+        threads: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4),
+        seed: 1,
+        sections: Vec::new(),
+        out: None,
+        force: false,
+        csv: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--campaign" => flags.campaign = value("--campaign")?,
+            "--quick" => flags.mode = Mode::Quick,
+            "--full" => flags.mode = Mode::Full,
+            "--threads" => {
+                flags.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads expects a positive integer".to_string())?
+            }
+            "--seed" => {
+                flags.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an unsigned integer".to_string())?
+            }
+            "--section" => flags.sections.push(value("--section")?),
+            "--out" => flags.out = Some(PathBuf::from(value("--out")?)),
+            "--csv" => flags.csv = Some(PathBuf::from(value("--csv")?)),
+            "--force" => flags.force = true,
+            other => return Err(format!("unknown flag '{other}'\n\n{USAGE}")),
+        }
+    }
+    Ok(flags)
+}
+
+fn build_spec(flags: &Flags) -> Result<CampaignSpec, String> {
+    let spec = CampaignSpec::by_name(&flags.campaign, flags.mode, flags.seed)
+        .ok_or_else(|| format!("unknown campaign '{}'", flags.campaign))?;
+    if flags.sections.is_empty() {
+        return Ok(spec);
+    }
+    let names: Vec<&str> = flags.sections.iter().map(String::as_str).collect();
+    let filtered = spec.with_sections(&names);
+    if filtered.sections.is_empty() {
+        return Err(format!("no section matches {:?}", flags.sections));
+    }
+    Ok(filtered)
+}
+
+fn print_summary(spec: &CampaignSpec, summary: &RunSummary, threads: usize) {
+    eprintln!(
+        "campaign {} ({}, seed {}): {} trials ({} skipped, {} executed) \
+         in {:.2?} on {} thread(s); {} steals, per-worker {:?}",
+        spec.name,
+        spec.mode.label(),
+        spec.seed,
+        summary.total,
+        summary.skipped,
+        summary.executed,
+        summary.wall,
+        threads,
+        summary.stats.steals,
+        summary.stats.per_worker,
+    );
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let spec = build_spec(&flags)?;
+    let store = match &flags.out {
+        Some(dir) => Some(CampaignStore::create(dir, &spec, flags.force)?),
+        None => None,
+    };
+    let (records, summary) = run_campaign(&spec, store.as_ref(), flags.threads)?;
+    print_summary(&spec, &summary, flags.threads);
+    render(&flags, &spec, records)
+}
+
+fn cmd_resume(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let dir = flags
+        .out
+        .as_ref()
+        .ok_or("resume requires --out DIR (the directory of the killed run)")?;
+    let (store, manifest) = CampaignStore::open(dir)?;
+    let spec = manifest.rebuild_spec()?;
+    let (records, summary) = run_campaign(&spec, Some(&store), flags.threads)?;
+    print_summary(&spec, &summary, flags.threads);
+    render(&flags, &spec, records)
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let dir = flags
+        .out
+        .as_ref()
+        .ok_or("report requires --out DIR (a campaign directory)")?;
+    let (store, manifest) = CampaignStore::open(dir)?;
+    let spec = manifest.rebuild_spec()?;
+    let ingest = store.read_trials()?;
+    if ingest.malformed > 0 {
+        eprintln!(
+            "note: skipped {} malformed line(s) (torn tail of a killed run)",
+            ingest.malformed
+        );
+    }
+    let completed = ingest.records.len();
+    if completed < manifest.total_trials {
+        eprintln!(
+            "note: campaign is partial: {completed}/{} trials completed (use `resume` to finish)",
+            manifest.total_trials
+        );
+    }
+    render(&flags, &spec, ingest.records)
+}
+
+fn render(
+    flags: &Flags,
+    spec: &CampaignSpec,
+    records: Vec<disp_analysis::TrialRecord>,
+) -> Result<(), String> {
+    let sections = section_measurements(spec, records);
+    if let Some(csv_dir) = &flags.csv {
+        std::fs::create_dir_all(csv_dir)
+            .map_err(|e| format!("create {}: {e}", csv_dir.display()))?;
+        for (section, ms) in &sections {
+            let path = csv_dir.join(format!("{}.csv", section.name));
+            std::fs::write(&path, render_section_csv(ms))
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
+            println!("wrote {} ({} rows)", path.display(), ms.len());
+        }
+        return Ok(());
+    }
+    println!("# Campaign {} ({} mode)\n", spec.name, spec.mode.label());
+    for (section, ms) in &sections {
+        println!("{}", render_section_markdown(section, ms));
+    }
+    Ok(())
+}

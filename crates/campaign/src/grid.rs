@@ -1,0 +1,390 @@
+//! Campaign descriptions: named grids of experiment points.
+//!
+//! A [`CampaignSpec`] is pure data — sections of `family × k × algorithm ×
+//! schedule × repetitions` grids plus a campaign seed. Everything downstream
+//! (trial expansion, per-trial seeds, the checkpoint identity of the whole
+//! grid) is derived deterministically from it, which is what makes killed
+//! campaigns resumable and `--threads N` output byte-identical.
+
+use disp_analysis::experiment::ExperimentPoint;
+use disp_core::runner::{Algorithm, Schedule};
+use disp_graph::generators::GraphFamily;
+use disp_rng::{fnv1a, mix};
+
+/// Sweep size preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// CI-sized sweep (4 families, k ≤ 128, 1 repetition).
+    Quick,
+    /// Paper-sized sweep (all families, k ≤ 512, 3 repetitions).
+    Full,
+}
+
+impl Mode {
+    /// Label used in manifests and CLI flags.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mode::Quick => "quick",
+            Mode::Full => "full",
+        }
+    }
+
+    /// Inverse of [`Mode::label`].
+    pub fn from_label(label: &str) -> Option<Mode> {
+        match label {
+            "quick" => Some(Mode::Quick),
+            "full" => Some(Mode::Full),
+            _ => None,
+        }
+    }
+}
+
+/// The k values swept by the harness in quick mode.
+pub fn quick_ks() -> Vec<usize> {
+    vec![16, 32, 64, 128]
+}
+
+/// The k values swept by the harness in full mode.
+pub fn full_ks() -> Vec<usize> {
+    vec![16, 32, 64, 128, 256, 512]
+}
+
+/// Build the sweep points for one campaign section.
+pub fn section_points(
+    families: &[GraphFamily],
+    ks: &[usize],
+    algorithms: &[Algorithm],
+    schedule: Schedule,
+    repetitions: usize,
+) -> Vec<ExperimentPoint> {
+    let mut points = Vec::new();
+    for &family in families {
+        for &k in ks {
+            for &algorithm in algorithms {
+                points.push(ExperimentPoint {
+                    family,
+                    k,
+                    occupancy: 1.0,
+                    algorithm,
+                    schedule,
+                    repetitions,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// A named group of points reported as one table/CSV.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Section name (stable; used in report headings and CSV file names).
+    pub name: &'static str,
+    /// Human description for report headings.
+    pub title: &'static str,
+    /// The grid of this section.
+    pub points: Vec<ExperimentPoint>,
+}
+
+/// One expanded unit of work: a `(point, repetition)` pair with its derived
+/// seed.
+#[derive(Debug, Clone)]
+pub struct TrialSpec {
+    /// Index of the owning section within the campaign.
+    pub section: usize,
+    /// The experiment point.
+    pub point: ExperimentPoint,
+    /// Repetition index.
+    pub rep: usize,
+    /// The derived per-trial seed (see [`trial_seed`]).
+    pub seed: u64,
+}
+
+impl TrialSpec {
+    /// The checkpoint identity of this trial.
+    pub fn trial_id(&self) -> String {
+        format!("{}#r{}", self.point.point_id(), self.rep)
+    }
+}
+
+/// Derive the seed of one trial from the campaign seed, the point identity
+/// and the repetition index.
+///
+/// The derivation goes through the point's *canonical id string* (not its
+/// position in the grid), so inserting or reordering points in a campaign
+/// never changes the seeds — and therefore the results — of the points that
+/// stayed.
+pub fn trial_seed(campaign_seed: u64, point: &ExperimentPoint, rep: usize) -> u64 {
+    mix(&[
+        campaign_seed,
+        fnv1a(point.point_id().as_bytes()),
+        rep as u64,
+    ])
+}
+
+/// A complete, named campaign description.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Campaign name (`table1`, `figures`); stable, recorded in manifests.
+    pub name: &'static str,
+    /// Sweep size preset.
+    pub mode: Mode,
+    /// The campaign seed all trial seeds derive from.
+    pub seed: u64,
+    /// Report sections.
+    pub sections: Vec<Section>,
+}
+
+impl CampaignSpec {
+    /// The Table-1 campaign: SYNC rooted rows + ASYNC rooted rows.
+    pub fn table1(mode: Mode, seed: u64) -> CampaignSpec {
+        let (families, ks, reps) = preset(mode);
+        CampaignSpec {
+            name: "table1",
+            mode,
+            seed,
+            sections: vec![
+                Section {
+                    name: "sync-rooted",
+                    title: "SYNC, rooted configurations (rounds)",
+                    points: section_points(
+                        &families,
+                        &ks,
+                        &[Algorithm::KsDfs, Algorithm::ProbeDfs, Algorithm::SyncSeeker],
+                        Schedule::Sync,
+                        reps,
+                    ),
+                },
+                Section {
+                    name: "async-rooted",
+                    title: "ASYNC, rooted configurations (epochs, random-subset adversary)",
+                    points: section_points(
+                        &families,
+                        &ks,
+                        &[Algorithm::KsDfs, Algorithm::ProbeDfs],
+                        Schedule::AsyncRandom { prob: 0.7, seed: 0 },
+                        reps,
+                    ),
+                },
+            ],
+        }
+    }
+
+    /// The figure-series campaign: the scaling series an experimental
+    /// evaluation of the paper's claims would plot.
+    pub fn figures(mode: Mode, seed: u64) -> CampaignSpec {
+        let (families, ks, reps) = preset(mode);
+        CampaignSpec {
+            name: "figures",
+            mode,
+            seed,
+            sections: vec![
+                Section {
+                    name: "fig_sync_rooted",
+                    title: "time vs k, SYNC rooted",
+                    points: section_points(
+                        &families,
+                        &ks,
+                        &[Algorithm::KsDfs, Algorithm::ProbeDfs, Algorithm::SyncSeeker],
+                        Schedule::Sync,
+                        reps,
+                    ),
+                },
+                Section {
+                    name: "fig_async_rooted",
+                    title: "time vs k, ASYNC rooted (random-subset adversary)",
+                    points: section_points(
+                        &families,
+                        &ks,
+                        &[Algorithm::KsDfs, Algorithm::ProbeDfs],
+                        Schedule::AsyncRandom { prob: 0.7, seed: 0 },
+                        reps,
+                    ),
+                },
+                Section {
+                    name: "fig_async_lagging",
+                    title: "time vs k, ASYNC rooted (lagging adversary)",
+                    points: section_points(
+                        &families,
+                        &ks,
+                        &[Algorithm::KsDfs, Algorithm::ProbeDfs],
+                        Schedule::AsyncLagging {
+                            max_lag: 4,
+                            seed: 0,
+                        },
+                        reps,
+                    ),
+                },
+            ],
+        }
+    }
+
+    /// A deliberately small campaign for smoke tests and kill/resume demos:
+    /// covers both schedulers and all three algorithms in a few seconds.
+    pub fn mini(mode: Mode, seed: u64) -> CampaignSpec {
+        let ks: Vec<usize> = match mode {
+            Mode::Quick => vec![12, 24],
+            Mode::Full => vec![12, 24, 48],
+        };
+        let families = [GraphFamily::Star, GraphFamily::RandomTree];
+        CampaignSpec {
+            name: "mini",
+            mode,
+            seed,
+            sections: vec![
+                Section {
+                    name: "mini-sync",
+                    title: "mini smoke sweep, SYNC (rounds)",
+                    points: section_points(
+                        &families,
+                        &ks,
+                        &[Algorithm::KsDfs, Algorithm::ProbeDfs, Algorithm::SyncSeeker],
+                        Schedule::Sync,
+                        2,
+                    ),
+                },
+                Section {
+                    name: "mini-async",
+                    title: "mini smoke sweep, ASYNC (epochs)",
+                    points: section_points(
+                        &families,
+                        &ks,
+                        &[Algorithm::KsDfs, Algorithm::ProbeDfs],
+                        Schedule::AsyncRandom { prob: 0.7, seed: 0 },
+                        2,
+                    ),
+                },
+            ],
+        }
+    }
+
+    /// Resolve a campaign by its manifest name.
+    pub fn by_name(name: &str, mode: Mode, seed: u64) -> Option<CampaignSpec> {
+        match name {
+            "table1" => Some(CampaignSpec::table1(mode, seed)),
+            "figures" => Some(CampaignSpec::figures(mode, seed)),
+            "mini" => Some(CampaignSpec::mini(mode, seed)),
+            _ => None,
+        }
+    }
+
+    /// Keep only the named sections (used by `--section`); unknown names
+    /// yield an empty campaign, which the CLI reports as an error.
+    pub fn with_sections(mut self, names: &[&str]) -> CampaignSpec {
+        self.sections.retain(|s| names.contains(&s.name));
+        self
+    }
+
+    /// Expand the grid into trials, in deterministic grid order, with
+    /// derived seeds.
+    pub fn trials(&self) -> Vec<TrialSpec> {
+        let mut out = Vec::new();
+        for (si, section) in self.sections.iter().enumerate() {
+            for point in &section.points {
+                for rep in 0..point.repetitions.max(1) {
+                    out.push(TrialSpec {
+                        section: si,
+                        point: point.clone(),
+                        rep,
+                        seed: trial_seed(self.seed, point, rep),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// A stable fingerprint of the expanded grid + campaign seed, recorded
+    /// in the manifest so `resume` can refuse a mismatched output directory.
+    pub fn grid_hash(&self) -> u64 {
+        let ids: Vec<u64> = self
+            .trials()
+            .iter()
+            .map(|t| fnv1a(t.trial_id().as_bytes()))
+            .collect();
+        let mut words = vec![self.seed];
+        words.extend(ids);
+        mix(&words)
+    }
+}
+
+fn preset(mode: Mode) -> (Vec<GraphFamily>, Vec<usize>, usize) {
+    match mode {
+        Mode::Quick => (GraphFamily::quick(), quick_ks(), 1),
+        Mode::Full => (GraphFamily::all(), full_ks(), 3),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_points_cover_the_grid() {
+        let pts = section_points(
+            &[GraphFamily::Line, GraphFamily::Star],
+            &[16, 32],
+            &[Algorithm::KsDfs, Algorithm::ProbeDfs],
+            Schedule::Sync,
+            1,
+        );
+        assert_eq!(pts.len(), 2 * 2 * 2);
+    }
+
+    #[test]
+    fn trial_seeds_are_stable_and_distinct() {
+        let spec = CampaignSpec::table1(Mode::Quick, 42);
+        let a = spec.trials();
+        let b = spec.trials();
+        assert_eq!(a.len(), b.len());
+        let mut seeds: Vec<u64> = a.iter().map(|t| t.seed).collect();
+        assert_eq!(seeds, b.iter().map(|t| t.seed).collect::<Vec<_>>());
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), a.len(), "trial seeds must not collide");
+    }
+
+    #[test]
+    fn trial_seeds_do_not_depend_on_grid_position() {
+        let spec = CampaignSpec::table1(Mode::Quick, 42);
+        let trials = spec.trials();
+        for t in &trials {
+            assert_eq!(t.seed, trial_seed(42, &t.point, t.rep));
+        }
+        // A different campaign seed moves every trial seed.
+        let other = CampaignSpec::table1(Mode::Quick, 43).trials();
+        assert!(trials.iter().zip(&other).all(|(a, b)| a.seed != b.seed));
+    }
+
+    #[test]
+    fn grid_hash_detects_mode_seed_and_section_changes() {
+        let base = CampaignSpec::table1(Mode::Quick, 1).grid_hash();
+        assert_eq!(base, CampaignSpec::table1(Mode::Quick, 1).grid_hash());
+        assert_ne!(base, CampaignSpec::table1(Mode::Quick, 2).grid_hash());
+        assert_ne!(base, CampaignSpec::table1(Mode::Full, 1).grid_hash());
+        assert_ne!(
+            base,
+            CampaignSpec::table1(Mode::Quick, 1)
+                .with_sections(&["sync-rooted"])
+                .grid_hash()
+        );
+        assert_ne!(base, CampaignSpec::figures(Mode::Quick, 1).grid_hash());
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for name in ["table1", "figures", "mini"] {
+            let spec = CampaignSpec::by_name(name, Mode::Quick, 7).unwrap();
+            assert_eq!(spec.name, name);
+        }
+        assert!(CampaignSpec::by_name("nope", Mode::Quick, 7).is_none());
+    }
+
+    #[test]
+    fn mode_labels_round_trip() {
+        for mode in [Mode::Quick, Mode::Full] {
+            assert_eq!(Mode::from_label(mode.label()), Some(mode));
+        }
+        assert_eq!(Mode::from_label("medium"), None);
+    }
+}

@@ -1,0 +1,59 @@
+//! # disp-campaign
+//!
+//! The parallel, deterministic experiment-orchestration engine for the
+//! dispersion reproduction — the single execution substrate behind the
+//! harness binaries (`table1`, `figures`, `ablations`) and the
+//! `disp-campaign` CLI.
+//!
+//! ## Guarantees
+//!
+//! * **Determinism** — every trial's seed is derived as
+//!   `mix(campaign_seed, fnv1a(point_id), repetition)` ([`grid::trial_seed`]),
+//!   so results are byte-identical for any `--threads` value, any execution
+//!   interleaving, and any subset/resume split of the grid.
+//! * **Parallelism** — trials are sharded across a work-stealing thread
+//!   pool ([`engine::parallel_map`]); stealing rebalances the wildly uneven
+//!   trial costs of a dispersion sweep.
+//! * **Crash tolerance** — with a [`store::CampaignStore`], each finished
+//!   trial is appended to `trials.jsonl` and flushed before the engine
+//!   moves on; `resume` re-opens the directory, verifies the grid
+//!   fingerprint and skips everything already on disk.
+//!
+//! ## Layers
+//!
+//! * [`engine`] — the generic work-stealing parallel map.
+//! * [`grid`] — campaign descriptions (named sections of experiment
+//!   points), trial expansion and seed derivation.
+//! * [`store`] — the manifest + JSONL checkpoint directory.
+//! * [`run`] — orchestration: skip-completed, execute, stream.
+//! * [`report`] — per-section tables, scaling fits, CSV series.
+//!
+//! ## Example
+//!
+//! ```
+//! use disp_campaign::grid::{CampaignSpec, Mode};
+//! use disp_campaign::run::run_campaign;
+//!
+//! let mut spec = CampaignSpec::table1(Mode::Quick, 42);
+//! spec.sections.truncate(1);
+//! spec.sections[0].points.retain(|p| p.k <= 16); // doc-test sized
+//! let (records, summary) = run_campaign(&spec, None, 2).unwrap();
+//! assert_eq!(records.len(), summary.total);
+//! assert!(records.iter().all(|r| r.dispersed));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod grid;
+pub mod report;
+pub mod run;
+pub mod store;
+
+pub use engine::{parallel_map, EngineStats};
+pub use grid::{
+    full_ks, quick_ks, section_points, trial_seed, CampaignSpec, Mode, Section, TrialSpec,
+};
+pub use run::{run_campaign, RunSummary};
+pub use store::{CampaignStore, Manifest, TrialWriter};

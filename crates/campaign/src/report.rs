@@ -1,0 +1,112 @@
+//! Rendering of campaign results: per-section measurement tables, log–log
+//! scaling fits, and CSV series.
+
+use crate::grid::{CampaignSpec, Section};
+use disp_analysis::experiment::Measurement;
+use disp_analysis::fit::loglog_fit;
+use disp_analysis::jsonl::merge_trials;
+use disp_analysis::report::{csv_table, markdown_table, measurement_header, measurement_row};
+use disp_analysis::TrialRecord;
+use std::collections::BTreeMap;
+
+/// Aggregate `records` into per-point measurements and order them by the
+/// campaign's grid order, grouped per section.
+///
+/// Records that do not belong to the grid (foreign files) are ignored;
+/// missing points simply do not appear — `report` works on partial
+/// (killed/resumed) campaigns.
+pub fn section_measurements(
+    spec: &CampaignSpec,
+    records: Vec<TrialRecord>,
+) -> Vec<(&Section, Vec<Measurement>)> {
+    let mut by_id: BTreeMap<String, Measurement> = merge_trials(records)
+        .into_iter()
+        .map(|m| (m.point.point_id(), m))
+        .collect();
+    spec.sections
+        .iter()
+        .map(|section| {
+            let ms = section
+                .points
+                .iter()
+                .filter_map(|p| by_id.remove(&p.point_id()))
+                .collect();
+            (section, ms)
+        })
+        .collect()
+}
+
+/// Render one section as a Markdown table plus its scaling-exponent fits.
+pub fn render_section_markdown(section: &Section, measurements: &[Measurement]) -> String {
+    let mut out = format!("## {}\n\n", section.title);
+    let rows: Vec<Vec<String>> = measurements.iter().map(measurement_row).collect();
+    out.push_str(&markdown_table(&measurement_header(), &rows));
+    out.push_str(&render_fits(measurements));
+    out
+}
+
+/// Render one section as CSV (the figure series).
+pub fn render_section_csv(measurements: &[Measurement]) -> String {
+    let rows: Vec<Vec<String>> = measurements.iter().map(measurement_row).collect();
+    csv_table(&measurement_header(), &rows)
+}
+
+/// Log–log scaling exponents of time vs k per (family, algorithm) series.
+pub fn render_fits(measurements: &[Measurement]) -> String {
+    let mut series: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
+    for m in measurements {
+        series
+            .entry((
+                m.point.family.label(),
+                m.point.algorithm.label().to_string(),
+            ))
+            .or_default()
+            .push((m.k as f64, m.time_mean));
+    }
+    let mut rows = Vec::new();
+    for ((family, algo), pts) in series {
+        if let Some(fit) = loglog_fit(&pts) {
+            rows.push(vec![
+                family,
+                algo,
+                format!("{:.2}", fit.exponent),
+                format!("{:.3}", fit.r_squared),
+            ]);
+        }
+    }
+    if rows.is_empty() {
+        return String::new();
+    }
+    format!(
+        "\n### Log-log scaling exponents (time vs k)\n\n{}",
+        markdown_table(&["family", "algorithm", "exponent", "R^2"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Mode;
+    use crate::run::run_campaign;
+
+    #[test]
+    fn partial_records_render_without_panicking() {
+        let mut spec = CampaignSpec::table1(Mode::Quick, 2);
+        spec.sections.truncate(1);
+        spec.sections[0].points.retain(|p| p.k <= 32);
+        let (records, _) = run_campaign(&spec, None, 1).unwrap();
+        let total_points = spec.sections[0].points.len();
+
+        // Drop half the records: the report must cover what exists.
+        let half: Vec<TrialRecord> = records.into_iter().take(total_points / 2).collect();
+        let sections = section_measurements(&spec, half);
+        assert_eq!(sections.len(), 1);
+        let (section, ms) = &sections[0];
+        assert_eq!(ms.len(), total_points / 2);
+        let md = render_section_markdown(section, ms);
+        assert!(md.contains(&section.title.to_string()));
+        assert!(md.contains("| family |"));
+        let csv = render_section_csv(ms);
+        assert_eq!(csv.lines().count(), ms.len() + 1);
+    }
+}

@@ -1,0 +1,214 @@
+//! Campaign orchestration: expand a grid, skip completed trials, execute
+//! the rest on the work-stealing engine, stream checkpoints.
+
+use crate::engine::{parallel_map, EngineStats};
+use crate::grid::{CampaignSpec, TrialSpec};
+use crate::store::CampaignStore;
+use disp_analysis::jsonl::dedup_trials;
+use disp_analysis::TrialRecord;
+use std::time::{Duration, Instant};
+
+/// What a campaign execution did.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Trials in the (possibly section-filtered) grid.
+    pub total: usize,
+    /// Trials skipped because the store already had them.
+    pub skipped: usize,
+    /// Trials executed in this call.
+    pub executed: usize,
+    /// Wall-clock time of the execution phase.
+    pub wall: Duration,
+    /// Engine execution counters.
+    pub stats: EngineStats,
+}
+
+/// Execute `spec` on `threads` workers.
+///
+/// With a store, completed trials (already on disk) are skipped and every
+/// finished trial is appended + flushed before the engine moves on; without
+/// one the campaign runs purely in memory. Returns the **complete** record
+/// set for the grid — executed this call or recovered from the store — in
+/// deterministic grid order, plus a summary.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    store: Option<&CampaignStore>,
+    threads: usize,
+) -> Result<(Vec<TrialRecord>, RunSummary), String> {
+    let grid = spec.trials();
+    let total = grid.len();
+
+    let (prior, completed) = match store {
+        Some(store) => {
+            let prior = if store.trials_path().exists() {
+                store.read_trials()?.records
+            } else {
+                Vec::new()
+            };
+            let ids: std::collections::HashSet<String> =
+                prior.iter().map(TrialRecord::trial_id).collect();
+            (prior, ids)
+        }
+        None => (Vec::new(), Default::default()),
+    };
+
+    let todo: Vec<TrialSpec> = grid
+        .iter()
+        .filter(|t| !completed.contains(&t.trial_id()))
+        .cloned()
+        .collect();
+    let skipped = total - todo.len();
+
+    let writer = match store {
+        Some(store) => Some(store.appender()?),
+        None => None,
+    };
+    let start = Instant::now();
+    let (executed, stats) = parallel_map(
+        todo,
+        threads,
+        |_, trial: &TrialSpec| trial.point.run_trial(trial.rep, trial.seed),
+        |_, record: &TrialRecord| {
+            if let Some(w) = &writer {
+                w.append(record);
+            }
+        },
+    );
+    let wall = start.elapsed();
+
+    // Merge prior + fresh records and return them in grid order.
+    let executed_count = executed.len();
+    let mut all = prior;
+    all.extend(executed);
+    let all = dedup_trials(all);
+    let by_id: std::collections::HashMap<String, TrialRecord> =
+        all.into_iter().map(|r| (r.trial_id(), r)).collect();
+    let ordered: Vec<TrialRecord> = grid
+        .iter()
+        .filter_map(|t| by_id.get(&t.trial_id()).cloned())
+        .collect();
+
+    Ok((
+        ordered,
+        RunSummary {
+            total,
+            skipped,
+            executed: executed_count,
+            wall,
+            stats,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Mode;
+    use disp_core::runner::{Algorithm, Schedule};
+    use disp_graph::generators::GraphFamily;
+
+    fn tiny_spec(seed: u64) -> CampaignSpec {
+        let mut spec = CampaignSpec::table1(Mode::Quick, seed);
+        // Shrink to a fast subset: one section, small k only.
+        spec.sections.truncate(1);
+        spec.sections[0].points.retain(|p| p.k <= 32);
+        spec
+    }
+
+    #[test]
+    fn in_memory_run_covers_the_grid_in_order() {
+        let spec = tiny_spec(3);
+        let (records, summary) = run_campaign(&spec, None, 2).unwrap();
+        assert_eq!(records.len(), summary.total);
+        assert_eq!(summary.skipped, 0);
+        assert_eq!(summary.executed, summary.total);
+        let expected: Vec<String> = spec.trials().iter().map(|t| t.trial_id()).collect();
+        let got: Vec<String> = records.iter().map(TrialRecord::trial_id).collect();
+        assert_eq!(got, expected);
+        assert!(records.iter().all(|r| r.dispersed));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let spec = tiny_spec(4);
+        let (a, _) = run_campaign(&spec, None, 1).unwrap();
+        let (b, _) = run_campaign(&spec, None, 4).unwrap();
+        let lines = |rs: &[TrialRecord]| -> Vec<String> {
+            rs.iter().map(TrialRecord::to_json_line).collect()
+        };
+        assert_eq!(lines(&a), lines(&b));
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_without_recomputing() {
+        let dir =
+            std::env::temp_dir().join(format!("disp-campaign-run-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let spec = tiny_spec(5);
+        let grid = spec.trials();
+
+        // Simulate a killed run: checkpoint only the first third by hand.
+        let store = CampaignStore::create(&dir, &spec, false).unwrap();
+        let writer = store.appender().unwrap();
+        let prefix = grid.len() / 3;
+        for t in &grid[..prefix] {
+            writer.append(&t.point.run_trial(t.rep, t.seed));
+        }
+        drop(writer);
+
+        let (records, summary) = run_campaign(&spec, Some(&store), 2).unwrap();
+        assert_eq!(summary.total, grid.len());
+        assert_eq!(summary.skipped, prefix);
+        assert_eq!(summary.executed, grid.len() - prefix);
+        assert_eq!(records.len(), grid.len());
+
+        // A second resume has nothing left to do and returns identical data.
+        let (again, summary2) = run_campaign(&spec, Some(&store), 2).unwrap();
+        assert_eq!(summary2.executed, 0);
+        assert_eq!(summary2.skipped, grid.len());
+        let lines = |rs: &[TrialRecord]| -> Vec<String> {
+            rs.iter().map(TrialRecord::to_json_line).collect()
+        };
+        assert_eq!(lines(&records), lines(&again));
+
+        // And the checkpoint file matches an unstored run, line for line.
+        let (memory, _) = run_campaign(&spec, None, 1).unwrap();
+        let mut on_disk: Vec<String> = store
+            .read_trials()
+            .unwrap()
+            .records
+            .iter()
+            .map(TrialRecord::to_json_line)
+            .collect();
+        let mut in_memory = lines(&memory);
+        on_disk.sort();
+        in_memory.sort();
+        assert_eq!(on_disk, in_memory);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn campaigns_with_async_schedules_disperse() {
+        let spec = CampaignSpec {
+            name: "table1",
+            mode: Mode::Quick,
+            seed: 11,
+            sections: vec![crate::grid::Section {
+                name: "async-mini",
+                title: "mini async",
+                points: crate::grid::section_points(
+                    &[GraphFamily::Star, GraphFamily::RandomTree],
+                    &[16],
+                    &[Algorithm::KsDfs, Algorithm::ProbeDfs],
+                    Schedule::AsyncRandom { prob: 0.7, seed: 0 },
+                    2,
+                ),
+            }],
+        };
+        let (records, _) = run_campaign(&spec, None, 2).unwrap();
+        assert_eq!(records.len(), 2 * 2 * 2);
+        assert!(records.iter().all(|r| r.dispersed));
+        assert!(records.iter().all(|r| r.outcome.epochs >= 1));
+    }
+}

@@ -1,0 +1,371 @@
+//! The on-disk campaign store: a manifest plus an append-only JSONL trial
+//! log with per-line flushing, giving crash-tolerant checkpoint/resume.
+//!
+//! Layout of a campaign directory:
+//!
+//! ```text
+//! out/
+//!   manifest.json   — campaign name, mode, seed, grid fingerprint, total
+//!   trials.jsonl    — one TrialRecord per line, appended as trials finish
+//! ```
+//!
+//! A killed run leaves a valid prefix of `trials.jsonl` (the final line may
+//! be torn; ingestion skips it). `resume` reopens the directory, verifies
+//! the manifest fingerprint against the rebuilt grid, and appends only the
+//! missing trials.
+
+use crate::grid::{CampaignSpec, Mode};
+use disp_analysis::json::Json;
+use disp_analysis::jsonl::{self, Ingest};
+use disp_analysis::TrialRecord;
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The persisted identity of a campaign run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Campaign name (resolvable via `CampaignSpec::by_name`).
+    pub campaign: String,
+    /// Sweep size preset.
+    pub mode: Mode,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Fingerprint of the expanded grid (see `CampaignSpec::grid_hash`).
+    pub grid_hash: u64,
+    /// Total number of trials in the grid.
+    pub total_trials: usize,
+    /// Sections included in the run (empty = all sections of the campaign).
+    pub sections: Vec<String>,
+}
+
+impl Manifest {
+    /// Build the manifest describing `spec`.
+    pub fn of(spec: &CampaignSpec) -> Manifest {
+        Manifest {
+            campaign: spec.name.to_string(),
+            mode: spec.mode,
+            seed: spec.seed,
+            grid_hash: spec.grid_hash(),
+            total_trials: spec.trials().len(),
+            sections: spec.sections.iter().map(|s| s.name.to_string()).collect(),
+        }
+    }
+
+    /// Rebuild the campaign spec this manifest describes.
+    pub fn rebuild_spec(&self) -> Result<CampaignSpec, String> {
+        let spec = CampaignSpec::by_name(&self.campaign, self.mode, self.seed)
+            .ok_or_else(|| format!("unknown campaign '{}' in manifest", self.campaign))?;
+        let names: Vec<&str> = self.sections.iter().map(String::as_str).collect();
+        let spec = if names.is_empty() {
+            spec
+        } else {
+            spec.with_sections(&names)
+        };
+        if spec.grid_hash() != self.grid_hash {
+            return Err(format!(
+                "grid fingerprint mismatch: manifest has {:#x}, rebuilt grid has {:#x} \
+                 (the campaign definition changed since this directory was written)",
+                self.grid_hash,
+                spec.grid_hash()
+            ));
+        }
+        Ok(spec)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("campaign".into(), Json::Str(self.campaign.clone())),
+            ("mode".into(), Json::Str(self.mode.label().to_string())),
+            // Seeds and fingerprints are full-range u64s; JSON numbers are
+            // f64 and would round them, so both use the lossless encoding.
+            ("seed".into(), Json::from_u64_lossless(self.seed)),
+            ("grid_hash".into(), Json::from_u64_lossless(self.grid_hash)),
+            ("total_trials".into(), Json::Num(self.total_trials as f64)),
+            (
+                "sections".into(),
+                Json::Arr(self.sections.iter().map(|s| Json::Str(s.clone())).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Manifest, String> {
+        let mode_label = v
+            .get("mode")
+            .and_then(Json::as_str)
+            .ok_or("manifest: missing mode")?;
+        let sections = match v.get("sections") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|s| s.as_str().map(String::from))
+                .collect::<Option<Vec<_>>>()
+                .ok_or("manifest: non-string section")?,
+            _ => Vec::new(),
+        };
+        Ok(Manifest {
+            campaign: v
+                .get("campaign")
+                .and_then(Json::as_str)
+                .ok_or("manifest: missing campaign")?
+                .to_string(),
+            mode: Mode::from_label(mode_label)
+                .ok_or_else(|| format!("manifest: unknown mode '{mode_label}'"))?,
+            seed: v
+                .get("seed")
+                .and_then(Json::as_u64_lossless)
+                .ok_or("manifest: missing seed")?,
+            grid_hash: v
+                .get("grid_hash")
+                .and_then(Json::as_u64_lossless)
+                .ok_or("manifest: missing grid_hash")?,
+            total_trials: v
+                .get("total_trials")
+                .and_then(Json::as_u64)
+                .ok_or("manifest: missing total_trials")? as usize,
+            sections,
+        })
+    }
+}
+
+/// Handle to a campaign directory.
+#[derive(Debug)]
+pub struct CampaignStore {
+    dir: PathBuf,
+}
+
+impl CampaignStore {
+    /// Create a fresh store for `spec` in `dir` (creating the directory).
+    ///
+    /// Refuses to overwrite an existing manifest unless `force` — a
+    /// half-finished campaign is valuable state; clobbering it should be
+    /// explicit.
+    pub fn create(dir: &Path, spec: &CampaignSpec, force: bool) -> Result<CampaignStore, String> {
+        let store = CampaignStore {
+            dir: dir.to_path_buf(),
+        };
+        // Guard on the trial log as well as the manifest: a directory whose
+        // manifest was lost but whose log holds completed trials is still a
+        // campaign worth protecting from silent truncation.
+        if !force && (store.manifest_path().exists() || store.trials_path().exists()) {
+            return Err(format!(
+                "{} already contains a campaign (use `resume`, or --force to overwrite)",
+                dir.display()
+            ));
+        }
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let manifest = Manifest::of(spec);
+        std::fs::write(
+            store.manifest_path(),
+            manifest.to_json().to_string_compact() + "\n",
+        )
+        .map_err(|e| format!("write manifest: {e}"))?;
+        // Truncate any stale trial log from a --force overwrite.
+        File::create(store.trials_path()).map_err(|e| format!("create trial log: {e}"))?;
+        Ok(store)
+    }
+
+    /// Open an existing store and parse its manifest.
+    pub fn open(dir: &Path) -> Result<(CampaignStore, Manifest), String> {
+        let store = CampaignStore {
+            dir: dir.to_path_buf(),
+        };
+        let text = std::fs::read_to_string(store.manifest_path())
+            .map_err(|e| format!("read {}: {e}", store.manifest_path().display()))?;
+        let manifest = Manifest::from_json(&Json::parse(text.trim())?)?;
+        Ok((store, manifest))
+    }
+
+    /// The campaign directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the manifest file.
+    pub fn manifest_path(&self) -> PathBuf {
+        self.dir.join("manifest.json")
+    }
+
+    /// Path of the JSONL trial log.
+    pub fn trials_path(&self) -> PathBuf {
+        self.dir.join("trials.jsonl")
+    }
+
+    /// Stream the trial log (tolerating a torn tail).
+    pub fn read_trials(&self) -> Result<Ingest, String> {
+        let file = File::open(self.trials_path())
+            .map_err(|e| format!("read {}: {e}", self.trials_path().display()))?;
+        jsonl::read_trials(BufReader::new(file)).map_err(|e| e.to_string())
+    }
+
+    /// The ids of trials already completed on disk.
+    pub fn completed_ids(&self) -> Result<HashSet<String>, String> {
+        if !self.trials_path().exists() {
+            return Ok(HashSet::new());
+        }
+        Ok(self
+            .read_trials()?
+            .records
+            .iter()
+            .map(TrialRecord::trial_id)
+            .collect())
+    }
+
+    /// An appending, per-line-flushing trial writer (shareable across
+    /// worker threads).
+    ///
+    /// If the log ends in a torn line (a kill mid-write leaves no trailing
+    /// newline), a newline is emitted first so the next record starts on a
+    /// fresh line instead of merging into — and thereby corrupting — the
+    /// torn one.
+    pub fn appender(&self) -> Result<TrialWriter, String> {
+        let path = self.trials_path();
+        // O(1): read only the final byte, not the (potentially large) log.
+        let needs_newline = File::open(&path)
+            .and_then(|mut f| {
+                use std::io::{Read, Seek, SeekFrom};
+                if f.seek(SeekFrom::End(0))? == 0 {
+                    return Ok(false);
+                }
+                f.seek(SeekFrom::End(-1))?;
+                let mut last = [0u8; 1];
+                f.read_exact(&mut last)?;
+                Ok(last[0] != b'\n')
+            })
+            .unwrap_or(false);
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("open {}: {e}", path.display()))?;
+        if needs_newline {
+            writeln!(file).map_err(|e| format!("repair torn tail of {}: {e}", path.display()))?;
+        }
+        Ok(TrialWriter {
+            inner: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+/// Thread-safe appending writer for trial records.
+#[derive(Debug)]
+pub struct TrialWriter {
+    inner: Mutex<BufWriter<File>>,
+}
+
+impl TrialWriter {
+    /// Append one record and flush, so a kill loses at most in-flight
+    /// trials.
+    pub fn append(&self, record: &TrialRecord) {
+        let mut w = self.inner.lock().unwrap();
+        // An I/O failure mid-campaign should abort loudly, not silently
+        // drop checkpoints.
+        writeln!(w, "{}", record.to_json_line()).expect("append trial record");
+        w.flush().expect("flush trial record");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let id = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "disp-campaign-test-{}-{tag}-{id}",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let spec = CampaignSpec::table1(Mode::Quick, 9);
+        let m = Manifest::of(&spec);
+        let back =
+            Manifest::from_json(&Json::parse(&m.to_json().to_string_compact()).unwrap()).unwrap();
+        assert_eq!(back, m);
+        let rebuilt = back.rebuild_spec().unwrap();
+        assert_eq!(rebuilt.grid_hash(), spec.grid_hash());
+    }
+
+    #[test]
+    fn create_open_append_and_resume_scan() {
+        let dir = tmp_dir("store");
+        let spec = CampaignSpec::table1(Mode::Quick, 5);
+        let store = CampaignStore::create(&dir, &spec, false).unwrap();
+        // Second create without force refuses; with force succeeds.
+        assert!(CampaignStore::create(&dir, &spec, false).is_err());
+
+        let trials = spec.trials();
+        let writer = store.appender().unwrap();
+        let rec = trials[0].point.run_trial(trials[0].rep, trials[0].seed);
+        writer.append(&rec);
+        drop(writer);
+
+        let (store2, manifest) = CampaignStore::open(&dir).unwrap();
+        assert_eq!(manifest.campaign, "table1");
+        assert_eq!(manifest.total_trials, trials.len());
+        let done = store2.completed_ids().unwrap();
+        assert_eq!(done.len(), 1);
+        assert!(done.contains(&trials[0].trial_id()));
+
+        // A torn tail is tolerated.
+        use std::io::Write as _;
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(store2.trials_path())
+            .unwrap();
+        write!(f, "{{\"point\":").unwrap();
+        drop(f);
+        let ingest = store2.read_trials().unwrap();
+        assert_eq!(ingest.records.len(), 1);
+        assert_eq!(ingest.malformed, 1);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_preserves_seeds_above_2_pow_53() {
+        let spec = CampaignSpec::mini(Mode::Quick, u64::MAX - 77);
+        let m = Manifest::of(&spec);
+        let back =
+            Manifest::from_json(&Json::parse(&m.to_json().to_string_compact()).unwrap()).unwrap();
+        assert_eq!(back.seed, u64::MAX - 77);
+        // The fingerprint check passes, so such a campaign is resumable.
+        back.rebuild_spec().unwrap();
+    }
+
+    #[test]
+    fn create_refuses_an_orphaned_trial_log() {
+        let dir = tmp_dir("orphan");
+        let spec = CampaignSpec::mini(Mode::Quick, 3);
+        let store = CampaignStore::create(&dir, &spec, false).unwrap();
+        let t = &spec.trials()[0];
+        store
+            .appender()
+            .unwrap()
+            .append(&t.point.run_trial(t.rep, t.seed));
+        // Lose the manifest but keep the checkpointed trials.
+        std::fs::remove_file(store.manifest_path()).unwrap();
+        let err = CampaignStore::create(&dir, &spec, false).unwrap_err();
+        assert!(err.contains("already contains a campaign"), "{err}");
+        // The log was not truncated by the refused create.
+        assert_eq!(store.read_trials().unwrap().records.len(), 1);
+        // --force still clobbers explicitly.
+        CampaignStore::create(&dir, &spec, true).unwrap();
+        assert_eq!(store.read_trials().unwrap().records.len(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rebuild_spec_rejects_fingerprint_mismatch() {
+        let spec = CampaignSpec::table1(Mode::Quick, 5);
+        let mut m = Manifest::of(&spec);
+        m.grid_hash ^= 1;
+        let err = m.rebuild_spec().unwrap_err();
+        assert!(err.contains("fingerprint mismatch"), "{err}");
+    }
+}

@@ -1,0 +1,183 @@
+//! The campaign engine's central promise, tested end to end: results are a
+//! pure function of `(campaign seed, point, repetition)` — independent of
+//! thread count, scheduling interleavings, and kill/resume splits.
+
+use disp_analysis::TrialRecord;
+use disp_campaign::grid::{section_points, CampaignSpec, Mode, Section};
+use disp_campaign::run::run_campaign;
+use disp_campaign::store::CampaignStore;
+use disp_core::runner::{Algorithm, Schedule};
+use disp_graph::generators::GraphFamily;
+use disp_rng::prelude::*;
+use std::path::PathBuf;
+
+/// Every algorithm × schedule combination: two runs with the same seed
+/// produce identical outcomes (rounds, epochs, moves, peak bits — the full
+/// `Outcome` and the dispersion verdict).
+#[test]
+fn every_algorithm_schedule_pair_is_seed_deterministic() {
+    let schedules = [
+        Schedule::Sync,
+        Schedule::AsyncRoundRobin,
+        Schedule::AsyncRandom { prob: 0.6, seed: 0 },
+        Schedule::AsyncLagging {
+            max_lag: 4,
+            seed: 0,
+        },
+    ];
+    let mut rng = StdRng::seed_from_u64(0xDE7E_0001);
+    for algorithm in Algorithm::all() {
+        for schedule in schedules {
+            // SyncSeeker is a SYNC-only algorithm.
+            if algorithm == Algorithm::SyncSeeker && schedule != Schedule::Sync {
+                continue;
+            }
+            for _case in 0..3 {
+                let seed = rng.next_u64();
+                let point = disp_analysis::ExperimentPoint {
+                    family: GraphFamily::RandomTree,
+                    k: 24,
+                    occupancy: 1.0,
+                    algorithm,
+                    schedule,
+                    repetitions: 1,
+                };
+                let a = point.run_trial(0, seed);
+                let b = point.run_trial(0, seed);
+                assert_eq!(
+                    a.outcome, b.outcome,
+                    "{algorithm:?} under {schedule:?} with seed {seed}"
+                );
+                assert_eq!(a.dispersed, b.dispersed);
+                assert_eq!(a.to_json_line(), b.to_json_line());
+            }
+        }
+    }
+}
+
+fn quick_mixed_spec(seed: u64) -> CampaignSpec {
+    // A cost-heterogeneous mini campaign: both schedulers, two families,
+    // two k values — enough spread to provoke real stealing at 8 threads.
+    CampaignSpec {
+        name: "table1",
+        mode: Mode::Quick,
+        seed,
+        sections: vec![
+            Section {
+                name: "sync-mini",
+                title: "sync mini",
+                points: section_points(
+                    &[GraphFamily::Line, GraphFamily::Star],
+                    &[16, 48],
+                    &[Algorithm::KsDfs, Algorithm::ProbeDfs, Algorithm::SyncSeeker],
+                    Schedule::Sync,
+                    2,
+                ),
+            },
+            Section {
+                name: "async-mini",
+                title: "async mini",
+                points: section_points(
+                    &[GraphFamily::RandomTree],
+                    &[16, 48],
+                    &[Algorithm::KsDfs, Algorithm::ProbeDfs],
+                    Schedule::AsyncRandom { prob: 0.7, seed: 0 },
+                    2,
+                ),
+            },
+        ],
+    }
+}
+
+fn sorted_lines(records: &[TrialRecord]) -> Vec<String> {
+    let mut lines: Vec<String> = records.iter().map(TrialRecord::to_json_line).collect();
+    lines.sort();
+    lines
+}
+
+/// A campaign at `--threads 1` and `--threads 8` produces identical sorted
+/// JSONL (and, because the engine returns grid order, identical unsorted
+/// record sequences too).
+#[test]
+fn threads_1_and_8_produce_identical_jsonl() {
+    let spec = quick_mixed_spec(0xC0FFEE);
+    let (one, s1) = run_campaign(&spec, None, 1).unwrap();
+    let (eight, s8) = run_campaign(&spec, None, 8).unwrap();
+    assert_eq!(s1.total, s8.total);
+    assert_eq!(sorted_lines(&one), sorted_lines(&eight));
+    // Stronger: grid-ordered output is identical line for line.
+    let unsorted =
+        |rs: &[TrialRecord]| -> Vec<String> { rs.iter().map(TrialRecord::to_json_line).collect() };
+    assert_eq!(unsorted(&one), unsorted(&eight));
+}
+
+/// Checkpoint files written at different thread counts are permutations of
+/// each other (completion order differs; content does not).
+#[test]
+fn checkpoint_files_sort_identically_across_thread_counts() {
+    let spec = quick_mixed_spec(0xBEEF);
+    let base = std::env::temp_dir().join(format!("disp-determinism-{}", std::process::id()));
+    let mut all_sorted: Vec<Vec<String>> = Vec::new();
+    for threads in [1usize, 8] {
+        let dir: PathBuf = base.join(format!("t{threads}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = CampaignStore::create(&dir, &spec, false).unwrap();
+        run_campaign(&spec, Some(&store), threads).unwrap();
+        let text = std::fs::read_to_string(store.trials_path()).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        lines.sort();
+        all_sorted.push(lines);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    assert_eq!(all_sorted[0], all_sorted[1]);
+    assert_eq!(all_sorted[0].len(), spec.trials().len());
+}
+
+/// Kill/resume determinism: a run interrupted anywhere and resumed (even at
+/// a different thread count) converges to the same byte content as an
+/// uninterrupted run.
+#[test]
+fn resume_after_partial_run_matches_uninterrupted_run() {
+    // `mini` is registered in `CampaignSpec::by_name`, so the manifest
+    // round-trip below can rebuild it exactly like the CLI would.
+    let spec = CampaignSpec::by_name("mini", Mode::Quick, 0xFACADE).unwrap();
+    let grid = spec.trials();
+    let dir = std::env::temp_dir().join(format!("disp-resume-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // "Kill" after an arbitrary prefix: checkpoint 40% of trials by hand,
+    // plus a torn tail to simulate death mid-write.
+    let store = CampaignStore::create(&dir, &spec, false).unwrap();
+    let writer = store.appender().unwrap();
+    let prefix = grid.len() * 2 / 5;
+    for t in &grid[..prefix] {
+        writer.append(&t.point.run_trial(t.rep, t.seed));
+    }
+    drop(writer);
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(store.trials_path())
+            .unwrap();
+        write!(f, "{{\"point\":{{\"fam").unwrap();
+    }
+
+    // Resume through the manifest path, like the CLI does.
+    let (store2, manifest) = CampaignStore::open(&dir).unwrap();
+    let respec = manifest.rebuild_spec().unwrap();
+    assert_eq!(respec.trials().len(), grid.len());
+    let (resumed, summary) = run_campaign(&respec, Some(&store2), 8).unwrap();
+    assert_eq!(summary.skipped, prefix);
+    assert_eq!(summary.executed, grid.len() - prefix);
+
+    let (clean, _) = run_campaign(&spec, None, 1).unwrap();
+    assert_eq!(sorted_lines(&resumed), sorted_lines(&clean));
+
+    // The on-disk log (minus the torn line) matches too.
+    let ingest = store2.read_trials().unwrap();
+    assert_eq!(ingest.malformed, 1);
+    assert_eq!(sorted_lines(&ingest.records), sorted_lines(&clean));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

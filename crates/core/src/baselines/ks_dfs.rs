@@ -158,7 +158,10 @@ impl KsDfs {
             }
         }
         KsDfs {
-            states: states.into_iter().map(|s| s.expect("every agent grouped")).collect(),
+            states: states
+                .into_iter()
+                .map(|s| s.expect("every agent grouped"))
+                .collect(),
             ids,
             k,
             max_degree: world.graph().max_degree(),
@@ -253,16 +256,15 @@ impl KsDfs {
                     Some(settler) => {
                         // Scan the settler's ports. The DFS bookkeeping lives
                         // in the settler (legal: it is co-located).
-                        let (parent_port, mut next_port, s_label) = match self.states
-                            [settler.index()]
-                        {
-                            AgentState::Settled {
-                                parent_port,
-                                next_port,
-                                treelabel,
-                            } => (parent_port, next_port, treelabel),
-                            _ => unreachable!(),
-                        };
+                        let (parent_port, mut next_port, s_label) =
+                            match self.states[settler.index()] {
+                                AgentState::Settled {
+                                    parent_port,
+                                    next_port,
+                                    treelabel,
+                                } => (parent_port, next_port, treelabel),
+                                _ => unreachable!(),
+                            };
                         if s_label != treelabel {
                             // A node settled by a different group while our
                             // group stood on it (can only happen transiently
@@ -298,9 +300,8 @@ impl KsDfs {
                             }
                         } else {
                             // Examine the neighbor behind `next_port`.
-                            if let AgentState::Settled {
-                                next_port: np, ..
-                            } = &mut self.states[settler.index()]
+                            if let AgentState::Settled { next_port: np, .. } =
+                                &mut self.states[settler.index()]
                             {
                                 *np = next_port + 1;
                             }
@@ -377,17 +378,20 @@ impl KsDfs {
             .collect();
         for a in members {
             self.states[a.index()] = AgentState::Scatter {
-                rng: self.scatter_seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(a.index() as u64 + 1)),
+                rng: self.scatter_seed
+                    ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(a.index() as u64 + 1)),
             };
         }
         self.states[leader.index()] = AgentState::Scatter {
-            rng: self.scatter_seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(leader.index() as u64 + 1)),
+            rng: self.scatter_seed
+                ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(leader.index() as u64 + 1)),
         };
     }
 
     fn enter_scatter(&mut self, agent: AgentId, _ctx: &ActivationCtx<'_>) {
         self.states[agent.index()] = AgentState::Scatter {
-            rng: self.scatter_seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(agent.index() as u64 + 1)),
+            rng: self.scatter_seed
+                ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(agent.index() as u64 + 1)),
         };
     }
 
@@ -397,10 +401,7 @@ impl KsDfs {
         };
         // Execute the leader's published order, if a fresh one is visible.
         if ctx.colocated().contains(&leader) {
-            if let AgentState::Leader {
-                order: Some(o), ..
-            } = self.states[leader.index()]
-            {
+            if let AgentState::Leader { order: Some(o), .. } = self.states[leader.index()] {
                 if o.flip != executed {
                     ctx.move_via(o.port);
                     self.states[agent.index()] = AgentState::Follower {
@@ -464,9 +465,7 @@ impl AgentProtocol for KsDfs {
                     + 2 * bits::opt_port_bits(self.max_degree)
                     + id
             }
-            AgentState::Settled { .. } => {
-                id + bits::opt_port_bits(self.max_degree) + port + 1 + id
-            }
+            AgentState::Settled { .. } => id + bits::opt_port_bits(self.max_degree) + port + 1 + id,
             AgentState::Scatter { .. } => id + 64,
         }
     }

@@ -153,14 +153,14 @@ pub fn empty_node_selection(tree: &Tree) -> Selection {
     let mut coverage: HashMap<usize, Coverer> = HashMap::new();
 
     // Step 1: settle every even-depth node.
-    for v in 0..n {
-        settled[v] = tree.depth(v) % 2 == 0;
+    for (v, slot) in settled.iter_mut().enumerate() {
+        *slot = tree.depth(v).is_multiple_of(2);
     }
 
     // Step 2, Case B: even-depth nodes with many (empty) children put extra
     // settlers on children 4, 7, 10, …; assign coverage for the rest.
     for v in 0..n {
-        if tree.depth(v) % 2 != 0 {
+        if !tree.depth(v).is_multiple_of(2) {
             continue;
         }
         for (idx, &c) in tree.children(v).iter().enumerate() {
@@ -183,7 +183,7 @@ pub fn empty_node_selection(tree: &Tree) -> Selection {
     // those leaf children all start settled (even depth); keep only every
     // third, the kept one covers the next ≤ 2.
     for v in 0..n {
-        if tree.depth(v) % 2 == 0 {
+        if tree.depth(v).is_multiple_of(2) {
             continue;
         }
         let leaf_children: Vec<usize> = tree
@@ -285,7 +285,7 @@ pub fn random_attachment_tree(k: usize, seed: u64) -> Tree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use disp_rng::prelude::*;
 
     fn line_tree(k: usize) -> Tree {
         let parent: Vec<usize> = (0..k)
@@ -295,7 +295,9 @@ mod tests {
     }
 
     fn star_tree(k: usize) -> Tree {
-        let parent: Vec<usize> = (0..k).map(|i| if i == 0 { usize::MAX } else { 0 }).collect();
+        let parent: Vec<usize> = (0..k)
+            .map(|i| if i == 0 { usize::MAX } else { 0 })
+            .collect();
         Tree::from_parents(parent)
     }
 
@@ -367,37 +369,54 @@ mod tests {
         let _ = Tree::from_parents(vec![usize::MAX, usize::MAX, 0]);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(128))]
-
-        /// Lemma 1 on arbitrary random trees: ≥ ⌈k/3⌉ empty nodes for k ≥ 3.
-        #[test]
-        fn lemma1_holds_on_random_trees(k in 3usize..300, seed in 0u64..10_000) {
+    /// Lemma 1 on arbitrary random trees: ≥ ⌈k/3⌉ empty nodes for k ≥ 3.
+    #[test]
+    fn lemma1_holds_on_random_trees() {
+        let mut rng = StdRng::seed_from_u64(0x1E44_A001);
+        for _ in 0..128 {
+            let k = rng.random_range(3..300usize);
+            let seed = rng.random_range(0..10_000u64);
             let t = random_attachment_tree(k, seed);
             let sel = empty_node_selection(&t);
-            prop_assert!(
+            assert!(
                 satisfies_lemma1(&t, &sel),
-                "k={}, empty={}, settled={}",
-                k, sel.num_empty(), sel.num_settled()
+                "k={}, seed={}, empty={}, settled={}",
+                k,
+                seed,
+                sel.num_empty(),
+                sel.num_settled()
             );
         }
+    }
 
-        /// Lemmas 2–3 structure on arbitrary random trees.
-        #[test]
-        fn coverage_holds_on_random_trees(k in 1usize..300, seed in 0u64..10_000) {
+    /// Lemmas 2–3 structure on arbitrary random trees.
+    #[test]
+    fn coverage_holds_on_random_trees() {
+        let mut rng = StdRng::seed_from_u64(0x1E44_A002);
+        for _ in 0..128 {
+            let k = rng.random_range(1..300usize);
+            let seed = rng.random_range(0..10_000u64);
             let t = random_attachment_tree(k, seed);
             let sel = empty_node_selection(&t);
-            prop_assert!(check_coverage(&t, &sel).is_ok());
+            assert!(check_coverage(&t, &sel).is_ok(), "k={k}, seed={seed}");
         }
+    }
 
-        /// Selection is deterministic and total: every node is either settled
-        /// or covered.
-        #[test]
-        fn selection_is_total(k in 1usize..200, seed in 0u64..10_000) {
+    /// Selection is deterministic and total: every node is either settled
+    /// or covered.
+    #[test]
+    fn selection_is_total() {
+        let mut rng = StdRng::seed_from_u64(0x1E44_A003);
+        for _ in 0..128 {
+            let k = rng.random_range(1..200usize);
+            let seed = rng.random_range(0..10_000u64);
             let t = random_attachment_tree(k, seed);
             let sel = empty_node_selection(&t);
             for v in 0..k {
-                prop_assert!(sel.settled[v] || sel.coverage.contains_key(&v));
+                assert!(
+                    sel.settled[v] || sel.coverage.contains_key(&v),
+                    "k={k}, seed={seed}, node {v}"
+                );
             }
         }
     }

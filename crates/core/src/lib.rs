@@ -35,7 +35,6 @@ pub use baselines::ks_dfs::KsDfs;
 pub use probe_dfs::ProbeDfs;
 pub use rooted_sync::RootedSyncDisp;
 
-
 /// Convenient glob import for downstream crates.
 pub mod prelude {
     pub use crate::baselines::ks_dfs::KsDfs;

@@ -195,10 +195,7 @@ impl ProbeDfs {
             "ProbeDfs handles rooted initial configurations; use KsDfs or the general wrappers for scattered starts"
         );
         let leader = AgentId(k as u32 - 1);
-        let mut states = vec![
-            AgentState::Follower { executed: false };
-            k
-        ];
+        let mut states = vec![AgentState::Follower { executed: false }; k];
         states[leader.index()] = AgentState::Leader {
             phase: LeaderPhase::Decide,
             group_size: k - 1,
@@ -359,9 +356,8 @@ impl ProbeDfs {
                 } else {
                     let helpers = self.available_helpers(ctx);
                     self.current_probe_iterations += 1;
-                    self.max_probe_iterations = self
-                        .max_probe_iterations
-                        .max(self.current_probe_iterations);
+                    self.max_probe_iterations =
+                        self.max_probe_iterations.max(self.current_probe_iterations);
                     if helpers.is_empty() {
                         // The leader is the only unsettled agent left at this
                         // node: probe the next port itself.
@@ -612,11 +608,7 @@ impl ProbeDfs {
 
     /// After probing finished (hit or exhausted): run see-off if guests are
     /// present, otherwise go straight to the movement decision.
-    fn finish_probing(
-        &mut self,
-        ctx: &ActivationCtx<'_>,
-        next_empty: Option<Port>,
-    ) -> LeaderPhase {
+    fn finish_probing(&mut self, ctx: &ActivationCtx<'_>, next_empty: Option<Port>) -> LeaderPhase {
         let _ = next_empty;
         if self.idle_guests(ctx).is_empty() {
             LeaderPhase::SeeOffWaitSettler // settler is present; falls through
@@ -647,8 +639,8 @@ impl ProbeDfs {
                 let AgentState::Settled { parent_port } = self.states[settler.index()] else {
                     unreachable!()
                 };
-                let p = parent_port
-                    .expect("DFS root can only be exhausted after every agent settled");
+                let p =
+                    parent_port.expect("DFS root can only be exhausted after every agent settled");
                 *order = Some(GroupOrder { flip, port: p });
                 LeaderPhase::Departing(MoveIntent::Backtrack)
             }
@@ -664,10 +656,7 @@ impl ProbeDfs {
             unreachable!()
         };
         if ctx.colocated().contains(&self.leader) {
-            if let AgentState::Leader {
-                order: Some(o), ..
-            } = self.states[self.leader.index()]
-            {
+            if let AgentState::Leader { order: Some(o), .. } = self.states[self.leader.index()] {
                 if o.flip != executed {
                     ctx.move_via(o.port);
                     self.states[agent.index()] = AgentState::Follower { executed: o.flip };

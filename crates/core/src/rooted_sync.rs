@@ -382,10 +382,7 @@ impl RootedSyncDisp {
             unreachable!()
         };
         if ctx.colocated().contains(&self.leader) {
-            if let AgentState::Leader {
-                order: Some(o), ..
-            } = self.states[self.leader.index()]
-            {
+            if let AgentState::Leader { order: Some(o), .. } = self.states[self.leader.index()] {
                 if o.flip != executed {
                     ctx.move_via(o.port);
                     self.states[agent.index()] = AgentState::Follower { executed: o.flip };
@@ -395,7 +392,12 @@ impl RootedSyncDisp {
     }
 
     fn act_seeker(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
-        let AgentState::Seeker { port, mut pin, stage } = self.states[agent.index()].clone() else {
+        let AgentState::Seeker {
+            port,
+            mut pin,
+            stage,
+        } = self.states[agent.index()].clone()
+        else {
             unreachable!()
         };
         let mut stage = stage;
@@ -552,9 +554,21 @@ mod tests {
     fn wait_rounds_ablation_costs_time_but_preserves_correctness() {
         let g = generators::random_tree(30, 7);
         let mut w1 = World::new_rooted(g.clone(), 30, NodeId(0));
-        let (fast, _) = run(&mut w1, SyncConfig { wait_rounds: 1, max_probers: None });
+        let (fast, _) = run(
+            &mut w1,
+            SyncConfig {
+                wait_rounds: 1,
+                max_probers: None,
+            },
+        );
         let mut w2 = World::new_rooted(g, 30, NodeId(0));
-        let (slow, _) = run(&mut w2, SyncConfig { wait_rounds: 6, max_probers: None });
+        let (slow, _) = run(
+            &mut w2,
+            SyncConfig {
+                wait_rounds: 6,
+                max_probers: None,
+            },
+        );
         assert!(slow.rounds > fast.rounds);
     }
 

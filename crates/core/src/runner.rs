@@ -7,13 +7,11 @@ use crate::rooted_sync::{RootedSyncDisp, SyncConfig};
 use crate::verify;
 use disp_graph::{NodeId, PortGraph};
 use disp_sim::{
-    AgentProtocol, AsyncRunner, LaggingAdversary, Outcome, RandomSubsetAdversary,
-    RoundRobinAdversary, RunConfig, RunError, SyncRunner, World,
+    AdversaryKind, AgentProtocol, AsyncRunner, Outcome, RunConfig, RunError, SyncRunner, World,
 };
-use serde::{Deserialize, Serialize};
 
 /// Which dispersion algorithm to run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Algorithm {
     /// Group DFS with port scanning — the `O(min{m, kΔ})` baseline
     /// (Kshemkalyani–Sharma, OPODIS'21). Supports general configurations.
@@ -41,10 +39,21 @@ impl Algorithm {
     pub fn supports_general(&self) -> bool {
         matches!(self, Algorithm::KsDfs)
     }
+
+    /// Every algorithm, in report order.
+    pub fn all() -> [Algorithm; 3] {
+        [Algorithm::KsDfs, Algorithm::ProbeDfs, Algorithm::SyncSeeker]
+    }
+
+    /// Inverse of [`Algorithm::label`] (used by CLI parsing and record
+    /// ingestion).
+    pub fn from_label(label: &str) -> Option<Algorithm> {
+        Algorithm::all().into_iter().find(|a| a.label() == label)
+    }
 }
 
 /// Which scheduler to run under.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Schedule {
     /// Synchronous rounds.
     Sync,
@@ -77,6 +86,35 @@ impl Schedule {
             Schedule::AsyncLagging { max_lag, .. } => format!("async-lag{max_lag}"),
         }
     }
+
+    /// The same schedule with its adversary seed replaced by `seed`.
+    ///
+    /// The campaign engine stores one schedule per experiment point and
+    /// derives a fresh seed per trial; deterministic schedules (SYNC,
+    /// round-robin) are returned unchanged.
+    pub fn reseeded(self, seed: u64) -> Schedule {
+        match self {
+            Schedule::Sync => Schedule::Sync,
+            Schedule::AsyncRoundRobin => Schedule::AsyncRoundRobin,
+            Schedule::AsyncRandom { prob, .. } => Schedule::AsyncRandom { prob, seed },
+            Schedule::AsyncLagging { max_lag, .. } => Schedule::AsyncLagging { max_lag, seed },
+        }
+    }
+
+    /// The adversary this schedule runs under, as a seedable descriptor plus
+    /// the stored seed — `None` for the synchronous scheduler.
+    pub fn adversary(&self) -> Option<(AdversaryKind, u64)> {
+        match *self {
+            Schedule::Sync => None,
+            Schedule::AsyncRoundRobin => Some((AdversaryKind::RoundRobin, 0)),
+            Schedule::AsyncRandom { prob, seed } => {
+                Some((AdversaryKind::RandomSubset { prob }, seed))
+            }
+            Schedule::AsyncLagging { max_lag, seed } => {
+                Some((AdversaryKind::Lagging { max_lag }, seed))
+            }
+        }
+    }
 }
 
 /// A complete run specification.
@@ -107,7 +145,7 @@ impl Default for RunSpec {
 }
 
 /// The result of [`run`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Algorithm label.
     pub algorithm: String,
@@ -126,25 +164,21 @@ fn drive(
     world: &mut World,
     protocol: &mut dyn AgentProtocol,
 ) -> Result<Outcome, RunError> {
-    match spec.schedule {
-        Schedule::Sync => SyncRunner::new(spec.limits.clone()).run(world, protocol),
-        Schedule::AsyncRoundRobin => {
-            AsyncRunner::new(spec.limits.clone(), RoundRobinAdversary).run(world, protocol)
-        }
-        Schedule::AsyncRandom { prob, seed } => {
-            AsyncRunner::new(spec.limits.clone(), RandomSubsetAdversary::new(prob, seed))
-                .run(world, protocol)
-        }
-        Schedule::AsyncLagging { max_lag, seed } => {
-            AsyncRunner::new(spec.limits.clone(), LaggingAdversary::new(max_lag, seed))
-                .run(world, protocol)
+    match spec.schedule.adversary() {
+        None => SyncRunner::new(spec.limits.clone()).run(world, protocol),
+        Some((kind, seed)) => {
+            AsyncRunner::new(spec.limits.clone(), kind.build(seed)).run(world, protocol)
         }
     }
 }
 
 /// Run `spec` on `graph` with the given initial positions and report the
 /// outcome together with a dispersion check of the final configuration.
-pub fn run(graph: &PortGraph, positions: Vec<NodeId>, spec: &RunSpec) -> Result<RunReport, RunError> {
+pub fn run(
+    graph: &PortGraph,
+    positions: Vec<NodeId>,
+    spec: &RunSpec,
+) -> Result<RunReport, RunError> {
     let mut world = World::new(graph.clone(), positions);
     let outcome = match spec.algorithm {
         Algorithm::KsDfs => {
@@ -205,7 +239,10 @@ mod tests {
         for schedule in [
             Schedule::AsyncRoundRobin,
             Schedule::AsyncRandom { prob: 0.5, seed: 3 },
-            Schedule::AsyncLagging { max_lag: 4, seed: 7 },
+            Schedule::AsyncLagging {
+                max_lag: 4,
+                seed: 7,
+            },
         ] {
             for algo in [Algorithm::KsDfs, Algorithm::ProbeDfs] {
                 let spec = RunSpec {
@@ -234,9 +271,48 @@ mod tests {
     }
 
     #[test]
+    fn reseeded_replaces_only_adversary_seeds() {
+        assert_eq!(Schedule::Sync.reseeded(9), Schedule::Sync);
+        assert_eq!(
+            Schedule::AsyncRoundRobin.reseeded(9),
+            Schedule::AsyncRoundRobin
+        );
+        assert_eq!(
+            Schedule::AsyncRandom { prob: 0.5, seed: 1 }.reseeded(9),
+            Schedule::AsyncRandom { prob: 0.5, seed: 9 }
+        );
+        assert_eq!(
+            Schedule::AsyncLagging {
+                max_lag: 4,
+                seed: 1
+            }
+            .reseeded(9),
+            Schedule::AsyncLagging {
+                max_lag: 4,
+                seed: 9
+            }
+        );
+    }
+
+    #[test]
+    fn algorithm_labels_round_trip() {
+        for algo in Algorithm::all() {
+            assert_eq!(Algorithm::from_label(algo.label()), Some(algo));
+        }
+        assert_eq!(Algorithm::from_label("nope"), None);
+    }
+
+    #[test]
     fn labels_are_stable() {
         assert_eq!(Algorithm::ProbeDfs.label(), "probe-dfs");
         assert_eq!(Schedule::Sync.label(), "sync");
-        assert_eq!(Schedule::AsyncLagging { max_lag: 9, seed: 0 }.label(), "async-lag9");
+        assert_eq!(
+            Schedule::AsyncLagging {
+                max_lag: 9,
+                seed: 0
+            }
+            .label(),
+            "async-lag9"
+        );
     }
 }

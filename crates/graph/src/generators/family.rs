@@ -2,7 +2,6 @@
 
 use crate::generators::{deterministic, random};
 use crate::graph::PortGraph;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A named, parameterized graph family that the experiment harness can
@@ -12,7 +11,7 @@ use std::fmt;
 /// (exactly `n` for most families; grid/torus/hypercube round to the nearest
 /// realizable size ≥ the request where necessary). The realized node count is
 /// always `graph.num_nodes()`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum GraphFamily {
     /// Path graph — the Ω(k) time lower-bound instance.
     Line,
@@ -109,7 +108,7 @@ impl GraphFamily {
             GraphFamily::RandomRegular { degree } => {
                 let d = degree.min(n - 1).max(2);
                 // n·d must be even.
-                let n = if n * d % 2 == 0 { n } else { n + 1 };
+                let n = if (n * d).is_multiple_of(2) { n } else { n + 1 };
                 random::random_regular(n, d, seed)
             }
             GraphFamily::ErdosRenyi { avg_degree } => {
@@ -131,6 +130,48 @@ impl GraphFamily {
                 deterministic::caterpillar(spine, legs)
             }
         }
+    }
+
+    /// Inverse of [`GraphFamily::label`]: parse a label back into a family
+    /// (used by record ingestion and the campaign CLI). Parameterized labels
+    /// carry their parameter inline (`rreg4`, `er6`, `caterpillar3`).
+    pub fn from_label(label: &str) -> Option<GraphFamily> {
+        let fixed = match label {
+            "line" => Some(GraphFamily::Line),
+            "ring" => Some(GraphFamily::Ring),
+            "star" => Some(GraphFamily::Star),
+            "complete" => Some(GraphFamily::Complete),
+            "bintree" => Some(GraphFamily::BinaryTree),
+            "rtree" => Some(GraphFamily::RandomTree),
+            "grid" => Some(GraphFamily::Grid),
+            "torus" => Some(GraphFamily::Torus),
+            "hypercube" => Some(GraphFamily::Hypercube),
+            "barbell" => Some(GraphFamily::Barbell),
+            "lollipop" => Some(GraphFamily::Lollipop),
+            _ => None,
+        };
+        if fixed.is_some() {
+            return fixed;
+        }
+        if let Some(rest) = label.strip_prefix("rreg") {
+            return rest
+                .parse()
+                .ok()
+                .map(|degree| GraphFamily::RandomRegular { degree });
+        }
+        if let Some(rest) = label.strip_prefix("caterpillar") {
+            return rest
+                .parse()
+                .ok()
+                .map(|legs| GraphFamily::Caterpillar { legs });
+        }
+        if let Some(rest) = label.strip_prefix("er") {
+            return rest
+                .parse()
+                .ok()
+                .map(|avg_degree| GraphFamily::ErdosRenyi { avg_degree });
+        }
+        None
     }
 
     /// Short machine-friendly label (used in CSV headers and bench ids).
@@ -180,6 +221,15 @@ mod tests {
                 assert!(g.num_nodes() >= 4, "{fam} at n={n} too small");
             }
         }
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_label() {
+        for fam in GraphFamily::all() {
+            assert_eq!(GraphFamily::from_label(&fam.label()), Some(fam), "{fam}");
+        }
+        assert_eq!(GraphFamily::from_label("unknown"), None);
+        assert_eq!(GraphFamily::from_label("rregx"), None);
     }
 
     #[test]

@@ -3,8 +3,7 @@
 use crate::builder::GraphBuilder;
 use crate::graph::PortGraph;
 use crate::ids::{NodeId, Port};
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use disp_rng::prelude::*;
 
 /// Uniform random labeled tree on `n ≥ 1` nodes (via a random Prüfer
 /// sequence), deterministic for a given `seed`.
@@ -53,7 +52,10 @@ pub fn random_tree(n: usize, seed: u64) -> PortGraph {
 /// a given `seed`.
 pub fn erdos_renyi_connected(n: usize, p: f64, seed: u64) -> PortGraph {
     assert!(n >= 1, "Erdős–Rényi graph needs at least one node");
-    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability must be in [0, 1]"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n).name(format!("er-{n}-p{p}-s{seed}"));
     // Random spanning tree first (random permutation + random attachment)
@@ -81,7 +83,7 @@ pub fn erdos_renyi_connected(n: usize, p: f64, seed: u64) -> PortGraph {
 pub fn random_regular(n: usize, d: usize, seed: u64) -> PortGraph {
     assert!(d >= 2, "random regular graph needs degree ≥ 2");
     assert!(d < n, "degree must be smaller than node count");
-    assert!(n * d % 2 == 0, "n·d must be even");
+    assert!((n * d).is_multiple_of(2), "n·d must be even");
     let mut rng = StdRng::seed_from_u64(seed);
     // Configuration model with edge-switch repair of self loops / parallel
     // edges, retried if the repaired graph ends up disconnected (rare for
@@ -102,9 +104,9 @@ fn try_random_regular(n: usize, d: usize, rng: &mut StdRng, seed: u64) -> Option
     // Repair pass: repeatedly swap a bad edge with a random other edge.
     for _ in 0..(20 * edges.len() + 100) {
         let mut seen = std::collections::HashSet::new();
-        let bad = edges.iter().position(|&(u, v)| {
-            u == v || !seen.insert(edge_key(u, v))
-        });
+        let bad = edges
+            .iter()
+            .position(|&(u, v)| u == v || !seen.insert(edge_key(u, v)));
         let Some(i) = bad else { break };
         let j = rng.random_range(0..edges.len());
         if i == j {

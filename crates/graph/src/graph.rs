@@ -1,7 +1,6 @@
 //! The immutable, CSR-packed port-labeled graph.
 
 use crate::ids::{NodeId, Port};
-use serde::{Deserialize, Serialize};
 
 /// A simple, undirected, connected(-checkable), anonymous, port-labeled graph.
 ///
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// [`crate::generators`], both of which validate the structure (distinct
 /// 1-based ports at every node, symmetric edges, no self-loops or parallel
 /// edges).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PortGraph {
     pub(crate) offsets: Vec<usize>,
     pub(crate) neighbors: Vec<NodeId>,

@@ -1,6 +1,5 @@
 //! Strongly-typed identifiers for nodes and local ports.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a node in a [`crate::PortGraph`].
@@ -9,7 +8,7 @@ use std::fmt;
 /// the numeric value for decisions (it exists only so the simulator and the
 /// test/verification code can refer to nodes). The algorithm crates uphold
 /// this convention; the type keeps accidental arithmetic at bay.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -37,7 +36,7 @@ impl fmt::Display for NodeId {
 /// Ports are **1-based**, matching the paper: the edges incident to a node
 /// `v` are labeled `1..=δ_v`. `Port(0)` is never a valid label; the sentinel
 /// "no port" (the paper's `⊥`) is represented by `Option<Port>`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Port(pub u32);
 
 impl Port {

@@ -7,7 +7,10 @@ use std::collections::VecDeque;
 
 /// Number of nodes reachable from `start` (including `start`).
 pub fn reachable_from(g: &PortGraph, start: NodeId) -> usize {
-    bfs_distances(g, start).iter().filter(|d| d.is_some()).count()
+    bfs_distances(g, start)
+        .iter()
+        .filter(|d| d.is_some())
+        .count()
 }
 
 /// Whether the graph is connected.
@@ -38,9 +41,10 @@ pub fn bfs_distances(g: &PortGraph, start: NodeId) -> Vec<Option<usize>> {
 /// Returns `None` if some node is unreachable from `v`.
 pub fn eccentricity(g: &PortGraph, v: NodeId) -> Option<usize> {
     let dist = bfs_distances(g, v);
-    dist.iter().copied().collect::<Option<Vec<_>>>().map(|ds| {
-        ds.into_iter().max().unwrap_or(0)
-    })
+    dist.iter()
+        .copied()
+        .collect::<Option<Vec<_>>>()
+        .map(|ds| ds.into_iter().max().unwrap_or(0))
 }
 
 /// Exact diameter by running a BFS from every node. `O(n·m)`; intended for

@@ -54,7 +54,10 @@ pub fn check_port_labeling(g: &PortGraph) -> Result<(), ValidationError> {
                 return Err(ValidationError::SelfLoop(v));
             }
             if !seen.insert(u) {
-                return Err(ValidationError::ParallelEdge { node: v, neighbor: u });
+                return Err(ValidationError::ParallelEdge {
+                    node: v,
+                    neighbor: u,
+                });
             }
             if q.offset() >= g.degree(u) || g.traverse(u, q) != (v, p) {
                 return Err(ValidationError::AsymmetricEdge { from: v, port: p });

@@ -1,41 +1,63 @@
 //! Property-based tests on the graph substrate.
+//!
+//! The properties are checked over seeded random instances drawn with
+//! [`disp_rng`] (the workspace has no external property-testing dependency);
+//! every case prints its drawn parameters on failure so a reproduction is one
+//! `StdRng::seed_from_u64` away.
 
 use disp_graph::prelude::*;
-use proptest::prelude::*;
+use disp_rng::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    /// Every generated random tree is a valid, connected tree whose
-    /// traversal function is an involution.
-    #[test]
-    fn random_tree_invariants(n in 1usize..200, seed in 0u64..1000) {
+/// Every generated random tree is a valid, connected tree whose traversal
+/// function is an involution.
+#[test]
+fn random_tree_invariants() {
+    let mut rng = StdRng::seed_from_u64(0x7EE5_0001);
+    for case in 0..CASES {
+        let n = rng.random_range(1..200usize);
+        let seed = rng.random_range(0..1000u64);
         let g = generators::random_tree(n, seed);
-        prop_assert_eq!(g.num_nodes(), n);
-        prop_assert_eq!(g.num_edges(), n - 1);
-        prop_assert!(properties::is_tree(&g));
+        assert_eq!(g.num_nodes(), n, "case {case}: n={n} seed={seed}");
+        assert_eq!(g.num_edges(), n - 1, "case {case}: n={n} seed={seed}");
+        assert!(properties::is_tree(&g), "case {case}: n={n} seed={seed}");
         validate::check_port_labeling(&g).unwrap();
         for v in g.nodes() {
             for p in g.ports(v) {
                 let (u, pin) = g.traverse(v, p);
-                prop_assert_eq!(g.traverse(u, pin), (v, p));
+                assert_eq!(g.traverse(u, pin), (v, p), "n={n} seed={seed}");
             }
         }
     }
+}
 
-    /// Erdős–Rényi graphs are connected and simple for any p.
-    #[test]
-    fn er_invariants(n in 2usize..80, p in 0.0f64..1.0, seed in 0u64..1000) {
+/// Erdős–Rényi graphs are connected and simple for any p.
+#[test]
+fn er_invariants() {
+    let mut rng = StdRng::seed_from_u64(0x7EE5_0002);
+    for case in 0..CASES {
+        let n = rng.random_range(2..80usize);
+        let p = rng.random_f64();
+        let seed = rng.random_range(0..1000u64);
         let g = generators::erdos_renyi_connected(n, p, seed);
-        prop_assert!(properties::is_connected(&g));
+        let ctx = format!("case {case}: n={n} p={p} seed={seed}");
+        assert!(properties::is_connected(&g), "{ctx}");
         validate::check_port_labeling(&g).unwrap();
-        prop_assert!(g.num_edges() >= n - 1);
-        prop_assert!(g.num_edges() <= n * (n - 1) / 2);
+        assert!(g.num_edges() >= n - 1, "{ctx}");
+        assert!(g.num_edges() <= n * (n - 1) / 2, "{ctx}");
     }
+}
 
-    /// Port permutation preserves the edge multiset and degrees.
-    #[test]
-    fn permute_ports_preserves_edges(n in 2usize..60, p in 0.05f64..0.5, s1 in 0u64..100, s2 in 0u64..100) {
+/// Port permutation preserves the edge multiset and degrees.
+#[test]
+fn permute_ports_preserves_edges() {
+    let mut rng = StdRng::seed_from_u64(0x7EE5_0003);
+    for case in 0..CASES {
+        let n = rng.random_range(2..60usize);
+        let p = 0.05 + 0.45 * rng.random_f64();
+        let s1 = rng.random_range(0..100u64);
+        let s2 = rng.random_range(0..100u64);
         let g = generators::erdos_renyi_connected(n, p, s1);
         let h = generators::permute_ports(&g, s2);
         validate::check_port_labeling(&h).unwrap();
@@ -44,37 +66,53 @@ proptest! {
             e.sort();
             e
         };
-        prop_assert_eq!(canon(&g), canon(&h));
+        let ctx = format!("case {case}: n={n} p={p} s1={s1} s2={s2}");
+        assert_eq!(canon(&g), canon(&h), "{ctx}");
         for v in g.nodes() {
-            prop_assert_eq!(g.degree(v), h.degree(v));
+            assert_eq!(g.degree(v), h.degree(v), "{ctx}");
         }
     }
+}
 
-    /// BFS distances satisfy the triangle property along edges:
-    /// |d(u) - d(v)| ≤ 1 for every edge {u, v}.
-    #[test]
-    fn bfs_distance_lipschitz(n in 2usize..80, p in 0.02f64..0.4, seed in 0u64..500) {
+/// BFS distances satisfy the triangle property along edges:
+/// |d(u) - d(v)| ≤ 1 for every edge {u, v}.
+#[test]
+fn bfs_distance_lipschitz() {
+    let mut rng = StdRng::seed_from_u64(0x7EE5_0004);
+    for case in 0..CASES {
+        let n = rng.random_range(2..80usize);
+        let p = 0.02 + 0.38 * rng.random_f64();
+        let seed = rng.random_range(0..500u64);
         let g = generators::erdos_renyi_connected(n, p, seed);
         let dist = properties::bfs_distances(&g, NodeId(0));
         for (u, _, v, _) in g.edges() {
             let du = dist[u.index()].unwrap() as i64;
             let dv = dist[v.index()].unwrap() as i64;
-            prop_assert!((du - dv).abs() <= 1);
+            assert!(
+                (du - dv).abs() <= 1,
+                "case {case}: n={n} p={p} seed={seed}: edge ({u}, {v})"
+            );
         }
     }
+}
 
-    /// The double-sweep diameter estimate never exceeds the exact diameter
-    /// and matches it exactly on trees.
-    #[test]
-    fn double_sweep_bounds(n in 2usize..80, seed in 0u64..300) {
+/// The double-sweep diameter estimate never exceeds the exact diameter and
+/// matches it exactly on trees.
+#[test]
+fn double_sweep_bounds() {
+    let mut rng = StdRng::seed_from_u64(0x7EE5_0005);
+    for case in 0..CASES {
+        let n = rng.random_range(2..80usize);
+        let seed = rng.random_range(0..300u64);
         let tree = generators::random_tree(n, seed);
-        prop_assert_eq!(
+        assert_eq!(
             properties::diameter(&tree),
-            properties::diameter_double_sweep(&tree)
+            properties::diameter_double_sweep(&tree),
+            "case {case}: tree n={n} seed={seed}"
         );
         let g = generators::erdos_renyi_connected(n, 0.1, seed);
         let exact = properties::diameter(&g).unwrap();
         let sweep = properties::diameter_double_sweep(&g).unwrap();
-        prop_assert!(sweep <= exact);
+        assert!(sweep <= exact, "case {case}: n={n} seed={seed}");
     }
 }

@@ -6,8 +6,7 @@
 //! list of agents to activate during that step.
 
 use crate::ids::AgentId;
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use disp_rng::prelude::*;
 
 /// A source of ASYNC activation decisions.
 pub trait Adversary {
@@ -20,6 +19,52 @@ pub trait Adversary {
     fn name(&self) -> &'static str;
 }
 
+impl Adversary for Box<dyn Adversary> {
+    fn next_step(&mut self, k: usize, step: u64) -> Vec<AgentId> {
+        (**self).next_step(k, step)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// A value-level description of an adversary, separated from its RNG seed.
+///
+/// The experiment harness stores `AdversaryKind`s in its grid and derives a
+/// fresh seed per trial, so construction has to be a cheap, seedable,
+/// data-driven operation — this is that constructor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdversaryKind {
+    /// [`RoundRobinAdversary`].
+    RoundRobin,
+    /// [`RandomSubsetAdversary`] with the given per-step activation
+    /// probability.
+    RandomSubset {
+        /// Per-agent activation probability per step.
+        prob: f64,
+    },
+    /// [`LaggingAdversary`] with the given maximum per-agent lag.
+    Lagging {
+        /// Largest per-agent activation period.
+        max_lag: u64,
+    },
+}
+
+impl AdversaryKind {
+    /// Instantiate the adversary with the given seed (ignored by the
+    /// deterministic round-robin adversary).
+    pub fn build(self, seed: u64) -> Box<dyn Adversary> {
+        match self {
+            AdversaryKind::RoundRobin => Box::new(RoundRobinAdversary),
+            AdversaryKind::RandomSubset { prob } => {
+                Box::new(RandomSubsetAdversary::new(prob, seed))
+            }
+            AdversaryKind::Lagging { max_lag } => Box::new(LaggingAdversary::new(max_lag, seed)),
+        }
+    }
+}
+
 /// Activates every agent exactly once per step, rotating the starting agent,
 /// so each step is an epoch. The most benign legal schedule; useful as a
 /// best-case reference and for differential testing against SYNC runs.
@@ -29,9 +74,7 @@ pub struct RoundRobinAdversary;
 impl Adversary for RoundRobinAdversary {
     fn next_step(&mut self, k: usize, step: u64) -> Vec<AgentId> {
         let start = (step % k as u64) as usize;
-        (0..k)
-            .map(|i| AgentId(((start + i) % k) as u32))
-            .collect()
+        (0..k).map(|i| AgentId(((start + i) % k) as u32)).collect()
     }
 
     fn name(&self) -> &'static str {
@@ -205,5 +248,23 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn zero_probability_rejected() {
         let _ = RandomSubsetAdversary::new(0.0, 1);
+    }
+
+    #[test]
+    fn kind_builds_matching_seeded_adversaries() {
+        let kinds = [
+            AdversaryKind::RoundRobin,
+            AdversaryKind::RandomSubset { prob: 0.4 },
+            AdversaryKind::Lagging { max_lag: 3 },
+        ];
+        for kind in kinds {
+            let mut a = kind.build(77);
+            let mut b = kind.build(77);
+            for step in 0..30 {
+                assert_eq!(a.next_step(5, step), b.next_step(5, step), "{kind:?}");
+            }
+            activates_everyone_eventually(&mut kind.build(78), 5, 300);
+        }
+        assert_eq!(AdversaryKind::RoundRobin.build(0).name(), "round-robin");
     }
 }

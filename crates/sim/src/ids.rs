@@ -1,6 +1,5 @@
 //! Agent identifiers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of an agent in a [`crate::World`] (`0..k`).
@@ -9,7 +8,7 @@ use std::fmt;
 /// (the paper's `a_i.ID ∈ [1, k^O(1)]`) is stored by the protocol itself and
 /// accounted in its memory footprint; by default [`crate::World::new_rooted`]
 /// and friends assign algorithmic IDs equal to `index + 1`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AgentId(pub u32);
 
 impl AgentId {

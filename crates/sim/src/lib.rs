@@ -74,7 +74,9 @@ pub mod trace;
 pub mod trip;
 pub mod world;
 
-pub use adversary::{Adversary, LaggingAdversary, RandomSubsetAdversary, RoundRobinAdversary};
+pub use adversary::{
+    Adversary, AdversaryKind, LaggingAdversary, RandomSubsetAdversary, RoundRobinAdversary,
+};
 pub use clock::Clock;
 pub use ids::AgentId;
 pub use metrics::{Metrics, Outcome};
@@ -87,7 +89,7 @@ pub use world::{ActivationCtx, World};
 /// Convenient glob import for downstream crates.
 pub mod prelude {
     pub use crate::adversary::{
-        Adversary, LaggingAdversary, RandomSubsetAdversary, RoundRobinAdversary,
+        Adversary, AdversaryKind, LaggingAdversary, RandomSubsetAdversary, RoundRobinAdversary,
     };
     pub use crate::bits;
     pub use crate::ids::AgentId;

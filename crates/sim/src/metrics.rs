@@ -1,10 +1,9 @@
 //! Movement, time and memory metrics; the per-run [`Outcome`] summary.
 
 use crate::ids::AgentId;
-use serde::{Deserialize, Serialize};
 
 /// Counters accumulated while a protocol runs.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Metrics {
     total_moves: u64,
     moves_per_agent: Vec<u64>,
@@ -63,7 +62,7 @@ impl Metrics {
 }
 
 /// Summary of one protocol execution, as produced by the runners.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Outcome {
     /// Completed SYNC rounds (0 for ASYNC runs).
     pub rounds: u64,
@@ -100,6 +99,46 @@ impl Outcome {
         } else {
             self.epochs
         }
+    }
+
+    /// Flatten into stable `(field, value)` pairs for streaming writers
+    /// (JSONL, CSV). `terminated` is encoded as 0/1. The field names are part
+    /// of the on-disk campaign format; [`Outcome::from_named`] is the inverse.
+    pub fn flat_fields(&self) -> [(&'static str, u64); 12] {
+        [
+            ("rounds", self.rounds),
+            ("steps", self.steps),
+            ("epochs", self.epochs),
+            ("activations", self.activations),
+            ("total_moves", self.total_moves),
+            ("max_moves_per_agent", self.max_moves_per_agent),
+            ("peak_memory_bits", self.peak_memory_bits as u64),
+            ("terminated", self.terminated as u64),
+            ("k", self.k as u64),
+            ("n", self.n as u64),
+            ("m", self.m as u64),
+            ("max_degree", self.max_degree as u64),
+        ]
+    }
+
+    /// Rebuild an outcome from a field lookup (e.g. a parsed JSON object).
+    /// Returns `None` if any field of the [`Outcome::flat_fields`] schema is
+    /// missing.
+    pub fn from_named(mut get: impl FnMut(&'static str) -> Option<u64>) -> Option<Outcome> {
+        Some(Outcome {
+            rounds: get("rounds")?,
+            steps: get("steps")?,
+            epochs: get("epochs")?,
+            activations: get("activations")?,
+            total_moves: get("total_moves")?,
+            max_moves_per_agent: get("max_moves_per_agent")?,
+            peak_memory_bits: get("peak_memory_bits")? as usize,
+            terminated: get("terminated")? != 0,
+            k: get("k")? as usize,
+            n: get("n")? as usize,
+            m: get("m")? as usize,
+            max_degree: get("max_degree")? as usize,
+        })
     }
 }
 
@@ -154,5 +193,27 @@ mod tests {
             ..sync.clone()
         };
         assert_eq!(asynch.time(), 7);
+    }
+
+    #[test]
+    fn flat_fields_round_trip_through_from_named() {
+        let out = Outcome {
+            rounds: 12,
+            steps: 34,
+            epochs: 7,
+            activations: 99,
+            total_moves: 41,
+            max_moves_per_agent: 6,
+            peak_memory_bits: 17,
+            terminated: true,
+            k: 8,
+            n: 9,
+            m: 10,
+            max_degree: 3,
+        };
+        let fields = out.flat_fields();
+        let lookup = |name: &'static str| fields.iter().find(|(f, _)| *f == name).map(|&(_, v)| v);
+        assert_eq!(Outcome::from_named(lookup), Some(out.clone()));
+        assert_eq!(Outcome::from_named(|_| None), None);
     }
 }

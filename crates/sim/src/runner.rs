@@ -137,7 +137,10 @@ impl SyncRunner {
                 clock.note_activation(i);
             }
             clock.end_round();
-            if clock.rounds() % self.config.memory_sample_interval == 0 {
+            if clock
+                .rounds()
+                .is_multiple_of(self.config.memory_sample_interval)
+            {
                 sample_memory(world, protocol);
             }
         }
@@ -193,7 +196,10 @@ impl<A: Adversary> AsyncRunner<A> {
                 clock.note_activation(agent.index());
             }
             clock.end_step();
-            if clock.steps() % self.config.memory_sample_interval == 0 {
+            if clock
+                .steps()
+                .is_multiple_of(self.config.memory_sample_interval)
+            {
                 sample_memory(world, protocol);
             }
         }
@@ -304,15 +310,17 @@ mod tests {
         let g = generators::ring(8);
         let mut world = World::new_rooted(g, 3, NodeId(0));
         let mut proto = WalkAround::new(3, 8);
-        let out = AsyncRunner::new(
-            RunConfig::default(),
-            RandomSubsetAdversary::new(0.4, 17),
-        )
-        .run(&mut world, &mut proto)
-        .unwrap();
+        let out = AsyncRunner::new(RunConfig::default(), RandomSubsetAdversary::new(0.4, 17))
+            .run(&mut world, &mut proto)
+            .unwrap();
         assert!(out.terminated);
         assert_eq!(out.total_moves, 24);
-        assert!(out.steps >= out.epochs, "steps {} < epochs {}", out.steps, out.epochs);
+        assert!(
+            out.steps >= out.epochs,
+            "steps {} < epochs {}",
+            out.steps,
+            out.epochs
+        );
         assert!(out.epochs >= 1);
         // With per-step activation probability 0.4, finishing 8 activations
         // per agent requires clearly more scheduler steps than rounds the

@@ -3,10 +3,9 @@
 
 use crate::ids::AgentId;
 use disp_graph::{NodeId, Port};
-use serde::{Deserialize, Serialize};
 
 /// One recorded event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
     /// An agent traversed an edge.
     Move {

@@ -42,7 +42,11 @@ impl Trip {
         if wait == 0 {
             Trip::new(vec![TripStep::Out(port), TripStep::Back])
         } else {
-            Trip::new(vec![TripStep::Out(port), TripStep::Wait(wait), TripStep::Back])
+            Trip::new(vec![
+                TripStep::Out(port),
+                TripStep::Wait(wait),
+                TripStep::Back,
+            ])
         }
     }
 

@@ -51,10 +51,7 @@ impl World {
     /// Create a world with the given initial agent positions (`positions[i]`
     /// is the start node of agent `i`).
     pub fn new(graph: PortGraph, positions: Vec<NodeId>) -> Self {
-        assert!(
-            !positions.is_empty(),
-            "a world needs at least one agent"
-        );
+        assert!(!positions.is_empty(), "a world needs at least one agent");
         assert!(
             positions.len() <= graph.num_nodes(),
             "the dispersion model requires k ≤ n (got k={} agents on n={} nodes)",
@@ -363,7 +360,13 @@ mod tests {
         w.ctx(AgentId(0), 7).move_via(Port(1));
         assert_eq!(w.trace().events().len(), 1);
         match w.trace().events()[0] {
-            TraceEvent::Move { agent, from, to, time, .. } => {
+            TraceEvent::Move {
+                agent,
+                from,
+                to,
+                time,
+                ..
+            } => {
                 assert_eq!(agent, AgentId(0));
                 assert_eq!(from, NodeId(0));
                 assert_eq!(to, NodeId(1));

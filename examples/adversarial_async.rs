@@ -24,11 +24,32 @@ fn main() {
 
     let schedules = vec![
         ("async round-robin", Schedule::AsyncRoundRobin),
-        ("async random p=0.9", Schedule::AsyncRandom { prob: 0.9, seed: 1 }),
-        ("async random p=0.5", Schedule::AsyncRandom { prob: 0.5, seed: 1 }),
-        ("async random p=0.2", Schedule::AsyncRandom { prob: 0.2, seed: 1 }),
-        ("async lagging ≤4", Schedule::AsyncLagging { max_lag: 4, seed: 1 }),
-        ("async lagging ≤16", Schedule::AsyncLagging { max_lag: 16, seed: 1 }),
+        (
+            "async random p=0.9",
+            Schedule::AsyncRandom { prob: 0.9, seed: 1 },
+        ),
+        (
+            "async random p=0.5",
+            Schedule::AsyncRandom { prob: 0.5, seed: 1 },
+        ),
+        (
+            "async random p=0.2",
+            Schedule::AsyncRandom { prob: 0.2, seed: 1 },
+        ),
+        (
+            "async lagging ≤4",
+            Schedule::AsyncLagging {
+                max_lag: 4,
+                seed: 1,
+            },
+        ),
+        (
+            "async lagging ≤16",
+            Schedule::AsyncLagging {
+                max_lag: 16,
+                seed: 1,
+            },
+        ),
     ];
 
     for (label, schedule) in schedules {

@@ -19,7 +19,10 @@ fn main() {
         ("synchronized fleet (SYNC)", Schedule::Sync),
         (
             "uncoordinated fleet (ASYNC, lagging)",
-            Schedule::AsyncLagging { max_lag: 5, seed: 9 },
+            Schedule::AsyncLagging {
+                max_lag: 5,
+                seed: 9,
+            },
         ),
     ] {
         let algorithm = if matches!(schedule, Schedule::Sync) {
@@ -41,7 +44,11 @@ fn main() {
         println!(
             "{label:38} -> {:>6} {}  | {:>7} car-moves | every car at its own station: {}",
             report.outcome.time(),
-            if matches!(schedule, Schedule::Sync) { "rounds" } else { "epochs" },
+            if matches!(schedule, Schedule::Sync) {
+                "rounds"
+            } else {
+                "epochs"
+            },
             report.outcome.total_moves,
             report.dispersed
         );
@@ -54,7 +61,10 @@ fn main() {
         NodeId(0),
         &RunSpec {
             algorithm: Algorithm::KsDfs,
-            schedule: Schedule::AsyncLagging { max_lag: 5, seed: 9 },
+            schedule: Schedule::AsyncLagging {
+                max_lag: 5,
+                seed: 9,
+            },
             ..RunSpec::default()
         },
     )

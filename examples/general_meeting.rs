@@ -34,7 +34,10 @@ fn main() {
 
     for (label, schedule) in [
         ("SYNC", Schedule::Sync),
-        ("ASYNC (random)", Schedule::AsyncRandom { prob: 0.6, seed: 8 }),
+        (
+            "ASYNC (random)",
+            Schedule::AsyncRandom { prob: 0.6, seed: 8 },
+        ),
     ] {
         let report = run(
             &graph,
@@ -49,7 +52,11 @@ fn main() {
         println!(
             "{label:<16} {:>6} {}  | {:>6} moves | dispersed: {}",
             report.outcome.time(),
-            if matches!(schedule, Schedule::Sync) { "rounds" } else { "epochs" },
+            if matches!(schedule, Schedule::Sync) {
+                "rounds"
+            } else {
+                "epochs"
+            },
             report.outcome.total_moves,
             report.dispersed
         );

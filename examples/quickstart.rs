@@ -32,7 +32,10 @@ fn main() {
     .expect("sync run");
     println!(
         "SYNC  seeker probing : {:>6} rounds, {:>7} moves, {:>3} bits/agent, dispersed: {}",
-        sync.outcome.rounds, sync.outcome.total_moves, sync.outcome.peak_memory_bits, sync.dispersed
+        sync.outcome.rounds,
+        sync.outcome.total_moves,
+        sync.outcome.peak_memory_bits,
+        sync.dispersed
     );
 
     // Asynchronous run of the doubling-probe algorithm (Theorem 7.1).
@@ -66,6 +69,9 @@ fn main() {
     .expect("baseline run");
     println!(
         "ASYNC scan baseline  : {:>6} epochs, {:>7} moves, {:>3} bits/agent, dispersed: {}",
-        base.outcome.epochs, base.outcome.total_moves, base.outcome.peak_memory_bits, base.dispersed
+        base.outcome.epochs,
+        base.outcome.total_moves,
+        base.outcome.peak_memory_bits,
+        base.dispersed
     );
 }

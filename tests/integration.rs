@@ -2,17 +2,22 @@
 //! combination must produce a valid dispersion, within the expected
 //! complexity envelopes, with logarithmic per-agent memory.
 
-use dispersion::prelude::*;
 use dispersion::graph::generators::GraphFamily;
+use dispersion::prelude::*;
 
 fn rooted_report(family: GraphFamily, k: usize, algo: Algorithm, schedule: Schedule) -> RunReport {
     let graph = family.instantiate(k, 11);
     let k = k.min(graph.num_nodes());
-    run_rooted(&graph, k, NodeId(0), &RunSpec {
-        algorithm: algo,
-        schedule,
-        ..RunSpec::default()
-    })
+    run_rooted(
+        &graph,
+        k,
+        NodeId(0),
+        &RunSpec {
+            algorithm: algo,
+            schedule,
+            ..RunSpec::default()
+        },
+    )
     .expect("run must terminate")
 }
 
@@ -32,7 +37,10 @@ fn async_algorithms_disperse_under_all_adversaries() {
     for schedule in [
         Schedule::AsyncRoundRobin,
         Schedule::AsyncRandom { prob: 0.5, seed: 2 },
-        Schedule::AsyncLagging { max_lag: 6, seed: 2 },
+        Schedule::AsyncLagging {
+            max_lag: 6,
+            seed: 2,
+        },
     ] {
         for algo in [Algorithm::KsDfs, Algorithm::ProbeDfs] {
             let report = rooted_report(GraphFamily::RandomTree, 40, algo, schedule);
@@ -43,7 +51,11 @@ fn async_algorithms_disperse_under_all_adversaries() {
 
 #[test]
 fn probe_dfs_stays_within_k_log_k_async() {
-    for family in [GraphFamily::Line, GraphFamily::Star, GraphFamily::RandomTree] {
+    for family in [
+        GraphFamily::Line,
+        GraphFamily::Star,
+        GraphFamily::RandomTree,
+    ] {
         let report = rooted_report(
             family,
             96,
@@ -87,8 +99,18 @@ fn baseline_is_superlinear_on_dense_graphs_while_probe_is_not() {
     let small = rooted_report(GraphFamily::Complete, 24, Algorithm::KsDfs, Schedule::Sync);
     let large = rooted_report(GraphFamily::Complete, 48, Algorithm::KsDfs, Schedule::Sync);
     let ratio_scan = large.outcome.rounds as f64 / small.outcome.rounds as f64;
-    let small_p = rooted_report(GraphFamily::Complete, 24, Algorithm::ProbeDfs, Schedule::Sync);
-    let large_p = rooted_report(GraphFamily::Complete, 48, Algorithm::ProbeDfs, Schedule::Sync);
+    let small_p = rooted_report(
+        GraphFamily::Complete,
+        24,
+        Algorithm::ProbeDfs,
+        Schedule::Sync,
+    );
+    let large_p = rooted_report(
+        GraphFamily::Complete,
+        48,
+        Algorithm::ProbeDfs,
+        Schedule::Sync,
+    );
     let ratio_probe = large_p.outcome.rounds as f64 / small_p.outcome.rounds as f64;
     assert!(
         ratio_scan > ratio_probe,
@@ -102,11 +124,15 @@ fn general_configurations_disperse_with_many_groups() {
     let n = graph.num_nodes();
     let positions: Vec<NodeId> = (0..70).map(|i| NodeId(((i * 13) % n) as u32)).collect();
     for schedule in [Schedule::Sync, Schedule::AsyncRandom { prob: 0.6, seed: 1 }] {
-        let report = run(&graph, positions.clone(), &RunSpec {
-            algorithm: Algorithm::KsDfs,
-            schedule,
-            ..RunSpec::default()
-        })
+        let report = run(
+            &graph,
+            positions.clone(),
+            &RunSpec {
+                algorithm: Algorithm::KsDfs,
+                schedule,
+                ..RunSpec::default()
+            },
+        )
         .expect("run");
         assert!(report.dispersed);
     }
@@ -119,12 +145,33 @@ fn port_relabeling_does_not_break_dispersion() {
     let base = GraphFamily::RandomTree.instantiate(60, 21);
     let permuted = generators::permute_ports(&base, 99);
     for graph in [base, permuted] {
-        let report = run_rooted(&graph, 60, NodeId(0), &RunSpec {
-            algorithm: Algorithm::ProbeDfs,
-            schedule: Schedule::Sync,
-            ..RunSpec::default()
-        })
+        let report = run_rooted(
+            &graph,
+            60,
+            NodeId(0),
+            &RunSpec {
+                algorithm: Algorithm::ProbeDfs,
+                schedule: Schedule::Sync,
+                ..RunSpec::default()
+            },
+        )
         .expect("run");
         assert!(report.dispersed);
     }
+}
+
+#[test]
+fn campaign_engine_drives_the_full_stack_deterministically() {
+    use disp_campaign::grid::{CampaignSpec, Mode};
+    use disp_campaign::run::run_campaign;
+
+    let spec = CampaignSpec::mini(Mode::Quick, 0xA11CE);
+    let (a, summary) = run_campaign(&spec, None, 1).expect("campaign");
+    let (b, _) = run_campaign(&spec, None, 3).expect("campaign");
+    assert_eq!(summary.total, spec.trials().len());
+    assert!(a.iter().all(|r| r.dispersed), "mini campaign must disperse");
+    let lines = |rs: &[dispersion::analysis::TrialRecord]| -> Vec<String> {
+        rs.iter().map(|r| r.to_json_line()).collect()
+    };
+    assert_eq!(lines(&a), lines(&b), "thread count must not change results");
 }
