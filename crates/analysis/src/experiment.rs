@@ -1,34 +1,26 @@
 //! Experiment specification, per-trial execution and (parallel) sweeps.
 //!
 //! The unit of work is a **trial**: one `(ExperimentPoint, repetition, seed)`
-//! execution producing a [`TrialRecord`]. Sweep aggregation
+//! execution producing a [`TrialRecord`]. An [`ExperimentPoint`] is a
+//! canonical [`ScenarioSpec`] plus a repetition count — the spec (not a
+//! re-encoding of its fragments) is what records carry, what the campaign
+//! store checkpoints, and what reports group by. Sweep aggregation
 //! ([`Measurement::from_trials`]) is a pure function of trial records, so the
 //! same types serve the in-process sweeps here and the streamed JSONL
 //! checkpoints of the `disp-campaign` engine (see [`crate::jsonl`]).
 
 use crate::json::Json;
+use crate::scenario_json::{legacy_point_to_scenario, scenario_from_json, scenario_to_json};
 use crate::stats::Summary;
-use disp_core::runner::{run_rooted, Algorithm, RunSpec, Schedule};
-use disp_graph::generators::GraphFamily;
-use disp_graph::NodeId;
+use disp_core::scenario::{Registry, ScenarioSpec};
 use disp_sim::Outcome;
 use std::thread;
 
-/// One point of a sweep: an algorithm/schedule pair on a graph family at a
-/// given number of agents.
+/// One point of a sweep: a scenario measured over several repetitions.
 #[derive(Debug, Clone)]
 pub struct ExperimentPoint {
-    /// Graph family to instantiate.
-    pub family: GraphFamily,
-    /// Number of agents (the graph is instantiated with ≈ `k / occupancy`
-    /// nodes).
-    pub k: usize,
-    /// Fraction of nodes carrying agents (1.0 = `k = n`).
-    pub occupancy: f64,
-    /// Algorithm to run.
-    pub algorithm: Algorithm,
-    /// Scheduler to run under.
-    pub schedule: Schedule,
+    /// The canonical run description.
+    pub scenario: ScenarioSpec,
     /// Number of repetitions (different seeds).
     pub repetitions: usize,
 }
@@ -41,8 +33,8 @@ pub struct TrialRecord {
     pub point: ExperimentPoint,
     /// Repetition index within the point (`0..point.repetitions`).
     pub rep: usize,
-    /// The seed that fully determines this trial (graph instance, adversary
-    /// and algorithm-internal randomness).
+    /// The seed that fully determines this trial (graph instance, placement,
+    /// adversary and algorithm-internal randomness).
     pub seed: u64,
     /// Raw measurements.
     pub outcome: Outcome,
@@ -86,47 +78,57 @@ pub struct ExperimentSpec {
 
 impl PartialEq for ExperimentPoint {
     fn eq(&self, other: &Self) -> bool {
-        self.point_id() == other.point_id() && self.repetitions == other.repetitions
+        self.scenario == other.scenario && self.repetitions == other.repetitions
     }
 }
 
 impl ExperimentPoint {
-    /// A canonical identity string for this point, stable across runs and
-    /// releases — the checkpoint key of the campaign store.
-    ///
-    /// Adversary seeds stored inside `schedule` are deliberately *excluded*:
-    /// the campaign engine reseeds every trial from its own derivation, so
-    /// two grids differing only in embedded schedule seeds describe the same
-    /// experiments.
+    /// A point at the given scenario and repetition count.
+    pub fn new(scenario: ScenarioSpec, repetitions: usize) -> ExperimentPoint {
+        ExperimentPoint {
+            scenario,
+            repetitions,
+        }
+    }
+
+    /// The canonical identity string of this point — the scenario's
+    /// canonical label, which is stable across runs and releases and is the
+    /// checkpoint key of the campaign store.
     pub fn point_id(&self) -> String {
-        format!(
-            "{}|{}|{}|k{}|occ{}",
-            self.family.label(),
-            self.algorithm.label(),
-            self.schedule.label(),
-            self.k,
-            self.occupancy
-        )
+        self.scenario.label()
     }
 
     /// Run one repetition under `seed` and record the result.
     ///
     /// The seed determines everything random about the trial: the graph
-    /// instance, the (reseeded) adversary, and algorithm-internal
+    /// instance, the placement, the adversary, and algorithm-internal
     /// randomness. Two calls with the same point and seed produce identical
     /// records regardless of threads, process or execution order.
-    pub fn run_trial(&self, rep: usize, seed: u64) -> TrialRecord {
-        let n_target = ((self.k as f64 / self.occupancy).ceil() as usize).max(self.k);
-        let graph = self.family.instantiate(n_target, seed);
-        let k = self.k.min(graph.num_nodes());
-        let spec = RunSpec {
-            algorithm: self.algorithm,
-            schedule: self.schedule.reseeded(seed),
-            seed,
-            ..RunSpec::default()
-        };
-        let report = run_rooted(&graph, k, NodeId(0), &spec)
-            .expect("experiment run exceeded the step limit");
+    ///
+    /// A run that exceeds its limits (reachable from user input via the
+    /// `/roundsN` / `/stepsN` label segments) is recorded faithfully as a
+    /// non-terminated, non-dispersed trial with the partial outcome — one
+    /// pathological scenario must not abort a whole campaign.
+    ///
+    /// # Panics
+    /// Panics only if the scenario is invalid for `registry` — campaign
+    /// grids are validated up front, so hitting this means the grid
+    /// construction is buggy, not the input.
+    pub fn run_trial(&self, registry: &Registry, rep: usize, seed: u64) -> TrialRecord {
+        use disp_core::scenario::ScenarioError;
+        use disp_core::scenario::ScenarioReport;
+        use disp_sim::RunError;
+        let report = self
+            .scenario
+            .run(registry, seed)
+            .unwrap_or_else(|e| match e {
+                ScenarioError::Run(RunError::LimitExceeded { outcome }) => ScenarioReport {
+                    scenario: self.scenario.label(),
+                    outcome,
+                    dispersed: false,
+                },
+                other => panic!("scenario '{}': {other}", self.scenario.label()),
+            });
         TrialRecord {
             point: self.clone(),
             rep,
@@ -138,100 +140,27 @@ impl ExperimentPoint {
 
     /// Run this point's repetitions (with the legacy fixed seed schedule)
     /// and aggregate them.
-    pub fn measure(&self) -> Measurement {
+    pub fn measure(&self, registry: &Registry) -> Measurement {
         let trials: Vec<TrialRecord> = (0..self.repetitions.max(1))
-            .map(|rep| self.run_trial(rep, 1000 * rep as u64 + 17))
+            .map(|rep| self.run_trial(registry, rep, 1000 * rep as u64 + 17))
             .collect();
         Measurement::from_trials(self, &trials)
     }
 
-    /// Serialize to a JSON object (schedule seeds included, so a parsed
-    /// point reproduces the original exactly).
+    /// Serialize to a JSON object (the scenario in its structured canonical
+    /// form plus the repetition count).
     pub fn to_json(&self) -> Json {
-        let schedule = match self.schedule {
-            Schedule::Sync => Json::Obj(vec![("kind".into(), Json::Str("sync".into()))]),
-            Schedule::AsyncRoundRobin => {
-                Json::Obj(vec![("kind".into(), Json::Str("async-rr".into()))])
-            }
-            Schedule::AsyncRandom { prob, seed } => Json::Obj(vec![
-                ("kind".into(), Json::Str("async-rand".into())),
-                ("prob".into(), Json::Num(prob)),
-                ("seed".into(), Json::from_u64_lossless(seed)),
-            ]),
-            Schedule::AsyncLagging { max_lag, seed } => Json::Obj(vec![
-                ("kind".into(), Json::Str("async-lag".into())),
-                ("max_lag".into(), Json::Num(max_lag as f64)),
-                ("seed".into(), Json::from_u64_lossless(seed)),
-            ]),
-        };
         Json::Obj(vec![
-            ("family".into(), Json::Str(self.family.label())),
-            ("k".into(), Json::Num(self.k as f64)),
-            ("occupancy".into(), Json::Num(self.occupancy)),
-            (
-                "algorithm".into(),
-                Json::Str(self.algorithm.label().to_string()),
-            ),
-            ("schedule".into(), schedule),
+            ("scenario".into(), scenario_to_json(&self.scenario)),
             ("repetitions".into(), Json::Num(self.repetitions as f64)),
         ])
     }
 
     /// Inverse of [`ExperimentPoint::to_json`].
     pub fn from_json(v: &Json) -> Result<ExperimentPoint, String> {
-        let family_label = v
-            .get("family")
-            .and_then(Json::as_str)
-            .ok_or("point: missing family")?;
-        let family = GraphFamily::from_label(family_label)
-            .ok_or_else(|| format!("point: unknown family '{family_label}'"))?;
-        let algorithm_label = v
-            .get("algorithm")
-            .and_then(Json::as_str)
-            .ok_or("point: missing algorithm")?;
-        let algorithm = Algorithm::from_label(algorithm_label)
-            .ok_or_else(|| format!("point: unknown algorithm '{algorithm_label}'"))?;
-        let sched = v.get("schedule").ok_or("point: missing schedule")?;
-        let kind = sched
-            .get("kind")
-            .and_then(Json::as_str)
-            .ok_or("point: missing schedule kind")?;
-        let schedule = match kind {
-            "sync" => Schedule::Sync,
-            "async-rr" => Schedule::AsyncRoundRobin,
-            "async-rand" => Schedule::AsyncRandom {
-                prob: sched
-                    .get("prob")
-                    .and_then(Json::as_f64)
-                    .ok_or("point: missing prob")?,
-                seed: sched
-                    .get("seed")
-                    .and_then(Json::as_u64_lossless)
-                    .unwrap_or(0),
-            },
-            "async-lag" => Schedule::AsyncLagging {
-                max_lag: sched
-                    .get("max_lag")
-                    .and_then(Json::as_u64)
-                    .ok_or("point: missing max_lag")?,
-                seed: sched
-                    .get("seed")
-                    .and_then(Json::as_u64_lossless)
-                    .unwrap_or(0),
-            },
-            other => return Err(format!("point: unknown schedule kind '{other}'")),
-        };
+        let scenario = scenario_from_json(v.get("scenario").ok_or("point: missing scenario")?)?;
         Ok(ExperimentPoint {
-            family,
-            k: v.get("k")
-                .and_then(Json::as_u64)
-                .ok_or("point: missing k")? as usize,
-            occupancy: v
-                .get("occupancy")
-                .and_then(Json::as_f64)
-                .ok_or("point: missing occupancy")?,
-            algorithm,
-            schedule,
+            scenario,
             repetitions: v
                 .get("repetitions")
                 .and_then(Json::as_u64)
@@ -249,7 +178,11 @@ impl TrialRecord {
     /// Serialize as one compact JSONL line (no trailing newline).
     pub fn to_json_line(&self) -> String {
         Json::Obj(vec![
-            ("point".into(), self.point.to_json()),
+            ("scenario".into(), scenario_to_json(&self.point.scenario)),
+            (
+                "repetitions".into(),
+                Json::Num(self.point.repetitions as f64),
+            ),
             ("rep".into(), Json::Num(self.rep as f64)),
             ("seed".into(), Json::from_u64_lossless(self.seed)),
             (
@@ -268,9 +201,26 @@ impl TrialRecord {
     }
 
     /// Parse a line produced by [`TrialRecord::to_json_line`].
+    ///
+    /// Lines written before the scenario redesign (object key `point` with
+    /// an inline `{family, algorithm, schedule, …}` encoding) are accepted
+    /// and upgraded to rooted scenarios — see `DESIGN.md` §7 for the
+    /// compatibility story.
     pub fn from_json_line(line: &str) -> Result<TrialRecord, String> {
         let v = Json::parse(line)?;
-        let point = ExperimentPoint::from_json(v.get("point").ok_or("trial: missing point")?)?;
+        let point = if let Some(scenario) = v.get("scenario") {
+            ExperimentPoint {
+                scenario: scenario_from_json(scenario)?,
+                repetitions: v
+                    .get("repetitions")
+                    .and_then(Json::as_u64)
+                    .ok_or("trial: missing repetitions")? as usize,
+            }
+        } else if let Some(legacy) = v.get("point") {
+            legacy_point_to_scenario(legacy)?
+        } else {
+            return Err("trial: missing scenario".into());
+        };
         let outcome_obj = v.get("outcome").ok_or("trial: missing outcome")?;
         let outcome = Outcome::from_named(|name| outcome_obj.get(name).and_then(Json::as_u64))
             .ok_or("trial: incomplete outcome")?;
@@ -329,16 +279,16 @@ impl Measurement {
 
 impl ExperimentSpec {
     /// Run every point sequentially.
-    pub fn run(&self) -> Vec<Measurement> {
-        self.points.iter().map(ExperimentPoint::measure).collect()
+    pub fn run(&self, registry: &Registry) -> Vec<Measurement> {
+        self.points.iter().map(|p| p.measure(registry)).collect()
     }
 
     /// Run the points across `threads` OS threads (order of results matches
     /// the order of points).
-    pub fn run_parallel(&self, threads: usize) -> Vec<Measurement> {
+    pub fn run_parallel(&self, registry: &Registry, threads: usize) -> Vec<Measurement> {
         let threads = threads.max(1);
         if threads == 1 || self.points.len() <= 1 {
-            return self.run();
+            return self.run(registry);
         }
         let chunks: Vec<Vec<(usize, ExperimentPoint)>> = {
             let mut chunks = vec![Vec::new(); threads];
@@ -354,7 +304,7 @@ impl ExperimentSpec {
                     scope.spawn(move || {
                         chunk
                             .into_iter()
-                            .map(|(i, p)| (i, p.measure()))
+                            .map(|(i, p)| (i, p.measure(registry)))
                             .collect::<Vec<_>>()
                     })
                 })
@@ -372,21 +322,24 @@ impl ExperimentSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use disp_core::scenario::Schedule;
+    use disp_graph::generators::GraphFamily;
+    use disp_sim::Placement;
 
-    fn small_point(algorithm: Algorithm, schedule: Schedule) -> ExperimentPoint {
-        ExperimentPoint {
-            family: GraphFamily::RandomTree,
-            k: 16,
-            occupancy: 1.0,
-            algorithm,
-            schedule,
-            repetitions: 2,
-        }
+    fn reg() -> Registry {
+        Registry::builtin()
+    }
+
+    fn small_point(algorithm: &str, schedule: Schedule) -> ExperimentPoint {
+        ExperimentPoint::new(
+            ScenarioSpec::new(GraphFamily::RandomTree, 16, algorithm).with_schedule(schedule),
+            2,
+        )
     }
 
     #[test]
     fn measure_produces_dispersed_results() {
-        let m = small_point(Algorithm::ProbeDfs, Schedule::Sync).measure();
+        let m = small_point("probe-dfs", Schedule::Sync).measure(&reg());
         assert!(m.all_dispersed);
         assert!(m.time_mean > 0.0);
         assert!(m.peak_memory_bits > 0);
@@ -395,42 +348,38 @@ mod tests {
 
     #[test]
     fn parallel_and_sequential_agree() {
+        let registry = reg();
         let spec = ExperimentSpec {
             points: vec![
-                small_point(Algorithm::KsDfs, Schedule::Sync),
-                small_point(Algorithm::ProbeDfs, Schedule::Sync),
-                small_point(Algorithm::SyncSeeker, Schedule::Sync),
+                small_point("ks-dfs", Schedule::Sync),
+                small_point("probe-dfs", Schedule::Sync),
+                small_point("sync-seeker", Schedule::Sync),
             ],
         };
-        let seq = spec.run();
-        let par = spec.run_parallel(3);
+        let seq = spec.run(&registry);
+        let par = spec.run_parallel(&registry, 3);
         assert_eq!(seq.len(), par.len());
         for (a, b) in seq.iter().zip(par.iter()) {
             assert_eq!(a.time_mean, b.time_mean);
-            assert_eq!(a.point.algorithm.label(), b.point.algorithm.label());
+            assert_eq!(a.point.scenario.algorithm, b.point.scenario.algorithm);
         }
     }
 
     #[test]
     fn async_measurement_reports_epochs() {
-        let m = small_point(
-            Algorithm::ProbeDfs,
-            Schedule::AsyncRandom { prob: 0.6, seed: 5 },
-        )
-        .measure();
+        let m =
+            small_point("probe-dfs", Schedule::AsyncRandom { prob: 0.6, seed: 0 }).measure(&reg());
         assert!(m.all_dispersed);
         assert!(m.time_mean >= 1.0);
     }
 
     #[test]
     fn run_trial_is_deterministic_in_the_seed() {
-        let p = small_point(
-            Algorithm::ProbeDfs,
-            Schedule::AsyncRandom { prob: 0.7, seed: 0 },
-        );
-        let a = p.run_trial(0, 999);
-        let b = p.run_trial(0, 999);
-        let c = p.run_trial(0, 1000);
+        let registry = reg();
+        let p = small_point("probe-dfs", Schedule::AsyncRandom { prob: 0.7, seed: 0 });
+        let a = p.run_trial(&registry, 0, 999);
+        let b = p.run_trial(&registry, 0, 999);
+        let c = p.run_trial(&registry, 0, 1000);
         assert_eq!(a, b);
         assert_eq!(a.outcome, b.outcome);
         assert!(a.seed != c.seed);
@@ -438,22 +387,27 @@ mod tests {
 
     #[test]
     fn trial_records_round_trip_through_jsonl() {
+        let registry = reg();
         for schedule in [
             Schedule::Sync,
             Schedule::AsyncRoundRobin,
-            Schedule::AsyncRandom { prob: 0.7, seed: 4 },
+            Schedule::AsyncRandom { prob: 0.7, seed: 0 },
             Schedule::AsyncLagging {
                 max_lag: 3,
-                seed: 9,
+                seed: 0,
             },
         ] {
-            let rec = small_point(Algorithm::KsDfs, schedule).run_trial(1, 42);
-            let line = rec.to_json_line();
-            assert!(!line.contains('\n'));
-            let back = TrialRecord::from_json_line(&line).unwrap();
-            assert_eq!(back, rec);
-            assert_eq!(back.outcome, rec.outcome);
-            assert_eq!(back.point.schedule, rec.point.schedule);
+            for placement in [Placement::Rooted, Placement::ScatteredUniform] {
+                let mut point = small_point("ks-dfs", schedule);
+                point.scenario = point.scenario.with_placement(placement);
+                let rec = point.run_trial(&registry, 1, 42);
+                let line = rec.to_json_line();
+                assert!(!line.contains('\n'));
+                let back = TrialRecord::from_json_line(&line).unwrap();
+                assert_eq!(back, rec);
+                assert_eq!(back.outcome, rec.outcome);
+                assert_eq!(back.to_json_line(), line, "serialization is stable");
+            }
         }
     }
 
@@ -462,55 +416,77 @@ mod tests {
         // Derived trial seeds are uniform 64-bit mix() outputs, so almost
         // all of them exceed f64's exact-integer range; the wire format
         // must not round them (regression test for the lossless encoding).
+        let registry = reg();
         let big = u64::MAX - 12345;
-        let rec = small_point(
-            Algorithm::ProbeDfs,
-            Schedule::AsyncRandom {
-                prob: 0.7,
-                seed: big,
-            },
-        )
-        .run_trial(0, big);
+        let rec = small_point("probe-dfs", Schedule::AsyncRandom { prob: 0.7, seed: 0 })
+            .run_trial(&registry, 0, big);
         assert_eq!(rec.seed, big);
         let back = TrialRecord::from_json_line(&rec.to_json_line()).unwrap();
         assert_eq!(back.seed, big);
-        assert_eq!(
-            back.point.schedule,
-            Schedule::AsyncRandom {
-                prob: 0.7,
-                seed: big
-            }
-            .reseeded(big)
-        );
         // The recorded seed must reproduce the recorded outcome exactly.
-        let replay = back.point.run_trial(back.rep, back.seed);
+        let replay = back.point.run_trial(&registry, back.rep, back.seed);
         assert_eq!(replay.outcome, rec.outcome);
     }
 
     #[test]
-    fn point_id_ignores_schedule_seeds_only() {
-        let a = small_point(
-            Algorithm::ProbeDfs,
-            Schedule::AsyncRandom { prob: 0.7, seed: 1 },
+    fn legacy_point_lines_still_ingest() {
+        // A line exactly as PR 1's campaign store wrote it (pre-scenario).
+        let line = r#"{"point":{"family":"star","k":16,"occupancy":1,"algorithm":"probe-dfs","schedule":{"kind":"async-rand","prob":0.7,"seed":"000000000000002a"},"repetitions":2},"rep":1,"seed":"000000000000002a","outcome":{"rounds":0,"steps":71,"epochs":9,"activations":760,"total_moves":77,"max_moves_per_agent":9,"peak_memory_bits":18,"terminated":1,"k":16,"n":16,"m":15,"max_degree":15},"dispersed":true}"#;
+        let rec = TrialRecord::from_json_line(line).unwrap();
+        assert_eq!(rec.point.scenario.algorithm, "probe-dfs");
+        assert_eq!(rec.point.scenario.placement, Placement::Rooted);
+        assert_eq!(
+            rec.point.scenario.schedule,
+            Schedule::AsyncRandom { prob: 0.7, seed: 0 }
         );
-        let b = small_point(
-            Algorithm::ProbeDfs,
-            Schedule::AsyncRandom { prob: 0.7, seed: 2 },
+        assert_eq!(rec.point.repetitions, 2);
+        assert_eq!(rec.seed, 42);
+        assert_eq!(
+            rec.point.point_id(),
+            "star/k16/rooted/async-rand0.7/probe-dfs"
         );
-        let c = small_point(
-            Algorithm::ProbeDfs,
-            Schedule::AsyncRandom { prob: 0.8, seed: 1 },
+        // Re-serialization upgrades to the scenario encoding.
+        let upgraded = TrialRecord::from_json_line(&rec.to_json_line()).unwrap();
+        assert_eq!(upgraded, rec);
+    }
+
+    #[test]
+    fn limit_exceeded_trials_are_recorded_not_panics() {
+        use disp_core::scenario::Limits;
+        // A user-supplied `/rounds3` limit makes the run give up; the trial
+        // must come back as a faithful non-terminated record, not abort the
+        // campaign.
+        let point = ExperimentPoint::new(
+            ScenarioSpec::new(GraphFamily::Line, 32, "probe-dfs").with_limits(Limits {
+                max_rounds: Some(3),
+                max_steps: Some(3),
+            }),
+            1,
         );
-        assert_eq!(a.point_id(), b.point_id());
-        assert_ne!(a.point_id(), c.point_id());
+        let rec = point.run_trial(&reg(), 0, 1);
+        assert!(!rec.dispersed);
+        assert!(!rec.outcome.terminated);
+        assert_eq!(rec.outcome.rounds, 3);
+        // And it round-trips the store like any other record.
+        let back = TrialRecord::from_json_line(&rec.to_json_line()).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn point_id_is_the_canonical_scenario_label() {
+        let p = small_point("probe-dfs", Schedule::AsyncRandom { prob: 0.7, seed: 0 });
+        assert_eq!(p.point_id(), "rtree/k16/rooted/async-rand0.7/probe-dfs");
+        let spec = ScenarioSpec::from_label(&p.point_id()).unwrap();
+        assert_eq!(spec, p.scenario);
     }
 
     #[test]
     fn from_trials_aggregates_like_measure() {
-        let p = small_point(Algorithm::ProbeDfs, Schedule::Sync);
-        let direct = p.measure();
+        let registry = reg();
+        let p = small_point("probe-dfs", Schedule::Sync);
+        let direct = p.measure(&registry);
         let trials: Vec<TrialRecord> = (0..2)
-            .map(|r| p.run_trial(r, 1000 * r as u64 + 17))
+            .map(|r| p.run_trial(&registry, r, 1000 * r as u64 + 17))
             .collect();
         let merged = Measurement::from_trials(&p, &trials);
         assert_eq!(direct.time_mean, merged.time_mean);

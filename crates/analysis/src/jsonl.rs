@@ -73,26 +73,20 @@ pub fn merge_trials(records: Vec<TrialRecord>) -> Vec<Measurement> {
 mod tests {
     use super::*;
     use crate::experiment::ExperimentPoint;
-    use disp_core::runner::{Algorithm, Schedule};
+    use disp_core::scenario::{Registry, ScenarioSpec};
     use disp_graph::generators::GraphFamily;
     use std::io::Cursor;
 
     fn point(k: usize) -> ExperimentPoint {
-        ExperimentPoint {
-            family: GraphFamily::Star,
-            k,
-            occupancy: 1.0,
-            algorithm: Algorithm::ProbeDfs,
-            schedule: Schedule::Sync,
-            repetitions: 2,
-        }
+        ExperimentPoint::new(ScenarioSpec::new(GraphFamily::Star, k, "probe-dfs"), 2)
     }
 
     #[test]
     fn reads_skips_torn_lines_and_merges() {
-        let r0 = point(8).run_trial(0, 1);
-        let r1 = point(8).run_trial(1, 2);
-        let other = point(16).run_trial(0, 3);
+        let reg = Registry::builtin();
+        let r0 = point(8).run_trial(&reg, 0, 1);
+        let r1 = point(8).run_trial(&reg, 1, 2);
+        let other = point(16).run_trial(&reg, 0, 3);
         let file = format!(
             "{}\n{}\n{}\n{{\"torn\": tru",
             r0.to_json_line(),
@@ -104,7 +98,7 @@ mod tests {
         assert_eq!(ingest.malformed, 1);
         let merged = merge_trials(ingest.records);
         assert_eq!(merged.len(), 2);
-        let m8 = merged.iter().find(|m| m.point.k == 8).unwrap();
+        let m8 = merged.iter().find(|m| m.point.scenario.k == 8).unwrap();
         assert_eq!(
             m8.time_mean,
             (r0.outcome.time() as f64 + r1.outcome.time() as f64) / 2.0
@@ -113,8 +107,9 @@ mod tests {
 
     #[test]
     fn duplicate_trials_collapse_to_the_last_write() {
-        let a = point(8).run_trial(0, 1);
-        let b = point(8).run_trial(0, 99); // same trial id, different seed
+        let reg = Registry::builtin();
+        let a = point(8).run_trial(&reg, 0, 1);
+        let b = point(8).run_trial(&reg, 0, 99); // same trial id, different seed
         let deduped = dedup_trials(vec![a, b.clone()]);
         assert_eq!(deduped.len(), 1);
         assert_eq!(deduped[0].seed, b.seed);
@@ -122,8 +117,9 @@ mod tests {
 
     #[test]
     fn merge_is_independent_of_record_order() {
-        let r0 = point(8).run_trial(0, 1);
-        let r1 = point(8).run_trial(1, 2);
+        let reg = Registry::builtin();
+        let r0 = point(8).run_trial(&reg, 0, 1);
+        let r1 = point(8).run_trial(&reg, 1, 2);
         let fwd = merge_trials(vec![r0.clone(), r1.clone()]);
         let rev = merge_trials(vec![r1, r0]);
         assert_eq!(fwd.len(), rev.len());

@@ -1,14 +1,16 @@
 //! # disp-analysis
 //!
 //! Experiment sweeps, scaling fits and report generation for the dispersion
-//! reproduction. The [`experiment`] module defines experiment points, runs
-//! individual seeded trials and parameter sweeps (optionally across
-//! threads), [`jsonl`] streams and merges the trial records the
-//! `disp-campaign` engine checkpoints to disk, [`json`] is the minimal
-//! dependency-free JSON layer underneath, [`fit`] estimates log–log scaling
-//! exponents so the harness can check the *shape* of the paper's bounds,
-//! [`stats`] provides the usual summaries, and [`report`] renders Markdown
-//! and CSV tables for `EXPERIMENTS.md`.
+//! reproduction. The [`experiment`] module defines experiment points
+//! (a canonical `ScenarioSpec` × repetitions), runs individual seeded
+//! trials and parameter sweeps (optionally across threads),
+//! [`scenario_json`] is the structured JSON codec for scenarios (labels are
+//! the other canonical form), [`jsonl`] streams and merges the trial
+//! records the `disp-campaign` engine checkpoints to disk, [`json`] is the
+//! minimal dependency-free JSON layer underneath, [`fit`] estimates log–log
+//! scaling exponents so the harness can check the *shape* of the paper's
+//! bounds, [`stats`] provides the usual summaries, and [`report`] renders
+//! Markdown and CSV tables for `EXPERIMENTS.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,6 +20,7 @@ pub mod fit;
 pub mod json;
 pub mod jsonl;
 pub mod report;
+pub mod scenario_json;
 pub mod stats;
 
 pub use experiment::{ExperimentPoint, ExperimentSpec, Measurement, TrialRecord};
@@ -25,4 +28,5 @@ pub use fit::{loglog_fit, LogLogFit};
 pub use json::Json;
 pub use jsonl::{dedup_trials, merge_trials, read_trials, Ingest};
 pub use report::{csv_table, markdown_table, measurement_header, measurement_row};
+pub use scenario_json::{scenario_from_json, scenario_to_json};
 pub use stats::Summary;

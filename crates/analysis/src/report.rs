@@ -45,10 +45,12 @@ pub fn csv_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// Format a measurement as the standard harness table row (matches
 /// [`measurement_header`]).
 pub fn measurement_row(m: &Measurement) -> Vec<String> {
+    let s = &m.point.scenario;
     vec![
-        m.point.family.label(),
-        m.point.algorithm.label().to_string(),
-        m.point.schedule.label(),
+        s.family.label(),
+        s.algorithm.clone(),
+        s.placement.label(),
+        s.schedule.label(),
         m.k.to_string(),
         m.n.to_string(),
         m.max_degree.to_string(),
@@ -68,6 +70,7 @@ pub fn measurement_header() -> Vec<&'static str> {
     vec![
         "family",
         "algorithm",
+        "placement",
         "schedule",
         "k",
         "n",
@@ -84,20 +87,13 @@ pub fn measurement_header() -> Vec<&'static str> {
 mod tests {
     use super::*;
     use crate::experiment::ExperimentPoint;
-    use disp_core::runner::{Algorithm, Schedule};
+    use disp_core::scenario::{Registry, ScenarioSpec};
     use disp_graph::generators::GraphFamily;
 
     #[test]
     fn measurement_row_matches_header_length() {
-        let m = ExperimentPoint {
-            family: GraphFamily::Line,
-            k: 8,
-            occupancy: 1.0,
-            algorithm: Algorithm::ProbeDfs,
-            schedule: Schedule::Sync,
-            repetitions: 1,
-        }
-        .measure();
+        let m = ExperimentPoint::new(ScenarioSpec::new(GraphFamily::Line, 8, "probe-dfs"), 1)
+            .measure(&Registry::builtin());
         assert_eq!(measurement_row(&m).len(), measurement_header().len());
     }
 

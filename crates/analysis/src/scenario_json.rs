@@ -1,0 +1,235 @@
+//! Structured JSON codec for [`ScenarioSpec`] — the second canonical wire
+//! form next to the label string.
+//!
+//! The encoding mirrors the label grammar field for field: labels encode the
+//! graph family, placement and schedule; parameter values use their
+//! canonical text form (so a `u64` is never confused with an `f64`); and
+//! defaulted fields (`occupancy` 1.0, empty params, unlimited limits) are
+//! omitted. The emitted key order is fixed, which makes
+//! `spec → JSON → spec → JSON` byte-identical.
+
+use crate::experiment::ExperimentPoint;
+use crate::json::Json;
+use disp_core::scenario::{fmt_f64, Limits, ParamValue, Params, ScenarioSpec, Schedule};
+use disp_graph::generators::GraphFamily;
+use disp_sim::Placement;
+
+/// Encode a scenario as a structured JSON object.
+pub fn scenario_to_json(spec: &ScenarioSpec) -> Json {
+    let mut fields = vec![
+        ("family".into(), Json::Str(spec.family.label())),
+        ("k".into(), Json::Num(spec.k as f64)),
+    ];
+    if spec.occupancy != 1.0 {
+        fields.push(("occupancy".into(), Json::Str(fmt_f64(spec.occupancy))));
+    }
+    fields.push(("placement".into(), Json::Str(spec.placement.label())));
+    fields.push(("schedule".into(), Json::Str(spec.schedule.label())));
+    fields.push(("algorithm".into(), Json::Str(spec.algorithm.clone())));
+    if !spec.params.is_empty() {
+        fields.push((
+            "params".into(),
+            Json::Obj(
+                spec.params
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), Json::Str(v.fmt())))
+                    .collect(),
+            ),
+        ));
+    }
+    let mut limits = Vec::new();
+    if let Some(r) = spec.limits.max_rounds {
+        limits.push(("max_rounds".to_string(), Json::Num(r as f64)));
+    }
+    if let Some(s) = spec.limits.max_steps {
+        limits.push(("max_steps".to_string(), Json::Num(s as f64)));
+    }
+    if !limits.is_empty() {
+        fields.push(("limits".into(), Json::Obj(limits)));
+    }
+    Json::Obj(fields)
+}
+
+/// Decode a scenario written by [`scenario_to_json`].
+pub fn scenario_from_json(v: &Json) -> Result<ScenarioSpec, String> {
+    let family_label = v
+        .get("family")
+        .and_then(Json::as_str)
+        .ok_or("scenario: missing family")?;
+    let family = GraphFamily::from_label(family_label)
+        .ok_or_else(|| format!("scenario: unknown family '{family_label}'"))?;
+    let k = v
+        .get("k")
+        .and_then(Json::as_u64)
+        .ok_or("scenario: missing k")? as usize;
+    let occupancy = match v.get("occupancy") {
+        None => 1.0,
+        Some(Json::Str(s)) => disp_core::scenario::parse_f64(s)
+            .ok_or_else(|| format!("scenario: non-canonical occupancy '{s}'"))?,
+        Some(other) => other.as_f64().ok_or("scenario: bad occupancy")?,
+    };
+    let placement_label = v
+        .get("placement")
+        .and_then(Json::as_str)
+        .ok_or("scenario: missing placement")?;
+    let placement = Placement::from_label(placement_label)
+        .ok_or_else(|| format!("scenario: unknown placement '{placement_label}'"))?;
+    let schedule_label = v
+        .get("schedule")
+        .and_then(Json::as_str)
+        .ok_or("scenario: missing schedule")?;
+    let schedule = Schedule::from_label(schedule_label)
+        .ok_or_else(|| format!("scenario: unknown schedule '{schedule_label}'"))?;
+    let algorithm = v
+        .get("algorithm")
+        .and_then(Json::as_str)
+        .ok_or("scenario: missing algorithm")?
+        .to_string();
+    let mut params = Params::new();
+    if let Some(Json::Obj(entries)) = v.get("params") {
+        for (key, value) in entries {
+            let text = value.as_str().ok_or("scenario: param values are strings")?;
+            let value = ParamValue::parse(text)
+                .ok_or_else(|| format!("scenario: bad param value '{text}'"))?;
+            params = params.set(key, value);
+        }
+    }
+    let mut limits = Limits::default();
+    if let Some(obj) = v.get("limits") {
+        limits.max_rounds = obj.get("max_rounds").and_then(Json::as_u64);
+        limits.max_steps = obj.get("max_steps").and_then(Json::as_u64);
+    }
+    Ok(ScenarioSpec {
+        family,
+        k,
+        occupancy,
+        placement,
+        schedule,
+        algorithm,
+        params,
+        limits,
+    })
+}
+
+/// Upgrade a pre-redesign `"point"` object (PR 1's JSONL encoding:
+/// `{family, k, occupancy, algorithm, schedule: {kind, …}, repetitions}`)
+/// into an [`ExperimentPoint`]. All legacy points were rooted; embedded
+/// adversary seeds are dropped (they never were part of a point's identity).
+pub fn legacy_point_to_scenario(v: &Json) -> Result<ExperimentPoint, String> {
+    let family_label = v
+        .get("family")
+        .and_then(Json::as_str)
+        .ok_or("legacy point: missing family")?;
+    let family = GraphFamily::from_label(family_label)
+        .ok_or_else(|| format!("legacy point: unknown family '{family_label}'"))?;
+    let sched = v.get("schedule").ok_or("legacy point: missing schedule")?;
+    let kind = sched
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("legacy point: missing schedule kind")?;
+    let schedule = match kind {
+        "sync" => Schedule::Sync,
+        "async-rr" => Schedule::AsyncRoundRobin,
+        "async-rand" => Schedule::AsyncRandom {
+            prob: sched
+                .get("prob")
+                .and_then(Json::as_f64)
+                .ok_or("legacy point: missing prob")?,
+            seed: 0,
+        },
+        "async-lag" => Schedule::AsyncLagging {
+            max_lag: sched
+                .get("max_lag")
+                .and_then(Json::as_u64)
+                .ok_or("legacy point: missing max_lag")?,
+            seed: 0,
+        },
+        other => return Err(format!("legacy point: unknown schedule kind '{other}'")),
+    };
+    let scenario = ScenarioSpec {
+        family,
+        k: v.get("k")
+            .and_then(Json::as_u64)
+            .ok_or("legacy point: missing k")? as usize,
+        occupancy: v
+            .get("occupancy")
+            .and_then(Json::as_f64)
+            .ok_or("legacy point: missing occupancy")?,
+        placement: Placement::Rooted,
+        schedule,
+        algorithm: v
+            .get("algorithm")
+            .and_then(Json::as_str)
+            .ok_or("legacy point: missing algorithm")?
+            .to_string(),
+        params: Params::new(),
+        limits: Limits::default(),
+    };
+    Ok(ExperimentPoint {
+        scenario,
+        repetitions: v
+            .get("repetitions")
+            .and_then(Json::as_u64)
+            .ok_or("legacy point: missing repetitions")? as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disp_core::scenario::{Limits, ParamValue};
+
+    #[test]
+    fn scenario_json_round_trips_byte_identically() {
+        let specs = [
+            ScenarioSpec::new(GraphFamily::RandomTree, 64, "probe-dfs"),
+            ScenarioSpec::new(GraphFamily::ErdosRenyi { avg_degree: 6.0 }, 32, "ks-dfs")
+                .with_placement(Placement::Clustered { clusters: 4 })
+                .with_schedule(Schedule::AsyncRandom { prob: 0.7, seed: 0 })
+                .with_occupancy(0.5),
+            ScenarioSpec::new(GraphFamily::Star, 96, "sync-seeker")
+                .with_param("wait", ParamValue::U64(6))
+                .with_param("probers", ParamValue::U64(32))
+                .with_limits(Limits {
+                    max_rounds: Some(10_000),
+                    max_steps: Some(20_000),
+                }),
+        ];
+        for spec in specs {
+            let json = scenario_to_json(&spec);
+            let text = json.to_string_compact();
+            let back = scenario_from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, spec);
+            assert_eq!(
+                scenario_to_json(&back).to_string_compact(),
+                text,
+                "spec → JSON → spec → JSON must be byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn defaults_are_omitted_from_the_wire_form() {
+        let spec = ScenarioSpec::new(GraphFamily::Line, 8, "ks-dfs");
+        let text = scenario_to_json(&spec).to_string_compact();
+        assert!(!text.contains("occupancy"));
+        assert!(!text.contains("params"));
+        assert!(!text.contains("limits"));
+    }
+
+    #[test]
+    fn malformed_scenarios_error_instead_of_panicking() {
+        for bad in [
+            r#"{"k":8}"#,
+            r#"{"family":"warp","k":8,"placement":"rooted","schedule":"sync","algorithm":"ks-dfs"}"#,
+            r#"{"family":"line","k":8,"placement":"x","schedule":"sync","algorithm":"ks-dfs"}"#,
+            r#"{"family":"line","k":8,"placement":"rooted","schedule":"x","algorithm":"ks-dfs"}"#,
+            r#"{"family":"line","k":8,"occupancy":"0.70","placement":"rooted","schedule":"sync","algorithm":"ks-dfs"}"#,
+        ] {
+            assert!(
+                scenario_from_json(&Json::parse(bad).unwrap()).is_err(),
+                "{bad}"
+            );
+        }
+    }
+}

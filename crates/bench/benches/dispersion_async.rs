@@ -1,41 +1,50 @@
 //! Table 1, ASYNC rooted rows: cost of simulating the asynchronous
-//! algorithms under the random-subset adversary.
+//! algorithms under the random-subset adversary. The algorithm list comes
+//! from the registry, filtered to the async-capable ones.
 
 use disp_bench::harness::{BenchmarkId, Criterion};
 use disp_bench::{criterion_group, criterion_main};
-use disp_core::runner::{run_rooted, Algorithm, RunSpec, Schedule};
+use disp_core::scenario::{run_custom, Limits, Params, Registry};
+use disp_core::Schedule;
 use disp_graph::generators::GraphFamily;
 use disp_graph::NodeId;
 use std::hint::black_box;
 
 fn bench_async_rooted(c: &mut Criterion) {
+    let registry = Registry::builtin();
     let mut group = c.benchmark_group("async_rooted");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(900));
     let k = 64;
+    let schedule = Schedule::AsyncRandom { prob: 0.7, seed: 0 };
     for family in [
         GraphFamily::Line,
         GraphFamily::RandomTree,
         GraphFamily::Complete,
     ] {
-        for algo in [Algorithm::KsDfs, Algorithm::ProbeDfs] {
-            let id = BenchmarkId::new(format!("{}", family), algo.label());
+        for algo in registry.labels() {
+            let factory = registry.get(algo).expect("registered");
+            if !factory.supports_async() {
+                continue;
+            }
+            let id = BenchmarkId::new(format!("{}", family), algo);
             group.bench_function(id, |b| {
                 let graph = family.instantiate(k, 5);
-                let spec = RunSpec {
-                    algorithm: algo,
-                    schedule: Schedule::AsyncRandom {
-                        prob: 0.7,
-                        seed: 11,
-                    },
-                    ..RunSpec::default()
-                };
+                let k = k.min(graph.num_nodes());
                 b.iter(|| {
-                    let report = run_rooted(&graph, k.min(graph.num_nodes()), NodeId(0), &spec)
-                        .expect("run");
-                    assert!(report.dispersed);
-                    black_box(report.outcome.epochs)
+                    let (outcome, dispersed) = run_custom(
+                        factory,
+                        &Params::new(),
+                        graph.clone(),
+                        vec![NodeId(0); k],
+                        schedule,
+                        Limits::default(),
+                        11,
+                    )
+                    .expect("run");
+                    assert!(dispersed);
+                    black_box(outcome.epochs)
                 })
             });
         }

@@ -1,15 +1,18 @@
 //! Table 1, SYNC rooted rows: wall-clock cost of simulating each algorithm
 //! across graph families (the simulated-round counts are produced by the
-//! `table1` harness binary).
+//! `table1` harness binary). Scenarios come from the open registry, so a
+//! newly registered algorithm shows up here by adding its label.
 
 use disp_bench::harness::{BenchmarkId, Criterion};
 use disp_bench::{criterion_group, criterion_main};
-use disp_core::runner::{run_rooted, Algorithm, RunSpec, Schedule};
+use disp_core::scenario::{run_custom, Limits, Params, Registry};
+use disp_core::Schedule;
 use disp_graph::generators::GraphFamily;
 use disp_graph::NodeId;
 use std::hint::black_box;
 
 fn bench_sync_rooted(c: &mut Criterion) {
+    let registry = Registry::builtin();
     let mut group = c.benchmark_group("sync_rooted");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
@@ -20,20 +23,25 @@ fn bench_sync_rooted(c: &mut Criterion) {
         GraphFamily::RandomTree,
         GraphFamily::Complete,
     ] {
-        for algo in [Algorithm::KsDfs, Algorithm::ProbeDfs, Algorithm::SyncSeeker] {
-            let id = BenchmarkId::new(format!("{}", family), algo.label());
+        for algo in registry.labels() {
+            let id = BenchmarkId::new(format!("{}", family), algo);
+            let factory = registry.get(algo).expect("registered");
             group.bench_function(id, |b| {
                 let graph = family.instantiate(k, 5);
-                let spec = RunSpec {
-                    algorithm: algo,
-                    schedule: Schedule::Sync,
-                    ..RunSpec::default()
-                };
+                let k = k.min(graph.num_nodes());
                 b.iter(|| {
-                    let report = run_rooted(&graph, k.min(graph.num_nodes()), NodeId(0), &spec)
-                        .expect("run");
-                    assert!(report.dispersed);
-                    black_box(report.outcome.rounds)
+                    let (outcome, dispersed) = run_custom(
+                        factory,
+                        &Params::new(),
+                        graph.clone(),
+                        vec![NodeId(0); k],
+                        Schedule::Sync,
+                        Limits::default(),
+                        7,
+                    )
+                    .expect("run");
+                    assert!(dispersed);
+                    black_box(outcome.rounds)
                 })
             });
         }

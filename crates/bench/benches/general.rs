@@ -1,15 +1,20 @@
 //! Table 1, general-configuration rows: multiple groups starting from
-//! scattered nodes (handled by the `KsDfs` baseline with the scatter
-//! fallback — see DESIGN.md for the fidelity note on subsumption).
+//! scattered nodes (handled by the `ks-dfs` baseline with the scatter
+//! fallback — see DESIGN.md for the fidelity note on subsumption). The
+//! hand-crafted `l`-group starts use the scenario API's custom-positions
+//! escape hatch; the seeded placement families run via `ScenarioSpec`.
 
 use disp_bench::harness::{BenchmarkId, Criterion};
 use disp_bench::{criterion_group, criterion_main};
-use disp_core::runner::{run, Algorithm, RunSpec, Schedule};
+use disp_core::scenario::{run_custom, Limits, Params, Registry};
+use disp_core::Schedule;
 use disp_graph::generators::GraphFamily;
 use disp_graph::NodeId;
 use std::hint::black_box;
 
 fn bench_general(c: &mut Criterion) {
+    let registry = Registry::builtin();
+    let factory = registry.get("ks-dfs").expect("registered");
     let mut group = c.benchmark_group("general");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
@@ -28,15 +33,19 @@ fn bench_general(c: &mut Criterion) {
                 let positions: Vec<NodeId> = (0..k.min(n))
                     .map(|i| NodeId(((i % num_groups) * (n / num_groups)) as u32))
                     .collect();
-                let spec = RunSpec {
-                    algorithm: Algorithm::KsDfs,
-                    schedule: Schedule::Sync,
-                    ..RunSpec::default()
-                };
                 b.iter(|| {
-                    let report = run(&graph, positions.clone(), &spec).expect("run");
-                    assert!(report.dispersed);
-                    black_box(report.outcome.rounds)
+                    let (outcome, dispersed) = run_custom(
+                        factory,
+                        &Params::new(),
+                        graph.clone(),
+                        positions.clone(),
+                        Schedule::Sync,
+                        Limits::default(),
+                        3,
+                    )
+                    .expect("run");
+                    assert!(dispersed);
+                    black_box(outcome.rounds)
                 })
             });
         }

@@ -15,6 +15,7 @@ use disp_bench::cli;
 use disp_campaign::grid::{CampaignSpec, Mode};
 use disp_campaign::report::{render_section_csv, section_measurements};
 use disp_campaign::run::run_campaign;
+use disp_core::scenario::Registry;
 use std::path::PathBuf;
 
 fn main() {
@@ -32,7 +33,8 @@ fn main() {
     std::fs::create_dir_all(&out_dir).expect("create output directory");
 
     let spec = CampaignSpec::figures(mode, seed);
-    let (records, summary) = run_campaign(&spec, None, threads).expect("campaign run");
+    let (records, summary) =
+        run_campaign(&spec, None, threads, &Registry::builtin()).expect("campaign run");
     eprintln!(
         "({} trials in {:.2?}, {} steals)",
         summary.executed, summary.wall, summary.stats.steals

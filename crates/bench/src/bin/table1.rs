@@ -18,6 +18,7 @@ use disp_bench::cli;
 use disp_campaign::grid::{CampaignSpec, Mode};
 use disp_campaign::report::{render_section_markdown, section_measurements};
 use disp_campaign::run::run_campaign;
+use disp_core::scenario::Registry;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -52,7 +53,8 @@ fn main() {
         threads
     );
 
-    let (records, summary) = run_campaign(&spec, None, threads).expect("campaign run");
+    let (records, summary) =
+        run_campaign(&spec, None, threads, &Registry::builtin()).expect("campaign run");
     eprintln!(
         "({} trials in {:.2?}, {} steals)",
         summary.executed, summary.wall, summary.stats.steals

@@ -50,15 +50,17 @@ pub mod cli {
 mod tests {
     use super::*;
     use disp_analysis::experiment::ExperimentPoint;
-    use disp_core::runner::{Algorithm, Schedule};
+    use disp_core::scenario::{Registry, ScenarioSpec, Schedule};
     use disp_graph::generators::GraphFamily;
+    use disp_sim::Placement;
 
     #[test]
     fn section_points_cover_the_grid() {
         let pts = section_points(
             &[GraphFamily::Line, GraphFamily::Star],
             &[16, 32],
-            &[Algorithm::KsDfs, Algorithm::ProbeDfs],
+            &["ks-dfs", "probe-dfs"],
+            Placement::Rooted,
             Schedule::Sync,
             1,
         );
@@ -67,15 +69,8 @@ mod tests {
 
     #[test]
     fn header_and_row_lengths_match() {
-        let m = ExperimentPoint {
-            family: GraphFamily::Line,
-            k: 16,
-            occupancy: 1.0,
-            algorithm: Algorithm::ProbeDfs,
-            schedule: Schedule::Sync,
-            repetitions: 1,
-        }
-        .measure();
+        let m = ExperimentPoint::new(ScenarioSpec::new(GraphFamily::Line, 16, "probe-dfs"), 1)
+            .measure(&Registry::builtin());
         assert_eq!(measurement_row(&m).len(), measurement_header().len());
     }
 

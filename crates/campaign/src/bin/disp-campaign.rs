@@ -1,32 +1,46 @@
 //! The campaign CLI: run, resume and report experiment campaigns.
 //!
 //! ```text
-//! disp-campaign run    [--campaign table1|figures] [--quick|--full]
-//!                      [--threads N] [--seed S] [--section NAME]...
-//!                      [--out DIR] [--force]
+//! disp-campaign run    [--campaign table1|figures|placements|mini]
+//!                      [--scenario LABEL]... [--reps N]
+//!                      [--quick|--full] [--threads N] [--seed S]
+//!                      [--section NAME]... [--out DIR] [--force]
 //! disp-campaign resume --out DIR [--threads N]
 //! disp-campaign report --out DIR [--csv DIR]
+//! disp-campaign scenarios
 //! ```
 //!
-//! `run` without `--out` executes in memory and prints the report; with
-//! `--out` every finished trial is checkpointed to `DIR/trials.jsonl`
-//! (flushed per line), so a killed run can be continued with `resume`,
-//! which skips completed trials. Results are byte-identical for any
-//! `--threads` value with the same `--seed`.
+//! A campaign is either named (`--campaign`) or an ad-hoc grid of canonical
+//! scenario labels (`--scenario`, repeatable — see `DESIGN.md` §7 for the
+//! grammar, e.g. `rtree/k64/scatter/async-rand0.7/ks-dfs`). `run` without
+//! `--out` executes in memory and prints the report; with `--out` every
+//! finished trial is checkpointed to `DIR/trials.jsonl` (flushed per line),
+//! so a killed run can be continued with `resume` — the manifest stores the
+//! full grid as canonical labels, so ad-hoc campaigns resume exactly like
+//! named ones. Results are byte-identical for any `--threads` value with
+//! the same `--seed`.
 
 use disp_campaign::grid::{CampaignSpec, Mode};
 use disp_campaign::report::{render_section_csv, render_section_markdown, section_measurements};
 use disp_campaign::run::{run_campaign, RunSummary};
 use disp_campaign::store::CampaignStore;
+use disp_core::scenario::{Registry, ScenarioSpec, Schedule};
+use disp_graph::generators::GraphFamily;
+use disp_sim::Placement;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = Registry::builtin();
     let result = match args.first().map(String::as_str) {
-        Some("run") => cmd_run(&args[1..]),
-        Some("resume") => cmd_resume(&args[1..]),
+        Some("run") => cmd_run(&args[1..], &registry),
+        Some("resume") => cmd_resume(&args[1..], &registry),
         Some("report") => cmd_report(&args[1..]),
+        Some("scenarios") => {
+            cmd_scenarios(&registry);
+            Ok(())
+        }
         Some("--help" | "-h" | "help") | None => {
             print!("{}", USAGE);
             Ok(())
@@ -46,19 +60,28 @@ const USAGE: &str = "\
 disp-campaign — parallel, deterministic experiment campaigns
 
 USAGE:
-  disp-campaign run    [--campaign table1|figures] [--quick|--full]
-                       [--threads N] [--seed S] [--section NAME]...
-                       [--out DIR] [--force]
+  disp-campaign run    [--campaign table1|figures|placements|mini]
+                       [--scenario LABEL]... [--reps N]
+                       [--quick|--full] [--threads N] [--seed S]
+                       [--section NAME]... [--out DIR] [--force]
   disp-campaign resume --out DIR [--threads N]
   disp-campaign report --out DIR [--csv DIR]
+  disp-campaign scenarios    (print the scenario-label grammar + vocabulary)
 
-Trial seeds derive from (campaign seed, point id, repetition): output is
-byte-identical for any --threads value. With --out, finished trials stream
-to DIR/trials.jsonl (flushed per line); a killed run resumes with `resume`.
+--scenario runs an ad-hoc grid of canonical scenario labels, e.g.
+  disp-campaign run --scenario rtree/k64/scatter/async-rand0.7/ks-dfs --reps 3
+
+Trial seeds derive from (campaign seed, canonical scenario label,
+repetition): output is byte-identical for any --threads value. With --out,
+finished trials stream to DIR/trials.jsonl (flushed per line); a killed run
+resumes with `resume` — the manifest stores the grid as canonical labels,
+so ad-hoc --scenario campaigns resume exactly like named ones.
 ";
 
 struct Flags {
-    campaign: String,
+    campaign: Option<String>,
+    scenarios: Vec<String>,
+    reps: Option<usize>,
     mode: Mode,
     threads: usize,
     seed: u64,
@@ -70,7 +93,9 @@ struct Flags {
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut flags = Flags {
-        campaign: "table1".into(),
+        campaign: None,
+        scenarios: Vec::new(),
+        reps: None,
         mode: Mode::Quick,
         threads: std::thread::available_parallelism()
             .map(|p| p.get())
@@ -89,7 +114,15 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 .ok_or_else(|| format!("{name} requires a value"))
         };
         match arg.as_str() {
-            "--campaign" => flags.campaign = value("--campaign")?,
+            "--campaign" => flags.campaign = Some(value("--campaign")?),
+            "--scenario" => flags.scenarios.push(value("--scenario")?),
+            "--reps" => {
+                flags.reps = Some(
+                    value("--reps")?
+                        .parse()
+                        .map_err(|_| "--reps expects a positive integer".to_string())?,
+                )
+            }
             "--quick" => flags.mode = Mode::Quick,
             "--full" => flags.mode = Mode::Full,
             "--threads" => {
@@ -112,9 +145,27 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     Ok(flags)
 }
 
-fn build_spec(flags: &Flags) -> Result<CampaignSpec, String> {
-    let spec = CampaignSpec::by_name(&flags.campaign, flags.mode, flags.seed)
-        .ok_or_else(|| format!("unknown campaign '{}'", flags.campaign))?;
+fn build_spec(flags: &Flags, registry: &Registry) -> Result<CampaignSpec, String> {
+    // Conflicting selectors are errors, not silent precedence: a named
+    // campaign carries its own grid and rep counts.
+    if !flags.scenarios.is_empty() && flags.campaign.is_some() {
+        return Err("--campaign and --scenario are mutually exclusive".into());
+    }
+    if flags.scenarios.is_empty() && flags.reps.is_some() {
+        return Err("--reps only applies to --scenario grids (named campaigns fix their own repetition counts)".into());
+    }
+    let spec = if flags.scenarios.is_empty() {
+        let name = flags.campaign.as_deref().unwrap_or("table1");
+        CampaignSpec::by_name(name, flags.mode, flags.seed)
+            .ok_or_else(|| format!("unknown campaign '{name}'"))?
+    } else {
+        let scenarios = flags
+            .scenarios
+            .iter()
+            .map(|label| ScenarioSpec::parse(label, registry).map_err(|e| e.to_string()))
+            .collect::<Result<Vec<_>, String>>()?;
+        CampaignSpec::custom(scenarios, flags.reps.unwrap_or(1), flags.seed)
+    };
     if flags.sections.is_empty() {
         return Ok(spec);
     }
@@ -143,19 +194,19 @@ fn print_summary(spec: &CampaignSpec, summary: &RunSummary, threads: usize) {
     );
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
+fn cmd_run(args: &[String], registry: &Registry) -> Result<(), String> {
     let flags = parse_flags(args)?;
-    let spec = build_spec(&flags)?;
+    let spec = build_spec(&flags, registry)?;
     let store = match &flags.out {
         Some(dir) => Some(CampaignStore::create(dir, &spec, flags.force)?),
         None => None,
     };
-    let (records, summary) = run_campaign(&spec, store.as_ref(), flags.threads)?;
+    let (records, summary) = run_campaign(&spec, store.as_ref(), flags.threads, registry)?;
     print_summary(&spec, &summary, flags.threads);
     render(&flags, &spec, records)
 }
 
-fn cmd_resume(args: &[String]) -> Result<(), String> {
+fn cmd_resume(args: &[String], registry: &Registry) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let dir = flags
         .out
@@ -163,7 +214,7 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
         .ok_or("resume requires --out DIR (the directory of the killed run)")?;
     let (store, manifest) = CampaignStore::open(dir)?;
     let spec = manifest.rebuild_spec()?;
-    let (records, summary) = run_campaign(&spec, Some(&store), flags.threads)?;
+    let (records, summary) = run_campaign(&spec, Some(&store), flags.threads, registry)?;
     print_summary(&spec, &summary, flags.threads);
     render(&flags, &spec, records)
 }
@@ -191,6 +242,32 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         );
     }
     render(&flags, &spec, ingest.records)
+}
+
+fn cmd_scenarios(registry: &Registry) {
+    println!("Canonical scenario-label grammar (DESIGN.md §7):\n");
+    println!("  family/k<K>[/occ<F>]/placement/schedule/algorithm[/key=value...]");
+    println!("        [/rounds<N>][/steps<N>]\n");
+    let families: Vec<String> = GraphFamily::all().iter().map(GraphFamily::label).collect();
+    println!("families   : {}", families.join(", "));
+    let placements: Vec<String> = Placement::all().iter().map(Placement::label).collect();
+    println!(
+        "placements : {} (clusterC for any C ≥ 1)",
+        placements.join(", ")
+    );
+    let schedules = [
+        Schedule::Sync,
+        Schedule::AsyncRoundRobin,
+        Schedule::AsyncRandom { prob: 0.7, seed: 0 },
+        Schedule::AsyncLagging {
+            max_lag: 4,
+            seed: 0,
+        },
+    ];
+    let schedules: Vec<String> = schedules.iter().map(Schedule::label).collect();
+    println!("schedules  : {} (any prob/lag)", schedules.join(", "));
+    println!("algorithms : {}", registry.labels().join(", "));
+    println!("\nexample    : er6/k64/scatter/async-rand0.7/ks-dfs");
 }
 
 fn render(

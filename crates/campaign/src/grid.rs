@@ -1,15 +1,19 @@
 //! Campaign descriptions: named grids of experiment points.
 //!
-//! A [`CampaignSpec`] is pure data — sections of `family × k × algorithm ×
-//! schedule × repetitions` grids plus a campaign seed. Everything downstream
-//! (trial expansion, per-trial seeds, the checkpoint identity of the whole
-//! grid) is derived deterministically from it, which is what makes killed
-//! campaigns resumable and `--threads N` output byte-identical.
+//! A [`CampaignSpec`] is pure data — sections of scenario grids
+//! (`family × k × placement × schedule × algorithm`, each a canonical
+//! [`ScenarioSpec`]) plus a campaign seed. Everything downstream (trial
+//! expansion, per-trial seeds, the checkpoint identity of the whole grid)
+//! is derived deterministically from the scenarios' canonical labels, which
+//! is what makes killed campaigns resumable and `--threads N` output
+//! byte-identical — and what lets the manifest rebuild *any* campaign,
+//! including ad-hoc `--scenario` grids, without a name lookup.
 
 use disp_analysis::experiment::ExperimentPoint;
-use disp_core::runner::{Algorithm, Schedule};
+use disp_core::scenario::{ScenarioSpec, Schedule};
 use disp_graph::generators::GraphFamily;
 use disp_rng::{fnv1a, mix};
+use disp_sim::Placement;
 
 /// Sweep size preset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,26 +53,26 @@ pub fn full_ks() -> Vec<usize> {
     vec![16, 32, 64, 128, 256, 512]
 }
 
-/// Build the sweep points for one campaign section.
+/// Build the sweep points for one campaign section: the cross product of
+/// families × ks × algorithms at one placement and schedule.
 pub fn section_points(
     families: &[GraphFamily],
     ks: &[usize],
-    algorithms: &[Algorithm],
+    algorithms: &[&str],
+    placement: Placement,
     schedule: Schedule,
     repetitions: usize,
 ) -> Vec<ExperimentPoint> {
     let mut points = Vec::new();
     for &family in families {
         for &k in ks {
-            for &algorithm in algorithms {
-                points.push(ExperimentPoint {
-                    family,
-                    k,
-                    occupancy: 1.0,
-                    algorithm,
-                    schedule,
+            for algorithm in algorithms {
+                points.push(ExperimentPoint::new(
+                    ScenarioSpec::new(family, k, algorithm)
+                        .with_placement(placement)
+                        .with_schedule(schedule),
                     repetitions,
-                });
+                ));
             }
         }
     }
@@ -79,11 +83,22 @@ pub fn section_points(
 #[derive(Debug, Clone)]
 pub struct Section {
     /// Section name (stable; used in report headings and CSV file names).
-    pub name: &'static str,
+    pub name: String,
     /// Human description for report headings.
-    pub title: &'static str,
+    pub title: String,
     /// The grid of this section.
     pub points: Vec<ExperimentPoint>,
+}
+
+impl Section {
+    /// Build a section from static grid data.
+    pub fn new(name: &str, title: &str, points: Vec<ExperimentPoint>) -> Section {
+        Section {
+            name: name.to_string(),
+            title: title.to_string(),
+            points,
+        }
+    }
 }
 
 /// One expanded unit of work: a `(point, repetition)` pair with its derived
@@ -101,16 +116,17 @@ pub struct TrialSpec {
 }
 
 impl TrialSpec {
-    /// The checkpoint identity of this trial.
+    /// The checkpoint identity of this trial: the scenario's canonical
+    /// label plus the repetition index.
     pub fn trial_id(&self) -> String {
         format!("{}#r{}", self.point.point_id(), self.rep)
     }
 }
 
-/// Derive the seed of one trial from the campaign seed, the point identity
-/// and the repetition index.
+/// Derive the seed of one trial from the campaign seed, the scenario's
+/// canonical label and the repetition index.
 ///
-/// The derivation goes through the point's *canonical id string* (not its
+/// The derivation goes through the *canonical label* (not the point's
 /// position in the grid), so inserting or reordering points in a campaign
 /// never changes the seeds — and therefore the results — of the points that
 /// stayed.
@@ -125,8 +141,9 @@ pub fn trial_seed(campaign_seed: u64, point: &ExperimentPoint, rep: usize) -> u6
 /// A complete, named campaign description.
 #[derive(Debug, Clone)]
 pub struct CampaignSpec {
-    /// Campaign name (`table1`, `figures`); stable, recorded in manifests.
-    pub name: &'static str,
+    /// Campaign name (`table1`, `figures`, …, or `custom` for `--scenario`
+    /// grids); recorded in manifests.
+    pub name: String,
     /// Sweep size preset.
     pub mode: Mode,
     /// The campaign seed all trial seeds derive from.
@@ -140,32 +157,34 @@ impl CampaignSpec {
     pub fn table1(mode: Mode, seed: u64) -> CampaignSpec {
         let (families, ks, reps) = preset(mode);
         CampaignSpec {
-            name: "table1",
+            name: "table1".into(),
             mode,
             seed,
             sections: vec![
-                Section {
-                    name: "sync-rooted",
-                    title: "SYNC, rooted configurations (rounds)",
-                    points: section_points(
+                Section::new(
+                    "sync-rooted",
+                    "SYNC, rooted configurations (rounds)",
+                    section_points(
                         &families,
                         &ks,
-                        &[Algorithm::KsDfs, Algorithm::ProbeDfs, Algorithm::SyncSeeker],
+                        &["ks-dfs", "probe-dfs", "sync-seeker"],
+                        Placement::Rooted,
                         Schedule::Sync,
                         reps,
                     ),
-                },
-                Section {
-                    name: "async-rooted",
-                    title: "ASYNC, rooted configurations (epochs, random-subset adversary)",
-                    points: section_points(
+                ),
+                Section::new(
+                    "async-rooted",
+                    "ASYNC, rooted configurations (epochs, random-subset adversary)",
+                    section_points(
                         &families,
                         &ks,
-                        &[Algorithm::KsDfs, Algorithm::ProbeDfs],
+                        &["ks-dfs", "probe-dfs"],
+                        Placement::Rooted,
                         Schedule::AsyncRandom { prob: 0.7, seed: 0 },
                         reps,
                     ),
-                },
+                ),
             ],
         }
     }
@@ -175,47 +194,108 @@ impl CampaignSpec {
     pub fn figures(mode: Mode, seed: u64) -> CampaignSpec {
         let (families, ks, reps) = preset(mode);
         CampaignSpec {
-            name: "figures",
+            name: "figures".into(),
             mode,
             seed,
             sections: vec![
-                Section {
-                    name: "fig_sync_rooted",
-                    title: "time vs k, SYNC rooted",
-                    points: section_points(
+                Section::new(
+                    "fig_sync_rooted",
+                    "time vs k, SYNC rooted",
+                    section_points(
                         &families,
                         &ks,
-                        &[Algorithm::KsDfs, Algorithm::ProbeDfs, Algorithm::SyncSeeker],
+                        &["ks-dfs", "probe-dfs", "sync-seeker"],
+                        Placement::Rooted,
                         Schedule::Sync,
                         reps,
                     ),
-                },
-                Section {
-                    name: "fig_async_rooted",
-                    title: "time vs k, ASYNC rooted (random-subset adversary)",
-                    points: section_points(
+                ),
+                Section::new(
+                    "fig_async_rooted",
+                    "time vs k, ASYNC rooted (random-subset adversary)",
+                    section_points(
                         &families,
                         &ks,
-                        &[Algorithm::KsDfs, Algorithm::ProbeDfs],
+                        &["ks-dfs", "probe-dfs"],
+                        Placement::Rooted,
                         Schedule::AsyncRandom { prob: 0.7, seed: 0 },
                         reps,
                     ),
-                },
-                Section {
-                    name: "fig_async_lagging",
-                    title: "time vs k, ASYNC rooted (lagging adversary)",
-                    points: section_points(
+                ),
+                Section::new(
+                    "fig_async_lagging",
+                    "time vs k, ASYNC rooted (lagging adversary)",
+                    section_points(
                         &families,
                         &ks,
-                        &[Algorithm::KsDfs, Algorithm::ProbeDfs],
+                        &["ks-dfs", "probe-dfs"],
+                        Placement::Rooted,
                         Schedule::AsyncLagging {
                             max_lag: 4,
                             seed: 0,
                         },
                         reps,
                     ),
-                },
+                ),
             ],
+        }
+    }
+
+    /// The placement campaign: genuinely non-rooted scenario classes
+    /// (scattered-uniform, clustered, adversarial-spread starts) under all
+    /// three schedule families, on the general-configuration algorithm.
+    pub fn placements(mode: Mode, seed: u64) -> CampaignSpec {
+        let (families, ks, reps) = preset(mode);
+        let placements = [
+            Placement::ScatteredUniform,
+            Placement::Clustered { clusters: 4 },
+            Placement::AdversarialSpread,
+        ];
+        let schedules: [(&str, &str, Schedule); 3] = [
+            ("placements-sync", "SYNC (rounds)", Schedule::Sync),
+            (
+                "placements-async-rand",
+                "ASYNC, random-subset adversary (epochs)",
+                Schedule::AsyncRandom { prob: 0.7, seed: 0 },
+            ),
+            (
+                "placements-async-lag",
+                "ASYNC, lagging adversary (epochs)",
+                Schedule::AsyncLagging {
+                    max_lag: 4,
+                    seed: 0,
+                },
+            ),
+        ];
+        let sections = schedules
+            .into_iter()
+            .map(|(name, sched_title, schedule)| {
+                let mut points = Vec::new();
+                for placement in placements {
+                    // Half occupancy: at k = n every scattered/spread start
+                    // is one agent per node and dispersion is trivial; with
+                    // n ≈ 2k the placements actually have work to do.
+                    points.extend(
+                        section_points(&families, &ks, &["ks-dfs"], placement, schedule, reps)
+                            .into_iter()
+                            .map(|mut p| {
+                                p.scenario = p.scenario.with_occupancy(0.5);
+                                p
+                            }),
+                    );
+                }
+                Section::new(
+                    name,
+                    &format!("Non-rooted placements, {sched_title}"),
+                    points,
+                )
+            })
+            .collect();
+        CampaignSpec {
+            name: "placements".into(),
+            mode,
+            seed,
+            sections,
         }
     }
 
@@ -228,41 +308,62 @@ impl CampaignSpec {
         };
         let families = [GraphFamily::Star, GraphFamily::RandomTree];
         CampaignSpec {
-            name: "mini",
+            name: "mini".into(),
             mode,
             seed,
             sections: vec![
-                Section {
-                    name: "mini-sync",
-                    title: "mini smoke sweep, SYNC (rounds)",
-                    points: section_points(
+                Section::new(
+                    "mini-sync",
+                    "mini smoke sweep, SYNC (rounds)",
+                    section_points(
                         &families,
                         &ks,
-                        &[Algorithm::KsDfs, Algorithm::ProbeDfs, Algorithm::SyncSeeker],
+                        &["ks-dfs", "probe-dfs", "sync-seeker"],
+                        Placement::Rooted,
                         Schedule::Sync,
                         2,
                     ),
-                },
-                Section {
-                    name: "mini-async",
-                    title: "mini smoke sweep, ASYNC (epochs)",
-                    points: section_points(
+                ),
+                Section::new(
+                    "mini-async",
+                    "mini smoke sweep, ASYNC (epochs)",
+                    section_points(
                         &families,
                         &ks,
-                        &[Algorithm::KsDfs, Algorithm::ProbeDfs],
+                        &["ks-dfs", "probe-dfs"],
+                        Placement::Rooted,
                         Schedule::AsyncRandom { prob: 0.7, seed: 0 },
                         2,
                     ),
-                },
+                ),
             ],
         }
     }
 
-    /// Resolve a campaign by its manifest name.
+    /// An ad-hoc campaign from explicit scenarios (the CLI's `--scenario`
+    /// path): one section, `reps` repetitions per scenario.
+    pub fn custom(scenarios: Vec<ScenarioSpec>, reps: usize, seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            name: "custom".into(),
+            mode: Mode::Quick,
+            seed,
+            sections: vec![Section::new(
+                "custom",
+                "ad-hoc scenario grid",
+                scenarios
+                    .into_iter()
+                    .map(|s| ExperimentPoint::new(s, reps.max(1)))
+                    .collect(),
+            )],
+        }
+    }
+
+    /// Resolve a named campaign.
     pub fn by_name(name: &str, mode: Mode, seed: u64) -> Option<CampaignSpec> {
         match name {
             "table1" => Some(CampaignSpec::table1(mode, seed)),
             "figures" => Some(CampaignSpec::figures(mode, seed)),
+            "placements" => Some(CampaignSpec::placements(mode, seed)),
             "mini" => Some(CampaignSpec::mini(mode, seed)),
             _ => None,
         }
@@ -271,7 +372,7 @@ impl CampaignSpec {
     /// Keep only the named sections (used by `--section`); unknown names
     /// yield an empty campaign, which the CLI reports as an error.
     pub fn with_sections(mut self, names: &[&str]) -> CampaignSpec {
-        self.sections.retain(|s| names.contains(&s.name));
+        self.sections.retain(|s| names.contains(&s.name.as_str()));
         self
     }
 
@@ -295,7 +396,9 @@ impl CampaignSpec {
     }
 
     /// A stable fingerprint of the expanded grid + campaign seed, recorded
-    /// in the manifest so `resume` can refuse a mismatched output directory.
+    /// in the manifest so `resume` can refuse a mismatched output
+    /// directory. Derives purely from the scenarios' canonical labels (via
+    /// the trial ids), never from in-memory representation details.
     pub fn grid_hash(&self) -> u64 {
         let ids: Vec<u64> = self
             .trials()
@@ -318,13 +421,15 @@ fn preset(mode: Mode) -> (Vec<GraphFamily>, Vec<usize>, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use disp_core::scenario::Registry;
 
     #[test]
     fn section_points_cover_the_grid() {
         let pts = section_points(
             &[GraphFamily::Line, GraphFamily::Star],
             &[16, 32],
-            &[Algorithm::KsDfs, Algorithm::ProbeDfs],
+            &["ks-dfs", "probe-dfs"],
+            Placement::Rooted,
             Schedule::Sync,
             1,
         );
@@ -369,15 +474,63 @@ mod tests {
                 .grid_hash()
         );
         assert_ne!(base, CampaignSpec::figures(Mode::Quick, 1).grid_hash());
+        assert_ne!(base, CampaignSpec::placements(Mode::Quick, 1).grid_hash());
     }
 
     #[test]
     fn by_name_round_trips() {
-        for name in ["table1", "figures", "mini"] {
+        for name in ["table1", "figures", "placements", "mini"] {
             let spec = CampaignSpec::by_name(name, Mode::Quick, 7).unwrap();
             assert_eq!(spec.name, name);
         }
         assert!(CampaignSpec::by_name("nope", Mode::Quick, 7).is_none());
+    }
+
+    #[test]
+    fn every_named_campaign_validates_against_the_builtin_registry() {
+        let reg = Registry::builtin();
+        for name in ["table1", "figures", "placements", "mini"] {
+            let spec = CampaignSpec::by_name(name, Mode::Full, 7).unwrap();
+            for trial in spec.trials() {
+                trial
+                    .point
+                    .scenario
+                    .validate(&reg)
+                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn placements_campaign_covers_new_scenario_classes_under_all_schedules() {
+        let spec = CampaignSpec::placements(Mode::Quick, 1);
+        assert_eq!(spec.sections.len(), 3, "one section per schedule family");
+        for section in &spec.sections {
+            let labels: Vec<String> = section.points.iter().map(|p| p.point_id()).collect();
+            for placement in ["scatter", "cluster4", "spread"] {
+                assert!(
+                    labels.iter().any(|l| l.contains(&format!("/{placement}/"))),
+                    "{} misses {placement}",
+                    section.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn custom_campaigns_expand_like_named_ones() {
+        let scenarios = vec![
+            ScenarioSpec::new(GraphFamily::Star, 8, "probe-dfs"),
+            ScenarioSpec::new(GraphFamily::Line, 8, "ks-dfs")
+                .with_placement(Placement::ScatteredUniform),
+        ];
+        let spec = CampaignSpec::custom(scenarios, 2, 5);
+        assert_eq!(spec.trials().len(), 4);
+        assert_eq!(spec.name, "custom");
+        // Seeds still derive from labels, not positions.
+        for t in spec.trials() {
+            assert_eq!(t.seed, trial_seed(5, &t.point, t.rep));
+        }
     }
 
     #[test]

@@ -8,9 +8,14 @@
 //! ## Guarantees
 //!
 //! * **Determinism** — every trial's seed is derived as
-//!   `mix(campaign_seed, fnv1a(point_id), repetition)` ([`grid::trial_seed`]),
-//!   so results are byte-identical for any `--threads` value, any execution
-//!   interleaving, and any subset/resume split of the grid.
+//!   `mix(campaign_seed, fnv1a(canonical scenario label), repetition)`
+//!   ([`grid::trial_seed`]), so results are byte-identical for any
+//!   `--threads` value, any execution interleaving, and any subset/resume
+//!   split of the grid.
+//! * **Openness** — grids are made of canonical
+//!   `disp_core::scenario::ScenarioSpec`s and algorithms resolve through a
+//!   `disp_core::scenario::Registry`, so a new algorithm or placement
+//!   reaches every campaign without touching this crate.
 //! * **Parallelism** — trials are sharded across a work-stealing thread
 //!   pool ([`engine::parallel_map`]); stealing rebalances the wildly uneven
 //!   trial costs of a dispersion sweep.
@@ -33,11 +38,12 @@
 //! ```
 //! use disp_campaign::grid::{CampaignSpec, Mode};
 //! use disp_campaign::run::run_campaign;
+//! use disp_core::scenario::Registry;
 //!
 //! let mut spec = CampaignSpec::table1(Mode::Quick, 42);
 //! spec.sections.truncate(1);
-//! spec.sections[0].points.retain(|p| p.k <= 16); // doc-test sized
-//! let (records, summary) = run_campaign(&spec, None, 2).unwrap();
+//! spec.sections[0].points.retain(|p| p.scenario.k <= 16); // doc-test sized
+//! let (records, summary) = run_campaign(&spec, None, 2, &Registry::builtin()).unwrap();
 //! assert_eq!(records.len(), summary.total);
 //! assert!(records.iter().all(|r| r.dispersed));
 //! ```

@@ -51,24 +51,29 @@ pub fn render_section_csv(measurements: &[Measurement]) -> String {
     csv_table(&measurement_header(), &rows)
 }
 
-/// Log–log scaling exponents of time vs k per (family, algorithm) series.
+/// Log–log scaling exponents of time vs k per (family, algorithm,
+/// placement) series — placement is part of the key because a section (the
+/// `placements` campaign) may sweep several placements of the same
+/// algorithm, and mixing their times would fit a meaningless exponent.
 pub fn render_fits(measurements: &[Measurement]) -> String {
-    let mut series: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
+    let mut series: BTreeMap<(String, String, String), Vec<(f64, f64)>> = BTreeMap::new();
     for m in measurements {
         series
             .entry((
-                m.point.family.label(),
-                m.point.algorithm.label().to_string(),
+                m.point.scenario.family.label(),
+                m.point.scenario.algorithm.clone(),
+                m.point.scenario.placement.label(),
             ))
             .or_default()
             .push((m.k as f64, m.time_mean));
     }
     let mut rows = Vec::new();
-    for ((family, algo), pts) in series {
+    for ((family, algo, placement), pts) in series {
         if let Some(fit) = loglog_fit(&pts) {
             rows.push(vec![
                 family,
                 algo,
+                placement,
                 format!("{:.2}", fit.exponent),
                 format!("{:.3}", fit.r_squared),
             ]);
@@ -79,7 +84,10 @@ pub fn render_fits(measurements: &[Measurement]) -> String {
     }
     format!(
         "\n### Log-log scaling exponents (time vs k)\n\n{}",
-        markdown_table(&["family", "algorithm", "exponent", "R^2"], &rows)
+        markdown_table(
+            &["family", "algorithm", "placement", "exponent", "R^2"],
+            &rows
+        )
     )
 }
 
@@ -93,8 +101,9 @@ mod tests {
     fn partial_records_render_without_panicking() {
         let mut spec = CampaignSpec::table1(Mode::Quick, 2);
         spec.sections.truncate(1);
-        spec.sections[0].points.retain(|p| p.k <= 32);
-        let (records, _) = run_campaign(&spec, None, 1).unwrap();
+        spec.sections[0].points.retain(|p| p.scenario.k <= 32);
+        let (records, _) =
+            run_campaign(&spec, None, 1, &disp_core::scenario::Registry::builtin()).unwrap();
         let total_points = spec.sections[0].points.len();
 
         // Drop half the records: the report must cover what exists.

@@ -6,6 +6,7 @@ use crate::grid::{CampaignSpec, TrialSpec};
 use crate::store::CampaignStore;
 use disp_analysis::jsonl::dedup_trials;
 use disp_analysis::TrialRecord;
+use disp_core::scenario::Registry;
 use std::time::{Duration, Instant};
 
 /// What a campaign execution did.
@@ -23,7 +24,13 @@ pub struct RunSummary {
     pub stats: EngineStats,
 }
 
-/// Execute `spec` on `threads` workers.
+/// Execute `spec` on `threads` workers, resolving algorithms through
+/// `registry` — pass [`Registry::builtin`] for the paper's algorithms, or
+/// a registry extended with your own factories.
+///
+/// Every scenario in the grid is validated against the registry before
+/// anything runs, so an illegal combination is a typed error up front, not
+/// a mid-campaign panic.
 ///
 /// With a store, completed trials (already on disk) are skipped and every
 /// finished trial is appended + flushed before the engine moves on; without
@@ -34,9 +41,17 @@ pub fn run_campaign(
     spec: &CampaignSpec,
     store: Option<&CampaignStore>,
     threads: usize,
+    registry: &Registry,
 ) -> Result<(Vec<TrialRecord>, RunSummary), String> {
     let grid = spec.trials();
     let total = grid.len();
+
+    for point in spec.sections.iter().flat_map(|s| &s.points) {
+        point
+            .scenario
+            .validate(registry)
+            .map_err(|e| format!("scenario '{}': {e}", point.scenario.label()))?;
+    }
 
     let (prior, completed) = match store {
         Some(store) => {
@@ -67,7 +82,7 @@ pub fn run_campaign(
     let (executed, stats) = parallel_map(
         todo,
         threads,
-        |_, trial: &TrialSpec| trial.point.run_trial(trial.rep, trial.seed),
+        |_, trial: &TrialSpec| trial.point.run_trial(registry, trial.rep, trial.seed),
         |_, record: &TrialRecord| {
             if let Some(w) = &writer {
                 w.append(record);
@@ -104,21 +119,26 @@ pub fn run_campaign(
 mod tests {
     use super::*;
     use crate::grid::Mode;
-    use disp_core::runner::{Algorithm, Schedule};
+    use disp_core::scenario::{ScenarioSpec, Schedule};
     use disp_graph::generators::GraphFamily;
+    use disp_sim::Placement;
+
+    fn reg() -> Registry {
+        Registry::builtin()
+    }
 
     fn tiny_spec(seed: u64) -> CampaignSpec {
         let mut spec = CampaignSpec::table1(Mode::Quick, seed);
         // Shrink to a fast subset: one section, small k only.
         spec.sections.truncate(1);
-        spec.sections[0].points.retain(|p| p.k <= 32);
+        spec.sections[0].points.retain(|p| p.scenario.k <= 32);
         spec
     }
 
     #[test]
     fn in_memory_run_covers_the_grid_in_order() {
         let spec = tiny_spec(3);
-        let (records, summary) = run_campaign(&spec, None, 2).unwrap();
+        let (records, summary) = run_campaign(&spec, None, 2, &reg()).unwrap();
         assert_eq!(records.len(), summary.total);
         assert_eq!(summary.skipped, 0);
         assert_eq!(summary.executed, summary.total);
@@ -131,8 +151,8 @@ mod tests {
     #[test]
     fn thread_count_does_not_change_results() {
         let spec = tiny_spec(4);
-        let (a, _) = run_campaign(&spec, None, 1).unwrap();
-        let (b, _) = run_campaign(&spec, None, 4).unwrap();
+        let (a, _) = run_campaign(&spec, None, 1, &reg()).unwrap();
+        let (b, _) = run_campaign(&spec, None, 4, &reg()).unwrap();
         let lines = |rs: &[TrialRecord]| -> Vec<String> {
             rs.iter().map(TrialRecord::to_json_line).collect()
         };
@@ -146,24 +166,25 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         let spec = tiny_spec(5);
         let grid = spec.trials();
+        let registry = reg();
 
         // Simulate a killed run: checkpoint only the first third by hand.
         let store = CampaignStore::create(&dir, &spec, false).unwrap();
         let writer = store.appender().unwrap();
         let prefix = grid.len() / 3;
         for t in &grid[..prefix] {
-            writer.append(&t.point.run_trial(t.rep, t.seed));
+            writer.append(&t.point.run_trial(&registry, t.rep, t.seed));
         }
         drop(writer);
 
-        let (records, summary) = run_campaign(&spec, Some(&store), 2).unwrap();
+        let (records, summary) = run_campaign(&spec, Some(&store), 2, &registry).unwrap();
         assert_eq!(summary.total, grid.len());
         assert_eq!(summary.skipped, prefix);
         assert_eq!(summary.executed, grid.len() - prefix);
         assert_eq!(records.len(), grid.len());
 
         // A second resume has nothing left to do and returns identical data.
-        let (again, summary2) = run_campaign(&spec, Some(&store), 2).unwrap();
+        let (again, summary2) = run_campaign(&spec, Some(&store), 2, &registry).unwrap();
         assert_eq!(summary2.executed, 0);
         assert_eq!(summary2.skipped, grid.len());
         let lines = |rs: &[TrialRecord]| -> Vec<String> {
@@ -172,7 +193,7 @@ mod tests {
         assert_eq!(lines(&records), lines(&again));
 
         // And the checkpoint file matches an unstored run, line for line.
-        let (memory, _) = run_campaign(&spec, None, 1).unwrap();
+        let (memory, _) = run_campaign(&spec, None, 1, &registry).unwrap();
         let mut on_disk: Vec<String> = store
             .read_trials()
             .unwrap()
@@ -191,24 +212,54 @@ mod tests {
     #[test]
     fn campaigns_with_async_schedules_disperse() {
         let spec = CampaignSpec {
-            name: "table1",
+            name: "table1".into(),
             mode: Mode::Quick,
             seed: 11,
-            sections: vec![crate::grid::Section {
-                name: "async-mini",
-                title: "mini async",
-                points: crate::grid::section_points(
+            sections: vec![crate::grid::Section::new(
+                "async-mini",
+                "mini async",
+                crate::grid::section_points(
                     &[GraphFamily::Star, GraphFamily::RandomTree],
                     &[16],
-                    &[Algorithm::KsDfs, Algorithm::ProbeDfs],
+                    &["ks-dfs", "probe-dfs"],
+                    Placement::Rooted,
                     Schedule::AsyncRandom { prob: 0.7, seed: 0 },
                     2,
                 ),
-            }],
+            )],
         };
-        let (records, _) = run_campaign(&spec, None, 2).unwrap();
+        let (records, _) = run_campaign(&spec, None, 2, &reg()).unwrap();
         assert_eq!(records.len(), 2 * 2 * 2);
         assert!(records.iter().all(|r| r.dispersed));
         assert!(records.iter().all(|r| r.outcome.epochs >= 1));
+    }
+
+    #[test]
+    fn invalid_scenarios_fail_before_anything_runs() {
+        let spec = CampaignSpec::custom(
+            vec![ScenarioSpec::new(GraphFamily::Star, 8, "probe-dfs")
+                .with_placement(Placement::ScatteredUniform)],
+            1,
+            1,
+        );
+        let err = run_campaign(&spec, None, 1, &reg()).unwrap_err();
+        assert!(err.contains("rooted"), "{err}");
+    }
+
+    #[test]
+    fn placement_campaign_runs_deterministically_across_thread_counts() {
+        let mut spec = CampaignSpec::placements(Mode::Quick, 21);
+        // Shrink to a fast subset covering every placement × schedule.
+        for section in &mut spec.sections {
+            section.points.retain(|p| p.scenario.k == 16);
+        }
+        let (a, _) = run_campaign(&spec, None, 1, &reg()).unwrap();
+        let (b, _) = run_campaign(&spec, None, 4, &reg()).unwrap();
+        assert!(!a.is_empty());
+        assert!(a.iter().all(|r| r.dispersed));
+        let lines = |rs: &[TrialRecord]| -> Vec<String> {
+            rs.iter().map(TrialRecord::to_json_line).collect()
+        };
+        assert_eq!(lines(&a), lines(&b));
     }
 }

@@ -14,60 +14,110 @@
 //! the manifest fingerprint against the rebuilt grid, and appends only the
 //! missing trials.
 
-use crate::grid::{CampaignSpec, Mode};
+use crate::grid::{CampaignSpec, Mode, Section};
+use disp_analysis::experiment::ExperimentPoint;
 use disp_analysis::json::Json;
 use disp_analysis::jsonl::{self, Ingest};
 use disp_analysis::TrialRecord;
+use disp_core::scenario::ScenarioSpec;
 use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+/// One section of a persisted campaign: its name/title plus every scenario
+/// as a canonical label with its repetition count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestSection {
+    /// Section name.
+    pub name: String,
+    /// Section title (report heading).
+    pub title: String,
+    /// `(canonical scenario label, repetitions)` pairs, in grid order.
+    pub entries: Vec<(String, usize)>,
+}
+
 /// The persisted identity of a campaign run.
+///
+/// The manifest speaks canonical scenario labels: the full grid is stored,
+/// so `resume`/`report` rebuild *exactly* the campaign that was started —
+/// named or ad-hoc — without consulting `CampaignSpec::by_name`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Manifest {
-    /// Campaign name (resolvable via `CampaignSpec::by_name`).
+    /// Campaign name (informational; `custom` for `--scenario` grids).
     pub campaign: String,
-    /// Sweep size preset.
+    /// Sweep size preset (informational).
     pub mode: Mode,
     /// Campaign seed.
     pub seed: u64,
-    /// Fingerprint of the expanded grid (see `CampaignSpec::grid_hash`).
+    /// Fingerprint of the expanded grid (see `CampaignSpec::grid_hash`),
+    /// itself derived from the canonical labels below.
     pub grid_hash: u64,
     /// Total number of trials in the grid.
     pub total_trials: usize,
-    /// Sections included in the run (empty = all sections of the campaign).
-    pub sections: Vec<String>,
+    /// The full grid, as canonical labels.
+    pub sections: Vec<ManifestSection>,
 }
 
 impl Manifest {
     /// Build the manifest describing `spec`.
     pub fn of(spec: &CampaignSpec) -> Manifest {
         Manifest {
-            campaign: spec.name.to_string(),
+            campaign: spec.name.clone(),
             mode: spec.mode,
             seed: spec.seed,
             grid_hash: spec.grid_hash(),
             total_trials: spec.trials().len(),
-            sections: spec.sections.iter().map(|s| s.name.to_string()).collect(),
+            sections: spec
+                .sections
+                .iter()
+                .map(|s| ManifestSection {
+                    name: s.name.clone(),
+                    title: s.title.clone(),
+                    entries: s
+                        .points
+                        .iter()
+                        .map(|p| (p.point_id(), p.repetitions))
+                        .collect(),
+                })
+                .collect(),
         }
     }
 
-    /// Rebuild the campaign spec this manifest describes.
+    /// Rebuild the campaign spec this manifest describes, by parsing the
+    /// stored canonical labels.
     pub fn rebuild_spec(&self) -> Result<CampaignSpec, String> {
-        let spec = CampaignSpec::by_name(&self.campaign, self.mode, self.seed)
-            .ok_or_else(|| format!("unknown campaign '{}' in manifest", self.campaign))?;
-        let names: Vec<&str> = self.sections.iter().map(String::as_str).collect();
-        let spec = if names.is_empty() {
-            spec
-        } else {
-            spec.with_sections(&names)
+        let sections = self
+            .sections
+            .iter()
+            .map(|ms| {
+                let points = ms
+                    .entries
+                    .iter()
+                    .map(|(label, reps)| {
+                        ScenarioSpec::from_label(label)
+                            .map(|scenario| ExperimentPoint::new(scenario, *reps))
+                            .map_err(|e| format!("manifest: {e}"))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Section {
+                    name: ms.name.clone(),
+                    title: ms.title.clone(),
+                    points,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let spec = CampaignSpec {
+            name: self.campaign.clone(),
+            mode: self.mode,
+            seed: self.seed,
+            sections,
         };
         if spec.grid_hash() != self.grid_hash {
             return Err(format!(
                 "grid fingerprint mismatch: manifest has {:#x}, rebuilt grid has {:#x} \
-                 (the campaign definition changed since this directory was written)",
+                 (the stored labels do not reproduce the recorded grid)",
                 self.grid_hash,
                 spec.grid_hash()
             ));
@@ -86,7 +136,31 @@ impl Manifest {
             ("total_trials".into(), Json::Num(self.total_trials as f64)),
             (
                 "sections".into(),
-                Json::Arr(self.sections.iter().map(|s| Json::Str(s.clone())).collect()),
+                Json::Arr(
+                    self.sections
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::Str(s.name.clone())),
+                                ("title".into(), Json::Str(s.title.clone())),
+                                (
+                                    "entries".into(),
+                                    Json::Arr(
+                                        s.entries
+                                            .iter()
+                                            .map(|(label, reps)| {
+                                                Json::Obj(vec![
+                                                    ("scenario".into(), Json::Str(label.clone())),
+                                                    ("reps".into(), Json::Num(*reps as f64)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
         ])
     }
@@ -99,9 +173,50 @@ impl Manifest {
         let sections = match v.get("sections") {
             Some(Json::Arr(items)) => items
                 .iter()
-                .map(|s| s.as_str().map(String::from))
-                .collect::<Option<Vec<_>>>()
-                .ok_or("manifest: non-string section")?,
+                .map(|item| {
+                    if item.as_str().is_some() {
+                        // Pre-scenario manifests stored bare section names;
+                        // their grids cannot be rebuilt from labels.
+                        return Err(
+                            "manifest: pre-scenario campaign directory (sections carry no \
+                             scenario labels); re-run the campaign with this version"
+                                .to_string(),
+                        );
+                    }
+                    let entries = match item.get("entries") {
+                        Some(Json::Arr(es)) => es
+                            .iter()
+                            .map(|e| {
+                                let label = e
+                                    .get("scenario")
+                                    .and_then(Json::as_str)
+                                    .ok_or("manifest: entry missing scenario")?
+                                    .to_string();
+                                let reps = e
+                                    .get("reps")
+                                    .and_then(Json::as_u64)
+                                    .ok_or("manifest: entry missing reps")?
+                                    as usize;
+                                Ok((label, reps))
+                            })
+                            .collect::<Result<Vec<_>, String>>()?,
+                        _ => return Err("manifest: section missing entries".to_string()),
+                    };
+                    Ok(ManifestSection {
+                        name: item
+                            .get("name")
+                            .and_then(Json::as_str)
+                            .ok_or("manifest: section missing name")?
+                            .to_string(),
+                        title: item
+                            .get("title")
+                            .and_then(Json::as_str)
+                            .ok_or("manifest: section missing title")?
+                            .to_string(),
+                        entries,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
             _ => Vec::new(),
         };
         Ok(Manifest {
@@ -269,6 +384,9 @@ impl TrialWriter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use disp_core::scenario::Registry;
+    use disp_graph::generators::GraphFamily;
+    use disp_sim::Placement;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn tmp_dir(tag: &str) -> PathBuf {
@@ -301,7 +419,9 @@ mod tests {
 
         let trials = spec.trials();
         let writer = store.appender().unwrap();
-        let rec = trials[0].point.run_trial(trials[0].rep, trials[0].seed);
+        let rec = trials[0]
+            .point
+            .run_trial(&Registry::builtin(), trials[0].rep, trials[0].seed);
         writer.append(&rec);
         drop(writer);
 
@@ -347,7 +467,7 @@ mod tests {
         store
             .appender()
             .unwrap()
-            .append(&t.point.run_trial(t.rep, t.seed));
+            .append(&t.point.run_trial(&Registry::builtin(), t.rep, t.seed));
         // Lose the manifest but keep the checkpointed trials.
         std::fs::remove_file(store.manifest_path()).unwrap();
         let err = CampaignStore::create(&dir, &spec, false).unwrap_err();
@@ -367,5 +487,36 @@ mod tests {
         m.grid_hash ^= 1;
         let err = m.rebuild_spec().unwrap_err();
         assert!(err.contains("fingerprint mismatch"), "{err}");
+    }
+
+    #[test]
+    fn custom_campaigns_rebuild_from_stored_labels_alone() {
+        use disp_core::scenario::{ScenarioSpec, Schedule};
+        let spec = CampaignSpec::custom(
+            vec![
+                ScenarioSpec::new(GraphFamily::Star, 8, "probe-dfs"),
+                ScenarioSpec::new(GraphFamily::Grid, 12, "ks-dfs")
+                    .with_placement(Placement::Clustered { clusters: 3 })
+                    .with_schedule(Schedule::AsyncRandom { prob: 0.7, seed: 0 }),
+            ],
+            2,
+            9,
+        );
+        let m = Manifest::of(&spec);
+        let text = m.to_json().to_string_compact();
+        let back = Manifest::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, m);
+        let rebuilt = back.rebuild_spec().unwrap();
+        assert_eq!(rebuilt.grid_hash(), spec.grid_hash());
+        let ids =
+            |s: &CampaignSpec| -> Vec<String> { s.trials().iter().map(|t| t.trial_id()).collect() };
+        assert_eq!(ids(&rebuilt), ids(&spec));
+    }
+
+    #[test]
+    fn pre_scenario_manifests_are_rejected_with_a_clear_message() {
+        let legacy = r#"{"campaign":"mini","mode":"quick","seed":"0000000000000007","grid_hash":"0000000000000001","total_trials":40,"sections":["mini-sync","mini-async"]}"#;
+        let err = Manifest::from_json(&Json::parse(legacy).unwrap()).unwrap_err();
+        assert!(err.contains("pre-scenario"), "{err}");
     }
 }

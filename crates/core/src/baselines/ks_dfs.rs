@@ -183,15 +183,13 @@ impl KsDfs {
     }
 
     fn settler_at(&self, ctx: &ActivationCtx<'_>) -> Option<AgentId> {
-        ctx.colocated()
-            .into_iter()
+        ctx.colocated_iter()
             .find(|a| matches!(self.states[a.index()], AgentState::Settled { .. }))
     }
 
     /// Smallest-ID co-located follower of `leader` (unsettled group member).
     fn smallest_follower_here(&self, ctx: &ActivationCtx<'_>, leader: AgentId) -> Option<AgentId> {
-        ctx.colocated()
-            .into_iter()
+        ctx.colocated_iter()
             .filter(|a| {
                 matches!(self.states[a.index()], AgentState::Follower { leader: l, .. } if l == leader)
             })
@@ -199,8 +197,7 @@ impl KsDfs {
     }
 
     fn followers_here(&self, ctx: &ActivationCtx<'_>, leader: AgentId) -> usize {
-        ctx.colocated()
-            .into_iter()
+        ctx.colocated_iter()
             .filter(|a| {
                 matches!(self.states[a.index()], AgentState::Follower { leader: l, .. } if l == leader)
             })
@@ -266,12 +263,14 @@ impl KsDfs {
                                 _ => unreachable!(),
                             };
                         if s_label != treelabel {
-                            // A node settled by a different group while our
-                            // group stood on it (can only happen transiently
-                            // at scan targets, which are handled in
-                            // CheckNeighbor) — treat as occupied and scatter
-                            // to stay safe.
-                            self.enter_scatter(agent, ctx);
+                            // Another group's DFS settled this node before we
+                            // could (under ASYNC a foreign scan can reach our
+                            // home node before our leader's first
+                            // activation). The whole group must fall back
+                            // together: scattering only the leader would
+                            // strand its followers waiting for orders from a
+                            // leader that no longer exists.
+                            self.scatter_group(agent, ctx);
                             return;
                         }
                         // Skip the parent port in the scan.
@@ -369,9 +368,7 @@ impl KsDfs {
 
     /// Switch the whole co-located group (leader included) to scatter mode.
     fn scatter_group(&mut self, leader: AgentId, ctx: &ActivationCtx<'_>) {
-        let members: Vec<AgentId> = ctx
-            .colocated()
-            .into_iter()
+        let members: Vec<AgentId> = ctx.colocated_iter()
             .filter(|a| {
                 matches!(self.states[a.index()], AgentState::Follower { leader: l, .. } if l == leader)
             })
@@ -388,19 +385,12 @@ impl KsDfs {
         };
     }
 
-    fn enter_scatter(&mut self, agent: AgentId, _ctx: &ActivationCtx<'_>) {
-        self.states[agent.index()] = AgentState::Scatter {
-            rng: self.scatter_seed
-                ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(agent.index() as u64 + 1)),
-        };
-    }
-
     fn act_follower(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
         let AgentState::Follower { leader, executed } = self.states[agent.index()] else {
             unreachable!();
         };
         // Execute the leader's published order, if a fresh one is visible.
-        if ctx.colocated().contains(&leader) {
+        if ctx.colocated_iter().any(|peer| peer == leader) {
             if let AgentState::Leader { order: Some(o), .. } = self.states[leader.index()] {
                 if o.flip != executed {
                     ctx.move_via(o.port);

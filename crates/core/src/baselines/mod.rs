@@ -3,7 +3,7 @@
 //! * [`ks_dfs`] — the Kshemkalyani–Sharma (OPODIS'21) style group DFS with
 //!   `O(min{m, kΔ})` time, the asynchronous state of the art before this
 //!   paper.
-//! * [`probe_dfs`] (in the crate root as [`crate::probe_dfs`]) doubles as the
+//! * [`crate::probe_dfs`] doubles as the
 //!   Sudo et al. (DISC'24) style doubling-probe baseline when run under the
 //!   synchronous scheduler.
 

@@ -1,0 +1,10 @@
+//! Extra algorithms that are not part of the paper's evaluation.
+//!
+//! These ship outside [`crate::scenario::Registry::builtin`] deliberately:
+//! they exist to prove (and keep proving, in tests) that plugging a new
+//! algorithm into every campaign, bench and CLI takes one module plus one
+//! `Registry::with` call — nothing in the run path is a closed enum.
+
+pub mod random_walk;
+
+pub use random_walk::{RandomWalk, RandomWalkFactory};

@@ -1,0 +1,128 @@
+//! A toy randomized dispersion algorithm: every unsettled agent performs an
+//! independent seeded random walk and settles at the first node with no
+//! settled agent on it.
+//!
+//! Correct on any connected graph, from any start, under any fair schedule
+//! (settled nodes stay settled, `k ≤ n` keeps a free node available, and a
+//! random walk on a connected graph visits every node with probability 1).
+//! Time is expected cover-time-ish — far off the paper's bounds — which is
+//! exactly why it is a useful registry guinea pig rather than a baseline.
+
+use crate::scenario::{AlgorithmFactory, Params};
+use disp_graph::Port;
+use disp_rng::mix;
+use disp_sim::{bits, ActivationCtx, AgentId, AgentProtocol, World};
+
+/// The random-walk protocol. See the module docs.
+#[derive(Debug)]
+pub struct RandomWalk {
+    settled: Vec<bool>,
+    /// Per-agent xorshift64* state (never zero).
+    rng: Vec<u64>,
+    settled_count: usize,
+}
+
+impl RandomWalk {
+    /// Build the protocol; each agent's walk derives from `seed` and its id.
+    pub fn new(world: &World, seed: u64) -> Self {
+        let k = world.num_agents();
+        RandomWalk {
+            settled: vec![false; k],
+            rng: (0..k as u64).map(|i| mix(&[seed, i]) | 1).collect(),
+            settled_count: 0,
+        }
+    }
+
+    fn next_u64(&mut self, agent: AgentId) -> u64 {
+        let s = &mut self.rng[agent.index()];
+        *s ^= *s << 13;
+        *s ^= *s >> 7;
+        *s ^= *s << 17;
+        *s
+    }
+}
+
+impl AgentProtocol for RandomWalk {
+    fn on_activate(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        if self.settled[agent.index()] {
+            return;
+        }
+        // Activations are sequential, so "no settled agent here" is a
+        // race-free claim on this node.
+        if !ctx.colocated_iter().any(|a| self.settled[a.index()]) {
+            self.settled[agent.index()] = true;
+            self.settled_count += 1;
+            return;
+        }
+        let degree = ctx.degree() as u64;
+        let port = 1 + self.next_u64(agent) % degree;
+        ctx.move_via(Port(port as u32));
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.settled_count == self.settled.len()
+    }
+
+    fn memory_bits(&self, _agent: AgentId) -> usize {
+        // One settled flag plus the walk's 64-bit RNG state.
+        bits::flag_bits() + 64
+    }
+
+    fn name(&self) -> &'static str {
+        "random-walk"
+    }
+}
+
+/// Registry factory for [`RandomWalk`] — general starts, any schedule.
+pub struct RandomWalkFactory;
+
+impl AlgorithmFactory for RandomWalkFactory {
+    fn label(&self) -> &'static str {
+        "random-walk"
+    }
+
+    fn supports_general(&self) -> bool {
+        true
+    }
+
+    fn build(&self, world: &World, _params: &Params, seed: u64) -> Box<dyn AgentProtocol> {
+        Box::new(RandomWalk::new(world, seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Registry, ScenarioSpec, Schedule};
+    use disp_graph::generators::GraphFamily;
+    use disp_sim::Placement;
+
+    fn registry() -> Registry {
+        Registry::builtin().with(RandomWalkFactory)
+    }
+
+    #[test]
+    fn random_walk_disperses_from_every_placement_under_every_schedule() {
+        let reg = registry();
+        for placement in Placement::all() {
+            for schedule in [Schedule::Sync, Schedule::AsyncRandom { prob: 0.7, seed: 0 }] {
+                let spec = ScenarioSpec::new(GraphFamily::RandomTree, 12, "random-walk")
+                    .with_placement(placement)
+                    .with_schedule(schedule);
+                let report = spec.run(&reg, 5).unwrap();
+                assert!(report.dispersed, "{}", spec.label());
+                assert!(report.outcome.terminated);
+            }
+        }
+    }
+
+    #[test]
+    fn random_walk_is_seed_deterministic() {
+        let reg = registry();
+        let spec = ScenarioSpec::new(GraphFamily::Grid, 10, "random-walk")
+            .with_placement(Placement::ScatteredUniform);
+        let a = spec.run(&reg, 99).unwrap();
+        let b = spec.run(&reg, 99).unwrap();
+        assert_eq!(a.outcome, b.outcome);
+    }
+}

@@ -13,33 +13,55 @@
 //! | Oscillation groups | [`oscillation`] | Lemmas 2–3 |
 //! | Seeker-based synchronous probing & the `O(k)` SYNC algorithm | [`rooted_sync`] | Algorithms 2, 5–7 (Theorem 6.1) |
 //! | Verification | [`verify`] | dispersion configuration & complexity envelopes |
-//! | Uniform runner | [`runner`] | one entry point for every algorithm/scheduler pair |
+//! | The scenario API | [`scenario`] | one open, canonical run description for every algorithm/placement/schedule |
+//! | Extra registry algorithms | [`extras`] | registry-extension proof (toy random walk) |
 //!
-//! See `DESIGN.md` at the workspace root for the fidelity notes: what is
-//! reproduced exactly, what is simulated, and where the implementation
-//! deviates from the paper (most notably the general-initial-configuration
-//! subsumption machinery, which is replaced by a simpler, correct fallback).
+//! Runs are described by [`scenario::ScenarioSpec`] — graph family ×
+//! placement × schedule × algorithm (from an open
+//! [`scenario::Registry`]) × typed params × limits — which round-trips
+//! through a canonical label string. See `DESIGN.md` §7.
+//!
+//! ```
+//! use disp_core::scenario::{Registry, ScenarioSpec, Schedule};
+//! use disp_graph::generators::GraphFamily;
+//! use disp_sim::Placement;
+//!
+//! let spec = ScenarioSpec::new(GraphFamily::RandomTree, 32, "ks-dfs")
+//!     .with_placement(Placement::ScatteredUniform)
+//!     .with_schedule(Schedule::AsyncRandom { prob: 0.7, seed: 0 });
+//! assert_eq!(spec.label(), "rtree/k32/scatter/async-rand0.7/ks-dfs");
+//! let report = spec.run(&Registry::builtin(), 42).unwrap();
+//! assert!(report.dispersed);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baselines;
 pub mod empty_node;
+pub mod extras;
 pub mod oscillation;
 pub mod probe_dfs;
 pub mod rooted_sync;
-pub mod runner;
+pub mod scenario;
 pub mod verify;
 
 pub use baselines::ks_dfs::KsDfs;
 pub use probe_dfs::ProbeDfs;
 pub use rooted_sync::RootedSyncDisp;
+pub use scenario::{
+    AlgorithmFactory, Limits, ParamValue, Params, Registry, ScenarioError, ScenarioReport,
+    ScenarioSpec, Schedule,
+};
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
     pub use crate::baselines::ks_dfs::KsDfs;
     pub use crate::probe_dfs::ProbeDfs;
     pub use crate::rooted_sync::RootedSyncDisp;
-    pub use crate::runner::{run, run_rooted, Algorithm, RunReport, RunSpec, Schedule};
+    pub use crate::scenario::{
+        run_custom, AlgorithmFactory, Limits, ParamValue, Params, Registry, ScenarioError,
+        ScenarioReport, ScenarioSpec, Schedule,
+    };
     pub use crate::verify::{check_dispersion, is_dispersed};
 }

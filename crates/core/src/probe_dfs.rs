@@ -231,8 +231,7 @@ impl ProbeDfs {
     }
 
     fn settler_here(&self, ctx: &ActivationCtx<'_>) -> Option<AgentId> {
-        ctx.colocated()
-            .into_iter()
+        ctx.colocated_iter()
             .find(|a| matches!(self.states[a.index()], AgentState::Settled { .. }))
     }
 
@@ -242,23 +241,20 @@ impl ProbeDfs {
     }
 
     fn smallest_follower(&self, ctx: &ActivationCtx<'_>) -> Option<AgentId> {
-        ctx.colocated()
-            .into_iter()
+        ctx.colocated_iter()
             .filter(|a| matches!(self.states[a.index()], AgentState::Follower { .. }))
             .min_by_key(|a| self.ids[a.index()])
     }
 
     fn count_followers(&self, ctx: &ActivationCtx<'_>) -> usize {
-        ctx.colocated()
-            .into_iter()
+        ctx.colocated_iter()
             .filter(|a| matches!(self.states[a.index()], AgentState::Follower { .. }))
             .count()
     }
 
     fn idle_guests(&self, ctx: &ActivationCtx<'_>) -> Vec<AgentId> {
         let mut v: Vec<AgentId> = ctx
-            .colocated()
-            .into_iter()
+            .colocated_iter()
             .filter(|a| {
                 matches!(
                     self.states[a.index()],
@@ -274,8 +270,7 @@ impl ProbeDfs {
     }
 
     fn returned_probers(&self, ctx: &ActivationCtx<'_>) -> Vec<AgentId> {
-        ctx.colocated()
-            .into_iter()
+        ctx.colocated_iter()
             .filter(|a| {
                 matches!(
                     self.states[a.index()],
@@ -291,8 +286,7 @@ impl ProbeDfs {
     /// Helpers eligible for a probe assignment right now.
     fn available_helpers(&self, ctx: &ActivationCtx<'_>) -> Vec<AgentId> {
         let mut v: Vec<AgentId> = ctx
-            .colocated()
-            .into_iter()
+            .colocated_iter()
             .filter(|a| {
                 matches!(self.states[a.index()], AgentState::Follower { .. })
                     || matches!(
@@ -459,7 +453,7 @@ impl ProbeDfs {
             }
 
             LeaderPhase::SoloWaitGuestGone { recruited } => {
-                if !ctx.colocated().contains(&recruited) {
+                if !ctx.colocated_iter().any(|peer| peer == recruited) {
                     let pin = solo_pin.expect("solo pin recorded");
                     ctx.move_via(pin);
                     phase = LeaderPhase::SoloReturn {
@@ -655,7 +649,7 @@ impl ProbeDfs {
         let AgentState::Follower { executed } = self.states[agent.index()] else {
             unreachable!()
         };
-        if ctx.colocated().contains(&self.leader) {
+        if ctx.colocated_iter().any(|peer| peer == self.leader) {
             if let AgentState::Leader { order: Some(o), .. } = self.states[self.leader.index()] {
                 if o.flip != executed {
                     ctx.move_via(o.port);
@@ -701,7 +695,7 @@ impl ProbeDfs {
                 }
             }
             ProbeStage::WaitGuestGone { recruited } => {
-                if !ctx.colocated().contains(&recruited) {
+                if !ctx.colocated_iter().any(|peer| peer == recruited) {
                     stage = ProbeStage::GoHome {
                         found_settler: true,
                     };

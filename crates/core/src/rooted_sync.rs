@@ -157,8 +157,7 @@ impl RootedSyncDisp {
     }
 
     fn settler_here(&self, ctx: &ActivationCtx<'_>) -> Option<AgentId> {
-        ctx.colocated()
-            .into_iter()
+        ctx.colocated_iter()
             .find(|a| matches!(self.states[a.index()], AgentState::Settled { .. }))
     }
 
@@ -169,8 +168,7 @@ impl RootedSyncDisp {
 
     fn followers_here(&self, ctx: &ActivationCtx<'_>) -> Vec<AgentId> {
         let mut v: Vec<AgentId> = ctx
-            .colocated()
-            .into_iter()
+            .colocated_iter()
             .filter(|a| matches!(self.states[a.index()], AgentState::Follower { .. }))
             .collect();
         v.sort_by_key(|a| self.ids[a.index()]);
@@ -178,8 +176,7 @@ impl RootedSyncDisp {
     }
 
     fn returned_seekers(&self, ctx: &ActivationCtx<'_>) -> Vec<AgentId> {
-        ctx.colocated()
-            .into_iter()
+        ctx.colocated_iter()
             .filter(|a| {
                 matches!(
                     self.states[a.index()],
@@ -381,7 +378,7 @@ impl RootedSyncDisp {
         let AgentState::Follower { executed } = self.states[agent.index()] else {
             unreachable!()
         };
-        if ctx.colocated().contains(&self.leader) {
+        if ctx.colocated_iter().any(|peer| peer == self.leader) {
             if let AgentState::Leader { order: Some(o), .. } = self.states[self.leader.index()] {
                 if o.flip != executed {
                     ctx.move_via(o.port);

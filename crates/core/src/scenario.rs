@@ -1,0 +1,1203 @@
+//! The scenario API: one open, canonical, round-trippable description of a
+//! run, from the CLI all the way to the hot loop.
+//!
+//! A [`ScenarioSpec`] names everything that defines a run — graph family,
+//! agent count and occupancy, [`Placement`] family, [`Schedule`], algorithm
+//! (by registry label) with typed per-algorithm [`Params`], and [`Limits`] —
+//! and round-trips losslessly through a canonical label string (see the
+//! grammar below and `DESIGN.md` §7). Algorithms are not a closed enum:
+//! they come from a [`Registry`] of [`AlgorithmFactory`] values, so adding
+//! an algorithm is one module plus one registration line, never a
+//! cross-crate `match` surgery.
+//!
+//! ## Canonical label grammar
+//!
+//! ```text
+//! scenario  := family "/k" k ["/occ" float] "/" placement "/" schedule
+//!              "/" algorithm ("/" key "=" value)* ["/rounds" u64] ["/steps" u64]
+//! ```
+//!
+//! * `family`    — a [`GraphFamily`] label (`rtree`, `er6`, `grid`, …)
+//! * `placement` — a [`Placement`] label (`rooted`, `scatter`, `cluster4`,
+//!   `spread`)
+//! * `schedule`  — a [`Schedule`] label (`sync`, `async-rr`,
+//!   `async-rand0.7`, `async-lag4`); adversary seeds are **not** part of a
+//!   scenario — every seed of a run derives from the single run seed
+//! * `algorithm` — a [`Registry`] label (`ks-dfs`, `probe-dfs`,
+//!   `sync-seeker`, …)
+//! * params      — sorted `key=value` segments with canonically formatted
+//!   values ([`ParamValue`]); `occ`/`rounds`/`steps` appear only when they
+//!   differ from their defaults (1.0 / unlimited)
+//!
+//! Examples: `rtree/k64/rooted/sync/probe-dfs`,
+//! `er6/k32/scatter/async-rand0.7/ks-dfs`,
+//! `star/k96/rooted/sync/sync-seeker/probers=32/wait=6`.
+//!
+//! Floats are formatted canonically ([`fmt_f64`]): the shortest
+//! value-round-tripping decimal, always containing `.` or `e` so integers
+//! and floats never collide; parsing rejects non-canonical spellings, which
+//! is what makes `label → spec → label` the identity.
+
+use crate::baselines::ks_dfs::KsDfs;
+use crate::probe_dfs::ProbeDfs;
+use crate::rooted_sync::{RootedSyncDisp, SyncConfig};
+use crate::verify;
+use disp_graph::generators::GraphFamily;
+use disp_graph::{NodeId, PortGraph};
+use disp_rng::mix;
+use disp_sim::{
+    AdversaryKind, AgentProtocol, AsyncRunner, Outcome, Placement, RunConfig, RunError, SyncRunner,
+    World,
+};
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Canonical floats
+// ---------------------------------------------------------------------------
+
+/// Format a finite `f64` canonically: Rust's shortest round-trip decimal,
+/// forced to contain `.` or `e` so a float is never mistaken for an integer
+/// (`1.0` stays `"1.0"`, never `"1"`).
+pub fn fmt_f64(v: f64) -> String {
+    debug_assert!(v.is_finite(), "canonical floats are finite");
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        s + ".0"
+    }
+}
+
+/// Parse a float written by [`fmt_f64`], rejecting non-canonical spellings
+/// (`"0.70"`, `".5"`, `"1"`) and non-finite values — the property that makes
+/// label round-trips byte-identical.
+pub fn parse_f64(s: &str) -> Option<f64> {
+    let v: f64 = s.parse().ok()?;
+    (v.is_finite() && fmt_f64(v) == s).then_some(v)
+}
+
+/// Parse an unsigned integer in canonical form: plain digits, no sign and
+/// no leading zeros (`"08"`, `"+7"` are rejected). Keeps every integer in
+/// the label grammar a bijection with its value, like [`parse_f64`] does
+/// for floats.
+pub fn parse_u64(s: &str) -> Option<u64> {
+    let v: u64 = s.parse().ok()?;
+    (v.to_string() == s).then_some(v)
+}
+
+// ---------------------------------------------------------------------------
+// Schedules
+// ---------------------------------------------------------------------------
+
+/// Which scheduler a scenario runs under.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Schedule {
+    /// Synchronous rounds.
+    Sync,
+    /// Asynchronous, round-robin activations (benign schedule).
+    AsyncRoundRobin,
+    /// Asynchronous, independent random activations with the given per-step
+    /// probability.
+    AsyncRandom {
+        /// Per-agent activation probability per step.
+        prob: f64,
+        /// RNG seed (0 inside a [`ScenarioSpec`]; the runner derives the
+        /// live adversary seed from the run seed).
+        seed: u64,
+    },
+    /// Asynchronous with heterogeneous lags up to `max_lag`.
+    AsyncLagging {
+        /// Largest per-agent activation period.
+        max_lag: u64,
+        /// RNG seed (see [`Schedule::AsyncRandom::seed`]).
+        seed: u64,
+    },
+}
+
+impl Schedule {
+    /// Canonical label: `sync`, `async-rr`, `async-rand<float>`,
+    /// `async-lag<int>`. Seeds are deliberately not encoded — a schedule
+    /// label describes the adversary *family*, the run seed supplies its
+    /// randomness.
+    pub fn label(&self) -> String {
+        match self {
+            Schedule::Sync => "sync".into(),
+            Schedule::AsyncRoundRobin => "async-rr".into(),
+            Schedule::AsyncRandom { prob, .. } => format!("async-rand{}", fmt_f64(*prob)),
+            Schedule::AsyncLagging { max_lag, .. } => format!("async-lag{max_lag}"),
+        }
+    }
+
+    /// Inverse of [`Schedule::label`] (seeds come back as 0). Rejects
+    /// non-canonical float spellings, so `label ↔ value` is a bijection.
+    pub fn from_label(label: &str) -> Option<Schedule> {
+        match label {
+            "sync" => Some(Schedule::Sync),
+            "async-rr" => Some(Schedule::AsyncRoundRobin),
+            _ => {
+                if let Some(rest) = label.strip_prefix("async-rand") {
+                    let prob = parse_f64(rest)?;
+                    (prob > 0.0 && prob <= 1.0).then_some(Schedule::AsyncRandom { prob, seed: 0 })
+                } else if let Some(rest) = label.strip_prefix("async-lag") {
+                    let max_lag = parse_u64(rest)?;
+                    (max_lag >= 1).then_some(Schedule::AsyncLagging { max_lag, seed: 0 })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Whether this schedule is asynchronous.
+    pub fn is_async(&self) -> bool {
+        !matches!(self, Schedule::Sync)
+    }
+
+    /// The same schedule with its adversary seed replaced by `seed`.
+    pub fn reseeded(self, seed: u64) -> Schedule {
+        match self {
+            Schedule::Sync => Schedule::Sync,
+            Schedule::AsyncRoundRobin => Schedule::AsyncRoundRobin,
+            Schedule::AsyncRandom { prob, .. } => Schedule::AsyncRandom { prob, seed },
+            Schedule::AsyncLagging { max_lag, .. } => Schedule::AsyncLagging { max_lag, seed },
+        }
+    }
+
+    /// The adversary this schedule runs under, as a seedable descriptor plus
+    /// the stored seed — `None` for the synchronous scheduler.
+    pub fn adversary(&self) -> Option<(AdversaryKind, u64)> {
+        match *self {
+            Schedule::Sync => None,
+            Schedule::AsyncRoundRobin => Some((AdversaryKind::RoundRobin, 0)),
+            Schedule::AsyncRandom { prob, seed } => {
+                Some((AdversaryKind::RandomSubset { prob }, seed))
+            }
+            Schedule::AsyncLagging { max_lag, seed } => {
+                Some((AdversaryKind::Lagging { max_lag }, seed))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed per-algorithm parameters
+// ---------------------------------------------------------------------------
+
+/// A single typed parameter value with a canonical text form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamValue {
+    /// An unsigned integer, formatted as plain digits.
+    U64(u64),
+    /// A finite float, formatted by [`fmt_f64`] (always contains `.`/`e`).
+    F64(f64),
+    /// A boolean, formatted `true`/`false`.
+    Bool(bool),
+}
+
+impl ParamValue {
+    /// Canonical text form (the label/JSON wire encoding).
+    pub fn fmt(&self) -> String {
+        match *self {
+            ParamValue::U64(v) => v.to_string(),
+            ParamValue::F64(v) => fmt_f64(v),
+            ParamValue::Bool(v) => v.to_string(),
+        }
+    }
+
+    /// Inverse of [`ParamValue::fmt`]. The three canonical forms are
+    /// disjoint (digits / contains `.`|`e` / `true`|`false`), so the type is
+    /// recovered from the text alone.
+    pub fn parse(s: &str) -> Option<ParamValue> {
+        if s == "true" || s == "false" {
+            return Some(ParamValue::Bool(s == "true"));
+        }
+        if !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()) {
+            let v: u64 = s.parse().ok()?;
+            return (v.to_string() == s).then_some(ParamValue::U64(v));
+        }
+        parse_f64(s).map(ParamValue::F64)
+    }
+
+    /// The type name, used in mismatch errors.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ParamValue::U64(_) => "u64",
+            ParamValue::F64(_) => "f64",
+            ParamValue::Bool(_) => "bool",
+        }
+    }
+}
+
+/// An ordered (sorted-by-key, duplicate-free) set of typed parameters — the
+/// open replacement for hard-wired per-algorithm config structs on the run
+/// path. Factories declare their legal keys via
+/// [`AlgorithmFactory::default_params`]; validation checks names and types
+/// against that declaration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Params(Vec<(String, ParamValue)>);
+
+impl Params {
+    /// No parameters.
+    pub fn new() -> Params {
+        Params(Vec::new())
+    }
+
+    /// Set (or replace) a parameter. Keys are kept sorted so the canonical
+    /// encodings are independent of call order.
+    pub fn set(mut self, key: &str, value: ParamValue) -> Params {
+        match self.0.binary_search_by(|(k, _)| k.as_str().cmp(key)) {
+            Ok(i) => self.0[i].1 = value,
+            Err(i) => self.0.insert(i, (key.to_string(), value)),
+        }
+        self
+    }
+
+    /// Look up a parameter.
+    pub fn get(&self, key: &str) -> Option<&ParamValue> {
+        self.0
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| &self.0[i].1)
+    }
+
+    /// Integer parameter with a default (factories use this in `build`).
+    pub fn u64_or(&self, key: &str, default: u64) -> u64 {
+        match self.get(key) {
+            Some(ParamValue::U64(v)) => *v,
+            _ => default,
+        }
+    }
+
+    /// Iterate parameters in canonical (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ParamValue)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Whether no parameters are set.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Limits
+// ---------------------------------------------------------------------------
+
+/// Optional overrides of the runner's safety limits. `None` means the
+/// engine default; only overrides appear in labels and JSON, so the default
+/// spec stays short.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Limits {
+    /// Maximum SYNC rounds before the runner gives up.
+    pub max_rounds: Option<u64>,
+    /// Maximum ASYNC scheduler steps before the runner gives up.
+    pub max_steps: Option<u64>,
+}
+
+impl Limits {
+    /// Materialize into the engine's [`RunConfig`].
+    pub fn to_run_config(self) -> RunConfig {
+        let d = RunConfig::default();
+        RunConfig {
+            max_rounds: self.max_rounds.unwrap_or(d.max_rounds),
+            max_steps: self.max_steps.unwrap_or(d.max_steps),
+            ..d
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Why a scenario is not runnable. Every illegal combination is a typed
+/// error — never a panic and never silent misbehavior.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The algorithm label is not in the registry.
+    UnknownAlgorithm {
+        /// The offending label.
+        algorithm: String,
+    },
+    /// A scenario label does not match the grammar.
+    BadLabel {
+        /// The offending label.
+        label: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The algorithm requires a rooted start but the placement is not rooted
+    /// (e.g. `probe-dfs` + `scatter`).
+    PlacementUnsupported {
+        /// Algorithm label.
+        algorithm: String,
+        /// Placement label.
+        placement: String,
+    },
+    /// The algorithm cannot run under this schedule (e.g. `sync-seeker` +
+    /// any ASYNC schedule).
+    ScheduleUnsupported {
+        /// Algorithm label.
+        algorithm: String,
+        /// Schedule label.
+        schedule: String,
+    },
+    /// A parameter key the algorithm does not declare.
+    UnknownParam {
+        /// Algorithm label.
+        algorithm: String,
+        /// The offending key.
+        key: String,
+    },
+    /// A parameter with the right key but an illegal value or type.
+    BadParam {
+        /// The offending key.
+        key: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A structurally invalid spec (k = 0, occupancy outside (0, 1], …).
+    BadSpec {
+        /// What went wrong.
+        reason: String,
+    },
+    /// The run itself failed (limit exceeded).
+    Run(RunError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::UnknownAlgorithm { algorithm } => {
+                write!(f, "unknown algorithm '{algorithm}' (not in the registry)")
+            }
+            ScenarioError::BadLabel { label, reason } => {
+                write!(f, "bad scenario label '{label}': {reason}")
+            }
+            ScenarioError::PlacementUnsupported {
+                algorithm,
+                placement,
+            } => write!(
+                f,
+                "algorithm '{algorithm}' requires a rooted start; placement '{placement}' is not rooted"
+            ),
+            ScenarioError::ScheduleUnsupported {
+                algorithm,
+                schedule,
+            } => write!(
+                f,
+                "algorithm '{algorithm}' cannot run under schedule '{schedule}'"
+            ),
+            ScenarioError::UnknownParam { algorithm, key } => {
+                write!(f, "algorithm '{algorithm}' has no parameter '{key}'")
+            }
+            ScenarioError::BadParam { key, reason } => {
+                write!(f, "bad value for parameter '{key}': {reason}")
+            }
+            ScenarioError::BadSpec { reason } => write!(f, "invalid scenario: {reason}"),
+            ScenarioError::Run(e) => write!(f, "run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<RunError> for ScenarioError {
+    fn from(e: RunError) -> Self {
+        ScenarioError::Run(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The algorithm registry
+// ---------------------------------------------------------------------------
+
+/// A constructor + capability declaration for one algorithm. Implement this
+/// (plus one [`Registry::with`] call) to plug a new algorithm into every
+/// campaign, bench and CLI — nothing else in the workspace needs touching.
+pub trait AlgorithmFactory: Send + Sync {
+    /// Stable registry label (lowercase letters, digits and `-`; must not
+    /// contain `/` or `=`, which the label grammar reserves).
+    fn label(&self) -> &'static str;
+
+    /// Whether the algorithm accepts non-rooted (general) starts.
+    fn supports_general(&self) -> bool {
+        false
+    }
+
+    /// Whether the algorithm runs under asynchronous schedules.
+    fn supports_async(&self) -> bool {
+        true
+    }
+
+    /// The legal parameters with their default values; validation checks
+    /// scenario params against these keys and types.
+    fn default_params(&self) -> Params {
+        Params::new()
+    }
+
+    /// Construct the protocol for a prepared world. `seed` is the derived
+    /// algorithm-internal seed of this run.
+    fn build(&self, world: &World, params: &Params, seed: u64) -> Box<dyn AgentProtocol>;
+}
+
+/// An open collection of [`AlgorithmFactory`] values, keyed by label.
+///
+/// [`Registry::builtin`] carries the paper's algorithms; extras register on
+/// top with [`Registry::with`]. Registration order is report order.
+#[derive(Default)]
+pub struct Registry {
+    factories: Vec<Box<dyn AlgorithmFactory>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn empty() -> Registry {
+        Registry::default()
+    }
+
+    /// The built-in algorithms: `ks-dfs`, `probe-dfs`, `sync-seeker`.
+    pub fn builtin() -> Registry {
+        Registry::empty()
+            .with(KsDfsFactory)
+            .with(ProbeDfsFactory)
+            .with(SyncSeekerFactory)
+    }
+
+    /// Register a factory, consuming and returning the registry so
+    /// registration is a one-liner.
+    ///
+    /// # Panics
+    /// Panics if the label is already taken or violates the label grammar —
+    /// both are programming errors at registration time.
+    pub fn with(mut self, factory: impl AlgorithmFactory + 'static) -> Registry {
+        let label = factory.label();
+        assert!(
+            !label.is_empty()
+                && label
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-'),
+            "algorithm label '{label}' violates the grammar (lowercase/digits/'-')"
+        );
+        assert!(
+            self.get(label).is_none(),
+            "algorithm label '{label}' registered twice"
+        );
+        self.factories.push(Box::new(factory));
+        self
+    }
+
+    /// Look up a factory by label.
+    pub fn get(&self, label: &str) -> Option<&dyn AlgorithmFactory> {
+        self.factories
+            .iter()
+            .find(|f| f.label() == label)
+            .map(|f| f.as_ref())
+    }
+
+    /// All registered labels, in registration (= report) order.
+    pub fn labels(&self) -> Vec<&'static str> {
+        self.factories.iter().map(|f| f.label()).collect()
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Registry").field(&self.labels()).finish()
+    }
+}
+
+/// Factory for the OPODIS'21 group-DFS baseline (general starts, both
+/// schedulers).
+pub struct KsDfsFactory;
+
+impl AlgorithmFactory for KsDfsFactory {
+    fn label(&self) -> &'static str {
+        "ks-dfs"
+    }
+
+    fn supports_general(&self) -> bool {
+        true
+    }
+
+    fn build(&self, world: &World, _params: &Params, seed: u64) -> Box<dyn AgentProtocol> {
+        Box::new(KsDfs::with_seed(world, seed))
+    }
+}
+
+/// Factory for the paper's doubling-probe DFS (`RootedAsyncDisp`,
+/// Theorem 7.1): rooted starts, both schedulers.
+pub struct ProbeDfsFactory;
+
+impl AlgorithmFactory for ProbeDfsFactory {
+    fn label(&self) -> &'static str {
+        "probe-dfs"
+    }
+
+    fn build(&self, world: &World, _params: &Params, _seed: u64) -> Box<dyn AgentProtocol> {
+        Box::new(ProbeDfs::new(world))
+    }
+}
+
+/// Factory for the paper's seeker-pool synchronous algorithm (Theorem 6.1):
+/// rooted starts, SYNC only.
+///
+/// Parameters: `wait` (rounds a seeker waits at a probed neighbor, default
+/// 1) and `probers` (cap on seekers per probe iteration, `0` = uncapped).
+pub struct SyncSeekerFactory;
+
+impl AlgorithmFactory for SyncSeekerFactory {
+    fn label(&self) -> &'static str {
+        "sync-seeker"
+    }
+
+    fn supports_async(&self) -> bool {
+        false
+    }
+
+    fn default_params(&self) -> Params {
+        Params::new()
+            .set("wait", ParamValue::U64(1))
+            .set("probers", ParamValue::U64(0))
+    }
+
+    fn build(&self, world: &World, params: &Params, _seed: u64) -> Box<dyn AgentProtocol> {
+        let config = SyncConfig {
+            wait_rounds: params.u64_or("wait", 1) as u32,
+            max_probers: match params.u64_or("probers", 0) {
+                0 => None,
+                cap => Some(cap as usize),
+            },
+        };
+        Box::new(RootedSyncDisp::with_config(world, config))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The scenario spec
+// ---------------------------------------------------------------------------
+
+/// Sub-seed tags: every random aspect of a run derives from the single run
+/// seed through `mix(&[seed, TAG])`. The tags (and therefore the streams)
+/// are part of the reproducibility contract.
+const SEED_GRAPH: u64 = 0xD15C_0001;
+const SEED_PLACEMENT: u64 = 0xD15C_0002;
+const SEED_ADVERSARY: u64 = 0xD15C_0003;
+const SEED_ALGORITHM: u64 = 0xD15C_0004;
+
+/// The canonical description of one run. See the module docs for the label
+/// grammar; construction goes through [`ScenarioSpec::new`] plus the
+/// `with_*` builder methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Graph family to instantiate.
+    pub family: GraphFamily,
+    /// Number of agents.
+    pub k: usize,
+    /// Fraction of nodes carrying agents (the graph gets ≈ `k / occupancy`
+    /// nodes; 1.0 = `k = n`).
+    pub occupancy: f64,
+    /// Initial placement family.
+    pub placement: Placement,
+    /// Scheduler (with adversary seed normalized to 0 — run seeds supply
+    /// the randomness).
+    pub schedule: Schedule,
+    /// Algorithm registry label.
+    pub algorithm: String,
+    /// Typed per-algorithm parameters (only the overridden ones).
+    pub params: Params,
+    /// Runner limit overrides.
+    pub limits: Limits,
+}
+
+/// The result of [`ScenarioSpec::run`].
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// The canonical label of the scenario that ran.
+    pub scenario: String,
+    /// Raw measurements.
+    pub outcome: Outcome,
+    /// Whether the final configuration is a valid dispersion.
+    pub dispersed: bool,
+}
+
+impl ScenarioSpec {
+    /// A rooted, synchronous scenario at full occupancy with default
+    /// parameters and limits — refine with the `with_*` methods.
+    pub fn new(family: GraphFamily, k: usize, algorithm: &str) -> ScenarioSpec {
+        ScenarioSpec {
+            family,
+            k,
+            occupancy: 1.0,
+            placement: Placement::Rooted,
+            schedule: Schedule::Sync,
+            algorithm: algorithm.to_string(),
+            params: Params::new(),
+            limits: Limits::default(),
+        }
+    }
+
+    /// Set the placement family.
+    pub fn with_placement(mut self, placement: Placement) -> ScenarioSpec {
+        self.placement = placement;
+        self
+    }
+
+    /// Set the schedule. Any embedded adversary seed is normalized to 0 —
+    /// seeds are not part of a scenario's identity.
+    pub fn with_schedule(mut self, schedule: Schedule) -> ScenarioSpec {
+        self.schedule = schedule.reseeded(0);
+        self
+    }
+
+    /// Set the occupancy.
+    pub fn with_occupancy(mut self, occupancy: f64) -> ScenarioSpec {
+        self.occupancy = occupancy;
+        self
+    }
+
+    /// Set one algorithm parameter.
+    pub fn with_param(mut self, key: &str, value: ParamValue) -> ScenarioSpec {
+        self.params = self.params.set(key, value);
+        self
+    }
+
+    /// Override the runner limits.
+    pub fn with_limits(mut self, limits: Limits) -> ScenarioSpec {
+        self.limits = limits;
+        self
+    }
+
+    /// The canonical label — the identity of this scenario everywhere:
+    /// trial ids, manifest fingerprints, CLI arguments, report rows.
+    pub fn label(&self) -> String {
+        let mut out = format!("{}/k{}", self.family.label(), self.k);
+        if self.occupancy != 1.0 {
+            out.push_str(&format!("/occ{}", fmt_f64(self.occupancy)));
+        }
+        out.push_str(&format!(
+            "/{}/{}/{}",
+            self.placement.label(),
+            self.schedule.label(),
+            self.algorithm
+        ));
+        for (key, value) in self.params.iter() {
+            out.push_str(&format!("/{key}={}", value.fmt()));
+        }
+        if let Some(r) = self.limits.max_rounds {
+            out.push_str(&format!("/rounds{r}"));
+        }
+        if let Some(s) = self.limits.max_steps {
+            out.push_str(&format!("/steps{s}"));
+        }
+        out
+    }
+
+    /// Parse a canonical label back into a spec. This checks the grammar
+    /// only; combine with [`ScenarioSpec::validate`] (or use
+    /// [`ScenarioSpec::parse`]) to also check the spec against a registry.
+    pub fn from_label(label: &str) -> Result<ScenarioSpec, ScenarioError> {
+        let bad = |reason: &str| ScenarioError::BadLabel {
+            label: label.to_string(),
+            reason: reason.to_string(),
+        };
+        let mut segments = label.split('/');
+        let family_s = segments
+            .next()
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| bad("empty label"))?;
+        let family = GraphFamily::from_label(family_s)
+            .ok_or_else(|| bad(&format!("unknown graph family '{family_s}'")))?;
+        let k_s = segments.next().ok_or_else(|| bad("missing k segment"))?;
+        let k: usize = k_s
+            .strip_prefix('k')
+            .and_then(parse_u64)
+            .filter(|&k| k >= 1)
+            .ok_or_else(|| bad(&format!("bad k segment '{k_s}'")))? as usize;
+        let mut next = segments.next().ok_or_else(|| bad("missing placement"))?;
+        let mut occupancy = 1.0;
+        if let Some(rest) = next.strip_prefix("occ") {
+            occupancy = parse_f64(rest).ok_or_else(|| bad(&format!("bad occupancy '{rest}'")))?;
+            if occupancy == 1.0 {
+                return Err(bad("occ1.0 must be omitted (canonical form)"));
+            }
+            next = segments.next().ok_or_else(|| bad("missing placement"))?;
+        }
+        let placement = Placement::from_label(next)
+            .ok_or_else(|| bad(&format!("unknown placement '{next}'")))?;
+        let sched_s = segments.next().ok_or_else(|| bad("missing schedule"))?;
+        let schedule = Schedule::from_label(sched_s)
+            .ok_or_else(|| bad(&format!("unknown schedule '{sched_s}'")))?;
+        let algorithm = segments
+            .next()
+            .filter(|s| !s.is_empty() && !s.contains('='))
+            .ok_or_else(|| bad("missing algorithm"))?
+            .to_string();
+
+        let mut params = Params::new();
+        let mut limits = Limits::default();
+        let mut last_key: Option<String> = None;
+        for seg in segments {
+            if let Some((key, value)) = seg.split_once('=') {
+                if limits != Limits::default() {
+                    return Err(bad("params must precede limits"));
+                }
+                if last_key.as_deref().is_some_and(|prev| prev >= key) {
+                    return Err(bad("params must be sorted and unique (canonical form)"));
+                }
+                let value = ParamValue::parse(value)
+                    .ok_or_else(|| bad(&format!("bad value in '{seg}'")))?;
+                last_key = Some(key.to_string());
+                params = params.set(key, value);
+            } else if let Some(digits) = seg.strip_prefix("rounds") {
+                if limits.max_rounds.is_some() || limits.max_steps.is_some() {
+                    return Err(bad("duplicate or misordered limit segments"));
+                }
+                limits.max_rounds =
+                    Some(parse_u64(digits).ok_or_else(|| bad(&format!("bad limit '{seg}'")))?);
+            } else if let Some(digits) = seg.strip_prefix("steps") {
+                if limits.max_steps.is_some() {
+                    return Err(bad("duplicate steps limit"));
+                }
+                limits.max_steps =
+                    Some(parse_u64(digits).ok_or_else(|| bad(&format!("bad limit '{seg}'")))?);
+            } else {
+                return Err(bad(&format!("unexpected segment '{seg}'")));
+            }
+        }
+        Ok(ScenarioSpec {
+            family,
+            k,
+            occupancy,
+            placement,
+            schedule,
+            algorithm,
+            params,
+            limits,
+        })
+    }
+
+    /// Parse and validate in one step.
+    pub fn parse(label: &str, registry: &Registry) -> Result<ScenarioSpec, ScenarioError> {
+        let spec = ScenarioSpec::from_label(label)?;
+        spec.validate(registry)?;
+        Ok(spec)
+    }
+
+    /// Check this spec against a registry: the algorithm exists, the
+    /// placement/schedule combination is supported, every parameter is
+    /// declared with the right type, and the numbers are sane.
+    pub fn validate(&self, registry: &Registry) -> Result<(), ScenarioError> {
+        let factory =
+            registry
+                .get(&self.algorithm)
+                .ok_or_else(|| ScenarioError::UnknownAlgorithm {
+                    algorithm: self.algorithm.clone(),
+                })?;
+        if self.k == 0 {
+            return Err(ScenarioError::BadSpec {
+                reason: "k must be at least 1".into(),
+            });
+        }
+        if !(self.occupancy > 0.0 && self.occupancy <= 1.0) {
+            return Err(ScenarioError::BadSpec {
+                reason: format!("occupancy {} outside (0, 1]", self.occupancy),
+            });
+        }
+        if !self.placement.is_rooted() && !factory.supports_general() {
+            return Err(ScenarioError::PlacementUnsupported {
+                algorithm: self.algorithm.clone(),
+                placement: self.placement.label(),
+            });
+        }
+        if self.schedule.is_async() && !factory.supports_async() {
+            return Err(ScenarioError::ScheduleUnsupported {
+                algorithm: self.algorithm.clone(),
+                schedule: self.schedule.label(),
+            });
+        }
+        if let Schedule::AsyncRandom { prob, .. } = self.schedule {
+            if !(prob > 0.0 && prob <= 1.0) {
+                return Err(ScenarioError::BadSpec {
+                    reason: format!("activation probability {prob} outside (0, 1]"),
+                });
+            }
+        }
+        let declared = factory.default_params();
+        for (key, value) in self.params.iter() {
+            let default = declared
+                .get(key)
+                .ok_or_else(|| ScenarioError::UnknownParam {
+                    algorithm: self.algorithm.clone(),
+                    key: key.to_string(),
+                })?;
+            if default.kind() != value.kind() {
+                return Err(ScenarioError::BadParam {
+                    key: key.to_string(),
+                    reason: format!("expected {}, got {}", default.kind(), value.kind()),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute the scenario under `seed`. The seed fully determines the run:
+    /// graph instance, placement, adversary and algorithm-internal
+    /// randomness all derive from it through fixed sub-seed tags.
+    pub fn run(&self, registry: &Registry, seed: u64) -> Result<ScenarioReport, ScenarioError> {
+        self.validate(registry)?;
+        let factory = registry.get(&self.algorithm).expect("validated");
+        let n_target = ((self.k as f64 / self.occupancy).ceil() as usize).max(self.k);
+        let graph = self.family.instantiate(n_target, mix(&[seed, SEED_GRAPH]));
+        let k = self.k.min(graph.num_nodes());
+        let positions = self
+            .placement
+            .positions(&graph, k, mix(&[seed, SEED_PLACEMENT]));
+        run_custom(
+            factory,
+            &self.params,
+            graph,
+            positions,
+            self.schedule,
+            self.limits,
+            seed,
+        )
+        .map(|(outcome, dispersed)| ScenarioReport {
+            scenario: self.label(),
+            outcome,
+            dispersed,
+        })
+    }
+}
+
+impl fmt::Display for ScenarioSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Drive `factory`'s protocol on an explicit graph + position vector —
+/// the escape hatch for hand-crafted starts (benches, examples) that the
+/// placement families do not cover. Returns the outcome and whether the
+/// final configuration is a valid dispersion.
+pub fn run_custom(
+    factory: &dyn AlgorithmFactory,
+    params: &Params,
+    graph: PortGraph,
+    positions: Vec<NodeId>,
+    schedule: Schedule,
+    limits: Limits,
+    seed: u64,
+) -> Result<(Outcome, bool), ScenarioError> {
+    let mut world = World::new(graph, positions);
+    let mut protocol = factory.build(&world, params, mix(&[seed, SEED_ALGORITHM]));
+    let config = limits.to_run_config();
+    let outcome = match schedule.adversary() {
+        None => SyncRunner::new(config).run(&mut world, protocol.as_mut())?,
+        Some((kind, _)) => {
+            let adversary = kind.build(mix(&[seed, SEED_ADVERSARY]));
+            AsyncRunner::new(config, adversary).run(&mut world, protocol.as_mut())?
+        }
+    };
+    Ok((outcome, verify::is_dispersed(&world)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg() -> Registry {
+        Registry::builtin()
+    }
+
+    #[test]
+    fn canonical_floats_round_trip_and_reject_noncanonical() {
+        for v in [0.7, 0.5, 1.0, 0.125, 3.0, 1e-3, 123.456] {
+            let s = fmt_f64(v);
+            assert!(s.contains('.') || s.contains('e'), "{s}");
+            assert_eq!(parse_f64(&s), Some(v), "{s}");
+        }
+        for bad in ["0.70", ".5", "1", "01.0", "nan", "inf", "1.", ""] {
+            assert_eq!(parse_f64(bad), None, "'{bad}' must be rejected");
+        }
+    }
+
+    #[test]
+    fn schedule_labels_round_trip() {
+        for sched in [
+            Schedule::Sync,
+            Schedule::AsyncRoundRobin,
+            Schedule::AsyncRandom { prob: 0.7, seed: 0 },
+            Schedule::AsyncRandom { prob: 1.0, seed: 0 },
+            Schedule::AsyncLagging {
+                max_lag: 4,
+                seed: 0,
+            },
+        ] {
+            assert_eq!(Schedule::from_label(&sched.label()), Some(sched));
+        }
+        assert_eq!(Schedule::Sync.label(), "sync");
+        assert_eq!(
+            Schedule::AsyncRandom { prob: 1.0, seed: 9 }.label(),
+            "async-rand1.0",
+            "integral probabilities keep their float marker"
+        );
+        assert_eq!(Schedule::from_label("async-rand0.70"), None);
+        assert_eq!(Schedule::from_label("async-rand0.0"), None);
+        assert_eq!(Schedule::from_label("async-lag0"), None);
+        assert_eq!(Schedule::from_label("async-lag04"), None);
+        assert_eq!(Schedule::from_label("nope"), None);
+    }
+
+    #[test]
+    fn param_values_recover_their_type_from_text() {
+        for v in [
+            ParamValue::U64(0),
+            ParamValue::U64(17),
+            ParamValue::F64(0.5),
+            ParamValue::F64(2.0),
+            ParamValue::Bool(true),
+            ParamValue::Bool(false),
+        ] {
+            assert_eq!(ParamValue::parse(&v.fmt()), Some(v));
+        }
+        assert_eq!(ParamValue::parse("007"), None, "non-canonical integer");
+        assert_eq!(ParamValue::parse(""), None);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let spec = ScenarioSpec::new(GraphFamily::RandomTree, 64, "probe-dfs");
+        assert_eq!(spec.label(), "rtree/k64/rooted/sync/probe-dfs");
+        let spec = ScenarioSpec::new(GraphFamily::ErdosRenyi { avg_degree: 6.0 }, 32, "ks-dfs")
+            .with_placement(Placement::Clustered { clusters: 4 })
+            .with_schedule(Schedule::AsyncLagging {
+                max_lag: 4,
+                seed: 77,
+            });
+        assert_eq!(spec.label(), "er6/k32/cluster4/async-lag4/ks-dfs");
+        let spec = ScenarioSpec::new(GraphFamily::Star, 96, "sync-seeker")
+            .with_param("wait", ParamValue::U64(6))
+            .with_param("probers", ParamValue::U64(32))
+            .with_occupancy(0.5)
+            .with_limits(Limits {
+                max_rounds: Some(10_000),
+                max_steps: None,
+            });
+        assert_eq!(
+            spec.label(),
+            "star/k96/occ0.5/rooted/sync/sync-seeker/probers=32/wait=6/rounds10000"
+        );
+    }
+
+    #[test]
+    fn labels_round_trip_to_identical_specs() {
+        let specs = [
+            ScenarioSpec::new(GraphFamily::RandomTree, 64, "probe-dfs"),
+            ScenarioSpec::new(GraphFamily::Grid, 20, "ks-dfs")
+                .with_placement(Placement::ScatteredUniform)
+                .with_schedule(Schedule::AsyncRandom { prob: 0.7, seed: 0 }),
+            ScenarioSpec::new(GraphFamily::Star, 96, "sync-seeker")
+                .with_param("wait", ParamValue::U64(6))
+                .with_occupancy(0.25)
+                .with_limits(Limits {
+                    max_rounds: Some(9),
+                    max_steps: Some(11),
+                }),
+        ];
+        for spec in specs {
+            let label = spec.label();
+            let back = ScenarioSpec::from_label(&label).unwrap();
+            assert_eq!(back, spec);
+            assert_eq!(back.label(), label, "label → spec → label is identity");
+        }
+    }
+
+    #[test]
+    fn noncanonical_labels_are_rejected() {
+        for label in [
+            "",
+            "rtree",
+            "rtree/k0/rooted/sync/ks-dfs",
+            "rtree/64/rooted/sync/ks-dfs",
+            "nope/k8/rooted/sync/ks-dfs",
+            "rtree/k8/occ1.0/rooted/sync/ks-dfs",
+            "rtree/k8/occ0.70/rooted/sync/ks-dfs",
+            "rtree/k8/hovering/sync/ks-dfs",
+            "rtree/k8/rooted/whenever/ks-dfs",
+            "rtree/k8/rooted/sync",
+            "rtree/k8/rooted/sync/ks-dfs/b=1/a=1",
+            "rtree/k8/rooted/sync/ks-dfs/a=1/a=2",
+            "rtree/k8/rooted/sync/ks-dfs/rounds5/a=1",
+            "rtree/k8/rooted/sync/ks-dfs/steps5/rounds5",
+            "rtree/k8/rooted/sync/ks-dfs/bogus",
+            "star/k8/rooted/sync/sync-seeker/wait=1.5.2",
+            "rtree/k08/rooted/sync/ks-dfs",
+            "rtree/k+8/rooted/sync/ks-dfs",
+            "rtree/k8/cluster04/sync/ks-dfs",
+            "rtree/k8/rooted/async-lag04/ks-dfs",
+            "rtree/k8/rooted/sync/ks-dfs/rounds07",
+            "rtree/k8/rooted/sync/ks-dfs/steps+5",
+        ] {
+            let err = ScenarioSpec::from_label(label).unwrap_err();
+            assert!(
+                matches!(err, ScenarioError::BadLabel { .. }),
+                "'{label}' gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn validation_catches_illegal_combinations() {
+        let r = reg();
+        let unknown = ScenarioSpec::new(GraphFamily::Line, 8, "quantum-dfs");
+        assert!(matches!(
+            unknown.validate(&r),
+            Err(ScenarioError::UnknownAlgorithm { .. })
+        ));
+        let scattered_probe = ScenarioSpec::new(GraphFamily::Line, 8, "probe-dfs")
+            .with_placement(Placement::ScatteredUniform);
+        assert!(matches!(
+            scattered_probe.validate(&r),
+            Err(ScenarioError::PlacementUnsupported { .. })
+        ));
+        let async_seeker = ScenarioSpec::new(GraphFamily::Line, 8, "sync-seeker")
+            .with_schedule(Schedule::AsyncRoundRobin);
+        assert!(matches!(
+            async_seeker.validate(&r),
+            Err(ScenarioError::ScheduleUnsupported { .. })
+        ));
+        let bad_param = ScenarioSpec::new(GraphFamily::Line, 8, "sync-seeker")
+            .with_param("warp", ParamValue::U64(9));
+        assert!(matches!(
+            bad_param.validate(&r),
+            Err(ScenarioError::UnknownParam { .. })
+        ));
+        let bad_type = ScenarioSpec::new(GraphFamily::Line, 8, "sync-seeker")
+            .with_param("wait", ParamValue::F64(1.5));
+        assert!(matches!(
+            bad_type.validate(&r),
+            Err(ScenarioError::BadParam { .. })
+        ));
+        let bad_occ = ScenarioSpec::new(GraphFamily::Line, 8, "ks-dfs").with_occupancy(1.5);
+        assert!(matches!(
+            bad_occ.validate(&r),
+            Err(ScenarioError::BadSpec { .. })
+        ));
+        // A cluster1 start is rooted-equivalent, so rooted-only algorithms
+        // accept it.
+        let cluster1 = ScenarioSpec::new(GraphFamily::Line, 8, "probe-dfs")
+            .with_placement(Placement::Clustered { clusters: 1 });
+        cluster1.validate(&r).unwrap();
+    }
+
+    #[test]
+    fn every_builtin_runs_through_the_scenario_entry_point() {
+        let r = reg();
+        for algo in r.labels() {
+            let spec = ScenarioSpec::new(GraphFamily::RandomTree, 20, algo);
+            let report = spec.run(&r, 1).unwrap();
+            assert!(report.dispersed, "{algo} must disperse");
+            assert!(report.outcome.terminated);
+            assert_eq!(report.scenario, spec.label());
+        }
+    }
+
+    #[test]
+    fn async_schedules_work_for_async_capable_algorithms() {
+        let r = reg();
+        for schedule in [
+            Schedule::AsyncRoundRobin,
+            Schedule::AsyncRandom { prob: 0.5, seed: 0 },
+            Schedule::AsyncLagging {
+                max_lag: 4,
+                seed: 0,
+            },
+        ] {
+            for algo in ["ks-dfs", "probe-dfs"] {
+                let spec = ScenarioSpec::new(GraphFamily::ErdosRenyi { avg_degree: 6.0 }, 24, algo)
+                    .with_schedule(schedule);
+                let report = spec.run(&r, 2).unwrap();
+                assert!(report.dispersed, "{algo} under {schedule:?}");
+                assert!(report.outcome.epochs >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn placement_families_run_through_the_general_algorithm() {
+        let r = reg();
+        for placement in Placement::all() {
+            let spec = ScenarioSpec::new(GraphFamily::Grid, 18, "ks-dfs").with_placement(placement);
+            let report = spec.run(&r, 3).unwrap();
+            assert!(report.dispersed, "{placement} start must disperse");
+        }
+    }
+
+    #[test]
+    fn runs_are_seed_deterministic_and_seed_sensitive() {
+        let r = reg();
+        let spec = ScenarioSpec::new(GraphFamily::RandomTree, 24, "ks-dfs")
+            .with_placement(Placement::ScatteredUniform)
+            .with_schedule(Schedule::AsyncRandom { prob: 0.6, seed: 0 });
+        let a = spec.run(&r, 7).unwrap();
+        let b = spec.run(&r, 7).unwrap();
+        let c = spec.run(&r, 8).unwrap();
+        assert_eq!(a.outcome, b.outcome);
+        assert_ne!(
+            (a.outcome.steps, a.outcome.total_moves),
+            (c.outcome.steps, c.outcome.total_moves),
+            "different seeds must differ somewhere"
+        );
+    }
+
+    #[test]
+    fn limit_overrides_surface_as_run_errors() {
+        let r = reg();
+        let spec = ScenarioSpec::new(GraphFamily::Line, 32, "probe-dfs").with_limits(Limits {
+            max_rounds: Some(3),
+            max_steps: Some(3),
+        });
+        match spec.run(&r, 1) {
+            Err(ScenarioError::Run(RunError::LimitExceeded { outcome })) => {
+                assert!(!outcome.terminated);
+            }
+            other => panic!("expected LimitExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sync_seeker_params_reach_the_protocol() {
+        let r = reg();
+        let default = ScenarioSpec::new(GraphFamily::Star, 48, "sync-seeker");
+        let waity = default
+            .clone()
+            .with_param("wait", ParamValue::U64(6))
+            .with_param("probers", ParamValue::U64(2));
+        let fast = default.run(&r, 4).unwrap();
+        let slow = waity.run(&r, 4).unwrap();
+        assert!(fast.dispersed && slow.dispersed);
+        assert!(
+            slow.outcome.rounds > fast.outcome.rounds,
+            "longer waits + capped seekers must cost rounds ({} vs {})",
+            slow.outcome.rounds,
+            fast.outcome.rounds
+        );
+    }
+
+    #[test]
+    fn registry_is_open_and_guards_duplicates() {
+        let r = reg();
+        assert_eq!(r.labels(), vec!["ks-dfs", "probe-dfs", "sync-seeker"]);
+        assert!(r.get("ks-dfs").is_some());
+        assert!(r.get("nope").is_none());
+        let result = std::panic::catch_unwind(|| Registry::builtin().with(KsDfsFactory));
+        assert!(result.is_err(), "duplicate labels must be rejected");
+    }
+}

@@ -153,25 +153,26 @@ impl GraphFamily {
         if fixed.is_some() {
             return fixed;
         }
-        if let Some(rest) = label.strip_prefix("rreg") {
-            return rest
-                .parse()
+        // Parameterized labels must be canonical: re-rendering the parsed
+        // family must reproduce the input byte for byte ("rreg04" and
+        // "er3." are rejected, not silently normalized), so labels stay a
+        // bijection — which downstream scenario labels rely on.
+        let parsed = if let Some(rest) = label.strip_prefix("rreg") {
+            rest.parse()
                 .ok()
-                .map(|degree| GraphFamily::RandomRegular { degree });
-        }
-        if let Some(rest) = label.strip_prefix("caterpillar") {
-            return rest
-                .parse()
+                .map(|degree| GraphFamily::RandomRegular { degree })
+        } else if let Some(rest) = label.strip_prefix("caterpillar") {
+            rest.parse()
                 .ok()
-                .map(|legs| GraphFamily::Caterpillar { legs });
-        }
-        if let Some(rest) = label.strip_prefix("er") {
-            return rest
-                .parse()
+                .map(|legs| GraphFamily::Caterpillar { legs })
+        } else if let Some(rest) = label.strip_prefix("er") {
+            rest.parse()
                 .ok()
-                .map(|avg_degree| GraphFamily::ErdosRenyi { avg_degree });
-        }
-        None
+                .map(|avg_degree| GraphFamily::ErdosRenyi { avg_degree })
+        } else {
+            None
+        };
+        parsed.filter(|family| family.label() == label)
     }
 
     /// Short machine-friendly label (used in CSV headers and bench ids).
@@ -230,6 +231,18 @@ mod tests {
         }
         assert_eq!(GraphFamily::from_label("unknown"), None);
         assert_eq!(GraphFamily::from_label("rregx"), None);
+    }
+
+    #[test]
+    fn non_canonical_parameterized_labels_are_rejected() {
+        assert_eq!(GraphFamily::from_label("er3."), None);
+        assert_eq!(GraphFamily::from_label("er06"), None);
+        assert_eq!(GraphFamily::from_label("rreg04"), None);
+        assert_eq!(GraphFamily::from_label("caterpillar+3"), None);
+        assert_eq!(
+            GraphFamily::from_label("er3.5"),
+            Some(GraphFamily::ErdosRenyi { avg_degree: 3.5 })
+        );
     }
 
     #[test]

@@ -68,6 +68,7 @@ pub mod bits;
 pub mod clock;
 pub mod ids;
 pub mod metrics;
+pub mod placement;
 pub mod protocol;
 pub mod runner;
 pub mod trace;
@@ -80,6 +81,7 @@ pub use adversary::{
 pub use clock::Clock;
 pub use ids::AgentId;
 pub use metrics::{Metrics, Outcome};
+pub use placement::Placement;
 pub use protocol::AgentProtocol;
 pub use runner::{AsyncRunner, RunConfig, RunError, SyncRunner};
 pub use trace::{Trace, TraceEvent};
@@ -94,6 +96,7 @@ pub mod prelude {
     pub use crate::bits;
     pub use crate::ids::AgentId;
     pub use crate::metrics::{Metrics, Outcome};
+    pub use crate::placement::Placement;
     pub use crate::protocol::AgentProtocol;
     pub use crate::runner::{AsyncRunner, RunConfig, RunError, SyncRunner};
     pub use crate::trip::{Trip, TripProgress, TripStatus, TripStep};

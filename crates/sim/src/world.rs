@@ -227,14 +227,33 @@ impl<'w> ActivationCtx<'w> {
         self.time
     }
 
-    /// Other agents co-located with this one (self excluded).
+    /// All agents at the current node — **including** the activated agent —
+    /// as a borrowed slice, in no particular order.
+    ///
+    /// This is the allocation-free view for the activation hot path: one
+    /// co-location query per activation used to clone a `Vec`, which
+    /// dominated the simulator profile on dense graphs. Filter out
+    /// [`ActivationCtx::agent`] (or use [`ActivationCtx::colocated_iter`])
+    /// to reason about peers only.
+    #[inline]
+    pub fn agents_here(&self) -> &[AgentId] {
+        self.world.agents_at(self.node())
+    }
+
+    /// Iterator over the co-located agents (self excluded), borrowing from
+    /// the world — no allocation.
+    #[inline]
+    pub fn colocated_iter(&self) -> impl Iterator<Item = AgentId> + '_ {
+        let me = self.agent;
+        self.agents_here().iter().copied().filter(move |&a| a != me)
+    }
+
+    /// Other agents co-located with this one (self excluded), as an owned
+    /// vector. Prefer [`ActivationCtx::colocated_iter`] /
+    /// [`ActivationCtx::agents_here`] in per-activation code — this variant
+    /// allocates on every call.
     pub fn colocated(&self) -> Vec<AgentId> {
-        self.world
-            .agents_at(self.node())
-            .iter()
-            .copied()
-            .filter(|&a| a != self.agent)
-            .collect()
+        self.colocated_iter().collect()
     }
 
     /// Number of co-located agents (self excluded).
@@ -344,6 +363,10 @@ mod tests {
         assert_eq!(peers.len(), 2);
         assert!(!peers.contains(&AgentId(1)));
         assert_eq!(ctx.num_colocated(), 2);
+        // The borrowing views agree with the allocating one.
+        assert_eq!(ctx.colocated_iter().collect::<Vec<_>>(), peers);
+        assert_eq!(ctx.agents_here().len(), 3);
+        assert!(ctx.agents_here().contains(&AgentId(1)));
     }
 
     #[test]

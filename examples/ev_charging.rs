@@ -10,67 +10,44 @@
 use dispersion::prelude::*;
 
 fn main() {
-    // A 12x12 city grid: 144 stations; a fleet of 100 cars at the depot
-    // (corner node 0).
-    let grid = generators::grid2d(12, 12);
+    // A 12x12 city grid (144 stations) carrying a fleet of 100 cars:
+    // occupancy 0.7 makes the scenario instantiate ≈ k/0.7 stations.
+    let registry = Registry::builtin();
     let fleet = 100;
+    let depot = |algorithm: &str| {
+        ScenarioSpec::new(GraphFamily::Grid, fleet, algorithm).with_occupancy(0.7)
+    };
 
-    for (label, schedule) in [
-        ("synchronized fleet (SYNC)", Schedule::Sync),
+    let runs = [
+        ("synchronized fleet (SYNC)", depot("sync-seeker")),
         (
             "uncoordinated fleet (ASYNC, lagging)",
-            Schedule::AsyncLagging {
+            depot("probe-dfs").with_schedule(Schedule::AsyncLagging {
                 max_lag: 5,
-                seed: 9,
-            },
+                seed: 0,
+            }),
         ),
-    ] {
-        let algorithm = if matches!(schedule, Schedule::Sync) {
-            Algorithm::SyncSeeker
-        } else {
-            Algorithm::ProbeDfs
-        };
-        let report = run_rooted(
-            &grid,
-            fleet,
-            NodeId(0),
-            &RunSpec {
-                algorithm,
-                schedule,
-                ..RunSpec::default()
-            },
-        )
-        .expect("relocation run");
+        (
+            "OPODIS'21 baseline (ASYNC, lagging)",
+            depot("ks-dfs").with_schedule(Schedule::AsyncLagging {
+                max_lag: 5,
+                seed: 0,
+            }),
+        ),
+    ];
+
+    for (label, spec) in runs {
+        let report = spec.run(&registry, 9).expect("relocation run");
         println!(
             "{label:38} -> {:>6} {}  | {:>7} car-moves | every car at its own station: {}",
             report.outcome.time(),
-            if matches!(schedule, Schedule::Sync) {
-                "rounds"
-            } else {
+            if spec.schedule.is_async() {
                 "epochs"
+            } else {
+                "rounds"
             },
             report.outcome.total_moves,
             report.dispersed
         );
     }
-
-    // Compare against the pre-paper state of the art on the same instance.
-    let baseline = run_rooted(
-        &grid,
-        fleet,
-        NodeId(0),
-        &RunSpec {
-            algorithm: Algorithm::KsDfs,
-            schedule: Schedule::AsyncLagging {
-                max_lag: 5,
-                seed: 9,
-            },
-            ..RunSpec::default()
-        },
-    )
-    .expect("baseline run");
-    println!(
-        "OPODIS'21 baseline (ASYNC, lagging)    -> {:>6} epochs | {:>7} car-moves | dispersed: {}",
-        baseline.outcome.epochs, baseline.outcome.total_moves, baseline.dispersed
-    );
 }

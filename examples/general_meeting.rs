@@ -1,6 +1,8 @@
 //! General initial configurations: several groups start on different nodes,
 //! their DFS territories collide in the middle of the graph, and the final
-//! configuration must still be a valid dispersion.
+//! configuration must still be a valid dispersion. Hand-crafted starts that
+//! no placement family covers go through the scenario API's
+//! custom-positions escape hatch ([`run_custom`]).
 //!
 //! ```text
 //! cargo run --example general_meeting
@@ -32,33 +34,35 @@ fn main() {
         3
     );
 
+    let registry = Registry::builtin();
+    let factory = registry.get("ks-dfs").expect("registered");
     for (label, schedule) in [
         ("SYNC", Schedule::Sync),
         (
             "ASYNC (random)",
-            Schedule::AsyncRandom { prob: 0.6, seed: 8 },
+            Schedule::AsyncRandom { prob: 0.6, seed: 0 },
         ),
     ] {
-        let report = run(
-            &graph,
+        let (outcome, dispersed) = run_custom(
+            factory,
+            &Params::new(),
+            graph.clone(),
             positions.clone(),
-            &RunSpec {
-                algorithm: Algorithm::KsDfs,
-                schedule,
-                ..RunSpec::default()
-            },
+            schedule,
+            Limits::default(),
+            8,
         )
         .expect("run");
         println!(
             "{label:<16} {:>6} {}  | {:>6} moves | dispersed: {}",
-            report.outcome.time(),
-            if matches!(schedule, Schedule::Sync) {
-                "rounds"
-            } else {
+            outcome.time(),
+            if schedule.is_async() {
                 "epochs"
+            } else {
+                "rounds"
             },
-            report.outcome.total_moves,
-            report.dispersed
+            outcome.total_moves,
+            dispersed
         );
     }
 

@@ -1,7 +1,7 @@
 //! Load balancing view of dispersion: work items (agents) created at a few
 //! hot nodes of a cluster interconnect (here a hypercube) must end up on
-//! distinct machines. General (non-rooted) initial configurations are
-//! handled by the scan-based algorithm with the scatter fallback.
+//! distinct machines. Clustered starts are a first-class placement family,
+//! so the whole workload is one canonical scenario.
 //!
 //! ```text
 //! cargo run --example load_balancing
@@ -10,29 +10,16 @@
 use dispersion::prelude::*;
 
 fn main() {
-    let graph = generators::hypercube(7); // 128 machines, degree 7
-    let n = graph.num_nodes();
+    let registry = Registry::builtin();
 
-    // 96 work items created at 3 hot spots.
-    let hot_spots = [NodeId(0), NodeId(21), NodeId(100)];
-    let positions: Vec<NodeId> = (0..96).map(|i| hot_spots[i % hot_spots.len()]).collect();
+    // 96 work items created at 3 seeded hot spots of a 128-machine
+    // hypercube (occupancy 0.75 → the scenario instantiates 128 nodes).
+    let spec = ScenarioSpec::new(GraphFamily::Hypercube, 96, "ks-dfs")
+        .with_occupancy(0.75)
+        .with_placement(Placement::Clustered { clusters: 3 });
+    println!("scenario: {}", spec.label());
 
-    let report = run(
-        &graph,
-        positions.clone(),
-        &RunSpec {
-            algorithm: Algorithm::KsDfs,
-            schedule: Schedule::Sync,
-            ..RunSpec::default()
-        },
-    )
-    .expect("balancing run");
-
-    println!(
-        "hypercube with {n} machines, {} work items from {} hot spots",
-        positions.len(),
-        hot_spots.len()
-    );
+    let report = spec.run(&registry, 4).expect("balancing run");
     println!(
         "balanced in {} rounds with {} item migrations; one item per machine: {}",
         report.outcome.rounds, report.outcome.total_moves, report.dispersed
@@ -42,17 +29,9 @@ fn main() {
         report.outcome.peak_memory_bits
     );
 
-    // Same workload under asynchrony.
-    let async_report = run(
-        &graph,
-        positions,
-        &RunSpec {
-            algorithm: Algorithm::KsDfs,
-            schedule: Schedule::AsyncRandom { prob: 0.6, seed: 4 },
-            ..RunSpec::default()
-        },
-    )
-    .expect("async balancing run");
+    // Same workload under asynchrony — one builder call away.
+    let async_spec = spec.with_schedule(Schedule::AsyncRandom { prob: 0.6, seed: 0 });
+    let async_report = async_spec.run(&registry, 4).expect("async balancing run");
     println!(
         "under asynchrony: {} epochs ({} scheduler steps), dispersed: {}",
         async_report.outcome.epochs, async_report.outcome.steps, async_report.dispersed

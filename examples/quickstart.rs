@@ -9,69 +9,41 @@ use dispersion::prelude::*;
 
 fn main() {
     let k = 64;
-    let graph = generators::random_tree(k, 7);
-    println!(
-        "graph: {} ({} nodes, {} edges, max degree {})",
-        graph.name(),
-        graph.num_nodes(),
-        graph.num_edges(),
-        graph.max_degree()
-    );
+    let registry = Registry::builtin();
 
-    // Synchronous run of the seeker-probing algorithm (Theorem 6.1 family).
-    let sync = run_rooted(
-        &graph,
-        k,
-        NodeId(0),
-        &RunSpec {
-            algorithm: Algorithm::SyncSeeker,
-            schedule: Schedule::Sync,
-            ..RunSpec::default()
-        },
-    )
-    .expect("sync run");
-    println!(
-        "SYNC  seeker probing : {:>6} rounds, {:>7} moves, {:>3} bits/agent, dispersed: {}",
-        sync.outcome.rounds,
-        sync.outcome.total_moves,
-        sync.outcome.peak_memory_bits,
-        sync.dispersed
-    );
+    // One canonical description per run; the graph (a random tree with k
+    // nodes) is instantiated from the run seed.
+    let runs = [
+        (
+            "SYNC  seeker probing ",
+            ScenarioSpec::new(GraphFamily::RandomTree, k, "sync-seeker"),
+        ),
+        (
+            "ASYNC doubling probe ",
+            ScenarioSpec::new(GraphFamily::RandomTree, k, "probe-dfs")
+                .with_schedule(Schedule::AsyncRandom { prob: 0.7, seed: 0 }),
+        ),
+        (
+            "ASYNC scan baseline  ",
+            ScenarioSpec::new(GraphFamily::RandomTree, k, "ks-dfs")
+                .with_schedule(Schedule::AsyncRandom { prob: 0.7, seed: 0 }),
+        ),
+    ];
 
-    // Asynchronous run of the doubling-probe algorithm (Theorem 7.1).
-    let asy = run_rooted(
-        &graph,
-        k,
-        NodeId(0),
-        &RunSpec {
-            algorithm: Algorithm::ProbeDfs,
-            schedule: Schedule::AsyncRandom { prob: 0.7, seed: 3 },
-            ..RunSpec::default()
-        },
-    )
-    .expect("async run");
-    println!(
-        "ASYNC doubling probe : {:>6} epochs, {:>7} moves, {:>3} bits/agent, dispersed: {}",
-        asy.outcome.epochs, asy.outcome.total_moves, asy.outcome.peak_memory_bits, asy.dispersed
-    );
-
-    // The OPODIS'21 baseline for comparison.
-    let base = run_rooted(
-        &graph,
-        k,
-        NodeId(0),
-        &RunSpec {
-            algorithm: Algorithm::KsDfs,
-            schedule: Schedule::AsyncRandom { prob: 0.7, seed: 3 },
-            ..RunSpec::default()
-        },
-    )
-    .expect("baseline run");
-    println!(
-        "ASYNC scan baseline  : {:>6} epochs, {:>7} moves, {:>3} bits/agent, dispersed: {}",
-        base.outcome.epochs,
-        base.outcome.total_moves,
-        base.outcome.peak_memory_bits,
-        base.dispersed
-    );
+    for (label, spec) in runs {
+        let report = spec.run(&registry, 7).expect("run");
+        println!(
+            "{label}: {:>6} {}, {:>7} moves, {:>3} bits/agent, dispersed: {}   [{}]",
+            report.outcome.time(),
+            if spec.schedule.is_async() {
+                "epochs"
+            } else {
+                "rounds"
+            },
+            report.outcome.total_moves,
+            report.outcome.peak_memory_bits,
+            report.dispersed,
+            report.scenario
+        );
+    }
 }

@@ -6,22 +6,22 @@
 //!
 //! * [`graph`] — anonymous, port-labeled graphs and generators.
 //! * [`sim`] — the mobile-agent execution engine (SYNC rounds, ASYNC
-//!   adversaries, epoch accounting, metrics).
-//! * [`core`] — the dispersion algorithms (paper + baselines), verification
-//!   and the uniform runner.
+//!   adversaries, epoch accounting, metrics, placement families).
+//! * [`core`] — the dispersion algorithms (paper + baselines),
+//!   verification and the scenario API (registry + canonical run
+//!   descriptions).
 //! * [`analysis`] — experiment sweeps, scaling fits, report generation.
 //!
 //! ```
 //! use dispersion::prelude::*;
 //!
-//! // Disperse 20 agents from one corner of a random tree, asynchronously.
-//! let graph = generators::random_tree(20, 42);
-//! let spec = RunSpec {
-//!     algorithm: Algorithm::ProbeDfs,
-//!     schedule: Schedule::AsyncRandom { prob: 0.7, seed: 1 },
-//!     ..RunSpec::default()
-//! };
-//! let report = run_rooted(&graph, 20, NodeId(0), &spec).unwrap();
+//! // Scatter 20 agents across a random tree and disperse them
+//! // asynchronously — one canonical, round-trippable description.
+//! let spec = ScenarioSpec::new(GraphFamily::RandomTree, 20, "ks-dfs")
+//!     .with_placement(Placement::ScatteredUniform)
+//!     .with_schedule(Schedule::AsyncRandom { prob: 0.7, seed: 0 });
+//! assert_eq!(spec.label(), "rtree/k20/scatter/async-rand0.7/ks-dfs");
+//! let report = spec.run(&Registry::builtin(), 42).unwrap();
 //! assert!(report.dispersed);
 //! ```
 
@@ -38,8 +38,8 @@ pub mod prelude {
     pub use disp_analysis::{loglog_fit, markdown_table, Summary};
     pub use disp_core::prelude::*;
     pub use disp_core::rooted_sync::SyncConfig;
-    pub use disp_core::runner::{run, run_rooted, Algorithm, RunReport, RunSpec, Schedule};
     pub use disp_core::verify;
+    pub use disp_graph::generators::GraphFamily;
     pub use disp_graph::prelude::*;
     pub use disp_sim::prelude::*;
 }

@@ -1,33 +1,27 @@
-//! Cross-crate integration tests: every algorithm × scheduler × graph-family
-//! combination must produce a valid dispersion, within the expected
-//! complexity envelopes, with logarithmic per-agent memory.
+//! Cross-crate integration tests: every algorithm × scheduler × placement ×
+//! graph-family combination must produce a valid dispersion, within the
+//! expected complexity envelopes, with logarithmic per-agent memory — all
+//! driven through the canonical scenario API.
 
-use dispersion::graph::generators::GraphFamily;
+use dispersion::core::scenario::ScenarioReport;
 use dispersion::prelude::*;
 
-fn rooted_report(family: GraphFamily, k: usize, algo: Algorithm, schedule: Schedule) -> RunReport {
-    let graph = family.instantiate(k, 11);
-    let k = k.min(graph.num_nodes());
-    run_rooted(
-        &graph,
-        k,
-        NodeId(0),
-        &RunSpec {
-            algorithm: algo,
-            schedule,
-            ..RunSpec::default()
-        },
-    )
-    .expect("run must terminate")
+fn report(spec: &ScenarioSpec) -> ScenarioReport {
+    spec.run(&Registry::builtin(), 11)
+        .expect("run must terminate")
+}
+
+fn rooted(family: GraphFamily, k: usize, algo: &str, schedule: Schedule) -> ScenarioReport {
+    report(&ScenarioSpec::new(family, k, algo).with_schedule(schedule))
 }
 
 #[test]
 fn all_algorithms_disperse_on_all_quick_families_sync() {
     for family in GraphFamily::quick() {
-        for algo in [Algorithm::KsDfs, Algorithm::ProbeDfs, Algorithm::SyncSeeker] {
-            let report = rooted_report(family, 48, algo, Schedule::Sync);
-            assert!(report.dispersed, "{algo:?} on {family}");
-            assert!(report.outcome.terminated);
+        for algo in Registry::builtin().labels() {
+            let r = rooted(family, 48, algo, Schedule::Sync);
+            assert!(r.dispersed, "{algo} on {family}");
+            assert!(r.outcome.terminated);
         }
     }
 }
@@ -36,15 +30,37 @@ fn all_algorithms_disperse_on_all_quick_families_sync() {
 fn async_algorithms_disperse_under_all_adversaries() {
     for schedule in [
         Schedule::AsyncRoundRobin,
-        Schedule::AsyncRandom { prob: 0.5, seed: 2 },
+        Schedule::AsyncRandom { prob: 0.5, seed: 0 },
         Schedule::AsyncLagging {
             max_lag: 6,
-            seed: 2,
+            seed: 0,
         },
     ] {
-        for algo in [Algorithm::KsDfs, Algorithm::ProbeDfs] {
-            let report = rooted_report(GraphFamily::RandomTree, 40, algo, schedule);
-            assert!(report.dispersed, "{algo:?} under {schedule:?}");
+        for algo in ["ks-dfs", "probe-dfs"] {
+            let r = rooted(GraphFamily::RandomTree, 40, algo, schedule);
+            assert!(r.dispersed, "{algo} under {schedule:?}");
+        }
+    }
+}
+
+#[test]
+fn every_placement_family_disperses_under_every_schedule() {
+    // The acceptance sweep of the scenario redesign, at integration level:
+    // placement families × schedule families through the general algorithm.
+    for placement in Placement::all() {
+        for schedule in [
+            Schedule::Sync,
+            Schedule::AsyncRandom { prob: 0.6, seed: 0 },
+            Schedule::AsyncLagging {
+                max_lag: 4,
+                seed: 0,
+            },
+        ] {
+            let spec = ScenarioSpec::new(GraphFamily::Grid, 30, "ks-dfs")
+                .with_placement(placement)
+                .with_schedule(schedule);
+            let r = report(&spec);
+            assert!(r.dispersed, "{}", spec.label());
         }
     }
 }
@@ -56,16 +72,16 @@ fn probe_dfs_stays_within_k_log_k_async() {
         GraphFamily::Star,
         GraphFamily::RandomTree,
     ] {
-        let report = rooted_report(
+        let r = rooted(
             family,
             96,
-            Algorithm::ProbeDfs,
-            Schedule::AsyncRandom { prob: 0.8, seed: 5 },
+            "probe-dfs",
+            Schedule::AsyncRandom { prob: 0.8, seed: 0 },
         );
         assert!(
-            verify::envelope::within_k_log_k(&report.outcome, 60.0),
+            verify::envelope::within_k_log_k(&r.outcome, 60.0),
             "{family}: {} epochs exceeds the O(k log k) envelope",
-            report.outcome.epochs
+            r.outcome.epochs
         );
     }
 }
@@ -73,45 +89,36 @@ fn probe_dfs_stays_within_k_log_k_async() {
 #[test]
 fn seeker_sync_is_linear_on_bounded_degree_families() {
     for family in [GraphFamily::Line, GraphFamily::Ring, GraphFamily::Grid] {
-        let report = rooted_report(family, 100, Algorithm::SyncSeeker, Schedule::Sync);
+        let r = rooted(family, 100, "sync-seeker", Schedule::Sync);
         assert!(
-            verify::envelope::within_linear(&report.outcome, 25.0),
+            verify::envelope::within_linear(&r.outcome, 25.0),
             "{family}: {} rounds exceeds the O(k) envelope",
-            report.outcome.rounds
+            r.outcome.rounds
         );
     }
 }
 
 #[test]
 fn memory_is_logarithmic_for_every_algorithm() {
-    for algo in [Algorithm::KsDfs, Algorithm::ProbeDfs, Algorithm::SyncSeeker] {
-        let report = rooted_report(GraphFamily::Star, 128, algo, Schedule::Sync);
+    for algo in Registry::builtin().labels() {
+        let r = rooted(GraphFamily::Star, 128, algo, Schedule::Sync);
         assert!(
-            verify::envelope::memory_logarithmic(&report.outcome, 30.0),
-            "{algo:?}: {} bits is not O(log(k+Δ))",
-            report.outcome.peak_memory_bits
+            verify::envelope::memory_logarithmic(&r.outcome, 30.0),
+            "{algo}: {} bits is not O(log(k+Δ))",
+            r.outcome.peak_memory_bits
         );
     }
 }
 
 #[test]
 fn baseline_is_superlinear_on_dense_graphs_while_probe_is_not() {
-    let small = rooted_report(GraphFamily::Complete, 24, Algorithm::KsDfs, Schedule::Sync);
-    let large = rooted_report(GraphFamily::Complete, 48, Algorithm::KsDfs, Schedule::Sync);
-    let ratio_scan = large.outcome.rounds as f64 / small.outcome.rounds as f64;
-    let small_p = rooted_report(
-        GraphFamily::Complete,
-        24,
-        Algorithm::ProbeDfs,
-        Schedule::Sync,
-    );
-    let large_p = rooted_report(
-        GraphFamily::Complete,
-        48,
-        Algorithm::ProbeDfs,
-        Schedule::Sync,
-    );
-    let ratio_probe = large_p.outcome.rounds as f64 / small_p.outcome.rounds as f64;
+    let rounds = |k: usize, algo: &str| {
+        rooted(GraphFamily::Complete, k, algo, Schedule::Sync)
+            .outcome
+            .rounds
+    };
+    let ratio_scan = rounds(48, "ks-dfs") as f64 / rounds(24, "ks-dfs") as f64;
+    let ratio_probe = rounds(48, "probe-dfs") as f64 / rounds(24, "probe-dfs") as f64;
     assert!(
         ratio_scan > ratio_probe,
         "doubling k should hurt the scan baseline ({ratio_scan:.2}x) more than probing ({ratio_probe:.2}x)"
@@ -120,21 +127,26 @@ fn baseline_is_superlinear_on_dense_graphs_while_probe_is_not() {
 
 #[test]
 fn general_configurations_disperse_with_many_groups() {
+    // Hand-crafted many-group starts go through the custom-positions escape
+    // hatch; the seeded families are covered by the placement sweep above.
+    let registry = Registry::builtin();
+    let factory = registry.get("ks-dfs").unwrap();
     let graph = GraphFamily::Grid.instantiate(100, 3);
     let n = graph.num_nodes();
     let positions: Vec<NodeId> = (0..70).map(|i| NodeId(((i * 13) % n) as u32)).collect();
-    for schedule in [Schedule::Sync, Schedule::AsyncRandom { prob: 0.6, seed: 1 }] {
-        let report = run(
-            &graph,
+    for schedule in [Schedule::Sync, Schedule::AsyncRandom { prob: 0.6, seed: 0 }] {
+        let (outcome, dispersed) = run_custom(
+            factory,
+            &Params::new(),
+            graph.clone(),
             positions.clone(),
-            &RunSpec {
-                algorithm: Algorithm::KsDfs,
-                schedule,
-                ..RunSpec::default()
-            },
+            schedule,
+            Limits::default(),
+            1,
         )
         .expect("run");
-        assert!(report.dispersed);
+        assert!(dispersed);
+        assert!(outcome.terminated);
     }
 }
 
@@ -142,21 +154,24 @@ fn general_configurations_disperse_with_many_groups() {
 fn port_relabeling_does_not_break_dispersion() {
     // Algorithms on anonymous port-labeled graphs must not depend on how the
     // generator happened to assign port numbers.
+    let registry = Registry::builtin();
+    let factory = registry.get("probe-dfs").unwrap();
     let base = GraphFamily::RandomTree.instantiate(60, 21);
     let permuted = generators::permute_ports(&base, 99);
     for graph in [base, permuted] {
-        let report = run_rooted(
-            &graph,
-            60,
-            NodeId(0),
-            &RunSpec {
-                algorithm: Algorithm::ProbeDfs,
-                schedule: Schedule::Sync,
-                ..RunSpec::default()
-            },
+        let positions = vec![NodeId(0); 60];
+        let (outcome, dispersed) = run_custom(
+            factory,
+            &Params::new(),
+            graph,
+            positions,
+            Schedule::Sync,
+            Limits::default(),
+            2,
         )
         .expect("run");
-        assert!(report.dispersed);
+        assert!(dispersed);
+        assert!(outcome.terminated);
     }
 }
 
@@ -165,9 +180,10 @@ fn campaign_engine_drives_the_full_stack_deterministically() {
     use disp_campaign::grid::{CampaignSpec, Mode};
     use disp_campaign::run::run_campaign;
 
+    let registry = Registry::builtin();
     let spec = CampaignSpec::mini(Mode::Quick, 0xA11CE);
-    let (a, summary) = run_campaign(&spec, None, 1).expect("campaign");
-    let (b, _) = run_campaign(&spec, None, 3).expect("campaign");
+    let (a, summary) = run_campaign(&spec, None, 1, &registry).expect("campaign");
+    let (b, _) = run_campaign(&spec, None, 3, &registry).expect("campaign");
     assert_eq!(summary.total, spec.trials().len());
     assert!(a.iter().all(|r| r.dispersed), "mini campaign must disperse");
     let lines = |rs: &[dispersion::analysis::TrialRecord]| -> Vec<String> {
