@@ -453,20 +453,21 @@ mod tests {
     #[test]
     fn limit_exceeded_trials_are_recorded_not_panics() {
         use disp_core::scenario::Limits;
-        // A user-supplied `/rounds3` limit makes the run give up; the trial
-        // must come back as a faithful non-terminated record, not abort the
-        // campaign.
+        // A user-supplied `/rounds20` limit (above the trivial lower bound
+        // of 16 for 32 rooted agents on a line, but far below the need)
+        // makes the run give up; the trial must come back as a faithful
+        // non-terminated record, not abort the campaign.
         let point = ExperimentPoint::new(
             ScenarioSpec::new(GraphFamily::Line, 32, "probe-dfs").with_limits(Limits {
-                max_rounds: Some(3),
-                max_steps: Some(3),
+                max_rounds: Some(20),
+                max_steps: Some(20),
             }),
             1,
         );
         let rec = point.run_trial(&reg(), 0, 1);
         assert!(!rec.dispersed);
         assert!(!rec.outcome.terminated);
-        assert_eq!(rec.outcome.rounds, 3);
+        assert_eq!(rec.outcome.rounds, 20);
         // And it round-trips the store like any other record.
         let back = TrialRecord::from_json_line(&rec.to_json_line()).unwrap();
         assert_eq!(back, rec);

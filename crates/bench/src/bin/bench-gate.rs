@@ -1,0 +1,89 @@
+//! CI bench regression gate.
+//!
+//! ```text
+//! bench-gate record [--out BENCH_baseline.json] [--samples N]
+//! bench-gate check  [--baseline BENCH_baseline.json] [--samples N]
+//! ```
+//!
+//! `record` measures the gated hot paths (see `disp_bench::gate`) and writes
+//! the baseline document; `check` re-measures and exits non-zero when any
+//! workload is more than the baseline's tolerance (25%) slower.
+
+use disp_bench::gate;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+bench-gate — wall-clock regression gate for the dispersion hot paths
+
+USAGE:
+  bench-gate record [--out FILE] [--samples N]     (write a fresh baseline)
+  bench-gate check  [--baseline FILE] [--samples N] (fail on >25% regression)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = PathBuf::from("BENCH_baseline.json");
+    let mut samples = 5usize;
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" | "--baseline" => match it.next() {
+                Some(v) => path = PathBuf::from(v),
+                None => return fail(&format!("{arg} requires a value")),
+            },
+            "--samples" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => samples = v,
+                None => return fail("--samples expects a positive integer"),
+            },
+            other => return fail(&format!("unknown flag '{other}'\n\n{USAGE}")),
+        }
+    }
+    match args.first().map(String::as_str) {
+        Some("record") => {
+            let doc = gate::record(samples);
+            if let Err(e) = std::fs::write(&path, doc + "\n") {
+                return fail(&format!("write {}: {e}", path.display()));
+            }
+            eprintln!("wrote {}", path.display());
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let baseline = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => return fail(&format!("read {}: {e}", path.display())),
+            };
+            let rows = match gate::check(&baseline, samples) {
+                Ok(rows) => rows,
+                Err(e) => return fail(&e),
+            };
+            let mut regressed = false;
+            for row in &rows {
+                println!(
+                    "{:<34} baseline {:>9.3} ms, measured {:>9.3} ms, ratio {:.2}{}",
+                    row.id,
+                    row.baseline_ns / 1e6,
+                    row.measured_ns / 1e6,
+                    row.ratio,
+                    if row.regressed { "  ← REGRESSED" } else { "" }
+                );
+                regressed |= row.regressed;
+            }
+            if regressed {
+                eprintln!("bench-gate: hot-path regression above the tolerance");
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        _ => {
+            print!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("bench-gate: {message}");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,219 @@
+//! The bench regression gate: a checked-in wall-clock baseline
+//! (`BENCH_baseline.json`) for the hot paths, and a checker that fails CI
+//! when any of them regresses by more than the tolerance (default 25%).
+//!
+//! The gated workloads mirror the ids of the `disp-bench` benches:
+//!
+//! * `probe_star/doubling_probe/128` — `ProbeDfs` on a rooted star,
+//!   the doubling-probe micro-benchmark.
+//! * `sync_rooted/complete/ks-dfs` — the scan baseline on the complete
+//!   graph through the scenario `run_custom` path.
+//! * `scale/line100k/probe-dfs` — the flat-state hot loop itself: a rooted
+//!   `k = 10^5` line through the implicit-topology scenario path (cohort
+//!   rides + worklist; would take hours, not milliseconds, without them).
+//!
+//! Measurements are medians of several full runs; wall-clock on shared
+//! machines is noisy, which is why the gate uses a generous relative
+//! threshold rather than exact numbers.
+
+use disp_analysis::json::Json;
+use disp_core::scenario::{Registry, ScenarioSpec, Schedule};
+use disp_core::ProbeDfs;
+use disp_graph::generators::{self, GraphFamily};
+use disp_graph::NodeId;
+use disp_sim::{RunConfig, SyncRunner, World};
+use std::time::Instant;
+
+/// One gated workload: a stable id and a closure-free runner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// `probe_star/doubling_probe/128`.
+    ProbeStar,
+    /// `sync_rooted/complete/ks-dfs`.
+    ScanComplete,
+    /// `scale/line100k/probe-dfs`.
+    ScaleLine,
+}
+
+impl Workload {
+    /// All gated workloads, in report order.
+    pub fn all() -> [Workload; 3] {
+        [
+            Workload::ProbeStar,
+            Workload::ScanComplete,
+            Workload::ScaleLine,
+        ]
+    }
+
+    /// Stable id (matches the corresponding bench ids where one exists).
+    pub fn id(&self) -> &'static str {
+        match self {
+            Workload::ProbeStar => "probe_star/doubling_probe/128",
+            Workload::ScanComplete => "sync_rooted/complete/ks-dfs",
+            Workload::ScaleLine => "scale/line100k/probe-dfs",
+        }
+    }
+
+    /// Execute the workload once, returning a value to keep the optimizer
+    /// honest.
+    fn run_once(&self, registry: &Registry) -> u64 {
+        match self {
+            Workload::ProbeStar => {
+                let k = 128;
+                let g = generators::star(k);
+                let mut world = World::new_rooted(g, k, NodeId(0));
+                let mut proto = ProbeDfs::new(&world);
+                let out = SyncRunner::new(RunConfig::default())
+                    .run(&mut world, &mut proto)
+                    .expect("probe star terminates");
+                out.rounds
+            }
+            Workload::ScanComplete => {
+                let spec = ScenarioSpec::new(GraphFamily::Complete, 96, "ks-dfs")
+                    .with_schedule(Schedule::Sync);
+                let report = spec.run(registry, 7).expect("scan complete terminates");
+                assert!(report.dispersed);
+                report.outcome.rounds
+            }
+            Workload::ScaleLine => {
+                let spec = ScenarioSpec::new(GraphFamily::Line, 100_000, "probe-dfs")
+                    .with_schedule(Schedule::Sync);
+                let report = spec.run(registry, 7).expect("scale line terminates");
+                assert!(report.dispersed);
+                report.outcome.rounds
+            }
+        }
+    }
+
+    /// Median wall-clock nanoseconds over `samples` runs (after one warmup).
+    pub fn measure_ns(&self, samples: usize) -> f64 {
+        let registry = Registry::builtin();
+        std::hint::black_box(self.run_once(&registry));
+        let mut times: Vec<f64> = (0..samples.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(self.run_once(&registry));
+                start.elapsed().as_nanos() as f64
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        times[times.len() / 2]
+    }
+}
+
+/// Measure every gated workload and render the baseline JSON document.
+pub fn record(samples: usize) -> String {
+    let entries: Vec<(String, Json)> = Workload::all()
+        .iter()
+        .map(|w| {
+            let ns = w.measure_ns(samples);
+            eprintln!("recorded {}: {:.3} ms", w.id(), ns / 1e6);
+            (w.id().to_string(), Json::Num(ns))
+        })
+        .collect();
+    Json::Obj(vec![
+        ("tolerance".into(), Json::Num(0.25)),
+        ("samples".into(), Json::Num(samples as f64)),
+        ("workloads_ns".into(), Json::Obj(entries)),
+    ])
+    .to_string_compact()
+}
+
+/// A single gate comparison result.
+#[derive(Debug, Clone)]
+pub struct GateRow {
+    /// Workload id.
+    pub id: &'static str,
+    /// Baseline nanoseconds.
+    pub baseline_ns: f64,
+    /// Measured nanoseconds.
+    pub measured_ns: f64,
+    /// `measured / baseline`.
+    pub ratio: f64,
+    /// Whether the ratio exceeds `1 + tolerance`.
+    pub regressed: bool,
+}
+
+/// Compare fresh measurements against a recorded baseline document.
+/// Returns the per-workload rows; any `regressed` row means the gate fails.
+pub fn check(baseline_json: &str, samples: usize) -> Result<Vec<GateRow>, String> {
+    let doc = Json::parse(baseline_json).map_err(|e| format!("baseline parse error: {e}"))?;
+    let tolerance = doc.get("tolerance").and_then(Json::as_f64).unwrap_or(0.25);
+    let workloads = doc
+        .get("workloads_ns")
+        .ok_or("baseline missing workloads_ns")?;
+    let mut rows = Vec::new();
+    for w in Workload::all() {
+        let baseline_ns = workloads
+            .get(w.id())
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("baseline missing workload '{}'", w.id()))?;
+        let measured_ns = w.measure_ns(samples);
+        let ratio = measured_ns / baseline_ns;
+        rows.push(GateRow {
+            id: w.id(),
+            baseline_ns,
+            measured_ns,
+            ratio,
+            regressed: ratio > 1.0 + tolerance,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_run_and_ids_are_stable() {
+        let registry = Registry::builtin();
+        assert!(Workload::ProbeStar.run_once(&registry) > 0);
+        assert!(Workload::ScanComplete.run_once(&registry) > 0);
+        let ids: Vec<_> = Workload::all().iter().map(|w| w.id()).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "probe_star/doubling_probe/128",
+                "sync_rooted/complete/ks-dfs",
+                "scale/line100k/probe-dfs"
+            ]
+        );
+    }
+
+    #[test]
+    fn record_then_check_round_trips_and_passes_against_itself() {
+        // A baseline recorded with tiny sampling still parses and a check
+        // against a generously inflated copy of itself passes, while a
+        // deflated copy fails — the gate's arithmetic, without the noise.
+        let doc = Json::Obj(vec![
+            ("tolerance".into(), Json::Num(0.25)),
+            (
+                "workloads_ns".into(),
+                Json::Obj(
+                    Workload::all()
+                        .iter()
+                        .map(|w| (w.id().to_string(), Json::Num(1e12)))
+                        .collect(),
+                ),
+            ),
+        ]);
+        let rows = check(&doc.to_string_compact(), 1).unwrap();
+        assert!(rows.iter().all(|r| !r.regressed), "{rows:?}");
+        let tiny = Json::Obj(vec![
+            ("tolerance".into(), Json::Num(0.25)),
+            (
+                "workloads_ns".into(),
+                Json::Obj(
+                    Workload::all()
+                        .iter()
+                        .map(|w| (w.id().to_string(), Json::Num(1.0)))
+                        .collect(),
+                ),
+            ),
+        ]);
+        let rows = check(&tiny.to_string_compact(), 1).unwrap();
+        assert!(rows.iter().all(|r| r.regressed), "{rows:?}");
+        assert!(check("{}", 1).is_err());
+    }
+}

@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gate;
 pub mod harness;
 
 pub use disp_analysis::report::{measurement_header, measurement_row};

@@ -340,6 +340,93 @@ impl CampaignSpec {
         }
     }
 
+    /// The million-node scale campaign: the flat-state engine's showcase.
+    ///
+    /// Rooted SYNC `probe-dfs` on the four structured families the engine
+    /// handles at scale — line, ring, torus (implicit), hypercube (implicit)
+    /// — at `n ∈ {10^4, 10^5, 10^6}` with `k = n` and `k = n/4`
+    /// (`occ0.25`). Hypercube sizes are the realized powers of two. All 24
+    /// quick-mode trials complete in well under a minute single-threaded
+    /// (the `n = 10^6` line trial alone is ~1.3 s / 143 MB RSS); `complete`
+    /// is deliberately absent — `probe-dfs` pays `Θ(k²)` *moves* there, so
+    /// no faithful sequential simulation finishes at `k = 10^6`.
+    ///
+    /// Full mode adds repetitions, the `ks-dfs` scan baseline at `n = 10^4`,
+    /// and an `async-rr` section at `n = 10^4` (ASYNC step cost is dominated
+    /// by the adversary's O(k)-per-step schedule generation — the flat
+    /// engine's next frontier).
+    pub fn scale(mode: Mode, seed: u64) -> CampaignSpec {
+        let families: [(GraphFamily, [usize; 3]); 4] = [
+            (GraphFamily::Line, [10_000, 100_000, 1_000_000]),
+            (GraphFamily::Ring, [10_000, 100_000, 1_000_000]),
+            (GraphFamily::Torus, [10_000, 100_000, 1_000_000]),
+            (GraphFamily::Hypercube, [16_384, 131_072, 1_048_576]),
+        ];
+        let reps = match mode {
+            Mode::Quick => 1,
+            Mode::Full => 2,
+        };
+        let grid = |occupancy: f64, divisor: usize| -> Vec<ExperimentPoint> {
+            families
+                .iter()
+                .flat_map(|&(family, ks)| {
+                    ks.into_iter().map(move |k| {
+                        let mut spec = ScenarioSpec::new(family, k / divisor, "probe-dfs");
+                        if occupancy != 1.0 {
+                            spec = spec.with_occupancy(occupancy);
+                        }
+                        ExperimentPoint::new(spec, reps)
+                    })
+                })
+                .collect()
+        };
+        let mut sections = vec![
+            Section::new(
+                "scale-sync-full",
+                "SYNC rooted probe-dfs, k = n (rounds)",
+                grid(1.0, 1),
+            ),
+            Section::new(
+                "scale-sync-quarter",
+                "SYNC rooted probe-dfs, k = n/4 (rounds)",
+                grid(0.25, 4),
+            ),
+        ];
+        if mode == Mode::Full {
+            let small: Vec<GraphFamily> = families.iter().map(|&(f, _)| f).collect();
+            sections.push(Section::new(
+                "scale-baseline",
+                "SYNC rooted ks-dfs scan baseline at n = 10^4 (rounds)",
+                section_points(
+                    &small,
+                    &[10_000],
+                    &["ks-dfs"],
+                    Placement::Rooted,
+                    Schedule::Sync,
+                    reps,
+                ),
+            ));
+            sections.push(Section::new(
+                "scale-async",
+                "ASYNC round-robin probe-dfs at n = 10^4 (epochs)",
+                section_points(
+                    &small,
+                    &[10_000],
+                    &["probe-dfs"],
+                    Placement::Rooted,
+                    Schedule::AsyncRoundRobin,
+                    reps,
+                ),
+            ));
+        }
+        CampaignSpec {
+            name: "scale".into(),
+            mode,
+            seed,
+            sections,
+        }
+    }
+
     /// An ad-hoc campaign from explicit scenarios (the CLI's `--scenario`
     /// path): one section, `reps` repetitions per scenario.
     pub fn custom(scenarios: Vec<ScenarioSpec>, reps: usize, seed: u64) -> CampaignSpec {
@@ -364,6 +451,7 @@ impl CampaignSpec {
             "table1" => Some(CampaignSpec::table1(mode, seed)),
             "figures" => Some(CampaignSpec::figures(mode, seed)),
             "placements" => Some(CampaignSpec::placements(mode, seed)),
+            "scale" => Some(CampaignSpec::scale(mode, seed)),
             "mini" => Some(CampaignSpec::mini(mode, seed)),
             _ => None,
         }
@@ -479,7 +567,7 @@ mod tests {
 
     #[test]
     fn by_name_round_trips() {
-        for name in ["table1", "figures", "placements", "mini"] {
+        for name in ["table1", "figures", "placements", "scale", "mini"] {
             let spec = CampaignSpec::by_name(name, Mode::Quick, 7).unwrap();
             assert_eq!(spec.name, name);
         }
@@ -489,7 +577,7 @@ mod tests {
     #[test]
     fn every_named_campaign_validates_against_the_builtin_registry() {
         let reg = Registry::builtin();
-        for name in ["table1", "figures", "placements", "mini"] {
+        for name in ["table1", "figures", "placements", "scale", "mini"] {
             let spec = CampaignSpec::by_name(name, Mode::Full, 7).unwrap();
             for trial in spec.trials() {
                 trial

@@ -134,12 +134,12 @@ impl KsDfs {
         let ids: Vec<u32> = (0..k as u32).map(|i| i + 1).collect();
         let mut states: Vec<Option<AgentState>> = vec![None; k];
         for v in world.graph().nodes() {
-            let here = world.agents_at(v);
+            let here: Vec<AgentId> = world.agents_at(v).collect();
             if here.is_empty() {
                 continue;
             }
             let leader = *here.iter().max().expect("non-empty");
-            for &a in here {
+            for &a in &here {
                 if a == leader {
                     states[a.index()] = Some(AgentState::Leader {
                         phase: LeaderPhase::Decide,
@@ -204,13 +204,22 @@ impl KsDfs {
             .count()
     }
 
-    fn settle(&mut self, agent: AgentId, parent_port: Option<Port>, treelabel: u32) {
+    /// Settle `agent` and park it: a settled agent's activations are no-ops
+    /// forever (its scan cursor is mutated passively by visiting leaders).
+    fn settle(
+        &mut self,
+        ctx: &mut ActivationCtx<'_>,
+        agent: AgentId,
+        parent_port: Option<Port>,
+        treelabel: u32,
+    ) {
         self.states[agent.index()] = AgentState::Settled {
             parent_port,
             next_port: 1,
             treelabel,
         };
         self.settled_count += 1;
+        ctx.park(agent);
     }
 
     fn act_leader(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
@@ -239,13 +248,13 @@ impl KsDfs {
                         // First visit of this node by anyone: settle here.
                         if group_size == 0 {
                             // The leader is the last unsettled member.
-                            self.settle(agent, arrival_pin, treelabel);
+                            self.settle(ctx, agent, arrival_pin, treelabel);
                             return;
                         }
                         let chosen = self
                             .smallest_follower_here(ctx, agent)
                             .expect("group_size > 0 implies a co-located follower");
-                        self.settle(chosen, arrival_pin, treelabel);
+                        self.settle(ctx, chosen, arrival_pin, treelabel);
                         group_size -= 1;
                         // Stay in Decide: the settler now exists and scanning
                         // starts at the next activation.
@@ -343,13 +352,13 @@ impl KsDfs {
                 } else {
                     // Free node: settle here (forward move of the DFS).
                     if group_size == 0 {
-                        self.settle(agent, Some(rp), treelabel);
+                        self.settle(ctx, agent, Some(rp), treelabel);
                         return;
                     }
                     let chosen = self
                         .smallest_follower_here(ctx, agent)
                         .expect("group_size > 0 implies a co-located follower");
-                    self.settle(chosen, Some(rp), treelabel);
+                    self.settle(ctx, chosen, Some(rp), treelabel);
                     group_size -= 1;
                     phase = LeaderPhase::Decide;
                 }
@@ -410,7 +419,7 @@ impl KsDfs {
         // If the current node is free of settlers, settle here (activation
         // order breaks ties between walkers arriving in the same round).
         if self.settler_at(ctx).is_none() {
-            self.settle(agent, None, self.ids[agent.index()]);
+            self.settle(ctx, agent, None, self.ids[agent.index()]);
             return;
         }
         // Otherwise take a pseudo-random step (xorshift64*).
@@ -438,6 +447,10 @@ impl AgentProtocol for KsDfs {
 
     fn is_terminated(&self) -> bool {
         self.settled_count == self.k
+    }
+
+    fn is_settled(&self, agent: AgentId) -> bool {
+        matches!(self.states[agent.index()], AgentState::Settled { .. })
     }
 
     fn memory_bits(&self, agent: AgentId) -> usize {

@@ -52,6 +52,7 @@ impl AgentProtocol for RandomWalk {
         if !ctx.colocated_iter().any(|a| self.settled[a.index()]) {
             self.settled[agent.index()] = true;
             self.settled_count += 1;
+            ctx.park(agent);
             return;
         }
         let degree = ctx.degree() as u64;
@@ -61,6 +62,10 @@ impl AgentProtocol for RandomWalk {
 
     fn is_terminated(&self) -> bool {
         self.settled_count == self.settled.len()
+    }
+
+    fn is_settled(&self, agent: AgentId) -> bool {
+        self.settled[agent.index()]
     }
 
     fn memory_bits(&self, _agent: AgentId) -> usize {

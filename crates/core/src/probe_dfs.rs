@@ -31,24 +31,30 @@
 //! trustworthy under asynchrony (paper §4.3): a node reported empty really
 //! is fully unsettled, never the momentarily-vacant home of a helper.
 //!
+//! ## Flat-state execution
+//!
+//! This implementation rides the follower group in a world *cohort* (see
+//! `disp_sim::world`): followers are enrolled as passengers, the leader
+//! moves the whole group with one O(1) cohort move per edge, and followers
+//! are extracted only to settle or to serve as probers. Settled agents and
+//! idle guests are parked off the runners' worklist and woken exactly when
+//! another agent's action makes them actionable (a recruit, a probe
+//! assignment, a see-off order). The realized schedule is the one where
+//! every follower executes the leader's movement order immediately — a
+//! legal refinement of the flip-order movement protocol under both
+//! schedulers (`DESIGN.md` §8). The protocol also keeps a per-node settler
+//! index (`settled_at`), a simulation-level cache of the locally-observable
+//! "does this node host a settled agent" query that every visit is entitled
+//! to make; it turns the O(occupants) co-location scans of the old
+//! implementation into O(1) lookups.
+//!
 //! This protocol assumes a **rooted** initial configuration (all agents on
 //! one node); see `DESIGN.md` for how general configurations are handled.
 
 use disp_graph::Port;
 use disp_sim::{bits, ActivationCtx, AgentId, AgentProtocol, World};
 
-/// A published group move order (see `ks_dfs` for the movement protocol).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct GroupOrder {
-    flip: bool,
-    port: Port,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum MoveIntent {
-    Forward,
-    Backtrack,
-}
+const NO_SETTLER: u32 = u32::MAX;
 
 /// Stages of a helper's probe round trip.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,7 +67,7 @@ enum ProbeStage {
     WaitGuestGone { recruited: AgentId },
     /// Walking back to `w`.
     GoHome { found_settler: bool },
-    /// Back at `w`, waiting to be collected by the leader.
+    /// Back at `w`, parked until the leader collects the report.
     Returned { found_settler: bool },
 }
 
@@ -97,6 +103,8 @@ enum EscortStage {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum LeaderPhase {
+    /// First activation: enroll every follower into the cohort.
+    Enroll,
     /// At a DFS node with the group; start probing (or settle at the start).
     Decide,
     /// Assign ports to available helpers (or probe solo).
@@ -117,17 +125,16 @@ enum LeaderPhase {
     SeeOffWait { expect_idle: u32 },
     /// The node's own settler is escorting the last guest home; wait for it.
     SeeOffWaitSettler,
-    /// Movement order published; waiting for followers to leave, then move.
-    Departing(MoveIntent),
     /// Arrived at a fully-unsettled node: settle an agent there.
     ArriveForward,
 }
 
 #[derive(Debug, Clone)]
 enum AgentState {
-    Follower {
-        executed: bool,
-    },
+    /// An unsettled follower riding the leader's cohort (parked; its
+    /// observable behaviour — follow every movement order — is realized by
+    /// the cohort ride).
+    Rider,
     Prober {
         origin: ProberOrigin,
         port: Port,
@@ -154,8 +161,6 @@ enum AgentState {
     },
     Leader {
         phase: LeaderPhase,
-        group_size: usize,
-        order: Option<GroupOrder>,
         arrival_pin: Option<Port>,
         /// Ports of the current node probed so far.
         checked: u32,
@@ -171,10 +176,18 @@ enum AgentState {
 pub struct ProbeDfs {
     states: Vec<AgentState>,
     ids: Vec<u32>,
-    leader: AgentId,
     k: usize,
     max_degree: usize,
     settled_count: usize,
+    /// Unsettled followers riding the cohort, sorted descending by
+    /// algorithmic id (`pop()` yields the smallest).
+    riders: Vec<AgentId>,
+    /// Guests idle at the current probe node, sorted ascending by id.
+    idle_guests: Vec<AgentId>,
+    /// Probers back at the probe node, awaiting collection by the leader.
+    returned_probers: Vec<AgentId>,
+    /// `node → settler agent` cache (see the module docs).
+    settled_at: Vec<u32>,
     /// Counts `Async_Probe` invocations (one per `Decide`), for tests.
     probe_invocations: u64,
     /// Largest number of probe iterations within a single invocation.
@@ -188,18 +201,13 @@ impl ProbeDfs {
         let k = world.num_agents();
         let root = world.position(AgentId(0));
         assert!(
-            world
-                .positions()
-                .iter()
-                .all(|&p| p == root),
+            (0..k).all(|i| world.position(AgentId(i as u32)) == root),
             "ProbeDfs handles rooted initial configurations; use KsDfs or the general wrappers for scattered starts"
         );
         let leader = AgentId(k as u32 - 1);
-        let mut states = vec![AgentState::Follower { executed: false }; k];
+        let mut states = vec![AgentState::Rider; k];
         states[leader.index()] = AgentState::Leader {
-            phase: LeaderPhase::Decide,
-            group_size: k - 1,
-            order: None,
+            phase: LeaderPhase::Enroll,
             arrival_pin: None,
             checked: 0,
             next_empty: None,
@@ -208,10 +216,13 @@ impl ProbeDfs {
         ProbeDfs {
             states,
             ids: (1..=k as u32).collect(),
-            leader,
             k,
             max_degree: world.graph().max_degree(),
             settled_count: 0,
+            riders: (0..k as u32 - 1).rev().map(AgentId).collect(),
+            idle_guests: Vec::new(),
+            returned_probers: Vec::new(),
+            settled_at: vec![NO_SETTLER; world.graph().num_nodes()],
             probe_invocations: 0,
             max_probe_iterations: 0,
             current_probe_iterations: 0,
@@ -231,75 +242,73 @@ impl ProbeDfs {
     }
 
     fn settler_here(&self, ctx: &ActivationCtx<'_>) -> Option<AgentId> {
-        ctx.colocated_iter()
-            .find(|a| matches!(self.states[a.index()], AgentState::Settled { .. }))
+        match self.settled_at[ctx.node().index()] {
+            NO_SETTLER => None,
+            a => Some(AgentId(a)),
+        }
     }
 
-    fn settle(&mut self, agent: AgentId, parent_port: Option<Port>) {
+    fn settle(&mut self, ctx: &mut ActivationCtx<'_>, agent: AgentId, parent_port: Option<Port>) {
         self.states[agent.index()] = AgentState::Settled { parent_port };
+        self.settled_at[ctx.node().index()] = agent.0;
         self.settled_count += 1;
+        ctx.park(agent);
     }
 
-    fn smallest_follower(&self, ctx: &ActivationCtx<'_>) -> Option<AgentId> {
-        ctx.colocated_iter()
-            .filter(|a| matches!(self.states[a.index()], AgentState::Follower { .. }))
-            .min_by_key(|a| self.ids[a.index()])
+    fn unsettle(&mut self, ctx: &mut ActivationCtx<'_>, settler: AgentId) -> Option<Port> {
+        let AgentState::Settled { parent_port } = self.states[settler.index()] else {
+            unreachable!("unsettle on a non-settled agent")
+        };
+        self.settled_at[ctx.node().index()] = NO_SETTLER;
+        self.settled_count -= 1;
+        ctx.wake(settler);
+        parent_port
     }
 
-    fn count_followers(&self, ctx: &ActivationCtx<'_>) -> usize {
-        ctx.colocated_iter()
-            .filter(|a| matches!(self.states[a.index()], AgentState::Follower { .. }))
-            .count()
-    }
-
-    fn idle_guests(&self, ctx: &ActivationCtx<'_>) -> Vec<AgentId> {
-        let mut v: Vec<AgentId> = ctx
-            .colocated_iter()
-            .filter(|a| {
-                matches!(
-                    self.states[a.index()],
-                    AgentState::Guest {
-                        travel: GuestTravel::Idle { .. },
-                        ..
+    /// Settle the smallest rider at the current node — or the leader itself
+    /// when the group is exhausted, in which case `true` is returned.
+    fn settle_next(
+        &mut self,
+        ctx: &mut ActivationCtx<'_>,
+        leader: AgentId,
+        arrival_pin: Option<Port>,
+    ) -> bool {
+        match self.riders.pop() {
+            None => {
+                self.settle(ctx, leader, arrival_pin);
+                true
+            }
+            Some(chosen) => {
+                ctx.extract(chosen);
+                self.settle(ctx, chosen, arrival_pin);
+                // Test-of-the-test (see Cargo.toml): at the third
+                // settlement, settle a second agent on the same node. The
+                // invariant harness must catch this at that very step.
+                #[cfg(feature = "inject-collision")]
+                if self.settled_count == 3 {
+                    if let Some(extra) = self.riders.pop() {
+                        ctx.extract(extra);
+                        self.settle(ctx, extra, arrival_pin);
                     }
-                )
-            })
-            .collect();
-        v.sort_by_key(|a| self.ids[a.index()]);
-        v
+                }
+                false
+            }
+        }
     }
 
-    fn returned_probers(&self, ctx: &ActivationCtx<'_>) -> Vec<AgentId> {
-        ctx.colocated_iter()
-            .filter(|a| {
-                matches!(
-                    self.states[a.index()],
-                    AgentState::Prober {
-                        stage: ProbeStage::Returned { .. },
-                        ..
-                    }
-                )
-            })
-            .collect()
+    fn insert_rider(&mut self, a: AgentId) {
+        // Keep `riders` sorted descending by id (pop() = smallest).
+        let id = self.ids[a.index()];
+        let pos = self.riders.partition_point(|r| self.ids[r.index()] > id);
+        self.riders.insert(pos, a);
     }
 
-    /// Helpers eligible for a probe assignment right now.
-    fn available_helpers(&self, ctx: &ActivationCtx<'_>) -> Vec<AgentId> {
-        let mut v: Vec<AgentId> = ctx
-            .colocated_iter()
-            .filter(|a| {
-                matches!(self.states[a.index()], AgentState::Follower { .. })
-                    || matches!(
-                        self.states[a.index()],
-                        AgentState::Guest {
-                            travel: GuestTravel::Idle { .. },
-                            ..
-                        }
-                    )
-            })
-            .collect();
-        v.sort_by_key(|a| self.ids[a.index()]);
-        v
+    fn insert_idle_guest(&mut self, a: AgentId) {
+        let id = self.ids[a.index()];
+        let pos = self
+            .idle_guests
+            .partition_point(|g| self.ids[g.index()] < id);
+        self.idle_guests.insert(pos, a);
     }
 
     // ------------------------------------------------------------------
@@ -310,30 +319,33 @@ impl ProbeDfs {
     fn act_leader(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
         let AgentState::Leader {
             phase,
-            mut group_size,
-            mut order,
             mut arrival_pin,
             mut checked,
             mut next_empty,
             mut solo_pin,
-        } = self.states[agent.index()].clone()
+        } = self.states[agent.index()]
         else {
             unreachable!("act_leader on non-leader");
         };
         let mut phase = phase;
 
         match phase {
+            LeaderPhase::Enroll => {
+                for i in 0..self.k as u32 {
+                    if AgentId(i) != agent {
+                        ctx.enroll(AgentId(i));
+                    }
+                }
+                phase = LeaderPhase::Decide;
+            }
+
             LeaderPhase::Decide => {
                 if self.settler_here(ctx).is_none() {
                     // Start node: settle the smallest follower (or the leader
                     // itself if it is alone).
-                    if group_size == 0 {
-                        self.settle(agent, arrival_pin);
+                    if self.settle_next(ctx, agent, arrival_pin) {
                         return;
                     }
-                    let chosen = self.smallest_follower(ctx).expect("group_size > 0");
-                    self.settle(chosen, arrival_pin);
-                    group_size -= 1;
                 } else {
                     // Begin a fresh Async_Probe invocation at this node.
                     checked = 0;
@@ -346,33 +358,59 @@ impl ProbeDfs {
 
             LeaderPhase::ProbeAssign => {
                 if next_empty.is_some() || checked as usize >= ctx.degree() {
-                    phase = self.finish_probing(ctx, next_empty);
+                    phase = if self.idle_guests.is_empty() {
+                        // Settler is present; falls through to movement.
+                        LeaderPhase::SeeOffWaitSettler
+                    } else {
+                        LeaderPhase::SeeOffAssign
+                    };
                 } else {
-                    let helpers = self.available_helpers(ctx);
                     self.current_probe_iterations += 1;
                     self.max_probe_iterations =
                         self.max_probe_iterations.max(self.current_probe_iterations);
-                    if helpers.is_empty() {
+                    let avail = self.idle_guests.len() + self.riders.len();
+                    if avail == 0 {
                         // The leader is the only unsettled agent left at this
                         // node: probe the next port itself.
                         let port = Port(checked + 1);
-                        let pin = ctx.move_via(port);
-                        solo_pin = Some(pin);
+                        solo_pin = Some(ctx.move_via(port));
                         phase = LeaderPhase::SoloOut;
                     } else {
-                        let want = (ctx.degree() - checked as usize).min(helpers.len());
-                        for (i, helper) in helpers.iter().take(want).enumerate() {
+                        // Assign the `want` smallest-id helpers from the
+                        // union of idle guests and riders.
+                        let want = (ctx.degree() - checked as usize).min(avail);
+                        let mut guests_taken = 0usize;
+                        for i in 0..want {
                             let port = Port(checked + 1 + i as u32);
-                            let origin = match &self.states[helper.index()] {
-                                AgentState::Follower { .. } => ProberOrigin::Follower,
-                                AgentState::Guest {
+                            let next_guest = self.idle_guests.get(guests_taken).copied();
+                            let next_rider = self.riders.last().copied();
+                            let take_guest = match (next_guest, next_rider) {
+                                (Some(g), Some(r)) => self.ids[g.index()] < self.ids[r.index()],
+                                (Some(_), None) => true,
+                                (None, _) => false,
+                            };
+                            let (helper, origin) = if take_guest {
+                                let g = next_guest.expect("guest available");
+                                guests_taken += 1;
+                                let AgentState::Guest {
                                     saved_parent_port,
                                     travel: GuestTravel::Idle { home_port },
-                                } => ProberOrigin::Guest {
-                                    home_port: *home_port,
-                                    saved_parent_port: *saved_parent_port,
-                                },
-                                _ => unreachable!("available_helpers filter"),
+                                } = self.states[g.index()]
+                                else {
+                                    unreachable!("idle_guests holds only idle guests")
+                                };
+                                ctx.wake(g);
+                                (
+                                    g,
+                                    ProberOrigin::Guest {
+                                        home_port,
+                                        saved_parent_port,
+                                    },
+                                )
+                            } else {
+                                let r = self.riders.pop().expect("rider available");
+                                ctx.extract(r);
+                                (r, ProberOrigin::Follower)
                             };
                             self.states[helper.index()] = AgentState::Prober {
                                 origin,
@@ -381,6 +419,7 @@ impl ProbeDfs {
                                 stage: ProbeStage::Out,
                             };
                         }
+                        self.idle_guests.drain(0..guests_taken);
                         checked += want as u32;
                         phase = LeaderPhase::ProbeWait {
                             assigned: want as u32,
@@ -390,19 +429,18 @@ impl ProbeDfs {
             }
 
             LeaderPhase::ProbeWait { assigned } => {
-                let returned = self.returned_probers(ctx);
-                if returned.len() as u32 == assigned {
+                if self.returned_probers.len() as u32 == assigned {
                     // Collect reports, revert probers.
-                    let flip = order.map(|o| o.flip).unwrap_or(false);
-                    for prober in returned {
+                    let probers = std::mem::take(&mut self.returned_probers);
+                    for prober in probers {
                         let AgentState::Prober {
                             origin,
                             port,
                             stage: ProbeStage::Returned { found_settler },
                             ..
-                        } = self.states[prober.index()].clone()
+                        } = self.states[prober.index()]
                         else {
-                            unreachable!()
+                            unreachable!("returned_probers holds only returned probers")
                         };
                         if !found_settler {
                             next_empty = Some(match next_empty {
@@ -410,16 +448,24 @@ impl ProbeDfs {
                                 _ => port,
                             });
                         }
-                        self.states[prober.index()] = match origin {
-                            ProberOrigin::Follower => AgentState::Follower { executed: flip },
+                        match origin {
+                            ProberOrigin::Follower => {
+                                self.states[prober.index()] = AgentState::Rider;
+                                ctx.enroll(prober);
+                                self.insert_rider(prober);
+                            }
                             ProberOrigin::Guest {
                                 home_port,
                                 saved_parent_port,
-                            } => AgentState::Guest {
-                                saved_parent_port,
-                                travel: GuestTravel::Idle { home_port },
-                            },
-                        };
+                            } => {
+                                self.states[prober.index()] = AgentState::Guest {
+                                    saved_parent_port,
+                                    travel: GuestTravel::Idle { home_port },
+                                };
+                                ctx.park(prober);
+                                self.insert_idle_guest(prober);
+                            }
+                        }
                     }
                     phase = LeaderPhase::ProbeAssign;
                 }
@@ -432,16 +478,13 @@ impl ProbeDfs {
 
             LeaderPhase::SoloAtNeighbor => {
                 if let Some(settler) = self.settler_here(ctx) {
-                    let AgentState::Settled { parent_port } = self.states[settler.index()] else {
-                        unreachable_settled()
-                    };
+                    let parent_port = self.unsettle(ctx, settler);
                     self.states[settler.index()] = AgentState::Guest {
                         saved_parent_port: parent_port,
                         travel: GuestTravel::ToProbeSite {
                             via: solo_pin.expect("solo pin recorded"),
                         },
                     };
-                    self.settled_count -= 1;
                     phase = LeaderPhase::SoloWaitGuestGone { recruited: settler };
                 } else {
                     let pin = solo_pin.expect("solo pin recorded");
@@ -473,34 +516,30 @@ impl ProbeDfs {
             }
 
             LeaderPhase::SeeOffAssign => {
-                let guests = self.idle_guests(ctx);
-                match guests.len() {
+                let x = self.idle_guests.len();
+                match x {
                     0 => {
-                        phase = self.movement_phase(ctx, next_empty, &mut order, group_size);
+                        phase = self.movement(ctx, next_empty, &mut arrival_pin);
                     }
                     1 => {
                         // α(w) escorts the single leftover guest home.
-                        let guest = guests[0];
+                        let guest = self.idle_guests[0];
                         let settler = self
                             .settler_here(ctx)
                             .expect("probe node must have a settler");
                         let AgentState::Guest {
                             saved_parent_port,
                             travel: GuestTravel::Idle { home_port },
-                        } = self.states[guest.index()].clone()
+                        } = self.states[guest.index()]
                         else {
                             unreachable!()
                         };
-                        let AgentState::Settled {
-                            parent_port: settler_parent,
-                        } = self.states[settler.index()]
-                        else {
-                            unreachable!()
-                        };
+                        let settler_parent = self.unsettle(ctx, settler);
                         self.states[guest.index()] = AgentState::Guest {
                             saved_parent_port,
                             travel: GuestTravel::GoingHome { via: home_port },
                         };
+                        ctx.wake(guest);
                         self.states[settler.index()] = AgentState::Escort {
                             guest_self: None,
                             saved_parent_port: settler_parent,
@@ -508,25 +547,26 @@ impl ProbeDfs {
                             pin: None,
                             stage: EscortStage::Going,
                         };
-                        self.settled_count -= 1;
+                        self.idle_guests.clear();
                         phase = LeaderPhase::SeeOffWaitSettler;
                     }
                     x => {
                         let pairs = x / 2;
+                        let guests = std::mem::take(&mut self.idle_guests);
                         for i in 0..pairs {
                             let a = guests[2 * i];
                             let b = guests[2 * i + 1];
                             let AgentState::Guest {
                                 saved_parent_port: a_parent,
                                 travel: GuestTravel::Idle { home_port: a_home },
-                            } = self.states[a.index()].clone()
+                            } = self.states[a.index()]
                             else {
                                 unreachable!()
                             };
                             let AgentState::Guest {
                                 saved_parent_port: b_parent,
                                 travel: GuestTravel::Idle { home_port: b_home },
-                            } = self.states[b.index()].clone()
+                            } = self.states[b.index()]
                             else {
                                 unreachable!()
                             };
@@ -534,6 +574,7 @@ impl ProbeDfs {
                                 saved_parent_port: a_parent,
                                 travel: GuestTravel::GoingHome { via: a_home },
                             };
+                            ctx.wake(a);
                             self.states[b.index()] = AgentState::Escort {
                                 guest_self: Some((b_home, b_parent)),
                                 saved_parent_port: a_parent,
@@ -541,6 +582,11 @@ impl ProbeDfs {
                                 pin: None,
                                 stage: EscortStage::Going,
                             };
+                            ctx.wake(b);
+                        }
+                        // An odd leftover guest stays idle (and parked).
+                        if x % 2 == 1 {
+                            self.idle_guests.push(guests[x - 1]);
                         }
                         phase = LeaderPhase::SeeOffWait {
                             expect_idle: (x - pairs) as u32,
@@ -550,26 +596,14 @@ impl ProbeDfs {
             }
 
             LeaderPhase::SeeOffWait { expect_idle } => {
-                if self.idle_guests(ctx).len() as u32 == expect_idle {
+                if self.idle_guests.len() as u32 == expect_idle {
                     phase = LeaderPhase::SeeOffAssign;
                 }
             }
 
             LeaderPhase::SeeOffWaitSettler => {
                 if self.settler_here(ctx).is_some() {
-                    phase = self.movement_phase(ctx, next_empty, &mut order, group_size);
-                }
-            }
-
-            LeaderPhase::Departing(intent) => {
-                let o = order.expect("departing without an order");
-                if self.count_followers(ctx) == 0 {
-                    let pin = ctx.move_via(o.port);
-                    arrival_pin = Some(pin);
-                    phase = match intent {
-                        MoveIntent::Forward => LeaderPhase::ArriveForward,
-                        MoveIntent::Backtrack => LeaderPhase::Decide,
-                    };
+                    phase = self.movement(ctx, next_empty, &mut arrival_pin);
                 }
             }
 
@@ -578,21 +612,15 @@ impl ProbeDfs {
                     self.settler_here(ctx).is_none(),
                     "forward target must be fully unsettled"
                 );
-                if group_size == 0 {
-                    self.settle(agent, arrival_pin);
+                if self.settle_next(ctx, agent, arrival_pin) {
                     return;
                 }
-                let chosen = self.smallest_follower(ctx).expect("group_size > 0");
-                self.settle(chosen, arrival_pin);
-                group_size -= 1;
                 phase = LeaderPhase::Decide;
             }
         }
 
         self.states[agent.index()] = AgentState::Leader {
             phase,
-            group_size,
-            order,
             arrival_pin,
             checked,
             next_empty,
@@ -600,31 +628,18 @@ impl ProbeDfs {
         };
     }
 
-    /// After probing finished (hit or exhausted): run see-off if guests are
-    /// present, otherwise go straight to the movement decision.
-    fn finish_probing(&mut self, ctx: &ActivationCtx<'_>, next_empty: Option<Port>) -> LeaderPhase {
-        let _ = next_empty;
-        if self.idle_guests(ctx).is_empty() {
-            LeaderPhase::SeeOffWaitSettler // settler is present; falls through
-        } else {
-            LeaderPhase::SeeOffAssign
-        }
-    }
-
-    /// Publish the DFS move (forward to the discovered unsettled neighbor, or
-    /// backtrack to the parent).
-    fn movement_phase(
+    /// Execute the DFS move (forward to the discovered unsettled neighbor, or
+    /// backtrack to the parent) — the whole cohort rides along.
+    fn movement(
         &mut self,
-        ctx: &ActivationCtx<'_>,
+        ctx: &mut ActivationCtx<'_>,
         next_empty: Option<Port>,
-        order: &mut Option<GroupOrder>,
-        _group_size: usize,
+        arrival_pin: &mut Option<Port>,
     ) -> LeaderPhase {
-        let flip = order.map(|o| !o.flip).unwrap_or(true);
         match next_empty {
             Some(p) => {
-                *order = Some(GroupOrder { flip, port: p });
-                LeaderPhase::Departing(MoveIntent::Forward)
+                *arrival_pin = Some(ctx.move_cohort_via(p));
+                LeaderPhase::ArriveForward
             }
             None => {
                 let settler = self
@@ -635,8 +650,8 @@ impl ProbeDfs {
                 };
                 let p =
                     parent_port.expect("DFS root can only be exhausted after every agent settled");
-                *order = Some(GroupOrder { flip, port: p });
-                LeaderPhase::Departing(MoveIntent::Backtrack)
+                *arrival_pin = Some(ctx.move_cohort_via(p));
+                LeaderPhase::Decide
             }
         }
     }
@@ -645,27 +660,13 @@ impl ProbeDfs {
     // Helpers
     // ------------------------------------------------------------------
 
-    fn act_follower(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
-        let AgentState::Follower { executed } = self.states[agent.index()] else {
-            unreachable!()
-        };
-        if ctx.colocated_iter().any(|peer| peer == self.leader) {
-            if let AgentState::Leader { order: Some(o), .. } = self.states[self.leader.index()] {
-                if o.flip != executed {
-                    ctx.move_via(o.port);
-                    self.states[agent.index()] = AgentState::Follower { executed: o.flip };
-                }
-            }
-        }
-    }
-
     fn act_prober(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
         let AgentState::Prober {
             origin,
             port,
             mut pin,
             stage,
-        } = self.states[agent.index()].clone()
+        } = self.states[agent.index()]
         else {
             unreachable!()
         };
@@ -677,16 +678,13 @@ impl ProbeDfs {
             }
             ProbeStage::AtNeighbor => {
                 if let Some(settler) = self.settler_here(ctx) {
-                    let AgentState::Settled { parent_port } = self.states[settler.index()] else {
-                        unreachable!()
-                    };
+                    let parent_port = self.unsettle(ctx, settler);
                     self.states[settler.index()] = AgentState::Guest {
                         saved_parent_port: parent_port,
                         travel: GuestTravel::ToProbeSite {
                             via: pin.expect("pin recorded on the way out"),
                         },
                     };
-                    self.settled_count -= 1;
                     stage = ProbeStage::WaitGuestGone { recruited: settler };
                 } else {
                     stage = ProbeStage::GoHome {
@@ -704,6 +702,8 @@ impl ProbeDfs {
             ProbeStage::GoHome { found_settler } => {
                 ctx.move_via(pin.expect("pin recorded on the way out"));
                 stage = ProbeStage::Returned { found_settler };
+                self.returned_probers.push(agent);
+                ctx.park(agent);
             }
             ProbeStage::Returned { .. } => {}
         }
@@ -719,7 +719,7 @@ impl ProbeDfs {
         let AgentState::Guest {
             saved_parent_port,
             travel,
-        } = self.states[agent.index()].clone()
+        } = self.states[agent.index()]
         else {
             unreachable!()
         };
@@ -730,6 +730,8 @@ impl ProbeDfs {
                     saved_parent_port,
                     travel: GuestTravel::Idle { home_port: pin },
                 };
+                self.insert_idle_guest(agent);
+                ctx.park(agent);
             }
             GuestTravel::Idle { .. } => {}
             GuestTravel::GoingHome { via } => {
@@ -737,7 +739,9 @@ impl ProbeDfs {
                 self.states[agent.index()] = AgentState::Settled {
                     parent_port: saved_parent_port,
                 };
+                self.settled_at[ctx.node().index()] = agent.0;
                 self.settled_count += 1;
+                ctx.park(agent);
             }
         }
     }
@@ -749,7 +753,7 @@ impl ProbeDfs {
             via,
             mut pin,
             stage,
-        } = self.states[agent.index()].clone()
+        } = self.states[agent.index()]
         else {
             unreachable!()
         };
@@ -773,13 +777,17 @@ impl ProbeDfs {
                         self.states[agent.index()] = AgentState::Settled {
                             parent_port: saved_parent_port,
                         };
+                        self.settled_at[ctx.node().index()] = agent.0;
                         self.settled_count += 1;
+                        ctx.park(agent);
                     }
                     Some((home_port, my_parent)) => {
                         self.states[agent.index()] = AgentState::Guest {
                             saved_parent_port: my_parent,
                             travel: GuestTravel::Idle { home_port },
                         };
+                        self.insert_idle_guest(agent);
+                        ctx.park(agent);
                     }
                 }
                 return;
@@ -795,16 +803,11 @@ impl ProbeDfs {
     }
 }
 
-fn unreachable_settled() -> ! {
-    unreachable!("settler_here returned a non-settled agent")
-}
-
 impl AgentProtocol for ProbeDfs {
     fn on_activate(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
         match self.states[agent.index()] {
-            AgentState::Settled { .. } => {}
+            AgentState::Settled { .. } | AgentState::Rider => {}
             AgentState::Leader { .. } => self.act_leader(agent, ctx),
-            AgentState::Follower { .. } => self.act_follower(agent, ctx),
             AgentState::Prober { .. } => self.act_prober(agent, ctx),
             AgentState::Guest { .. } => self.act_guest(agent, ctx),
             AgentState::Escort { .. } => self.act_escort(agent, ctx),
@@ -815,12 +818,16 @@ impl AgentProtocol for ProbeDfs {
         self.settled_count == self.k
     }
 
+    fn is_settled(&self, agent: AgentId) -> bool {
+        matches!(self.states[agent.index()], AgentState::Settled { .. })
+    }
+
     fn memory_bits(&self, agent: AgentId) -> usize {
         let id = bits::id_bits(self.k);
         let port = bits::port_bits(self.max_degree);
         let opt_port = bits::opt_port_bits(self.max_degree);
         match &self.states[agent.index()] {
-            AgentState::Follower { .. } => id + 1,
+            AgentState::Rider => id + 1,
             AgentState::Prober { .. } => id + 3 + port + opt_port + 1 + id + 2 * opt_port,
             AgentState::Guest { .. } => id + 2 + opt_port + port,
             AgentState::Escort { .. } => id + 2 + 2 * opt_port + port + opt_port,
@@ -847,7 +854,7 @@ impl AgentProtocol for ProbeDfs {
 mod tests {
     use super::*;
     use crate::verify::{check_dispersion, envelope};
-    use disp_graph::{generators, NodeId};
+    use disp_graph::{generators, NodeId, Topology};
     use disp_sim::{
         AsyncRunner, LaggingAdversary, Outcome, RandomSubsetAdversary, RoundRobinAdversary,
         RunConfig, SyncRunner,
@@ -905,6 +912,21 @@ mod tests {
         let g = generators::complete(12);
         let mut world = World::new_rooted(g, 12, NodeId(3));
         run_sync(&mut world);
+    }
+
+    #[test]
+    fn implicit_topologies_rooted() {
+        for t in [
+            Topology::complete(24),
+            Topology::hypercube(5),
+            Topology::torus(5, 5),
+        ] {
+            let k = t.num_nodes();
+            let mut world = World::new_rooted(t.clone(), k, NodeId(1));
+            run_sync(&mut world);
+            let mut world = World::new_rooted(t, k, NodeId(0));
+            run_async(&mut world, 7);
+        }
     }
 
     #[test]
@@ -996,6 +1018,25 @@ mod tests {
             "peak {} bits is not O(log(k+Δ))",
             out.peak_memory_bits
         );
+    }
+
+    #[test]
+    fn rides_are_charged_like_individual_moves() {
+        // On a rooted line, the agent settling at distance d must have been
+        // charged exactly d moves for the ride (plus any probe trips), and
+        // the total is Θ(k²)/2-ish — the cohort compression must not change
+        // the accounting.
+        let k = 24;
+        let g = generators::line(k);
+        let mut world = World::new_rooted(g, k, NodeId(0));
+        let (out, _) = run_sync(&mut world);
+        let lower = (k * (k - 1) / 2) as u64;
+        assert!(
+            out.total_moves >= lower,
+            "total_moves {} below the ride sum {lower}",
+            out.total_moves
+        );
+        assert!(out.max_moves_per_agent >= (k as u64) - 1);
     }
 
     #[test]

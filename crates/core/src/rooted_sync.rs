@@ -124,7 +124,7 @@ impl RootedSyncDisp {
         let k = world.num_agents();
         let root = world.position(AgentId(0));
         assert!(
-            world.positions().iter().all(|&p| p == root),
+            (0..k).all(|i| world.position(AgentId(i as u32)) == root),
             "RootedSyncDisp handles rooted initial configurations"
         );
         let leader = AgentId(k as u32 - 1);
@@ -161,9 +161,12 @@ impl RootedSyncDisp {
             .find(|a| matches!(self.states[a.index()], AgentState::Settled { .. }))
     }
 
-    fn settle(&mut self, agent: AgentId, parent_port: Option<Port>) {
+    /// Settle `agent` and park it: settlers in this protocol are never
+    /// recruited, so their activations are no-ops forever.
+    fn settle(&mut self, ctx: &mut ActivationCtx<'_>, agent: AgentId, parent_port: Option<Port>) {
         self.states[agent.index()] = AgentState::Settled { parent_port };
         self.settled_count += 1;
+        ctx.park(agent);
     }
 
     fn followers_here(&self, ctx: &ActivationCtx<'_>) -> Vec<AgentId> {
@@ -209,11 +212,11 @@ impl RootedSyncDisp {
             LeaderPhase::Decide => {
                 if self.settler_here(ctx).is_none() {
                     if group_size == 0 {
-                        self.settle(agent, arrival_pin);
+                        self.settle(ctx, agent, arrival_pin);
                         return;
                     }
                     let chosen = self.followers_here(ctx)[0];
-                    self.settle(chosen, arrival_pin);
+                    self.settle(ctx, chosen, arrival_pin);
                     group_size -= 1;
                 } else {
                     checked = 0;
@@ -326,11 +329,11 @@ impl RootedSyncDisp {
             LeaderPhase::ArriveForward => {
                 debug_assert!(self.settler_here(ctx).is_none());
                 if group_size == 0 {
-                    self.settle(agent, arrival_pin);
+                    self.settle(ctx, agent, arrival_pin);
                     return;
                 }
                 let chosen = self.followers_here(ctx)[0];
-                self.settle(chosen, arrival_pin);
+                self.settle(ctx, chosen, arrival_pin);
                 group_size -= 1;
                 phase = LeaderPhase::Decide;
             }
@@ -436,6 +439,10 @@ impl AgentProtocol for RootedSyncDisp {
 
     fn is_terminated(&self) -> bool {
         self.settled_count == self.k
+    }
+
+    fn is_settled(&self, agent: AgentId) -> bool {
+        matches!(self.states[agent.index()], AgentState::Settled { .. })
     }
 
     fn memory_bits(&self, agent: AgentId) -> usize {

@@ -43,11 +43,11 @@ use crate::probe_dfs::ProbeDfs;
 use crate::rooted_sync::{RootedSyncDisp, SyncConfig};
 use crate::verify;
 use disp_graph::generators::GraphFamily;
-use disp_graph::{NodeId, PortGraph};
+use disp_graph::{NodeId, Topology};
 use disp_rng::mix;
 use disp_sim::{
-    AdversaryKind, AgentProtocol, AsyncRunner, Outcome, Placement, RunConfig, RunError, SyncRunner,
-    World,
+    Adversary, AdversaryKind, AgentProtocol, AsyncRunner, Outcome, Placement, RunConfig, RunError,
+    SyncRunner, World,
 };
 use std::fmt;
 
@@ -289,9 +289,9 @@ impl Params {
 // Limits
 // ---------------------------------------------------------------------------
 
-/// Optional overrides of the runner's safety limits. `None` means the
-/// engine default; only overrides appear in labels and JSON, so the default
-/// spec stays short.
+/// Optional overrides of the runner's safety limits. `None` means "derive
+/// from the instance" (see [`Limits::resolve`]); only overrides appear in
+/// labels and JSON, so the default spec stays short.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Limits {
     /// Maximum SYNC rounds before the runner gives up.
@@ -300,8 +300,69 @@ pub struct Limits {
     pub max_steps: Option<u64>,
 }
 
+/// The trivial round lower bound of a **rooted** start: within `d` time
+/// units the `k` co-located agents can only occupy nodes of the radius-`d`
+/// ball around the root, which holds at most `2d + 1` nodes when `Δ ≤ 2`
+/// and at most `1 + Δ + Δ² + … + Δ^d` nodes otherwise. Any user-supplied
+/// limit below this bound cannot possibly suffice and is rejected with a
+/// typed error instead of burning a run.
+pub fn rooted_round_lower_bound(k: usize, max_degree: usize) -> u64 {
+    if k <= 1 {
+        return 0;
+    }
+    if max_degree <= 2 {
+        return (k as u64 - 1).div_ceil(2);
+    }
+    let delta = max_degree as u128;
+    let (mut d, mut ball, mut frontier) = (0u64, 1u128, 1u128);
+    while ball < k as u128 {
+        frontier = frontier.saturating_mul(delta);
+        ball = ball.saturating_add(frontier);
+        d += 1;
+    }
+    d
+}
+
 impl Limits {
-    /// Materialize into the engine's [`RunConfig`].
+    /// Resolve into the engine's [`RunConfig`] for a concrete instance.
+    ///
+    /// Fixed default limits cannot serve both `k = 16` smoke runs and
+    /// `n = 10^6` line graphs, so the defaults are derived from the
+    /// instance: the round budget covers the `O(k log k)` and
+    /// `O(min{m, kΔ})` envelopes of every implemented algorithm with a
+    /// generous constant, and the step budget additionally scales with how
+    /// many scheduler steps the adversary needs per epoch. Memory sampling
+    /// switches to the geometric schedule (interval 0) for large `k`,
+    /// bounding sampling work at `O(k log T)`. User overrides pass through
+    /// untouched — hopeless ones are rejected up front with a typed
+    /// [`ScenarioError::LimitTooLow`] by [`ScenarioSpec::validate`], and
+    /// any that slip past the family-level bound simply run to a faithful
+    /// limit-exceeded record instead of aborting a campaign mid-run.
+    pub fn resolve(self, k: usize, m: usize, max_degree: usize, schedule: Schedule) -> RunConfig {
+        let log2k = (usize::BITS - k.next_power_of_two().leading_zeros()) as u64;
+        let envelope = 64u64
+            .saturating_mul(k as u64)
+            .saturating_mul(log2k.max(1))
+            .saturating_add(16u64.saturating_mul((m as u64).min(k as u64 * max_degree as u64)));
+        let default_rounds = 10_000u64.saturating_add(envelope);
+        let step_factor = match schedule {
+            Schedule::Sync => 1,
+            Schedule::AsyncRoundRobin => 2,
+            Schedule::AsyncRandom { prob, .. } => (8.0 / prob.max(1e-6)).ceil() as u64,
+            Schedule::AsyncLagging { max_lag, .. } => 4 * max_lag.max(1) + 4,
+        };
+        RunConfig {
+            max_rounds: self.max_rounds.unwrap_or(default_rounds),
+            max_steps: self
+                .max_steps
+                .unwrap_or_else(|| default_rounds.saturating_mul(step_factor)),
+            memory_sample_interval: if k >= 4096 { 0 } else { 4 },
+        }
+    }
+
+    /// Materialize into the engine's [`RunConfig`] with the legacy fixed
+    /// defaults, ignoring the instance. Prefer [`Limits::resolve`]; this is
+    /// kept for callers without a graph at hand.
     pub fn to_run_config(self) -> RunConfig {
         let d = RunConfig::default();
         RunConfig {
@@ -362,6 +423,16 @@ pub enum ScenarioError {
         /// What went wrong.
         reason: String,
     },
+    /// A user-supplied runner limit below the placement's trivial lower
+    /// bound — the run could never finish within it.
+    LimitTooLow {
+        /// Which limit (`"rounds"` or `"steps"`).
+        key: &'static str,
+        /// The supplied value.
+        given: u64,
+        /// The instance's trivial lower bound.
+        lower_bound: u64,
+    },
     /// A structurally invalid spec (k = 0, occupancy outside (0, 1], …).
     BadSpec {
         /// What went wrong.
@@ -400,6 +471,14 @@ impl fmt::Display for ScenarioError {
             ScenarioError::BadParam { key, reason } => {
                 write!(f, "bad value for parameter '{key}': {reason}")
             }
+            ScenarioError::LimitTooLow {
+                key,
+                given,
+                lower_bound,
+            } => write!(
+                f,
+                "limit {key}={given} is below the placement's trivial lower bound {lower_bound}"
+            ),
             ScenarioError::BadSpec { reason } => write!(f, "invalid scenario: {reason}"),
             ScenarioError::Run(e) => write!(f, "run failed: {e}"),
         }
@@ -844,34 +923,95 @@ impl ScenarioSpec {
                 });
             }
         }
+        // Hopeless user limits are rejected before any trial runs. This
+        // family-level check uses an *upper* bound on Δ (a sound, weaker
+        // lower bound on the time needed); the exact check against the
+        // realized instance happens again in [`Limits::resolve`].
+        if self.placement.is_rooted() {
+            let n_target = ((self.k as f64 / self.occupancy).ceil() as usize).max(self.k);
+            let lower =
+                rooted_round_lower_bound(self.k, self.family.max_degree_upper_bound(n_target));
+            // Only the limit the scheduler actually consults is bounded
+            // (SyncRunner reads max_rounds, AsyncRunner max_steps).
+            let (key, given) = if self.schedule.is_async() {
+                ("steps", self.limits.max_steps)
+            } else {
+                ("rounds", self.limits.max_rounds)
+            };
+            if let Some(given) = given {
+                if given < lower {
+                    return Err(ScenarioError::LimitTooLow {
+                        key,
+                        given,
+                        lower_bound: lower,
+                    });
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// Materialize the world and protocol of this scenario under `seed`,
+    /// with the same sub-seed derivation [`ScenarioSpec::run`] uses. The
+    /// invariant and schedule-fuzz harnesses build through this entry point
+    /// so their oracles exercise exactly the instances campaigns run.
+    pub fn build(
+        &self,
+        registry: &Registry,
+        seed: u64,
+    ) -> Result<(World, Box<dyn AgentProtocol>), ScenarioError> {
+        self.validate(registry)?;
+        let factory = registry.get(&self.algorithm).expect("validated");
+        let n_target = ((self.k as f64 / self.occupancy).ceil() as usize).max(self.k);
+        // Dense structured families come back implicit (O(1) adjacency
+        // arithmetic instead of Θ(m) materialized slots) — what lets the
+        // `scale` campaign reach n = 10^6 in memory.
+        let graph = self
+            .family
+            .instantiate_topology(n_target, mix(&[seed, SEED_GRAPH]));
+        let k = self.k.min(graph.num_nodes());
+        let positions = self
+            .placement
+            .positions(&graph, k, mix(&[seed, SEED_PLACEMENT]));
+        let world = World::new(graph, positions);
+        let protocol = factory.build(&world, &self.params, mix(&[seed, SEED_ALGORITHM]));
+        Ok((world, protocol))
+    }
+
+    /// The seeded adversary driving this scenario's schedule under `seed`
+    /// (`None` for SYNC). Companion of [`ScenarioSpec::build`].
+    pub fn build_adversary(&self, seed: u64) -> Option<Box<dyn Adversary>> {
+        self.schedule
+            .adversary()
+            .map(|(kind, _)| kind.build(mix(&[seed, SEED_ADVERSARY])))
+    }
+
+    /// The resolved runner configuration for the realized `world`.
+    pub fn run_config(&self, world: &World) -> RunConfig {
+        self.limits.resolve(
+            world.num_agents(),
+            world.graph().num_edges(),
+            world.graph().max_degree(),
+            self.schedule,
+        )
     }
 
     /// Execute the scenario under `seed`. The seed fully determines the run:
     /// graph instance, placement, adversary and algorithm-internal
     /// randomness all derive from it through fixed sub-seed tags.
     pub fn run(&self, registry: &Registry, seed: u64) -> Result<ScenarioReport, ScenarioError> {
-        self.validate(registry)?;
-        let factory = registry.get(&self.algorithm).expect("validated");
-        let n_target = ((self.k as f64 / self.occupancy).ceil() as usize).max(self.k);
-        let graph = self.family.instantiate(n_target, mix(&[seed, SEED_GRAPH]));
-        let k = self.k.min(graph.num_nodes());
-        let positions = self
-            .placement
-            .positions(&graph, k, mix(&[seed, SEED_PLACEMENT]));
-        run_custom(
-            factory,
-            &self.params,
-            graph,
-            positions,
-            self.schedule,
-            self.limits,
-            seed,
-        )
-        .map(|(outcome, dispersed)| ScenarioReport {
+        let (mut world, mut protocol) = self.build(registry, seed)?;
+        let config = self.run_config(&world);
+        let outcome = match self.build_adversary(seed) {
+            None => SyncRunner::new(config).run(&mut world, protocol.as_mut())?,
+            Some(adversary) => {
+                AsyncRunner::new(config, adversary).run(&mut world, protocol.as_mut())?
+            }
+        };
+        Ok(ScenarioReport {
             scenario: self.label(),
             outcome,
-            dispersed,
+            dispersed: verify::is_dispersed(&world),
         })
     }
 }
@@ -884,20 +1024,24 @@ impl fmt::Display for ScenarioSpec {
 
 /// Drive `factory`'s protocol on an explicit graph + position vector —
 /// the escape hatch for hand-crafted starts (benches, examples) that the
-/// placement families do not cover. Returns the outcome and whether the
-/// final configuration is a valid dispersion.
+/// placement families do not cover. Accepts a materialized [`disp_graph::PortGraph`] or
+/// an implicit [`Topology`]. Runner limits resolve from the instance
+/// ([`Limits::resolve`]). Returns the outcome and whether the final
+/// configuration is a valid dispersion.
 pub fn run_custom(
     factory: &dyn AlgorithmFactory,
     params: &Params,
-    graph: PortGraph,
+    graph: impl Into<Topology>,
     positions: Vec<NodeId>,
     schedule: Schedule,
     limits: Limits,
     seed: u64,
 ) -> Result<(Outcome, bool), ScenarioError> {
+    let graph = graph.into();
+    let k = positions.len();
+    let config = limits.resolve(k, graph.num_edges(), graph.max_degree(), schedule);
     let mut world = World::new(graph, positions);
     let mut protocol = factory.build(&world, params, mix(&[seed, SEED_ALGORITHM]));
-    let config = limits.to_run_config();
     let outcome = match schedule.adversary() {
         None => SyncRunner::new(config).run(&mut world, protocol.as_mut())?,
         Some((kind, _)) => {
@@ -1160,16 +1304,101 @@ mod tests {
     #[test]
     fn limit_overrides_surface_as_run_errors() {
         let r = reg();
+        // Above the trivial lower bound but far below what the run needs:
+        // the run starts and is recorded as a faithful limit hit.
         let spec = ScenarioSpec::new(GraphFamily::Line, 32, "probe-dfs").with_limits(Limits {
-            max_rounds: Some(3),
-            max_steps: Some(3),
+            max_rounds: Some(20),
+            max_steps: Some(20),
         });
         match spec.run(&r, 1) {
             Err(ScenarioError::Run(RunError::LimitExceeded { outcome })) => {
                 assert!(!outcome.terminated);
+                assert_eq!(outcome.rounds, 20);
             }
             other => panic!("expected LimitExceeded, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn limits_below_the_trivial_lower_bound_are_typed_errors() {
+        let r = reg();
+        // 32 rooted agents on a line (Δ = 2) need at least ⌈31/2⌉ = 16
+        // rounds to reach 32 distinct nodes; rounds=3 can never suffice.
+        let spec = ScenarioSpec::new(GraphFamily::Line, 32, "probe-dfs").with_limits(Limits {
+            max_rounds: Some(3),
+            max_steps: None,
+        });
+        match spec.run(&r, 1) {
+            Err(ScenarioError::LimitTooLow {
+                key,
+                given,
+                lower_bound,
+            }) => {
+                assert_eq!(key, "rounds");
+                assert_eq!(given, 3);
+                assert_eq!(lower_bound, 16);
+            }
+            other => panic!("expected LimitTooLow, got {other:?}"),
+        }
+        // Non-rooted placements have no such bound — tiny limits run (and
+        // get recorded as limit hits) instead of erroring.
+        let scattered = ScenarioSpec::new(GraphFamily::Line, 32, "ks-dfs")
+            .with_placement(Placement::ScatteredUniform)
+            .with_limits(Limits {
+                max_rounds: Some(3),
+                max_steps: Some(3),
+            });
+        assert!(matches!(
+            scattered.run(&r, 1),
+            Err(ScenarioError::Run(RunError::LimitExceeded { .. }))
+        ));
+        // The bound only applies to the limit the scheduler consults: a
+        // tiny /stepsN on a SYNC run (which never reads max_steps) is fine,
+        // as is a tiny /roundsN on an ASYNC run.
+        let sync_tiny_steps =
+            ScenarioSpec::new(GraphFamily::Line, 32, "probe-dfs").with_limits(Limits {
+                max_rounds: None,
+                max_steps: Some(3),
+            });
+        assert!(sync_tiny_steps.run(&r, 1).is_ok(), "sync ignores max_steps");
+        let async_tiny_rounds = ScenarioSpec::new(GraphFamily::Line, 32, "probe-dfs")
+            .with_schedule(Schedule::AsyncRoundRobin)
+            .with_limits(Limits {
+                max_rounds: Some(3),
+                max_steps: None,
+            });
+        assert!(
+            async_tiny_rounds.run(&r, 1).is_ok(),
+            "async ignores max_rounds"
+        );
+    }
+
+    #[test]
+    fn derived_default_limits_scale_with_the_instance() {
+        // k = 10^6 on a line: the legacy fixed default (5·10^6 rounds) was
+        // near the actual need; the derived budget leaves ample headroom.
+        let cfg = Limits::default().resolve(1_000_000, 999_999, 2, Schedule::Sync);
+        assert!(cfg.max_rounds > 1_000_000_000, "{}", cfg.max_rounds);
+        assert_eq!(cfg.memory_sample_interval, 0, "geometric sampling");
+        // Small instances keep dense sampling and a modest budget.
+        let cfg = Limits::default().resolve(64, 63, 2, Schedule::Sync);
+        assert_eq!(cfg.memory_sample_interval, 4);
+        assert!(cfg.max_rounds >= 10_000);
+        // Step budgets scale with the adversary's epoch cost.
+        let rand =
+            Limits::default().resolve(64, 63, 2, Schedule::AsyncRandom { prob: 0.5, seed: 0 });
+        let sync = Limits::default().resolve(64, 63, 2, Schedule::Sync);
+        assert!(rand.max_steps > sync.max_steps);
+    }
+
+    #[test]
+    fn rooted_lower_bound_formula() {
+        assert_eq!(rooted_round_lower_bound(1, 2), 0);
+        assert_eq!(rooted_round_lower_bound(32, 2), 16, "line ball is 2d+1");
+        assert_eq!(rooted_round_lower_bound(4, 3), 1, "1 + 3 ≥ 4");
+        assert_eq!(rooted_round_lower_bound(5, 3), 2);
+        // Δ = k-1 (star/complete): one hop suffices.
+        assert_eq!(rooted_round_lower_bound(64, 63), 1);
     }
 
     #[test]

@@ -2,7 +2,6 @@
 
 use disp_graph::NodeId;
 use disp_sim::{AgentId, Outcome, World};
-use std::collections::HashMap;
 
 /// A violation of the dispersion requirement.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,19 +29,22 @@ impl std::error::Error for DispersionViolation {}
 
 /// Check that the world is in a *dispersion configuration*: every agent is on
 /// a distinct node.
+///
+/// Runs in `O(k log k)` time and `O(k)` memory (a sort, no hash map), so it
+/// is cheap enough to call after every million-agent campaign trial.
 pub fn check_dispersion(world: &World) -> Result<(), DispersionViolation> {
-    let mut seen: HashMap<NodeId, Vec<AgentId>> = HashMap::new();
-    for (i, &v) in world.positions().iter().enumerate() {
-        seen.entry(v).or_default().push(AgentId(i as u32));
-    }
-    for (node, agents) in seen {
-        if agents.len() > 1 {
-            let mut agents = agents;
-            agents.sort();
-            return Err(DispersionViolation::Collision { node, agents });
-        }
-    }
-    Ok(())
+    let mut sorted = world.snapshot_positions();
+    sorted.sort_unstable();
+    let Some(window) = sorted.windows(2).find(|w| w[0] == w[1]) else {
+        return Ok(());
+    };
+    // Slow path only on violation: gather every agent on the colliding node.
+    let node = window[0];
+    let agents: Vec<AgentId> = (0..world.num_agents() as u32)
+        .map(AgentId)
+        .filter(|&a| world.position(a) == node)
+        .collect();
+    Err(DispersionViolation::Collision { node, agents })
 }
 
 /// `true` iff every agent is on a distinct node.

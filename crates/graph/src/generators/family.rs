@@ -2,6 +2,7 @@
 
 use crate::generators::{deterministic, random};
 use crate::graph::PortGraph;
+use crate::topology::Topology;
 use std::fmt;
 
 /// A named, parameterized graph family that the experiment harness can
@@ -129,6 +130,55 @@ impl GraphFamily {
                 let spine = (n / (legs + 1)).max(1);
                 deterministic::caterpillar(spine, legs)
             }
+        }
+    }
+
+    /// Instantiate a [`Topology`] with approximately `n` nodes.
+    ///
+    /// The dense structured families (complete, hypercube, torus) come back
+    /// *implicit* — a few integers instead of `Θ(m)` materialized edge slots
+    /// — which is what makes `n ≈ 10^6` runs fit in memory. All other
+    /// families materialize through [`GraphFamily::instantiate`]. The sizing
+    /// rules are identical to `instantiate`'s, so for every family the two
+    /// entry points describe the same graph (checked by
+    /// `tests/proptest_csr.rs`).
+    pub fn instantiate_topology(&self, n: usize, seed: u64) -> Topology {
+        let n = n.max(4);
+        match *self {
+            GraphFamily::Complete => Topology::complete(n),
+            GraphFamily::Hypercube => {
+                let dim = (n.max(2) as f64).log2().ceil() as usize;
+                Topology::hypercube(dim.max(1))
+            }
+            GraphFamily::Torus => {
+                let side = (n as f64).sqrt().ceil().max(3.0) as usize;
+                Topology::torus(side, side)
+            }
+            _ => Topology::Csr(self.instantiate(n, seed)),
+        }
+    }
+
+    /// An **upper bound** on the maximum degree a size-`n` instance of this
+    /// family can realize (exact for the deterministic families, `n - 1`
+    /// for the random ones). Validation uses it to reject runner limits
+    /// that are below the placement's trivial lower bound *before* any
+    /// trial runs — an upper bound on `Δ` gives a sound (if weaker) lower
+    /// bound on the time needed.
+    pub fn max_degree_upper_bound(&self, n: usize) -> usize {
+        let n = n.max(4);
+        match *self {
+            GraphFamily::Line | GraphFamily::Ring => 2,
+            GraphFamily::BinaryTree => 3,
+            GraphFamily::Grid | GraphFamily::Torus => 4,
+            GraphFamily::Hypercube => (n.max(2) as f64).log2().ceil() as usize,
+            GraphFamily::RandomRegular { degree } => degree.max(2),
+            GraphFamily::Caterpillar { legs } => legs + 2,
+            GraphFamily::Star
+            | GraphFamily::Complete
+            | GraphFamily::RandomTree
+            | GraphFamily::ErdosRenyi { .. }
+            | GraphFamily::Barbell
+            | GraphFamily::Lollipop => n.saturating_sub(1),
         }
     }
 

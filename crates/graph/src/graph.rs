@@ -24,6 +24,26 @@ pub struct PortGraph {
 }
 
 impl PortGraph {
+    /// Assemble directly from pre-validated CSR arrays (used by
+    /// [`crate::Topology::to_port_graph`], which materializes implicit
+    /// families with their exact port labeling).
+    pub(crate) fn from_csr_parts(
+        offsets: Vec<usize>,
+        neighbors: Vec<NodeId>,
+        back_ports: Vec<Port>,
+        name: String,
+    ) -> PortGraph {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(neighbors.len(), back_ports.len());
+        debug_assert_eq!(*offsets.last().unwrap(), neighbors.len());
+        PortGraph {
+            offsets,
+            neighbors,
+            back_ports,
+            name,
+        }
+    }
+
     /// Number of nodes `n`.
     #[inline]
     pub fn num_nodes(&self) -> usize {

@@ -52,11 +52,13 @@ pub mod generators;
 pub mod graph;
 pub mod ids;
 pub mod properties;
+pub mod topology;
 pub mod validate;
 
 pub use builder::GraphBuilder;
 pub use graph::PortGraph;
 pub use ids::{NodeId, Port};
+pub use topology::Topology;
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
@@ -65,5 +67,6 @@ pub mod prelude {
     pub use crate::graph::PortGraph;
     pub use crate::ids::{NodeId, Port};
     pub use crate::properties;
+    pub use crate::topology::Topology;
     pub use crate::validate;
 }

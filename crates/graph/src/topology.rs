@@ -1,0 +1,362 @@
+//! The run-time graph backend: CSR-packed adjacency *or* an implicit
+//! generator that computes neighbors on the fly.
+//!
+//! A materialized [`PortGraph`] stores `Θ(m)` words, which caps the dense
+//! families far below the `n ≈ 10^6` regime the scale campaigns target: a
+//! complete graph needs `Θ(n²)` edge slots, a hypercube `Θ(n log n)`. A
+//! [`Topology`] closes that gap: sparse and irregular families stay CSR
+//! ([`Topology::Csr`]), while the dense *structured* families (complete,
+//! hypercube, torus) are stored as a few integers and answer
+//! [`Topology::degree`] / [`Topology::traverse`] with O(1) arithmetic and
+//! zero allocation — the same port-labeled contract (`traverse` is an
+//! involution, ports are `1..=δ_v`) the CSR backend provides, which the
+//! property tests in `tests/proptest_csr.rs` verify against the materialized
+//! builders at small `n`.
+//!
+//! The simulator's `World` holds a `Topology`; everything that only ever
+//! *queries* adjacency (runners, placements, protocols) works against this
+//! type. Construction-time tooling (validation, DOT export, properties)
+//! keeps operating on [`PortGraph`]; use [`Topology::to_port_graph`] to
+//! materialize an implicit family when one of those is needed.
+
+use crate::graph::PortGraph;
+use crate::ids::{NodeId, Port};
+use std::fmt;
+
+/// A graph backend: materialized CSR adjacency or an implicit generator.
+///
+/// All variants expose the same O(1) queries; see the module docs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// A materialized, validated CSR port-labeled graph.
+    Csr(PortGraph),
+    /// Complete graph `K_n`, with the **builder-compatible** labeling of
+    /// `generators::complete`: at node `v`, ports `1..=v` lead to nodes
+    /// `0..v-1` and ports `v+1..n-1` lead to nodes `v+1..n-1`. This keeps
+    /// `K_n` the paper's *hard* instance for the scan baseline (every scan
+    /// starts at the long-settled low nodes); a rotation labeling like
+    /// `(v + p) mod n` would accidentally hand the scan a fresh node on
+    /// port 1 and erase the `Θ(m)` vs `O(k log k)` separation.
+    Complete {
+        /// Number of nodes (`≥ 1`).
+        n: usize,
+    },
+    /// Hypercube on `2^dim` nodes: port `p ∈ 1..=dim` flips bit `p - 1`, and
+    /// the incoming port equals the outgoing port.
+    Hypercube {
+        /// Dimension (`≥ 1`).
+        dim: usize,
+    },
+    /// 2-D torus with wraparound in both dimensions (`rows, cols ≥ 3` so no
+    /// parallel edges arise). Ports: 1 = east, 2 = west, 3 = south, 4 = north;
+    /// east/west and south/north are mutual inverses.
+    Torus {
+        /// Number of rows (`≥ 3`).
+        rows: usize,
+        /// Number of columns (`≥ 3`).
+        cols: usize,
+    },
+}
+
+impl From<PortGraph> for Topology {
+    fn from(g: PortGraph) -> Self {
+        Topology::Csr(g)
+    }
+}
+
+impl Topology {
+    /// An implicit complete graph `K_n`.
+    pub fn complete(n: usize) -> Topology {
+        assert!(n >= 1, "complete graph needs at least one node");
+        Topology::Complete { n }
+    }
+
+    /// An implicit hypercube of the given dimension.
+    pub fn hypercube(dim: usize) -> Topology {
+        assert!(dim >= 1, "hypercube dimension must be at least 1");
+        assert!(dim < 32, "hypercube dimension must fit u32 node ids");
+        Topology::Hypercube { dim }
+    }
+
+    /// An implicit 2-D torus.
+    pub fn torus(rows: usize, cols: usize) -> Topology {
+        assert!(rows >= 3 && cols >= 3, "torus needs both dimensions ≥ 3");
+        Topology::Torus { rows, cols }
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        match *self {
+            Topology::Csr(ref g) => g.num_nodes(),
+            Topology::Complete { n } => n,
+            Topology::Hypercube { dim } => 1usize << dim,
+            Topology::Torus { rows, cols } => rows * cols,
+        }
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        match *self {
+            Topology::Csr(ref g) => g.num_edges(),
+            Topology::Complete { n } => n * (n - 1) / 2,
+            Topology::Hypercube { dim } => dim * (1usize << dim) / 2,
+            Topology::Torus { rows, cols } => 2 * rows * cols,
+        }
+    }
+
+    /// Degree `δ_v` of node `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        match *self {
+            Topology::Csr(ref g) => g.degree(v),
+            Topology::Complete { n } => n - 1,
+            Topology::Hypercube { dim } => dim,
+            Topology::Torus { .. } => 4,
+        }
+    }
+
+    /// Maximum degree `Δ`. O(1) for the implicit families, O(n) for CSR.
+    pub fn max_degree(&self) -> usize {
+        match *self {
+            Topology::Csr(ref g) => g.max_degree(),
+            Topology::Complete { n } => n - 1,
+            Topology::Hypercube { dim } => dim,
+            Topology::Torus { .. } => 4,
+        }
+    }
+
+    /// Minimum degree. O(1) for the implicit families, O(n) for CSR.
+    pub fn min_degree(&self) -> usize {
+        match *self {
+            Topology::Csr(ref g) => g.min_degree(),
+            // The implicit families are all regular.
+            _ => self.max_degree(),
+        }
+    }
+
+    /// Traverse the edge leaving `v` through port `p`; returns the node
+    /// reached and the incoming port observed there (an agent's `pin`).
+    ///
+    /// # Panics
+    /// Panics if `p` is not a valid port at `v`.
+    #[inline]
+    pub fn traverse(&self, v: NodeId, p: Port) -> (NodeId, Port) {
+        match *self {
+            Topology::Csr(ref g) => g.traverse(v, p),
+            Topology::Complete { n } => {
+                let n = n as u32;
+                assert!(
+                    p.0 >= 1 && p.0 < n,
+                    "port {p} out of range at node {v} (degree {})",
+                    n - 1
+                );
+                if p.0 <= v.0 {
+                    (NodeId(p.0 - 1), Port(v.0))
+                } else {
+                    (NodeId(p.0), Port(v.0 + 1))
+                }
+            }
+            Topology::Hypercube { dim } => {
+                assert!(
+                    p.0 >= 1 && p.0 as usize <= dim,
+                    "port {p} out of range at node {v} (degree {dim})"
+                );
+                (NodeId(v.0 ^ (1 << (p.0 - 1))), p)
+            }
+            Topology::Torus { rows, cols } => {
+                let (rows, cols) = (rows as u32, cols as u32);
+                let (r, c) = (v.0 / cols, v.0 % cols);
+                let ((nr, nc), pin) = match p.0 {
+                    1 => ((r, (c + 1) % cols), Port(2)),
+                    2 => ((r, (c + cols - 1) % cols), Port(1)),
+                    3 => (((r + 1) % rows, c), Port(4)),
+                    4 => (((r + rows - 1) % rows, c), Port(3)),
+                    _ => panic!("port {p} out of range at node {v} (degree 4)"),
+                };
+                (NodeId(nr * cols + nc), pin)
+            }
+        }
+    }
+
+    /// The neighbor reached by leaving `v` through port `p`.
+    #[inline]
+    pub fn neighbor(&self, v: NodeId, p: Port) -> NodeId {
+        self.traverse(v, p).0
+    }
+
+    /// Iterator over the valid ports `1..=δ_v` at node `v` — the zero-alloc
+    /// port iteration the hot loops use.
+    #[inline]
+    pub fn ports(&self, v: NodeId) -> impl Iterator<Item = Port> + '_ {
+        (1..=self.degree(v) as u32).map(Port)
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+
+    /// A short human-readable label describing the topology.
+    pub fn name(&self) -> String {
+        match *self {
+            Topology::Csr(ref g) => g.name().to_string(),
+            Topology::Complete { n } => format!("complete~{n}"),
+            Topology::Hypercube { dim } => format!("hypercube~{dim}"),
+            Topology::Torus { rows, cols } => format!("torus~{rows}x{cols}"),
+        }
+    }
+
+    /// Whether this is an implicit (non-materialized) family.
+    pub fn is_implicit(&self) -> bool {
+        !matches!(self, Topology::Csr(_))
+    }
+
+    /// Materialize into a CSR [`PortGraph`] with **identical** port labels
+    /// (every `(v, p)` traversal agrees between `self` and the result).
+    ///
+    /// Intended for tests and tooling (validation, DOT export); costs
+    /// `Θ(n + m)` memory, so don't call it on million-node dense families.
+    pub fn to_port_graph(&self) -> PortGraph {
+        if let Topology::Csr(g) = self {
+            return g.clone();
+        }
+        let n = self.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(2 * self.num_edges());
+        let mut back_ports = Vec::with_capacity(2 * self.num_edges());
+        offsets.push(0usize);
+        for v in self.nodes() {
+            for p in self.ports(v) {
+                let (u, pin) = self.traverse(v, p);
+                neighbors.push(u);
+                back_ports.push(pin);
+            }
+            offsets.push(neighbors.len());
+        }
+        let g = PortGraph::from_csr_parts(offsets, neighbors, back_ports, self.name());
+        debug_assert!(crate::validate::check_port_labeling(&g).is_ok());
+        g
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+    use crate::validate;
+
+    fn implicit_families() -> Vec<Topology> {
+        vec![
+            Topology::complete(7),
+            Topology::complete(1),
+            Topology::hypercube(4),
+            Topology::torus(3, 5),
+            Topology::torus(4, 4),
+        ]
+    }
+
+    #[test]
+    fn traverse_is_involutive_on_every_implicit_family() {
+        for t in implicit_families() {
+            for v in t.nodes() {
+                for p in t.ports(v) {
+                    let (u, pin) = t.traverse(v, p);
+                    assert_ne!(u, v, "{t}: self loop at {v}");
+                    assert_eq!(t.traverse(u, pin), (v, p), "{t}: not involutive");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn materialization_is_valid_and_label_preserving() {
+        for t in implicit_families() {
+            let g = t.to_port_graph();
+            validate::check_port_labeling(&g).unwrap_or_else(|e| panic!("{t}: {e}"));
+            assert!(properties::is_connected(&g), "{t} disconnected");
+            assert_eq!(g.num_nodes(), t.num_nodes());
+            assert_eq!(g.num_edges(), t.num_edges());
+            assert_eq!(g.max_degree(), t.max_degree());
+            for v in t.nodes() {
+                assert_eq!(g.degree(v), t.degree(v), "{t}: degree at {v}");
+                for p in t.ports(v) {
+                    assert_eq!(g.traverse(v, p), t.traverse(v, p), "{t}: ({v}, {p})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn implicit_complete_matches_the_materialized_labeling_exactly() {
+        // Not just the same graph — the same *ports*: K_n must stay the hard
+        // instance for port-order scans (see the variant docs).
+        for n in [1usize, 2, 3, 7, 12] {
+            let implicit = Topology::complete(n);
+            let built = crate::generators::complete(n);
+            for v in implicit.nodes() {
+                assert_eq!(implicit.degree(v), built.degree(v));
+                for p in implicit.ports(v) {
+                    assert_eq!(
+                        implicit.traverse(v, p),
+                        built.traverse(v, p),
+                        "n={n} {v} {p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counts_match_the_closed_forms() {
+        assert_eq!(Topology::complete(10).num_edges(), 45);
+        assert_eq!(Topology::hypercube(5).num_nodes(), 32);
+        assert_eq!(Topology::hypercube(5).num_edges(), 80);
+        assert_eq!(Topology::torus(4, 6).num_edges(), 48);
+        assert_eq!(Topology::torus(4, 6).min_degree(), 4);
+    }
+
+    #[test]
+    fn million_node_families_answer_queries_without_materializing() {
+        let t = Topology::complete(1_000_000);
+        assert_eq!(t.degree(NodeId(0)), 999_999);
+        let (u, pin) = t.traverse(NodeId(17), Port(999_999));
+        assert_eq!(t.traverse(u, pin), (NodeId(17), Port(999_999)));
+        let h = Topology::hypercube(20);
+        assert_eq!(h.num_nodes(), 1 << 20);
+        assert_eq!(h.traverse(NodeId(0), Port(20)).0, NodeId(1 << 19));
+        let torus = Topology::torus(1000, 1000);
+        assert_eq!(torus.num_nodes(), 1_000_000);
+        assert_eq!(torus.traverse(NodeId(0), Port(4)).0, NodeId(999_000));
+    }
+
+    #[test]
+    fn csr_variant_delegates() {
+        let g = crate::generators::ring(8);
+        let t = Topology::from(g.clone());
+        assert!(!t.is_implicit());
+        assert_eq!(t.num_nodes(), 8);
+        assert_eq!(t.num_edges(), 8);
+        assert_eq!(t.max_degree(), 2);
+        assert_eq!(t.min_degree(), 2);
+        for v in t.nodes() {
+            for p in t.ports(v) {
+                assert_eq!(t.traverse(v, p), g.traverse(v, p));
+            }
+        }
+        assert_eq!(t.to_port_graph(), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn implicit_invalid_port_panics() {
+        let _ = Topology::complete(5).traverse(NodeId(0), Port(5));
+    }
+}

@@ -1,0 +1,149 @@
+//! CSR ↔ implicit equivalence property tests.
+//!
+//! Seeded-loop property tests (the workspace's proptest substitute) over
+//! ~400 generated specs across every [`GraphFamily`] variant: the
+//! [`Topology`] returned by `instantiate_topology` must present exactly the
+//! same graph *view* as the legacy materialized builder path — identical
+//! degrees, identical sorted neighbor sets, and a port-consistent
+//! (involutive, self-loop-free, duplicate-free) labeling — and the implicit
+//! dense families must agree with their materialized counterparts at small
+//! `n`. The complete graph must agree port-for-port (its labeling is the
+//! paper's hard instance for scans; see `topology.rs`).
+
+use disp_graph::generators::GraphFamily;
+use disp_graph::{NodeId, PortGraph, Topology};
+use disp_rng::mix;
+use std::collections::HashSet;
+
+fn all_families() -> Vec<GraphFamily> {
+    let mut fams = GraphFamily::all();
+    // A couple of parameter variants beyond the report defaults.
+    fams.push(GraphFamily::RandomRegular { degree: 3 });
+    fams.push(GraphFamily::ErdosRenyi { avg_degree: 3.5 });
+    fams.push(GraphFamily::Caterpillar { legs: 1 });
+    fams
+}
+
+fn sorted_neighbors(t: &Topology, v: NodeId) -> Vec<NodeId> {
+    let mut ns: Vec<NodeId> = t.ports(v).map(|p| t.neighbor(v, p)).collect();
+    ns.sort_unstable();
+    ns
+}
+
+fn sorted_neighbors_csr(g: &PortGraph, v: NodeId) -> Vec<NodeId> {
+    let mut ns: Vec<NodeId> = g.neighbors_of(v).to_vec();
+    ns.sort_unstable();
+    ns
+}
+
+/// Port consistency: ports are a bijection onto distinct non-self neighbors
+/// and `traverse` is an involution.
+fn check_port_consistency(t: &Topology, ctx: &str) {
+    for v in t.nodes() {
+        let mut seen = HashSet::new();
+        for p in t.ports(v) {
+            let (u, pin) = t.traverse(v, p);
+            assert_ne!(u, v, "{ctx}: self loop at {v}");
+            assert!(seen.insert(u), "{ctx}: duplicate edge {v}→{u}");
+            assert_eq!(
+                t.traverse(u, pin),
+                (v, p),
+                "{ctx}: not involutive at ({v},{p})"
+            );
+        }
+    }
+}
+
+#[test]
+fn topology_and_builder_views_agree_across_400_specs() {
+    let mut checked = 0usize;
+    for (fi, family) in all_families().iter().enumerate() {
+        for (ni, &n) in [5usize, 8, 13, 21, 32, 47, 64].iter().enumerate() {
+            for rep in 0..4u64 {
+                let seed = mix(&[0xC5A0, fi as u64, ni as u64, rep]);
+                let ctx = format!("{family} n={n} seed={seed}");
+                let topo = family.instantiate_topology(n, seed);
+                let built = family.instantiate(n, seed);
+                assert_eq!(topo.num_nodes(), built.num_nodes(), "{ctx}: n");
+                assert_eq!(topo.num_edges(), built.num_edges(), "{ctx}: m");
+                assert_eq!(topo.max_degree(), built.max_degree(), "{ctx}: Δ");
+                assert_eq!(topo.min_degree(), built.min_degree(), "{ctx}: δ");
+                for v in topo.nodes() {
+                    assert_eq!(topo.degree(v), built.degree(v), "{ctx}: degree({v})");
+                    assert_eq!(
+                        sorted_neighbors(&topo, v),
+                        sorted_neighbors_csr(&built, v),
+                        "{ctx}: neighbors({v})"
+                    );
+                }
+                check_port_consistency(&topo, &ctx);
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 400, "only {checked} specs checked");
+}
+
+#[test]
+fn non_dense_families_materialize_identically() {
+    // For every CSR-backed family the two entry points must be the *same*
+    // construction, port labels included.
+    for family in all_families() {
+        for n in [6usize, 19, 40] {
+            let seed = mix(&[0xBEEF, n as u64]);
+            let topo = family.instantiate_topology(n, seed);
+            if let Topology::Csr(g) = &topo {
+                assert_eq!(*g, family.instantiate(n, seed), "{family} n={n}");
+            }
+        }
+    }
+}
+
+#[test]
+fn dense_families_are_implicit_and_complete_matches_ports_exactly() {
+    for family in [
+        GraphFamily::Complete,
+        GraphFamily::Hypercube,
+        GraphFamily::Torus,
+    ] {
+        for n in [8usize, 25, 64] {
+            let topo = family.instantiate_topology(n, 1);
+            assert!(topo.is_implicit(), "{family} n={n} should be implicit");
+            // Materializing the implicit family yields a valid CSR graph
+            // with the same view.
+            let mat = topo.to_port_graph();
+            disp_graph::validate::check_port_labeling(&mat).unwrap();
+            assert_eq!(mat.num_edges(), topo.num_edges());
+        }
+    }
+    // The complete graph agrees with the builder port-for-port.
+    for n in [4usize, 9, 33] {
+        let topo = GraphFamily::Complete.instantiate_topology(n, 1);
+        let built = GraphFamily::Complete.instantiate(n, 1);
+        for v in topo.nodes() {
+            for p in topo.ports(v) {
+                assert_eq!(topo.traverse(v, p), built.traverse(v, p), "K_{n} ({v},{p})");
+            }
+        }
+    }
+}
+
+#[test]
+fn implicit_families_stay_o1_memory_at_scale() {
+    // A smoke check that the dense families answer queries at n = 10^6
+    // without materializing (this test would OOM/stall otherwise).
+    for family in [
+        GraphFamily::Complete,
+        GraphFamily::Hypercube,
+        GraphFamily::Torus,
+    ] {
+        let t = family.instantiate_topology(1_000_000, 3);
+        assert!(t.is_implicit());
+        assert!(t.num_nodes() >= 1_000_000);
+        let v = NodeId(123_456);
+        for p in t.ports(v).take(8) {
+            let (u, pin) = t.traverse(v, p);
+            assert_eq!(t.traverse(u, pin), (v, p));
+        }
+    }
+}

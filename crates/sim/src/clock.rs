@@ -71,6 +71,17 @@ impl Clock {
         self.rounds += 1;
     }
 
+    /// Record one complete SYNC round over `k` agents in O(1): every agent is
+    /// credited one activation and the round is an epoch. The worklist-based
+    /// SYNC runner uses this instead of `k` [`Clock::note_activation`] calls —
+    /// parked agents' activations are no-ops but still count as activations,
+    /// exactly as if they had been executed.
+    pub fn credit_round(&mut self, k: usize) {
+        self.total_activations += k as u64;
+        self.rounds += 1;
+        self.epochs += 1;
+    }
+
     /// Record the end of one ASYNC scheduler step.
     pub fn end_step(&mut self) {
         self.steps += 1;

@@ -28,6 +28,19 @@ impl Metrics {
         self.moves_per_agent[agent.index()] += 1;
     }
 
+    /// Record one cohort hop: `riders` members traversed an edge together.
+    /// Only the total is bumped eagerly; per-agent attribution happens when
+    /// a rider is extracted ([`Metrics::credit_rider_moves`]).
+    pub fn record_cohort_move(&mut self, riders: u64) {
+        self.total_moves += riders;
+    }
+
+    /// Attribute `delta` ridden edges to `agent` (extraction / accounting
+    /// flush). Does not touch the total, which was counted per hop.
+    pub fn credit_rider_moves(&mut self, agent: AgentId, delta: u64) {
+        self.moves_per_agent[agent.index()] += delta;
+    }
+
     /// Record a sample of the maximum per-agent persistent memory, in bits.
     pub fn record_memory_sample(&mut self, max_bits_over_agents: usize) {
         self.peak_memory_bits = self.peak_memory_bits.max(max_bits_over_agents);

@@ -10,7 +10,7 @@
 //! from recorded seeds.
 
 use crate::ids::AgentId;
-use disp_graph::{NodeId, PortGraph};
+use disp_graph::{NodeId, Topology};
 use disp_rng::prelude::*;
 
 /// A named, parameterized family of initial configurations.
@@ -89,7 +89,7 @@ impl Placement {
     /// # Panics
     /// Panics if `k == 0` or `k > n` (the dispersion model requires
     /// `k ≤ n`).
-    pub fn positions(&self, graph: &PortGraph, k: usize, seed: u64) -> Vec<NodeId> {
+    pub fn positions(&self, graph: &Topology, k: usize, seed: u64) -> Vec<NodeId> {
         let n = graph.num_nodes();
         assert!(k >= 1, "a placement needs at least one agent");
         assert!(
@@ -138,7 +138,7 @@ fn sample_distinct(n: usize, count: usize, seed: u64) -> Vec<usize> {
 /// The two-camp adversarial start: a seeded double sweep (farthest node
 /// from a random start, then farthest node from that) lands on an
 /// approximately diametral node pair; agents alternate between the camps.
-fn two_diametral_camps(graph: &PortGraph, k: usize, seed: u64) -> Vec<NodeId> {
+fn two_diametral_camps(graph: &Topology, k: usize, seed: u64) -> Vec<NodeId> {
     let n = graph.num_nodes();
     let mut rng = StdRng::seed_from_u64(seed);
     let start = NodeId(rng.random_range(0..n as u64) as u32);
@@ -148,7 +148,7 @@ fn two_diametral_camps(graph: &PortGraph, k: usize, seed: u64) -> Vec<NodeId> {
 }
 
 /// The node at maximum BFS distance from `v` (ties to the smallest id).
-fn farthest_from(graph: &PortGraph, v: NodeId) -> NodeId {
+fn farthest_from(graph: &Topology, v: NodeId) -> NodeId {
     let dist = bfs_from(graph, v);
     let far = (0..graph.num_nodes())
         .filter(|&u| dist[u] != usize::MAX)
@@ -159,7 +159,7 @@ fn farthest_from(graph: &PortGraph, v: NodeId) -> NodeId {
 
 /// BFS distances on a connected graph (unreachable nodes get `usize::MAX`
 /// so they are never preferred).
-fn bfs_from(graph: &PortGraph, start: NodeId) -> Vec<usize> {
+fn bfs_from(graph: &Topology, start: NodeId) -> Vec<usize> {
     let n = graph.num_nodes();
     let mut dist = vec![usize::MAX; n];
     dist[start.index()] = 0;
@@ -194,13 +194,15 @@ mod tests {
     use super::*;
     use disp_graph::generators;
 
-    fn graphs() -> Vec<PortGraph> {
+    fn graphs() -> Vec<Topology> {
         vec![
-            generators::line(17),
-            generators::ring(12),
-            generators::star(20),
-            generators::grid2d(5, 5),
-            generators::random_tree(24, 3),
+            generators::line(17).into(),
+            generators::ring(12).into(),
+            generators::star(20).into(),
+            generators::grid2d(5, 5).into(),
+            generators::random_tree(24, 3).into(),
+            Topology::complete(16),
+            Topology::torus(4, 5),
         ]
     }
 
@@ -250,7 +252,7 @@ mod tests {
 
     #[test]
     fn rooted_stacks_everyone_on_node_zero() {
-        let g = generators::ring(9);
+        let g = Topology::from(generators::ring(9));
         assert_eq!(Placement::Rooted.positions(&g, 4, 7), vec![NodeId(0); 4]);
         assert!(Placement::Rooted.is_rooted());
         assert!(Placement::Clustered { clusters: 1 }.is_rooted());
@@ -263,7 +265,7 @@ mod tests {
         // a *general* configuration with multi-agent groups, not an
         // already-valid dispersion. 30 iid draws over 36 nodes leave
         // distinct-node probability < 2e-7, so any seed works here.
-        let g = generators::grid2d(6, 6);
+        let g = Topology::from(generators::grid2d(6, 6));
         let pos = Placement::ScatteredUniform.positions(&g, 30, 5);
         let mut nodes: Vec<_> = pos.iter().map(|v| v.index()).collect();
         nodes.sort_unstable();
@@ -277,7 +279,7 @@ mod tests {
 
     #[test]
     fn clustered_uses_exactly_the_camp_count() {
-        let g = generators::grid2d(6, 6);
+        let g = Topology::from(generators::grid2d(6, 6));
         let pos = Placement::Clustered { clusters: 4 }.positions(&g, 19, 11);
         let groups = occupied_nodes(&pos);
         assert_eq!(groups.len(), 4);
@@ -291,7 +293,7 @@ mod tests {
 
     #[test]
     fn spread_forms_two_camps_at_diametral_distance() {
-        let g = generators::line(21);
+        let g = Topology::from(generators::line(21));
         for seed in [0, 9, 77] {
             let pos = Placement::AdversarialSpread.positions(&g, 9, seed);
             let groups = occupied_nodes(&pos);
@@ -308,7 +310,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "k ≤ n")]
     fn too_many_agents_rejected() {
-        let g = generators::ring(4);
+        let g = Topology::from(generators::ring(4));
         let _ = Placement::ScatteredUniform.positions(&g, 5, 0);
     }
 }

@@ -20,6 +20,15 @@ pub trait AgentProtocol {
     /// at the end of the round/step in which this becomes true.
     fn is_terminated(&self) -> bool;
 
+    /// Whether `agent` currently considers itself settled. Dispersion
+    /// protocols should override this; it powers the every-step safety
+    /// invariant ("no two settled agents share a node") checked by the
+    /// invariant harness, and defaults to `false` for protocols without a
+    /// settlement notion.
+    fn is_settled(&self, _agent: AgentId) -> bool {
+        false
+    }
+
     /// Persistent memory of `agent` in bits, counted as the paper counts it:
     /// the number of bits stored at the agent *between* CCM cycles (temporary
     /// compute-phase memory is free).

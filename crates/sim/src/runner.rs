@@ -1,4 +1,11 @@
 //! Synchronous and asynchronous execution drivers.
+//!
+//! Both runners schedule off the world's **active-agent worklist** (see
+//! [`crate::world`]): agents parked by the protocol are skipped instead of
+//! activated into a guaranteed no-op, and their skipped activations are
+//! credited in the time accounting, so rounds, steps, epochs and activation
+//! counts are identical to activating every agent — the worklist removes the
+//! O(k) per-round scan, not any observable behaviour.
 
 use crate::adversary::Adversary;
 use crate::clock::Clock;
@@ -16,7 +23,9 @@ pub struct RunConfig {
     pub max_steps: u64,
     /// Sample per-agent memory every this many rounds/steps (a final sample
     /// is always taken). Smaller values catch short-lived peaks at the cost
-    /// of `O(k)` work per sample.
+    /// of `O(k)` work per sample. **`0` selects geometric sampling** (powers
+    /// of two), which bounds total sampling work at `O(k log T)` — what
+    /// million-agent runs need.
     pub memory_sample_interval: u64,
 }
 
@@ -45,7 +54,10 @@ impl RunConfig {
 /// Why a run did not complete.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RunError {
-    /// The protocol did not report termination within the configured limit.
+    /// The protocol did not report termination within the configured limit
+    /// (or stalled: every agent parked with the protocol unterminated, in
+    /// which case no future activation can ever act and the runner gives up
+    /// immediately instead of spinning to the limit).
     /// Carries the partial outcome observed so far.
     LimitExceeded {
         /// Metrics accumulated up to the point the limit was hit.
@@ -76,6 +88,14 @@ fn sample_memory<P: AgentProtocol + ?Sized>(world: &mut World, protocol: &P) {
     world.metrics_mut().record_memory_sample(max_bits);
 }
 
+fn should_sample(t: u64, interval: u64) -> bool {
+    if interval == 0 {
+        t.is_power_of_two()
+    } else {
+        t.is_multiple_of(interval)
+    }
+}
+
 fn build_outcome(world: &World, clock: &Clock, terminated: bool) -> Outcome {
     Outcome {
         rounds: clock.rounds(),
@@ -93,14 +113,17 @@ fn build_outcome(world: &World, clock: &Clock, terminated: bool) -> Outcome {
     }
 }
 
-/// Drives a protocol under the synchronous scheduler: every agent is
-/// activated once per round, in agent-index order.
+/// Drives a protocol under the synchronous scheduler: every **active** agent
+/// is activated once per round, in agent-index order; parked agents' no-op
+/// activations are credited without being executed.
 ///
 /// Activating agents sequentially within a round is a deterministic
 /// refinement of the synchronous model (it only ever gives agents *fresher*
 /// information than true simultaneity would); the paper's algorithms are
 /// leader-driven and insensitive to the difference, and the round counting —
-/// which is what the reproduction measures — is identical.
+/// which is what the reproduction measures — is identical. An agent woken
+/// mid-round by a lower-id agent's action is activated later in the same
+/// round, exactly as the full id-order sweep would have.
 #[derive(Debug, Clone, Default)]
 pub struct SyncRunner {
     config: RunConfig,
@@ -121,36 +144,54 @@ impl SyncRunner {
     ) -> Result<Outcome, RunError> {
         let k = world.num_agents();
         let mut clock = Clock::new(k);
+        let mut queue: Vec<AgentId> = Vec::new();
+        let mut woken: Vec<AgentId> = Vec::new();
         sample_memory(world, protocol);
         while !protocol.is_terminated() {
-            if clock.rounds() >= self.config.max_rounds {
+            if clock.rounds() >= self.config.max_rounds || world.active_count() == 0 {
+                world.sync_ride_accounting();
                 return Err(RunError::LimitExceeded {
                     outcome: build_outcome(world, &clock, false),
                 });
             }
             let now = clock.rounds();
-            for i in 0..k {
-                let agent = AgentId(i as u32);
+            world.snapshot_active_sorted(&mut queue);
+            let mut i = 0;
+            while i < queue.len() {
+                let agent = queue[i];
+                i += 1;
+                if !world.is_active(agent) {
+                    // Parked earlier this round: its activation is a no-op.
+                    continue;
+                }
                 world.begin_activation(agent);
                 let mut ctx = world.ctx(agent, now);
                 protocol.on_activate(agent, &mut ctx);
-                clock.note_activation(i);
+                // Wakes with a larger id are still due this round.
+                world.drain_woken(&mut woken);
+                for &w in &woken {
+                    if w > agent {
+                        if let Err(pos) = queue[i..].binary_search(&w) {
+                            queue.insert(i + pos, w);
+                        }
+                    }
+                }
             }
-            clock.end_round();
-            if clock
-                .rounds()
-                .is_multiple_of(self.config.memory_sample_interval)
-            {
+            clock.credit_round(k);
+            if should_sample(clock.rounds(), self.config.memory_sample_interval) {
                 sample_memory(world, protocol);
             }
         }
+        world.sync_ride_accounting();
         sample_memory(world, protocol);
         Ok(build_outcome(world, &clock, true))
     }
 }
 
 /// Drives a protocol under an asynchronous scheduler controlled by an
-/// [`Adversary`]. Time is reported in epochs.
+/// [`Adversary`]. Time is reported in epochs. The adversary schedules over
+/// all `k` agents; activations of parked agents are credited (they count for
+/// steps, epochs and the activation total) but not executed.
 pub struct AsyncRunner<A: Adversary> {
     config: RunConfig,
     adversary: A,
@@ -176,9 +217,11 @@ impl<A: Adversary> AsyncRunner<A> {
     ) -> Result<Outcome, RunError> {
         let k = world.num_agents();
         let mut clock = Clock::new(k);
+        let mut woken: Vec<AgentId> = Vec::new();
         sample_memory(world, protocol);
         while !protocol.is_terminated() {
-            if clock.steps() >= self.config.max_steps {
+            if clock.steps() >= self.config.max_steps || world.active_count() == 0 {
+                world.sync_ride_accounting();
                 return Err(RunError::LimitExceeded {
                     outcome: build_outcome(world, &clock, false),
                 });
@@ -190,19 +233,22 @@ impl<A: Adversary> AsyncRunner<A> {
                     agent.index() < k,
                     "adversary produced an out-of-range agent id"
                 );
-                world.begin_activation(agent);
-                let mut ctx = world.ctx(agent, now);
-                protocol.on_activate(agent, &mut ctx);
+                if world.is_active(agent) {
+                    world.begin_activation(agent);
+                    let mut ctx = world.ctx(agent, now);
+                    protocol.on_activate(agent, &mut ctx);
+                }
                 clock.note_activation(agent.index());
             }
+            // Wakes take effect through the worklist; the adversary's
+            // schedule is not changed by them.
+            world.drain_woken(&mut woken);
             clock.end_step();
-            if clock
-                .steps()
-                .is_multiple_of(self.config.memory_sample_interval)
-            {
+            if should_sample(clock.steps(), self.config.memory_sample_interval) {
                 sample_memory(world, protocol);
             }
         }
+        world.sync_ride_accounting();
         sample_memory(world, protocol);
         Ok(build_outcome(world, &clock, true))
     }
@@ -246,6 +292,30 @@ mod tests {
         }
     }
 
+    /// Like [`WalkAround`] but agents park themselves when done — outcomes
+    /// must match the non-parking version exactly.
+    struct WalkAroundParking {
+        laps_left: Vec<u32>,
+    }
+
+    impl AgentProtocol for WalkAroundParking {
+        fn on_activate(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+            if self.laps_left[agent.index()] > 0 {
+                ctx.move_via(Port(2));
+                self.laps_left[agent.index()] -= 1;
+                if self.laps_left[agent.index()] == 0 {
+                    ctx.park(agent);
+                }
+            }
+        }
+        fn is_terminated(&self) -> bool {
+            self.laps_left.iter().all(|&l| l == 0)
+        }
+        fn memory_bits(&self, agent: AgentId) -> usize {
+            crate::bits::counter_bits(self.laps_left[agent.index()] as u64)
+        }
+    }
+
     #[test]
     fn sync_runner_counts_rounds_and_moves() {
         let g = generators::ring(8);
@@ -257,6 +327,7 @@ mod tests {
         assert!(out.terminated);
         assert_eq!(out.rounds, 8);
         assert_eq!(out.epochs, 8);
+        assert_eq!(out.activations, 24);
         assert_eq!(out.total_moves, 24);
         assert_eq!(out.max_moves_per_agent, 8);
         assert_eq!(out.k, 3);
@@ -265,6 +336,24 @@ mod tests {
         for i in 0..3 {
             assert_eq!(world.position(AgentId(i)), NodeId(0));
         }
+    }
+
+    #[test]
+    fn parking_agents_does_not_change_the_outcome() {
+        let g = generators::ring(8);
+        let mut w1 = World::new_rooted(g.clone(), 3, NodeId(0));
+        let mut w2 = World::new_rooted(g, 3, NodeId(0));
+        let mut plain = WalkAround::new(3, 8);
+        let mut parking = WalkAroundParking {
+            laps_left: vec![8; 3],
+        };
+        let a = SyncRunner::new(RunConfig::default())
+            .run(&mut w1, &mut plain)
+            .unwrap();
+        let b = SyncRunner::new(RunConfig::default())
+            .run(&mut w2, &mut parking)
+            .unwrap();
+        assert_eq!(a, b, "credited activations must equal executed ones");
     }
 
     #[test]
@@ -288,6 +377,38 @@ mod tests {
             RunError::LimitExceeded { outcome } => {
                 assert_eq!(outcome.rounds, 10);
                 assert!(!outcome.terminated);
+            }
+        }
+    }
+
+    #[test]
+    fn stalled_worklist_fails_fast_instead_of_spinning() {
+        // A buggy protocol that parks everyone without terminating must not
+        // spin for max_rounds empty rounds.
+        struct ParkAll;
+        impl AgentProtocol for ParkAll {
+            fn on_activate(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+                ctx.park(agent);
+            }
+            fn is_terminated(&self) -> bool {
+                false
+            }
+            fn memory_bits(&self, _a: AgentId) -> usize {
+                0
+            }
+        }
+        let g = generators::ring(4);
+        let mut world = World::new_rooted(g, 2, NodeId(0));
+        let err = SyncRunner::new(RunConfig::default())
+            .run(&mut world, &mut ParkAll)
+            .unwrap_err();
+        match err {
+            RunError::LimitExceeded { outcome } => {
+                assert!(
+                    outcome.rounds <= 2,
+                    "must fail fast, ran {}",
+                    outcome.rounds
+                );
             }
         }
     }
@@ -355,6 +476,19 @@ mod tests {
     }
 
     #[test]
+    fn geometric_sampling_still_reports_a_peak() {
+        let g = generators::ring(8);
+        let mut world = World::new_rooted(g, 2, NodeId(0));
+        let mut proto = WalkAround::new(2, 8);
+        let config = RunConfig {
+            memory_sample_interval: 0,
+            ..RunConfig::default()
+        };
+        let out = SyncRunner::new(config).run(&mut world, &mut proto).unwrap();
+        assert_eq!(out.peak_memory_bits, 4);
+    }
+
+    #[test]
     fn already_terminated_protocol_runs_zero_rounds() {
         let g = generators::ring(4);
         let mut world = World::new_rooted(g, 1, NodeId(0));
@@ -365,5 +499,44 @@ mod tests {
         assert_eq!(out.rounds, 0);
         assert_eq!(out.total_moves, 0);
         assert!(out.terminated);
+    }
+
+    #[test]
+    fn mid_round_wakes_with_larger_ids_run_in_the_same_round() {
+        // Agent 0 wakes agent 2 (parked) on round 0; id-order semantics
+        // require agent 2's activation to happen in that same round.
+        struct Waker {
+            woke: bool,
+            acted: Vec<u64>,
+        }
+        impl AgentProtocol for Waker {
+            fn on_activate(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+                if agent == AgentId(0) && !self.woke {
+                    self.woke = true;
+                    ctx.wake(AgentId(2));
+                }
+                if agent == AgentId(2) {
+                    self.acted.push(ctx.time());
+                }
+            }
+            fn is_terminated(&self) -> bool {
+                self.woke && !self.acted.is_empty()
+            }
+            fn memory_bits(&self, _a: AgentId) -> usize {
+                0
+            }
+        }
+        let g = generators::ring(5);
+        let mut world = World::new_rooted(g, 3, NodeId(0));
+        world.park(AgentId(2));
+        let mut proto = Waker {
+            woke: false,
+            acted: Vec::new(),
+        };
+        let out = SyncRunner::new(RunConfig::default())
+            .run(&mut world, &mut proto)
+            .unwrap();
+        assert_eq!(out.rounds, 1);
+        assert_eq!(proto.acted, vec![0], "agent 2 must act in round 0");
     }
 }

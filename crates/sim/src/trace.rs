@@ -22,6 +22,23 @@ pub enum TraceEvent {
         /// Round (SYNC) or step (ASYNC) at which the move happened.
         time: u64,
     },
+    /// A driver moved its whole cohort across an edge (one event for the
+    /// `members` rides; the driver's own traversal is a separate
+    /// [`TraceEvent::Move`]).
+    CohortMove {
+        /// The driving agent.
+        driver: AgentId,
+        /// Node the cohort left.
+        from: NodeId,
+        /// Node the cohort arrived at.
+        to: NodeId,
+        /// Port used at `from`.
+        port: Port,
+        /// Number of riding members charged one move each.
+        members: u32,
+        /// Round (SYNC) or step (ASYNC) at which the move happened.
+        time: u64,
+    },
     /// A protocol-defined milestone (settlement, subsumption, phase change…).
     Milestone {
         /// The agent the milestone concerns.

@@ -1,9 +1,50 @@
-//! The world: agent positions, co-location, and the movement API.
+//! The world: agent positions, co-location, the movement API — and the
+//! flat-state machinery that makes million-agent runs tractable.
+//!
+//! ## Flat state
+//!
+//! Positions are a flat array; per-node occupancy is an intrusive, index-
+//! linked doubly-linked list (`head[v]` / `next[a]` / `prev[a]`), so a move
+//! is O(1) pointer surgery with zero allocation and co-location queries
+//! borrow straight from the arrays.
+//!
+//! ## The active-agent worklist
+//!
+//! The runners only activate agents on the world's *active* list. A protocol
+//! may [`ActivationCtx::park`] an agent whose `on_activate` has become a
+//! guaranteed no-op (a settled agent, a passenger waiting for extraction)
+//! and must [`ActivationCtx::wake`] it when some other agent's action makes
+//! it actionable again (a prober recruiting a settler). Skipped activations
+//! are *credited* in the time accounting, so rounds/steps/epochs are
+//! identical to activating everyone — the worklist only removes the O(k)
+//! per-round scan over agents that would do nothing.
+//!
+//! **Contract**: parking an agent whose activation could still act changes
+//! behaviour; the invariant harness (`crates/core/tests/invariants.rs`)
+//! exists to catch such protocol bugs.
+//!
+//! ## Cohorts (convoy rides)
+//!
+//! DFS-style dispersion moves a whole group of unsettled agents one edge at
+//! a time; simulating each passenger's move individually costs Θ(k²) work
+//! on a rooted line. A *cohort* compresses the ride: a driver enrolls
+//! co-located agents ([`ActivationCtx::enroll`]), moves the whole cohort
+//! with one O(1) operation per edge ([`ActivationCtx::move_cohort_via`]),
+//! and extracts members back into the world when they are needed
+//! ([`ActivationCtx::extract`]). Every member is still charged one move per
+//! edge ridden (`total_moves` eagerly, `moves_per_agent` on extraction), so
+//! the reported metrics equal the per-agent execution's; the realized
+//! schedule is the one where every passenger executes the driver's order
+//! immediately — a valid refinement of the follower/flip-order movement
+//! protocol (see `DESIGN.md` §8). Riding agents are parked and invisible to
+//! co-location queries; their authoritative position is the cohort's node.
 
 use crate::ids::AgentId;
 use crate::metrics::Metrics;
 use crate::trace::{Trace, TraceEvent};
-use disp_graph::{NodeId, Port, PortGraph};
+use disp_graph::{NodeId, Port, Topology};
+
+const NONE: u32 = u32::MAX;
 
 /// Errors that a movement attempt can produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +73,18 @@ impl std::fmt::Display for MoveError {
 
 impl std::error::Error for MoveError {}
 
+#[derive(Debug, Clone)]
+struct Cohort {
+    /// Current node of the whole cohort.
+    node: NodeId,
+    /// Edges traversed by the cohort since creation.
+    hops: u64,
+    /// Number of riding members.
+    members: u32,
+    /// Head of the member list (threaded through `next`/`prev`).
+    head: u32,
+}
+
 /// Mutable world state: where every agent is, plus bookkeeping.
 ///
 /// The world does not know anything about the algorithm being run; protocols
@@ -39,9 +92,29 @@ impl std::error::Error for MoveError {}
 /// [`ActivationCtx`].
 #[derive(Debug, Clone)]
 pub struct World {
-    graph: PortGraph,
+    graph: Topology,
+    /// Concrete position of every non-riding agent; for riders the
+    /// authoritative position is their cohort's node.
     positions: Vec<NodeId>,
-    at_node: Vec<Vec<AgentId>>,
+    /// Per-node occupancy list head (concrete agents only).
+    head: Vec<u32>,
+    /// Intrusive list links; an agent is threaded either through its node's
+    /// occupancy list or through its cohort's member list.
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    cohorts: Vec<Cohort>,
+    /// `agent → cohort` while riding, `NONE` otherwise.
+    cohort_of: Vec<u32>,
+    /// `agent → cohort` while driving one, `NONE` otherwise.
+    driving: Vec<u32>,
+    /// Cohort hop count at the moment the agent enrolled.
+    ride_start: Vec<u64>,
+    /// The scheduler worklist (unsorted; swap-removed on park).
+    active: Vec<AgentId>,
+    /// `agent → index in active`, `NONE` when parked.
+    active_pos: Vec<u32>,
+    /// Agents woken since the last [`World::drain_woken`] call.
+    woken: Vec<AgentId>,
     moved: Vec<bool>,
     metrics: Metrics,
     trace: Trace,
@@ -50,7 +123,8 @@ pub struct World {
 impl World {
     /// Create a world with the given initial agent positions (`positions[i]`
     /// is the start node of agent `i`).
-    pub fn new(graph: PortGraph, positions: Vec<NodeId>) -> Self {
+    pub fn new(graph: impl Into<Topology>, positions: Vec<NodeId>) -> Self {
+        let graph = graph.into();
         assert!(!positions.is_empty(), "a world needs at least one agent");
         assert!(
             positions.len() <= graph.num_nodes(),
@@ -58,28 +132,38 @@ impl World {
             positions.len(),
             graph.num_nodes()
         );
-        let mut at_node = vec![Vec::new(); graph.num_nodes()];
-        for (i, &v) in positions.iter().enumerate() {
-            assert!(
-                v.index() < graph.num_nodes(),
-                "agent {i} starts at nonexistent node {v}"
-            );
-            at_node[v.index()].push(AgentId(i as u32));
-        }
         let k = positions.len();
-        World {
+        let n = graph.num_nodes();
+        let mut world = World {
             graph,
             positions,
-            at_node,
+            head: vec![NONE; n],
+            next: vec![NONE; k],
+            prev: vec![NONE; k],
+            cohorts: Vec::new(),
+            cohort_of: vec![NONE; k],
+            driving: vec![NONE; k],
+            ride_start: vec![0; k],
+            active: (0..k as u32).map(AgentId).collect(),
+            active_pos: (0..k as u32).collect(),
+            woken: Vec::new(),
             moved: vec![false; k],
             metrics: Metrics::new(k),
             trace: Trace::disabled(),
+        };
+        // Link occupancy lists in reverse so list order is ascending by id
+        // (link_to_node rewrites positions[i] with the same value).
+        for i in (0..k).rev() {
+            let v = world.positions[i];
+            assert!(v.index() < n, "agent {i} starts at nonexistent node {v}");
+            world.link_to_node(i, v);
         }
+        world
     }
 
     /// Create a *rooted* initial configuration: all `k` agents start on
     /// `root`.
-    pub fn new_rooted(graph: PortGraph, k: usize, root: NodeId) -> Self {
+    pub fn new_rooted(graph: impl Into<Topology>, k: usize, root: NodeId) -> Self {
         World::new(graph, vec![root; k])
     }
 
@@ -100,32 +184,44 @@ impl World {
         self.positions.len()
     }
 
-    /// The underlying graph.
+    /// The underlying topology.
     ///
     /// Intended for verifiers, metrics and the experiment harness. Protocol
     /// implementations must not use it for algorithmic decisions — agents only
     /// ever observe their local node through [`ActivationCtx`].
     #[inline]
-    pub fn graph(&self) -> &PortGraph {
+    pub fn graph(&self) -> &Topology {
         &self.graph
     }
 
-    /// Current node of `agent`.
+    /// Current node of `agent` (cohort-aware).
     #[inline]
     pub fn position(&self, agent: AgentId) -> NodeId {
-        self.positions[agent.index()]
+        let c = self.cohort_of[agent.index()];
+        if c == NONE {
+            self.positions[agent.index()]
+        } else {
+            self.cohorts[c as usize].node
+        }
     }
 
-    /// Current positions of all agents, indexed by agent.
-    #[inline]
-    pub fn positions(&self) -> &[NodeId] {
-        &self.positions
+    /// Current positions of all agents, indexed by agent (materialized; use
+    /// [`World::position`] for single lookups).
+    pub fn snapshot_positions(&self) -> Vec<NodeId> {
+        (0..self.num_agents())
+            .map(|i| self.position(AgentId(i as u32)))
+            .collect()
     }
 
-    /// Agents currently located at node `v` (in no particular order).
+    /// Concrete agents currently located at node `v`, in ascending-insertion
+    /// order. Cohort members riding through `v` are *not* listed; they are
+    /// only reachable through their driver (see the module docs).
     #[inline]
-    pub fn agents_at(&self, v: NodeId) -> &[AgentId] {
-        &self.at_node[v.index()]
+    pub fn agents_at(&self, v: NodeId) -> AgentIter<'_> {
+        AgentIter {
+            next: &self.next,
+            cur: self.head[v.index()],
+        }
     }
 
     /// Movement and memory metrics accumulated so far.
@@ -139,6 +235,207 @@ impl World {
     pub(crate) fn metrics_mut(&mut self) -> &mut Metrics {
         &mut self.metrics
     }
+
+    // ------------------------------------------------------------------
+    // Worklist
+    // ------------------------------------------------------------------
+
+    /// Whether `agent` is on the active worklist.
+    #[inline]
+    pub fn is_active(&self, agent: AgentId) -> bool {
+        self.active_pos[agent.index()] != NONE
+    }
+
+    /// Number of active (schedulable) agents.
+    #[inline]
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Copy the active list into `buf`, sorted ascending by agent id (the
+    /// SYNC runner's per-round activation order).
+    pub(crate) fn snapshot_active_sorted(&self, buf: &mut Vec<AgentId>) {
+        buf.clear();
+        buf.extend_from_slice(&self.active);
+        buf.sort_unstable();
+    }
+
+    /// Drain the agents woken since the last call (the SYNC runner injects
+    /// them into the current round when their id is still ahead).
+    pub(crate) fn drain_woken(&mut self, buf: &mut Vec<AgentId>) {
+        buf.clear();
+        buf.append(&mut self.woken);
+    }
+
+    /// Remove `agent` from the worklist (no-op if already parked).
+    pub fn park(&mut self, agent: AgentId) {
+        let i = self.active_pos[agent.index()];
+        if i == NONE {
+            return;
+        }
+        let last = self.active.pop().expect("active_pos points into active");
+        if last != agent {
+            self.active[i as usize] = last;
+            self.active_pos[last.index()] = i;
+        }
+        self.active_pos[agent.index()] = NONE;
+    }
+
+    /// Put `agent` back on the worklist (no-op if already active).
+    pub fn wake(&mut self, agent: AgentId) {
+        if self.active_pos[agent.index()] != NONE {
+            return;
+        }
+        self.active_pos[agent.index()] = self.active.len() as u32;
+        self.active.push(agent);
+        self.woken.push(agent);
+    }
+
+    // ------------------------------------------------------------------
+    // Occupancy list surgery
+    // ------------------------------------------------------------------
+
+    fn unlink_from_node(&mut self, a: usize) {
+        let v = self.positions[a].index();
+        let (p, n) = (self.prev[a], self.next[a]);
+        if p == NONE {
+            self.head[v] = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n != NONE {
+            self.prev[n as usize] = p;
+        }
+    }
+
+    fn link_to_node(&mut self, a: usize, v: NodeId) {
+        let h = self.head[v.index()];
+        self.prev[a] = NONE;
+        self.next[a] = h;
+        if h != NONE {
+            self.prev[h as usize] = a as u32;
+        }
+        self.head[v.index()] = a as u32;
+        self.positions[a] = v;
+    }
+
+    // ------------------------------------------------------------------
+    // Cohorts
+    // ------------------------------------------------------------------
+
+    /// Number of members riding in `driver`'s cohort (0 if it has none).
+    pub fn cohort_len(&self, driver: AgentId) -> usize {
+        match self.driving[driver.index()] {
+            NONE => 0,
+            c => self.cohorts[c as usize].members as usize,
+        }
+    }
+
+    /// Iterator over the members of `driver`'s cohort (unspecified order).
+    pub fn cohort_members(&self, driver: AgentId) -> AgentIter<'_> {
+        let cur = match self.driving[driver.index()] {
+            NONE => NONE,
+            c => self.cohorts[c as usize].head,
+        };
+        AgentIter {
+            next: &self.next,
+            cur,
+        }
+    }
+
+    fn enroll(&mut self, driver: AgentId, member: AgentId) {
+        assert_ne!(driver, member, "a driver cannot enroll itself");
+        let m = member.index();
+        assert_eq!(
+            self.cohort_of[m], NONE,
+            "agent {member} is already riding a cohort"
+        );
+        assert_eq!(
+            self.driving[m], NONE,
+            "agent {member} drives a cohort and cannot ride one"
+        );
+        let at = self.positions[driver.index()];
+        assert_eq!(
+            self.positions[m], at,
+            "cohort members must be co-located with the driver"
+        );
+        let c = match self.driving[driver.index()] {
+            NONE => {
+                let c = self.cohorts.len() as u32;
+                self.cohorts.push(Cohort {
+                    node: at,
+                    hops: 0,
+                    members: 0,
+                    head: NONE,
+                });
+                self.driving[driver.index()] = c;
+                c
+            }
+            c => c,
+        } as usize;
+        debug_assert_eq!(self.cohorts[c].node, at, "cohort strayed from driver");
+        self.unlink_from_node(m);
+        // Link into the cohort's member list.
+        let h = self.cohorts[c].head;
+        self.prev[m] = NONE;
+        self.next[m] = h;
+        if h != NONE {
+            self.prev[h as usize] = m as u32;
+        }
+        self.cohorts[c].head = m as u32;
+        self.cohorts[c].members += 1;
+        self.cohort_of[m] = c as u32;
+        self.ride_start[m] = self.cohorts[c].hops;
+        self.park(member);
+    }
+
+    fn extract(&mut self, driver: AgentId, member: AgentId) {
+        let m = member.index();
+        let c = self.cohort_of[m];
+        assert!(
+            c != NONE && self.driving[driver.index()] == c,
+            "agent {member} is not riding {driver}'s cohort"
+        );
+        let c = c as usize;
+        // Unlink from the member list.
+        let (p, n) = (self.prev[m], self.next[m]);
+        if p == NONE {
+            self.cohorts[c].head = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n != NONE {
+            self.prev[n as usize] = p;
+        }
+        self.cohorts[c].members -= 1;
+        self.cohort_of[m] = NONE;
+        // Materialize at the cohort's node and settle the ride's accounting.
+        let node = self.cohorts[c].node;
+        let ridden = self.cohorts[c].hops - self.ride_start[m];
+        self.metrics.credit_rider_moves(member, ridden);
+        self.link_to_node(m, node);
+        self.wake(member);
+    }
+
+    /// Fold the pending per-agent move accounting of every live cohort into
+    /// the metrics (runners call this before building an [`crate::Outcome`],
+    /// so mid-ride limit hits still report faithful `max_moves_per_agent`).
+    pub fn sync_ride_accounting(&mut self) {
+        for c in 0..self.cohorts.len() {
+            let hops = self.cohorts[c].hops;
+            let mut m = self.cohorts[c].head;
+            while m != NONE {
+                let ridden = hops - self.ride_start[m as usize];
+                self.ride_start[m as usize] = hops;
+                self.metrics.credit_rider_moves(AgentId(m), ridden);
+                m = self.next[m as usize];
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Activation plumbing
+    // ------------------------------------------------------------------
 
     /// Prepare `agent` for one activation (resets its per-activation move
     /// budget). Called by the runners.
@@ -157,23 +454,23 @@ impl World {
     }
 
     fn apply_move(&mut self, agent: AgentId, port: Port, time: u64) -> Result<Port, MoveError> {
-        if self.moved[agent.index()] {
+        let a = agent.index();
+        debug_assert_eq!(
+            self.cohort_of[a], NONE,
+            "riding agents are parked and never move themselves"
+        );
+        if self.moved[a] {
             return Err(MoveError::AlreadyMoved);
         }
-        let from = self.positions[agent.index()];
+        let from = self.positions[a];
         let degree = self.graph.degree(from);
         if port.0 == 0 || port.offset() >= degree {
             return Err(MoveError::InvalidPort { port, degree });
         }
         let (to, pin) = self.graph.traverse(from, port);
-        self.moved[agent.index()] = true;
-        self.positions[agent.index()] = to;
-        let slot = self.at_node[from.index()]
-            .iter()
-            .position(|&a| a == agent)
-            .expect("co-location index out of sync");
-        self.at_node[from.index()].swap_remove(slot);
-        self.at_node[to.index()].push(agent);
+        self.moved[a] = true;
+        self.unlink_from_node(a);
+        self.link_to_node(a, to);
         self.metrics.record_move(agent);
         self.trace.record(TraceEvent::Move {
             agent,
@@ -187,13 +484,38 @@ impl World {
     }
 }
 
+/// Borrowed iterator over an intrusive agent list (node occupancy or cohort
+/// membership). Zero allocation.
+#[derive(Clone)]
+pub struct AgentIter<'w> {
+    next: &'w [u32],
+    cur: u32,
+}
+
+impl Iterator for AgentIter<'_> {
+    type Item = AgentId;
+
+    #[inline]
+    fn next(&mut self) -> Option<AgentId> {
+        if self.cur == NONE {
+            return None;
+        }
+        let a = AgentId(self.cur);
+        self.cur = self.next[self.cur as usize];
+        Some(a)
+    }
+}
+
 /// An agent's restricted view of the world during one activation.
 ///
 /// The context exposes exactly what the model allows an activated agent to
 /// see and do: its own location's degree, the set of co-located agents, and
 /// one move through a local port. Reading/writing co-located agents' *state*
 /// is the protocol's business (the protocol owns all agent state); the
-/// context provides the co-location information needed to do so lawfully.
+/// context provides the co-location information needed to do so lawfully —
+/// plus the scheduling (park/wake) and cohort operations described in the
+/// module docs, which are simulation-level accelerations of protocol-legal
+/// behaviour.
 pub struct ActivationCtx<'w> {
     world: &'w mut World,
     agent: AgentId,
@@ -227,16 +549,11 @@ impl<'w> ActivationCtx<'w> {
         self.time
     }
 
-    /// All agents at the current node — **including** the activated agent —
-    /// as a borrowed slice, in no particular order.
-    ///
-    /// This is the allocation-free view for the activation hot path: one
-    /// co-location query per activation used to clone a `Vec`, which
-    /// dominated the simulator profile on dense graphs. Filter out
-    /// [`ActivationCtx::agent`] (or use [`ActivationCtx::colocated_iter`])
-    /// to reason about peers only.
+    /// All concrete agents at the current node — **including** the activated
+    /// agent — as a borrowing, zero-alloc iterator. Cohort members riding
+    /// through the node are not listed (their driver speaks for them).
     #[inline]
-    pub fn agents_here(&self) -> &[AgentId] {
+    pub fn agents_here(&self) -> AgentIter<'_> {
         self.world.agents_at(self.node())
     }
 
@@ -245,7 +562,7 @@ impl<'w> ActivationCtx<'w> {
     #[inline]
     pub fn colocated_iter(&self) -> impl Iterator<Item = AgentId> + '_ {
         let me = self.agent;
-        self.agents_here().iter().copied().filter(move |&a| a != me)
+        self.agents_here().filter(move |&a| a != me)
     }
 
     /// Other agents co-located with this one (self excluded), as an owned
@@ -258,7 +575,7 @@ impl<'w> ActivationCtx<'w> {
 
     /// Number of co-located agents (self excluded).
     pub fn num_colocated(&self) -> usize {
-        self.world.agents_at(self.node()).len() - 1
+        self.colocated_iter().count()
     }
 
     /// Whether this agent already used its move for this activation.
@@ -282,6 +599,85 @@ impl<'w> ActivationCtx<'w> {
     pub fn try_move_via(&mut self, port: Port) -> Result<Port, MoveError> {
         self.world.apply_move(self.agent, port, self.time)
     }
+
+    // ------------------------------------------------------------------
+    // Scheduling
+    // ------------------------------------------------------------------
+
+    /// Park `target` (often the activated agent itself): remove it from the
+    /// runners' worklist. Only lawful when `target`'s future activations are
+    /// guaranteed no-ops until some agent wakes it — see the module docs.
+    pub fn park(&mut self, target: AgentId) {
+        self.world.park(target);
+    }
+
+    /// Wake a parked agent (no-op when already active). Call whenever this
+    /// agent's action makes `target` actionable again.
+    pub fn wake(&mut self, target: AgentId) {
+        self.world.wake(target);
+    }
+
+    // ------------------------------------------------------------------
+    // Cohorts
+    // ------------------------------------------------------------------
+
+    /// Enroll a co-located, concrete agent into this agent's cohort
+    /// (creating the cohort on first use). The member is parked; its
+    /// position follows the cohort until [`ActivationCtx::extract`].
+    pub fn enroll(&mut self, member: AgentId) {
+        self.world.enroll(self.agent, member);
+    }
+
+    /// Extract a member from this agent's cohort: it rematerializes at the
+    /// cohort's node, is charged one move per edge ridden, and is woken.
+    pub fn extract(&mut self, member: AgentId) {
+        self.world.extract(self.agent, member);
+    }
+
+    /// Number of members currently riding this agent's cohort.
+    pub fn cohort_len(&self) -> usize {
+        self.world.cohort_len(self.agent)
+    }
+
+    /// Move this agent **and its cohort** through `port` as one operation:
+    /// the driver pays a normal move, every member is charged one ride hop,
+    /// and the cohort's node follows. Returns the driver's incoming port.
+    ///
+    /// # Panics
+    /// Panics on an illegal driver move, or if the cohort is not at the
+    /// driver's node (the driver wandered off on a solo trip and must return
+    /// before moving the cohort).
+    pub fn move_cohort_via(&mut self, port: Port) -> Port {
+        let from = self.node();
+        let c = self.world.driving[self.agent.index()];
+        if c != NONE {
+            let cohort = &self.world.cohorts[c as usize];
+            assert_eq!(
+                cohort.node, from,
+                "cohort moves require the driver to be at the cohort's node"
+            );
+        }
+        let pin = self.move_via(port);
+        if c != NONE {
+            let to = self.world.positions[self.agent.index()];
+            let cohort = &mut self.world.cohorts[c as usize];
+            cohort.node = to;
+            if cohort.members > 0 {
+                cohort.hops += 1;
+                let members = cohort.members;
+                self.world.metrics.record_cohort_move(members as u64);
+                self.world.trace.record(TraceEvent::CohortMove {
+                    driver: self.agent,
+                    from,
+                    to,
+                    port,
+                    members,
+                    time: self.time,
+                });
+            }
+        }
+        pin
+    }
 }
 
 #[cfg(test)]
@@ -293,15 +689,21 @@ mod tests {
         World::new_rooted(generators::ring(6), k, NodeId(0))
     }
 
+    fn at(w: &World, v: u32) -> Vec<AgentId> {
+        w.agents_at(NodeId(v)).collect()
+    }
+
     #[test]
     fn rooted_world_colocates_all_agents() {
         let w = world_on_ring(4);
         assert_eq!(w.num_agents(), 4);
-        assert_eq!(w.agents_at(NodeId(0)).len(), 4);
-        assert_eq!(w.agents_at(NodeId(1)).len(), 0);
+        assert_eq!(at(&w, 0).len(), 4);
+        assert_eq!(at(&w, 1).len(), 0);
         for a in 0..4 {
             assert_eq!(w.position(AgentId(a)), NodeId(0));
         }
+        // List order is ascending by agent id at construction.
+        assert_eq!(at(&w, 0), (0..4).map(AgentId).collect::<Vec<_>>());
     }
 
     #[test]
@@ -313,8 +715,8 @@ mod tests {
         // arriving on node 1's port 1.
         assert_eq!(pin, Port(1));
         assert_eq!(w.position(AgentId(0)), NodeId(1));
-        assert_eq!(w.agents_at(NodeId(0)), &[AgentId(1)]);
-        assert_eq!(w.agents_at(NodeId(1)), &[AgentId(0)]);
+        assert_eq!(at(&w, 0), vec![AgentId(1)]);
+        assert_eq!(at(&w, 1), vec![AgentId(0)]);
         assert_eq!(w.metrics().total_moves(), 1);
     }
 
@@ -365,8 +767,8 @@ mod tests {
         assert_eq!(ctx.num_colocated(), 2);
         // The borrowing views agree with the allocating one.
         assert_eq!(ctx.colocated_iter().collect::<Vec<_>>(), peers);
-        assert_eq!(ctx.agents_here().len(), 3);
-        assert!(ctx.agents_here().contains(&AgentId(1)));
+        assert_eq!(ctx.agents_here().count(), 3);
+        assert!(ctx.agents_here().any(|a| a == AgentId(1)));
     }
 
     #[test]
@@ -397,5 +799,108 @@ mod tests {
             }
             _ => panic!("expected a move event"),
         }
+    }
+
+    #[test]
+    fn park_and_wake_maintain_the_worklist() {
+        let mut w = world_on_ring(4);
+        assert_eq!(w.active_count(), 4);
+        assert!(w.is_active(AgentId(2)));
+        w.park(AgentId(2));
+        w.park(AgentId(2)); // idempotent
+        assert!(!w.is_active(AgentId(2)));
+        assert_eq!(w.active_count(), 3);
+        w.wake(AgentId(2));
+        w.wake(AgentId(2)); // idempotent
+        assert!(w.is_active(AgentId(2)));
+        let mut buf = Vec::new();
+        w.snapshot_active_sorted(&mut buf);
+        assert_eq!(buf, (0..4).map(AgentId).collect::<Vec<_>>());
+        let mut woken = Vec::new();
+        w.drain_woken(&mut woken);
+        assert_eq!(woken, vec![AgentId(2)]);
+        w.drain_woken(&mut woken);
+        assert!(woken.is_empty());
+    }
+
+    #[test]
+    fn cohort_ride_charges_members_and_tracks_position() {
+        let mut w = world_on_ring(3);
+        // Agent 2 drives agents 0 and 1 two hops around the ring.
+        w.begin_activation(AgentId(2));
+        let mut ctx = w.ctx(AgentId(2), 0);
+        ctx.enroll(AgentId(0));
+        ctx.enroll(AgentId(1));
+        assert_eq!(ctx.cohort_len(), 2);
+        ctx.move_cohort_via(Port(1));
+        assert_eq!(w.position(AgentId(0)), NodeId(1));
+        assert_eq!(w.position(AgentId(1)), NodeId(1));
+        assert_eq!(at(&w, 1), vec![AgentId(2)], "riders are not listed");
+        assert!(!w.is_active(AgentId(0)), "riders are parked");
+        // 1 driver move + 2 rider hops.
+        assert_eq!(w.metrics().total_moves(), 3);
+
+        w.begin_activation(AgentId(2));
+        w.ctx(AgentId(2), 1).move_cohort_via(Port(2));
+        assert_eq!(w.metrics().total_moves(), 6);
+        assert_eq!(w.position(AgentId(0)), NodeId(2));
+
+        // Extraction materializes at the cohort node, charges the ride and
+        // wakes the member.
+        w.begin_activation(AgentId(2));
+        let mut ctx = w.ctx(AgentId(2), 2);
+        ctx.extract(AgentId(0));
+        assert_eq!(ctx.cohort_len(), 1);
+        assert_eq!(w.position(AgentId(0)), NodeId(2));
+        assert!(w.is_active(AgentId(0)));
+        assert!(at(&w, 2).contains(&AgentId(0)));
+        assert_eq!(w.metrics().moves_of(AgentId(0)), 2);
+        assert_eq!(w.metrics().moves_of(AgentId(1)), 0, "still pending");
+        w.sync_ride_accounting();
+        assert_eq!(w.metrics().moves_of(AgentId(1)), 2);
+        assert_eq!(w.metrics().max_moves_per_agent(), 2);
+    }
+
+    #[test]
+    fn driver_solo_trip_leaves_cohort_behind() {
+        let mut w = world_on_ring(2);
+        w.begin_activation(AgentId(1));
+        let mut ctx = w.ctx(AgentId(1), 0);
+        ctx.enroll(AgentId(0));
+        ctx.move_via(Port(1)); // solo: cohort stays at node 0
+        assert_eq!(w.position(AgentId(0)), NodeId(0));
+        assert_eq!(w.position(AgentId(1)), NodeId(1));
+        // Coming back, the driver may move the cohort again.
+        w.begin_activation(AgentId(1));
+        w.ctx(AgentId(1), 1).move_via(Port(1));
+        assert_eq!(w.position(AgentId(1)), NodeId(0));
+        w.begin_activation(AgentId(1));
+        w.ctx(AgentId(1), 2).move_cohort_via(Port(2));
+        assert_eq!(w.position(AgentId(0)), NodeId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "driver to be at the cohort's node")]
+    fn moving_the_cohort_from_afar_is_rejected() {
+        let mut w = world_on_ring(2);
+        w.begin_activation(AgentId(1));
+        let mut ctx = w.ctx(AgentId(1), 0);
+        ctx.enroll(AgentId(0));
+        ctx.move_via(Port(1));
+        w.begin_activation(AgentId(1));
+        w.ctx(AgentId(1), 1).move_cohort_via(Port(1));
+    }
+
+    #[test]
+    fn snapshot_positions_sees_riders() {
+        let mut w = world_on_ring(3);
+        w.begin_activation(AgentId(2));
+        let mut ctx = w.ctx(AgentId(2), 0);
+        ctx.enroll(AgentId(0));
+        ctx.move_cohort_via(Port(1));
+        assert_eq!(
+            w.snapshot_positions(),
+            vec![NodeId(1), NodeId(0), NodeId(1)]
+        );
     }
 }
