@@ -53,12 +53,15 @@ fn random_placement(rng: &mut StdRng) -> Placement {
 }
 
 fn random_schedule(rng: &mut StdRng) -> Schedule {
-    match rng.random_range(0..4u64) {
+    match rng.random_range(0..5u64) {
         0 => Schedule::Sync,
         1 => Schedule::AsyncRoundRobin,
         2 => Schedule::AsyncRandom {
             prob: random_prob(rng),
             seed: 0,
+        },
+        3 => Schedule::AsyncTargeted {
+            max_lag: rng.random_range(1..1000u64),
         },
         _ => Schedule::AsyncLagging {
             max_lag: rng.random_range(1..1000u64),

@@ -11,6 +11,10 @@
 //! * `scale/line100k/probe-dfs` — the flat-state hot loop itself: a rooted
 //!   `k = 10^5` line through the implicit-topology scenario path (cohort
 //!   rides + worklist; would take hours, not milliseconds, without them).
+//! * `scale/line100k-async-lag4/probe-dfs` — the ASYNC hot path: the same
+//!   rooted `k = 10^5` line under the event-driven lagging adversary
+//!   (timer wheel + bulk epoch crediting; O(k)-per-step schedule
+//!   generation would put this in minutes).
 //!
 //! Measurements are medians of several full runs; wall-clock on shared
 //! machines is noisy, which is why the gate uses a generous relative
@@ -33,15 +37,18 @@ pub enum Workload {
     ScanComplete,
     /// `scale/line100k/probe-dfs`.
     ScaleLine,
+    /// `scale/line100k-async-lag4/probe-dfs`.
+    ScaleLineAsync,
 }
 
 impl Workload {
     /// All gated workloads, in report order.
-    pub fn all() -> [Workload; 3] {
+    pub fn all() -> [Workload; 4] {
         [
             Workload::ProbeStar,
             Workload::ScanComplete,
             Workload::ScaleLine,
+            Workload::ScaleLineAsync,
         ]
     }
 
@@ -51,6 +58,7 @@ impl Workload {
             Workload::ProbeStar => "probe_star/doubling_probe/128",
             Workload::ScanComplete => "sync_rooted/complete/ks-dfs",
             Workload::ScaleLine => "scale/line100k/probe-dfs",
+            Workload::ScaleLineAsync => "scale/line100k-async-lag4/probe-dfs",
         }
     }
 
@@ -81,6 +89,16 @@ impl Workload {
                 let report = spec.run(registry, 7).expect("scale line terminates");
                 assert!(report.dispersed);
                 report.outcome.rounds
+            }
+            Workload::ScaleLineAsync => {
+                let spec = ScenarioSpec::new(GraphFamily::Line, 100_000, "probe-dfs")
+                    .with_schedule(Schedule::AsyncLagging {
+                        max_lag: 4,
+                        seed: 0,
+                    });
+                let report = spec.run(registry, 7).expect("scale async line terminates");
+                assert!(report.dispersed);
+                report.outcome.epochs
             }
         }
     }
@@ -176,7 +194,8 @@ mod tests {
             vec![
                 "probe_star/doubling_probe/128",
                 "sync_rooted/complete/ks-dfs",
-                "scale/line100k/probe-dfs"
+                "scale/line100k/probe-dfs",
+                "scale/line100k-async-lag4/probe-dfs"
             ]
         );
     }

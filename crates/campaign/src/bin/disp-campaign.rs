@@ -263,11 +263,18 @@ fn cmd_scenarios(registry: &Registry) {
             max_lag: 4,
             seed: 0,
         },
+        Schedule::AsyncTargeted { max_lag: 4 },
     ];
     let schedules: Vec<String> = schedules.iter().map(Schedule::label).collect();
     println!("schedules  : {} (any prob/lag)", schedules.join(", "));
+    println!("  async-randP : each active agent activates i.i.d. with prob P per step");
+    println!("  async-lagL  : per-agent periods redrawn from 1..=L after each activation");
+    println!("  async-targetL : adaptive starvation — the protocol's victim set (the");
+    println!("                unsettled agents: DFS driver, cohort, probers) fires only");
+    println!("                every L-th step; everyone else fires every step");
     println!("algorithms : {}", registry.labels().join(", "));
     println!("\nexample    : er6/k64/scatter/async-rand0.7/ks-dfs");
+    println!("example    : line/k100000/rooted/async-target4/probe-dfs");
 }
 
 fn render(

@@ -352,9 +352,14 @@ impl CampaignSpec {
     /// no faithful sequential simulation finishes at `k = 10^6`.
     ///
     /// Full mode adds repetitions, the `ks-dfs` scan baseline at `n = 10^4`,
-    /// and an `async-rr` section at `n = 10^4` (ASYNC step cost is dominated
-    /// by the adversary's O(k)-per-step schedule generation — the flat
-    /// engine's next frontier).
+    /// the full ASYNC `async-lag4` grid up to `n = 10^6` on all four
+    /// families, the adaptive `async-target4` starvation grid, and an
+    /// `async-rr` control at `n = 10^4`. ASYNC at `n = 10^6` is what the
+    /// event-driven adversaries (PR 4) bought: schedule generation is
+    /// O(active) per step, so the `async-lag` line trial lands within the
+    /// same order of magnitude as its SYNC counterpart (seconds, not
+    /// hours); quick mode carries an `n = 10^5` async-lag smoke that CI
+    /// checks for `--threads 1` vs `4` byte-identity.
     pub fn scale(mode: Mode, seed: u64) -> CampaignSpec {
         let families: [(GraphFamily, [usize; 3]); 4] = [
             (GraphFamily::Line, [10_000, 100_000, 1_000_000]),
@@ -366,12 +371,13 @@ impl CampaignSpec {
             Mode::Quick => 1,
             Mode::Full => 2,
         };
-        let grid = |occupancy: f64, divisor: usize| -> Vec<ExperimentPoint> {
+        let grid = |occupancy: f64, divisor: usize, schedule: Schedule| -> Vec<ExperimentPoint> {
             families
                 .iter()
                 .flat_map(|&(family, ks)| {
                     ks.into_iter().map(move |k| {
-                        let mut spec = ScenarioSpec::new(family, k / divisor, "probe-dfs");
+                        let mut spec = ScenarioSpec::new(family, k / divisor, "probe-dfs")
+                            .with_schedule(schedule);
                         if occupancy != 1.0 {
                             spec = spec.with_occupancy(occupancy);
                         }
@@ -380,44 +386,84 @@ impl CampaignSpec {
                 })
                 .collect()
         };
+        let lag = Schedule::AsyncLagging {
+            max_lag: 4,
+            seed: 0,
+        };
         let mut sections = vec![
             Section::new(
                 "scale-sync-full",
                 "SYNC rooted probe-dfs, k = n (rounds)",
-                grid(1.0, 1),
+                grid(1.0, 1, Schedule::Sync),
             ),
             Section::new(
                 "scale-sync-quarter",
                 "SYNC rooted probe-dfs, k = n/4 (rounds)",
-                grid(0.25, 4),
+                grid(0.25, 4, Schedule::Sync),
             ),
         ];
-        if mode == Mode::Full {
-            let small: Vec<GraphFamily> = families.iter().map(|&(f, _)| f).collect();
-            sections.push(Section::new(
-                "scale-baseline",
-                "SYNC rooted ks-dfs scan baseline at n = 10^4 (rounds)",
-                section_points(
-                    &small,
-                    &[10_000],
-                    &["ks-dfs"],
-                    Placement::Rooted,
-                    Schedule::Sync,
-                    reps,
-                ),
-            ));
-            sections.push(Section::new(
-                "scale-async",
-                "ASYNC round-robin probe-dfs at n = 10^4 (epochs)",
-                section_points(
-                    &small,
-                    &[10_000],
-                    &["probe-dfs"],
-                    Placement::Rooted,
-                    Schedule::AsyncRoundRobin,
-                    reps,
-                ),
-            ));
+        match mode {
+            Mode::Quick => {
+                // The async smoke CI leans on: small enough to stay cheap,
+                // big enough (n = 10^5) to exercise the timer wheel and the
+                // bulk epoch crediting for real.
+                sections.push(Section::new(
+                    "scale-async-lag",
+                    "ASYNC lagging (max_lag 4) probe-dfs at n = 10^5 (epochs)",
+                    section_points(
+                        &[GraphFamily::Line, GraphFamily::Ring],
+                        &[100_000],
+                        &["probe-dfs"],
+                        Placement::Rooted,
+                        lag,
+                        reps,
+                    ),
+                ));
+            }
+            Mode::Full => {
+                let small: Vec<GraphFamily> = families.iter().map(|&(f, _)| f).collect();
+                sections.push(Section::new(
+                    "scale-baseline",
+                    "SYNC rooted ks-dfs scan baseline at n = 10^4 (rounds)",
+                    section_points(
+                        &small,
+                        &[10_000],
+                        &["ks-dfs"],
+                        Placement::Rooted,
+                        Schedule::Sync,
+                        reps,
+                    ),
+                ));
+                sections.push(Section::new(
+                    "scale-async-lag",
+                    "ASYNC lagging (max_lag 4) probe-dfs, k = n up to 10^6 (epochs)",
+                    grid(1.0, 1, lag),
+                ));
+                sections.push(Section::new(
+                    "scale-async-target",
+                    "ASYNC targeted starvation (max_lag 4) probe-dfs at n ≤ 10^5 (epochs)",
+                    section_points(
+                        &small,
+                        &[10_000, 100_000],
+                        &["probe-dfs"],
+                        Placement::Rooted,
+                        Schedule::AsyncTargeted { max_lag: 4 },
+                        reps,
+                    ),
+                ));
+                sections.push(Section::new(
+                    "scale-async-rr",
+                    "ASYNC round-robin probe-dfs at n = 10^4 (epochs)",
+                    section_points(
+                        &small,
+                        &[10_000],
+                        &["probe-dfs"],
+                        Placement::Rooted,
+                        Schedule::AsyncRoundRobin,
+                        reps,
+                    ),
+                ));
+            }
         }
         CampaignSpec {
             name: "scale".into(),
@@ -602,6 +648,35 @@ mod tests {
                     section.name
                 );
             }
+        }
+    }
+
+    #[test]
+    fn scale_campaign_carries_the_async_sections() {
+        let quick = CampaignSpec::scale(Mode::Quick, 1);
+        let quick_labels: Vec<String> = quick.trials().iter().map(|t| t.point.point_id()).collect();
+        assert!(
+            quick_labels
+                .iter()
+                .any(|l| l == "line/k100000/rooted/async-lag4/probe-dfs"),
+            "quick mode misses the async smoke line: {quick_labels:?}"
+        );
+        let full = CampaignSpec::scale(Mode::Full, 1);
+        let full_labels: Vec<String> = full.trials().iter().map(|t| t.point.point_id()).collect();
+        // The paper's adversarial regime at the engine's full scale: every
+        // structured family at n = 10^6 under the lagging adversary, plus
+        // the adaptive starvation grid.
+        for expected in [
+            "line/k1000000/rooted/async-lag4/probe-dfs",
+            "ring/k1000000/rooted/async-lag4/probe-dfs",
+            "torus/k1000000/rooted/async-lag4/probe-dfs",
+            "hypercube/k1048576/rooted/async-lag4/probe-dfs",
+            "line/k100000/rooted/async-target4/probe-dfs",
+        ] {
+            assert!(
+                full_labels.iter().any(|l| l == expected),
+                "full mode misses {expected}"
+            );
         }
     }
 

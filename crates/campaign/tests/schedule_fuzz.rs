@@ -44,14 +44,18 @@ fn fuzz_spec(rng: &mut StdRng, registry: &Registry) -> ScenarioSpec {
             _ => Placement::AdversarialSpread,
         };
         // Random *adversarial* activation sequences: random per-step subsets
-        // with a fuzzed probability, fuzzed heterogeneous lags, round-robin
-        // and plain sync as controls.
-        let schedule = match rng.random_range(0..5u32) {
+        // with a fuzzed probability, fuzzed heterogeneous lags, the adaptive
+        // targeted starvation adversary, round-robin and plain sync as
+        // controls.
+        let schedule = match rng.random_range(0..6u32) {
             0 => Schedule::Sync,
             1 => Schedule::AsyncRoundRobin,
             2 | 3 => Schedule::AsyncRandom {
                 prob: 0.05 + (rng.random_range(0..90u32) as f64) / 100.0,
                 seed: 0,
+            },
+            4 => Schedule::AsyncTargeted {
+                max_lag: 1 + rng.random_range(0..6u64),
             },
             _ => Schedule::AsyncLagging {
                 max_lag: 1 + rng.random_range(0..6u64),
@@ -78,7 +82,7 @@ fn traced_run(spec: &ScenarioSpec, registry: &Registry, seed: u64) -> (Outcome, 
     let (mut world, mut protocol) = spec.build(registry, seed).expect("fuzz specs are valid");
     world.enable_trace();
     let config = spec.run_config(&world);
-    let outcome = match spec.build_adversary(seed) {
+    let outcome = match spec.build_adversary(world.num_agents(), seed) {
         None => SyncRunner::new(config)
             .run(&mut world, protocol.as_mut())
             .expect("fuzz runs must terminate"),

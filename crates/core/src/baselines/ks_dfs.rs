@@ -641,7 +641,7 @@ mod tests {
         let g = generators::random_tree(20, 9);
         let mut world = World::new_rooted(g, 20, NodeId(0));
         let mut proto = KsDfs::new(&world);
-        let out = AsyncRunner::new(RunConfig::default(), RoundRobinAdversary)
+        let out = AsyncRunner::new(RunConfig::default(), RoundRobinAdversary::new(20))
             .run(&mut world, &mut proto)
             .unwrap();
         check_dispersion(&world).unwrap();
@@ -653,9 +653,12 @@ mod tests {
         let g = generators::erdos_renyi_connected(25, 0.15, 3);
         let mut world = World::new_rooted(g, 25, NodeId(0));
         let mut proto = KsDfs::new(&world);
-        let out = AsyncRunner::new(RunConfig::default(), RandomSubsetAdversary::new(0.5, 11))
-            .run(&mut world, &mut proto)
-            .unwrap();
+        let out = AsyncRunner::new(
+            RunConfig::default(),
+            RandomSubsetAdversary::new(0.5, 25, 11),
+        )
+        .run(&mut world, &mut proto)
+        .unwrap();
         check_dispersion(&world).unwrap();
         assert!(out.epochs > 0);
         assert!(out.steps >= out.epochs);
@@ -675,7 +678,7 @@ mod tests {
         ];
         let mut world = World::new(g, positions);
         let mut proto = KsDfs::new(&world);
-        AsyncRunner::new(RunConfig::default(), LaggingAdversary::new(6, 5))
+        AsyncRunner::new(RunConfig::default(), LaggingAdversary::new(6, 7, 5))
             .run(&mut world, &mut proto)
             .unwrap();
         check_dispersion(&world).unwrap();

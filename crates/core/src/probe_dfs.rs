@@ -871,9 +871,13 @@ mod tests {
 
     fn run_async(world: &mut World, seed: u64) -> (Outcome, ProbeDfs) {
         let mut proto = ProbeDfs::new(world);
-        let out = AsyncRunner::new(RunConfig::default(), RandomSubsetAdversary::new(0.5, seed))
-            .run(world, &mut proto)
-            .expect("probe-dfs must terminate");
+        let k = world.num_agents();
+        let out = AsyncRunner::new(
+            RunConfig::default(),
+            RandomSubsetAdversary::new(0.5, k, seed),
+        )
+        .run(world, &mut proto)
+        .expect("probe-dfs must terminate");
         check_dispersion(world).expect("probe-dfs must disperse");
         (out, proto)
     }
@@ -974,7 +978,7 @@ mod tests {
         let g = generators::random_tree(25, 2);
         let mut world = World::new_rooted(g, 25, NodeId(0));
         let mut proto = ProbeDfs::new(&world);
-        let out = AsyncRunner::new(RunConfig::default(), RoundRobinAdversary)
+        let out = AsyncRunner::new(RunConfig::default(), RoundRobinAdversary::new(25))
             .run(&mut world, &mut proto)
             .unwrap();
         check_dispersion(&world).unwrap();
@@ -995,7 +999,7 @@ mod tests {
         let g = generators::star(20);
         let mut world = World::new_rooted(g, 20, NodeId(0));
         let mut proto = ProbeDfs::new(&world);
-        AsyncRunner::new(RunConfig::default(), LaggingAdversary::new(5, 9))
+        AsyncRunner::new(RunConfig::default(), LaggingAdversary::new(5, 20, 9))
             .run(&mut world, &mut proto)
             .unwrap();
         check_dispersion(&world).unwrap();

@@ -21,8 +21,9 @@
 //! * `placement` — a [`Placement`] label (`rooted`, `scatter`, `cluster4`,
 //!   `spread`)
 //! * `schedule`  — a [`Schedule`] label (`sync`, `async-rr`,
-//!   `async-rand0.7`, `async-lag4`); adversary seeds are **not** part of a
-//!   scenario — every seed of a run derives from the single run seed
+//!   `async-rand0.7`, `async-lag4`, `async-target4`); adversary seeds are
+//!   **not** part of a scenario — every seed of a run derives from the
+//!   single run seed
 //! * `algorithm` — a [`Registry`] label (`ks-dfs`, `probe-dfs`,
 //!   `sync-seeker`, …)
 //! * params      — sorted `key=value` segments with canonically formatted
@@ -112,19 +113,29 @@ pub enum Schedule {
         /// RNG seed (see [`Schedule::AsyncRandom::seed`]).
         seed: u64,
     },
+    /// Asynchronous with the adaptive targeted (starvation) adversary: the
+    /// protocol-designated victim set — the unsettled agents, i.e. the DFS
+    /// driver, its cohort and the probers — is activated only every
+    /// `max_lag`-th step while everyone else is activated promptly. The
+    /// paper's lower-bound adversarial shape; deterministic (no seed).
+    AsyncTargeted {
+        /// Steps between consecutive victim activations.
+        max_lag: u64,
+    },
 }
 
 impl Schedule {
     /// Canonical label: `sync`, `async-rr`, `async-rand<float>`,
-    /// `async-lag<int>`. Seeds are deliberately not encoded — a schedule
-    /// label describes the adversary *family*, the run seed supplies its
-    /// randomness.
+    /// `async-lag<int>`, `async-target<int>`. Seeds are deliberately not
+    /// encoded — a schedule label describes the adversary *family*, the run
+    /// seed supplies its randomness.
     pub fn label(&self) -> String {
         match self {
             Schedule::Sync => "sync".into(),
             Schedule::AsyncRoundRobin => "async-rr".into(),
             Schedule::AsyncRandom { prob, .. } => format!("async-rand{}", fmt_f64(*prob)),
             Schedule::AsyncLagging { max_lag, .. } => format!("async-lag{max_lag}"),
+            Schedule::AsyncTargeted { max_lag } => format!("async-target{max_lag}"),
         }
     }
 
@@ -138,6 +149,9 @@ impl Schedule {
                 if let Some(rest) = label.strip_prefix("async-rand") {
                     let prob = parse_f64(rest)?;
                     (prob > 0.0 && prob <= 1.0).then_some(Schedule::AsyncRandom { prob, seed: 0 })
+                } else if let Some(rest) = label.strip_prefix("async-target") {
+                    let max_lag = parse_u64(rest)?;
+                    (max_lag >= 1).then_some(Schedule::AsyncTargeted { max_lag })
                 } else if let Some(rest) = label.strip_prefix("async-lag") {
                     let max_lag = parse_u64(rest)?;
                     (max_lag >= 1).then_some(Schedule::AsyncLagging { max_lag, seed: 0 })
@@ -153,13 +167,15 @@ impl Schedule {
         !matches!(self, Schedule::Sync)
     }
 
-    /// The same schedule with its adversary seed replaced by `seed`.
+    /// The same schedule with its adversary seed replaced by `seed` (a
+    /// no-op for the deterministic schedules).
     pub fn reseeded(self, seed: u64) -> Schedule {
         match self {
             Schedule::Sync => Schedule::Sync,
             Schedule::AsyncRoundRobin => Schedule::AsyncRoundRobin,
             Schedule::AsyncRandom { prob, .. } => Schedule::AsyncRandom { prob, seed },
             Schedule::AsyncLagging { max_lag, .. } => Schedule::AsyncLagging { max_lag, seed },
+            Schedule::AsyncTargeted { max_lag } => Schedule::AsyncTargeted { max_lag },
         }
     }
 
@@ -175,6 +191,7 @@ impl Schedule {
             Schedule::AsyncLagging { max_lag, seed } => {
                 Some((AdversaryKind::Lagging { max_lag }, seed))
             }
+            Schedule::AsyncTargeted { max_lag } => Some((AdversaryKind::Targeted { max_lag }, 0)),
         }
     }
 }
@@ -350,6 +367,9 @@ impl Limits {
             Schedule::AsyncRoundRobin => 2,
             Schedule::AsyncRandom { prob, .. } => (8.0 / prob.max(1e-6)).ceil() as u64,
             Schedule::AsyncLagging { max_lag, .. } => 4 * max_lag.max(1) + 4,
+            // Victims fire every max_lag-th step, so time stretches by
+            // exactly that factor (plus headroom).
+            Schedule::AsyncTargeted { max_lag } => 2 * max_lag.max(1) + 4,
         };
         RunConfig {
             max_rounds: self.max_rounds.unwrap_or(default_rounds),
@@ -908,6 +928,15 @@ impl ScenarioSpec {
                 });
             }
         }
+        if let Schedule::AsyncLagging { max_lag, .. } | Schedule::AsyncTargeted { max_lag } =
+            self.schedule
+        {
+            if max_lag == 0 {
+                return Err(ScenarioError::BadSpec {
+                    reason: "adversary max_lag must be at least 1".into(),
+                });
+            }
+        }
         let declared = factory.default_params();
         for (key, value) in self.params.iter() {
             let default = declared
@@ -979,11 +1008,13 @@ impl ScenarioSpec {
     }
 
     /// The seeded adversary driving this scenario's schedule under `seed`
-    /// (`None` for SYNC). Companion of [`ScenarioSpec::build`].
-    pub fn build_adversary(&self, seed: u64) -> Option<Box<dyn Adversary>> {
+    /// for a `k`-agent world (`None` for SYNC) — pass
+    /// `world.num_agents()`; adversaries fix their agent count at
+    /// construction. Companion of [`ScenarioSpec::build`].
+    pub fn build_adversary(&self, k: usize, seed: u64) -> Option<Box<dyn Adversary>> {
         self.schedule
             .adversary()
-            .map(|(kind, _)| kind.build(mix(&[seed, SEED_ADVERSARY])))
+            .map(|(kind, _)| kind.build(k, mix(&[seed, SEED_ADVERSARY])))
     }
 
     /// The resolved runner configuration for the realized `world`.
@@ -1002,7 +1033,7 @@ impl ScenarioSpec {
     pub fn run(&self, registry: &Registry, seed: u64) -> Result<ScenarioReport, ScenarioError> {
         let (mut world, mut protocol) = self.build(registry, seed)?;
         let config = self.run_config(&world);
-        let outcome = match self.build_adversary(seed) {
+        let outcome = match self.build_adversary(world.num_agents(), seed) {
             None => SyncRunner::new(config).run(&mut world, protocol.as_mut())?,
             Some(adversary) => {
                 AsyncRunner::new(config, adversary).run(&mut world, protocol.as_mut())?
@@ -1045,7 +1076,7 @@ pub fn run_custom(
     let outcome = match schedule.adversary() {
         None => SyncRunner::new(config).run(&mut world, protocol.as_mut())?,
         Some((kind, _)) => {
-            let adversary = kind.build(mix(&[seed, SEED_ADVERSARY]));
+            let adversary = kind.build(k, mix(&[seed, SEED_ADVERSARY]));
             AsyncRunner::new(config, adversary).run(&mut world, protocol.as_mut())?
         }
     };
@@ -1083,10 +1114,17 @@ mod tests {
                 max_lag: 4,
                 seed: 0,
             },
+            Schedule::AsyncTargeted { max_lag: 4 },
         ] {
             assert_eq!(Schedule::from_label(&sched.label()), Some(sched));
         }
         assert_eq!(Schedule::Sync.label(), "sync");
+        assert_eq!(
+            Schedule::AsyncTargeted { max_lag: 6 }.label(),
+            "async-target6"
+        );
+        assert_eq!(Schedule::from_label("async-target0"), None);
+        assert_eq!(Schedule::from_label("async-target04"), None);
         assert_eq!(
             Schedule::AsyncRandom { prob: 1.0, seed: 9 }.label(),
             "async-rand1.0",
@@ -1263,6 +1301,7 @@ mod tests {
                 max_lag: 4,
                 seed: 0,
             },
+            Schedule::AsyncTargeted { max_lag: 4 },
         ] {
             for algo in ["ks-dfs", "probe-dfs"] {
                 let spec = ScenarioSpec::new(GraphFamily::ErdosRenyi { avg_degree: 6.0 }, 24, algo)

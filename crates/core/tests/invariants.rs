@@ -83,7 +83,7 @@ fn run_checked(spec: &ScenarioSpec, registry: &Registry, seed: u64) -> (Outcome,
     let (mut world, inner) = spec.build(registry, seed).expect("grid specs are valid");
     let mut protocol = InvariantChecked { inner, checks: 0 };
     let config = spec.run_config(&world);
-    let outcome = match spec.build_adversary(seed) {
+    let outcome = match spec.build_adversary(world.num_agents(), seed) {
         None => SyncRunner::new(config)
             .run(&mut world, &mut protocol)
             .expect("grid runs must terminate"),
@@ -112,6 +112,7 @@ fn grid_specs() -> Vec<ScenarioSpec> {
             max_lag: 3,
             seed: 0,
         },
+        Schedule::AsyncTargeted { max_lag: 3 },
     ];
     let registry = registry();
     let mut specs = Vec::new();

@@ -1,27 +1,165 @@
-//! ASYNC activation adversaries.
+//! Event-driven ASYNC activation adversaries.
 //!
 //! The asynchronous model lets an adversary decide when each agent performs
 //! its CCM cycles, subject only to "every agent is activated infinitely
-//! often". An [`Adversary`] produces, for each scheduler step, the ordered
-//! list of agents to activate during that step.
+//! often". An [`Adversary`] produces, per scheduler step, the batch of
+//! agents to activate — **event-driven**: it writes into a caller-owned
+//! reusable buffer (no per-step allocation), generates only the *due*
+//! agents, and may jump over empty steps entirely (discrete-event style),
+//! returning the step its batch fires at.
+//!
+//! ## Worklist integration
+//!
+//! Adversaries schedule over the world's **active** worklist (the
+//! [`StepView`] handed to [`Adversary::next_step`]): agents the protocol has
+//! parked are not scheduled at all — the runner credits their activations in
+//! bulk at epoch boundaries (see [`crate::clock::Clock`]). The model reading
+//! is that the adversary, being adversarial, procrastinates provably-no-op
+//! agents to the fairness limit: a parked agent is activated exactly once
+//! per epoch, at the boundary. This is what makes ASYNC per-step cost
+//! O(active ·&nbsp;log) instead of O(k), and million-agent ASYNC campaigns
+//! tractable.
+//!
+//! ## Determinism contract (stream migration, PR 4)
+//!
+//! Every random adversary derives its per-step randomness from fixed
+//! sub-seed tags via [`mix`], so a step's schedule is a pure function of
+//! `(seed, step, active worklist)` — no shared sequential stream whose
+//! shape depends on earlier steps' content. **These streams replace the
+//! pre-PR-4 sequential streams**: recorded ASYNC trial outcomes from older
+//! campaigns are not reproducible and must be re-run (the same applies to
+//! the PR 2 placement-stream migration).
+//!
+//! Each event-driven adversary has a retained naive O(k)-per-step
+//! counterpart in [`reference`](mod@reference), and the differential suite
+//! (`crates/sim/tests/adversary_differential.rs`) proves both replay
+//! byte-identical `(fire step, batch)` sequences over fuzzed grids.
 
 use crate::ids::AgentId;
 use disp_rng::prelude::*;
 
+/// Sub-seed tags for the adversary streams (part of the reproducibility
+/// contract, like the scenario sub-seed tags in `disp-core`).
+const SUB_SUBSET: u64 = 0xAD5E_0001;
+const SUB_FALLBACK: u64 = 0xAD5E_0002;
+const SUB_PERIOD: u64 = 0xAD5E_0003;
+const SUB_ORDER: u64 = 0xAD5E_0004;
+
+/// The adversary's read-only window onto the execution at one scheduling
+/// decision. Oblivious adversaries only read `step` and `active`; adaptive
+/// ones ([`TargetedAdversary`]) also consult the protocol-designated victim
+/// predicate.
+pub struct StepView<'a> {
+    /// Total number of agents (fixed for the whole run).
+    pub k: usize,
+    /// The earliest step the returned batch may fire at (= completed steps).
+    pub step: u64,
+    /// Currently active (schedulable) agents, sorted ascending by id.
+    pub active: &'a [AgentId],
+    /// Wake transitions since the previous `next_step` call, in occurrence
+    /// order (an agent may appear more than once if it was woken, parked and
+    /// woken again within one batch). Timer-based adversaries re-enroll
+    /// these agents; stateless ones ignore the list.
+    pub woken: &'a [AgentId],
+    /// Whether an agent belongs to the protocol-designated victim set (for
+    /// the paper's dispersion protocols: the unsettled agents — the DFS
+    /// driver, its cohort and the probers, i.e. exactly the agents whose
+    /// delay stalls progress).
+    pub victims: &'a dyn Fn(AgentId) -> bool,
+}
+
+impl<'a> StepView<'a> {
+    /// Assemble a view (the runner's job; tests build them directly).
+    pub fn new(
+        k: usize,
+        step: u64,
+        active: &'a [AgentId],
+        woken: &'a [AgentId],
+        victims: &'a dyn Fn(AgentId) -> bool,
+    ) -> StepView<'a> {
+        debug_assert!(active.windows(2).all(|w| w[0] < w[1]), "active not sorted");
+        StepView {
+            k,
+            step,
+            active,
+            woken,
+            victims,
+        }
+    }
+
+    /// Whether `agent` is on the active worklist (binary search).
+    #[inline]
+    pub fn is_active(&self, agent: AgentId) -> bool {
+        self.active.binary_search(&agent).is_ok()
+    }
+}
+
+/// Why an adversary refused to schedule — a buggy adversary fails its trial
+/// with a typed error instead of poisoning the whole campaign process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdversaryError {
+    /// The runner's agent count does not match the count the adversary was
+    /// built for. Adversaries fix `k` at construction (their period/stream
+    /// state is sized for it); a mid-run change is rejected, never silently
+    /// re-rolled.
+    AgentCountChanged {
+        /// The agent count at construction.
+        expected: usize,
+        /// The agent count the runner presented.
+        got: usize,
+    },
+    /// The adversary could not produce a batch although active agents exist
+    /// (an internal scheduling invariant broke).
+    Stalled {
+        /// The step at which scheduling gave up.
+        step: u64,
+    },
+}
+
+impl std::fmt::Display for AdversaryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdversaryError::AgentCountChanged { expected, got } => write!(
+                f,
+                "adversary was built for k={expected} agents but was asked to schedule k={got}"
+            ),
+            AdversaryError::Stalled { step } => {
+                write!(f, "adversary failed to produce a batch at step {step}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdversaryError {}
+
 /// A source of ASYNC activation decisions.
 pub trait Adversary {
-    /// The agents to activate at scheduler step `step` (in activation order).
-    /// Must eventually activate every agent (fairness); may return an empty
-    /// list occasionally, but not forever.
-    fn next_step(&mut self, k: usize, step: u64) -> Vec<AgentId>;
+    /// Write the next batch of activations into `out` (cleared first), in
+    /// activation order, and return the step the batch fires at (≥
+    /// `view.step`; steps in between are empty and are skipped wholesale).
+    ///
+    /// Contract: only active agents appear in the batch, and the batch is
+    /// non-empty whenever `view.active` is non-empty (fairness requires
+    /// activity); the runner treats violations as a failed trial. Agents in
+    /// the batch may have been parked by *earlier batch members* by the time
+    /// their turn comes — the runner skips those without executing them.
+    fn next_step(
+        &mut self,
+        view: &StepView<'_>,
+        out: &mut Vec<AgentId>,
+    ) -> Result<u64, AdversaryError>;
 
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
 }
 
 impl Adversary for Box<dyn Adversary> {
-    fn next_step(&mut self, k: usize, step: u64) -> Vec<AgentId> {
-        (**self).next_step(k, step)
+    fn next_step(
+        &mut self,
+        view: &StepView<'_>,
+        out: &mut Vec<AgentId>,
+    ) -> Result<u64, AdversaryError> {
+        (**self).next_step(view, out)
     }
 
     fn name(&self) -> &'static str {
@@ -29,11 +167,10 @@ impl Adversary for Box<dyn Adversary> {
     }
 }
 
-/// A value-level description of an adversary, separated from its RNG seed.
-///
-/// The experiment harness stores `AdversaryKind`s in its grid and derives a
-/// fresh seed per trial, so construction has to be a cheap, seedable,
-/// data-driven operation — this is that constructor.
+/// A value-level description of an adversary, separated from its RNG seed
+/// and agent count. The experiment harness stores `AdversaryKind`s in its
+/// grid and derives a fresh seed per trial, so construction has to be a
+/// cheap, seedable, data-driven operation — this is that constructor.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AdversaryKind {
     /// [`RoundRobinAdversary`].
@@ -49,32 +186,73 @@ pub enum AdversaryKind {
         /// Largest per-agent activation period.
         max_lag: u64,
     },
+    /// [`TargetedAdversary`] with the given victim starvation lag.
+    Targeted {
+        /// Steps between consecutive victim activations.
+        max_lag: u64,
+    },
 }
 
 impl AdversaryKind {
-    /// Instantiate the adversary with the given seed (ignored by the
-    /// deterministic round-robin adversary).
-    pub fn build(self, seed: u64) -> Box<dyn Adversary> {
+    /// Instantiate the adversary for a `k`-agent run with the given seed
+    /// (the seed is ignored by the deterministic round-robin and targeted
+    /// adversaries).
+    pub fn build(self, k: usize, seed: u64) -> Box<dyn Adversary> {
         match self {
-            AdversaryKind::RoundRobin => Box::new(RoundRobinAdversary),
+            AdversaryKind::RoundRobin => Box::new(RoundRobinAdversary::new(k)),
             AdversaryKind::RandomSubset { prob } => {
-                Box::new(RandomSubsetAdversary::new(prob, seed))
+                Box::new(RandomSubsetAdversary::new(prob, k, seed))
             }
-            AdversaryKind::Lagging { max_lag } => Box::new(LaggingAdversary::new(max_lag, seed)),
+            AdversaryKind::Lagging { max_lag } => Box::new(LaggingAdversary::new(max_lag, k, seed)),
+            AdversaryKind::Targeted { max_lag } => Box::new(TargetedAdversary::new(max_lag, k)),
         }
     }
 }
 
-/// Activates every agent exactly once per step, rotating the starting agent,
-/// so each step is an epoch. The most benign legal schedule; useful as a
-/// best-case reference and for differential testing against SYNC runs.
-#[derive(Debug, Clone, Default)]
-pub struct RoundRobinAdversary;
+fn check_k(expected: usize, view: &StepView<'_>) -> Result<(), AdversaryError> {
+    if view.k != expected {
+        return Err(AdversaryError::AgentCountChanged {
+            expected,
+            got: view.k,
+        });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Round-robin
+// ---------------------------------------------------------------------------
+
+/// Activates every active agent once per step, rotating the starting id with
+/// the step number, so each step is an epoch. The most benign legal
+/// schedule; useful as a best-case reference and for differential testing
+/// against SYNC runs. Batch generation is pure rotation arithmetic on the
+/// sorted active worklist — O(active) per step, never O(k).
+#[derive(Debug, Clone)]
+pub struct RoundRobinAdversary {
+    k: usize,
+}
+
+impl RoundRobinAdversary {
+    /// A round-robin adversary for `k` agents.
+    pub fn new(k: usize) -> Self {
+        RoundRobinAdversary { k }
+    }
+}
 
 impl Adversary for RoundRobinAdversary {
-    fn next_step(&mut self, k: usize, step: u64) -> Vec<AgentId> {
-        let start = (step % k as u64) as usize;
-        (0..k).map(|i| AgentId(((start + i) % k) as u32)).collect()
+    fn next_step(
+        &mut self,
+        view: &StepView<'_>,
+        out: &mut Vec<AgentId>,
+    ) -> Result<u64, AdversaryError> {
+        check_k(self.k, view)?;
+        out.clear();
+        let start = AgentId((view.step % self.k.max(1) as u64) as u32);
+        let split = view.active.partition_point(|&a| a < start);
+        out.extend_from_slice(&view.active[split..]);
+        out.extend_from_slice(&view.active[..split]);
+        Ok(view.step)
     }
 
     fn name(&self) -> &'static str {
@@ -82,39 +260,84 @@ impl Adversary for RoundRobinAdversary {
     }
 }
 
-/// Activates each agent independently with probability `prob` per step, in a
-/// random order. Models uncoordinated agents with similar speeds.
+// ---------------------------------------------------------------------------
+// Random subset (geometric skip-sampling)
+// ---------------------------------------------------------------------------
+
+/// Walk the sorted active list choosing each position independently with
+/// probability `prob`, via geometric gap (skip) sampling: one uniform draw
+/// per *chosen* agent instead of one Bernoulli draw per agent. The chosen
+/// set is identical in distribution to per-agent Bernoulli sampling; the
+/// construction (and therefore the exact stream) is the schedule's
+/// definition.
+fn sample_gaps(rng: &mut StdRng, prob: f64, active: &[AgentId], out: &mut Vec<AgentId>) {
+    if prob >= 1.0 {
+        out.extend_from_slice(active);
+        return;
+    }
+    let denom = (1.0 - prob).ln();
+    if denom == 0.0 {
+        // prob below ~1.1e-16: 1 − prob rounds to 1.0 and the gap formula
+        // would degenerate to −inf (which casts to gap 0 — everyone, the
+        // exact opposite of Bernoulli(prob)). Such a step selects no one;
+        // the caller's fallback keeps the schedule fair.
+        return;
+    }
+    let mut i = 0usize;
+    while i < active.len() {
+        let u = rng.random_f64();
+        let gap = ((1.0 - u).ln() / denom).floor();
+        if gap >= (active.len() - i) as f64 {
+            break;
+        }
+        i += gap as usize;
+        out.push(active[i]);
+        i += 1;
+    }
+}
+
+/// Activates each active agent independently with probability `prob` per
+/// step, in a random order. Models uncoordinated agents with similar
+/// speeds. Event-driven: per-step derived sub-streams (the schedule of step
+/// `s` is a pure function of `(seed, s, active worklist)`), geometric
+/// skip-sampling in O(chosen), and a fallback draw — on its **own** derived
+/// sub-stream, so an empty step never shifts any other step's randomness —
+/// that activates one uniformly random active agent when the sample comes
+/// up empty.
 #[derive(Debug)]
 pub struct RandomSubsetAdversary {
     prob: f64,
-    rng: StdRng,
+    seed: u64,
+    k: usize,
 }
 
 impl RandomSubsetAdversary {
     /// `prob` is the per-agent activation probability per step.
-    pub fn new(prob: f64, seed: u64) -> Self {
+    pub fn new(prob: f64, k: usize, seed: u64) -> Self {
         assert!(
             prob > 0.0 && prob <= 1.0,
             "activation probability must be in (0, 1]"
         );
-        RandomSubsetAdversary {
-            prob,
-            rng: StdRng::seed_from_u64(seed),
-        }
+        RandomSubsetAdversary { prob, seed, k }
     }
 }
 
 impl Adversary for RandomSubsetAdversary {
-    fn next_step(&mut self, k: usize, _step: u64) -> Vec<AgentId> {
-        let mut chosen: Vec<AgentId> = (0..k as u32)
-            .map(AgentId)
-            .filter(|_| self.rng.random_bool(self.prob))
-            .collect();
-        if chosen.is_empty() {
-            chosen.push(AgentId(self.rng.random_range(0..k) as u32));
+    fn next_step(
+        &mut self,
+        view: &StepView<'_>,
+        out: &mut Vec<AgentId>,
+    ) -> Result<u64, AdversaryError> {
+        check_k(self.k, view)?;
+        out.clear();
+        let mut rng = StdRng::seed_from_u64(mix(&[self.seed, SUB_SUBSET, view.step]));
+        sample_gaps(&mut rng, self.prob, view.active, out);
+        if out.is_empty() && !view.active.is_empty() {
+            let mut fb = StdRng::seed_from_u64(mix(&[self.seed, SUB_FALLBACK, view.step]));
+            out.push(view.active[fb.random_range(0..view.active.len())]);
         }
-        chosen.shuffle(&mut self.rng);
-        chosen
+        out.shuffle(&mut rng);
+        Ok(view.step)
     }
 
     fn name(&self) -> &'static str {
@@ -122,50 +345,437 @@ impl Adversary for RandomSubsetAdversary {
     }
 }
 
-/// Each agent has its own (randomly drawn) activation period in
-/// `1..=max_lag`; the adversary re-draws the period after every activation.
-/// Models strongly heterogeneous agent speeds — some agents lag behind
-/// others by up to `max_lag` steps, stretching epochs accordingly.
+// ---------------------------------------------------------------------------
+// Lagging (calendar-queue timer wheel)
+// ---------------------------------------------------------------------------
+
+/// The `j`-th activation period of `agent`: a stateless pure function of
+/// the seed, drawn uniformly from the documented `1..=max_lag` range
+/// (Lemire reduction on a mixed word — one derivation per draw, no shared
+/// sequential stream).
+fn period_of(seed: u64, max_lag: u64, agent: u32, draw: u64) -> u64 {
+    let v = mix(&[seed, SUB_PERIOD, agent as u64, draw]);
+    1 + ((v as u128 * max_lag as u128) >> 64) as u64
+}
+
+const UNSCHEDULED: u64 = u64::MAX;
+
+/// Each agent has its own activation period, redrawn from `1..=max_lag`
+/// after every activation (and drawn from the same documented range at
+/// construction — the first activation of every agent happens within the
+/// first `max_lag` steps). Models strongly heterogeneous agent speeds —
+/// some agents lag behind others by up to `max_lag` steps, stretching
+/// epochs accordingly.
+///
+/// Event-driven implementation: a timer wheel of `max_lag + 1` buckets
+/// keyed by due step. One `next_step` call costs O(due + woken + wheel
+/// scan) — independent of `k` — and steps with nothing due are skipped
+/// wholesale (the returned fire step jumps), which is what lets the
+/// `n = 10^6` `async-lag` trials finish in seconds. Parked agents leave the
+/// schedule lazily (their entry is dropped when its bucket comes up) and
+/// re-enroll through [`StepView::woken`] with a fresh period; an agent's
+/// period draw counter survives park/wake, so the whole schedule is
+/// deterministic in `(seed, execution history)`.
 #[derive(Debug)]
 pub struct LaggingAdversary {
     max_lag: u64,
+    seed: u64,
+    k: usize,
+    /// Next scheduled due step per agent ([`UNSCHEDULED`] when parked or
+    /// already consumed); doubles as the validity stamp for lazy deletion.
     next_due: Vec<u64>,
-    rng: StdRng,
+    /// Period draws consumed per agent (the stateless stream position).
+    draws: Vec<u64>,
+    /// `wheel[due % (max_lag + 1)]` holds the agents scheduled for `due`.
+    wheel: Vec<Vec<u32>>,
+    /// The next step the bucket scan starts from; all valid entries have
+    /// `due ∈ [cursor, cursor + max_lag]`.
+    cursor: u64,
+    /// Scratch for draining a bucket without fighting the borrow checker.
+    scratch: Vec<u32>,
 }
 
 impl LaggingAdversary {
     /// `max_lag ≥ 1` is the largest number of steps an agent can sleep
-    /// between consecutive activations.
-    pub fn new(max_lag: u64, seed: u64) -> Self {
+    /// between consecutive activations. All `k` initial periods are drawn at
+    /// construction from `1..=max_lag` (agent `i`'s first activation is at
+    /// step `period - 1`).
+    pub fn new(max_lag: u64, k: usize, seed: u64) -> Self {
         assert!(max_lag >= 1, "max_lag must be at least 1");
-        LaggingAdversary {
+        let mut adv = LaggingAdversary {
             max_lag,
-            next_due: Vec::new(),
-            rng: StdRng::seed_from_u64(seed),
+            seed,
+            k,
+            next_due: vec![UNSCHEDULED; k],
+            draws: vec![0; k],
+            wheel: vec![Vec::new(); (max_lag + 1) as usize],
+            cursor: 0,
+            scratch: Vec::new(),
+        };
+        for a in 0..k as u32 {
+            let p = adv.draw_period(a);
+            adv.schedule(a, p - 1);
         }
+        adv
+    }
+
+    fn draw_period(&mut self, agent: u32) -> u64 {
+        let d = self.draws[agent as usize];
+        self.draws[agent as usize] += 1;
+        period_of(self.seed, self.max_lag, agent, d)
+    }
+
+    fn schedule(&mut self, agent: u32, due: u64) {
+        self.next_due[agent as usize] = due;
+        let ring = self.wheel.len() as u64;
+        self.wheel[(due % ring) as usize].push(agent);
     }
 }
 
 impl Adversary for LaggingAdversary {
-    fn next_step(&mut self, k: usize, step: u64) -> Vec<AgentId> {
-        if self.next_due.len() != k {
-            self.next_due = (0..k)
-                .map(|_| self.rng.random_range(0..self.max_lag))
-                .collect();
+    fn next_step(
+        &mut self,
+        view: &StepView<'_>,
+        out: &mut Vec<AgentId>,
+    ) -> Result<u64, AdversaryError> {
+        check_k(self.k, view)?;
+        // Re-enroll woken agents: an agent woken by the batch at step
+        // `view.step - 1` next activates a fresh period later.
+        for &a in view.woken {
+            let p = self.draw_period(a.0);
+            self.schedule(a.0, view.step.max(1) - 1 + p);
         }
-        let mut due: Vec<AgentId> = (0..k)
-            .filter(|&i| self.next_due[i] <= step)
-            .map(|i| AgentId(i as u32))
-            .collect();
-        for a in &due {
-            self.next_due[a.index()] = step + 1 + self.rng.random_range(0..self.max_lag);
+        self.cursor = self.cursor.max(view.step);
+        out.clear();
+        let ring = self.wheel.len() as u64;
+        let mut scanned = 0u64;
+        loop {
+            // Every active agent holds a valid entry within the ring, so a
+            // longer fruitless scan means the invariant broke.
+            if scanned > ring {
+                return Err(AdversaryError::Stalled { step: self.cursor });
+            }
+            let s = self.cursor;
+            let idx = (s % ring) as usize;
+            std::mem::swap(&mut self.wheel[idx], &mut self.scratch);
+            for i in 0..self.scratch.len() {
+                let a = self.scratch[i];
+                // Lazy deletion: only entries whose stamp still matches are
+                // live (consuming resets the stamp, which also de-dups).
+                if self.next_due[a as usize] == s {
+                    self.next_due[a as usize] = UNSCHEDULED;
+                    if view.is_active(AgentId(a)) {
+                        out.push(AgentId(a));
+                    }
+                }
+            }
+            self.scratch.clear();
+            if out.is_empty() {
+                self.cursor += 1;
+                scanned += 1;
+                continue;
+            }
+            out.sort_unstable();
+            for &fired in out.iter() {
+                let p = self.draw_period(fired.0);
+                self.schedule(fired.0, s + p);
+            }
+            let mut order = StdRng::seed_from_u64(mix(&[self.seed, SUB_ORDER, s]));
+            out.shuffle(&mut order);
+            self.cursor = s + 1;
+            return Ok(s);
         }
-        due.shuffle(&mut self.rng);
-        due
     }
 
     fn name(&self) -> &'static str {
         "lagging"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Targeted (adaptive starvation)
+// ---------------------------------------------------------------------------
+
+/// The paper's lower-bound-style *adaptive* adversary: it starves the
+/// protocol-designated victim set — the agents whose delay actually stalls
+/// progress (for the dispersion protocols: the unsettled agents, i.e. the
+/// current DFS driver, its cohort and the probers) — to the fairness limit,
+/// activating each victim only every `max_lag`-th step, while activating
+/// every non-victim active agent promptly at every step (wasting the
+/// protocol's time on agents that have nothing to do).
+///
+/// Deterministic (no RNG); the victim set is re-evaluated every step
+/// through the [`StepView::victims`] predicate, so the adversary adapts as
+/// agents settle. Steps on which nothing is due are skipped wholesale.
+#[derive(Debug, Clone)]
+pub struct TargetedAdversary {
+    max_lag: u64,
+    k: usize,
+}
+
+impl TargetedAdversary {
+    /// `max_lag ≥ 1` is the victim activation interval (victims fire at
+    /// steps `max_lag − 1, 2·max_lag − 1, …`; `max_lag = 1` degenerates to
+    /// activating everyone every step).
+    pub fn new(max_lag: u64, k: usize) -> Self {
+        assert!(max_lag >= 1, "max_lag must be at least 1");
+        TargetedAdversary { max_lag, k }
+    }
+}
+
+impl Adversary for TargetedAdversary {
+    fn next_step(
+        &mut self,
+        view: &StepView<'_>,
+        out: &mut Vec<AgentId>,
+    ) -> Result<u64, AdversaryError> {
+        check_k(self.k, view)?;
+        out.clear();
+        let ml = self.max_lag;
+        let victim_turn = |s: u64| (s + 1).is_multiple_of(ml);
+        let mut s = view.step;
+        for &a in view.active {
+            if !(view.victims)(a) || victim_turn(s) {
+                out.push(a);
+            }
+        }
+        if out.is_empty() && !view.active.is_empty() {
+            // Every active agent is a victim: jump to the next victim turn.
+            s = view.step + (ml - 1 - view.step % ml);
+            debug_assert!(victim_turn(s) && s >= view.step);
+            out.extend_from_slice(view.active);
+        }
+        Ok(s)
+    }
+
+    fn name(&self) -> &'static str {
+        "targeted"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Naive references
+// ---------------------------------------------------------------------------
+
+/// Naive O(k)-per-step counterparts of the event-driven adversaries,
+/// retained as the oracles of the differential suite
+/// (`crates/sim/tests/adversary_differential.rs`): same declared schedule
+/// semantics and sub-seed streams, implemented by brute force — full
+/// per-step scans over all `k` agents, no timer wheel, no buffer tricks,
+/// stepping through empty steps one by one. Never use these in campaigns.
+pub mod reference {
+    use super::*;
+
+    /// Brute-force [`RoundRobinAdversary`]: walk the full rotation and
+    /// filter by activity.
+    #[derive(Debug, Clone)]
+    pub struct NaiveRoundRobin {
+        k: usize,
+    }
+
+    impl NaiveRoundRobin {
+        /// A naive round-robin reference for `k` agents.
+        pub fn new(k: usize) -> Self {
+            NaiveRoundRobin { k }
+        }
+    }
+
+    impl Adversary for NaiveRoundRobin {
+        fn next_step(
+            &mut self,
+            view: &StepView<'_>,
+            out: &mut Vec<AgentId>,
+        ) -> Result<u64, AdversaryError> {
+            check_k(self.k, view)?;
+            out.clear();
+            let start = (view.step % self.k.max(1) as u64) as usize;
+            for i in 0..self.k {
+                let a = AgentId(((start + i) % self.k) as u32);
+                if view.is_active(a) {
+                    out.push(a);
+                }
+            }
+            Ok(view.step)
+        }
+
+        fn name(&self) -> &'static str {
+            "naive-round-robin"
+        }
+    }
+
+    /// Brute-force [`RandomSubsetAdversary`]: rebuilds the active list by
+    /// scanning every agent, then applies the same per-step streams.
+    #[derive(Debug)]
+    pub struct NaiveRandomSubset {
+        prob: f64,
+        seed: u64,
+        k: usize,
+    }
+
+    impl NaiveRandomSubset {
+        /// A naive random-subset reference.
+        pub fn new(prob: f64, k: usize, seed: u64) -> Self {
+            assert!(prob > 0.0 && prob <= 1.0);
+            NaiveRandomSubset { prob, seed, k }
+        }
+    }
+
+    impl Adversary for NaiveRandomSubset {
+        fn next_step(
+            &mut self,
+            view: &StepView<'_>,
+            out: &mut Vec<AgentId>,
+        ) -> Result<u64, AdversaryError> {
+            check_k(self.k, view)?;
+            out.clear();
+            let active: Vec<AgentId> = (0..self.k as u32)
+                .map(AgentId)
+                .filter(|&a| view.is_active(a))
+                .collect();
+            let mut rng = StdRng::seed_from_u64(mix(&[self.seed, SUB_SUBSET, view.step]));
+            sample_gaps(&mut rng, self.prob, &active, out);
+            if out.is_empty() && !active.is_empty() {
+                let mut fb = StdRng::seed_from_u64(mix(&[self.seed, SUB_FALLBACK, view.step]));
+                out.push(active[fb.random_range(0..active.len())]);
+            }
+            out.shuffle(&mut rng);
+            Ok(view.step)
+        }
+
+        fn name(&self) -> &'static str {
+            "naive-random-subset"
+        }
+    }
+
+    /// Brute-force [`LaggingAdversary`]: a flat `next_due` array scanned in
+    /// full at every step (including the empty ones), with the same
+    /// stateless period stream and wake handling.
+    #[derive(Debug)]
+    pub struct NaiveLagging {
+        max_lag: u64,
+        seed: u64,
+        k: usize,
+        next_due: Vec<u64>,
+        draws: Vec<u64>,
+    }
+
+    impl NaiveLagging {
+        /// A naive lagging reference (periods drawn at construction from
+        /// `1..=max_lag`, like the event-driven adversary).
+        pub fn new(max_lag: u64, k: usize, seed: u64) -> Self {
+            assert!(max_lag >= 1);
+            let mut adv = NaiveLagging {
+                max_lag,
+                seed,
+                k,
+                next_due: vec![UNSCHEDULED; k],
+                draws: vec![0; k],
+            };
+            for a in 0..k as u32 {
+                let p = adv.draw(a);
+                adv.next_due[a as usize] = p - 1;
+            }
+            adv
+        }
+
+        fn draw(&mut self, agent: u32) -> u64 {
+            let d = self.draws[agent as usize];
+            self.draws[agent as usize] += 1;
+            period_of(self.seed, self.max_lag, agent, d)
+        }
+    }
+
+    impl Adversary for NaiveLagging {
+        fn next_step(
+            &mut self,
+            view: &StepView<'_>,
+            out: &mut Vec<AgentId>,
+        ) -> Result<u64, AdversaryError> {
+            check_k(self.k, view)?;
+            for &a in view.woken {
+                let p = self.draw(a.0);
+                self.next_due[a.index()] = view.step.max(1) - 1 + p;
+            }
+            out.clear();
+            let mut s = view.step;
+            loop {
+                if s > view.step + 2 * self.max_lag + 2 {
+                    return Err(AdversaryError::Stalled { step: s });
+                }
+                for a in 0..self.k as u32 {
+                    if self.next_due[a as usize] == s {
+                        self.next_due[a as usize] = UNSCHEDULED;
+                        if view.is_active(AgentId(a)) {
+                            out.push(AgentId(a));
+                        }
+                    }
+                }
+                if out.is_empty() {
+                    s += 1;
+                    continue;
+                }
+                for &fired in out.iter() {
+                    let p = self.draw(fired.0);
+                    self.next_due[fired.index()] = s + p;
+                }
+                let mut order = StdRng::seed_from_u64(mix(&[self.seed, SUB_ORDER, s]));
+                out.shuffle(&mut order);
+                return Ok(s);
+            }
+        }
+
+        fn name(&self) -> &'static str {
+            "naive-lagging"
+        }
+    }
+
+    /// Brute-force [`TargetedAdversary`]: full per-step scans, one step at
+    /// a time.
+    #[derive(Debug, Clone)]
+    pub struct NaiveTargeted {
+        max_lag: u64,
+        k: usize,
+    }
+
+    impl NaiveTargeted {
+        /// A naive targeted reference.
+        pub fn new(max_lag: u64, k: usize) -> Self {
+            assert!(max_lag >= 1);
+            NaiveTargeted { max_lag, k }
+        }
+    }
+
+    impl Adversary for NaiveTargeted {
+        fn next_step(
+            &mut self,
+            view: &StepView<'_>,
+            out: &mut Vec<AgentId>,
+        ) -> Result<u64, AdversaryError> {
+            check_k(self.k, view)?;
+            out.clear();
+            let mut s = view.step;
+            loop {
+                if s > view.step + self.max_lag {
+                    return Err(AdversaryError::Stalled { step: s });
+                }
+                let victim_turn = (s + 1).is_multiple_of(self.max_lag);
+                for a in 0..self.k as u32 {
+                    let a = AgentId(a);
+                    if view.is_active(a) && (!(view.victims)(a) || victim_turn) {
+                        out.push(a);
+                    }
+                }
+                if out.is_empty() && !view.active.is_empty() {
+                    s += 1;
+                    continue;
+                }
+                return Ok(s);
+            }
+        }
+
+        fn name(&self) -> &'static str {
+            "naive-targeted"
+        }
     }
 }
 
@@ -174,10 +784,52 @@ mod tests {
     use super::*;
     use std::collections::HashSet;
 
+    /// A little scripted worklist for driving adversaries without a world.
+    struct Model {
+        active: Vec<AgentId>,
+        woken: Vec<AgentId>,
+        victims: HashSet<AgentId>,
+    }
+
+    impl Model {
+        fn all_active(k: usize) -> Model {
+            Model {
+                active: (0..k as u32).map(AgentId).collect(),
+                woken: Vec::new(),
+                victims: HashSet::new(),
+            }
+        }
+
+        fn step<'a>(
+            &'a self,
+            k: usize,
+            step: u64,
+            victims: &'a dyn Fn(AgentId) -> bool,
+        ) -> StepView<'a> {
+            StepView::new(k, step, &self.active, &self.woken, victims)
+        }
+    }
+
+    fn drive(adv: &mut dyn Adversary, k: usize, steps: u64) -> Vec<(u64, Vec<AgentId>)> {
+        let model = Model::all_active(k);
+        let not_victim = |_: AgentId| false;
+        let mut out = Vec::new();
+        let mut batches = Vec::new();
+        let mut now = 0u64;
+        while now < steps {
+            let view = model.step(k, now, &not_victim);
+            let fire = adv.next_step(&view, &mut out).expect("schedule");
+            assert!(fire >= now, "{} went backwards", adv.name());
+            batches.push((fire, out.clone()));
+            now = fire + 1;
+        }
+        batches
+    }
+
     fn activates_everyone_eventually(adv: &mut dyn Adversary, k: usize, horizon: u64) {
         let mut seen = HashSet::new();
-        for step in 0..horizon {
-            for a in adv.next_step(k, step) {
+        for (_, batch) in drive(adv, k, horizon) {
+            for a in batch {
                 assert!(a.index() < k, "{} produced out-of-range agent", adv.name());
                 seen.insert(a);
             }
@@ -187,57 +839,109 @@ mod tests {
 
     #[test]
     fn round_robin_covers_everyone_each_step() {
-        let mut adv = RoundRobinAdversary;
-        let acts = adv.next_step(5, 3);
-        assert_eq!(acts.len(), 5);
-        let set: HashSet<_> = acts.iter().copied().collect();
+        let mut adv = RoundRobinAdversary::new(5);
+        let model = Model::all_active(5);
+        let not_victim = |_: AgentId| false;
+        let mut out = Vec::new();
+        adv.next_step(&model.step(5, 3, &not_victim), &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 5);
+        let set: HashSet<_> = out.iter().copied().collect();
         assert_eq!(set.len(), 5);
-        activates_everyone_eventually(&mut adv, 7, 3);
+        activates_everyone_eventually(&mut RoundRobinAdversary::new(7), 7, 3);
     }
 
     #[test]
-    fn round_robin_rotates_start() {
-        let mut adv = RoundRobinAdversary;
-        assert_eq!(adv.next_step(3, 0)[0], AgentId(0));
-        assert_eq!(adv.next_step(3, 1)[0], AgentId(1));
-        assert_eq!(adv.next_step(3, 2)[0], AgentId(2));
-        assert_eq!(adv.next_step(3, 3)[0], AgentId(0));
+    fn round_robin_rotates_start_over_the_active_list() {
+        let mut adv = RoundRobinAdversary::new(3);
+        let model = Model::all_active(3);
+        let not_victim = |_: AgentId| false;
+        let mut out = Vec::new();
+        for (step, first) in [(0u64, 0u32), (1, 1), (2, 2), (3, 0)] {
+            adv.next_step(&model.step(3, step, &not_victim), &mut out)
+                .unwrap();
+            assert_eq!(out[0], AgentId(first));
+        }
+        // Rotation splits around the start id even when some agents are
+        // parked.
+        let model = Model {
+            active: vec![AgentId(0), AgentId(2), AgentId(4)],
+            woken: Vec::new(),
+            victims: HashSet::new(),
+        };
+        let mut adv = RoundRobinAdversary::new(5);
+        adv.next_step(&model.step(5, 3, &not_victim), &mut out)
+            .unwrap();
+        assert_eq!(out, vec![AgentId(4), AgentId(0), AgentId(2)]);
     }
 
     #[test]
     fn random_subset_is_fair_and_nonempty() {
-        let mut adv = RandomSubsetAdversary::new(0.3, 42);
-        for step in 0..50 {
-            assert!(!adv.next_step(6, step).is_empty());
+        for (_, batch) in drive(&mut RandomSubsetAdversary::new(0.3, 6, 42), 6, 50) {
+            assert!(!batch.is_empty());
         }
-        activates_everyone_eventually(&mut RandomSubsetAdversary::new(0.3, 43), 6, 200);
+        activates_everyone_eventually(&mut RandomSubsetAdversary::new(0.3, 6, 43), 6, 200);
     }
 
     #[test]
-    fn random_subset_is_deterministic_per_seed() {
-        let mut a = RandomSubsetAdversary::new(0.5, 7);
-        let mut b = RandomSubsetAdversary::new(0.5, 7);
-        for step in 0..20 {
-            assert_eq!(a.next_step(8, step), b.next_step(8, step));
+    fn random_subset_steps_are_pure_functions_of_seed_and_step() {
+        // Same (seed, step) → same batch, regardless of what other steps
+        // were generated in between (the pre-PR-4 sequential stream made
+        // step schedules depend on earlier steps' content).
+        let model = Model::all_active(8);
+        let not_victim = |_: AgentId| false;
+        let mut a = RandomSubsetAdversary::new(0.5, 8, 7);
+        let mut b = RandomSubsetAdversary::new(0.5, 8, 7);
+        let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
+        // `a` visits steps 0..20 in order; `b` visits only the even ones.
+        for step in 0..20u64 {
+            a.next_step(&model.step(8, step, &not_victim), &mut out_a)
+                .unwrap();
+            if step % 2 == 0 {
+                b.next_step(&model.step(8, step, &not_victim), &mut out_b)
+                    .unwrap();
+                assert_eq!(out_a, out_b, "step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn lagging_initial_periods_are_in_the_documented_range() {
+        // Doc contract: periods come from 1..=max_lag, so every agent's
+        // first activation happens within the first max_lag steps.
+        for seed in 0..20u64 {
+            let k = 9;
+            let max_lag = 5;
+            let mut adv = LaggingAdversary::new(max_lag, k, seed);
+            let mut first_seen = vec![u64::MAX; k];
+            for (fire, batch) in drive(&mut adv, k, max_lag) {
+                for a in batch {
+                    first_seen[a.index()] = first_seen[a.index()].min(fire);
+                }
+            }
+            for (i, &s) in first_seen.iter().enumerate() {
+                assert!(
+                    s < max_lag,
+                    "agent {i} first activated at step {s} ≥ max_lag {max_lag} (seed {seed})"
+                );
+            }
         }
     }
 
     #[test]
     fn lagging_adversary_is_fair_within_max_lag() {
-        let mut adv = LaggingAdversary::new(5, 11);
-        // Every agent must be activated at least once in any window of
-        // max_lag + 1 consecutive steps after warm-up.
         let k = 4;
+        let mut adv = LaggingAdversary::new(5, k, 11);
         let mut last_seen = vec![0u64; k];
-        for step in 0..200u64 {
-            for a in adv.next_step(k, step) {
-                last_seen[a.index()] = step;
+        for (fire, batch) in drive(&mut adv, k, 200) {
+            for a in batch {
+                last_seen[a.index()] = fire;
             }
-            if step > 10 {
+            if fire > 10 {
                 for (i, &seen) in last_seen.iter().enumerate() {
                     assert!(
-                        step - seen <= 6,
-                        "agent {i} starved for more than max_lag+1 steps"
+                        fire - seen <= 5,
+                        "agent {i} starved for more than max_lag steps"
                     );
                 }
             }
@@ -245,9 +949,101 @@ mod tests {
     }
 
     #[test]
+    fn targeted_adversary_starves_victims_to_the_limit() {
+        let k = 6;
+        let mut adv = TargetedAdversary::new(4, k);
+        let model = Model {
+            active: (0..k as u32).map(AgentId).collect(),
+            woken: Vec::new(),
+            victims: [AgentId(1), AgentId(4)].into_iter().collect(),
+        };
+        let victims = |a: AgentId| model.victims.contains(&a);
+        let mut out = Vec::new();
+        for step in 0..24u64 {
+            let fire = adv
+                .next_step(&model.step(k, step, &victims), &mut out)
+                .unwrap();
+            assert_eq!(fire, step, "non-victims exist, no skipping");
+            let has_victims = out.contains(&AgentId(1)) || out.contains(&AgentId(4));
+            if (step + 1) % 4 == 0 {
+                assert_eq!(out.len(), k, "victim turn activates everyone");
+                assert!(has_victims);
+            } else {
+                assert_eq!(out.len(), k - 2, "victims are starved off-turn");
+                assert!(!has_victims);
+            }
+        }
+    }
+
+    #[test]
+    fn targeted_adversary_skips_to_the_victim_turn_when_only_victims_remain() {
+        let k = 3;
+        let mut adv = TargetedAdversary::new(5, k);
+        let model = Model {
+            active: (0..k as u32).map(AgentId).collect(),
+            woken: Vec::new(),
+            victims: (0..k as u32).map(AgentId).collect(),
+        };
+        let victims = |a: AgentId| model.victims.contains(&a);
+        let mut out = Vec::new();
+        let fire = adv
+            .next_step(&model.step(k, 0, &victims), &mut out)
+            .unwrap();
+        assert_eq!(fire, 4, "jumped straight to the first victim turn");
+        assert_eq!(out.len(), k);
+        let fire = adv
+            .next_step(&model.step(k, 5, &victims), &mut out)
+            .unwrap();
+        assert_eq!(fire, 9);
+    }
+
+    #[test]
     #[should_panic(expected = "probability")]
     fn zero_probability_rejected() {
-        let _ = RandomSubsetAdversary::new(0.0, 1);
+        let _ = RandomSubsetAdversary::new(0.0, 4, 1);
+    }
+
+    #[test]
+    fn subnormal_probability_falls_back_to_one_agent_per_step() {
+        // prob below the ln(1 − p) resolution must not degenerate into
+        // activating everyone; the fallback keeps each step at one agent.
+        let k = 8;
+        let mut adv = RandomSubsetAdversary::new(1e-17, k, 3);
+        let model = Model::all_active(k);
+        let not_victim = |_: AgentId| false;
+        let mut out = Vec::new();
+        for step in 0..50u64 {
+            adv.next_step(&model.step(k, step, &not_victim), &mut out)
+                .unwrap();
+            assert_eq!(out.len(), 1, "step {step} activated {}", out.len());
+        }
+    }
+
+    #[test]
+    fn mid_run_agent_count_change_is_a_typed_error() {
+        let kinds = [
+            AdversaryKind::RoundRobin,
+            AdversaryKind::RandomSubset { prob: 0.4 },
+            AdversaryKind::Lagging { max_lag: 3 },
+            AdversaryKind::Targeted { max_lag: 3 },
+        ];
+        let model = Model::all_active(4);
+        let not_victim = |_: AgentId| false;
+        let mut out = Vec::new();
+        for kind in kinds {
+            let mut adv = kind.build(5, 7);
+            let err = adv
+                .next_step(&model.step(4, 0, &not_victim), &mut out)
+                .unwrap_err();
+            assert_eq!(
+                err,
+                AdversaryError::AgentCountChanged {
+                    expected: 5,
+                    got: 4
+                },
+                "{kind:?}"
+            );
+        }
     }
 
     #[test]
@@ -256,15 +1052,36 @@ mod tests {
             AdversaryKind::RoundRobin,
             AdversaryKind::RandomSubset { prob: 0.4 },
             AdversaryKind::Lagging { max_lag: 3 },
+            AdversaryKind::Targeted { max_lag: 3 },
         ];
         for kind in kinds {
-            let mut a = kind.build(77);
-            let mut b = kind.build(77);
-            for step in 0..30 {
-                assert_eq!(a.next_step(5, step), b.next_step(5, step), "{kind:?}");
-            }
-            activates_everyone_eventually(&mut kind.build(78), 5, 300);
+            let a = drive(&mut kind.build(5, 77), 5, 30);
+            let b = drive(&mut kind.build(5, 77), 5, 30);
+            assert_eq!(a, b, "{kind:?}");
+            activates_everyone_eventually(&mut kind.build(5, 78), 5, 300);
         }
-        assert_eq!(AdversaryKind::RoundRobin.build(0).name(), "round-robin");
+        assert_eq!(AdversaryKind::RoundRobin.build(4, 0).name(), "round-robin");
+        assert_eq!(
+            AdversaryKind::Targeted { max_lag: 2 }.build(4, 0).name(),
+            "targeted"
+        );
+    }
+
+    #[test]
+    fn buffers_are_reused_not_reallocated() {
+        // After warm-up the out buffer's capacity must stabilize: the
+        // event-driven contract is zero per-step allocation in the caller's
+        // buffer beyond high-water marks.
+        let k = 32;
+        let mut adv = RandomSubsetAdversary::new(0.5, k, 3);
+        let model = Model::all_active(k);
+        let not_victim = |_: AgentId| false;
+        let mut out = Vec::with_capacity(k);
+        let cap = out.capacity();
+        for step in 0..200u64 {
+            adv.next_step(&model.step(k, step, &not_victim), &mut out)
+                .unwrap();
+        }
+        assert_eq!(out.capacity(), cap, "buffer grew past its high-water mark");
     }
 }

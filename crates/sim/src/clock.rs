@@ -1,32 +1,69 @@
 //! Time accounting: rounds (SYNC), steps and epochs (ASYNC).
 
+use crate::ids::AgentId;
+
 /// Tracks simulated time.
 ///
 /// * In SYNC, a *round* activates every agent once; an epoch equals a round.
+///   The worklist-based SYNC runner credits whole rounds in O(1)
+///   ([`Clock::credit_round`]).
 /// * In ASYNC, the adversary activates agents in arbitrary order; an *epoch*
-///   is the smallest interval in which every agent has completed at least one
-///   CCM cycle (the standard definition, [Cord-Landwehr et al., ICALP'11],
-///   used by the paper).
+///   is the smallest interval in which every agent has completed at least
+///   one CCM cycle (the standard definition, [Cord-Landwehr et al.,
+///   ICALP'11], used by the paper).
+///
+/// ## Count-based epoch crediting (worklist integration)
+///
+/// The event-driven ASYNC runner schedules only **active** agents; parked
+/// agents (whose activations are provably no-ops) are not scheduled
+/// per-step but *credited in bulk*: the adversary procrastinates them to
+/// the fairness limit, activating each exactly once per epoch, at the
+/// boundary. Concretely the clock keeps the current epoch's *requirement
+/// set* — the agents active when the epoch began — as one flag array plus a
+/// single counter:
+///
+/// * an executed activation of a required agent decrements the counter
+///   ([`Clock::note_exec`]);
+/// * parking a required agent removes it from the requirement
+///   ([`Clock::note_park`]) — it joins the bulk-credited parked pool;
+/// * when the counter hits zero the epoch is complete
+///   ([`Clock::epoch_ready`]); [`Clock::begin_epoch`] then credits every
+///   currently-parked agent one activation (`k − |active|` additions in
+///   O(1)) and snapshots the new requirement from the active worklist;
+/// * agents woken mid-epoch join the requirement at the next boundary.
+///
+/// Park/wake effects are applied at batch (step) granularity — the runner
+/// drains the world's transition log after each batch — so the accounting
+/// is a deterministic function of the executed schedule. The differential
+/// test below proves the counter-based bookkeeping byte-identical to a
+/// naive per-agent-scan model fed the same event stream.
 #[derive(Debug, Clone)]
 pub struct Clock {
     rounds: u64,
     steps: u64,
     epochs: u64,
-    activated_this_epoch: Vec<bool>,
-    remaining_this_epoch: usize,
     total_activations: u64,
+    k: usize,
+    /// `need[a]`: agent `a` is in the current epoch's requirement set and
+    /// has not yet activated (or parked) since the epoch began.
+    need: Vec<bool>,
+    /// Number of `true` entries in `need`.
+    remaining: usize,
 }
 
 impl Clock {
-    /// New clock for `k` agents.
+    /// New clock for `k` agents. The first epoch's requirement defaults to
+    /// all `k` agents; ASYNC runners refine it with [`Clock::init_epoch`]
+    /// from the world's actual worklist before the first step.
     pub fn new(k: usize) -> Self {
         Clock {
             rounds: 0,
             steps: 0,
             epochs: 0,
-            activated_this_epoch: vec![false; k],
-            remaining_this_epoch: k,
             total_activations: 0,
+            k,
+            need: vec![true; k],
+            remaining: k,
         }
     }
 
@@ -35,7 +72,8 @@ impl Clock {
         self.rounds
     }
 
-    /// Completed ASYNC scheduler steps (one step = one adversary decision).
+    /// Completed ASYNC scheduler steps (one step = one adversary batch;
+    /// skipped empty steps count — the counter jumps).
     pub fn steps(&self) -> u64 {
         self.steps
     }
@@ -45,68 +83,119 @@ impl Clock {
         self.epochs
     }
 
-    /// Total individual agent activations.
+    /// Total individual agent activations (executed + bulk-credited).
     pub fn total_activations(&self) -> u64 {
         self.total_activations
     }
 
-    /// Record that agent `index` completed a CCM cycle; updates the epoch
-    /// counter when every agent has been active since the last epoch boundary.
-    pub fn note_activation(&mut self, index: usize) {
-        self.total_activations += 1;
-        if !self.activated_this_epoch[index] {
-            self.activated_this_epoch[index] = true;
-            self.remaining_this_epoch -= 1;
-            if self.remaining_this_epoch == 0 {
-                self.epochs += 1;
-                self.activated_this_epoch.fill(false);
-                self.remaining_this_epoch = self.activated_this_epoch.len();
-            }
-        }
-    }
-
-    /// Record the end of a SYNC round (the runner activates every agent
-    /// before calling this, so a round is also an epoch).
-    pub fn end_round(&mut self) {
-        self.rounds += 1;
-    }
-
-    /// Record one complete SYNC round over `k` agents in O(1): every agent is
-    /// credited one activation and the round is an epoch. The worklist-based
-    /// SYNC runner uses this instead of `k` [`Clock::note_activation`] calls —
-    /// parked agents' activations are no-ops but still count as activations,
-    /// exactly as if they had been executed.
+    /// Record one complete SYNC round over `k` agents in O(1): every agent
+    /// is credited one activation and the round is an epoch. The
+    /// worklist-based SYNC runner uses this — parked agents' activations
+    /// are no-ops but still count, exactly as if they had been executed.
     pub fn credit_round(&mut self, k: usize) {
         self.total_activations += k as u64;
         self.rounds += 1;
         self.epochs += 1;
     }
 
-    /// Record the end of one ASYNC scheduler step.
-    pub fn end_step(&mut self) {
-        self.steps += 1;
+    // ------------------------------------------------------------------
+    // ASYNC epoch accounting
+    // ------------------------------------------------------------------
+
+    /// Set the first epoch's requirement to the given (active) agents
+    /// without completing an epoch. Call once before the first step.
+    pub fn init_epoch(&mut self, active: impl Iterator<Item = AgentId>) {
+        self.need.fill(false);
+        let mut count = 0usize;
+        for a in active {
+            if !self.need[a.index()] {
+                self.need[a.index()] = true;
+                count += 1;
+            }
+        }
+        self.remaining = count;
     }
 
-    /// The current time value handed to activation contexts: rounds in SYNC
-    /// runs, steps in ASYNC runs (they are interchangeable for the purpose of
-    /// local wait counting).
-    pub fn now(&self) -> u64 {
-        self.rounds.max(self.steps)
+    /// Record one executed activation of `agent`.
+    pub fn note_exec(&mut self, agent: AgentId) {
+        self.total_activations += 1;
+        let i = agent.index();
+        if self.need[i] {
+            self.need[i] = false;
+            self.remaining -= 1;
+        }
+    }
+
+    /// Record that `agent` was parked: it leaves the requirement set (its
+    /// remaining activations this epoch are bulk-credited at the boundary).
+    pub fn note_park(&mut self, agent: AgentId) {
+        let i = agent.index();
+        if self.need[i] {
+            self.need[i] = false;
+            self.remaining -= 1;
+        }
+    }
+
+    /// Whether every required agent has activated (or parked) — the epoch
+    /// is complete and [`Clock::begin_epoch`] must be called.
+    pub fn epoch_ready(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Complete the current epoch and begin the next: bump the epoch
+    /// counter, bulk-credit one activation to every agent *not* in the new
+    /// requirement (the parked pool, activated once at the boundary by the
+    /// procrastinating adversary), and snapshot the new requirement from
+    /// the currently-active agents.
+    pub fn begin_epoch(&mut self, active: impl Iterator<Item = AgentId>) {
+        debug_assert!(self.epoch_ready(), "epoch began before completion");
+        self.epochs += 1;
+        let mut count = 0usize;
+        for a in active {
+            if !self.need[a.index()] {
+                self.need[a.index()] = true;
+                count += 1;
+            }
+        }
+        self.total_activations += (self.k - count) as u64;
+        self.remaining = count;
+    }
+
+    /// Complete the final epoch of a terminated run: the epoch counter
+    /// bumps, but no parked-agent bulk credits are added — time stops at
+    /// the boundary, so the procrastinated boundary activations never
+    /// happen. (This is also what keeps a run whose agents all park at the
+    /// finish line byte-identical to its non-parking twin.)
+    pub fn finish_final_epoch(&mut self) {
+        debug_assert!(self.epoch_ready(), "final epoch finished early");
+        self.epochs += 1;
+    }
+
+    /// Record the completion of the ASYNC batch that fired at `fire` (the
+    /// steps counter jumps over the skipped empty steps in between).
+    pub fn finish_step(&mut self, fire: u64) {
+        debug_assert!(fire >= self.steps, "steps went backwards");
+        self.steps = fire + 1;
+    }
+
+    /// Clamp the steps counter to the runner's limit when the adversary's
+    /// next batch would fire at or beyond it (the empty steps up to the
+    /// limit still elapsed; what lies beyond never ran).
+    pub fn cap_steps(&mut self, max_steps: u64) {
+        self.steps = self.steps.max(max_steps);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use disp_rng::prelude::*;
 
     #[test]
     fn sync_rounds_count() {
         let mut c = Clock::new(3);
         for _ in 0..5 {
-            for a in 0..3 {
-                c.note_activation(a);
-            }
-            c.end_round();
+            c.credit_round(3);
         }
         assert_eq!(c.rounds(), 5);
         assert_eq!(c.epochs(), 5);
@@ -114,32 +203,160 @@ mod tests {
     }
 
     #[test]
-    fn epoch_requires_every_agent() {
+    fn epoch_requires_every_active_agent() {
         let mut c = Clock::new(3);
-        // Agent 0 is activated many times; no epoch completes until 1 and 2
-        // have also been activated.
+        c.init_epoch((0..3).map(AgentId));
         for _ in 0..10 {
-            c.note_activation(0);
+            c.note_exec(AgentId(0));
         }
-        assert_eq!(c.epochs(), 0);
-        c.note_activation(1);
-        assert_eq!(c.epochs(), 0);
-        c.note_activation(2);
+        assert!(!c.epoch_ready());
+        c.note_exec(AgentId(1));
+        assert!(!c.epoch_ready());
+        c.note_exec(AgentId(2));
+        assert!(c.epoch_ready());
+        c.begin_epoch((0..3).map(AgentId));
         assert_eq!(c.epochs(), 1);
-        // Epoch window resets afterwards.
-        c.note_activation(1);
-        c.note_activation(2);
-        assert_eq!(c.epochs(), 1);
-        c.note_activation(0);
-        assert_eq!(c.epochs(), 2);
+        // The window resets afterwards.
+        c.note_exec(AgentId(1));
+        c.note_exec(AgentId(2));
+        assert!(!c.epoch_ready());
+        c.note_exec(AgentId(0));
+        assert!(c.epoch_ready());
     }
 
     #[test]
-    fn single_agent_epochs_equal_activations() {
+    fn parked_agents_are_bulk_credited_once_per_epoch() {
+        let mut c = Clock::new(4);
+        c.init_epoch((0..4).map(AgentId));
+        // Agent 3 parks before activating; the others activate.
+        c.note_park(AgentId(3));
+        for a in 0..3 {
+            c.note_exec(AgentId(a));
+        }
+        assert!(c.epoch_ready());
+        // New epoch over the remaining 3 active agents: the parked agent
+        // gets exactly one credited activation at the boundary.
+        c.begin_epoch((0..3).map(AgentId));
+        assert_eq!(c.epochs(), 1);
+        assert_eq!(c.total_activations(), 3 + 1);
+    }
+
+    #[test]
+    fn woken_agents_join_the_next_epoch() {
+        let mut c = Clock::new(3);
+        c.init_epoch((0..2).map(AgentId)); // agent 2 parked pre-run
+        c.note_exec(AgentId(0));
+        // Agent 2 wakes mid-epoch: nothing to do now, it simply shows up in
+        // the active set at the next boundary.
+        c.note_exec(AgentId(1));
+        assert!(c.epoch_ready(), "the woken agent is not required yet");
+        c.begin_epoch((0..3).map(AgentId));
+        // Active at the boundary → no bulk credit; it joins the next
+        // epoch's requirement instead.
+        assert_eq!(c.total_activations(), 2);
+        c.note_exec(AgentId(0));
+        c.note_exec(AgentId(1));
+        assert!(!c.epoch_ready(), "agent 2 is required from this epoch on");
+        c.note_exec(AgentId(2));
+        assert!(c.epoch_ready());
+    }
+
+    #[test]
+    fn steps_jump_over_skipped_empty_steps() {
         let mut c = Clock::new(1);
-        for i in 1..=7 {
-            c.note_activation(0);
-            assert_eq!(c.epochs(), i);
+        c.finish_step(0);
+        assert_eq!(c.steps(), 1);
+        c.finish_step(7); // batches at steps 1..=6 were empty and skipped
+        assert_eq!(c.steps(), 8);
+        c.cap_steps(20);
+        assert_eq!(c.steps(), 20);
+    }
+
+    /// The count-based bookkeeping must match a naive per-agent-scan model
+    /// fed the same event stream, for every interleaving of exec/park/wake.
+    #[test]
+    fn differential_count_based_vs_naive_scan_model() {
+        struct Naive {
+            epochs: u64,
+            activations: u64,
+            active: Vec<bool>,
+            done: Vec<bool>,
+        }
+        impl Naive {
+            fn boundary_scan(&mut self) {
+                // Epoch complete iff every active agent that was required
+                // has activated; `done` is only meaningful for required
+                // agents, which are exactly those still marked.
+                if self.done.iter().any(|&d| !d) {
+                    return;
+                }
+                self.epochs += 1;
+                // Bulk rule, naively: every parked agent is activated once
+                // at the boundary.
+                for (a, &act) in self.active.iter().enumerate() {
+                    let _ = a;
+                    if !act {
+                        self.activations += 1;
+                    }
+                }
+                self.done = self.active.iter().map(|&a| !a).collect();
+            }
+        }
+        let k = 12;
+        for case in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(mix(&[0xC10C, case]));
+            let mut clock = Clock::new(k);
+            let mut active = vec![true; k];
+            clock.init_epoch((0..k as u32).map(AgentId));
+            let mut naive = Naive {
+                epochs: 0,
+                activations: 0,
+                active: active.clone(),
+                done: vec![false; k],
+            };
+            for _ in 0..400 {
+                let a = rng.random_range(0..k);
+                match rng.random_range(0..4u32) {
+                    0 | 1 => {
+                        if active[a] {
+                            clock.note_exec(AgentId(a as u32));
+                            naive.activations += 1;
+                            naive.done[a] = true;
+                        }
+                    }
+                    2 => {
+                        if active[a] {
+                            active[a] = false;
+                            clock.note_park(AgentId(a as u32));
+                            naive.active[a] = false;
+                            naive.done[a] = true;
+                        }
+                    }
+                    _ => {
+                        if !active[a] {
+                            active[a] = true;
+                            naive.active[a] = true;
+                            // Woken agents join at the next boundary: the
+                            // naive model marks them done for this epoch.
+                            naive.done[a] = true;
+                        }
+                    }
+                }
+                // Batch boundary: evaluate epoch completion in both models.
+                if clock.epoch_ready() {
+                    clock.begin_epoch(
+                        active
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, &on)| on)
+                            .map(|(i, _)| AgentId(i as u32)),
+                    );
+                }
+                naive.boundary_scan();
+                assert_eq!(clock.epochs(), naive.epochs, "case {case}");
+                assert_eq!(clock.total_activations(), naive.activations, "case {case}");
+            }
+            assert!(clock.epochs() > 0, "case {case} never completed an epoch");
         }
     }
 }

@@ -76,7 +76,8 @@ pub mod trip;
 pub mod world;
 
 pub use adversary::{
-    Adversary, AdversaryKind, LaggingAdversary, RandomSubsetAdversary, RoundRobinAdversary,
+    Adversary, AdversaryError, AdversaryKind, LaggingAdversary, RandomSubsetAdversary,
+    RoundRobinAdversary, StepView, TargetedAdversary,
 };
 pub use clock::Clock;
 pub use ids::AgentId;
@@ -91,7 +92,8 @@ pub use world::{ActivationCtx, World};
 /// Convenient glob import for downstream crates.
 pub mod prelude {
     pub use crate::adversary::{
-        Adversary, AdversaryKind, LaggingAdversary, RandomSubsetAdversary, RoundRobinAdversary,
+        Adversary, AdversaryError, AdversaryKind, LaggingAdversary, RandomSubsetAdversary,
+        RoundRobinAdversary, StepView, TargetedAdversary,
     };
     pub use crate::bits;
     pub use crate::ids::AgentId;

@@ -2,12 +2,14 @@
 //!
 //! Both runners schedule off the world's **active-agent worklist** (see
 //! [`crate::world`]): agents parked by the protocol are skipped instead of
-//! activated into a guaranteed no-op, and their skipped activations are
-//! credited in the time accounting, so rounds, steps, epochs and activation
-//! counts are identical to activating every agent — the worklist removes the
-//! O(k) per-round scan, not any observable behaviour.
+//! activated into a guaranteed no-op. In SYNC the skipped activations are
+//! credited per round; in ASYNC the event-driven adversary schedules only
+//! active agents and the clock bulk-credits parked agents once per epoch at
+//! the boundary (the adversarial procrastination rule — see
+//! [`crate::clock::Clock`]), which makes a scheduler step cost O(active),
+//! never O(k).
 
-use crate::adversary::Adversary;
+use crate::adversary::{Adversary, StepView};
 use crate::clock::Clock;
 use crate::ids::AgentId;
 use crate::metrics::Outcome;
@@ -63,6 +65,19 @@ pub enum RunError {
         /// Metrics accumulated up to the point the limit was hit.
         outcome: Outcome,
     },
+    /// The adversary broke its scheduling contract (an out-of-range agent
+    /// id, a mid-run agent-count change, a backwards or empty batch). A
+    /// buggy adversary fails its trial with this typed error; it must never
+    /// take down the campaign process.
+    Adversary {
+        /// The scheduler step at which the fault surfaced.
+        step: u64,
+        /// What the adversary did wrong.
+        reason: String,
+        /// Metrics accumulated up to the fault (boxed to keep the error
+        /// variant small on the happy path).
+        outcome: Box<Outcome>,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -73,6 +88,9 @@ impl std::fmt::Display for RunError {
                 "protocol did not terminate within the limit (rounds={}, steps={}, epochs={})",
                 outcome.rounds, outcome.steps, outcome.epochs
             ),
+            RunError::Adversary { step, reason, .. } => {
+                write!(f, "adversary fault at step {step}: {reason}")
+            }
         }
     }
 }
@@ -145,7 +163,7 @@ impl SyncRunner {
         let k = world.num_agents();
         let mut clock = Clock::new(k);
         let mut queue: Vec<AgentId> = Vec::new();
-        let mut woken: Vec<AgentId> = Vec::new();
+        let mut transitions: Vec<(AgentId, bool)> = Vec::new();
         sample_memory(world, protocol);
         while !protocol.is_terminated() {
             if clock.rounds() >= self.config.max_rounds || world.active_count() == 0 {
@@ -168,9 +186,9 @@ impl SyncRunner {
                 let mut ctx = world.ctx(agent, now);
                 protocol.on_activate(agent, &mut ctx);
                 // Wakes with a larger id are still due this round.
-                world.drain_woken(&mut woken);
-                for &w in &woken {
-                    if w > agent {
+                world.drain_transitions(&mut transitions);
+                for &(w, woke) in &transitions {
+                    if woke && w > agent {
                         if let Err(pos) = queue[i..].binary_search(&w) {
                             queue.insert(i + pos, w);
                         }
@@ -189,9 +207,15 @@ impl SyncRunner {
 }
 
 /// Drives a protocol under an asynchronous scheduler controlled by an
-/// [`Adversary`]. Time is reported in epochs. The adversary schedules over
-/// all `k` agents; activations of parked agents are credited (they count for
-/// steps, epochs and the activation total) but not executed.
+/// event-driven [`Adversary`]. Time is reported in epochs.
+///
+/// Per step the adversary receives a [`StepView`] — the sorted active
+/// worklist, the wake transitions of the previous batch and the protocol's
+/// victim designation (`!is_settled`) — and writes the batch into a reused
+/// buffer, returning the step it fires at (empty steps are skipped
+/// wholesale). Parked agents are never scheduled; the clock bulk-credits
+/// each of them one activation per epoch at the boundary. Adversary
+/// contract violations surface as typed [`RunError::Adversary`] values.
 pub struct AsyncRunner<A: Adversary> {
     config: RunConfig,
     adversary: A,
@@ -217,7 +241,14 @@ impl<A: Adversary> AsyncRunner<A> {
     ) -> Result<Outcome, RunError> {
         let k = world.num_agents();
         let mut clock = Clock::new(k);
-        let mut woken: Vec<AgentId> = Vec::new();
+        let mut active_sorted: Vec<AgentId> = Vec::new();
+        let mut batch: Vec<AgentId> = Vec::new();
+        let mut transitions: Vec<(AgentId, bool)> = Vec::new();
+        let mut woken_for_adv: Vec<AgentId> = Vec::new();
+        // Pre-run park/wake calls are already reflected in the worklist;
+        // the adversary discovers pre-parked agents lazily.
+        world.drain_transitions(&mut transitions);
+        clock.init_epoch(world.active_slice().iter().copied());
         sample_memory(world, protocol);
         while !protocol.is_terminated() {
             if clock.steps() >= self.config.max_steps || world.active_count() == 0 {
@@ -226,24 +257,86 @@ impl<A: Adversary> AsyncRunner<A> {
                     outcome: build_outcome(world, &clock, false),
                 });
             }
-            let now = clock.steps();
-            let activations = self.adversary.next_step(k, now);
-            for agent in activations {
-                assert!(
-                    agent.index() < k,
-                    "adversary produced an out-of-range agent id"
-                );
-                if world.is_active(agent) {
-                    world.begin_activation(agent);
-                    let mut ctx = world.ctx(agent, now);
-                    protocol.on_activate(agent, &mut ctx);
+            world.snapshot_active_sorted(&mut active_sorted);
+            let scheduled = {
+                let victims = |a: AgentId| !protocol.is_settled(a);
+                let view =
+                    StepView::new(k, clock.steps(), &active_sorted, &woken_for_adv, &victims);
+                self.adversary.next_step(&view, &mut batch)
+            };
+            let fault = |world: &mut World, clock: &Clock, reason: String| {
+                world.sync_ride_accounting();
+                RunError::Adversary {
+                    step: clock.steps(),
+                    reason,
+                    outcome: Box::new(build_outcome(world, clock, false)),
                 }
-                clock.note_activation(agent.index());
+            };
+            let fire = match scheduled {
+                Err(e) => return Err(fault(world, &clock, e.to_string())),
+                Ok(fire) if fire < clock.steps() => {
+                    return Err(fault(
+                        world,
+                        &clock,
+                        format!("batch fired at step {fire}, before the current step"),
+                    ))
+                }
+                Ok(_) if batch.is_empty() => {
+                    return Err(fault(
+                        world,
+                        &clock,
+                        "empty batch although agents are active".into(),
+                    ))
+                }
+                Ok(fire) => fire,
+            };
+            if fire >= self.config.max_steps {
+                // The next activity lies at or beyond the limit: the empty
+                // steps up to the limit elapsed, nothing beyond it ran.
+                clock.cap_steps(self.config.max_steps);
+                world.sync_ride_accounting();
+                return Err(RunError::LimitExceeded {
+                    outcome: build_outcome(world, &clock, false),
+                });
             }
-            // Wakes take effect through the worklist; the adversary's
-            // schedule is not changed by them.
-            world.drain_woken(&mut woken);
-            clock.end_step();
+            for &agent in batch.iter() {
+                if agent.index() >= k {
+                    return Err(fault(
+                        world,
+                        &clock,
+                        format!("agent id {agent} out of range (k = {k})"),
+                    ));
+                }
+                if !world.is_active(agent) {
+                    // Parked by an earlier batch member; skipped (its
+                    // activations are bulk-credited at epoch boundaries).
+                    continue;
+                }
+                world.begin_activation(agent);
+                let mut ctx = world.ctx(agent, fire);
+                protocol.on_activate(agent, &mut ctx);
+                clock.note_exec(agent);
+            }
+            woken_for_adv.clear();
+            world.drain_transitions(&mut transitions);
+            for &(a, woke) in &transitions {
+                if woke {
+                    woken_for_adv.push(a);
+                } else {
+                    clock.note_park(a);
+                }
+            }
+            if clock.epoch_ready() {
+                if protocol.is_terminated() {
+                    // Time stops at the boundary: the epoch completed, but
+                    // the parked agents' procrastinated boundary
+                    // activations never happen.
+                    clock.finish_final_epoch();
+                } else {
+                    clock.begin_epoch(world.active_slice().iter().copied());
+                }
+            }
+            clock.finish_step(fire);
             if should_sample(clock.steps(), self.config.memory_sample_interval) {
                 sample_memory(world, protocol);
             }
@@ -257,7 +350,10 @@ impl<A: Adversary> AsyncRunner<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::adversary::{LaggingAdversary, RandomSubsetAdversary, RoundRobinAdversary};
+    use crate::adversary::{
+        AdversaryError, LaggingAdversary, RandomSubsetAdversary, RoundRobinAdversary,
+        TargetedAdversary,
+    };
     use crate::world::ActivationCtx;
     use disp_graph::{generators, NodeId, Port};
 
@@ -357,6 +453,26 @@ mod tests {
     }
 
     #[test]
+    fn async_parking_at_the_end_matches_the_plain_run() {
+        // All three agents finish and park in the same round-robin step;
+        // the final epoch completes without spurious boundary credits.
+        let g = generators::ring(8);
+        let mut w1 = World::new_rooted(g.clone(), 3, NodeId(0));
+        let mut w2 = World::new_rooted(g, 3, NodeId(0));
+        let mut plain = WalkAround::new(3, 8);
+        let mut parking = WalkAroundParking {
+            laps_left: vec![8; 3],
+        };
+        let a = AsyncRunner::new(RunConfig::default(), RoundRobinAdversary::new(3))
+            .run(&mut w1, &mut plain)
+            .unwrap();
+        let b = AsyncRunner::new(RunConfig::default(), RoundRobinAdversary::new(3))
+            .run(&mut w2, &mut parking)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn sync_runner_reports_limit_exceeded() {
         struct Never;
         impl AgentProtocol for Never {
@@ -378,6 +494,7 @@ mod tests {
                 assert_eq!(outcome.rounds, 10);
                 assert!(!outcome.terminated);
             }
+            other => panic!("expected LimitExceeded, got {other:?}"),
         }
     }
 
@@ -410,6 +527,7 @@ mod tests {
                     outcome.rounds
                 );
             }
+            other => panic!("expected LimitExceeded, got {other:?}"),
         }
     }
 
@@ -418,12 +536,13 @@ mod tests {
         let g = generators::ring(8);
         let mut world = World::new_rooted(g, 3, NodeId(0));
         let mut proto = WalkAround::new(3, 8);
-        let out = AsyncRunner::new(RunConfig::default(), RoundRobinAdversary)
+        let out = AsyncRunner::new(RunConfig::default(), RoundRobinAdversary::new(3))
             .run(&mut world, &mut proto)
             .unwrap();
         assert!(out.terminated);
         assert_eq!(out.epochs, 8);
         assert_eq!(out.total_moves, 24);
+        assert_eq!(out.activations, 24);
     }
 
     #[test]
@@ -431,7 +550,7 @@ mod tests {
         let g = generators::ring(8);
         let mut world = World::new_rooted(g, 3, NodeId(0));
         let mut proto = WalkAround::new(3, 8);
-        let out = AsyncRunner::new(RunConfig::default(), RandomSubsetAdversary::new(0.4, 17))
+        let out = AsyncRunner::new(RunConfig::default(), RandomSubsetAdversary::new(0.4, 3, 17))
             .run(&mut world, &mut proto)
             .unwrap();
         assert!(out.terminated);
@@ -454,13 +573,123 @@ mod tests {
         let g = generators::ring(6);
         let mut world = World::new_rooted(g, 4, NodeId(2));
         let mut proto = WalkAround::new(4, 6);
-        let out = AsyncRunner::new(RunConfig::default(), LaggingAdversary::new(7, 23))
+        let out = AsyncRunner::new(RunConfig::default(), LaggingAdversary::new(7, 4, 23))
             .run(&mut world, &mut proto)
             .unwrap();
         assert!(out.terminated);
         assert_eq!(out.total_moves, 24);
         assert_eq!(out.max_moves_per_agent, 6);
         assert!(out.epochs >= 1);
+        assert!(out.steps >= out.epochs, "lagging stretches steps per epoch");
+    }
+
+    #[test]
+    fn async_targeted_adversary_starves_walkers_but_terminates() {
+        // WalkAround agents never settle, so everyone is a victim: the
+        // adversary lags the whole schedule and steps ≈ max_lag · epochs.
+        let g = generators::ring(6);
+        let mut world = World::new_rooted(g, 3, NodeId(0));
+        let mut proto = WalkAround::new(3, 6);
+        let out = AsyncRunner::new(RunConfig::default(), TargetedAdversary::new(4, 3))
+            .run(&mut world, &mut proto)
+            .unwrap();
+        assert!(out.terminated);
+        assert_eq!(out.total_moves, 18);
+        assert_eq!(out.epochs, 6);
+        assert_eq!(out.steps, 6 * 4, "victims fire every 4th step only");
+    }
+
+    #[test]
+    fn adversary_faults_are_typed_errors_not_panics() {
+        struct OutOfRange;
+        impl Adversary for OutOfRange {
+            fn next_step(
+                &mut self,
+                view: &StepView<'_>,
+                out: &mut Vec<AgentId>,
+            ) -> Result<u64, AdversaryError> {
+                out.clear();
+                out.push(AgentId(99));
+                Ok(view.step)
+            }
+            fn name(&self) -> &'static str {
+                "out-of-range"
+            }
+        }
+        let g = generators::ring(4);
+        let mut world = World::new_rooted(g, 2, NodeId(0));
+        let mut proto = WalkAround::new(2, 4);
+        let err = AsyncRunner::new(RunConfig::default(), OutOfRange)
+            .run(&mut world, &mut proto)
+            .unwrap_err();
+        match err {
+            RunError::Adversary {
+                reason, outcome, ..
+            } => {
+                assert!(reason.contains("out of range"), "{reason}");
+                assert!(!outcome.terminated);
+            }
+            other => panic!("expected Adversary, got {other:?}"),
+        }
+
+        struct WrongK;
+        impl Adversary for WrongK {
+            fn next_step(
+                &mut self,
+                view: &StepView<'_>,
+                _out: &mut Vec<AgentId>,
+            ) -> Result<u64, AdversaryError> {
+                Err(AdversaryError::AgentCountChanged {
+                    expected: 7,
+                    got: view.k,
+                })
+            }
+            fn name(&self) -> &'static str {
+                "wrong-k"
+            }
+        }
+        let g = generators::ring(4);
+        let mut world = World::new_rooted(g, 2, NodeId(0));
+        let mut proto = WalkAround::new(2, 4);
+        let err = AsyncRunner::new(RunConfig::default(), WrongK)
+            .run(&mut world, &mut proto)
+            .unwrap_err();
+        assert!(matches!(err, RunError::Adversary { .. }), "{err:?}");
+        assert!(err.to_string().contains("adversary fault"));
+    }
+
+    #[test]
+    fn skipped_empty_steps_respect_the_step_limit() {
+        // An adversary that always fires far in the future: the runner must
+        // clamp the jump at max_steps and report LimitExceeded.
+        struct FarFuture;
+        impl Adversary for FarFuture {
+            fn next_step(
+                &mut self,
+                view: &StepView<'_>,
+                out: &mut Vec<AgentId>,
+            ) -> Result<u64, AdversaryError> {
+                out.clear();
+                out.extend_from_slice(view.active);
+                Ok(view.step + 1_000_000)
+            }
+            fn name(&self) -> &'static str {
+                "far-future"
+            }
+        }
+        let g = generators::ring(4);
+        let mut world = World::new_rooted(g, 2, NodeId(0));
+        let mut proto = WalkAround::new(2, 4);
+        let err = AsyncRunner::new(RunConfig::with_limits(10, 1000), FarFuture)
+            .run(&mut world, &mut proto)
+            .unwrap_err();
+        match err {
+            RunError::LimitExceeded { outcome } => {
+                assert_eq!(outcome.steps, 1000, "steps clamp at the limit");
+                assert!(!outcome.terminated);
+            }
+            other => panic!("expected LimitExceeded, got {other:?}"),
+        }
     }
 
     #[test]
@@ -538,5 +767,48 @@ mod tests {
             .unwrap();
         assert_eq!(out.rounds, 1);
         assert_eq!(proto.acted, vec![0], "agent 2 must act in round 0");
+    }
+
+    #[test]
+    fn async_woken_agents_reenter_the_lagging_schedule() {
+        // Agent 1 parks itself at the start; agent 0 wakes it after its
+        // fourth move. Both must finish their laps under the timer wheel.
+        struct ParkThenWake {
+            laps_left: Vec<u32>,
+            parked_once: bool,
+        }
+        impl AgentProtocol for ParkThenWake {
+            fn on_activate(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+                if agent == AgentId(1) && !self.parked_once {
+                    self.parked_once = true;
+                    ctx.park(agent);
+                    return;
+                }
+                if self.laps_left[agent.index()] > 0 {
+                    ctx.move_via(Port(2));
+                    self.laps_left[agent.index()] -= 1;
+                    if agent == AgentId(0) && self.laps_left[0] == 2 {
+                        ctx.wake(AgentId(1));
+                    }
+                }
+            }
+            fn is_terminated(&self) -> bool {
+                self.laps_left.iter().all(|&l| l == 0)
+            }
+            fn memory_bits(&self, _a: AgentId) -> usize {
+                0
+            }
+        }
+        let g = generators::ring(6);
+        let mut world = World::new_rooted(g, 2, NodeId(0));
+        let mut proto = ParkThenWake {
+            laps_left: vec![6; 2],
+            parked_once: false,
+        };
+        let out = AsyncRunner::new(RunConfig::default(), LaggingAdversary::new(3, 2, 5))
+            .run(&mut world, &mut proto)
+            .unwrap();
+        assert!(out.terminated);
+        assert_eq!(out.total_moves, 12);
     }
 }

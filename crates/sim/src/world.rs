@@ -113,8 +113,12 @@ pub struct World {
     active: Vec<AgentId>,
     /// `agent → index in active`, `NONE` when parked.
     active_pos: Vec<u32>,
-    /// Agents woken since the last [`World::drain_woken`] call.
-    woken: Vec<AgentId>,
+    /// Genuine park/wake transitions (`true` = woke) since the last
+    /// [`World::drain_transitions`] call, in occurrence order. The runners
+    /// drain this every round/step: the SYNC runner to inject same-round
+    /// wakes, the ASYNC runner to feed the adversary's timer structures and
+    /// the clock's epoch requirement bookkeeping.
+    transitions: Vec<(AgentId, bool)>,
     moved: Vec<bool>,
     metrics: Metrics,
     trace: Trace,
@@ -146,7 +150,7 @@ impl World {
             ride_start: vec![0; k],
             active: (0..k as u32).map(AgentId).collect(),
             active_pos: (0..k as u32).collect(),
-            woken: Vec::new(),
+            transitions: Vec::new(),
             moved: vec![false; k],
             metrics: Metrics::new(k),
             trace: Trace::disabled(),
@@ -253,18 +257,26 @@ impl World {
     }
 
     /// Copy the active list into `buf`, sorted ascending by agent id (the
-    /// SYNC runner's per-round activation order).
+    /// SYNC runner's per-round activation order and the ASYNC adversaries'
+    /// canonical worklist view).
     pub(crate) fn snapshot_active_sorted(&self, buf: &mut Vec<AgentId>) {
         buf.clear();
         buf.extend_from_slice(&self.active);
         buf.sort_unstable();
     }
 
-    /// Drain the agents woken since the last call (the SYNC runner injects
-    /// them into the current round when their id is still ahead).
-    pub(crate) fn drain_woken(&mut self, buf: &mut Vec<AgentId>) {
+    /// The active worklist in internal (unsorted) order — set semantics
+    /// only; the clock's epoch bookkeeping iterates it.
+    #[inline]
+    pub(crate) fn active_slice(&self) -> &[AgentId] {
+        &self.active
+    }
+
+    /// Drain the park/wake transitions recorded since the last call
+    /// (`true` = woke), in occurrence order.
+    pub(crate) fn drain_transitions(&mut self, buf: &mut Vec<(AgentId, bool)>) {
         buf.clear();
-        buf.append(&mut self.woken);
+        buf.append(&mut self.transitions);
     }
 
     /// Remove `agent` from the worklist (no-op if already parked).
@@ -279,6 +291,7 @@ impl World {
             self.active_pos[last.index()] = i;
         }
         self.active_pos[agent.index()] = NONE;
+        self.transitions.push((agent, false));
     }
 
     /// Put `agent` back on the worklist (no-op if already active).
@@ -288,7 +301,7 @@ impl World {
         }
         self.active_pos[agent.index()] = self.active.len() as u32;
         self.active.push(agent);
-        self.woken.push(agent);
+        self.transitions.push((agent, true));
     }
 
     // ------------------------------------------------------------------
@@ -816,11 +829,13 @@ mod tests {
         let mut buf = Vec::new();
         w.snapshot_active_sorted(&mut buf);
         assert_eq!(buf, (0..4).map(AgentId).collect::<Vec<_>>());
-        let mut woken = Vec::new();
-        w.drain_woken(&mut woken);
-        assert_eq!(woken, vec![AgentId(2)]);
-        w.drain_woken(&mut woken);
-        assert!(woken.is_empty());
+        // The transition log recorded the genuine transitions only (the
+        // idempotent repeats left no trace).
+        let mut log = Vec::new();
+        w.drain_transitions(&mut log);
+        assert_eq!(log, vec![(AgentId(2), false), (AgentId(2), true)]);
+        w.drain_transitions(&mut log);
+        assert!(log.is_empty());
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! Differential property tests for the event-driven adversaries.
+//!
+//! Each event-driven adversary (rotation-arithmetic round-robin, geometric
+//! skip-sampling random subset, timer-wheel lagging, adaptive targeted) is
+//! replayed against its retained naive O(k)-per-step reference
+//! ([`disp_sim::adversary::reference`]) over seeded fuzzed grids of
+//! `(k, steps, params)` **and** fuzzed worklist evolutions (agents parking
+//! mid-run, waking later, victim sets shrinking as "settlement"
+//! progresses). Both implementations must produce byte-identical
+//! `(fire step, batch)` sequences — the clever data structures may change
+//! the cost of a step, never its content.
+
+use disp_rng::prelude::*;
+use disp_sim::adversary::reference::{
+    NaiveLagging, NaiveRandomSubset, NaiveRoundRobin, NaiveTargeted,
+};
+use disp_sim::adversary::StepView;
+use disp_sim::{Adversary, AgentId};
+use std::collections::HashSet;
+
+/// A scripted worklist: evolves by parking batch members and waking parked
+/// agents at random, recording wake transitions in occurrence order — the
+/// same contract the runner's transition log provides.
+struct ScriptedWorklist {
+    active: Vec<AgentId>, // sorted
+    parked: Vec<AgentId>,
+    woken: Vec<AgentId>,
+    victims: HashSet<AgentId>,
+}
+
+impl ScriptedWorklist {
+    fn new(k: usize, rng: &mut StdRng) -> ScriptedWorklist {
+        // Every agent starts active (worlds start fully active); a random
+        // subset is designated victim.
+        let victims = (0..k as u32)
+            .map(AgentId)
+            .filter(|_| rng.random_bool(0.4))
+            .collect();
+        ScriptedWorklist {
+            active: (0..k as u32).map(AgentId).collect(),
+            parked: Vec::new(),
+            woken: Vec::new(),
+            victims,
+        }
+    }
+
+    /// Mutate the worklist after a batch, like a protocol would: some batch
+    /// members park, some parked agents wake, some victims "settle" (leave
+    /// the victim set). Wake order is the occurrence order.
+    fn evolve(&mut self, batch: &[AgentId], rng: &mut StdRng) {
+        self.woken.clear();
+        for &a in batch {
+            // Keep at least one agent active: a real runner stalls out on
+            // an empty worklist before ever calling the adversary again.
+            if self.active.len() > 1 && rng.random_bool(0.25) {
+                if let Ok(i) = self.active.binary_search(&a) {
+                    self.active.remove(i);
+                    self.parked.push(a);
+                }
+            }
+        }
+        let mut i = 0;
+        while i < self.parked.len() {
+            if rng.random_bool(0.3) {
+                let a = self.parked.swap_remove(i);
+                if let Err(pos) = self.active.binary_search(&a) {
+                    self.active.insert(pos, a);
+                }
+                self.woken.push(a);
+            } else {
+                i += 1;
+            }
+        }
+        if rng.random_bool(0.2) && !self.victims.is_empty() {
+            let settle = *self.victims.iter().min().unwrap();
+            self.victims.remove(&settle);
+        }
+    }
+}
+
+/// Drive `fast` and `naive` through the same fuzzed worklist evolution and
+/// assert byte-identical `(fire, batch)` sequences. Returns every batch for
+/// fairness checks.
+fn differential_drive(
+    fast: &mut dyn Adversary,
+    naive: &mut dyn Adversary,
+    k: usize,
+    batches: usize,
+    script_seed: u64,
+) -> Vec<(u64, Vec<AgentId>)> {
+    let mut rng = StdRng::seed_from_u64(script_seed);
+    let mut wl = ScriptedWorklist::new(k, &mut rng);
+    let mut out_fast: Vec<AgentId> = Vec::new();
+    let mut out_naive: Vec<AgentId> = Vec::new();
+    let mut produced = Vec::new();
+    let mut now = 0u64;
+    for round in 0..batches {
+        let victims = wl.victims.clone();
+        let victim_fn = |a: AgentId| victims.contains(&a);
+        let view = StepView::new(k, now, &wl.active, &wl.woken, &victim_fn);
+        let fire_fast = fast
+            .next_step(&view, &mut out_fast)
+            .unwrap_or_else(|e| panic!("{}: {e}", fast.name()));
+        let fire_naive = naive
+            .next_step(&view, &mut out_naive)
+            .unwrap_or_else(|e| panic!("{}: {e}", naive.name()));
+        assert_eq!(
+            fire_fast,
+            fire_naive,
+            "{} vs {}: fire step diverged at batch {round} (step {now})",
+            fast.name(),
+            naive.name()
+        );
+        assert_eq!(
+            out_fast,
+            out_naive,
+            "{} vs {}: batch diverged at step {fire_fast}",
+            fast.name(),
+            naive.name()
+        );
+        assert!(fire_fast >= now, "fired in the past");
+        assert!(
+            !out_fast.is_empty(),
+            "{}: empty batch with {} active agents",
+            fast.name(),
+            wl.active.len()
+        );
+        for &a in &out_fast {
+            assert!(
+                wl.active.binary_search(&a).is_ok(),
+                "{}: scheduled parked agent {a}",
+                fast.name()
+            );
+        }
+        produced.push((fire_fast, out_fast.clone()));
+        now = fire_fast + 1;
+        wl.evolve(&out_fast, &mut rng);
+    }
+    produced
+}
+
+#[test]
+fn round_robin_matches_naive_reference() {
+    for case in 0..60u64 {
+        let mut rng = StdRng::seed_from_u64(mix(&[0x44_1F, case]));
+        let k = 1 + rng.random_range(0..40usize);
+        differential_drive(
+            &mut disp_sim::RoundRobinAdversary::new(k),
+            &mut NaiveRoundRobin::new(k),
+            k,
+            120,
+            mix(&[0x5C21, case]),
+        );
+    }
+}
+
+#[test]
+fn random_subset_matches_naive_reference() {
+    for case in 0..60u64 {
+        let mut rng = StdRng::seed_from_u64(mix(&[0x44_2F, case]));
+        let k = 1 + rng.random_range(0..40usize);
+        let prob = 0.02 + (rng.random_range(0..98u32) as f64) / 100.0;
+        let seed = rng.next_u64();
+        differential_drive(
+            &mut disp_sim::RandomSubsetAdversary::new(prob, k, seed),
+            &mut NaiveRandomSubset::new(prob, k, seed),
+            k,
+            120,
+            mix(&[0x5C22, case]),
+        );
+    }
+}
+
+#[test]
+fn lagging_matches_naive_reference() {
+    for case in 0..60u64 {
+        let mut rng = StdRng::seed_from_u64(mix(&[0x44_3F, case]));
+        let k = 1 + rng.random_range(0..40usize);
+        let max_lag = 1 + rng.random_range(0..9u64);
+        let seed = rng.next_u64();
+        let batches = differential_drive(
+            &mut disp_sim::LaggingAdversary::new(max_lag, k, seed),
+            &mut NaiveLagging::new(max_lag, k, seed),
+            k,
+            150,
+            mix(&[0x5C23, case]),
+        );
+        // The doc contract: initial periods come from 1..=max_lag. An agent
+        // can only park after its first activation (only batch members
+        // park in the script), so every agent's first activation fires
+        // strictly before step max_lag.
+        let mut first = vec![u64::MAX; k];
+        for (fire, batch) in &batches {
+            for a in batch {
+                first[a.index()] = first[a.index()].min(*fire);
+            }
+        }
+        for (i, &f) in first.iter().enumerate() {
+            assert!(
+                f < max_lag,
+                "agent {i} first fired at {f}, outside the documented 1..={max_lag} period range"
+            );
+        }
+    }
+}
+
+#[test]
+fn targeted_matches_naive_reference() {
+    for case in 0..60u64 {
+        let mut rng = StdRng::seed_from_u64(mix(&[0x44_4F, case]));
+        let k = 1 + rng.random_range(0..40usize);
+        let max_lag = 1 + rng.random_range(0..9u64);
+        differential_drive(
+            &mut disp_sim::TargetedAdversary::new(max_lag, k),
+            &mut NaiveTargeted::new(max_lag, k),
+            k,
+            120,
+            mix(&[0x5C24, case]),
+        );
+    }
+}
+
+#[test]
+fn every_kind_is_fair_over_the_active_set() {
+    // Across a long fuzzed run, every agent that spends the whole run
+    // active must be scheduled at least once (fairness); agents parked the
+    // whole time must never be.
+    for case in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(mix(&[0xFA_1E, case]));
+        let k = 2 + rng.random_range(0..24usize);
+        let adversaries: Vec<Box<dyn Adversary>> = vec![
+            Box::new(disp_sim::RoundRobinAdversary::new(k)),
+            Box::new(disp_sim::RandomSubsetAdversary::new(0.3, k, 5)),
+            Box::new(disp_sim::LaggingAdversary::new(4, k, 5)),
+            Box::new(disp_sim::TargetedAdversary::new(4, k)),
+        ];
+        for mut adv in adversaries {
+            // Static worklist: everyone active except one permanently
+            // parked agent; half the agents are victims.
+            let parked = AgentId(rng.random_range(0..k as u32));
+            let active: Vec<AgentId> = (0..k as u32)
+                .map(AgentId)
+                .filter(|&a| a != parked)
+                .collect();
+            let victims = |a: AgentId| a.0.is_multiple_of(2);
+            let mut seen = HashSet::new();
+            let mut out = Vec::new();
+            let mut now = 0u64;
+            for _ in 0..200 {
+                let view = StepView::new(k, now, &active, &[], &victims);
+                let fire = adv.next_step(&view, &mut out).expect("schedule");
+                seen.extend(out.iter().copied());
+                now = fire + 1;
+            }
+            assert!(
+                !seen.contains(&parked),
+                "{} scheduled a parked agent",
+                adv.name()
+            );
+            assert_eq!(
+                seen.len(),
+                k - 1,
+                "{} starved an active agent (case {case})",
+                adv.name()
+            );
+        }
+    }
+}

@@ -46,6 +46,11 @@ fn main() {
                 seed: 0,
             },
         ),
+        ("async targeted ≤4", Schedule::AsyncTargeted { max_lag: 4 }),
+        (
+            "async targeted ≤16",
+            Schedule::AsyncTargeted { max_lag: 16 },
+        ),
     ];
 
     for (label, schedule) in schedules {
