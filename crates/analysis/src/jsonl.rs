@@ -9,7 +9,9 @@
 
 use crate::experiment::{Measurement, TrialRecord};
 use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
 use std::io::BufRead;
+use std::path::Path;
 
 /// Result of streaming a JSONL trial file.
 #[derive(Debug, Clone, Default)]
@@ -35,6 +37,34 @@ pub fn read_trials(reader: impl BufRead) -> std::io::Result<Ingest> {
         }
     }
     Ok(ingest)
+}
+
+/// Open a JSONL log for appending, repairing a torn tail first.
+///
+/// A kill mid-write can leave the final line without a trailing newline; a
+/// naive append would merge the next record into the torn line and corrupt
+/// *both*. If the file's last byte is not `\n`, a newline is emitted before
+/// returning, so the next record starts on a fresh line. O(1): only the
+/// final byte is read. Shared by the campaign store's trial log and the
+/// serve trial cache — one durability-critical routine, one copy.
+pub fn open_append_with_repair(path: &Path) -> std::io::Result<File> {
+    use std::io::{Read, Seek, SeekFrom, Write};
+    let needs_newline = File::open(path)
+        .and_then(|mut f| {
+            if f.seek(SeekFrom::End(0))? == 0 {
+                return Ok(false);
+            }
+            f.seek(SeekFrom::End(-1))?;
+            let mut last = [0u8; 1];
+            f.read_exact(&mut last)?;
+            Ok(last[0] != b'\n')
+        })
+        .unwrap_or(false);
+    let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+    if needs_newline {
+        writeln!(file)?;
+    }
+    Ok(file)
 }
 
 /// Deduplicate records by trial id (last occurrence wins) and return them

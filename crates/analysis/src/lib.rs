@@ -27,6 +27,8 @@ pub use experiment::{ExperimentPoint, ExperimentSpec, Measurement, TrialRecord};
 pub use fit::{loglog_fit, LogLogFit};
 pub use json::Json;
 pub use jsonl::{dedup_trials, merge_trials, read_trials, Ingest};
-pub use report::{csv_table, markdown_table, measurement_header, measurement_row};
+pub use report::{
+    csv_table, markdown_table, measurement_header, measurement_row, measurement_to_json,
+};
 pub use scenario_json::{scenario_from_json, scenario_to_json};
 pub use stats::Summary;

@@ -1,6 +1,7 @@
-//! Markdown / CSV rendering of experiment results.
+//! Markdown / CSV / JSON rendering of experiment results.
 
 use crate::experiment::Measurement;
+use crate::json::Json;
 
 /// Render rows as a GitHub-flavoured Markdown table.
 pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -65,6 +66,35 @@ pub fn measurement_row(m: &Measurement) -> Vec<String> {
     ]
 }
 
+/// Encode a measurement as a JSON object — the machine-readable summary
+/// format shared by `disp-campaign report --format json` and the
+/// `disp-serve` results-summary endpoint, so scripts read one schema no
+/// matter which entry point produced it.
+pub fn measurement_to_json(m: &Measurement) -> Json {
+    let s = &m.point.scenario;
+    Json::Obj(vec![
+        ("scenario".into(), Json::Str(s.label())),
+        ("family".into(), Json::Str(s.family.label())),
+        ("algorithm".into(), Json::Str(s.algorithm.clone())),
+        ("placement".into(), Json::Str(s.placement.label())),
+        ("schedule".into(), Json::Str(s.schedule.label())),
+        ("k".into(), Json::Num(m.k as f64)),
+        ("n".into(), Json::Num(m.n as f64)),
+        ("m".into(), Json::Num(m.m as f64)),
+        ("max_degree".into(), Json::Num(m.max_degree as f64)),
+        ("repetitions".into(), Json::Num(m.point.repetitions as f64)),
+        ("time_mean".into(), Json::Num(m.time_mean)),
+        ("time_min".into(), Json::Num(m.time_min)),
+        ("time_max".into(), Json::Num(m.time_max)),
+        ("moves_mean".into(), Json::Num(m.moves_mean)),
+        (
+            "peak_memory_bits".into(),
+            Json::Num(m.peak_memory_bits as f64),
+        ),
+        ("all_dispersed".into(), Json::Bool(m.all_dispersed)),
+    ])
+}
+
 /// Header matching [`measurement_row`].
 pub fn measurement_header() -> Vec<&'static str> {
     vec![
@@ -106,6 +136,22 @@ mod tests {
         assert!(t.starts_with("| a | b |\n|---|---|\n"));
         assert!(t.contains("| 1 | 2 |"));
         assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    fn measurement_json_is_parseable_and_carries_the_label() {
+        let m = ExperimentPoint::new(ScenarioSpec::new(GraphFamily::Line, 8, "probe-dfs"), 2)
+            .measure(&Registry::builtin());
+        let j = measurement_to_json(&m);
+        let text = j.to_string_compact();
+        let back = crate::json::Json::parse(&text).unwrap();
+        assert_eq!(
+            back.get("scenario").unwrap().as_str(),
+            Some("line/k8/rooted/sync/probe-dfs")
+        );
+        assert_eq!(back.get("k").unwrap().as_u64(), Some(8));
+        assert_eq!(back.get("repetitions").unwrap().as_u64(), Some(2));
+        assert_eq!(back.get("all_dispersed").unwrap().as_bool(), Some(true));
     }
 
     #[test]

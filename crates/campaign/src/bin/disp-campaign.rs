@@ -21,14 +21,16 @@
 //! the same `--seed`.
 
 use disp_campaign::grid::{CampaignSpec, Mode};
-use disp_campaign::report::{render_section_csv, render_section_markdown, section_measurements};
-use disp_campaign::run::{run_campaign, RunSummary};
+use disp_campaign::report::{
+    campaign_report_json, render_section_csv, render_section_markdown, section_measurements,
+};
+use disp_campaign::run::{run_campaign_cancellable, RunSummary};
+use disp_campaign::signal;
 use disp_campaign::store::CampaignStore;
-use disp_core::scenario::{Registry, ScenarioSpec, Schedule};
-use disp_graph::generators::GraphFamily;
-use disp_sim::Placement;
+use disp_core::scenario::{grammar_help, Registry, ScenarioSpec};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -65,17 +67,22 @@ USAGE:
                        [--quick|--full] [--threads N] [--seed S]
                        [--section NAME]... [--out DIR] [--force]
   disp-campaign resume --out DIR [--threads N]
-  disp-campaign report --out DIR [--csv DIR]
+  disp-campaign report --out DIR [--csv DIR | --format text|json]
   disp-campaign scenarios    (print the scenario-label grammar + vocabulary)
 
 --scenario runs an ad-hoc grid of canonical scenario labels, e.g.
   disp-campaign run --scenario rtree/k64/scatter/async-rand0.7/ks-dfs --reps 3
 
+--format json prints the machine-readable report document (the same schema
+disp-serve returns from GET /runs/:id/results?format=summary).
+
 Trial seeds derive from (campaign seed, canonical scenario label,
 repetition): output is byte-identical for any --threads value. With --out,
 finished trials stream to DIR/trials.jsonl (flushed per line); a killed run
 resumes with `resume` — the manifest stores the grid as canonical labels,
-so ad-hoc --scenario campaigns resume exactly like named ones.
+so ad-hoc --scenario campaigns resume exactly like named ones. SIGINT and
+SIGTERM stop a run gracefully: in-flight trials finish and checkpoint, and
+the exact resume command is printed before exiting.
 ";
 
 struct Flags {
@@ -89,6 +96,13 @@ struct Flags {
     out: Option<PathBuf>,
     force: bool,
     csv: Option<PathBuf>,
+    format: Format,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -105,6 +119,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         out: None,
         force: false,
         csv: None,
+        format: Format::Text,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -138,9 +153,19 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--section" => flags.sections.push(value("--section")?),
             "--out" => flags.out = Some(PathBuf::from(value("--out")?)),
             "--csv" => flags.csv = Some(PathBuf::from(value("--csv")?)),
+            "--format" => {
+                flags.format = match value("--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("--format expects text|json, got '{other}'")),
+                }
+            }
             "--force" => flags.force = true,
             other => return Err(format!("unknown flag '{other}'\n\n{USAGE}")),
         }
+    }
+    if flags.csv.is_some() && flags.format != Format::Text {
+        return Err("--csv and --format are mutually exclusive".into());
     }
     Ok(flags)
 }
@@ -194,6 +219,27 @@ fn print_summary(spec: &CampaignSpec, summary: &RunSummary, threads: usize) {
     );
 }
 
+/// On interrupt: the checkpoint (if any) is already flushed per line by the
+/// appender, so the only job left is telling the user exactly how to
+/// continue.
+fn interrupt_error(flags: &Flags, summary: &RunSummary) -> String {
+    let completed = summary.skipped + summary.executed;
+    match &flags.out {
+        Some(dir) => format!(
+            "interrupted after {completed}/{} trials; checkpoint flushed — resume with:\n  \
+             disp-campaign resume --out {} --threads {}",
+            summary.total,
+            dir.display(),
+            flags.threads,
+        ),
+        None => format!(
+            "interrupted after {completed}/{} trials; no --out was given, so the partial \
+             in-memory results are discarded (re-run with --out DIR for a resumable checkpoint)",
+            summary.total,
+        ),
+    }
+}
+
 fn cmd_run(args: &[String], registry: &Registry) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let spec = build_spec(&flags, registry)?;
@@ -201,8 +247,13 @@ fn cmd_run(args: &[String], registry: &Registry) -> Result<(), String> {
         Some(dir) => Some(CampaignStore::create(dir, &spec, flags.force)?),
         None => None,
     };
-    let (records, summary) = run_campaign(&spec, store.as_ref(), flags.threads, registry)?;
+    let cancel: &AtomicBool = signal::install();
+    let (records, summary) =
+        run_campaign_cancellable(&spec, store.as_ref(), flags.threads, registry, cancel)?;
     print_summary(&spec, &summary, flags.threads);
+    if summary.cancelled {
+        return Err(interrupt_error(&flags, &summary));
+    }
     render(&flags, &spec, records)
 }
 
@@ -214,8 +265,13 @@ fn cmd_resume(args: &[String], registry: &Registry) -> Result<(), String> {
         .ok_or("resume requires --out DIR (the directory of the killed run)")?;
     let (store, manifest) = CampaignStore::open(dir)?;
     let spec = manifest.rebuild_spec()?;
-    let (records, summary) = run_campaign(&spec, Some(&store), flags.threads, registry)?;
+    let cancel: &AtomicBool = signal::install();
+    let (records, summary) =
+        run_campaign_cancellable(&spec, Some(&store), flags.threads, registry, cancel)?;
     print_summary(&spec, &summary, flags.threads);
+    if summary.cancelled {
+        return Err(interrupt_error(&flags, &summary));
+    }
     render(&flags, &spec, records)
 }
 
@@ -245,36 +301,8 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_scenarios(registry: &Registry) {
-    println!("Canonical scenario-label grammar (DESIGN.md §7):\n");
-    println!("  family/k<K>[/occ<F>]/placement/schedule/algorithm[/key=value...]");
-    println!("        [/rounds<N>][/steps<N>]\n");
-    let families: Vec<String> = GraphFamily::all().iter().map(GraphFamily::label).collect();
-    println!("families   : {}", families.join(", "));
-    let placements: Vec<String> = Placement::all().iter().map(Placement::label).collect();
-    println!(
-        "placements : {} (clusterC for any C ≥ 1)",
-        placements.join(", ")
-    );
-    let schedules = [
-        Schedule::Sync,
-        Schedule::AsyncRoundRobin,
-        Schedule::AsyncRandom { prob: 0.7, seed: 0 },
-        Schedule::AsyncLagging {
-            max_lag: 4,
-            seed: 0,
-        },
-        Schedule::AsyncTargeted { max_lag: 4 },
-    ];
-    let schedules: Vec<String> = schedules.iter().map(Schedule::label).collect();
-    println!("schedules  : {} (any prob/lag)", schedules.join(", "));
-    println!("  async-randP : each active agent activates i.i.d. with prob P per step");
-    println!("  async-lagL  : per-agent periods redrawn from 1..=L after each activation");
-    println!("  async-targetL : adaptive starvation — the protocol's victim set (the");
-    println!("                unsettled agents: DFS driver, cohort, probers) fires only");
-    println!("                every L-th step; everyone else fires every step");
-    println!("algorithms : {}", registry.labels().join(", "));
-    println!("\nexample    : er6/k64/scatter/async-rand0.7/ks-dfs");
-    println!("example    : line/k100000/rooted/async-target4/probe-dfs");
+    // One source of truth with the server's GET /scenarios endpoint.
+    print!("{}", grammar_help(registry));
 }
 
 fn render(
@@ -292,6 +320,13 @@ fn render(
                 .map_err(|e| format!("write {}: {e}", path.display()))?;
             println!("wrote {} ({} rows)", path.display(), ms.len());
         }
+        return Ok(());
+    }
+    if flags.format == Format::Json {
+        println!(
+            "{}",
+            campaign_report_json(spec, &sections).to_string_compact()
+        );
         return Ok(());
     }
     println!("# Campaign {} ({} mode)\n", spec.name, spec.mode.label());

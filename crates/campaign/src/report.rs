@@ -1,11 +1,14 @@
 //! Rendering of campaign results: per-section measurement tables, log–log
-//! scaling fits, and CSV series.
+//! scaling fits, CSV series, and the machine-readable JSON document.
 
 use crate::grid::{CampaignSpec, Section};
 use disp_analysis::experiment::Measurement;
 use disp_analysis::fit::loglog_fit;
+use disp_analysis::json::Json;
 use disp_analysis::jsonl::merge_trials;
-use disp_analysis::report::{csv_table, markdown_table, measurement_header, measurement_row};
+use disp_analysis::report::{
+    csv_table, markdown_table, measurement_header, measurement_row, measurement_to_json,
+};
 use disp_analysis::TrialRecord;
 use std::collections::BTreeMap;
 
@@ -49,6 +52,45 @@ pub fn render_section_markdown(section: &Section, measurements: &[Measurement]) 
 pub fn render_section_csv(measurements: &[Measurement]) -> String {
     let rows: Vec<Vec<String>> = measurements.iter().map(measurement_row).collect();
     csv_table(&measurement_header(), &rows)
+}
+
+/// Encode a whole campaign report as one JSON document:
+///
+/// ```json
+/// {"campaign":"mini","mode":"quick","seed":"…","sections":
+///   [{"name":"…","title":"…","measurements":[{…}, …]}]}
+/// ```
+///
+/// Measurements use [`disp_analysis::report::measurement_to_json`] — the
+/// same encoder behind `disp-serve`'s results-summary endpoint — so
+/// `disp-campaign report --format json` and the HTTP API emit one schema.
+pub fn campaign_report_json(
+    spec: &CampaignSpec,
+    sections: &[(&Section, Vec<Measurement>)],
+) -> Json {
+    Json::Obj(vec![
+        ("campaign".into(), Json::Str(spec.name.clone())),
+        ("mode".into(), Json::Str(spec.mode.label().to_string())),
+        ("seed".into(), Json::from_u64_lossless(spec.seed)),
+        (
+            "sections".into(),
+            Json::Arr(
+                sections
+                    .iter()
+                    .map(|(section, ms)| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(section.name.clone())),
+                            ("title".into(), Json::Str(section.title.clone())),
+                            (
+                                "measurements".into(),
+                                Json::Arr(ms.iter().map(measurement_to_json).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// Log–log scaling exponents of time vs k per (family, algorithm,
@@ -117,5 +159,29 @@ mod tests {
         assert!(md.contains("| family |"));
         let csv = render_section_csv(ms);
         assert_eq!(csv.lines().count(), ms.len() + 1);
+    }
+
+    #[test]
+    fn json_report_parses_and_mirrors_the_sections() {
+        let mut spec = CampaignSpec::mini(crate::grid::Mode::Quick, 3);
+        spec.sections.truncate(1);
+        spec.sections[0].points.truncate(2);
+        let (records, _) =
+            run_campaign(&spec, None, 1, &disp_core::scenario::Registry::builtin()).unwrap();
+        let sections = section_measurements(&spec, records);
+        let doc = campaign_report_json(&spec, &sections);
+        let back = Json::parse(&doc.to_string_compact()).unwrap();
+        assert_eq!(back.get("campaign").unwrap().as_str(), Some("mini"));
+        assert_eq!(back.get("seed").unwrap().as_u64_lossless(), Some(3));
+        match back.get("sections") {
+            Some(Json::Arr(items)) => {
+                assert_eq!(items.len(), 1);
+                match items[0].get("measurements") {
+                    Some(Json::Arr(ms)) => assert_eq!(ms.len(), 2),
+                    other => panic!("bad measurements: {other:?}"),
+                }
+            }
+            other => panic!("bad sections: {other:?}"),
+        }
     }
 }

@@ -1,0 +1,70 @@
+//! A SIGINT/SIGTERM latch for long-running campaign processes.
+//!
+//! Long `disp-campaign run`s and the `disp-serve` daemon both want the same
+//! thing from a signal: *stop scheduling new work, finish what is in
+//! flight, flush, and say how to continue* — not an abrupt `process::exit`
+//! that relies on torn-tail repair. The standard library exposes no signal
+//! API, and this workspace is dependency-free by constraint, so this module
+//! registers a handler through the C runtime's `signal(2)` wrapper (the one
+//! symbol every libc the workspace links against provides). The handler
+//! body is a single atomic store — the only thing that is async-signal-safe
+//! anyway — and everything else polls the latch from normal code.
+//!
+//! This is the workspace's sole `unsafe` block (the crate is `deny`, not
+//! `forbid`, for exactly this module): registering a foreign handler cannot
+//! be expressed in safe Rust.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the handler on the first SIGINT/SIGTERM; never cleared.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" fn latch_handler(_signum: i32) {
+    // Only an atomic store: allocation, locking and I/O are all forbidden
+    // in a signal handler.
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    // `sighandler_t signal(int signum, sighandler_t handler)` from the C
+    // runtime std already links. Handlers are passed as raw addresses; the
+    // return value (the previous handler) is deliberately ignored.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// Install the latch for SIGINT and SIGTERM and return it.
+///
+/// Idempotent: calling twice re-registers the same handler. After the first
+/// signal, [`interrupted`] (and the returned latch) reads `true`; a second
+/// signal has no further effect — cooperative shutdown is the only mode, so
+/// a stuck process still dies to SIGKILL, never to silent data loss.
+pub fn install() -> &'static AtomicBool {
+    unsafe {
+        signal(SIGINT, latch_handler as *const () as usize);
+        signal(SIGTERM, latch_handler as *const () as usize);
+    }
+    &INTERRUPTED
+}
+
+/// Whether a SIGINT/SIGTERM has been received since [`install`].
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_starts_clear_and_install_is_idempotent() {
+        let latch = install();
+        let again = install();
+        assert!(std::ptr::eq(latch, again));
+        // The latch is process-global; other tests in this binary do not
+        // raise signals, so it must still be clear here.
+        assert!(!interrupted() || latch.load(Ordering::SeqCst));
+    }
+}

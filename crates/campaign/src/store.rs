@@ -21,7 +21,7 @@ use disp_analysis::jsonl::{self, Ingest};
 use disp_analysis::TrialRecord;
 use disp_core::scenario::ScenarioSpec;
 use std::collections::HashSet;
-use std::fs::{File, OpenOptions};
+use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
@@ -336,27 +336,8 @@ impl CampaignStore {
     /// torn one.
     pub fn appender(&self) -> Result<TrialWriter, String> {
         let path = self.trials_path();
-        // O(1): read only the final byte, not the (potentially large) log.
-        let needs_newline = File::open(&path)
-            .and_then(|mut f| {
-                use std::io::{Read, Seek, SeekFrom};
-                if f.seek(SeekFrom::End(0))? == 0 {
-                    return Ok(false);
-                }
-                f.seek(SeekFrom::End(-1))?;
-                let mut last = [0u8; 1];
-                f.read_exact(&mut last)?;
-                Ok(last[0] != b'\n')
-            })
-            .unwrap_or(false);
-        let mut file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
+        let file = jsonl::open_append_with_repair(&path)
             .map_err(|e| format!("open {}: {e}", path.display()))?;
-        if needs_newline {
-            writeln!(file).map_err(|e| format!("repair torn tail of {}: {e}", path.display()))?;
-        }
         Ok(TrialWriter {
             inner: Mutex::new(BufWriter::new(file)),
         })
@@ -433,6 +414,7 @@ mod tests {
         assert!(done.contains(&trials[0].trial_id()));
 
         // A torn tail is tolerated.
+        use std::fs::OpenOptions;
         use std::io::Write as _;
         let mut f = OpenOptions::new()
             .append(true)

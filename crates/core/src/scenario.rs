@@ -1083,12 +1083,70 @@ pub fn run_custom(
     Ok((outcome, verify::is_dispersed(&world)))
 }
 
+/// Human-readable description of the canonical scenario-label grammar and
+/// its vocabulary, as registered in `registry`.
+///
+/// This is the single source of the grammar help text: the `disp-campaign
+/// scenarios` subcommand prints it and `disp-serve` serves it from
+/// `GET /scenarios`, so the two entry points can never drift apart.
+pub fn grammar_help(registry: &Registry) -> String {
+    use disp_sim::Placement;
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("Canonical scenario-label grammar (DESIGN.md §7):\n\n");
+    out.push_str("  family/k<K>[/occ<F>]/placement/schedule/algorithm[/key=value...]\n");
+    out.push_str("        [/rounds<N>][/steps<N>]\n\n");
+    let families: Vec<String> = GraphFamily::all().iter().map(GraphFamily::label).collect();
+    let _ = writeln!(out, "families   : {}", families.join(", "));
+    let placements: Vec<String> = Placement::all().iter().map(Placement::label).collect();
+    let _ = writeln!(
+        out,
+        "placements : {} (clusterC for any C ≥ 1)",
+        placements.join(", ")
+    );
+    let schedules = [
+        Schedule::Sync,
+        Schedule::AsyncRoundRobin,
+        Schedule::AsyncRandom { prob: 0.7, seed: 0 },
+        Schedule::AsyncLagging {
+            max_lag: 4,
+            seed: 0,
+        },
+        Schedule::AsyncTargeted { max_lag: 4 },
+    ];
+    let schedules: Vec<String> = schedules.iter().map(Schedule::label).collect();
+    let _ = writeln!(out, "schedules  : {} (any prob/lag)", schedules.join(", "));
+    out.push_str("  async-randP : each active agent activates i.i.d. with prob P per step\n");
+    out.push_str("  async-lagL  : per-agent periods redrawn from 1..=L after each activation\n");
+    out.push_str("  async-targetL : adaptive starvation — the protocol's victim set (the\n");
+    out.push_str("                unsettled agents: DFS driver, cohort, probers) fires only\n");
+    out.push_str("                every L-th step; everyone else fires every step\n");
+    let _ = writeln!(out, "algorithms : {}", registry.labels().join(", "));
+    out.push_str("\nexample    : er6/k64/scatter/async-rand0.7/ks-dfs\n");
+    out.push_str("example    : line/k100000/rooted/async-target4/probe-dfs\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn reg() -> Registry {
         Registry::builtin()
+    }
+
+    #[test]
+    fn grammar_help_covers_the_registered_vocabulary() {
+        let help = grammar_help(&reg());
+        for needle in [
+            "family/k<K>",
+            "async-target",
+            "ks-dfs, probe-dfs, sync-seeker",
+            "rooted",
+            "scatter",
+        ] {
+            assert!(help.contains(needle), "grammar help misses '{needle}'");
+        }
     }
 
     #[test]

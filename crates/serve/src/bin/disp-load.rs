@@ -1,0 +1,299 @@
+//! The load-generation harness for `disp-serve`.
+//!
+//! ```text
+//! disp-load bench --addr HOST:PORT [--connections N] [--requests N]
+//!                 [--scenario LABEL]... [--reps N] [--seed S]
+//! disp-load once  --addr HOST:PORT --scenario LABEL... [--reps N] [--seed S]
+//! disp-load get   --addr HOST:PORT --path PATH
+//! ```
+//!
+//! * `bench` warms the cache with one submission, then hammers the server
+//!   from N keep-alive connections with a mixed submit/poll/fetch/metrics
+//!   workload and reports throughput and p50/p99 latency — the numbers
+//!   behind the ROADMAP's "heavy traffic" claim.
+//! * `once` submits one grid, waits for completion and streams the JSONL
+//!   results to stdout (the CI smoke diffs this against an offline
+//!   `disp-campaign run` of the same grid).
+//! * `get` fetches one path and prints the body (so CI needs no curl).
+
+use disp_analysis::json::Json;
+use disp_serve::Client;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+disp-load — load generation for disp-serve
+
+USAGE:
+  disp-load bench --addr HOST:PORT [--connections N] [--requests N]
+                  [--scenario LABEL]... [--reps N] [--seed S]
+  disp-load once  --addr HOST:PORT --scenario LABEL... [--reps N] [--seed S]
+  disp-load get   --addr HOST:PORT --path PATH
+
+bench defaults: 4 connections, 1000 requests, a small builtin grid.
+The mixed workload is, per 8 requests: 1 submit, 3 status polls,
+3 results fetches, 1 metrics scrape.
+";
+
+struct Flags {
+    addr: String,
+    connections: usize,
+    requests: usize,
+    scenarios: Vec<String>,
+    reps: usize,
+    seed: u64,
+    path: String,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        addr: String::new(),
+        connections: 4,
+        requests: 1000,
+        scenarios: Vec::new(),
+        reps: 2,
+        seed: 7,
+        path: "/healthz".into(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => flags.addr = value("--addr")?,
+            "--connections" => {
+                flags.connections = value("--connections")?
+                    .parse()
+                    .map_err(|_| "--connections expects a positive integer".to_string())?
+            }
+            "--requests" => {
+                flags.requests = value("--requests")?
+                    .parse()
+                    .map_err(|_| "--requests expects a positive integer".to_string())?
+            }
+            "--scenario" => flags.scenarios.push(value("--scenario")?),
+            "--reps" => {
+                flags.reps = value("--reps")?
+                    .parse()
+                    .map_err(|_| "--reps expects a positive integer".to_string())?
+            }
+            "--seed" => {
+                flags.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an unsigned integer".to_string())?
+            }
+            "--path" => flags.path = value("--path")?,
+            other => return Err(format!("unknown flag '{other}'\n\n{USAGE}")),
+        }
+    }
+    if flags.addr.is_empty() {
+        return Err("--addr HOST:PORT is required".into());
+    }
+    if flags.scenarios.is_empty() {
+        // A small mixed grid: SYNC + ASYNC, two algorithms.
+        flags.scenarios = vec![
+            "star/k12/rooted/sync/probe-dfs".into(),
+            "rtree/k12/rooted/async-rand0.7/ks-dfs".into(),
+        ];
+    }
+    Ok(flags)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("once") => cmd_once(&args[1..]),
+        Some("get") => cmd_get(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("disp-load: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn submission_body(flags: &Flags) -> Json {
+    Json::Obj(vec![
+        (
+            "scenarios".into(),
+            Json::Arr(
+                flags
+                    .scenarios
+                    .iter()
+                    .map(|l| Json::Str(l.clone()))
+                    .collect(),
+            ),
+        ),
+        ("reps".into(), Json::Num(flags.reps as f64)),
+        ("seed".into(), Json::from_u64_lossless(flags.seed)),
+    ])
+}
+
+/// Submit one grid and wait until it is done; returns the job id.
+fn submit_and_wait(client: &mut Client, flags: &Flags) -> Result<String, String> {
+    let resp = client.post_json("/runs", &submission_body(flags))?;
+    if resp.status != 201 {
+        return Err(format!("submit failed ({}): {}", resp.status, resp.text()));
+    }
+    let id = resp
+        .json()?
+        .get("id")
+        .and_then(Json::as_str)
+        .ok_or("submit response carries no id")?
+        .to_string();
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let status = client.get(&format!("/runs/{id}"))?;
+        let state = status
+            .json()?
+            .get("state")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        match state.as_str() {
+            "done" => return Ok(id),
+            "queued" | "running" => {
+                if Instant::now() > deadline {
+                    return Err(format!("run {id} still {state} after 300s"));
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => return Err(format!("run {id} ended {other}")),
+        }
+    }
+}
+
+fn cmd_once(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let mut client = Client::new(&flags.addr);
+    let id = submit_and_wait(&mut client, &flags)?;
+    let results = client.get(&format!("/runs/{id}/results"))?;
+    if results.status != 200 {
+        return Err(format!("results failed ({})", results.status));
+    }
+    print!("{}", results.text());
+    Ok(())
+}
+
+fn cmd_get(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let mut client = Client::new(&flags.addr);
+    let resp = client.get(&flags.path)?;
+    print!("{}", resp.text());
+    if resp.status >= 400 {
+        return Err(format!("GET {} → {}", flags.path, resp.status));
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+
+    // Warm-up: one full submission so the cache is hot and there is a
+    // completed job id to poll/fetch during the measured phase.
+    let mut warm = Client::new(&flags.addr);
+    let warm_start = Instant::now();
+    let warm_id = submit_and_wait(&mut warm, &flags)?;
+    let warm_wall = warm_start.elapsed();
+    drop(warm);
+
+    let issued = AtomicUsize::new(0);
+    let errors = AtomicU64::new(0);
+    let kind_counts: [AtomicU64; 4] = Default::default(); // submit, status, results, metrics
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(flags.requests));
+
+    let bench_start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..flags.connections.max(1) {
+            scope.spawn(|| {
+                let mut client = Client::new(&flags.addr);
+                let mut local: Vec<u64> = Vec::new();
+                loop {
+                    let i = issued.fetch_add(1, Ordering::Relaxed);
+                    if i >= flags.requests {
+                        break;
+                    }
+                    // Mixed workload, 8-request cycle: 1 submit (a pure
+                    // cache hit past the warm-up), 3 status polls, 3
+                    // results fetches, 1 metrics scrape.
+                    let kind = match i % 8 {
+                        0 => 0,
+                        1..=3 => 1,
+                        4..=6 => 2,
+                        _ => 3,
+                    };
+                    let start = Instant::now();
+                    let result = match kind {
+                        0 => client.post_json("/runs", &submission_body(&flags)),
+                        1 => client.get(&format!("/runs/{warm_id}")),
+                        2 => client.get(&format!("/runs/{warm_id}/results")),
+                        _ => client.get("/metrics"),
+                    };
+                    let elapsed = start.elapsed().as_micros() as u64;
+                    kind_counts[kind].fetch_add(1, Ordering::Relaxed);
+                    match result {
+                        Ok(resp) if resp.status < 400 => local.push(elapsed),
+                        Ok(resp) => {
+                            eprintln!("disp-load: request kind {kind} → {}", resp.status);
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!("disp-load: {e}");
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                latencies.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let wall = bench_start.elapsed();
+
+    let mut all = latencies.into_inner().unwrap();
+    all.sort_unstable();
+    let errors = errors.load(Ordering::Relaxed);
+    if all.is_empty() {
+        return Err("no request succeeded".into());
+    }
+    let pct = |p: f64| -> f64 {
+        let idx = ((all.len() as f64 - 1.0) * p).round() as usize;
+        all[idx] as f64 / 1000.0
+    };
+    let total = all.len();
+    let throughput = total as f64 / wall.as_secs_f64();
+    println!(
+        "disp-load: warm-up run {warm_id} completed in {warm_wall:.2?}; measured {total} \
+         requests over {} connections in {wall:.2?}",
+        flags.connections,
+    );
+    println!(
+        "disp-load: {throughput:.1} req/s  p50 {:.2}ms  p99 {:.2}ms  (submit {}, status {}, \
+         results {}, metrics {}; {errors} errors)",
+        pct(0.50),
+        pct(0.99),
+        kind_counts[0].load(Ordering::Relaxed),
+        kind_counts[1].load(Ordering::Relaxed),
+        kind_counts[2].load(Ordering::Relaxed),
+        kind_counts[3].load(Ordering::Relaxed),
+    );
+    if errors > 0 {
+        return Err(format!(
+            "{errors} of {} requests failed",
+            total as u64 + errors
+        ));
+    }
+    Ok(())
+}

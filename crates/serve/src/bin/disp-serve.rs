@@ -1,0 +1,93 @@
+//! The campaign-service daemon.
+//!
+//! ```text
+//! disp-serve [--addr HOST:PORT] [--http-threads N] [--job-threads N]
+//!            [--cache-dir DIR]
+//! ```
+//!
+//! Runs until SIGINT/SIGTERM, then drains gracefully: in-flight requests
+//! finish, the job executor stops between trials (completed trials are
+//! already in the cache), and the process exits 0. With `--cache-dir` the
+//! trial cache persists across restarts, so a restarted server serves the
+//! same grids from disk without recomputation.
+
+use disp_campaign::signal;
+use disp_serve::{ServeConfig, Server};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+const USAGE: &str = "\
+disp-serve — the deterministic campaign service
+
+USAGE:
+  disp-serve [--addr HOST:PORT] [--http-threads N] [--job-threads N]
+             [--cache-dir DIR]
+
+Defaults: --addr 127.0.0.1:8080, 4 HTTP workers, one engine worker per
+core, in-memory cache. See README 'serve quick-start' for the endpoints.
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("disp-serve: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut config = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--http-threads" => {
+                config.http_threads = value("--http-threads")?
+                    .parse()
+                    .map_err(|_| "--http-threads expects a positive integer".to_string())?
+            }
+            "--job-threads" => {
+                config.job_threads = value("--job-threads")?
+                    .parse()
+                    .map_err(|_| "--job-threads expects a positive integer".to_string())?
+            }
+            "--cache-dir" => config.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag '{other}'\n\n{USAGE}")),
+        }
+    }
+
+    let latch = signal::install();
+    let server = Server::start(&addr, config.clone())?;
+    eprintln!(
+        "disp-serve: listening on {} ({} HTTP workers, {} engine workers, cache: {})",
+        server.addr(),
+        config.http_threads,
+        config.job_threads,
+        match &config.cache_dir {
+            Some(dir) => dir.display().to_string(),
+            None => "in-memory".to_string(),
+        },
+    );
+    while !latch.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("disp-serve: signal received, draining…");
+    server.shutdown();
+    eprintln!("disp-serve: drained cleanly");
+    Ok(())
+}

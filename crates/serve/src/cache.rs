@@ -1,0 +1,282 @@
+//! The content-addressed trial cache.
+//!
+//! PR 2 made every trial a pure function of its *content identity* — the
+//! canonical scenario label, the campaign seed and the repetition index:
+//! the derived trial seed is `mix(campaign_seed, fnv1a(label), rep)`
+//! ([`disp_campaign::grid::trial_seed`]) and the outcome is a deterministic
+//! function of `(label, trial seed)`. That makes trial results perfectly
+//! cacheable across submissions: any two requests that mention the same
+//! `(label, seed, rep)` — in the same job, in overlapping jobs, or days
+//! apart — denote byte-identical records.
+//!
+//! The cache address is exactly that content triple, carried as
+//! `(label, rep, derived trial seed)` — the form every [`TrialRecord`]
+//! already stores, so the cache re-derives its own keys from its persisted
+//! records (content-addressing in both directions). Persistence layers over
+//! the same JSONL trial log the campaign store uses: one record per line,
+//! flushed per insert, torn tails tolerated on load, duplicate keys
+//! collapsed. A cache directory is therefore inspectable (and greppable)
+//! with the exact tooling that reads campaign checkpoints.
+//!
+//! The one field of a record that is *not* content is the grid's
+//! advertised repetition count (`"repetitions"`), which only describes the
+//! submitting grid. [`TrialCache::lookup`] rewrites it to the requesting
+//! grid's value, so a cache hit is byte-identical to what a fresh offline
+//! run of the requesting grid would have produced.
+
+use disp_analysis::jsonl;
+use disp_analysis::TrialRecord;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The content identity of a trial.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    /// Canonical scenario label.
+    label: String,
+    /// Repetition index within the grid point.
+    rep: usize,
+    /// The derived trial seed (a pure function of campaign seed + label +
+    /// rep; included so grids run under different campaign seeds never
+    /// alias).
+    seed: u64,
+}
+
+/// A thread-safe, optionally persistent map from trial content identity to
+/// the completed [`TrialRecord`].
+#[derive(Debug)]
+pub struct TrialCache {
+    entries: Mutex<HashMap<CacheKey, TrialRecord>>,
+    /// Append-only JSONL log (absent for a purely in-memory cache).
+    writer: Option<Mutex<BufWriter<File>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TrialCache {
+    /// An in-memory cache (tests, `--cache-dir`-less servers).
+    pub fn in_memory() -> TrialCache {
+        TrialCache {
+            entries: Mutex::new(HashMap::new()),
+            writer: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Open (or create) a persistent cache in `dir`, loading every record
+    /// from `dir/cache.jsonl`. Torn tails — a kill mid-append — are
+    /// tolerated exactly as in the campaign store; duplicate keys collapse
+    /// to the first occurrence (all occurrences are byte-identical by
+    /// construction, so the choice is immaterial).
+    pub fn open(dir: &Path) -> Result<TrialCache, String> {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let path = dir.join("cache.jsonl");
+        let mut entries = HashMap::new();
+        if path.exists() {
+            let file = File::open(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+            let ingest = jsonl::read_trials(BufReader::new(file)).map_err(|e| e.to_string())?;
+            for rec in ingest.records {
+                entries.entry(key_of(&rec)).or_insert(rec);
+            }
+        }
+        // Same torn-tail repair as the campaign store's appender (shared
+        // helper: a kill mid-append must not merge the next record into
+        // the torn line).
+        let file = jsonl::open_append_with_repair(&path)
+            .map_err(|e| format!("open {}: {e}", path.display()))?;
+        Ok(TrialCache {
+            entries: Mutex::new(entries),
+            writer: Some(Mutex::new(BufWriter::new(file))),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// Look up the record for `(label, rep, seed)`, counting a hit or miss.
+    ///
+    /// On a hit the returned record's advertised repetition count is
+    /// rewritten to `repetitions` (see the module docs), making the record
+    /// byte-identical to a fresh run of the requesting grid.
+    pub fn lookup(
+        &self,
+        label: &str,
+        rep: usize,
+        seed: u64,
+        repetitions: usize,
+    ) -> Option<TrialRecord> {
+        let key = CacheKey {
+            label: label.to_string(),
+            rep,
+            seed,
+        };
+        let found = self.entries.lock().unwrap().get(&key).cloned();
+        match found {
+            Some(mut rec) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                rec.point.repetitions = repetitions;
+                Some(rec)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a completed record (no-op if its key is already present) and,
+    /// for persistent caches, append + flush it to `cache.jsonl` so a kill
+    /// loses at most in-flight trials.
+    pub fn insert(&self, record: &TrialRecord) {
+        let key = key_of(record);
+        {
+            let mut entries = self.entries.lock().unwrap();
+            if entries.contains_key(&key) {
+                return;
+            }
+            entries.insert(key, record.clone());
+        }
+        if let Some(writer) = &self.writer {
+            let mut w = writer.lock().unwrap();
+            // An unwritable cache should abort loudly, like the store.
+            writeln!(w, "{}", record.to_json_line()).expect("append cache record");
+            w.flush().expect("flush cache record");
+        }
+    }
+
+    /// Number of cached trials.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookup hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookup misses since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+fn key_of(rec: &TrialRecord) -> CacheKey {
+    CacheKey {
+        label: rec.point.point_id(),
+        rep: rec.rep,
+        seed: rec.seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disp_analysis::ExperimentPoint;
+    use disp_campaign::grid::trial_seed;
+    use disp_core::scenario::{Registry, ScenarioSpec};
+    use disp_graph::generators::GraphFamily;
+    use std::fs::OpenOptions;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "disp-serve-cache-test-{}-{tag}",
+            std::process::id()
+        ))
+    }
+
+    fn run_one(k: usize, reps: usize, campaign_seed: u64, rep: usize) -> TrialRecord {
+        let point =
+            ExperimentPoint::new(ScenarioSpec::new(GraphFamily::Star, k, "probe-dfs"), reps);
+        let seed = trial_seed(campaign_seed, &point, rep);
+        point.run_trial(&Registry::builtin(), rep, seed)
+    }
+
+    #[test]
+    fn hit_after_insert_and_counters() {
+        let cache = TrialCache::in_memory();
+        let rec = run_one(8, 2, 7, 0);
+        assert!(cache
+            .lookup(&rec.point.point_id(), rec.rep, rec.seed, 2)
+            .is_none());
+        cache.insert(&rec);
+        let hit = cache
+            .lookup(&rec.point.point_id(), rec.rep, rec.seed, 2)
+            .unwrap();
+        assert_eq!(hit.to_json_line(), rec.to_json_line());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lookup_rewrites_the_advertised_repetition_count() {
+        let cache = TrialCache::in_memory();
+        let rec = run_one(8, 2, 7, 0);
+        cache.insert(&rec);
+        // A later grid mentions the same trial but asks for 5 repetitions:
+        // the served record must read exactly as that grid's fresh run.
+        let hit = cache
+            .lookup(&rec.point.point_id(), rec.rep, rec.seed, 5)
+            .unwrap();
+        let mut fresh = rec.clone();
+        fresh.point.repetitions = 5;
+        assert_eq!(hit.to_json_line(), fresh.to_json_line());
+    }
+
+    #[test]
+    fn different_campaign_seeds_do_not_alias() {
+        let cache = TrialCache::in_memory();
+        let a = run_one(8, 2, 7, 0);
+        cache.insert(&a);
+        let b = run_one(8, 2, 8, 0); // same label+rep, different campaign seed
+        assert!(cache
+            .lookup(&b.point.point_id(), b.rep, b.seed, 2)
+            .is_none());
+    }
+
+    #[test]
+    fn persistent_cache_reloads_and_tolerates_torn_tails() {
+        let dir = tmp_dir("persist");
+        std::fs::remove_dir_all(&dir).ok();
+        let rec = run_one(8, 2, 7, 0);
+        let other = run_one(12, 2, 7, 1);
+        {
+            let cache = TrialCache::open(&dir).unwrap();
+            cache.insert(&rec);
+            cache.insert(&other);
+            cache.insert(&other); // duplicate insert is a no-op
+        }
+        // Simulate a kill mid-append.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(dir.join("cache.jsonl"))
+                .unwrap();
+            write!(f, "{{\"scenario\":").unwrap();
+        }
+        let cache = TrialCache::open(&dir).unwrap();
+        assert_eq!(cache.len(), 2);
+        let hit = cache
+            .lookup(&rec.point.point_id(), rec.rep, rec.seed, 2)
+            .unwrap();
+        assert_eq!(hit.to_json_line(), rec.to_json_line());
+        // And the reloaded cache repairs the torn tail before appending, so
+        // a new record lands on its own line instead of merging into the
+        // torn one.
+        let third = run_one(16, 2, 7, 0);
+        cache.insert(&third);
+        let reloaded = TrialCache::open(&dir).unwrap();
+        assert_eq!(reloaded.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,671 @@
+//! The job manager: compiles submitted grids into campaign specs and runs
+//! them — through the trial cache — on the existing work-stealing engine.
+//!
+//! ## Execution model
+//!
+//! Jobs are queued FIFO to **one** executor thread, which runs each job's
+//! cache-missing trials on [`disp_campaign::engine::parallel_map`] with the
+//! configured worker count. Serializing *jobs* (while parallelizing
+//! *trials*) is a deliberate choice: it is what makes concurrent identical
+//! submissions dedupe perfectly — by the time job №2 starts, job №1 has
+//! populated the cache, so №2 is a pure cache hit instead of a racing
+//! duplicate computation. The queue depth is exported in `/metrics`.
+//!
+//! ## Determinism under concurrency
+//!
+//! A job's result lines are assembled in grid order, and each line is a
+//! pure function of `(canonical label, campaign seed, rep)` — whether it
+//! was computed now, computed by an earlier overlapping job, or loaded
+//! from a previous process's cache file. HTTP concurrency, job interleaving
+//! and cache state therefore change *latency only*, never a byte of any
+//! response body.
+
+use crate::cache::TrialCache;
+use crate::metrics::Metrics;
+use disp_analysis::TrialRecord;
+use disp_campaign::engine::parallel_map;
+use disp_campaign::grid::{CampaignSpec, TrialSpec};
+use disp_core::scenario::Registry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for the executor.
+    Queued,
+    /// Trials are running.
+    Running,
+    /// Every grid trial is accounted for; results are available.
+    Done,
+    /// Cancelled before completion (completed trials are still cached).
+    Cancelled,
+    /// The executor panicked (should not happen; grids are validated at
+    /// submit time).
+    Failed(String),
+}
+
+impl JobState {
+    /// Stable lowercase label used in status JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed(_) => "failed",
+        }
+    }
+}
+
+/// One submitted campaign run.
+#[derive(Debug)]
+pub struct Job {
+    /// Server-assigned id (`r1`, `r2`, …).
+    pub id: String,
+    /// The compiled grid.
+    pub spec: CampaignSpec,
+    /// Number of trials in the grid.
+    pub total: usize,
+    state: Mutex<JobState>,
+    /// Trials accounted for so far (cache hits + executed).
+    done: AtomicUsize,
+    /// Trials served from the cache.
+    cache_hits: AtomicUsize,
+    /// Trials actually executed for this job.
+    executed: AtomicUsize,
+    /// Cooperative cancellation latch.
+    cancel: AtomicBool,
+    /// Result JSONL lines in grid order (set exactly once, on `Done`).
+    results: Mutex<Option<Arc<Vec<String>>>>,
+    /// Total bytes of the result lines (feeds the byte-budget eviction).
+    results_bytes: AtomicUsize,
+    /// Memoized `?format=summary` document — built once on first request,
+    /// not re-parsed from the lines per poll.
+    summary: Mutex<Option<Arc<String>>>,
+}
+
+/// A point-in-time snapshot of a job, for status responses.
+#[derive(Debug, Clone)]
+pub struct JobSnapshot {
+    /// Job id.
+    pub id: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Trials in the grid.
+    pub total: usize,
+    /// Trials accounted for (cache hits + executed).
+    pub done: usize,
+    /// Trials served from cache.
+    pub cache_hits: usize,
+    /// Trials executed fresh.
+    pub executed: usize,
+}
+
+impl Job {
+    fn new(id: String, spec: CampaignSpec) -> Job {
+        let total = spec.trials().len();
+        Job {
+            id,
+            spec,
+            total,
+            state: Mutex::new(JobState::Queued),
+            done: AtomicUsize::new(0),
+            cache_hits: AtomicUsize::new(0),
+            executed: AtomicUsize::new(0),
+            cancel: AtomicBool::new(false),
+            results: Mutex::new(None),
+            results_bytes: AtomicUsize::new(0),
+            summary: Mutex::new(None),
+        }
+    }
+
+    /// Current state (cloned).
+    pub fn state(&self) -> JobState {
+        self.state.lock().unwrap().clone()
+    }
+
+    fn set_state(&self, state: JobState) {
+        *self.state.lock().unwrap() = state;
+    }
+
+    /// Snapshot the job for a status response.
+    pub fn snapshot(&self) -> JobSnapshot {
+        JobSnapshot {
+            id: self.id.clone(),
+            state: self.state(),
+            total: self.total,
+            done: self.done.load(Ordering::SeqCst),
+            cache_hits: self.cache_hits.load(Ordering::SeqCst),
+            executed: self.executed.load(Ordering::SeqCst),
+        }
+    }
+
+    /// The finished result lines (grid order), if the job is `Done`.
+    pub fn results(&self) -> Option<Arc<Vec<String>>> {
+        self.results.lock().unwrap().clone()
+    }
+
+    /// Total bytes held by the finished result lines (0 until `Done`).
+    pub fn results_bytes(&self) -> usize {
+        self.results_bytes.load(Ordering::SeqCst)
+    }
+
+    /// The memoized summary document, building it with `build` on the
+    /// first call. Summaries of big jobs are expensive (parse every line,
+    /// aggregate measurements), and a polling dashboard would otherwise
+    /// pay that per request.
+    pub fn summary_or_build(&self, build: impl FnOnce() -> String) -> Arc<String> {
+        let mut slot = self.summary.lock().unwrap();
+        if let Some(doc) = &*slot {
+            return Arc::clone(doc);
+        }
+        let doc = Arc::new(build());
+        *slot = Some(Arc::clone(&doc));
+        doc
+    }
+
+    /// Request cancellation (idempotent; a no-op once `Done`).
+    pub fn request_cancel(&self) {
+        self.cancel.store(true, Ordering::SeqCst);
+        let mut state = self.state.lock().unwrap();
+        if *state == JobState::Queued {
+            // Not picked up yet: the executor will skip it, but reflecting
+            // the decision immediately makes DELETE read-your-writes.
+            *state = JobState::Cancelled;
+        }
+    }
+}
+
+/// Upper bound on jobs waiting for the executor; submissions beyond it are
+/// refused (see [`JobManager::submit`]).
+pub const MAX_QUEUED_JOBS: usize = 64;
+
+/// Bounds on how many settled jobs (and how many bytes of their result
+/// lines) stay addressable before the oldest are evicted.
+#[derive(Debug, Clone, Copy)]
+pub struct Retention {
+    /// Maximum number of settled jobs retained.
+    pub jobs: usize,
+    /// Maximum aggregate result-line bytes retained (the newest settled job
+    /// is always kept, even if it alone exceeds this).
+    pub result_bytes: usize,
+}
+
+impl Default for Retention {
+    fn default() -> Retention {
+        Retention {
+            jobs: 512,
+            result_bytes: 256 * 1024 * 1024,
+        }
+    }
+}
+
+/// Accepts jobs, owns the executor thread, and hands out job handles.
+#[derive(Debug)]
+pub struct JobManager {
+    jobs: Arc<Mutex<HashMap<String, Arc<Job>>>>,
+    queue: Mutex<Option<Sender<Arc<Job>>>>,
+    queue_depth: Arc<AtomicUsize>,
+    next_id: AtomicU64,
+    executor: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl JobManager {
+    /// Start a manager whose executor runs each job's fresh trials on
+    /// `job_threads` engine workers, reading and populating `cache`.
+    ///
+    /// A long-running server must not retain every job forever (each `Done`
+    /// job holds its full result-line vector): once a job settles, it joins
+    /// an eviction queue, and only the most recent settled jobs within the
+    /// `retention` budgets — a job count *and* an aggregate result-byte
+    /// bound, since a handful of near-cap grids can outweigh hundreds of
+    /// small ones — stay addressable; older ids answer 404. Their *trials*
+    /// remain in the cache, so re-submitting an evicted grid is still a
+    /// pure cache hit; only the job handle is gone.
+    pub fn start(
+        cache: Arc<TrialCache>,
+        metrics: Arc<Metrics>,
+        job_threads: usize,
+        retention: Retention,
+    ) -> JobManager {
+        let (tx, rx) = channel::<Arc<Job>>();
+        let queue_depth = Arc::new(AtomicUsize::new(0));
+        let depth = Arc::clone(&queue_depth);
+        let jobs: Arc<Mutex<HashMap<String, Arc<Job>>>> = Arc::new(Mutex::new(HashMap::new()));
+        let jobs_for_executor = Arc::clone(&jobs);
+        let executor = std::thread::spawn(move || {
+            // Grids were validated at submit time against the builtin
+            // registry, so building it here (cheap) keeps the executor free
+            // of shared-lifetime plumbing.
+            let registry = Registry::builtin();
+            // Settled jobs in settle order with their result-byte weight,
+            // for eviction.
+            let mut settled: std::collections::VecDeque<(String, usize)> = Default::default();
+            let mut settled_bytes = 0usize;
+            while let Ok(job) = rx.recv() {
+                depth.fetch_sub(1, Ordering::SeqCst);
+                if job.cancel.load(Ordering::SeqCst) {
+                    job.set_state(JobState::Cancelled);
+                    Metrics::inc(&metrics.jobs_cancelled);
+                } else {
+                    job.set_state(JobState::Running);
+                    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        execute_job(&job, &cache, &metrics, &registry, job_threads)
+                    }));
+                    match run {
+                        Ok(true) => {
+                            job.set_state(JobState::Done);
+                            Metrics::inc(&metrics.jobs_completed);
+                        }
+                        Ok(false) => {
+                            job.set_state(JobState::Cancelled);
+                            Metrics::inc(&metrics.jobs_cancelled);
+                        }
+                        Err(panic) => {
+                            let msg = panic
+                                .downcast_ref::<String>()
+                                .cloned()
+                                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                                .unwrap_or_else(|| "executor panicked".into());
+                            job.set_state(JobState::Failed(msg));
+                            Metrics::inc(&metrics.jobs_failed);
+                        }
+                    }
+                }
+                let weight = job.results_bytes();
+                settled.push_back((job.id.clone(), weight));
+                settled_bytes += weight;
+                while settled.len() > retention.jobs.max(1)
+                    || (settled.len() > 1 && settled_bytes > retention.result_bytes)
+                {
+                    if let Some((old, old_bytes)) = settled.pop_front() {
+                        settled_bytes -= old_bytes;
+                        jobs_for_executor.lock().unwrap().remove(&old);
+                    }
+                }
+            }
+        });
+        JobManager {
+            jobs,
+            queue: Mutex::new(Some(tx)),
+            queue_depth,
+            next_id: AtomicU64::new(1),
+            executor: Mutex::new(Some(executor)),
+        }
+    }
+
+    /// Accept a validated grid; returns the queued job handle.
+    ///
+    /// Backpressure: at most [`MAX_QUEUED_JOBS`] jobs may be waiting for
+    /// the executor — beyond that, submissions are refused (HTTP 409)
+    /// rather than growing the queue, the jobs map and their eventual
+    /// result buffers without bound.
+    pub fn submit(&self, spec: CampaignSpec) -> Result<Arc<Job>, String> {
+        if self.queue_depth() >= MAX_QUEUED_JOBS {
+            return Err(format!(
+                "job queue is full ({MAX_QUEUED_JOBS} runs waiting); retry after the backlog drains",
+            ));
+        }
+        let id = format!("r{}", self.next_id.fetch_add(1, Ordering::SeqCst));
+        let job = Arc::new(Job::new(id.clone(), spec));
+        self.jobs.lock().unwrap().insert(id, Arc::clone(&job));
+        let queue = self.queue.lock().unwrap();
+        let tx = queue.as_ref().ok_or("server is shutting down")?;
+        self.queue_depth.fetch_add(1, Ordering::SeqCst);
+        tx.send(Arc::clone(&job))
+            .map_err(|_| "server is shutting down".to_string())?;
+        Ok(job)
+    }
+
+    /// Look up a job by id.
+    pub fn get(&self, id: &str) -> Option<Arc<Job>> {
+        self.jobs.lock().unwrap().get(id).cloned()
+    }
+
+    /// Jobs waiting for the executor (the `/metrics` gauge).
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth.load(Ordering::SeqCst)
+    }
+
+    /// Graceful drain: refuse new jobs, cancel queued and running ones, and
+    /// join the executor. Completed trials stay cached, so a re-submission
+    /// after restart resumes from where the drain cut in.
+    pub fn shutdown(&self) {
+        // Closing the channel ends the executor's recv loop…
+        self.queue.lock().unwrap().take();
+        // …and the latches drain whatever it is currently running.
+        for job in self.jobs.lock().unwrap().values() {
+            if !matches!(job.state(), JobState::Done) {
+                job.request_cancel();
+            }
+        }
+        if let Some(handle) = self.executor.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Run one job; returns `false` if cancellation left grid trials undone.
+fn execute_job(
+    job: &Job,
+    cache: &TrialCache,
+    metrics: &Metrics,
+    registry: &Registry,
+    threads: usize,
+) -> bool {
+    let trials = job.spec.trials();
+    let mut lines: Vec<Option<String>> = vec![None; trials.len()];
+    // Deduplicate by content triple *within* the job too: a grid that lists
+    // the same scenario label twice has two slots with one identity — run
+    // it once and fill both (the engine-level analogue of the cache).
+    let mut todo: Vec<TrialSpec> = Vec::new();
+    let mut slots: HashMap<(String, u64), Vec<usize>> = HashMap::new();
+    for (i, t) in trials.into_iter().enumerate() {
+        match cache.lookup(&t.point.point_id(), t.rep, t.seed, t.point.repetitions) {
+            Some(rec) => {
+                lines[i] = Some(rec.to_json_line());
+                job.cache_hits.fetch_add(1, Ordering::SeqCst);
+                job.done.fetch_add(1, Ordering::SeqCst);
+            }
+            None => {
+                let entry = slots.entry((t.trial_id(), t.seed)).or_default();
+                if entry.is_empty() {
+                    todo.push(t);
+                }
+                entry.push(i);
+            }
+        }
+    }
+    let (fresh, _stats) = parallel_map(
+        todo,
+        threads,
+        |_, t| {
+            if job.cancel.load(Ordering::SeqCst) {
+                return None;
+            }
+            Some(t.point.run_trial(registry, t.rep, t.seed))
+        },
+        |_, rec: &Option<TrialRecord>| {
+            if let Some(rec) = rec {
+                // Insert before counting: once `done == total` is visible,
+                // every line is reproducible from the cache.
+                cache.insert(rec);
+                job.executed.fetch_add(1, Ordering::SeqCst);
+                job.done.fetch_add(1, Ordering::SeqCst);
+                Metrics::inc(&metrics.trials_executed);
+            }
+        },
+    );
+    for rec in fresh {
+        match rec {
+            Some(rec) => {
+                let key = (rec.trial_id(), rec.seed);
+                for (extra, &i) in slots[&key].iter().enumerate() {
+                    lines[i] = Some(rec.to_json_line());
+                    if extra > 0 {
+                        // Duplicate slots beyond the one that ran are
+                        // satisfied by the fresh record: progress-wise they
+                        // are hits on it.
+                        job.cache_hits.fetch_add(1, Ordering::SeqCst);
+                        job.done.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            None => return false, // cancelled before this trial started
+        }
+    }
+    let assembled: Vec<String> = lines
+        .into_iter()
+        .map(|l| l.expect("every grid trial accounted for"))
+        .collect();
+    let bytes: usize = assembled.iter().map(String::len).sum();
+    job.results_bytes.store(bytes, Ordering::SeqCst);
+    *job.results.lock().unwrap() = Some(Arc::new(assembled));
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disp_campaign::run::run_campaign;
+    use disp_core::scenario::ScenarioSpec;
+
+    fn grid(seed: u64, reps: usize) -> CampaignSpec {
+        let labels = [
+            "star/k8/rooted/sync/probe-dfs",
+            "rtree/k8/rooted/async-rand0.7/ks-dfs",
+        ];
+        let scenarios: Vec<ScenarioSpec> = labels
+            .iter()
+            .map(|l| ScenarioSpec::from_label(l).unwrap())
+            .collect();
+        CampaignSpec::custom(scenarios, reps, seed)
+    }
+
+    fn wait_done(job: &Job) -> JobSnapshot {
+        for _ in 0..600 {
+            let snap = job.snapshot();
+            match snap.state {
+                JobState::Done | JobState::Cancelled | JobState::Failed(_) => return snap,
+                _ => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        }
+        panic!("job did not settle: {:?}", job.snapshot());
+    }
+
+    #[test]
+    fn job_results_match_an_offline_run_and_repeat_is_pure_cache() {
+        let cache = Arc::new(TrialCache::in_memory());
+        let metrics = Arc::new(Metrics::default());
+        let manager = JobManager::start(
+            Arc::clone(&cache),
+            Arc::clone(&metrics),
+            2,
+            Retention::default(),
+        );
+
+        let job = manager.submit(grid(7, 2)).unwrap();
+        let snap = wait_done(&job);
+        assert_eq!(snap.state, JobState::Done);
+        assert_eq!(snap.done, snap.total);
+        assert_eq!(snap.executed, snap.total, "cold cache executes everything");
+
+        let (offline, _) = run_campaign(&grid(7, 2), None, 1, &Registry::builtin()).unwrap();
+        let offline_lines: Vec<String> = offline.iter().map(TrialRecord::to_json_line).collect();
+        assert_eq!(*job.results().unwrap(), offline_lines);
+
+        // Identical resubmission: zero executed trials, identical bytes.
+        let again = manager.submit(grid(7, 2)).unwrap();
+        let snap2 = wait_done(&again);
+        assert_eq!(snap2.state, JobState::Done);
+        assert_eq!(snap2.executed, 0);
+        assert_eq!(snap2.cache_hits, snap2.total);
+        assert_eq!(*again.results().unwrap(), offline_lines);
+        assert_eq!(
+            metrics.trials_executed.load(Ordering::SeqCst),
+            snap.total as u64
+        );
+        manager.shutdown();
+    }
+
+    #[test]
+    fn overlapping_grid_reuses_shared_trials() {
+        let cache = Arc::new(TrialCache::in_memory());
+        let metrics = Arc::new(Metrics::default());
+        let manager = JobManager::start(Arc::clone(&cache), metrics, 2, Retention::default());
+        let first = manager.submit(grid(7, 2)).unwrap();
+        wait_done(&first);
+        // Same labels and campaign seed, one more repetition: only the new
+        // rep per point executes.
+        let wider = manager.submit(grid(7, 3)).unwrap();
+        let snap = wait_done(&wider);
+        assert_eq!(snap.state, JobState::Done);
+        assert_eq!(snap.cache_hits, first.total);
+        assert_eq!(snap.executed, snap.total - first.total);
+        // And the served lines advertise the *new* grid's repetition count,
+        // exactly as a fresh offline run would.
+        let (offline, _) = run_campaign(&grid(7, 3), None, 1, &Registry::builtin()).unwrap();
+        let offline_lines: Vec<String> = offline.iter().map(TrialRecord::to_json_line).collect();
+        assert_eq!(*wider.results().unwrap(), offline_lines);
+        manager.shutdown();
+    }
+
+    #[test]
+    fn cancel_before_pickup_never_runs() {
+        let cache = Arc::new(TrialCache::in_memory());
+        let metrics = Arc::new(Metrics::default());
+        let manager = JobManager::start(cache, Arc::clone(&metrics), 1, Retention::default());
+        // Saturate the executor with one job, then cancel a queued one.
+        let busy = manager.submit(grid(1, 2)).unwrap();
+        let queued = manager.submit(grid(2, 2)).unwrap();
+        queued.request_cancel();
+        assert_eq!(queued.state(), JobState::Cancelled);
+        wait_done(&busy);
+        let snap = wait_done(&queued);
+        assert_eq!(snap.state, JobState::Cancelled);
+        assert_eq!(snap.executed, 0);
+        assert!(queued.results().is_none());
+        manager.shutdown();
+    }
+
+    #[test]
+    fn duplicate_labels_in_one_grid_run_once_but_fill_every_slot() {
+        let cache = Arc::new(TrialCache::in_memory());
+        let metrics = Arc::new(Metrics::default());
+        let manager = JobManager::start(
+            Arc::clone(&cache),
+            Arc::clone(&metrics),
+            2,
+            Retention::default(),
+        );
+        let label = "star/k8/rooted/sync/probe-dfs";
+        let spec = CampaignSpec::custom(
+            vec![
+                ScenarioSpec::from_label(label).unwrap(),
+                ScenarioSpec::from_label(label).unwrap(),
+            ],
+            1,
+            7,
+        );
+        let job = manager.submit(spec.clone()).unwrap();
+        let snap = wait_done(&job);
+        assert_eq!(snap.state, JobState::Done);
+        assert_eq!(snap.total, 2);
+        assert_eq!(snap.done, 2);
+        assert_eq!(snap.executed, 1, "one content triple executes once");
+        assert_eq!(metrics.trials_executed.load(Ordering::SeqCst), 1);
+        // Output still mirrors the offline run of the same (duplicated)
+        // grid, which also emits one line per grid slot.
+        let (offline, _) = run_campaign(&spec, None, 1, &Registry::builtin()).unwrap();
+        let offline_lines: Vec<String> = offline.iter().map(TrialRecord::to_json_line).collect();
+        assert_eq!(*job.results().unwrap(), offline_lines);
+        assert_eq!(offline_lines.len(), 2);
+        assert_eq!(offline_lines[0], offline_lines[1]);
+        manager.shutdown();
+    }
+
+    #[test]
+    fn settled_jobs_beyond_the_retention_cap_are_evicted() {
+        let cache = Arc::new(TrialCache::in_memory());
+        let metrics = Arc::new(Metrics::default());
+        let manager = JobManager::start(
+            Arc::clone(&cache),
+            metrics,
+            2,
+            Retention {
+                jobs: 2,
+                result_bytes: usize::MAX,
+            },
+        );
+        let jobs: Vec<_> = (0..4)
+            .map(|_| manager.submit(grid(7, 1)).unwrap())
+            .collect();
+        for job in &jobs {
+            wait_done(job);
+        }
+        // Wait for the executor's eviction bookkeeping to catch up: the two
+        // oldest settled jobs must disappear from the manager.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while manager.get(&jobs[0].id).is_some() || manager.get(&jobs[1].id).is_some() {
+            assert!(std::time::Instant::now() < deadline, "eviction never ran");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(manager.get(&jobs[2].id).is_some());
+        assert!(manager.get(&jobs[3].id).is_some());
+        // The evicted grid's trials are still cached: a resubmission is a
+        // pure hit.
+        let again = manager.submit(grid(7, 1)).unwrap();
+        let snap = wait_done(&again);
+        assert_eq!(snap.executed, 0);
+        assert_eq!(snap.cache_hits, snap.total);
+        manager.shutdown();
+    }
+
+    #[test]
+    fn eviction_is_also_bounded_by_result_bytes() {
+        let cache = Arc::new(TrialCache::in_memory());
+        let metrics = Arc::new(Metrics::default());
+        // A byte budget so small that any two finished jobs exceed it: only
+        // the newest settled job may survive, regardless of the job count.
+        let manager = JobManager::start(
+            Arc::clone(&cache),
+            metrics,
+            2,
+            Retention {
+                jobs: 100,
+                result_bytes: 1,
+            },
+        );
+        let a = manager.submit(grid(7, 1)).unwrap();
+        wait_done(&a);
+        assert!(a.results_bytes() > 1);
+        let b = manager.submit(grid(8, 1)).unwrap();
+        wait_done(&b);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while manager.get(&a.id).is_some() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "byte-budget eviction never ran"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        // The newest settled job always survives, even over budget.
+        assert!(manager.get(&b.id).is_some());
+        manager.shutdown();
+    }
+
+    #[test]
+    fn summary_is_built_once_and_then_served_from_the_memo() {
+        let cache = Arc::new(TrialCache::in_memory());
+        let metrics = Arc::new(Metrics::default());
+        let manager = JobManager::start(Arc::clone(&cache), metrics, 2, Retention::default());
+        let job = manager.submit(grid(7, 1)).unwrap();
+        wait_done(&job);
+        let builds = AtomicUsize::new(0);
+        let first = job.summary_or_build(|| {
+            builds.fetch_add(1, Ordering::SeqCst);
+            "doc".into()
+        });
+        let second = job.summary_or_build(|| {
+            builds.fetch_add(1, Ordering::SeqCst);
+            "other".into()
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 1);
+        assert_eq!(*first, *second);
+        assert!(Arc::ptr_eq(&first, &second));
+        manager.shutdown();
+    }
+
+    #[test]
+    fn shutdown_refuses_new_jobs() {
+        let cache = Arc::new(TrialCache::in_memory());
+        let metrics = Arc::new(Metrics::default());
+        let manager = JobManager::start(cache, metrics, 1, Retention::default());
+        manager.shutdown();
+        assert!(manager.submit(grid(3, 1)).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! # disp-serve
+//!
+//! The long-running campaign service: the ROADMAP's "serves heavy traffic"
+//! claim, built on the determinism the earlier layers already guarantee.
+//! Because every trial is a pure function of `(canonical scenario label,
+//! campaign seed, repetition)` (PR 2), a server can memoize trials across
+//! requests and users — identical or overlapping submissions dedupe to
+//! byte-identical cached results, and a repeated campaign returns without
+//! executing anything.
+//!
+//! Everything is `std::net` + `std::thread` only; the HTTP/1.1 subset is
+//! hand-rolled in [`http`] the same way `disp-rng` replaced `rand`.
+//!
+//! ## Layers
+//!
+//! * [`http`] — request parsing, keep-alive, chunked streaming.
+//! * [`cache`] — the content-addressed trial cache over a JSONL log.
+//! * [`jobs`] — the job manager feeding the campaign engine.
+//! * [`server`] — accept loop, worker pool, endpoint routing.
+//! * [`metrics`] — counters and their `/metrics` text exposition.
+//! * [`client`] — the minimal blocking client used by `disp-load`, the
+//!   tests and the CI smoke.
+//!
+//! Binaries: `disp-serve` (the daemon) and `disp-load` (the
+//! load-generation harness that proves the throughput claim with numbers).
+//! See `DESIGN.md` §9 for the architecture and the
+//! determinism-under-concurrency argument.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod jobs;
+pub mod metrics;
+pub mod server;
+
+pub use cache::TrialCache;
+pub use client::{Client, HttpResponse};
+pub use jobs::{Job, JobManager, JobSnapshot, JobState, Retention};
+pub use metrics::{parse_metric, Metrics};
+pub use server::{parse_submission, AppState, ServeConfig, Server};

@@ -1,0 +1,100 @@
+//! Service counters and their text exposition (`GET /metrics`).
+//!
+//! The format is the Prometheus text convention — `name value` lines with
+//! `_total` suffixes on monotone counters — because every scraping tool
+//! (and `grep` in the CI smoke) reads it. Counters never influence
+//! behavior; they exist so a load test can *prove* claims like "the second
+//! submission was served entirely from cache".
+
+use crate::cache::TrialCache;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone service counters (all relaxed: they are observability, not
+/// synchronization).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// HTTP requests parsed and routed (any status).
+    pub http_requests: AtomicU64,
+    /// Requests answered with a 4xx/5xx status.
+    pub http_errors: AtomicU64,
+    /// Jobs accepted by `POST /runs`.
+    pub jobs_submitted: AtomicU64,
+    /// Jobs that reached the `done` state.
+    pub jobs_completed: AtomicU64,
+    /// Jobs cancelled before completion.
+    pub jobs_cancelled: AtomicU64,
+    /// Jobs that failed (executor panic — should stay 0).
+    pub jobs_failed: AtomicU64,
+    /// Trials actually executed by the engine (cache misses that ran).
+    pub trials_executed: AtomicU64,
+}
+
+impl Metrics {
+    /// Increment a counter.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Render the text exposition, folding in the cache's counters and the
+    /// current queue depth gauge.
+    pub fn render(&self, cache: &TrialCache, queue_depth: usize) -> String {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        format!(
+            "disp_http_requests_total {}\n\
+             disp_http_errors_total {}\n\
+             disp_jobs_submitted_total {}\n\
+             disp_jobs_completed_total {}\n\
+             disp_jobs_cancelled_total {}\n\
+             disp_jobs_failed_total {}\n\
+             disp_trials_executed_total {}\n\
+             disp_cache_hits_total {}\n\
+             disp_cache_misses_total {}\n\
+             disp_cache_entries {}\n\
+             disp_queue_depth {}\n",
+            get(&self.http_requests),
+            get(&self.http_errors),
+            get(&self.jobs_submitted),
+            get(&self.jobs_completed),
+            get(&self.jobs_cancelled),
+            get(&self.jobs_failed),
+            get(&self.trials_executed),
+            cache.hits(),
+            cache.misses(),
+            cache.len(),
+            queue_depth,
+        )
+    }
+}
+
+/// Parse one counter out of a `/metrics` body (shared by `disp-load` and
+/// the integration tests — and a tiny spec of the exposition format).
+pub fn parse_metric(body: &str, name: &str) -> Option<u64> {
+    body.lines().find_map(|line| {
+        let (n, v) = line.split_once(' ')?;
+        if n == name {
+            v.parse().ok()
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let metrics = Metrics::default();
+        let cache = TrialCache::in_memory();
+        Metrics::inc(&metrics.http_requests);
+        Metrics::inc(&metrics.http_requests);
+        Metrics::inc(&metrics.trials_executed);
+        let text = metrics.render(&cache, 3);
+        assert_eq!(parse_metric(&text, "disp_http_requests_total"), Some(2));
+        assert_eq!(parse_metric(&text, "disp_trials_executed_total"), Some(1));
+        assert_eq!(parse_metric(&text, "disp_cache_hits_total"), Some(0));
+        assert_eq!(parse_metric(&text, "disp_queue_depth"), Some(3));
+        assert_eq!(parse_metric(&text, "disp_nope"), None);
+    }
+}

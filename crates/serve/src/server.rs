@@ -1,0 +1,642 @@
+//! The HTTP campaign service: accept loop, worker pool, routing.
+//!
+//! ## Endpoints
+//!
+//! | Method + path | Meaning |
+//! |---|---|
+//! | `POST /runs` | submit a grid (`{"scenarios":[…],"reps":N,"seed":S}` or `{"campaign":"mini","mode":"quick","seed":S}`) |
+//! | `GET /runs/:id` | job status + progress |
+//! | `GET /runs/:id/results` | stream the JSONL records (grid order); `?format=summary` returns the JSON report document |
+//! | `DELETE /runs/:id` | cancel |
+//! | `GET /scenarios` | the scenario-label grammar (same text as `disp-campaign scenarios`) |
+//! | `GET /healthz` | liveness |
+//! | `GET /metrics` | text-format counters |
+//!
+//! ## Shape
+//!
+//! One nonblocking accept loop dispatches connections to a fixed pool of
+//! worker threads over a channel; each worker drives one keep-alive
+//! connection at a time. Shutdown is a latch: the accept loop stops, the
+//! channel closes, idle connections notice within one read tick, in-flight
+//! requests finish with `Connection: close`, and the job manager drains —
+//! no request is ever abandoned mid-response.
+
+use crate::cache::TrialCache;
+use crate::http::{
+    finish_chunks, read_request, write_chunk, write_chunked_head, write_response, ReadOutcome,
+    Request, READ_TICK,
+};
+use crate::jobs::{JobManager, JobSnapshot, JobState, Retention};
+use crate::metrics::Metrics;
+use disp_analysis::json::Json;
+use disp_analysis::jsonl;
+use disp_campaign::grid::{CampaignSpec, Mode};
+use disp_campaign::report::{campaign_report_json, section_measurements};
+use disp_core::scenario::{grammar_help, Registry, ScenarioSpec};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Hard cap on the number of trials one `POST /runs` may compile to. A
+/// submission is validated labels-first, so without this a single request
+/// with `"reps": 4000000000` would pass validation and then try to
+/// materialize (and hold result lines for) billions of trials —
+/// monopolizing the FIFO executor and eventually aborting on allocation.
+/// Grids larger than this belong to the offline CLI with `--out`
+/// checkpointing, not a request/response lifecycle.
+pub const MAX_JOB_TRIALS: usize = 100_000;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// HTTP worker threads (concurrent connections served).
+    pub http_threads: usize,
+    /// Engine worker threads per job.
+    pub job_threads: usize,
+    /// Cache directory (`None` = in-memory cache).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            http_threads: 4,
+            job_threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4),
+            cache_dir: None,
+        }
+    }
+}
+
+/// Shared application state.
+#[derive(Debug)]
+pub struct AppState {
+    /// The trial cache.
+    pub cache: Arc<TrialCache>,
+    /// Service counters.
+    pub metrics: Arc<Metrics>,
+    /// The job manager.
+    pub manager: JobManager,
+}
+
+/// A running campaign service.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    state: Arc<AppState>,
+}
+
+impl Server {
+    /// Bind `bind` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// serving in background threads.
+    pub fn start(bind: &str, config: ServeConfig) -> Result<Server, String> {
+        let listener = TcpListener::bind(bind).map_err(|e| format!("bind {bind}: {e}"))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking: {e}"))?;
+        let cache = Arc::new(match &config.cache_dir {
+            Some(dir) => TrialCache::open(dir)?,
+            None => TrialCache::in_memory(),
+        });
+        let metrics = Arc::new(Metrics::default());
+        let manager = JobManager::start(
+            Arc::clone(&cache),
+            Arc::clone(&metrics),
+            config.job_threads.max(1),
+            Retention::default(),
+        );
+        let state = Arc::new(AppState {
+            cache,
+            metrics,
+            manager,
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let (conn_tx, conn_rx) = channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        // Accepted-but-unclaimed connections: idle keep-alive workers yield
+        // to this queue (see `http::read_request`).
+        let waiting = Arc::new(AtomicUsize::new(0));
+        let workers: Vec<JoinHandle<()>> = (0..config.http_threads.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&conn_rx);
+                let state = Arc::clone(&state);
+                let shutdown = Arc::clone(&shutdown);
+                let waiting = Arc::clone(&waiting);
+                std::thread::spawn(move || worker_loop(&rx, &state, &shutdown, &waiting))
+            })
+            .collect();
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_waiting = Arc::clone(&waiting);
+        let accept_handle = std::thread::spawn(move || {
+            accept_loop(&listener, &conn_tx, &accept_shutdown, &accept_waiting);
+            // Closing the channel releases idle workers; busy ones finish
+            // their connection first (they poll the shutdown latch).
+            drop(conn_tx);
+            for worker in workers {
+                let _ = worker.join();
+            }
+        });
+
+        Ok(Server {
+            addr,
+            shutdown,
+            accept_handle: Some(accept_handle),
+            state,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state (tests assert on cache/metrics through this).
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// Graceful drain: stop accepting, finish in-flight requests, cancel
+    /// and join the job executor. Blocks until every thread has exited.
+    pub fn shutdown(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        self.state.manager.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept_handle.is_some() {
+            self.drain();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    conn_tx: &Sender<TcpStream>,
+    shutdown: &AtomicBool,
+    waiting: &AtomicUsize,
+) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                waiting.fetch_add(1, Ordering::SeqCst);
+                if conn_tx.send(stream).is_err() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            // Transient per-connection failures (e.g. ECONNABORTED) must
+            // not kill the accept loop.
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn worker_loop(
+    rx: &Arc<Mutex<Receiver<TcpStream>>>,
+    state: &Arc<AppState>,
+    shutdown: &AtomicBool,
+    waiting: &AtomicUsize,
+) {
+    loop {
+        // Hold the lock only for the recv, not while serving.
+        let stream = match rx.lock().unwrap().recv() {
+            Ok(stream) => stream,
+            Err(_) => return, // channel closed: drain complete
+        };
+        waiting.fetch_sub(1, Ordering::SeqCst);
+        let _ = handle_connection(stream, state, shutdown, waiting);
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    state: &Arc<AppState>,
+    shutdown: &AtomicBool,
+    waiting: &AtomicUsize,
+) -> std::io::Result<()> {
+    // On BSD-derived platforms accept() propagates the listener's
+    // O_NONBLOCK to the accepted socket, where read timeouts would have no
+    // effect and every read tick would busy-spin — force blocking mode.
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(READ_TICK))?;
+    // Bound writes too: a client that stops reading a streamed response
+    // must not pin this worker (and block graceful drain) forever.
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_nodelay(true)?;
+    let mut buf = Vec::new();
+    let mut req_slot = None;
+    let mut served = 0usize;
+    loop {
+        // A fresh connection gets its first request read unconditionally;
+        // after that, an idle connection yields to queued ones.
+        match read_request(
+            &mut stream,
+            &mut buf,
+            shutdown,
+            waiting,
+            served > 0,
+            &mut req_slot,
+        ) {
+            Ok(ReadOutcome::Parsed) => {}
+            Ok(ReadOutcome::Closed) => return Ok(()),
+            Err(_) => {
+                Metrics::inc(&state.metrics.http_requests);
+                Metrics::inc(&state.metrics.http_errors);
+                let body = error_json("malformed request");
+                let _ = write_response(&mut stream, 400, "application/json", &body, false);
+                return Ok(());
+            }
+        }
+        let req = req_slot.take().expect("Parsed implies a request");
+        Metrics::inc(&state.metrics.http_requests);
+        let keep_alive = req.wants_keep_alive() && !shutdown.load(Ordering::SeqCst);
+        route(&req, &mut stream, state, keep_alive)?;
+        served += 1;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+fn error_json(message: &str) -> Vec<u8> {
+    Json::Obj(vec![("error".into(), Json::Str(message.into()))])
+        .to_string_compact()
+        .into_bytes()
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    state: &AppState,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    if status >= 400 {
+        Metrics::inc(&state.metrics.http_errors);
+    }
+    write_response(stream, status, content_type, body, keep_alive)
+}
+
+fn route(
+    req: &Request,
+    stream: &mut TcpStream,
+    state: &Arc<AppState>,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => respond(stream, state, 200, "text/plain", b"ok\n", keep_alive),
+        ("GET", ["metrics"]) => {
+            let body = state
+                .metrics
+                .render(&state.cache, state.manager.queue_depth());
+            respond(
+                stream,
+                state,
+                200,
+                "text/plain",
+                body.as_bytes(),
+                keep_alive,
+            )
+        }
+        ("GET", ["scenarios"]) => {
+            let body = grammar_help(&Registry::builtin());
+            respond(
+                stream,
+                state,
+                200,
+                "text/plain; charset=utf-8",
+                body.as_bytes(),
+                keep_alive,
+            )
+        }
+        ("POST", ["runs"]) => match parse_submission(&req.body) {
+            Ok(spec) => match state.manager.submit(spec) {
+                Ok(job) => {
+                    Metrics::inc(&state.metrics.jobs_submitted);
+                    let body = Json::Obj(vec![
+                        ("id".into(), Json::Str(job.id.clone())),
+                        ("state".into(), Json::Str(job.state().label().into())),
+                        ("total".into(), Json::Num(job.total as f64)),
+                        ("url".into(), Json::Str(format!("/runs/{}", job.id))),
+                    ])
+                    .to_string_compact()
+                    .into_bytes();
+                    respond(stream, state, 201, "application/json", &body, keep_alive)
+                }
+                Err(e) => respond(
+                    stream,
+                    state,
+                    409,
+                    "application/json",
+                    &error_json(&e),
+                    keep_alive,
+                ),
+            },
+            Err(e) => respond(
+                stream,
+                state,
+                400,
+                "application/json",
+                &error_json(&e),
+                keep_alive,
+            ),
+        },
+        ("GET", ["runs", id]) => match state.manager.get(id) {
+            Some(job) => {
+                let body = snapshot_json(&job.snapshot())
+                    .to_string_compact()
+                    .into_bytes();
+                respond(stream, state, 200, "application/json", &body, keep_alive)
+            }
+            None => respond(
+                stream,
+                state,
+                404,
+                "application/json",
+                &error_json("no such run"),
+                keep_alive,
+            ),
+        },
+        ("GET", ["runs", id, "results"]) => match state.manager.get(id) {
+            Some(job) => match job.results() {
+                Some(lines) => {
+                    if req.query_param("format") == Some("summary") {
+                        // Memoized on the job: big summaries parse every
+                        // line, and dashboards poll this endpoint.
+                        let doc = job.summary_or_build(|| summary_json(&job.spec, &lines));
+                        respond(
+                            stream,
+                            state,
+                            200,
+                            "application/json",
+                            doc.as_bytes(),
+                            keep_alive,
+                        )
+                    } else {
+                        stream_results(stream, &lines, keep_alive)
+                    }
+                }
+                None => {
+                    let msg = format!("run is {}, results not available", job.state().label());
+                    respond(
+                        stream,
+                        state,
+                        409,
+                        "application/json",
+                        &error_json(&msg),
+                        keep_alive,
+                    )
+                }
+            },
+            None => respond(
+                stream,
+                state,
+                404,
+                "application/json",
+                &error_json("no such run"),
+                keep_alive,
+            ),
+        },
+        ("DELETE", ["runs", id]) => match state.manager.get(id) {
+            Some(job) => {
+                job.request_cancel();
+                let body = snapshot_json(&job.snapshot())
+                    .to_string_compact()
+                    .into_bytes();
+                respond(stream, state, 200, "application/json", &body, keep_alive)
+            }
+            None => respond(
+                stream,
+                state,
+                404,
+                "application/json",
+                &error_json("no such run"),
+                keep_alive,
+            ),
+        },
+        (_, ["runs"]) | (_, ["runs", ..]) => respond(
+            stream,
+            state,
+            405,
+            "application/json",
+            &error_json("method not allowed"),
+            keep_alive,
+        ),
+        _ => respond(
+            stream,
+            state,
+            404,
+            "application/json",
+            &error_json("no such endpoint"),
+            keep_alive,
+        ),
+    }
+}
+
+/// Stream finished JSONL lines as a chunked response, batching lines into
+/// ~32 KiB chunks so million-trial results do not degenerate into a
+/// syscall per line.
+fn stream_results(
+    stream: &mut TcpStream,
+    lines: &[String],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    write_chunked_head(stream, 200, "application/jsonl", keep_alive)?;
+    let mut batch = Vec::with_capacity(64 * 1024);
+    for line in lines {
+        batch.extend_from_slice(line.as_bytes());
+        batch.push(b'\n');
+        if batch.len() >= 32 * 1024 {
+            write_chunk(stream, &batch)?;
+            batch.clear();
+        }
+    }
+    write_chunk(stream, &batch)?;
+    finish_chunks(stream)
+}
+
+/// Build the JSON summary document for a finished job — the same encoder
+/// (`campaign_report_json`) behind `disp-campaign report --format json`.
+fn summary_json(spec: &CampaignSpec, lines: &[String]) -> String {
+    let joined = lines.join("\n");
+    let records = jsonl::read_trials(BufReader::new(joined.as_bytes()))
+        .map(|ingest| ingest.records)
+        .unwrap_or_default();
+    let sections = section_measurements(spec, records);
+    campaign_report_json(spec, &sections).to_string_compact()
+}
+
+fn snapshot_json(snap: &JobSnapshot) -> Json {
+    let mut fields = vec![
+        ("id".into(), Json::Str(snap.id.clone())),
+        ("state".into(), Json::Str(snap.state.label().into())),
+        ("total".into(), Json::Num(snap.total as f64)),
+        ("done".into(), Json::Num(snap.done as f64)),
+        ("cache_hits".into(), Json::Num(snap.cache_hits as f64)),
+        ("executed".into(), Json::Num(snap.executed as f64)),
+    ];
+    if let JobState::Failed(msg) = &snap.state {
+        fields.push(("error".into(), Json::Str(msg.clone())));
+    }
+    Json::Obj(fields)
+}
+
+/// Parse and validate a `POST /runs` body into a campaign spec.
+///
+/// Accepts either an ad-hoc grid —
+/// `{"scenarios": ["star/k12/rooted/sync/probe-dfs", …], "reps": 2, "seed": 7}`
+/// — or a named campaign — `{"campaign": "mini", "mode": "quick", "seed": 7}`.
+/// Every scenario is validated against the builtin registry before the job
+/// is accepted, so an illegal grid is a 400 at submit time, never a
+/// mid-job failure.
+pub fn parse_submission(body: &[u8]) -> Result<CampaignSpec, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let v = Json::parse(text.trim()).map_err(|e| format!("body is not JSON: {e}"))?;
+    let seed = match v.get("seed") {
+        Some(s) => s
+            .as_u64_lossless()
+            .ok_or("seed must be an unsigned integer")?,
+        None => 1,
+    };
+    let registry = Registry::builtin();
+    let spec = match (v.get("scenarios"), v.get("campaign")) {
+        (Some(_), Some(_)) => {
+            return Err("'scenarios' and 'campaign' are mutually exclusive".into())
+        }
+        (Some(Json::Arr(items)), None) => {
+            if items.is_empty() {
+                return Err("'scenarios' must not be empty".into());
+            }
+            let reps = match v.get("reps") {
+                Some(r) => r.as_u64().ok_or("reps must be an unsigned integer")? as usize,
+                None => 1,
+            };
+            let scenarios = items
+                .iter()
+                .map(|item| {
+                    let label = item.as_str().ok_or("scenarios must be label strings")?;
+                    ScenarioSpec::parse(label, &registry).map_err(|e| e.to_string())
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            CampaignSpec::custom(scenarios, reps.max(1), seed)
+        }
+        (None, Some(name)) => {
+            let name = name.as_str().ok_or("campaign must be a string")?;
+            let mode = match v.get("mode") {
+                Some(m) => {
+                    let label = m.as_str().ok_or("mode must be a string")?;
+                    Mode::from_label(label).ok_or_else(|| format!("unknown mode '{label}'"))?
+                }
+                None => Mode::Quick,
+            };
+            CampaignSpec::by_name(name, mode, seed)
+                .ok_or_else(|| format!("unknown campaign '{name}'"))?
+        }
+        _ => return Err("body needs 'scenarios' (array of labels) or 'campaign'".into()),
+    };
+    // Count trials without expanding the grid (expansion itself would be
+    // the allocation this cap exists to prevent).
+    let trial_count = spec
+        .sections
+        .iter()
+        .flat_map(|s| &s.points)
+        .map(|p| p.repetitions.max(1))
+        .fold(0usize, usize::saturating_add);
+    if trial_count > MAX_JOB_TRIALS {
+        return Err(format!(
+            "grid expands to {trial_count} trials, above the per-request cap of \
+             {MAX_JOB_TRIALS}; run grids this large offline with `disp-campaign run --out`",
+        ));
+    }
+    for point in spec.sections.iter().flat_map(|s| &s.points) {
+        point
+            .scenario
+            .validate(&registry)
+            .map_err(|e| format!("scenario '{}': {e}", point.scenario.label()))?;
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submissions_parse_and_validate() {
+        let spec = parse_submission(
+            br#"{"scenarios":["star/k8/rooted/sync/probe-dfs"],"reps":2,"seed":7}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.name, "custom");
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.trials().len(), 2);
+
+        let named = parse_submission(br#"{"campaign":"mini","mode":"quick","seed":3}"#).unwrap();
+        assert_eq!(named.name, "mini");
+
+        // Defaults: reps 1, seed 1, mode quick.
+        let d = parse_submission(br#"{"scenarios":["star/k8/rooted/sync/probe-dfs"]}"#).unwrap();
+        assert_eq!(d.seed, 1);
+        assert_eq!(d.trials().len(), 1);
+    }
+
+    #[test]
+    fn bad_submissions_are_typed_errors() {
+        for (body, needle) in [
+            (&br#"{"reps":2}"#[..], "needs 'scenarios'"),
+            (br#"{"scenarios":[]}"#, "must not be empty"),
+            (br#"{"scenarios":["nope/k8"]}"#, "label"),
+            (
+                br#"{"scenarios":["star/k8/rooted/sync/quantum-dfs"]}"#,
+                "unknown algorithm",
+            ),
+            (
+                br#"{"scenarios":["star/k8/scatter/sync/probe-dfs"]}"#,
+                "rooted",
+            ),
+            (br#"{"campaign":"nope"}"#, "unknown campaign"),
+            (
+                br#"{"scenarios":["star/k8/rooted/sync/probe-dfs"],"reps":4000000000}"#,
+                "per-request cap",
+            ),
+            (
+                br#"{"campaign":"mini","scenarios":["x"]}"#,
+                "mutually exclusive",
+            ),
+            (br#"not json"#, "not JSON"),
+        ] {
+            let err = parse_submission(body).unwrap_err();
+            assert!(err.contains(needle), "body {:?} → {err}", body);
+        }
+    }
+}
