@@ -7,7 +7,9 @@
 //! [`scenario_json`] is the structured JSON codec for scenarios (labels are
 //! the other canonical form), [`jsonl`] streams and merges the trial
 //! records the `disp-campaign` engine checkpoints to disk, [`json`] is the
-//! minimal dependency-free JSON layer underneath, [`fit`] estimates log–log
+//! minimal dependency-free JSON layer underneath, [`online`] provides
+//! constant-space streaming statistics (Welford + P² quantiles) for live
+//! campaign observation, [`fit`] estimates log–log
 //! scaling exponents so the harness can check the *shape* of the paper's
 //! bounds, [`stats`] provides the usual summaries, and [`report`] renders
 //! Markdown and CSV tables for `EXPERIMENTS.md`.
@@ -19,6 +21,7 @@ pub mod experiment;
 pub mod fit;
 pub mod json;
 pub mod jsonl;
+pub mod online;
 pub mod report;
 pub mod scenario_json;
 pub mod stats;
@@ -27,6 +30,7 @@ pub use experiment::{ExperimentPoint, ExperimentSpec, Measurement, TrialRecord};
 pub use fit::{loglog_fit, LogLogFit};
 pub use json::Json;
 pub use jsonl::{dedup_trials, merge_trials, read_trials, Ingest};
+pub use online::{OnlineStats, P2Quantile, Welford};
 pub use report::{
     csv_table, markdown_table, measurement_header, measurement_row, measurement_to_json,
 };

@@ -59,8 +59,14 @@ fn main() -> ExitCode {
             };
             let mut regressed = false;
             for row in &rows {
+                let allocs = match row.allocs {
+                    Some((base, measured, ratio)) => {
+                        format!(", allocs {measured} vs {base:.0} (×{ratio:.2})")
+                    }
+                    None => String::new(),
+                };
                 println!(
-                    "{:<34} baseline {:>9.3} ms, measured {:>9.3} ms, ratio {:.2}{}",
+                    "{:<34} baseline {:>9.3} ms, measured {:>9.3} ms, ratio {:.2}{allocs}{}",
                     row.id,
                     row.baseline_ns / 1e6,
                     row.measured_ns / 1e6,

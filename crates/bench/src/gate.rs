@@ -117,9 +117,30 @@ impl Workload {
         times.sort_by(f64::total_cmp);
         times[times.len() / 2]
     }
+
+    /// Heap allocations for one run of the workload, or `None` when the
+    /// crate was built without the `count-allocs` counting allocator.
+    /// Workloads are deterministic, so unlike wall-clock this needs no
+    /// multi-sample median — but it does need the warmup (lazy statics,
+    /// thread-local growth) that `measure_ns` also performs.
+    pub fn measure_allocs(&self) -> Option<u64> {
+        #[cfg(feature = "count-allocs")]
+        {
+            let registry = Registry::builtin();
+            std::hint::black_box(self.run_once(&registry));
+            let before = crate::alloc_counter::current();
+            std::hint::black_box(self.run_once(&registry));
+            Some(crate::alloc_counter::current() - before)
+        }
+        #[cfg(not(feature = "count-allocs"))]
+        None
+    }
 }
 
 /// Measure every gated workload and render the baseline JSON document.
+/// Built with `count-allocs`, the document also carries a
+/// `workloads_allocs` section (allocations per run); without the feature
+/// the section is omitted and `check` skips the allocation comparison.
 pub fn record(samples: usize) -> String {
     let entries: Vec<(String, Json)> = Workload::all()
         .iter()
@@ -129,12 +150,24 @@ pub fn record(samples: usize) -> String {
             (w.id().to_string(), Json::Num(ns))
         })
         .collect();
-    Json::Obj(vec![
+    let mut fields = vec![
         ("tolerance".into(), Json::Num(0.25)),
         ("samples".into(), Json::Num(samples as f64)),
         ("workloads_ns".into(), Json::Obj(entries)),
-    ])
-    .to_string_compact()
+    ];
+    let allocs: Vec<(String, Json)> = Workload::all()
+        .iter()
+        .filter_map(|w| {
+            w.measure_allocs().map(|allocs| {
+                eprintln!("recorded {}: {} alloc(s)", w.id(), allocs);
+                (w.id().to_string(), Json::Num(allocs as f64))
+            })
+        })
+        .collect();
+    if !allocs.is_empty() {
+        fields.push(("workloads_allocs".into(), Json::Obj(allocs)));
+    }
+    Json::Obj(fields).to_string_compact()
 }
 
 /// A single gate comparison result.
@@ -148,18 +181,26 @@ pub struct GateRow {
     pub measured_ns: f64,
     /// `measured / baseline`.
     pub ratio: f64,
-    /// Whether the ratio exceeds `1 + tolerance`.
+    /// Allocation comparison — `(baseline, measured, ratio)` — present
+    /// only when both the baseline and this build carry allocation counts.
+    pub allocs: Option<(f64, u64, f64)>,
+    /// Whether the wall-clock or allocation ratio exceeds `1 + tolerance`.
     pub regressed: bool,
 }
 
 /// Compare fresh measurements against a recorded baseline document.
-/// Returns the per-workload rows; any `regressed` row means the gate fails.
+/// Returns the per-workload rows; any `regressed` row means the gate
+/// fails. Allocation counts gate exactly like wall-clock, but only when
+/// both sides have them: a baseline recorded without `count-allocs` (or a
+/// check built without it) silently skips that comparison rather than
+/// failing half the matrix.
 pub fn check(baseline_json: &str, samples: usize) -> Result<Vec<GateRow>, String> {
     let doc = Json::parse(baseline_json).map_err(|e| format!("baseline parse error: {e}"))?;
     let tolerance = doc.get("tolerance").and_then(Json::as_f64).unwrap_or(0.25);
     let workloads = doc
         .get("workloads_ns")
         .ok_or("baseline missing workloads_ns")?;
+    let baseline_allocs = doc.get("workloads_allocs");
     let mut rows = Vec::new();
     for w in Workload::all() {
         let baseline_ns = workloads
@@ -168,12 +209,25 @@ pub fn check(baseline_json: &str, samples: usize) -> Result<Vec<GateRow>, String
             .ok_or_else(|| format!("baseline missing workload '{}'", w.id()))?;
         let measured_ns = w.measure_ns(samples);
         let ratio = measured_ns / baseline_ns;
+        let allocs = match (
+            baseline_allocs
+                .and_then(|a| a.get(w.id()))
+                .and_then(Json::as_f64),
+            w.measure_allocs(),
+        ) {
+            (Some(base), Some(measured)) if base > 0.0 => {
+                Some((base, measured, measured as f64 / base))
+            }
+            _ => None,
+        };
+        let alloc_regressed = allocs.is_some_and(|(_, _, r)| r > 1.0 + tolerance);
         rows.push(GateRow {
             id: w.id(),
             baseline_ns,
             measured_ns,
             ratio,
-            regressed: ratio > 1.0 + tolerance,
+            allocs,
+            regressed: ratio > 1.0 + tolerance || alloc_regressed,
         });
     }
     Ok(rows)

@@ -24,10 +24,12 @@ use disp_campaign::grid::{CampaignSpec, Mode};
 use disp_campaign::report::{
     campaign_report_json, render_section_csv, render_section_markdown, section_measurements,
 };
-use disp_campaign::run::{run_campaign_cancellable, RunSummary};
+use disp_campaign::run::{run_campaign_telemetered, RunSummary};
 use disp_campaign::signal;
 use disp_campaign::store::CampaignStore;
+use disp_campaign::telemetry::{trace_to_jsonl, JsonlSink, Telemetry};
 use disp_core::scenario::{grammar_help, Registry, ScenarioSpec};
+use disp_sim::DEFAULT_TRACE_CAP;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::AtomicBool;
@@ -39,6 +41,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..], &registry),
         Some("resume") => cmd_resume(&args[1..], &registry),
         Some("report") => cmd_report(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..], &registry),
         Some("scenarios") => {
             cmd_scenarios(&registry);
             Ok(())
@@ -65,9 +68,10 @@ USAGE:
   disp-campaign run    [--campaign table1|figures|placements|scale|mini]
                        [--scenario LABEL]... [--reps N]
                        [--quick|--full] [--threads N] [--seed S]
-                       [--section NAME]... [--out DIR] [--force]
-  disp-campaign resume --out DIR [--threads N]
+                       [--section NAME]... [--out DIR] [--force] [--events]
+  disp-campaign resume --out DIR [--threads N] [--events]
   disp-campaign report --out DIR [--csv DIR | --format text|json]
+  disp-campaign trace  --scenario LABEL [--seed S] [--cap N] [--out FILE]
   disp-campaign scenarios    (print the scenario-label grammar + vocabulary)
 
 --scenario runs an ad-hoc grid of canonical scenario labels, e.g.
@@ -75,6 +79,14 @@ USAGE:
 
 --format json prints the machine-readable report document (the same schema
 disp-serve returns from GET /runs/:id/results?format=summary).
+
+--events (requires --out) streams per-trial telemetry — start/finish with
+wall-clock micros — to the DIR/events.jsonl sidecar. Timing is not content:
+trials.jsonl stays byte-identical with or without --events.
+
+`trace` runs ONE trial of a scenario with the simulator's event trace
+enabled and writes the log as JSONL (stdout, or --out FILE): every agent
+move, cohort ride and protocol milestone, capped at --cap events.
 
 Trial seeds derive from (campaign seed, canonical scenario label,
 repetition): output is byte-identical for any --threads value. With --out,
@@ -97,6 +109,8 @@ struct Flags {
     force: bool,
     csv: Option<PathBuf>,
     format: Format,
+    events: bool,
+    cap: Option<usize>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,6 +134,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         force: false,
         csv: None,
         format: Format::Text,
+        events: false,
+        cap: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -161,6 +177,16 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 }
             }
             "--force" => flags.force = true,
+            "--events" => flags.events = true,
+            "--cap" => {
+                let cap: usize = value("--cap")?
+                    .parse()
+                    .map_err(|_| "--cap expects a positive integer".to_string())?;
+                if cap == 0 {
+                    return Err("--cap expects a positive integer".into());
+                }
+                flags.cap = Some(cap);
+            }
             other => return Err(format!("unknown flag '{other}'\n\n{USAGE}")),
         }
     }
@@ -240,6 +266,30 @@ fn interrupt_error(flags: &Flags, summary: &RunSummary) -> String {
     }
 }
 
+/// Start the events.jsonl sidecar collector when `--events` was given.
+/// Returns the hub to finish (flush + join) after the run.
+fn start_events(flags: &Flags, store: Option<&CampaignStore>) -> Result<Option<Telemetry>, String> {
+    if !flags.events {
+        return Ok(None);
+    }
+    let store = store.ok_or("--events requires --out DIR (the sidecar lives next to the store)")?;
+    let sink = JsonlSink::create(&store.events_path())?;
+    Ok(Some(Telemetry::start(Box::new(sink))))
+}
+
+fn finish_events(telemetry: Option<Telemetry>, store: Option<&CampaignStore>) {
+    if let (Some(telemetry), Some(store)) = (telemetry, store) {
+        let dropped = telemetry.finish();
+        if dropped > 0 {
+            eprintln!(
+                "note: {dropped} telemetry event(s) dropped on a full channel (see the \
+                 overflow marker at the end of {})",
+                store.events_path().display()
+            );
+        }
+    }
+}
+
 fn cmd_run(args: &[String], registry: &Registry) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let spec = build_spec(&flags, registry)?;
@@ -247,9 +297,17 @@ fn cmd_run(args: &[String], registry: &Registry) -> Result<(), String> {
         Some(dir) => Some(CampaignStore::create(dir, &spec, flags.force)?),
         None => None,
     };
+    let telemetry = start_events(&flags, store.as_ref())?;
     let cancel: &AtomicBool = signal::install();
-    let (records, summary) =
-        run_campaign_cancellable(&spec, store.as_ref(), flags.threads, registry, cancel)?;
+    let (records, summary) = run_campaign_telemetered(
+        &spec,
+        store.as_ref(),
+        flags.threads,
+        registry,
+        cancel,
+        telemetry.as_ref().map(Telemetry::handle).as_ref(),
+    )?;
+    finish_events(telemetry, store.as_ref());
     print_summary(&spec, &summary, flags.threads);
     if summary.cancelled {
         return Err(interrupt_error(&flags, &summary));
@@ -265,14 +323,63 @@ fn cmd_resume(args: &[String], registry: &Registry) -> Result<(), String> {
         .ok_or("resume requires --out DIR (the directory of the killed run)")?;
     let (store, manifest) = CampaignStore::open(dir)?;
     let spec = manifest.rebuild_spec()?;
+    let telemetry = start_events(&flags, Some(&store))?;
     let cancel: &AtomicBool = signal::install();
-    let (records, summary) =
-        run_campaign_cancellable(&spec, Some(&store), flags.threads, registry, cancel)?;
+    let (records, summary) = run_campaign_telemetered(
+        &spec,
+        Some(&store),
+        flags.threads,
+        registry,
+        cancel,
+        telemetry.as_ref().map(Telemetry::handle).as_ref(),
+    )?;
+    finish_events(telemetry, Some(&store));
     print_summary(&spec, &summary, flags.threads);
     if summary.cancelled {
         return Err(interrupt_error(&flags, &summary));
     }
     render(&flags, &spec, records)
+}
+
+/// `trace`: run one trial of one scenario with the simulator's event trace
+/// enabled and write the log as JSONL (stdout by default, `--out FILE`).
+fn cmd_trace(args: &[String], registry: &Registry) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    if flags.campaign.is_some() {
+        return Err("trace takes --scenario LABEL, not --campaign".into());
+    }
+    let label = match flags.scenarios.as_slice() {
+        [label] => label,
+        [] => return Err("trace requires --scenario LABEL".into()),
+        _ => return Err("trace runs exactly one scenario (one --scenario flag)".into()),
+    };
+    let spec = ScenarioSpec::parse(label, registry).map_err(|e| e.to_string())?;
+    let cap = flags.cap.unwrap_or(DEFAULT_TRACE_CAP);
+    let (report, trace) = spec
+        .run_traced(registry, flags.seed, cap)
+        .map_err(|e| e.to_string())?;
+    let jsonl = trace_to_jsonl(&trace);
+    match &flags.out {
+        Some(path) => {
+            std::fs::write(path, &jsonl).map_err(|e| format!("write {}: {e}", path.display()))?;
+            eprintln!(
+                "traced {} (seed {}): {} event(s){} → {}",
+                spec.label(),
+                flags.seed,
+                trace.events().len(),
+                if trace.truncated() { ", truncated" } else { "" },
+                path.display()
+            );
+        }
+        None => print!("{jsonl}"),
+    }
+    eprintln!(
+        "outcome: dispersed={} moves={} time={}",
+        report.dispersed,
+        report.outcome.total_moves,
+        report.outcome.time()
+    );
+    Ok(())
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {

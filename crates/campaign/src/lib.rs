@@ -31,6 +31,8 @@
 //!   points), trial expansion and seed derivation.
 //! * [`store`] — the manifest + JSONL checkpoint directory.
 //! * [`run`] — orchestration: skip-completed, execute, stream.
+//! * [`telemetry`] — live per-trial events (bounded channel → pluggable
+//!   sink; timing is non-content and lands in a sidecar, never in results).
 //! * [`report`] — per-section tables, scaling fits, CSV series.
 //!
 //! ## Example
@@ -61,10 +63,14 @@ pub mod run;
 #[allow(unsafe_code)]
 pub mod signal;
 pub mod store;
+pub mod telemetry;
 
 pub use engine::{parallel_map, EngineStats};
 pub use grid::{
     full_ks, quick_ks, section_points, trial_seed, CampaignSpec, Mode, Section, TrialSpec,
 };
-pub use run::{run_campaign, run_campaign_cancellable, RunSummary};
+pub use run::{run_campaign, run_campaign_cancellable, run_campaign_telemetered, RunSummary};
 pub use store::{CampaignStore, Manifest, TrialWriter};
+pub use telemetry::{
+    trace_to_jsonl, JsonlSink, Telemetry, TelemetryHandle, TelemetrySink, TrialEvent,
+};

@@ -4,6 +4,7 @@
 use crate::engine::{parallel_map, EngineStats};
 use crate::grid::{CampaignSpec, TrialSpec};
 use crate::store::CampaignStore;
+use crate::telemetry::{TelemetryHandle, TrialEvent};
 use disp_analysis::jsonl::dedup_trials;
 use disp_analysis::TrialRecord;
 use disp_core::scenario::Registry;
@@ -66,6 +67,26 @@ pub fn run_campaign_cancellable(
     registry: &Registry,
     cancel: &AtomicBool,
 ) -> Result<(Vec<TrialRecord>, RunSummary), String> {
+    run_campaign_telemetered(spec, store, threads, registry, cancel, None)
+}
+
+/// [`run_campaign_cancellable`] with an optional live-telemetry handle.
+///
+/// With a handle, workers emit [`TrialEvent`]s as trials start and finish
+/// (wall-clock micros, moves, rounds), and trials satisfied from the store's
+/// checkpoint emit [`TrialEvent::Cached`] up front. Telemetry is pure
+/// observation: the returned records — and any store checkpoint — are
+/// byte-identical with and without a handle, across thread counts (timing
+/// is non-content and never enters the results stream; see
+/// [`crate::telemetry`]).
+pub fn run_campaign_telemetered(
+    spec: &CampaignSpec,
+    store: Option<&CampaignStore>,
+    threads: usize,
+    registry: &Registry,
+    cancel: &AtomicBool,
+    telemetry: Option<&TelemetryHandle>,
+) -> Result<(Vec<TrialRecord>, RunSummary), String> {
     let grid = spec.trials();
     let total = grid.len();
 
@@ -97,6 +118,18 @@ pub fn run_campaign_cancellable(
         .collect();
     let skipped = total - todo.len();
 
+    if let Some(telemetry) = telemetry {
+        // Checkpoint hits are announced up front, in grid order: the store
+        // already holds their outcomes, nothing will execute for them.
+        let by_id: std::collections::HashMap<String, &TrialRecord> =
+            prior.iter().map(|r| (r.trial_id(), r)).collect();
+        for trial in &grid {
+            if let Some(record) = by_id.get(&trial.trial_id()) {
+                telemetry.emit(TrialEvent::cached(record));
+            }
+        }
+    }
+
     let writer = match store {
         Some(store) => Some(store.appender()?),
         None => None,
@@ -113,7 +146,16 @@ pub fn run_campaign_cancellable(
             if cancel.load(Ordering::SeqCst) {
                 None
             } else {
-                Some(trial.point.run_trial(registry, trial.rep, trial.seed))
+                if let Some(telemetry) = telemetry {
+                    telemetry.emit(TrialEvent::started(&trial.point.point_id(), trial.rep));
+                }
+                let begun = Instant::now();
+                let record = trial.point.run_trial(registry, trial.rep, trial.seed);
+                if let Some(telemetry) = telemetry {
+                    let wall_micros = begun.elapsed().as_micros() as u64;
+                    telemetry.emit(TrialEvent::completed(&record, wall_micros));
+                }
+                Some(record)
             }
         },
         |_, record: &Option<TrialRecord>| {

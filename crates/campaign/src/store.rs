@@ -307,6 +307,15 @@ impl CampaignStore {
         self.dir.join("trials.jsonl")
     }
 
+    /// Path of the telemetry *sidecar* (`events.jsonl`). Trial lifecycle
+    /// events with wall-clock timing land here — never in `trials.jsonl`,
+    /// which stays a pure function of `(grid, seed)`. The sidecar is
+    /// informational: `resume` neither reads nor fingerprints it, and each
+    /// telemetered run truncates and rewrites it.
+    pub fn events_path(&self) -> PathBuf {
+        self.dir.join("events.jsonl")
+    }
+
     /// Stream the trial log (tolerating a torn tail).
     pub fn read_trials(&self) -> Result<Ingest, String> {
         let file = File::open(self.trials_path())

@@ -56,6 +56,12 @@ use disp_sim::{bits, ActivationCtx, AgentId, AgentProtocol, World};
 
 const NO_SETTLER: u32 = u32::MAX;
 
+/// Milestone code recorded (when tracing is enabled) each time an agent
+/// settles: exactly `k` of these fire in a dispersing run, one per agent,
+/// at the node it ends on. Unsettling (a settler recruited as a guest and
+/// later re-settled) records the code again at the new settlement.
+pub const MILESTONE_SETTLED: u32 = 1;
+
 /// Stages of a helper's probe round trip.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ProbeStage {
@@ -252,6 +258,7 @@ impl ProbeDfs {
         self.states[agent.index()] = AgentState::Settled { parent_port };
         self.settled_at[ctx.node().index()] = agent.0;
         self.settled_count += 1;
+        ctx.milestone(agent, MILESTONE_SETTLED);
         ctx.park(agent);
     }
 

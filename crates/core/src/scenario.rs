@@ -1045,6 +1045,35 @@ impl ScenarioSpec {
             dispersed: verify::is_dispersed(&world),
         })
     }
+
+    /// Like [`ScenarioSpec::run`], but with event tracing enabled for the
+    /// whole run: returns the report together with the recorded
+    /// [`Trace`](disp_sim::Trace) (Move / CohortMove / Milestone events, in
+    /// order, capped at `cap` events — the trace marks itself truncated
+    /// rather than growing without bound). Tracing does not perturb the
+    /// run: the outcome is identical to an untraced run of the same seed.
+    pub fn run_traced(
+        &self,
+        registry: &Registry,
+        seed: u64,
+        cap: usize,
+    ) -> Result<(ScenarioReport, disp_sim::Trace), ScenarioError> {
+        let (mut world, mut protocol) = self.build(registry, seed)?;
+        world.enable_trace_with_cap(cap);
+        let config = self.run_config(&world);
+        let outcome = match self.build_adversary(world.num_agents(), seed) {
+            None => SyncRunner::new(config).run(&mut world, protocol.as_mut())?,
+            Some(adversary) => {
+                AsyncRunner::new(config, adversary).run(&mut world, protocol.as_mut())?
+            }
+        };
+        let report = ScenarioReport {
+            scenario: self.label(),
+            outcome,
+            dispersed: verify::is_dispersed(&world),
+        };
+        Ok((report, world.take_trace()))
+    }
 }
 
 impl fmt::Display for ScenarioSpec {

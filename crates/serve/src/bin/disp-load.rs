@@ -1,19 +1,25 @@
 //! The load-generation harness for `disp-serve`.
 //!
 //! ```text
-//! disp-load bench --addr HOST:PORT [--connections N] [--requests N]
-//!                 [--scenario LABEL]... [--reps N] [--seed S]
-//! disp-load once  --addr HOST:PORT --scenario LABEL... [--reps N] [--seed S]
-//! disp-load get   --addr HOST:PORT --path PATH
+//! disp-load bench  --addr HOST:PORT [--connections N] [--requests N]
+//!                  [--scenario LABEL]... [--reps N] [--seed S] [--format text|json]
+//! disp-load once   --addr HOST:PORT --scenario LABEL... [--reps N] [--seed S]
+//! disp-load events --addr HOST:PORT [--scenario LABEL]... [--reps N] [--seed S]
+//! disp-load get    --addr HOST:PORT --path PATH
 //! ```
 //!
 //! * `bench` warms the cache with one submission, then hammers the server
 //!   from N keep-alive connections with a mixed submit/poll/fetch/metrics
 //!   workload and reports throughput and p50/p99 latency — the numbers
-//!   behind the ROADMAP's "heavy traffic" claim.
+//!   behind the ROADMAP's "heavy traffic" claim. `--format json` prints
+//!   the same numbers as one machine-readable JSON object.
 //! * `once` submits one grid, waits for completion and streams the JSONL
 //!   results to stdout (the CI smoke diffs this against an offline
 //!   `disp-campaign run` of the same grid).
+//! * `events` submits one grid and subscribes to `GET /runs/:id/events`,
+//!   verifying the live stream: every grid trial produces a completed or
+//!   cached event, lifecycle events bracket them, and the stream closes
+//!   cleanly when the job settles (the CI events smoke).
 //! * `get` fetches one path and prints the body (so CI needs no curl).
 
 use disp_analysis::json::Json;
@@ -27,14 +33,18 @@ const USAGE: &str = "\
 disp-load — load generation for disp-serve
 
 USAGE:
-  disp-load bench --addr HOST:PORT [--connections N] [--requests N]
-                  [--scenario LABEL]... [--reps N] [--seed S]
-  disp-load once  --addr HOST:PORT --scenario LABEL... [--reps N] [--seed S]
-  disp-load get   --addr HOST:PORT --path PATH
+  disp-load bench  --addr HOST:PORT [--connections N] [--requests N]
+                   [--scenario LABEL]... [--reps N] [--seed S] [--format text|json]
+  disp-load once   --addr HOST:PORT --scenario LABEL... [--reps N] [--seed S]
+  disp-load events --addr HOST:PORT [--scenario LABEL]... [--reps N] [--seed S]
+  disp-load get    --addr HOST:PORT --path PATH
 
 bench defaults: 4 connections, 1000 requests, a small builtin grid.
 The mixed workload is, per 8 requests: 1 submit, 3 status polls,
 3 results fetches, 1 metrics scrape.
+
+events submits a grid, subscribes to the run's live event stream and
+verifies it: one completed/cached event per grid trial, a clean close.
 ";
 
 struct Flags {
@@ -45,6 +55,7 @@ struct Flags {
     reps: usize,
     seed: u64,
     path: String,
+    json: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -56,6 +67,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         reps: 2,
         seed: 7,
         path: "/healthz".into(),
+        json: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -88,6 +100,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .map_err(|_| "--seed expects an unsigned integer".to_string())?
             }
             "--path" => flags.path = value("--path")?,
+            "--format" => {
+                flags.json = match value("--format")?.as_str() {
+                    "json" => true,
+                    "text" => false,
+                    other => return Err(format!("--format expects text|json, got '{other}'")),
+                }
+            }
             other => return Err(format!("unknown flag '{other}'\n\n{USAGE}")),
         }
     }
@@ -109,6 +128,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("bench") => cmd_bench(&args[1..]),
         Some("once") => cmd_once(&args[1..]),
+        Some("events") => cmd_events(&args[1..]),
         Some("get") => cmd_get(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
@@ -185,6 +205,77 @@ fn cmd_once(args: &[String]) -> Result<(), String> {
         return Err(format!("results failed ({})", results.status));
     }
     print!("{}", results.text());
+    Ok(())
+}
+
+/// Submit a grid and verify its live event stream end to end: subscribe to
+/// `GET /runs/:id/events`, block until the job settles and the server
+/// closes the stream, then check that every grid trial produced exactly
+/// one completed/cached event. A truncated chunked body (unclean close)
+/// surfaces as a transport error from the client, so reaching the checks
+/// at all proves the stream ended cleanly.
+fn cmd_events(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let mut client = Client::new(&flags.addr);
+    let resp = client.post_json("/runs", &submission_body(&flags))?;
+    if resp.status != 201 {
+        return Err(format!("submit failed ({}): {}", resp.status, resp.text()));
+    }
+    let submitted = resp.json()?;
+    let id = submitted
+        .get("id")
+        .and_then(Json::as_str)
+        .ok_or("submit response carries no id")?
+        .to_string();
+    let total = submitted
+        .get("total")
+        .and_then(Json::as_u64)
+        .ok_or("submit response carries no total")? as usize;
+
+    let stream = client.get(&format!("/runs/{id}/events"))?;
+    if stream.status != 200 {
+        return Err(format!("events stream → {}", stream.status));
+    }
+    let body = stream.text();
+    let mut completed = 0usize;
+    let mut cached = 0usize;
+    let mut settled = false;
+    let mut overflow = 0u64;
+    for line in body.lines() {
+        let Some(payload) = line.strip_prefix("data: ") else {
+            continue;
+        };
+        let event = Json::parse(payload).map_err(|e| format!("bad event {payload:?}: {e}"))?;
+        match event.get("event").and_then(Json::as_str) {
+            Some("completed") => completed += 1,
+            Some("cached") => cached += 1,
+            Some("job_state") => {
+                if let Some("done" | "cancelled" | "failed") =
+                    event.get("state").and_then(Json::as_str)
+                {
+                    settled = true;
+                }
+            }
+            Some("overflow") => {
+                overflow += event.get("dropped").and_then(Json::as_u64).unwrap_or(0);
+            }
+            _ => {}
+        }
+    }
+    if !settled {
+        return Err("stream closed without a terminal job_state event".into());
+    }
+    // An overflowed subscriber may legitimately see fewer events; without
+    // overflow the accounting must be exact.
+    if overflow == 0 && completed + cached != total {
+        return Err(format!(
+            "expected {total} trial events, saw {completed} completed + {cached} cached",
+        ));
+    }
+    println!(
+        "events ok: {total} trials → {completed} completed, {cached} cached, \
+         {overflow} dropped, clean close"
+    );
     Ok(())
 }
 
@@ -274,21 +365,50 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     };
     let total = all.len();
     let throughput = total as f64 / wall.as_secs_f64();
-    println!(
-        "disp-load: warm-up run {warm_id} completed in {warm_wall:.2?}; measured {total} \
-         requests over {} connections in {wall:.2?}",
-        flags.connections,
-    );
-    println!(
-        "disp-load: {throughput:.1} req/s  p50 {:.2}ms  p99 {:.2}ms  (submit {}, status {}, \
-         results {}, metrics {}; {errors} errors)",
-        pct(0.50),
-        pct(0.99),
-        kind_counts[0].load(Ordering::Relaxed),
-        kind_counts[1].load(Ordering::Relaxed),
-        kind_counts[2].load(Ordering::Relaxed),
-        kind_counts[3].load(Ordering::Relaxed),
-    );
+    if flags.json {
+        let doc = Json::Obj(vec![
+            ("requests".into(), Json::Num(total as f64)),
+            ("connections".into(), Json::Num(flags.connections as f64)),
+            ("errors".into(), Json::Num(errors as f64)),
+            ("elapsed_s".into(), Json::Num(wall.as_secs_f64())),
+            ("req_per_s".into(), Json::Num(throughput)),
+            ("p50_ms".into(), Json::Num(pct(0.50))),
+            ("p99_ms".into(), Json::Num(pct(0.99))),
+            ("warm_up_s".into(), Json::Num(warm_wall.as_secs_f64())),
+            (
+                "kinds".into(),
+                Json::Obj(
+                    ["submit", "status", "results", "metrics"]
+                        .iter()
+                        .zip(&kind_counts)
+                        .map(|(name, count)| {
+                            (
+                                (*name).into(),
+                                Json::Num(count.load(Ordering::Relaxed) as f64),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!("{}", doc.to_string_compact());
+    } else {
+        println!(
+            "disp-load: warm-up run {warm_id} completed in {warm_wall:.2?}; measured {total} \
+             requests over {} connections in {wall:.2?}",
+            flags.connections,
+        );
+        println!(
+            "disp-load: {throughput:.1} req/s  p50 {:.2}ms  p99 {:.2}ms  (submit {}, status {}, \
+             results {}, metrics {}; {errors} errors)",
+            pct(0.50),
+            pct(0.99),
+            kind_counts[0].load(Ordering::Relaxed),
+            kind_counts[1].load(Ordering::Relaxed),
+            kind_counts[2].load(Ordering::Relaxed),
+            kind_counts[3].load(Ordering::Relaxed),
+        );
+    }
     if errors > 0 {
         return Err(format!(
             "{errors} of {} requests failed",

@@ -22,15 +22,18 @@
 
 use crate::cache::TrialCache;
 use crate::metrics::Metrics;
+use disp_analysis::online::OnlineStats;
 use disp_analysis::TrialRecord;
 use disp_campaign::engine::parallel_map;
 use disp_campaign::grid::{CampaignSpec, TrialSpec};
+use disp_campaign::telemetry::{Telemetry, TelemetrySink, TrialEvent};
 use disp_core::scenario::Registry;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Lifecycle of a job.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +64,45 @@ impl JobState {
     }
 }
 
+/// Events retained per job for `GET /runs/:id/events`: a subscriber that
+/// falls further behind than this window is handed an overflow marker and
+/// skipped forward instead of buffering without bound (the slow-consumer
+/// policy, DESIGN.md §10).
+pub const EVENT_WINDOW: usize = 4096;
+
+/// The per-job event ring: monotone sequence numbers over a bounded buffer
+/// of rendered JSON lines, closed exactly once when the job settles.
+#[derive(Debug, Default)]
+struct EventLog {
+    /// Sequence number the *next* event will get; the oldest retained
+    /// event has seq `next_seq - buf.len()`.
+    next_seq: u64,
+    buf: VecDeque<(u64, String)>,
+    closed: bool,
+}
+
+/// What [`Job::events_after`] hands an event-stream subscriber.
+#[derive(Debug, Clone)]
+pub struct EventBatch {
+    /// `(seq, json-line)` pairs in order; resume from `last seq + 1`.
+    pub events: Vec<(u64, String)>,
+    /// Events lost between the subscriber's cursor and the retained
+    /// window (0 unless the subscriber fell behind [`EVENT_WINDOW`]).
+    pub dropped: u64,
+    /// Whether the log is closed (job settled): no further events follow.
+    pub closed: bool,
+}
+
+/// Live per-grid-point statistics: streaming summaries of the two cost
+/// measures the paper plots, fed by completed (and cached) trials.
+#[derive(Debug, Default, Clone)]
+pub struct PointStats {
+    /// Total agent moves per trial.
+    pub moves: OnlineStats,
+    /// Rounds (SYNC) / epochs (ASYNC) per trial.
+    pub time: OnlineStats,
+}
+
 /// One submitted campaign run.
 #[derive(Debug)]
 pub struct Job {
@@ -86,6 +128,17 @@ pub struct Job {
     /// Memoized `?format=summary` document — built once on first request,
     /// not re-parsed from the lines per poll.
     summary: Mutex<Option<Arc<String>>>,
+    /// Bounded lifecycle + per-trial event ring for the SSE endpoint.
+    events: Mutex<EventLog>,
+    /// Wakes event-stream subscribers on every push and on close.
+    events_cv: Condvar,
+    /// Streaming per-point statistics (label → stats), fed by telemetry.
+    point_stats: Mutex<HashMap<String, PointStats>>,
+    /// When the job was submitted (queue-wait metric).
+    submitted_at: Instant,
+    /// When the executor picked the job up, and how long execution took
+    /// once settled — the throughput clock.
+    running_span: Mutex<(Option<Instant>, Option<Duration>)>,
 }
 
 /// A point-in-time snapshot of a job, for status responses.
@@ -120,6 +173,11 @@ impl Job {
             results: Mutex::new(None),
             results_bytes: AtomicUsize::new(0),
             summary: Mutex::new(None),
+            events: Mutex::new(EventLog::default()),
+            events_cv: Condvar::new(),
+            point_stats: Mutex::new(HashMap::new()),
+            submitted_at: Instant::now(),
+            running_span: Mutex::new((None, None)),
         }
     }
 
@@ -166,6 +224,137 @@ impl Job {
         let doc = Arc::new(build());
         *slot = Some(Arc::clone(&doc));
         doc
+    }
+
+    /// Append one rendered event line to the (bounded) event ring and wake
+    /// subscribers. No-op after close.
+    fn push_event(&self, line: String) {
+        let mut log = self.events.lock().unwrap();
+        if log.closed {
+            return;
+        }
+        let seq = log.next_seq;
+        log.next_seq += 1;
+        log.buf.push_back((seq, line));
+        while log.buf.len() > EVENT_WINDOW {
+            log.buf.pop_front();
+        }
+        drop(log);
+        self.events_cv.notify_all();
+    }
+
+    /// Push a `job_state` lifecycle event (queued/running/done/…).
+    fn push_state_event(&self, state: &JobState) {
+        self.push_event(format!(
+            "{{\"event\":\"job_state\",\"id\":{:?},\"state\":{:?}}}",
+            self.id,
+            state.label()
+        ));
+    }
+
+    /// Close the event log: subscribers drain what is buffered and then
+    /// see a clean end-of-stream.
+    fn close_events(&self) {
+        self.events.lock().unwrap().closed = true;
+        self.events_cv.notify_all();
+    }
+
+    /// Absorb one telemetry event: append it to the event ring and, for
+    /// completed/cached trials, fold the outcome into the per-point
+    /// streaming statistics.
+    pub fn record_trial_event(&self, event: &TrialEvent) {
+        match event {
+            TrialEvent::Completed {
+                label,
+                time,
+                total_moves,
+                ..
+            }
+            | TrialEvent::Cached {
+                label,
+                time,
+                total_moves,
+                ..
+            } => {
+                let mut stats = self.point_stats.lock().unwrap();
+                let entry = stats.entry(label.clone()).or_default();
+                entry.moves.push(*total_moves as f64);
+                entry.time.push(*time as f64);
+            }
+            TrialEvent::Started { .. } | TrialEvent::Overflow { .. } => {}
+        }
+        self.push_event(event.to_json_line());
+    }
+
+    /// Events after `cursor`, blocking up to `wait` for news when caught
+    /// up. A subscriber that fell behind the retained window gets the
+    /// buffered tail plus a nonzero `dropped` count to report.
+    pub fn events_after(&self, cursor: u64, wait: Duration) -> EventBatch {
+        let mut log = self.events.lock().unwrap();
+        loop {
+            let oldest = log.next_seq - log.buf.len() as u64;
+            let (dropped, from) = if cursor < oldest {
+                (oldest - cursor, oldest)
+            } else {
+                (0, cursor)
+            };
+            let events: Vec<(u64, String)> = log
+                .buf
+                .iter()
+                .filter(|(seq, _)| *seq >= from)
+                .cloned()
+                .collect();
+            if !events.is_empty() || dropped > 0 || log.closed {
+                return EventBatch {
+                    events,
+                    dropped,
+                    closed: log.closed,
+                };
+            }
+            let (guard, timeout) = self.events_cv.wait_timeout(log, wait).unwrap();
+            log = guard;
+            if timeout.timed_out() {
+                return EventBatch {
+                    events: Vec::new(),
+                    dropped: 0,
+                    closed: log.closed,
+                };
+            }
+        }
+    }
+
+    /// Snapshot of the per-point streaming statistics, sorted by label.
+    pub fn point_stats(&self) -> Vec<(String, PointStats)> {
+        let stats = self.point_stats.lock().unwrap();
+        let mut out: Vec<(String, PointStats)> =
+            stats.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Seconds the job has been executing: live clock while running,
+    /// frozen at the final span once settled, `None` while queued.
+    pub fn running_secs(&self) -> Option<f64> {
+        let span = self.running_span.lock().unwrap();
+        match *span {
+            (_, Some(total)) => Some(total.as_secs_f64()),
+            (Some(started), None) => Some(started.elapsed().as_secs_f64()),
+            (None, None) => None,
+        }
+    }
+
+    /// Microseconds the job waited in the queue (settled by the executor).
+    fn mark_running(&self) -> u64 {
+        let wait = self.submitted_at.elapsed().as_micros() as u64;
+        self.running_span.lock().unwrap().0 = Some(Instant::now());
+        wait
+    }
+
+    fn mark_settled(&self) {
+        let mut span = self.running_span.lock().unwrap();
+        if let (Some(started), None) = *span {
+            span.1 = Some(started.elapsed());
+        }
     }
 
     /// Request cancellation (idempotent; a no-op once `Done`).
@@ -252,7 +441,10 @@ impl JobManager {
                     job.set_state(JobState::Cancelled);
                     Metrics::inc(&metrics.jobs_cancelled);
                 } else {
+                    let queue_wait_us = job.mark_running();
+                    metrics.job_queue_wait_us.observe(queue_wait_us);
                     job.set_state(JobState::Running);
+                    job.push_state_event(&JobState::Running);
                     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         execute_job(&job, &cache, &metrics, &registry, job_threads)
                     }));
@@ -276,6 +468,11 @@ impl JobManager {
                         }
                     }
                 }
+                job.mark_settled();
+                // Terminal lifecycle event, then a clean end-of-stream for
+                // every `GET /runs/:id/events` subscriber.
+                job.push_state_event(&job.state());
+                job.close_events();
                 let weight = job.results_bytes();
                 settled.push_back((job.id.clone(), weight));
                 settled_bytes += weight;
@@ -285,6 +482,7 @@ impl JobManager {
                     if let Some((old, old_bytes)) = settled.pop_front() {
                         settled_bytes -= old_bytes;
                         jobs_for_executor.lock().unwrap().remove(&old);
+                        Metrics::inc(&metrics.jobs_evicted);
                     }
                 }
             }
@@ -312,6 +510,7 @@ impl JobManager {
         }
         let id = format!("r{}", self.next_id.fetch_add(1, Ordering::SeqCst));
         let job = Arc::new(Job::new(id.clone(), spec));
+        job.push_state_event(&JobState::Queued);
         self.jobs.lock().unwrap().insert(id, Arc::clone(&job));
         let queue = self.queue.lock().unwrap();
         let tx = queue.as_ref().ok_or("server is shutting down")?;
@@ -349,14 +548,36 @@ impl JobManager {
     }
 }
 
+/// The per-job [`TelemetrySink`]: every event lands in the job's event log
+/// (feeding `GET /runs/:id/events` and the per-point online stats), and
+/// completed-trial wall times feed the service-wide duration histogram.
+struct JobSink {
+    job: Arc<Job>,
+    metrics: Arc<Metrics>,
+}
+
+impl TelemetrySink for JobSink {
+    fn emit(&mut self, event: &TrialEvent) {
+        if let TrialEvent::Completed { wall_micros, .. } = event {
+            self.metrics.trial_duration_us.observe(*wall_micros);
+        }
+        self.job.record_trial_event(event);
+    }
+}
+
 /// Run one job; returns `false` if cancellation left grid trials undone.
 fn execute_job(
-    job: &Job,
+    job: &Arc<Job>,
     cache: &TrialCache,
-    metrics: &Metrics,
+    metrics: &Arc<Metrics>,
     registry: &Registry,
     threads: usize,
 ) -> bool {
+    let telemetry = Telemetry::start(Box::new(JobSink {
+        job: Arc::clone(job),
+        metrics: Arc::clone(metrics),
+    }));
+    let events = telemetry.handle();
     let trials = job.spec.trials();
     let mut lines: Vec<Option<String>> = vec![None; trials.len()];
     // Deduplicate by content triple *within* the job too: a grid that lists
@@ -368,6 +589,7 @@ fn execute_job(
         match cache.lookup(&t.point.point_id(), t.rep, t.seed, t.point.repetitions) {
             Some(rec) => {
                 lines[i] = Some(rec.to_json_line());
+                events.emit(TrialEvent::cached(&rec));
                 job.cache_hits.fetch_add(1, Ordering::SeqCst);
                 job.done.fetch_add(1, Ordering::SeqCst);
             }
@@ -387,7 +609,14 @@ fn execute_job(
             if job.cancel.load(Ordering::SeqCst) {
                 return None;
             }
-            Some(t.point.run_trial(registry, t.rep, t.seed))
+            events.emit(TrialEvent::started(&t.point.point_id(), t.rep));
+            let begun = Instant::now();
+            let rec = t.point.run_trial(registry, t.rep, t.seed);
+            events.emit(TrialEvent::completed(
+                &rec,
+                begun.elapsed().as_micros() as u64,
+            ));
+            Some(rec)
         },
         |_, rec: &Option<TrialRecord>| {
             if let Some(rec) = rec {
@@ -400,6 +629,7 @@ fn execute_job(
             }
         },
     );
+    telemetry.finish();
     for rec in fresh {
         match rec {
             Some(rec) => {

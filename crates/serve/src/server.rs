@@ -5,12 +5,14 @@
 //! | Method + path | Meaning |
 //! |---|---|
 //! | `POST /runs` | submit a grid (`{"scenarios":[…],"reps":N,"seed":S}` or `{"campaign":"mini","mode":"quick","seed":S}`) |
-//! | `GET /runs/:id` | job status + progress |
+//! | `GET /runs/:id` | job status + progress + live per-point statistics and throughput |
 //! | `GET /runs/:id/results` | stream the JSONL records (grid order); `?format=summary` returns the JSON report document |
+//! | `GET /runs/:id/events` | live event stream (SSE): per-trial telemetry + lifecycle, closes when the job settles |
 //! | `DELETE /runs/:id` | cancel |
+//! | `GET /trace?scenario=LABEL` | run one traced trial, stream the event log as JSONL (`&seed=S&cap=N` optional) |
 //! | `GET /scenarios` | the scenario-label grammar (same text as `disp-campaign scenarios`) |
 //! | `GET /healthz` | liveness |
-//! | `GET /metrics` | text-format counters |
+//! | `GET /metrics` | text-format counters, latency/duration histograms, worker gauges |
 //!
 //! ## Shape
 //!
@@ -26,13 +28,15 @@ use crate::http::{
     finish_chunks, read_request, write_chunk, write_chunked_head, write_response, ReadOutcome,
     Request, READ_TICK,
 };
-use crate::jobs::{JobManager, JobSnapshot, JobState, Retention};
-use crate::metrics::Metrics;
+use crate::jobs::{Job, JobManager, JobSnapshot, JobState, Retention};
+use crate::metrics::{Gauges, Metrics};
 use disp_analysis::json::Json;
 use disp_analysis::jsonl;
 use disp_campaign::grid::{CampaignSpec, Mode};
 use disp_campaign::report::{campaign_report_json, section_measurements};
+use disp_campaign::telemetry::trace_to_jsonl;
 use disp_core::scenario::{grammar_help, Registry, ScenarioSpec};
+use disp_sim::DEFAULT_TRACE_CAP;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -40,7 +44,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Hard cap on the number of trials one `POST /runs` may compile to. A
 /// submission is validated labels-first, so without this a single request
@@ -83,6 +87,11 @@ pub struct AppState {
     pub metrics: Arc<Metrics>,
     /// The job manager.
     pub manager: JobManager,
+    /// HTTP workers currently inside `handle_connection` (the
+    /// utilization gauge on `/metrics`).
+    pub workers_busy: AtomicUsize,
+    /// Size of the HTTP worker pool.
+    pub http_workers: usize,
 }
 
 /// A running campaign service.
@@ -120,6 +129,8 @@ impl Server {
             cache,
             metrics,
             manager,
+            workers_busy: AtomicUsize::new(0),
+            http_workers: config.http_threads.max(1),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
 
@@ -232,7 +243,9 @@ fn worker_loop(
             Err(_) => return, // channel closed: drain complete
         };
         waiting.fetch_sub(1, Ordering::SeqCst);
+        state.workers_busy.fetch_add(1, Ordering::SeqCst);
         let _ = handle_connection(stream, state, shutdown, waiting);
+        state.workers_busy.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -278,7 +291,13 @@ fn handle_connection(
         let req = req_slot.take().expect("Parsed implies a request");
         Metrics::inc(&state.metrics.http_requests);
         let keep_alive = req.wants_keep_alive() && !shutdown.load(Ordering::SeqCst);
-        route(&req, &mut stream, state, keep_alive)?;
+        let begun = Instant::now();
+        let outcome = route(&req, &mut stream, state, shutdown, keep_alive);
+        state
+            .metrics
+            .http_request_duration_us
+            .observe(begun.elapsed().as_micros() as u64);
+        outcome?;
         served += 1;
         if !keep_alive {
             return Ok(());
@@ -310,15 +329,19 @@ fn route(
     req: &Request,
     stream: &mut TcpStream,
     state: &Arc<AppState>,
+    shutdown: &AtomicBool,
     keep_alive: bool,
 ) -> std::io::Result<()> {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => respond(stream, state, 200, "text/plain", b"ok\n", keep_alive),
         ("GET", ["metrics"]) => {
-            let body = state
-                .metrics
-                .render(&state.cache, state.manager.queue_depth());
+            let gauges = Gauges {
+                queue_depth: state.manager.queue_depth(),
+                http_workers_busy: state.workers_busy.load(Ordering::SeqCst),
+                http_workers: state.http_workers,
+            };
+            let body = state.metrics.render(&state.cache, gauges);
             respond(
                 stream,
                 state,
@@ -328,6 +351,7 @@ fn route(
                 keep_alive,
             )
         }
+        ("GET", ["trace"]) => serve_trace(req, stream, state, keep_alive),
         ("GET", ["scenarios"]) => {
             let body = grammar_help(&Registry::builtin());
             respond(
@@ -373,11 +397,20 @@ fn route(
         },
         ("GET", ["runs", id]) => match state.manager.get(id) {
             Some(job) => {
-                let body = snapshot_json(&job.snapshot())
-                    .to_string_compact()
-                    .into_bytes();
+                let body = job_status_json(&job).to_string_compact().into_bytes();
                 respond(stream, state, 200, "application/json", &body, keep_alive)
             }
+            None => respond(
+                stream,
+                state,
+                404,
+                "application/json",
+                &error_json("no such run"),
+                keep_alive,
+            ),
+        },
+        ("GET", ["runs", id, "events"]) => match state.manager.get(id) {
+            Some(job) => stream_events(stream, &job, shutdown, keep_alive),
             None => respond(
                 stream,
                 state,
@@ -430,9 +463,7 @@ fn route(
         ("DELETE", ["runs", id]) => match state.manager.get(id) {
             Some(job) => {
                 job.request_cancel();
-                let body = snapshot_json(&job.snapshot())
-                    .to_string_compact()
-                    .into_bytes();
+                let body = job_status_json(&job).to_string_compact().into_bytes();
                 respond(stream, state, 200, "application/json", &body, keep_alive)
             }
             None => respond(
@@ -485,6 +516,100 @@ fn stream_results(
     finish_chunks(stream)
 }
 
+/// Stream a job's event log as Server-Sent Events over chunked transfer.
+/// Each frame is `data: {json}\n\n`. A subscriber that fell behind the
+/// bounded per-job window gets an `overflow` frame (with the drop count)
+/// before resuming — never an unbounded buffer. The stream ends cleanly
+/// when the job settles and the log is drained, or when the server begins
+/// shutdown — SIGTERM drains subscribers instead of severing them.
+fn stream_events(
+    stream: &mut TcpStream,
+    job: &Job,
+    shutdown: &AtomicBool,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    write_chunked_head(stream, 200, "text/event-stream", keep_alive)?;
+    let mut cursor = 0u64;
+    loop {
+        let batch = job.events_after(cursor, 2 * READ_TICK);
+        if batch.dropped > 0 {
+            cursor += batch.dropped;
+            let marker = format!(
+                "data: {{\"event\":\"overflow\",\"dropped\":{}}}\n\n",
+                batch.dropped
+            );
+            write_chunk(stream, marker.as_bytes())?;
+        }
+        let mut frame = String::new();
+        for (seq, line) in &batch.events {
+            frame.push_str("data: ");
+            frame.push_str(line);
+            frame.push_str("\n\n");
+            cursor = seq + 1;
+        }
+        if !frame.is_empty() {
+            write_chunk(stream, frame.as_bytes())?;
+        }
+        if (batch.closed && batch.events.is_empty()) || shutdown.load(Ordering::SeqCst) {
+            return finish_chunks(stream);
+        }
+    }
+}
+
+/// `GET /trace?scenario=LABEL[&seed=S][&cap=N]`: run one traced trial and
+/// stream its event log as JSONL. The label is validated first (an illegal
+/// scenario is a 400, never a mid-stream failure) and the trace is capped
+/// so a pathological request cannot hold an unbounded log in memory.
+fn serve_trace(
+    req: &Request,
+    stream: &mut TcpStream,
+    state: &AppState,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let bad = |stream: &mut TcpStream, msg: &str| {
+        respond(
+            stream,
+            state,
+            400,
+            "application/json",
+            &error_json(msg),
+            keep_alive,
+        )
+    };
+    let label = match req.query_param("scenario") {
+        Some(label) => label,
+        None => return bad(stream, "missing required query parameter 'scenario'"),
+    };
+    let seed = match req.query_param("seed") {
+        Some(s) => match s.parse::<u64>() {
+            Ok(seed) => seed,
+            Err(_) => return bad(stream, "seed must be an unsigned integer"),
+        },
+        None => 1,
+    };
+    let cap = match req.query_param("cap") {
+        Some(c) => match c.parse::<usize>() {
+            Ok(cap) if cap > 0 => cap,
+            _ => return bad(stream, "cap must be a positive integer"),
+        },
+        None => DEFAULT_TRACE_CAP,
+    };
+    let registry = Registry::builtin();
+    let spec = match ScenarioSpec::parse(label, &registry) {
+        Ok(spec) => spec,
+        Err(e) => return bad(stream, &format!("scenario '{label}': {e}")),
+    };
+    match spec.run_traced(&registry, seed, cap) {
+        Ok((_report, trace)) => {
+            let body = trace_to_jsonl(&trace);
+            write_chunked_head(stream, 200, "application/jsonl", keep_alive)?;
+            write_chunk(stream, body.as_bytes())?;
+            finish_chunks(stream)
+        }
+        Err(e) => bad(stream, &e.to_string()),
+    }
+}
+
 /// Build the JSON summary document for a finished job — the same encoder
 /// (`campaign_report_json`) behind `disp-campaign report --format json`.
 fn summary_json(spec: &CampaignSpec, lines: &[String]) -> String {
@@ -494,6 +619,44 @@ fn summary_json(spec: &CampaignSpec, lines: &[String]) -> String {
         .unwrap_or_default();
     let sections = section_measurements(spec, records);
     campaign_report_json(spec, &sections).to_string_compact()
+}
+
+/// The status document for `GET /runs/:id` and `DELETE /runs/:id`:
+/// snapshot counters plus live per-point streaming statistics (count,
+/// mean/stddev/min/max/p50/p99 of moves and time) and the throughput
+/// clock. Counts are monotone across polls of a running job — `done` only
+/// grows, and each point's `count` only grows.
+fn job_status_json(job: &Job) -> Json {
+    let snap = job.snapshot();
+    let mut fields = match snapshot_json(&snap) {
+        Json::Obj(fields) => fields,
+        _ => unreachable!("snapshot_json returns an object"),
+    };
+    let points: Vec<(String, Json)> = job
+        .point_stats()
+        .into_iter()
+        .map(|(label, stats)| {
+            (
+                label,
+                Json::Obj(vec![
+                    ("count".into(), Json::Num(stats.moves.count() as f64)),
+                    ("moves".into(), stats.moves.to_json()),
+                    ("time".into(), stats.time.to_json()),
+                ]),
+            )
+        })
+        .collect();
+    fields.push(("points".into(), Json::Obj(points)));
+    if let Some(secs) = job.running_secs() {
+        fields.push(("elapsed_secs".into(), Json::Num(secs)));
+        if secs > 0.0 {
+            fields.push((
+                "throughput_per_sec".into(),
+                Json::Num(snap.done as f64 / secs),
+            ));
+        }
+    }
+    Json::Obj(fields)
 }
 
 fn snapshot_json(snap: &JobSnapshot) -> Json {

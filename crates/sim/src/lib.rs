@@ -85,7 +85,7 @@ pub use metrics::{Metrics, Outcome};
 pub use placement::Placement;
 pub use protocol::AgentProtocol;
 pub use runner::{AsyncRunner, RunConfig, RunError, SyncRunner};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{Trace, TraceEvent, DEFAULT_TRACE_CAP};
 pub use trip::{Trip, TripProgress, TripStatus, TripStep};
 pub use world::{ActivationCtx, World};
 

@@ -52,12 +52,27 @@ pub enum TraceEvent {
     },
 }
 
+/// Default bound on recorded events ([`Trace::enabled`] uses it): enough
+/// for every scale-campaign trial the repo runs, small enough that an
+/// accidentally traced 10^6-agent run cannot eat the machine.
+pub const DEFAULT_TRACE_CAP: usize = 1 << 20;
+
 /// A bounded-growth event log. Disabled by default; when disabled, recording
-/// is a no-op so protocols can emit milestones unconditionally.
-#[derive(Debug, Clone, Default)]
+/// is a no-op so protocols can emit milestones unconditionally. When the cap
+/// is reached further events are dropped (never an error) and
+/// [`Trace::truncated`] reports the loss.
+#[derive(Debug, Clone)]
 pub struct Trace {
     enabled: bool,
+    cap: usize,
+    truncated: bool,
     events: Vec<TraceEvent>,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::disabled()
+    }
 }
 
 impl Trace {
@@ -65,14 +80,24 @@ impl Trace {
     pub fn disabled() -> Self {
         Trace {
             enabled: false,
+            cap: DEFAULT_TRACE_CAP,
+            truncated: false,
             events: Vec::new(),
         }
     }
 
-    /// A trace that records all events.
+    /// A trace that records up to [`DEFAULT_TRACE_CAP`] events.
     pub fn enabled() -> Self {
+        Trace::enabled_with_cap(DEFAULT_TRACE_CAP)
+    }
+
+    /// A trace that records up to `cap` events, then drops the rest and
+    /// marks itself [`truncated`](Trace::truncated).
+    pub fn enabled_with_cap(cap: usize) -> Self {
         Trace {
             enabled: true,
+            cap,
+            truncated: false,
             events: Vec::new(),
         }
     }
@@ -82,11 +107,26 @@ impl Trace {
         self.enabled
     }
 
-    /// Record an event (no-op when disabled).
+    /// The bound on recorded events.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Whether any event was dropped because the cap was reached.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Record an event (no-op when disabled; drops once the cap is hit).
     pub fn record(&mut self, event: TraceEvent) {
-        if self.enabled {
-            self.events.push(event);
+        if !self.enabled {
+            return;
         }
+        if self.events.len() >= self.cap {
+            self.truncated = true;
+            return;
+        }
+        self.events.push(event);
     }
 
     /// The recorded events, in order.
@@ -139,5 +179,47 @@ mod tests {
         });
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.move_count(), 1);
+        assert!(!t.truncated());
+    }
+
+    #[test]
+    fn cap_bounds_growth_and_marks_truncation() {
+        let mut t = Trace::enabled_with_cap(3);
+        for i in 0..10 {
+            t.record(TraceEvent::Milestone {
+                agent: AgentId(0),
+                node: NodeId(0),
+                code: i,
+                time: i as u64,
+            });
+        }
+        assert_eq!(t.events().len(), 3);
+        assert!(t.truncated());
+        assert_eq!(t.cap(), 3);
+        // The retained prefix is the first `cap` events, in order.
+        let codes: Vec<u32> = t
+            .events()
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Milestone { code, .. } => *code,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(codes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn disabled_trace_never_truncates() {
+        let mut t = Trace::disabled();
+        for _ in 0..5 {
+            t.record(TraceEvent::Milestone {
+                agent: AgentId(0),
+                node: NodeId(0),
+                code: 1,
+                time: 0,
+            });
+        }
+        assert!(t.events().is_empty());
+        assert!(!t.truncated());
     }
 }

@@ -177,9 +177,22 @@ impl World {
         self.trace = Trace::enabled();
     }
 
+    /// Enable event tracing with an explicit cap on recorded events (the
+    /// trace drops further events and marks itself truncated past it).
+    pub fn enable_trace_with_cap(&mut self, cap: usize) {
+        self.trace = Trace::enabled_with_cap(cap);
+    }
+
     /// Access the recorded trace.
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Take ownership of the recorded trace, leaving tracing disabled.
+    /// Used by the trace-export path to hand the event log to an encoder
+    /// without cloning it.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
     }
 
     /// Number of agents `k`.
@@ -628,6 +641,22 @@ impl<'w> ActivationCtx<'w> {
     /// agent's action makes `target` actionable again.
     pub fn wake(&mut self, target: AgentId) {
         self.world.wake(target);
+    }
+
+    /// Record a protocol-defined [`TraceEvent::Milestone`] for `target` at
+    /// its current node (settlement, subsumption, phase change…). A no-op
+    /// unless tracing is enabled, so protocols emit unconditionally; each
+    /// protocol documents its `code` constants.
+    pub fn milestone(&mut self, target: AgentId, code: u32) {
+        if self.world.trace.is_enabled() {
+            let node = self.world.positions[target.index()];
+            self.world.trace.record(TraceEvent::Milestone {
+                agent: target,
+                node,
+                code,
+                time: self.time,
+            });
+        }
     }
 
     // ------------------------------------------------------------------
