@@ -193,6 +193,42 @@ pub fn run_campaign_telemetered(
     ))
 }
 
+/// Execute an explicit list of trials — a shard batch — on the
+/// work-stealing engine, without grid expansion, store, or telemetry.
+///
+/// This is the batch-granular entry point the cluster worker uses: the
+/// coordinator already expanded and deduplicated the grid, so the worker
+/// receives bare [`TrialSpec`]s and needs only deterministic execution.
+/// Results come back in item order, each paired with its wall-clock
+/// micros; a slot is `None` iff the latch was set before it started (the
+/// lease was lost — the batch's new owner re-executes it).
+///
+/// The records are byte-identical to what [`run_campaign`] would produce
+/// for the same slots: the trial seed is carried in the spec, and the
+/// engine's work stealing never touches result content.
+pub fn run_trial_batch(
+    trials: Vec<TrialSpec>,
+    threads: usize,
+    registry: &Registry,
+    cancel: &AtomicBool,
+) -> Vec<Option<(TrialRecord, u64)>> {
+    let (results, _stats) = parallel_map(
+        trials,
+        threads,
+        |_, trial: &TrialSpec| {
+            if cancel.load(Ordering::SeqCst) {
+                None
+            } else {
+                let begun = Instant::now();
+                let record = trial.point.run_trial(registry, trial.rep, trial.seed);
+                Some((record, begun.elapsed().as_micros() as u64))
+            }
+        },
+        |_, _: &Option<(TrialRecord, u64)>| {},
+    );
+    results
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +408,29 @@ mod tests {
         };
         assert_eq!(lines(&records), lines(&full));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trial_batches_match_the_campaign_path_across_thread_counts() {
+        let spec = tiny_spec(9);
+        let grid = spec.trials();
+        let (campaign, _) = run_campaign(&spec, None, 1, &reg()).unwrap();
+        for threads in [1, 4] {
+            let results = run_trial_batch(grid.clone(), threads, &reg(), &AtomicBool::new(false));
+            let lines: Vec<String> = results
+                .iter()
+                .map(|r| r.as_ref().unwrap().0.to_json_line())
+                .collect();
+            let expected: Vec<String> = campaign.iter().map(TrialRecord::to_json_line).collect();
+            assert_eq!(lines, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn trial_batches_honor_the_cancel_latch() {
+        let spec = tiny_spec(10);
+        let results = run_trial_batch(spec.trials(), 2, &reg(), &AtomicBool::new(true));
+        assert!(results.iter().all(Option::is_none));
     }
 
     #[test]

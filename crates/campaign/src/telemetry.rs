@@ -72,6 +72,10 @@ pub enum TrialEvent {
         total_moves: u64,
         /// Whether the final configuration is a valid dispersion.
         dispersed: bool,
+        /// Id of the cluster worker that executed the trial (`None` for
+        /// local execution). Observability only — never part of the
+        /// results stream.
+        worker: Option<String>,
     },
     /// A trial was satisfied without execution (checkpoint or trial cache).
     Cached {
@@ -117,6 +121,37 @@ impl TrialEvent {
             steps: record.outcome.steps,
             total_moves: record.outcome.total_moves,
             dispersed: record.dispersed,
+            worker: None,
+        }
+    }
+
+    /// [`TrialEvent::completed`] tagged with the cluster worker that
+    /// executed the trial, so a coordinator's SSE stream shows where each
+    /// trial ran.
+    pub fn completed_by(record: &TrialRecord, wall_micros: u64, worker: &str) -> TrialEvent {
+        match TrialEvent::completed(record, wall_micros) {
+            TrialEvent::Completed {
+                trial_id,
+                label,
+                rep,
+                wall_micros,
+                time,
+                steps,
+                total_moves,
+                dispersed,
+                ..
+            } => TrialEvent::Completed {
+                trial_id,
+                label,
+                rep,
+                wall_micros,
+                time,
+                steps,
+                total_moves,
+                dispersed,
+                worker: Some(worker.to_string()),
+            },
+            other => other,
         }
     }
 
@@ -164,6 +199,7 @@ impl TrialEvent {
                 steps,
                 total_moves,
                 dispersed,
+                worker,
             } => {
                 fields.push(("trial_id".into(), Json::Str(trial_id.clone())));
                 fields.push(("label".into(), Json::Str(label.clone())));
@@ -173,6 +209,9 @@ impl TrialEvent {
                 fields.push(("steps".into(), Json::Num(*steps as f64)));
                 fields.push(("total_moves".into(), Json::Num(*total_moves as f64)));
                 fields.push(("dispersed".into(), Json::Bool(*dispersed)));
+                if let Some(worker) = worker {
+                    fields.push(("worker".into(), Json::Str(worker.clone())));
+                }
             }
             TrialEvent::Cached {
                 trial_id,

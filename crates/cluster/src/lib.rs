@@ -1,0 +1,37 @@
+//! Coordinator/worker scale-out for campaign grids.
+//!
+//! One `disp-serve` process has a hard ceiling: its own cores. This crate
+//! removes it without touching the public API. The coordinator still
+//! accepts `POST /runs` unchanged; behind it, a job's grid is split into
+//! deterministic trial batches ([`plan`]), published on a lease board
+//! ([`board`]), and *pulled* by worker processes over four small
+//! `/internal/*` endpoints ([`proto`], [`worker`]). Results flow back
+//! through the promoted shared cache tier ([`cache`]) — an LRU-bounded,
+//! compacting, content-addressed store of completed trials.
+//!
+//! The whole design leans on one invariant from the campaign layer: a
+//! trial's seed is a pure function of its content identity
+//! (`mix(campaign_seed, fnv1a(label), rep)`), so *where* a trial runs is
+//! irrelevant — a grid sharded over four workers is byte-identical to the
+//! offline CLI run, even when a worker is killed mid-batch and its lease
+//! is re-executed elsewhere. The digest reconciliation handshake turns
+//! that invariant into a runtime check.
+//!
+//! This crate is transport-agnostic: it knows the protocol and the loops,
+//! but not HTTP. `disp-serve` supplies the HTTP endpoints and the client
+//! transport, and wires `--role coordinator|worker`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod board;
+pub mod cache;
+pub mod plan;
+pub mod proto;
+pub mod worker;
+
+pub use board::{BoardStats, ClusterBoard, WaitStatus};
+pub use cache::{compact_file, CacheBudget, CompactStats, TrialCache};
+pub use plan::plan_batches;
+pub use proto::{BatchAssignment, LeaseReply, SlotSpec};
+pub use worker::{Coordinator, WorkerConfig, WorkerShared, WorkerSummary};

@@ -1,0 +1,60 @@
+//! Deterministic shard planning.
+//!
+//! A campaign grid is already a flat, totally ordered list of trial slots
+//! (`CampaignSpec::trials()`), and every slot's seed is a pure function of
+//! its content (`trial_seed`), so the shard plan can be the simplest thing
+//! that works: contiguous runs of slots in grid order. No hashing, no
+//! balancing heuristics — batches are handed out dynamically by the lease
+//! board, so load balance comes from pull scheduling, not from the plan.
+
+use crate::proto::SlotSpec;
+
+/// Split `slots` into contiguous batches of at most `batch_size` slots,
+/// preserving grid order. `batch_size` of 0 is treated as 1.
+pub fn plan_batches(slots: Vec<SlotSpec>, batch_size: usize) -> Vec<Vec<SlotSpec>> {
+    let size = batch_size.max(1);
+    let mut batches = Vec::with_capacity(slots.len().div_ceil(size));
+    let mut current = Vec::with_capacity(size);
+    for slot in slots {
+        current.push(slot);
+        if current.len() == size {
+            batches.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(i: usize) -> SlotSpec {
+        SlotSpec {
+            label: format!("s{i}"),
+            rep: i,
+            seed: i as u64,
+            repetitions: 1,
+        }
+    }
+
+    #[test]
+    fn batches_are_contiguous_and_ordered() {
+        let slots: Vec<_> = (0..7).map(slot).collect();
+        let batches = plan_batches(slots.clone(), 3);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 3);
+        assert_eq!(batches[2].len(), 1);
+        let flat: Vec<_> = batches.into_iter().flatten().collect();
+        assert_eq!(flat, slots);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert!(plan_batches(vec![], 4).is_empty());
+        assert_eq!(plan_batches((0..3).map(slot).collect(), 0).len(), 3);
+        assert_eq!(plan_batches((0..3).map(slot).collect(), 100).len(), 1);
+    }
+}

@@ -35,13 +35,16 @@ disp-load — load generation for disp-serve
 USAGE:
   disp-load bench  --addr HOST:PORT [--connections N] [--requests N]
                    [--scenario LABEL]... [--reps N] [--seed S] [--format text|json]
+                   [--target serve|coordinator]
   disp-load once   --addr HOST:PORT --scenario LABEL... [--reps N] [--seed S]
   disp-load events --addr HOST:PORT [--scenario LABEL]... [--reps N] [--seed S]
   disp-load get    --addr HOST:PORT --path PATH
 
 bench defaults: 4 connections, 1000 requests, a small builtin grid.
 The mixed workload is, per 8 requests: 1 submit, 3 status polls,
-3 results fetches, 1 metrics scrape.
+3 results fetches, 1 metrics scrape. --target coordinator additionally
+reports how the warm-up grid's trials were spread across cluster
+workers (from the /metrics per-worker gauges).
 
 events submits a grid, subscribes to the run's live event stream and
 verifies it: one completed/cached event per grid trial, a clean close.
@@ -56,6 +59,7 @@ struct Flags {
     seed: u64,
     path: String,
     json: bool,
+    coordinator: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -68,6 +72,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         seed: 7,
         path: "/healthz".into(),
         json: false,
+        coordinator: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -100,6 +105,15 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .map_err(|_| "--seed expects an unsigned integer".to_string())?
             }
             "--path" => flags.path = value("--path")?,
+            "--target" => {
+                flags.coordinator = match value("--target")?.as_str() {
+                    "coordinator" => true,
+                    "serve" => false,
+                    other => {
+                        return Err(format!("--target expects serve|coordinator, got '{other}'"))
+                    }
+                }
+            }
             "--format" => {
                 flags.json = match value("--format")?.as_str() {
                     "json" => true,
@@ -290,6 +304,18 @@ fn cmd_get(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse the `disp_cluster_worker_trials_total{worker="..."} N` lines of
+/// a `/metrics` body into `(worker, trials)` pairs.
+fn parse_worker_trials(body: &str) -> Vec<(String, u64)> {
+    body.lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix("disp_cluster_worker_trials_total{worker=\"")?;
+            let (name, value) = rest.split_once("\"}")?;
+            Some((name.to_string(), value.trim().parse().ok()?))
+        })
+        .collect()
+}
+
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
 
@@ -365,6 +391,18 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     };
     let total = all.len();
     let throughput = total as f64 / wall.as_secs_f64();
+    // --target coordinator: scrape the per-worker trial gauges so the
+    // report shows how the cluster spread the warm-up grid.
+    let workers: Vec<(String, u64)> = if flags.coordinator {
+        let mut client = Client::new(&flags.addr);
+        let resp = client.get("/metrics")?;
+        if resp.status != 200 {
+            return Err(format!("/metrics → {}", resp.status));
+        }
+        parse_worker_trials(&resp.text())
+    } else {
+        Vec::new()
+    };
     if flags.json {
         let doc = Json::Obj(vec![
             ("requests".into(), Json::Num(total as f64)),
@@ -391,6 +429,23 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                 ),
             ),
         ]);
+        let doc = if flags.coordinator {
+            let Json::Obj(mut fields) = doc else {
+                unreachable!()
+            };
+            fields.push((
+                "workers".into(),
+                Json::Obj(
+                    workers
+                        .iter()
+                        .map(|(name, trials)| (name.clone(), Json::Num(*trials as f64)))
+                        .collect(),
+                ),
+            ));
+            Json::Obj(fields)
+        } else {
+            doc
+        };
         println!("{}", doc.to_string_compact());
     } else {
         println!(
@@ -408,6 +463,14 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             kind_counts[2].load(Ordering::Relaxed),
             kind_counts[3].load(Ordering::Relaxed),
         );
+        if flags.coordinator {
+            if workers.is_empty() {
+                println!("disp-load: no worker has completed a trial on this coordinator yet");
+            }
+            for (name, trials) in &workers {
+                println!("disp-load: worker {name}: {trials} trials");
+            }
+        }
     }
     if errors > 0 {
         return Err(format!(

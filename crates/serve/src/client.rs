@@ -72,6 +72,24 @@ impl Client {
         self.request("DELETE", path, None)
     }
 
+    /// `POST path` with a `Transfer-Encoding: chunked` body — the upload
+    /// path for cluster batch results, whose JSONL bodies are assembled
+    /// incrementally. Same stale-connection retry policy as [`request`].
+    ///
+    /// [`request`]: Client::request
+    pub fn post_chunked(&mut self, path: &str, body: &[u8]) -> Result<HttpResponse, String> {
+        let had_connection = self.stream.is_some();
+        match self.try_request_inner("POST", path, body, true) {
+            Ok(resp) => Ok(resp),
+            Err((e, retry_safe)) if had_connection && retry_safe => {
+                self.stream = None;
+                self.try_request_inner("POST", path, body, true)
+                    .map_err(|(e2, _)| format!("{e2} (after stale-connection retry: {e})"))
+            }
+            Err((e, _)) => Err(e),
+        }
+    }
+
     /// One request with a single reconnect retry: a server may legally
     /// close a kept-alive connection between requests (idle expiry, yield
     /// under load, drain), which surfaces as an error on the next
@@ -91,12 +109,13 @@ impl Client {
         body: Option<Vec<u8>>,
     ) -> Result<HttpResponse, String> {
         let had_connection = self.stream.is_some();
-        match self.try_request(method, path, body.as_deref()) {
+        let body = body.as_deref().unwrap_or(&[]);
+        match self.try_request_inner(method, path, body, false) {
             Ok(resp) => Ok(resp),
             Err((e, retry_safe)) if had_connection && retry_safe => {
                 // Stale keep-alive connection: reconnect once.
                 self.stream = None;
-                self.try_request(method, path, body.as_deref())
+                self.try_request_inner(method, path, body, false)
                     .map_err(|(e2, _)| format!("{e2} (after stale-connection retry: {e})"))
             }
             Err((e, _)) => Err(e),
@@ -105,11 +124,12 @@ impl Client {
 
     /// The error side carries whether a retry is safe (no response bytes
     /// were received before the failure).
-    fn try_request(
+    fn try_request_inner(
         &mut self,
         method: &str,
         path: &str,
-        body: Option<&[u8]>,
+        body: &[u8],
+        chunked: bool,
     ) -> Result<HttpResponse, (String, bool)> {
         if self.stream.is_none() {
             let stream = TcpStream::connect(&self.addr)
@@ -123,16 +143,34 @@ impl Client {
             self.stream = Some(stream);
         }
         let stream = self.stream.as_mut().expect("connected above");
-        let body = body.unwrap_or(&[]);
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\n\r\n",
-            self.addr,
-            body.len(),
-        );
+        let head = if chunked {
+            format!(
+                "{method} {path} HTTP/1.1\r\nhost: {}\r\ntransfer-encoding: chunked\r\n\r\n",
+                self.addr,
+            )
+        } else {
+            format!(
+                "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\n\r\n",
+                self.addr,
+                body.len(),
+            )
+        };
         let mut got_response_bytes = false;
         let io = (|| -> std::io::Result<HttpResponse> {
             stream.write_all(head.as_bytes())?;
-            stream.write_all(body)?;
+            if chunked {
+                // 32 KiB chunks: big enough to amortize framing, small
+                // enough that the server's incremental decoder is actually
+                // exercised by real uploads.
+                for piece in body.chunks(32 * 1024) {
+                    write!(stream, "{:x}\r\n", piece.len())?;
+                    stream.write_all(piece)?;
+                    stream.write_all(b"\r\n")?;
+                }
+                stream.write_all(b"0\r\n\r\n")?;
+            } else {
+                stream.write_all(body)?;
+            }
             stream.flush()?;
             read_response(stream, &mut got_response_bytes)
         })();

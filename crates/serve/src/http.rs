@@ -6,8 +6,9 @@
 //! carries the small HTTP/1.1 subset the campaign service actually needs
 //! instead of pulling `hyper`:
 //!
-//! * request line + headers + `Content-Length` bodies (requests with
-//!   `Transfer-Encoding` are rejected — no client of ours sends them);
+//! * request line + headers + `Content-Length` bodies, plus
+//!   `Transfer-Encoding: chunked` request bodies (the cluster workers
+//!   stream batch results without knowing the length up front);
 //! * persistent connections (HTTP/1.1 keep-alive semantics, honoring
 //!   `Connection: close`), with pipelined requests handled naturally by
 //!   the leftover-buffer design;
@@ -129,15 +130,33 @@ pub fn read_request(
             if head_end > MAX_HEAD_BYTES {
                 return Err("request head too large".into());
             }
-            let (mut req, body_len) = parse_head(&buf[..head_end])?;
-            if body_len > MAX_BODY_BYTES {
-                return Err("request body too large".into());
-            }
-            if buf.len() >= head_end + body_len {
-                req.body = buf[head_end..head_end + body_len].to_vec();
-                buf.drain(..head_end + body_len);
-                *req_out = Some(req);
-                return Ok(ReadOutcome::Parsed);
+            let (mut req, body) = parse_head(&buf[..head_end])?;
+            match body {
+                BodyKind::Len(body_len) => {
+                    if body_len > MAX_BODY_BYTES {
+                        return Err("request body too large".into());
+                    }
+                    if buf.len() >= head_end + body_len {
+                        req.body = buf[head_end..head_end + body_len].to_vec();
+                        buf.drain(..head_end + body_len);
+                        *req_out = Some(req);
+                        return Ok(ReadOutcome::Parsed);
+                    }
+                }
+                BodyKind::Chunked => {
+                    if let Some((body, consumed)) = decode_chunked(&buf[head_end..])? {
+                        req.body = body;
+                        buf.drain(..head_end + consumed);
+                        *req_out = Some(req);
+                        return Ok(ReadOutcome::Parsed);
+                    }
+                    // Incomplete chunk stream: cap the raw buffered bytes so
+                    // a sender cannot grow the carry-over buffer unboundedly
+                    // by never terminating the stream.
+                    if buf.len() - head_end > MAX_BODY_BYTES + MAX_HEAD_BYTES {
+                        return Err("request body too large".into());
+                    }
+                }
             }
         } else if buf.len() > MAX_HEAD_BYTES {
             return Err("request head too large".into());
@@ -194,9 +213,18 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
 }
 
-/// Parse request line + headers; returns the request (body empty) and the
-/// declared body length.
-fn parse_head(head: &[u8]) -> Result<(Request, usize), String> {
+/// How the request's body is delimited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BodyKind {
+    /// `Content-Length` bytes follow the head (0 when absent).
+    Len(usize),
+    /// `Transfer-Encoding: chunked` — decode until the 0-chunk.
+    Chunked,
+}
+
+/// Parse request line + headers; returns the request (body empty) and how
+/// its body is delimited.
+fn parse_head(head: &[u8]) -> Result<(Request, BodyKind), String> {
     let text = std::str::from_utf8(head).map_err(|_| "request head is not UTF-8".to_string())?;
     let mut lines = text.split("\r\n");
     let request_line = lines.next().ok_or("empty request")?;
@@ -228,8 +256,15 @@ fn parse_head(head: &[u8]) -> Result<(Request, usize), String> {
         headers,
         body: Vec::new(),
     };
-    if req.header("transfer-encoding").is_some() {
-        return Err("chunked request bodies are not supported".into());
+    if let Some(te) = req.header("transfer-encoding") {
+        if !te.eq_ignore_ascii_case("chunked") {
+            return Err(format!("unsupported transfer-encoding '{te}'"));
+        }
+        if req.header("content-length").is_some() {
+            // Smuggling-shaped ambiguity; refuse rather than pick a winner.
+            return Err("both content-length and transfer-encoding".into());
+        }
+        return Ok((req, BodyKind::Chunked));
     }
     let body_len = match req.header("content-length") {
         Some(v) => v
@@ -237,7 +272,58 @@ fn parse_head(head: &[u8]) -> Result<(Request, usize), String> {
             .map_err(|_| format!("bad content-length '{v}'"))?,
         None => 0,
     };
-    Ok((req, body_len))
+    Ok((req, BodyKind::Len(body_len)))
+}
+
+/// Decode a chunked body from the front of `buf`.
+///
+/// Returns `Ok(None)` when the stream is not yet complete, and
+/// `Ok(Some((body, consumed)))` — decoded bytes plus how many raw bytes the
+/// stream occupied — once the terminating 0-chunk (and its final CRLF) has
+/// arrived. Chunk-size lines may carry extensions after `;` (ignored);
+/// trailers are not supported. The decoded body is capped at
+/// [`MAX_BODY_BYTES`].
+fn decode_chunked(buf: &[u8]) -> Result<Option<(Vec<u8>, usize)>, String> {
+    let mut body = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        // Find the CRLF ending the chunk-size line.
+        let rest = &buf[pos..];
+        let Some(line_end) = rest.windows(2).position(|w| w == b"\r\n") else {
+            // A size line cannot legitimately be long; bound the search.
+            if rest.len() > 1024 {
+                return Err("malformed chunk size line".into());
+            }
+            return Ok(None);
+        };
+        let line = std::str::from_utf8(&rest[..line_end])
+            .map_err(|_| "chunk size line is not UTF-8".to_string())?;
+        let size_str = line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_str, 16)
+            .map_err(|_| format!("bad chunk size '{size_str}'"))?;
+        pos += line_end + 2;
+        if size == 0 {
+            // Final chunk: expect the terminating CRLF (no trailers).
+            if buf.len() < pos + 2 {
+                return Ok(None);
+            }
+            if &buf[pos..pos + 2] != b"\r\n" {
+                return Err("trailers are not supported".into());
+            }
+            return Ok(Some((body, pos + 2)));
+        }
+        if body.len() + size > MAX_BODY_BYTES {
+            return Err("request body too large".into());
+        }
+        if buf.len() < pos + size + 2 {
+            return Ok(None);
+        }
+        body.extend_from_slice(&buf[pos..pos + size]);
+        if &buf[pos + size..pos + size + 2] != b"\r\n" {
+            return Err("chunk data not CRLF-terminated".into());
+        }
+        pos += size + 2;
+    }
 }
 
 fn parse_query(q: &str) -> Vec<(String, String)> {
@@ -326,13 +412,13 @@ mod tests {
     #[test]
     fn parses_a_head_with_query_and_headers() {
         let head = b"POST /runs?format=summary&x HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\n";
-        let (req, body_len) = parse_head(&head[..]).unwrap();
+        let (req, body) = parse_head(&head[..]).unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/runs");
         assert_eq!(req.query_param("format"), Some("summary"));
         assert_eq!(req.query_param("x"), Some(""));
         assert_eq!(req.header("host"), Some("h"));
-        assert_eq!(body_len, 5);
+        assert_eq!(body, BodyKind::Len(5));
         assert!(req.wants_keep_alive());
     }
 
@@ -349,7 +435,37 @@ mod tests {
         assert!(parse_head(b"GET / HTTP/2\r\n\r\n").is_err());
         assert!(parse_head(b"GET / HTTP/1.1\r\nbroken line\r\n\r\n").is_err());
         assert!(parse_head(b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n").is_err());
-        assert!(parse_head(b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").is_err());
+        assert!(parse_head(b"GET / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n").is_err());
+        let smuggle = b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\nContent-Length: 3\r\n\r\n";
+        assert!(parse_head(&smuggle[..]).is_err());
+    }
+
+    #[test]
+    fn chunked_request_heads_are_accepted() {
+        let head = b"POST /internal/complete HTTP/1.1\r\nTransfer-Encoding: Chunked\r\n\r\n";
+        let (_, body) = parse_head(&head[..]).unwrap();
+        assert_eq!(body, BodyKind::Chunked);
+    }
+
+    #[test]
+    fn chunked_bodies_decode_incrementally() {
+        let raw = b"5\r\nhello\r\n6;ext=1\r\n world\r\n0\r\n\r\nNEXT";
+        // Every strict prefix is incomplete; the full stream decodes.
+        for cut in 0..raw.len() - 4 {
+            assert_eq!(decode_chunked(&raw[..cut]).unwrap(), None, "cut={cut}");
+        }
+        let (body, consumed) = decode_chunked(&raw[..]).unwrap().unwrap();
+        assert_eq!(body, b"hello world");
+        assert_eq!(consumed, raw.len() - 4); // "NEXT" is the pipelined next request
+    }
+
+    #[test]
+    fn chunked_bodies_reject_malformed_streams() {
+        assert!(decode_chunked(b"zz\r\nhello\r\n").is_err());
+        assert!(decode_chunked(b"5\r\nhelloXX").is_err());
+        assert!(decode_chunked(b"0\r\nx-trailer: 1\r\n\r\n").is_err());
+        let oversized = format!("{:x}\r\n", MAX_BODY_BYTES + 1);
+        assert!(decode_chunked(oversized.as_bytes()).is_err());
     }
 
     #[test]

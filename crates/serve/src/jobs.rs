@@ -22,11 +22,13 @@
 
 use crate::cache::TrialCache;
 use crate::metrics::Metrics;
+use disp_analysis::jsonl::arrange_grid_order;
 use disp_analysis::online::OnlineStats;
 use disp_analysis::TrialRecord;
 use disp_campaign::engine::parallel_map;
 use disp_campaign::grid::{CampaignSpec, TrialSpec};
 use disp_campaign::telemetry::{Telemetry, TelemetrySink, TrialEvent};
+use disp_cluster::{plan_batches, ClusterBoard, SlotSpec, WaitStatus};
 use disp_core::scenario::Registry;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -286,6 +288,18 @@ impl Job {
         self.push_event(event.to_json_line());
     }
 
+    /// Account one trial settled by a cluster worker: `executed` trials ran
+    /// fresh on the worker, the rest were its local cache hits. Called by
+    /// the `/internal/complete` handler as uploads land.
+    pub(crate) fn note_cluster_trial(&self, executed: bool) {
+        if executed {
+            self.executed.fetch_add(1, Ordering::SeqCst);
+        } else {
+            self.cache_hits.fetch_add(1, Ordering::SeqCst);
+        }
+        self.done.fetch_add(1, Ordering::SeqCst);
+    }
+
     /// Events after `cursor`, blocking up to `wait` for news when caught
     /// up. A subscriber that fell behind the retained window gets the
     /// buffered tail plus a nonzero `dropped` count to report.
@@ -373,6 +387,24 @@ impl Job {
 /// refused (see [`JobManager::submit`]).
 pub const MAX_QUEUED_JOBS: usize = 64;
 
+/// How the executor turns a job's cache-missing trials into records.
+#[derive(Debug)]
+pub enum ExecBackend {
+    /// Run trials in-process on the work-stealing engine.
+    Local {
+        /// Engine worker threads per job.
+        threads: usize,
+    },
+    /// Shard trials into batches on the cluster lease board; workers pull
+    /// and execute them, the board collects the records.
+    Cluster {
+        /// The coordinator's lease board (shared with the HTTP handlers).
+        board: Arc<ClusterBoard>,
+        /// Contiguous grid slots per batch.
+        batch_size: usize,
+    },
+}
+
 /// Bounds on how many settled jobs (and how many bytes of their result
 /// lines) stay addressable before the oldest are evicted.
 #[derive(Debug, Clone, Copy)]
@@ -418,7 +450,7 @@ impl JobManager {
     pub fn start(
         cache: Arc<TrialCache>,
         metrics: Arc<Metrics>,
-        job_threads: usize,
+        backend: ExecBackend,
         retention: Retention,
     ) -> JobManager {
         let (tx, rx) = channel::<Arc<Job>>();
@@ -445,17 +477,27 @@ impl JobManager {
                     metrics.job_queue_wait_us.observe(queue_wait_us);
                     job.set_state(JobState::Running);
                     job.push_state_event(&JobState::Running);
-                    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        execute_job(&job, &cache, &metrics, &registry, job_threads)
-                    }));
+                    let run =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &backend {
+                            ExecBackend::Local { threads } => {
+                                Ok(execute_job(&job, &cache, &metrics, &registry, *threads))
+                            }
+                            ExecBackend::Cluster { board, batch_size } => {
+                                execute_job_cluster(&job, &cache, board, *batch_size)
+                            }
+                        }));
                     match run {
-                        Ok(true) => {
+                        Ok(Ok(true)) => {
                             job.set_state(JobState::Done);
                             Metrics::inc(&metrics.jobs_completed);
                         }
-                        Ok(false) => {
+                        Ok(Ok(false)) => {
                             job.set_state(JobState::Cancelled);
                             Metrics::inc(&metrics.jobs_cancelled);
+                        }
+                        Ok(Err(msg)) => {
+                            job.set_state(JobState::Failed(msg));
+                            Metrics::inc(&metrics.jobs_failed);
                         }
                         Err(panic) => {
                             let msg = panic
@@ -658,6 +700,82 @@ fn execute_job(
     true
 }
 
+/// Run one job through the cluster lease board: publish the cache-missing
+/// slots as contiguous batches, wait for workers to pull and complete them
+/// (the board requeues expired leases), then arrange the out-of-order shard
+/// records back into grid order.
+///
+/// Per-trial progress and events are fed by the `/internal/complete`
+/// handler as uploads land; this function only accounts the coordinator's
+/// own cache hits and the duplicate grid slots. Returns `Ok(false)` on
+/// cancellation and `Err` on a failed job (digest conflict) or an assembly
+/// hole — both surface as `Failed` with the message intact.
+fn execute_job_cluster(
+    job: &Arc<Job>,
+    cache: &TrialCache,
+    board: &Arc<ClusterBoard>,
+    batch_size: usize,
+) -> Result<bool, String> {
+    let trials = job.spec.trials();
+    let order: Vec<String> = trials.iter().map(|t| t.trial_id()).collect();
+    // Compile pass: serve what the coordinator's cache already holds, shard
+    // the rest. Slots are deduplicated by content identity — the cluster
+    // analogue of the local path's duplicate-label handling.
+    let mut held: Vec<TrialRecord> = Vec::new();
+    let mut todo: Vec<SlotSpec> = Vec::new();
+    let mut seen: std::collections::HashSet<(String, usize, u64)> = Default::default();
+    let mut extras = 0usize;
+    for t in &trials {
+        let label = t.point.point_id();
+        match cache.lookup(&label, t.rep, t.seed, t.point.repetitions) {
+            Some(rec) => {
+                job.record_trial_event(&TrialEvent::cached(&rec));
+                job.note_cluster_trial(false);
+                seen.insert((label, t.rep, t.seed));
+                held.push(rec);
+            }
+            None if seen.insert((label.clone(), t.rep, t.seed)) => todo.push(SlotSpec {
+                label,
+                rep: t.rep,
+                seed: t.seed,
+                repetitions: t.point.repetitions,
+            }),
+            None => extras += 1,
+        }
+    }
+    if !todo.is_empty() {
+        board.publish(&job.id, plan_batches(todo, batch_size));
+        loop {
+            if job.cancel.load(Ordering::SeqCst) {
+                board.withdraw(&job.id);
+                return Ok(false);
+            }
+            match board.wait(&job.id, Duration::from_millis(200)) {
+                WaitStatus::Done => break,
+                WaitStatus::Failed(msg) => {
+                    board.withdraw(&job.id);
+                    return Err(msg);
+                }
+                WaitStatus::Waiting => {}
+            }
+        }
+    }
+    let mut all = board.take_records(&job.id);
+    board.withdraw(&job.id);
+    all.extend(held);
+    // Duplicate grid slots beyond the one that was sharded are satisfied by
+    // the same record: progress-wise they are hits on it.
+    for _ in 0..extras {
+        job.note_cluster_trial(false);
+    }
+    let arranged = arrange_grid_order(all, &order)?;
+    let assembled: Vec<String> = arranged.iter().map(TrialRecord::to_json_line).collect();
+    let bytes: usize = assembled.iter().map(String::len).sum();
+    job.results_bytes.store(bytes, Ordering::SeqCst);
+    *job.results.lock().unwrap() = Some(Arc::new(assembled));
+    Ok(true)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -694,7 +812,7 @@ mod tests {
         let manager = JobManager::start(
             Arc::clone(&cache),
             Arc::clone(&metrics),
-            2,
+            ExecBackend::Local { threads: 2 },
             Retention::default(),
         );
 
@@ -726,7 +844,12 @@ mod tests {
     fn overlapping_grid_reuses_shared_trials() {
         let cache = Arc::new(TrialCache::in_memory());
         let metrics = Arc::new(Metrics::default());
-        let manager = JobManager::start(Arc::clone(&cache), metrics, 2, Retention::default());
+        let manager = JobManager::start(
+            Arc::clone(&cache),
+            metrics,
+            ExecBackend::Local { threads: 2 },
+            Retention::default(),
+        );
         let first = manager.submit(grid(7, 2)).unwrap();
         wait_done(&first);
         // Same labels and campaign seed, one more repetition: only the new
@@ -748,7 +871,12 @@ mod tests {
     fn cancel_before_pickup_never_runs() {
         let cache = Arc::new(TrialCache::in_memory());
         let metrics = Arc::new(Metrics::default());
-        let manager = JobManager::start(cache, Arc::clone(&metrics), 1, Retention::default());
+        let manager = JobManager::start(
+            cache,
+            Arc::clone(&metrics),
+            ExecBackend::Local { threads: 1 },
+            Retention::default(),
+        );
         // Saturate the executor with one job, then cancel a queued one.
         let busy = manager.submit(grid(1, 2)).unwrap();
         let queued = manager.submit(grid(2, 2)).unwrap();
@@ -769,7 +897,7 @@ mod tests {
         let manager = JobManager::start(
             Arc::clone(&cache),
             Arc::clone(&metrics),
-            2,
+            ExecBackend::Local { threads: 2 },
             Retention::default(),
         );
         let label = "star/k8/rooted/sync/probe-dfs";
@@ -805,7 +933,7 @@ mod tests {
         let manager = JobManager::start(
             Arc::clone(&cache),
             metrics,
-            2,
+            ExecBackend::Local { threads: 2 },
             Retention {
                 jobs: 2,
                 result_bytes: usize::MAX,
@@ -844,7 +972,7 @@ mod tests {
         let manager = JobManager::start(
             Arc::clone(&cache),
             metrics,
-            2,
+            ExecBackend::Local { threads: 2 },
             Retention {
                 jobs: 100,
                 result_bytes: 1,
@@ -872,7 +1000,12 @@ mod tests {
     fn summary_is_built_once_and_then_served_from_the_memo() {
         let cache = Arc::new(TrialCache::in_memory());
         let metrics = Arc::new(Metrics::default());
-        let manager = JobManager::start(Arc::clone(&cache), metrics, 2, Retention::default());
+        let manager = JobManager::start(
+            Arc::clone(&cache),
+            metrics,
+            ExecBackend::Local { threads: 2 },
+            Retention::default(),
+        );
         let job = manager.submit(grid(7, 1)).unwrap();
         wait_done(&job);
         let builds = AtomicUsize::new(0);
@@ -894,7 +1027,12 @@ mod tests {
     fn shutdown_refuses_new_jobs() {
         let cache = Arc::new(TrialCache::in_memory());
         let metrics = Arc::new(Metrics::default());
-        let manager = JobManager::start(cache, metrics, 1, Retention::default());
+        let manager = JobManager::start(
+            cache,
+            metrics,
+            ExecBackend::Local { threads: 1 },
+            Retention::default(),
+        );
         manager.shutdown();
         assert!(manager.submit(grid(3, 1)).is_err());
     }

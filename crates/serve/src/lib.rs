@@ -14,23 +14,30 @@
 //! ## Layers
 //!
 //! * [`http`] — request parsing, keep-alive, chunked streaming.
-//! * [`cache`] — the content-addressed trial cache over a JSONL log.
-//! * [`jobs`] — the job manager feeding the campaign engine.
+//! * [`cache`] — the content-addressed trial cache over a JSONL log
+//!   (promoted to the shared cluster tier in `disp-cluster`; re-exported
+//!   here unchanged).
+//! * [`jobs`] — the job manager feeding the campaign engine (or, with a
+//!   cluster backend, the lease board).
 //! * [`server`] — accept loop, worker pool, endpoint routing.
+//! * [`cluster`] — the HTTP side of coordinator/worker mode: the
+//!   `/internal/*` handlers and the worker-process runner.
 //! * [`metrics`] — counters and their `/metrics` text exposition.
 //! * [`client`] — the minimal blocking client used by `disp-load`, the
 //!   tests and the CI smoke.
 //!
-//! Binaries: `disp-serve` (the daemon) and `disp-load` (the
-//! load-generation harness that proves the throughput claim with numbers).
-//! See `DESIGN.md` §9 for the architecture and the
-//! determinism-under-concurrency argument.
+//! Binaries: `disp-serve` (the daemon, optionally `--role
+//! coordinator|worker`) and `disp-load` (the load-generation harness that
+//! proves the throughput claim with numbers). See `DESIGN.md` §9 for the
+//! architecture and the determinism-under-concurrency argument, §11 for
+//! the cluster design.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod cache;
+pub use disp_cluster::cache;
 pub mod client;
+pub mod cluster;
 pub mod http;
 pub mod jobs;
 pub mod metrics;
@@ -38,6 +45,7 @@ pub mod server;
 
 pub use cache::TrialCache;
 pub use client::{Client, HttpResponse};
-pub use jobs::{Job, JobManager, JobSnapshot, JobState, Retention};
+pub use cluster::{run_worker, WorkerProcessConfig};
+pub use jobs::{ExecBackend, Job, JobManager, JobSnapshot, JobState, Retention};
 pub use metrics::{parse_metric, Metrics};
-pub use server::{parse_submission, AppState, ServeConfig, Server};
+pub use server::{parse_submission, AppState, CoordinatorConfig, ServeConfig, Server};

@@ -14,6 +14,7 @@
 //! the rendering (the bug class that once hid eviction counts).
 
 use crate::cache::TrialCache;
+use disp_cluster::BoardStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bucket upper bounds (µs) for HTTP request latency: sub-millisecond
@@ -131,7 +132,7 @@ impl Default for Metrics {
 }
 
 /// Point-in-time gauges owned by the server, passed in at render time.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Gauges {
     /// Jobs waiting for the executor.
     pub queue_depth: usize,
@@ -139,6 +140,9 @@ pub struct Gauges {
     pub http_workers_busy: usize,
     /// Size of the HTTP worker pool.
     pub http_workers: usize,
+    /// Cluster board statistics (`None` off-coordinator; the cluster
+    /// gauges still render as zeros so the exposition schema is stable).
+    pub cluster: Option<BoardStats>,
 }
 
 impl Metrics {
@@ -163,6 +167,8 @@ impl Metrics {
              disp_cache_hits_total {}\n\
              disp_cache_misses_total {}\n\
              disp_cache_entries {}\n\
+             disp_cache_bytes {}\n\
+             disp_cache_evictions_total {}\n\
              disp_queue_depth {}\n\
              disp_http_workers_busy {}\n\
              disp_http_workers {}\n",
@@ -177,10 +183,28 @@ impl Metrics {
             cache.hits(),
             cache.misses(),
             cache.len(),
+            cache.bytes(),
+            cache.evictions(),
             gauges.queue_depth,
             gauges.http_workers_busy,
             gauges.http_workers,
         );
+        // Cluster gauges render unconditionally (zeros off-coordinator) so
+        // scrapes keep a stable schema; per-worker counters are labeled
+        // lines, addressable by their full first token.
+        let board = gauges.cluster.clone().unwrap_or_default();
+        out.push_str(&format!(
+            "disp_cluster_workers {}\n\
+             disp_cluster_workers_busy {}\n\
+             disp_leases_active {}\n\
+             disp_leases_expired_total {}\n",
+            board.workers, board.workers_busy, board.leases_active, board.leases_expired,
+        ));
+        for (worker, trials) in &board.per_worker_trials {
+            out.push_str(&format!(
+                "disp_cluster_worker_trials_total{{worker=\"{worker}\"}} {trials}\n"
+            ));
+        }
         self.http_request_duration_us
             .render_into("disp_http_request_duration_us", &mut out);
         self.trial_duration_us
@@ -224,15 +248,36 @@ mod tests {
                 queue_depth: 3,
                 http_workers_busy: 1,
                 http_workers: 4,
+                cluster: Some(BoardStats {
+                    workers: 2,
+                    workers_busy: 1,
+                    leases_active: 1,
+                    leases_expired: 5,
+                    per_worker_trials: vec![("w1".into(), 10), ("w2".into(), 7)],
+                }),
             },
         );
         assert_eq!(parse_metric(&text, "disp_http_requests_total"), Some(2));
         assert_eq!(parse_metric(&text, "disp_trials_executed_total"), Some(1));
         assert_eq!(parse_metric(&text, "disp_jobs_evicted_total"), Some(1));
         assert_eq!(parse_metric(&text, "disp_cache_hits_total"), Some(0));
+        assert_eq!(parse_metric(&text, "disp_cache_bytes"), Some(0));
+        assert_eq!(parse_metric(&text, "disp_cache_evictions_total"), Some(0));
         assert_eq!(parse_metric(&text, "disp_queue_depth"), Some(3));
         assert_eq!(parse_metric(&text, "disp_http_workers_busy"), Some(1));
         assert_eq!(parse_metric(&text, "disp_http_workers"), Some(4));
+        assert_eq!(parse_metric(&text, "disp_cluster_workers"), Some(2));
+        assert_eq!(parse_metric(&text, "disp_cluster_workers_busy"), Some(1));
+        assert_eq!(parse_metric(&text, "disp_leases_active"), Some(1));
+        assert_eq!(parse_metric(&text, "disp_leases_expired_total"), Some(5));
+        assert_eq!(
+            parse_metric(&text, "disp_cluster_worker_trials_total{worker=\"w1\"}"),
+            Some(10)
+        );
+        assert_eq!(
+            parse_metric(&text, "disp_cluster_worker_trials_total{worker=\"w2\"}"),
+            Some(7)
+        );
         assert_eq!(parse_metric(&text, "disp_nope"), None);
     }
 
@@ -260,9 +305,11 @@ mod tests {
             );
             lines += 1;
         }
-        // Counters + gauges + 3 histograms × (buckets + +Inf + sum + count).
+        // Counters + gauges (incl. 4 cluster gauges, no per-worker lines
+        // under a default board) + 3 histograms × (buckets + +Inf + sum +
+        // count).
         let expected =
-            14 + (HTTP_LATENCY_BUCKETS_US.len() + 3) + 2 * (TRIAL_DURATION_BUCKETS_US.len() + 3);
+            20 + (HTTP_LATENCY_BUCKETS_US.len() + 3) + 2 * (TRIAL_DURATION_BUCKETS_US.len() + 3);
         assert_eq!(lines, expected);
     }
 

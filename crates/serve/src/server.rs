@@ -23,18 +23,20 @@
 //! requests finish with `Connection: close`, and the job manager drains —
 //! no request is ever abandoned mid-response.
 
-use crate::cache::TrialCache;
+use crate::cache::{CacheBudget, TrialCache};
+use crate::cluster;
 use crate::http::{
     finish_chunks, read_request, write_chunk, write_chunked_head, write_response, ReadOutcome,
     Request, READ_TICK,
 };
-use crate::jobs::{Job, JobManager, JobSnapshot, JobState, Retention};
+use crate::jobs::{ExecBackend, Job, JobManager, JobSnapshot, JobState, Retention};
 use crate::metrics::{Gauges, Metrics};
 use disp_analysis::json::Json;
 use disp_analysis::jsonl;
 use disp_campaign::grid::{CampaignSpec, Mode};
 use disp_campaign::report::{campaign_report_json, section_measurements};
 use disp_campaign::telemetry::trace_to_jsonl;
+use disp_cluster::ClusterBoard;
 use disp_core::scenario::{grammar_help, Registry, ScenarioSpec};
 use disp_sim::DEFAULT_TRACE_CAP;
 use std::io::BufReader;
@@ -55,6 +57,25 @@ use std::time::{Duration, Instant};
 /// checkpointing, not a request/response lifecycle.
 pub const MAX_JOB_TRIALS: usize = 100_000;
 
+/// Coordinator-mode settings (`--role coordinator`).
+#[derive(Debug, Clone, Copy)]
+pub struct CoordinatorConfig {
+    /// Contiguous grid slots per worker batch.
+    pub batch_size: usize,
+    /// Lease time-to-live: a worker that stops heartbeating loses its
+    /// batch after this long and the batch is requeued.
+    pub lease_ttl: Duration,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> CoordinatorConfig {
+        CoordinatorConfig {
+            batch_size: 4,
+            lease_ttl: Duration::from_secs(10),
+        }
+    }
+}
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -64,6 +85,12 @@ pub struct ServeConfig {
     pub job_threads: usize,
     /// Cache directory (`None` = in-memory cache).
     pub cache_dir: Option<PathBuf>,
+    /// Cache byte/entry budgets and compaction threshold.
+    pub cache_budget: CacheBudget,
+    /// `Some` starts the server as a cluster coordinator: jobs are sharded
+    /// onto the lease board instead of the local engine, and the
+    /// `/internal/*` endpoints come alive.
+    pub coordinator: Option<CoordinatorConfig>,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +101,8 @@ impl Default for ServeConfig {
                 .map(|p| p.get())
                 .unwrap_or(4),
             cache_dir: None,
+            cache_budget: CacheBudget::default(),
+            coordinator: None,
         }
     }
 }
@@ -92,6 +121,8 @@ pub struct AppState {
     pub workers_busy: AtomicUsize,
     /// Size of the HTTP worker pool.
     pub http_workers: usize,
+    /// The cluster lease board (`Some` in coordinator mode).
+    pub cluster: Option<Arc<ClusterBoard>>,
 }
 
 /// A running campaign service.
@@ -115,14 +146,26 @@ impl Server {
             .set_nonblocking(true)
             .map_err(|e| format!("set_nonblocking: {e}"))?;
         let cache = Arc::new(match &config.cache_dir {
-            Some(dir) => TrialCache::open(dir)?,
-            None => TrialCache::in_memory(),
+            Some(dir) => TrialCache::open_with(dir, config.cache_budget)?,
+            None => TrialCache::in_memory_with(config.cache_budget),
         });
         let metrics = Arc::new(Metrics::default());
+        let cluster = config
+            .coordinator
+            .map(|c| Arc::new(ClusterBoard::new(c.lease_ttl)));
+        let backend = match (&cluster, config.coordinator) {
+            (Some(board), Some(c)) => ExecBackend::Cluster {
+                board: Arc::clone(board),
+                batch_size: c.batch_size.max(1),
+            },
+            _ => ExecBackend::Local {
+                threads: config.job_threads.max(1),
+            },
+        };
         let manager = JobManager::start(
             Arc::clone(&cache),
             Arc::clone(&metrics),
-            config.job_threads.max(1),
+            backend,
             Retention::default(),
         );
         let state = Arc::new(AppState {
@@ -131,6 +174,7 @@ impl Server {
             manager,
             workers_busy: AtomicUsize::new(0),
             http_workers: config.http_threads.max(1),
+            cluster,
         });
         let shutdown = Arc::new(AtomicBool::new(false));
 
@@ -340,6 +384,7 @@ fn route(
                 queue_depth: state.manager.queue_depth(),
                 http_workers_busy: state.workers_busy.load(Ordering::SeqCst),
                 http_workers: state.http_workers,
+                cluster: state.cluster.as_ref().map(|board| board.stats()),
             };
             let body = state.metrics.render(&state.cache, gauges);
             respond(
@@ -350,6 +395,10 @@ fn route(
                 body.as_bytes(),
                 keep_alive,
             )
+        }
+        ("POST", ["internal", cmd]) => {
+            let (status, body) = cluster::handle_internal(state, shutdown, cmd, &req.body);
+            respond(stream, state, status, "application/json", &body, keep_alive)
         }
         ("GET", ["trace"]) => serve_trace(req, stream, state, keep_alive),
         ("GET", ["scenarios"]) => {

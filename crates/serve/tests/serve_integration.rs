@@ -90,6 +90,7 @@ fn concurrent_submissions_are_deterministic_and_the_repeat_is_pure_cache() {
             http_threads: 4,
             job_threads: 2,
             cache_dir: None,
+            ..ServeConfig::default()
         },
     )
     .unwrap();
@@ -312,6 +313,7 @@ fn idle_keep_alive_connections_do_not_starve_new_clients() {
             http_threads: 1,
             job_threads: 1,
             cache_dir: None,
+            ..ServeConfig::default()
         },
     )
     .unwrap();
@@ -343,6 +345,7 @@ fn persistent_cache_survives_a_restart() {
         http_threads: 2,
         job_threads: 2,
         cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
     };
     let expected = offline_jsonl(7);
     let total = 2 * mini_labels().len() as u64;

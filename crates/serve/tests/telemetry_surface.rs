@@ -12,6 +12,7 @@ fn boot() -> (Server, String) {
             http_threads: 4,
             job_threads: 2,
             cache_dir: None,
+            ..ServeConfig::default()
         },
     )
     .unwrap();
