@@ -25,6 +25,14 @@ pub fn scenario_to_json(spec: &ScenarioSpec) -> Json {
     }
     fields.push(("placement".into(), Json::Str(spec.placement.label())));
     fields.push(("schedule".into(), Json::Str(spec.schedule.label())));
+    // The fault dimensions mirror the label grammar's canonical omission:
+    // no key when the world is static / crash-free / plain-dispersion.
+    if let Some(rate) = spec.dyn_ring {
+        fields.push(("dyn_ring".into(), Json::Num(rate as f64)));
+    }
+    if spec.crashes > 0 {
+        fields.push(("crashes".into(), Json::Num(spec.crashes as f64)));
+    }
     fields.push(("algorithm".into(), Json::Str(spec.algorithm.clone())));
     if !spec.params.is_empty() {
         fields.push((
@@ -36,6 +44,9 @@ pub fn scenario_to_json(spec: &ScenarioSpec) -> Json {
                     .collect(),
             ),
         ));
+    }
+    if spec.min_distance > 1 {
+        fields.push(("min_distance".into(), Json::Num(spec.min_distance as f64)));
     }
     let mut limits = Vec::new();
     if let Some(r) = spec.limits.max_rounds {
@@ -80,6 +91,28 @@ pub fn scenario_from_json(v: &Json) -> Result<ScenarioSpec, String> {
         .ok_or("scenario: missing schedule")?;
     let schedule = Schedule::from_label(schedule_label)
         .ok_or_else(|| format!("scenario: unknown schedule '{schedule_label}'"))?;
+    // Fault keys whose value means "absent" are rejected rather than
+    // normalized, keeping spec → JSON → spec → JSON byte-identical.
+    let dyn_ring = match v.get("dyn_ring") {
+        None => None,
+        Some(x) => {
+            let rate = x.as_u64().ok_or("scenario: bad dyn_ring")?;
+            if rate == 0 {
+                return Err("scenario: dyn_ring 0 must be omitted".into());
+            }
+            Some(rate)
+        }
+    };
+    let crashes = match v.get("crashes") {
+        None => 0,
+        Some(x) => {
+            let f = x.as_u64().ok_or("scenario: bad crashes")?;
+            if f == 0 {
+                return Err("scenario: crashes 0 must be omitted".into());
+            }
+            f
+        }
+    };
     let algorithm = v
         .get("algorithm")
         .and_then(Json::as_str)
@@ -94,6 +127,16 @@ pub fn scenario_from_json(v: &Json) -> Result<ScenarioSpec, String> {
             params = params.set(key, value);
         }
     }
+    let min_distance = match v.get("min_distance") {
+        None => 1,
+        Some(x) => {
+            let d = x.as_u64().ok_or("scenario: bad min_distance")?;
+            if d <= 1 {
+                return Err("scenario: min_distance 0/1 must be omitted".into());
+            }
+            d
+        }
+    };
     let mut limits = Limits::default();
     if let Some(obj) = v.get("limits") {
         limits.max_rounds = obj.get("max_rounds").and_then(Json::as_u64);
@@ -105,6 +148,9 @@ pub fn scenario_from_json(v: &Json) -> Result<ScenarioSpec, String> {
         occupancy,
         placement,
         schedule,
+        dyn_ring,
+        crashes,
+        min_distance,
         algorithm,
         params,
         limits,
@@ -157,6 +203,9 @@ pub fn legacy_point_to_scenario(v: &Json) -> Result<ExperimentPoint, String> {
             .ok_or("legacy point: missing occupancy")?,
         placement: Placement::Rooted,
         schedule,
+        dyn_ring: None,
+        crashes: 0,
+        min_distance: 1,
         algorithm: v
             .get("algorithm")
             .and_then(Json::as_str)
@@ -194,6 +243,16 @@ mod tests {
                     max_rounds: Some(10_000),
                     max_steps: Some(20_000),
                 }),
+            ScenarioSpec::new(GraphFamily::Ring, 24, "probe-dfs").with_dynamic_ring(1),
+            ScenarioSpec::new(GraphFamily::Ring, 16, "random-walk")
+                .with_occupancy(0.5)
+                .with_placement(Placement::ScatteredUniform)
+                .with_dynamic_ring(2)
+                .with_crashes(3),
+            ScenarioSpec::new(GraphFamily::Ring, 12, "spacer")
+                .with_occupancy(0.25)
+                .with_param("gap", ParamValue::U64(3))
+                .with_min_distance(3),
         ];
         for spec in specs {
             let json = scenario_to_json(&spec);
@@ -225,6 +284,11 @@ mod tests {
             r#"{"family":"line","k":8,"placement":"x","schedule":"sync","algorithm":"ks-dfs"}"#,
             r#"{"family":"line","k":8,"placement":"rooted","schedule":"x","algorithm":"ks-dfs"}"#,
             r#"{"family":"line","k":8,"occupancy":"0.70","placement":"rooted","schedule":"sync","algorithm":"ks-dfs"}"#,
+            // Fault keys at their "absent" value are non-canonical.
+            r#"{"family":"ring","k":8,"placement":"rooted","schedule":"sync","dyn_ring":0,"algorithm":"ks-dfs"}"#,
+            r#"{"family":"ring","k":8,"placement":"rooted","schedule":"sync","crashes":0,"algorithm":"ks-dfs"}"#,
+            r#"{"family":"ring","k":8,"placement":"rooted","schedule":"sync","algorithm":"ks-dfs","min_distance":1}"#,
+            r#"{"family":"ring","k":8,"placement":"rooted","schedule":"sync","dyn_ring":"x","algorithm":"ks-dfs"}"#,
         ] {
             assert!(
                 scenario_from_json(&Json::parse(bad).unwrap()).is_err(),

@@ -100,6 +100,17 @@ fn random_spec(rng: &mut StdRng, registry: &Registry) -> ScenarioSpec {
             }
         }
     }
+    // Fault dimensions: grammatical regardless of family and capability —
+    // the validation property test exercises the typed rejections.
+    if rng.random_bool(0.2) {
+        spec = spec.with_dynamic_ring(rng.random_range(1..10u64));
+    }
+    if rng.random_bool(0.2) {
+        spec = spec.with_crashes(rng.random_range(1..8u64));
+    }
+    if rng.random_bool(0.2) {
+        spec = spec.with_min_distance(rng.random_range(2..6u64));
+    }
     if rng.random_bool(0.2) {
         spec = spec.with_limits(Limits {
             max_rounds: rng.random_bool(0.5).then(|| rng.next_u64() >> 20),
@@ -148,15 +159,22 @@ fn validation_returns_typed_errors_and_never_panics() {
                 let f = registry.get(&spec.algorithm).unwrap();
                 assert!(spec.placement.is_rooted() || f.supports_general());
                 assert!(!spec.schedule.is_async() || f.supports_async());
+                assert!(spec.dyn_ring.is_none() || f.supports_dynamic());
+                assert!(spec.crashes == 0 || f.supports_crash());
+                assert!(
+                    spec.dyn_ring.is_none() || matches!(spec.family, GraphFamily::Ring),
+                    "the dynamic adversary is ring-only"
+                );
             }
             Err(e) => {
                 invalid += 1;
                 match e {
                     ScenarioError::PlacementUnsupported { ref algorithm, .. }
-                    | ScenarioError::ScheduleUnsupported { ref algorithm, .. } => {
+                    | ScenarioError::ScheduleUnsupported { ref algorithm, .. }
+                    | ScenarioError::FaultUnsupported { ref algorithm, .. } => {
                         assert_eq!(algorithm, &spec.algorithm)
                     }
-                    ScenarioError::BadSpec { .. } => {}
+                    ScenarioError::BadSpec { .. } | ScenarioError::LimitTooLow { .. } => {}
                     other => panic!("unexpected error class {other:?}"),
                 }
                 // Errors must render.
@@ -171,7 +189,9 @@ fn validation_returns_typed_errors_and_never_panics() {
 fn mutated_labels_error_but_never_panic() {
     let registry = Registry::builtin();
     let mut rng = StdRng::seed_from_u64(0x5CEA_0003);
-    let alphabet: Vec<char> = "abcdefgk0123456789/=.-".chars().collect();
+    // Includes every letter of the fault tokens (`dyn-ring`, `crash`,
+    // `dist`) so mutations can forge near-miss fault segments.
+    let alphabet: Vec<char> = "abcdefghikrsnty0123456789/=.-".chars().collect();
     for _ in 0..CASES {
         let spec = random_spec(&mut rng, &registry);
         let mut label: Vec<char> = spec.label().chars().collect();

@@ -15,6 +15,13 @@
 //!   rooted `k = 10^5` line under the event-driven lagging adversary
 //!   (timer wheel + bulk epoch crediting; O(k)-per-step schedule
 //!   generation would put this in minutes).
+//! * `scale/ring100k/probe-dfs` — the static ring reference for the pair
+//!   below.
+//! * `scale/ring100k-dyn/probe-dfs` — the same ring under the dynamic
+//!   adversary (one edge down per round). Besides the absolute baseline,
+//!   the gate enforces a *relative* bound: the dynamic trial must finish
+//!   within [`DYN_RING_FACTOR`]× of the static trial measured in the same
+//!   run, which caps the cost of the edge-liveness overlay.
 //!
 //! Measurements are medians of several full runs; wall-clock on shared
 //! machines is noisy, which is why the gate uses a generous relative
@@ -39,16 +46,28 @@ pub enum Workload {
     ScaleLine,
     /// `scale/line100k-async-lag4/probe-dfs`.
     ScaleLineAsync,
+    /// `scale/ring100k/probe-dfs`.
+    ScaleRing,
+    /// `scale/ring100k-dyn/probe-dfs`.
+    ScaleRingDyn,
 }
+
+/// The dynamic-ring overhead cap: the `ring100k-dyn` trial must finish
+/// within this factor of the static `ring100k` trial *measured in the same
+/// gate run* (wall-clock noise cancels in the ratio), bounding the cost of
+/// the edge-liveness overlay plus the adversary's per-round edge flips.
+pub const DYN_RING_FACTOR: f64 = 2.0;
 
 impl Workload {
     /// All gated workloads, in report order.
-    pub fn all() -> [Workload; 4] {
+    pub fn all() -> [Workload; 6] {
         [
             Workload::ProbeStar,
             Workload::ScanComplete,
             Workload::ScaleLine,
             Workload::ScaleLineAsync,
+            Workload::ScaleRing,
+            Workload::ScaleRingDyn,
         ]
     }
 
@@ -59,6 +78,8 @@ impl Workload {
             Workload::ScanComplete => "sync_rooted/complete/ks-dfs",
             Workload::ScaleLine => "scale/line100k/probe-dfs",
             Workload::ScaleLineAsync => "scale/line100k-async-lag4/probe-dfs",
+            Workload::ScaleRing => "scale/ring100k/probe-dfs",
+            Workload::ScaleRingDyn => "scale/ring100k-dyn/probe-dfs",
         }
     }
 
@@ -99,6 +120,23 @@ impl Workload {
                 let report = spec.run(registry, 7).expect("scale async line terminates");
                 assert!(report.dispersed);
                 report.outcome.epochs
+            }
+            Workload::ScaleRing => {
+                let spec = ScenarioSpec::new(GraphFamily::Ring, 100_000, "probe-dfs")
+                    .with_schedule(Schedule::Sync);
+                let report = spec.run(registry, 7).expect("scale ring terminates");
+                assert!(report.dispersed);
+                report.outcome.rounds
+            }
+            Workload::ScaleRingDyn => {
+                let spec = ScenarioSpec::new(GraphFamily::Ring, 100_000, "probe-dfs")
+                    .with_schedule(Schedule::Sync)
+                    .with_dynamic_ring(1);
+                let report = spec
+                    .run(registry, 7)
+                    .expect("scale dynamic ring terminates");
+                assert!(report.dispersed);
+                report.outcome.rounds
             }
         }
     }
@@ -230,7 +268,30 @@ pub fn check(baseline_json: &str, samples: usize) -> Result<Vec<GateRow>, String
             regressed: ratio > 1.0 + tolerance || alloc_regressed,
         });
     }
+    apply_dyn_ring_coupling(&mut rows);
     Ok(rows)
+}
+
+/// Enforce the [`DYN_RING_FACTOR`] bound between the two ring workloads of
+/// one gate run: the dynamic trial regresses when it exceeds the factor
+/// times the static trial's *measured* time, regardless of the absolute
+/// baseline. Pure arithmetic over the rows, so it is testable without
+/// running the 10^5-agent workloads.
+fn apply_dyn_ring_coupling(rows: &mut [GateRow]) {
+    let static_ns = rows
+        .iter()
+        .find(|r| r.id == Workload::ScaleRing.id())
+        .map(|r| r.measured_ns);
+    if let Some(static_ns) = static_ns {
+        if let Some(dyn_row) = rows
+            .iter_mut()
+            .find(|r| r.id == Workload::ScaleRingDyn.id())
+        {
+            if dyn_row.measured_ns > DYN_RING_FACTOR * static_ns {
+                dyn_row.regressed = true;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -249,9 +310,38 @@ mod tests {
                 "probe_star/doubling_probe/128",
                 "sync_rooted/complete/ks-dfs",
                 "scale/line100k/probe-dfs",
-                "scale/line100k-async-lag4/probe-dfs"
+                "scale/line100k-async-lag4/probe-dfs",
+                "scale/ring100k/probe-dfs",
+                "scale/ring100k-dyn/probe-dfs"
             ]
         );
+    }
+
+    #[test]
+    fn dyn_ring_coupling_flags_slow_dynamic_rings() {
+        let row = |id: &'static str, measured_ns: f64| GateRow {
+            id,
+            baseline_ns: 1.0,
+            measured_ns,
+            ratio: 1.0,
+            allocs: None,
+            regressed: false,
+        };
+        // Within 2× of the static ring measured in the same run: fine.
+        let mut rows = vec![
+            row(Workload::ScaleRing.id(), 100.0),
+            row(Workload::ScaleRingDyn.id(), 199.0),
+        ];
+        apply_dyn_ring_coupling(&mut rows);
+        assert!(rows.iter().all(|r| !r.regressed), "{rows:?}");
+        // Beyond 2×: the dynamic row regresses even with a happy baseline.
+        let mut rows = vec![
+            row(Workload::ScaleRing.id(), 100.0),
+            row(Workload::ScaleRingDyn.id(), 201.0),
+        ];
+        apply_dyn_ring_coupling(&mut rows);
+        assert!(!rows[0].regressed);
+        assert!(rows[1].regressed, "{rows:?}");
     }
 
     #[test]

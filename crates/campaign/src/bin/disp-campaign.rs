@@ -1,7 +1,7 @@
 //! The campaign CLI: run, resume and report experiment campaigns.
 //!
 //! ```text
-//! disp-campaign run    [--campaign table1|figures|placements|scale|mini]
+//! disp-campaign run    [--campaign table1|figures|placements|scale|fault-worlds|mini]
 //!                      [--scenario LABEL]... [--reps N]
 //!                      [--quick|--full] [--threads N] [--seed S]
 //!                      [--section NAME]... [--out DIR] [--force]
@@ -65,7 +65,7 @@ const USAGE: &str = "\
 disp-campaign — parallel, deterministic experiment campaigns
 
 USAGE:
-  disp-campaign run    [--campaign table1|figures|placements|scale|mini]
+  disp-campaign run    [--campaign table1|figures|placements|scale|fault-worlds|mini]
                        [--scenario LABEL]... [--reps N]
                        [--quick|--full] [--threads N] [--seed S]
                        [--section NAME]... [--out DIR] [--force] [--events]

@@ -473,6 +473,110 @@ impl CampaignSpec {
         }
     }
 
+    /// The fault-worlds campaign: rings under the dynamic edge adversary
+    /// (one edge down per round, restored the next — the arXiv 2408.12220
+    /// model), crash-fault plans that orphan settled nodes, and both at
+    /// once. Ring-only by construction: the dynamic adversary is defined
+    /// on rings, and crashes go to `random-walk`, the crash-tolerant
+    /// algorithm. Like every campaign it is seed-deterministic, so CI
+    /// byte-compares a quick run at `--threads 1` against `--threads 4`.
+    pub fn fault_worlds(mode: Mode, seed: u64) -> CampaignSpec {
+        let ks: Vec<usize> = match mode {
+            Mode::Quick => vec![16, 32, 64],
+            Mode::Full => vec![16, 32, 64, 128],
+        };
+        let reps = match mode {
+            Mode::Quick => 1,
+            Mode::Full => 3,
+        };
+        // A fixed fault fraction: k/8 crashes, at least one.
+        let crashes_for = |k: usize| (k as u64 / 8).max(1);
+        let lag = Schedule::AsyncLagging {
+            max_lag: 4,
+            seed: 0,
+        };
+        let dyn_section = |name: &str, title: &str, schedule: Schedule| {
+            Section::new(
+                name,
+                title,
+                ks.iter()
+                    .flat_map(|&k| {
+                        ["probe-dfs", "random-walk"].into_iter().map(move |alg| {
+                            ExperimentPoint::new(
+                                ScenarioSpec::new(GraphFamily::Ring, k, alg)
+                                    .with_occupancy(0.5)
+                                    .with_schedule(schedule)
+                                    .with_dynamic_ring(1),
+                                reps,
+                            )
+                        })
+                    })
+                    .collect(),
+            )
+        };
+        let crash_section = |name: &str, title: &str, schedule: Schedule| {
+            Section::new(
+                name,
+                title,
+                ks.iter()
+                    .map(|&k| {
+                        ExperimentPoint::new(
+                            ScenarioSpec::new(GraphFamily::Ring, k, "random-walk")
+                                .with_occupancy(0.5)
+                                .with_placement(Placement::ScatteredUniform)
+                                .with_schedule(schedule)
+                                .with_crashes(crashes_for(k)),
+                            reps,
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        let combined = Section::new(
+            "churn-crash",
+            "Edge churn and crash faults at once, SYNC (rounds)",
+            ks.iter()
+                .map(|&k| {
+                    ExperimentPoint::new(
+                        ScenarioSpec::new(GraphFamily::Ring, k, "random-walk")
+                            .with_occupancy(0.5)
+                            .with_dynamic_ring(1)
+                            .with_crashes(crashes_for(k)),
+                        reps,
+                    )
+                })
+                .collect(),
+        );
+        CampaignSpec {
+            name: "fault-worlds".into(),
+            mode,
+            seed,
+            sections: vec![
+                dyn_section(
+                    "dyn-ring-sync",
+                    "Dynamic ring, one edge down per round, SYNC (rounds)",
+                    Schedule::Sync,
+                ),
+                dyn_section(
+                    "dyn-ring-async-lag",
+                    "Dynamic ring, one edge down per epoch, ASYNC lagging (epochs)",
+                    lag,
+                ),
+                crash_section(
+                    "crash-sync",
+                    "Crash faults, scattered starts, SYNC (rounds)",
+                    Schedule::Sync,
+                ),
+                crash_section(
+                    "crash-async-lag",
+                    "Crash faults, scattered starts, ASYNC lagging (epochs)",
+                    lag,
+                ),
+                combined,
+            ],
+        }
+    }
+
     /// An ad-hoc campaign from explicit scenarios (the CLI's `--scenario`
     /// path): one section, `reps` repetitions per scenario.
     pub fn custom(scenarios: Vec<ScenarioSpec>, reps: usize, seed: u64) -> CampaignSpec {
@@ -498,6 +602,7 @@ impl CampaignSpec {
             "figures" => Some(CampaignSpec::figures(mode, seed)),
             "placements" => Some(CampaignSpec::placements(mode, seed)),
             "scale" => Some(CampaignSpec::scale(mode, seed)),
+            "fault-worlds" => Some(CampaignSpec::fault_worlds(mode, seed)),
             "mini" => Some(CampaignSpec::mini(mode, seed)),
             _ => None,
         }
@@ -613,7 +718,14 @@ mod tests {
 
     #[test]
     fn by_name_round_trips() {
-        for name in ["table1", "figures", "placements", "scale", "mini"] {
+        for name in [
+            "table1",
+            "figures",
+            "placements",
+            "scale",
+            "fault-worlds",
+            "mini",
+        ] {
             let spec = CampaignSpec::by_name(name, Mode::Quick, 7).unwrap();
             assert_eq!(spec.name, name);
         }
@@ -623,7 +735,14 @@ mod tests {
     #[test]
     fn every_named_campaign_validates_against_the_builtin_registry() {
         let reg = Registry::builtin();
-        for name in ["table1", "figures", "placements", "scale", "mini"] {
+        for name in [
+            "table1",
+            "figures",
+            "placements",
+            "scale",
+            "fault-worlds",
+            "mini",
+        ] {
             let spec = CampaignSpec::by_name(name, Mode::Full, 7).unwrap();
             for trial in spec.trials() {
                 trial
@@ -676,6 +795,25 @@ mod tests {
             assert!(
                 full_labels.iter().any(|l| l == expected),
                 "full mode misses {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_worlds_campaign_covers_every_fault_dimension() {
+        let spec = CampaignSpec::fault_worlds(Mode::Quick, 1);
+        assert_eq!(spec.sections.len(), 5);
+        let labels: Vec<String> = spec.trials().iter().map(|t| t.point.point_id()).collect();
+        for expected in [
+            "ring/k64/occ0.5/rooted/sync/dyn-ring1/probe-dfs",
+            "ring/k64/occ0.5/rooted/async-lag4/dyn-ring1/random-walk",
+            "ring/k64/occ0.5/scatter/sync/crash8/random-walk",
+            "ring/k64/occ0.5/scatter/async-lag4/crash8/random-walk",
+            "ring/k64/occ0.5/rooted/sync/dyn-ring1/crash8/random-walk",
+        ] {
+            assert!(
+                labels.iter().any(|l| l == expected),
+                "fault-worlds misses {expected}: {labels:?}"
             );
         }
     }

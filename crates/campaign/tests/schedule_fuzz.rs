@@ -10,15 +10,15 @@ use disp_analysis::TrialRecord;
 use disp_campaign::grid::CampaignSpec;
 use disp_campaign::run::run_campaign;
 use disp_campaign::store::CampaignStore;
-use disp_core::extras::random_walk::RandomWalkFactory;
 use disp_core::scenario::{Registry, ScenarioSpec, Schedule};
 use disp_graph::generators::GraphFamily;
 use disp_rng::mix;
 use disp_rng::prelude::*;
 use disp_sim::{AsyncRunner, Outcome, Placement, SyncRunner, TraceEvent};
 
+// `random-walk` is builtin now; the fuzzer needs no extras.
 fn registry() -> Registry {
-    Registry::builtin().with(RandomWalkFactory)
+    Registry::builtin()
 }
 
 /// Draw a random-but-valid scenario from the fuzz RNG.
@@ -31,6 +31,7 @@ fn fuzz_spec(rng: &mut StdRng, registry: &Registry) -> ScenarioSpec {
         GraphFamily::Torus,
         GraphFamily::Complete,
         GraphFamily::Hypercube,
+        GraphFamily::Ring,
     ];
     loop {
         let family = families[rng.random_range(0..families.len())];
@@ -69,6 +70,15 @@ fn fuzz_spec(rng: &mut StdRng, registry: &Registry) -> ScenarioSpec {
         if !placement.is_rooted() && rng.random_bool(0.5) {
             spec = spec.with_occupancy(0.5);
         }
+        // Fault dimensions, drawn blind: `validate` redraws the illegal
+        // combinations (dyn-ring off rings, crashes on crash-intolerant
+        // algorithms), so faulty worlds enter the fuzz pool organically.
+        if rng.random_bool(0.25) {
+            spec = spec.with_dynamic_ring(1 + rng.random_range(0..3u64));
+        }
+        if rng.random_bool(0.25) {
+            spec = spec.with_crashes(1 + rng.random_range(0..4u64));
+        }
         if spec.validate(registry).is_ok() {
             return spec;
         }
@@ -82,13 +92,32 @@ fn traced_run(spec: &ScenarioSpec, registry: &Registry, seed: u64) -> (Outcome, 
     let (mut world, mut protocol) = spec.build(registry, seed).expect("fuzz specs are valid");
     world.enable_trace();
     let config = spec.run_config(&world);
+    let (dynamics, crashes) = spec.build_faults(world.num_agents(), seed);
     let outcome = match spec.build_adversary(world.num_agents(), seed) {
-        None => SyncRunner::new(config)
-            .run(&mut world, protocol.as_mut())
-            .expect("fuzz runs must terminate"),
-        Some(adversary) => AsyncRunner::new(config, adversary)
-            .run(&mut world, protocol.as_mut())
-            .expect("fuzz runs must terminate"),
+        None => {
+            let mut runner = SyncRunner::new(config);
+            if let Some(d) = dynamics {
+                runner = runner.with_dynamics(d);
+            }
+            if let Some(c) = crashes {
+                runner = runner.with_crashes(c);
+            }
+            runner
+                .run(&mut world, protocol.as_mut())
+                .expect("fuzz runs must terminate")
+        }
+        Some(adversary) => {
+            let mut runner = AsyncRunner::new(config, adversary);
+            if let Some(d) = dynamics {
+                runner = runner.with_dynamics(d);
+            }
+            if let Some(c) = crashes {
+                runner = runner.with_crashes(c);
+            }
+            runner
+                .run(&mut world, protocol.as_mut())
+                .expect("fuzz runs must terminate")
+        }
     };
     (outcome, world.trace().events().to_vec())
 }

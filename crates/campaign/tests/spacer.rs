@@ -1,33 +1,38 @@
 //! The scenario redesign's open-registry proof: a toy algorithm that lives
-//! entirely in its own module (`disp_core::extras::random_walk`) runs
-//! through the whole campaign stack — grid, engine, JSONL store, resume,
-//! report — after exactly ONE registration line. Nothing else anywhere in
-//! the workspace knows it exists.
+//! entirely in its own module (`disp_core::extras::spacer`) runs through
+//! the whole campaign stack — grid, engine, JSONL store, resume, report —
+//! after exactly ONE registration line. Nothing else anywhere in the
+//! workspace knows it exists. (`random-walk` used to play this role before
+//! its promotion into the builtin set; `spacer` additionally drags the
+//! fault dimensions — dynamic ring, distance-k — through the stack.)
 
 use disp_analysis::TrialRecord;
 use disp_campaign::grid::CampaignSpec;
 use disp_campaign::report::section_measurements;
 use disp_campaign::run::run_campaign;
 use disp_campaign::store::CampaignStore;
-use disp_core::extras::random_walk::RandomWalkFactory;
-use disp_core::scenario::{Registry, ScenarioSpec, Schedule};
+use disp_core::extras::spacer::SpacerFactory;
+use disp_core::scenario::{ParamValue, Registry, ScenarioSpec, Schedule};
 use disp_graph::generators::GraphFamily;
-use disp_sim::Placement;
 
 fn registry() -> Registry {
     // The one registration line.
-    Registry::builtin().with(RandomWalkFactory)
+    Registry::builtin().with(SpacerFactory)
 }
 
-fn walk_campaign(seed: u64) -> CampaignSpec {
+fn spacer_campaign(seed: u64) -> CampaignSpec {
     CampaignSpec::custom(
         vec![
-            ScenarioSpec::new(GraphFamily::Star, 12, "random-walk"),
-            ScenarioSpec::new(GraphFamily::RandomTree, 12, "random-walk")
-                .with_placement(Placement::ScatteredUniform)
-                .with_schedule(Schedule::AsyncRandom { prob: 0.7, seed: 0 }),
-            ScenarioSpec::new(GraphFamily::Grid, 12, "random-walk")
-                .with_placement(Placement::Clustered { clusters: 3 }),
+            ScenarioSpec::new(GraphFamily::Ring, 12, "spacer").with_occupancy(0.25),
+            ScenarioSpec::new(GraphFamily::Ring, 8, "spacer")
+                .with_occupancy(0.5)
+                .with_dynamic_ring(1)
+                .with_min_distance(2),
+            ScenarioSpec::new(GraphFamily::Ring, 6, "spacer")
+                .with_occupancy(0.25)
+                .with_schedule(Schedule::AsyncRoundRobin)
+                .with_param("gap", ParamValue::U64(3))
+                .with_min_distance(3),
         ],
         2,
         seed,
@@ -37,20 +42,21 @@ fn walk_campaign(seed: u64) -> CampaignSpec {
 #[test]
 fn registered_extra_runs_through_the_full_campaign_stack() {
     let registry = registry();
-    let spec = walk_campaign(0xA1);
+    let spec = spacer_campaign(0xA1);
 
-    let dir = std::env::temp_dir().join(format!("disp-random-walk-{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("disp-spacer-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
     let store = CampaignStore::create(&dir, &spec, false).unwrap();
 
     // Run with checkpointing, then resume from the manifest alone — the
-    // manifest speaks canonical labels, so the ad-hoc grid rebuilds exactly.
+    // manifest speaks canonical labels, so the ad-hoc grid rebuilds exactly
+    // (fault segments and dist predicate included).
     let (records, summary) = run_campaign(&spec, Some(&store), 2, &registry).unwrap();
     assert_eq!(summary.total, 6);
     assert!(records.iter().all(|r| r.dispersed));
     assert!(records
         .iter()
-        .all(|r| r.point.scenario.algorithm == "random-walk"));
+        .all(|r| r.point.scenario.algorithm == "spacer"));
 
     let (store2, manifest) = CampaignStore::open(&dir).unwrap();
     let respec = manifest.rebuild_spec().unwrap();
@@ -75,14 +81,14 @@ fn registered_extra_runs_through_the_full_campaign_stack() {
 #[test]
 fn unregistered_extra_is_a_typed_error_not_a_panic() {
     // Without the registration line the same campaign is rejected up front.
-    let err = run_campaign(&walk_campaign(0xA2), None, 1, &Registry::builtin()).unwrap_err();
-    assert!(err.contains("unknown algorithm 'random-walk'"), "{err}");
+    let err = run_campaign(&spacer_campaign(0xA2), None, 1, &Registry::builtin()).unwrap_err();
+    assert!(err.contains("unknown algorithm 'spacer'"), "{err}");
 }
 
 #[test]
 fn thread_count_invariance_holds_for_extras_too() {
     let registry = registry();
-    let spec = walk_campaign(0xA3);
+    let spec = spacer_campaign(0xA3);
     let (a, _) = run_campaign(&spec, None, 1, &registry).unwrap();
     let (b, _) = run_campaign(&spec, None, 4, &registry).unwrap();
     let lines =

@@ -1,10 +1,17 @@
 //! Extra algorithms that are not part of the paper's evaluation.
 //!
-//! These ship outside [`crate::scenario::Registry::builtin`] deliberately:
-//! they exist to prove (and keep proving, in tests) that plugging a new
-//! algorithm into every campaign, bench and CLI takes one module plus one
-//! `Registry::with` call — nothing in the run path is a closed enum.
+//! [`random_walk`] began life here as the registry-openness proof and has
+//! since been promoted into [`crate::scenario::Registry::builtin`] — the
+//! fault-worlds campaigns need a crash-tolerant algorithm on every entry
+//! point. [`spacer`] takes over the openness role: it ships outside the
+//! builtin set deliberately, to prove (and keep proving, in tests) that
+//! plugging a new algorithm into every campaign, bench and CLI takes one
+//! module plus one `Registry::with` call — nothing in the run path is a
+//! closed enum. It doubles as the positive oracle for the distance-`k`
+//! dispersion verifier.
 
 pub mod random_walk;
+pub mod spacer;
 
 pub use random_walk::{RandomWalk, RandomWalkFactory};
+pub use spacer::{Spacer, SpacerFactory};

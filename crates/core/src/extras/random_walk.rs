@@ -7,19 +7,27 @@
 //! random walk on a connected graph visits every node with probability 1).
 //! Time is expected cover-time-ish — far off the paper's bounds — which is
 //! exactly why it is a useful registry guinea pig rather than a baseline.
+//!
+//! It is also the workspace's **fault-tolerant** algorithm: walks carry no
+//! shared structure, so a crashed agent costs nothing beyond retracting its
+//! settlement claim ([`AgentProtocol::on_crash`]) and a downed edge merely
+//! delays one hop ([`ActivationCtx::try_move_via`] + wait). The registry
+//! therefore declares both `supports_crash` and `supports_dynamic`.
 
 use crate::scenario::{AlgorithmFactory, Params};
 use disp_graph::Port;
 use disp_rng::mix;
-use disp_sim::{bits, ActivationCtx, AgentId, AgentProtocol, World};
+use disp_sim::{bits, ActivationCtx, AgentId, AgentProtocol, MoveError, World};
 
 /// The random-walk protocol. See the module docs.
 #[derive(Debug)]
 pub struct RandomWalk {
     settled: Vec<bool>,
+    dead: Vec<bool>,
     /// Per-agent xorshift64* state (never zero).
     rng: Vec<u64>,
     settled_count: usize,
+    dead_count: usize,
 }
 
 impl RandomWalk {
@@ -28,8 +36,10 @@ impl RandomWalk {
         let k = world.num_agents();
         RandomWalk {
             settled: vec![false; k],
+            dead: vec![false; k],
             rng: (0..k as u64).map(|i| mix(&[seed, i]) | 1).collect(),
             settled_count: 0,
+            dead_count: 0,
         }
     }
 
@@ -57,11 +67,27 @@ impl AgentProtocol for RandomWalk {
         }
         let degree = ctx.degree() as u64;
         let port = 1 + self.next_u64(agent) % degree;
-        ctx.move_via(Port(port as u32));
+        // A downed edge (dynamic adversary) is a one-round delay, not an
+        // error: stay put and draw a fresh port next activation.
+        match ctx.try_move_via(Port(port as u32)) {
+            Ok(_) | Err(MoveError::EdgeDown { .. }) => {}
+            Err(e) => panic!("agent {agent} illegal walk move: {e}"),
+        }
+    }
+
+    fn on_crash(&mut self, agent: AgentId) {
+        // Retract the corpse's settlement claim so a survivor can re-settle
+        // the orphaned node; termination then needs survivors only.
+        if self.settled[agent.index()] {
+            self.settled[agent.index()] = false;
+            self.settled_count -= 1;
+        }
+        self.dead[agent.index()] = true;
+        self.dead_count += 1;
     }
 
     fn is_terminated(&self) -> bool {
-        self.settled_count == self.settled.len()
+        self.settled_count == self.settled.len() - self.dead_count
     }
 
     fn is_settled(&self, agent: AgentId) -> bool {
@@ -78,7 +104,8 @@ impl AgentProtocol for RandomWalk {
     }
 }
 
-/// Registry factory for [`RandomWalk`] — general starts, any schedule.
+/// Registry factory for [`RandomWalk`] — general starts, any schedule,
+/// both fault models.
 pub struct RandomWalkFactory;
 
 impl AlgorithmFactory for RandomWalkFactory {
@@ -90,6 +117,14 @@ impl AlgorithmFactory for RandomWalkFactory {
         true
     }
 
+    fn supports_dynamic(&self) -> bool {
+        true
+    }
+
+    fn supports_crash(&self) -> bool {
+        true
+    }
+
     fn build(&self, world: &World, _params: &Params, seed: u64) -> Box<dyn AgentProtocol> {
         Box::new(RandomWalk::new(world, seed))
     }
@@ -97,13 +132,14 @@ impl AlgorithmFactory for RandomWalkFactory {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::scenario::{Registry, ScenarioSpec, Schedule};
     use disp_graph::generators::GraphFamily;
     use disp_sim::Placement;
 
+    // `random-walk` is a builtin since the fault-worlds campaigns need a
+    // crash-tolerant algorithm on every entry point.
     fn registry() -> Registry {
-        Registry::builtin().with(RandomWalkFactory)
+        Registry::builtin()
     }
 
     #[test]

@@ -63,5 +63,5 @@ pub mod prelude {
         run_custom, AlgorithmFactory, Limits, ParamValue, Params, Registry, ScenarioError,
         ScenarioReport, ScenarioSpec, Schedule,
     };
-    pub use crate::verify::{check_dispersion, is_dispersed};
+    pub use crate::verify::{check_dispersion, check_dispersion_at, is_dispersed, is_dispersed_at};
 }

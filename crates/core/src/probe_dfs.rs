@@ -50,11 +50,31 @@
 //!
 //! This protocol assumes a **rooted** initial configuration (all agents on
 //! one node); see `DESIGN.md` for how general configurations are handled.
+//!
+//! ## Dynamic-graph hardening
+//!
+//! Every move goes through the fallible [`ActivationCtx::try_move_via`] /
+//! [`ActivationCtx::try_move_cohort_via`] path: when the dynamic adversary
+//! has the chosen edge down ([`MoveError::EdgeDown`]), the agent simply
+//! stays in its current stage and retries on its next activation — no state
+//! advances, so when the edge returns (one round later, in the
+//! arXiv 2408.12220 model) the walk resumes exactly where it stalled. This
+//! is what lets the registry declare `supports_dynamic` for `probe-dfs`.
 
 use disp_graph::Port;
-use disp_sim::{bits, ActivationCtx, AgentId, AgentProtocol, World};
+use disp_sim::{bits, ActivationCtx, AgentId, AgentProtocol, MoveError, World};
 
 const NO_SETTLER: u32 = u32::MAX;
+
+/// Attempt a move; `None` means the edge is down — wait in place and retry
+/// on the next activation. Any other failure is a protocol bug.
+fn try_move(ctx: &mut ActivationCtx<'_>, port: Port) -> Option<Port> {
+    match ctx.try_move_via(port) {
+        Ok(pin) => Some(pin),
+        Err(MoveError::EdgeDown { .. }) => None,
+        Err(e) => panic!("illegal probe-dfs move: {e}"),
+    }
+}
 
 /// Milestone code recorded (when tracing is enabled) each time an agent
 /// settles: exactly `k` of these fire in a dispersing run, one per agent,
@@ -380,8 +400,10 @@ impl ProbeDfs {
                         // The leader is the only unsettled agent left at this
                         // node: probe the next port itself.
                         let port = Port(checked + 1);
-                        solo_pin = Some(ctx.move_via(port));
-                        phase = LeaderPhase::SoloOut;
+                        if let Some(pin) = try_move(ctx, port) {
+                            solo_pin = Some(pin);
+                            phase = LeaderPhase::SoloOut;
+                        }
                     } else {
                         // Assign the `want` smallest-id helpers from the
                         // union of idle guests and riders.
@@ -495,20 +517,22 @@ impl ProbeDfs {
                     phase = LeaderPhase::SoloWaitGuestGone { recruited: settler };
                 } else {
                     let pin = solo_pin.expect("solo pin recorded");
-                    ctx.move_via(pin);
-                    phase = LeaderPhase::SoloReturn {
-                        found_settler: false,
-                    };
+                    if try_move(ctx, pin).is_some() {
+                        phase = LeaderPhase::SoloReturn {
+                            found_settler: false,
+                        };
+                    }
                 }
             }
 
             LeaderPhase::SoloWaitGuestGone { recruited } => {
                 if !ctx.colocated_iter().any(|peer| peer == recruited) {
                     let pin = solo_pin.expect("solo pin recorded");
-                    ctx.move_via(pin);
-                    phase = LeaderPhase::SoloReturn {
-                        found_settler: true,
-                    };
+                    if try_move(ctx, pin).is_some() {
+                        phase = LeaderPhase::SoloReturn {
+                            found_settler: true,
+                        };
+                    }
                 }
             }
 
@@ -526,7 +550,12 @@ impl ProbeDfs {
                 let x = self.idle_guests.len();
                 match x {
                     0 => {
-                        phase = self.movement(ctx, next_empty, &mut arrival_pin);
+                        phase = self.movement(
+                            ctx,
+                            next_empty,
+                            &mut arrival_pin,
+                            LeaderPhase::SeeOffAssign,
+                        );
                     }
                     1 => {
                         // α(w) escorts the single leftover guest home.
@@ -610,7 +639,12 @@ impl ProbeDfs {
 
             LeaderPhase::SeeOffWaitSettler => {
                 if self.settler_here(ctx).is_some() {
-                    phase = self.movement(ctx, next_empty, &mut arrival_pin);
+                    phase = self.movement(
+                        ctx,
+                        next_empty,
+                        &mut arrival_pin,
+                        LeaderPhase::SeeOffWaitSettler,
+                    );
                 }
             }
 
@@ -636,18 +670,18 @@ impl ProbeDfs {
     }
 
     /// Execute the DFS move (forward to the discovered unsettled neighbor, or
-    /// backtrack to the parent) — the whole cohort rides along.
+    /// backtrack to the parent) — the whole cohort rides along. When the
+    /// dynamic adversary has the edge down, the group stays put and the
+    /// leader remains in `stay`, retrying on its next activation.
     fn movement(
         &mut self,
         ctx: &mut ActivationCtx<'_>,
         next_empty: Option<Port>,
         arrival_pin: &mut Option<Port>,
+        stay: LeaderPhase,
     ) -> LeaderPhase {
-        match next_empty {
-            Some(p) => {
-                *arrival_pin = Some(ctx.move_cohort_via(p));
-                LeaderPhase::ArriveForward
-            }
+        let (p, arrived) = match next_empty {
+            Some(p) => (p, LeaderPhase::ArriveForward),
             None => {
                 let settler = self
                     .settler_here(ctx)
@@ -657,9 +691,16 @@ impl ProbeDfs {
                 };
                 let p =
                     parent_port.expect("DFS root can only be exhausted after every agent settled");
-                *arrival_pin = Some(ctx.move_cohort_via(p));
-                LeaderPhase::Decide
+                (p, LeaderPhase::Decide)
             }
+        };
+        match ctx.try_move_cohort_via(p) {
+            Ok(pin) => {
+                *arrival_pin = Some(pin);
+                arrived
+            }
+            Err(MoveError::EdgeDown { .. }) => stay,
+            Err(e) => panic!("illegal probe-dfs cohort move: {e}"),
         }
     }
 
@@ -680,8 +721,10 @@ impl ProbeDfs {
         let mut stage = stage;
         match stage {
             ProbeStage::Out => {
-                pin = Some(ctx.move_via(port));
-                stage = ProbeStage::AtNeighbor;
+                if let Some(p) = try_move(ctx, port) {
+                    pin = Some(p);
+                    stage = ProbeStage::AtNeighbor;
+                }
             }
             ProbeStage::AtNeighbor => {
                 if let Some(settler) = self.settler_here(ctx) {
@@ -707,10 +750,11 @@ impl ProbeDfs {
                 }
             }
             ProbeStage::GoHome { found_settler } => {
-                ctx.move_via(pin.expect("pin recorded on the way out"));
-                stage = ProbeStage::Returned { found_settler };
-                self.returned_probers.push(agent);
-                ctx.park(agent);
+                if try_move(ctx, pin.expect("pin recorded on the way out")).is_some() {
+                    stage = ProbeStage::Returned { found_settler };
+                    self.returned_probers.push(agent);
+                    ctx.park(agent);
+                }
             }
             ProbeStage::Returned { .. } => {}
         }
@@ -732,7 +776,9 @@ impl ProbeDfs {
         };
         match travel {
             GuestTravel::ToProbeSite { via } => {
-                let pin = ctx.move_via(via);
+                let Some(pin) = try_move(ctx, via) else {
+                    return;
+                };
                 self.states[agent.index()] = AgentState::Guest {
                     saved_parent_port,
                     travel: GuestTravel::Idle { home_port: pin },
@@ -742,7 +788,9 @@ impl ProbeDfs {
             }
             GuestTravel::Idle { .. } => {}
             GuestTravel::GoingHome { via } => {
-                ctx.move_via(via);
+                if try_move(ctx, via).is_none() {
+                    return;
+                }
                 self.states[agent.index()] = AgentState::Settled {
                     parent_port: saved_parent_port,
                 };
@@ -767,13 +815,16 @@ impl ProbeDfs {
         let mut stage = stage;
         match stage {
             EscortStage::Going => {
-                pin = Some(ctx.move_via(via));
-                stage = EscortStage::AtPartnerHome;
+                if let Some(p) = try_move(ctx, via) {
+                    pin = Some(p);
+                    stage = EscortStage::AtPartnerHome;
+                }
             }
             EscortStage::AtPartnerHome => {
                 // Wait until the partner guest has arrived and re-settled.
-                if self.settler_here(ctx).is_some() {
-                    ctx.move_via(pin.expect("pin recorded on the way out"));
+                if self.settler_here(ctx).is_some()
+                    && try_move(ctx, pin.expect("pin recorded on the way out")).is_some()
+                {
                     stage = EscortStage::Returned;
                 }
             }

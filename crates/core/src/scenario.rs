@@ -14,7 +14,9 @@
 //!
 //! ```text
 //! scenario  := family "/k" k ["/occ" float] "/" placement "/" schedule
-//!              "/" algorithm ("/" key "=" value)* ["/rounds" u64] ["/steps" u64]
+//!              ["/dyn-ring" u64] ["/crash" u64]
+//!              "/" algorithm ("/" key "=" value)*
+//!              ["/dist" u64] ["/rounds" u64] ["/steps" u64]
 //! ```
 //!
 //! * `family`    — a [`GraphFamily`] label (`rtree`, `er6`, `grid`, …)
@@ -24,14 +26,25 @@
 //!   `async-rand0.7`, `async-lag4`, `async-target4`); adversary seeds are
 //!   **not** part of a scenario — every seed of a run derives from the
 //!   single run seed
+//! * `dyn-ringR` — the dynamic-graph adversary (arXiv 2408.12220): `R ≥ 1`
+//!   seeded edges removed per round, restored the next; ring family only
+//! * `crashF`    — the crash-fault plan: `F ≥ 1` agents die at seeded
+//!   times; only crash-tolerant algorithms accept it
 //! * `algorithm` — a [`Registry`] label (`ks-dfs`, `probe-dfs`,
-//!   `sync-seeker`, …)
+//!   `sync-seeker`, `random-walk`, …)
 //! * params      — sorted `key=value` segments with canonically formatted
-//!   values ([`ParamValue`]); `occ`/`rounds`/`steps` appear only when they
-//!   differ from their defaults (1.0 / unlimited)
+//!   values ([`ParamValue`])
+//! * `distD`     — the distance-`D` dispersion predicate (`D ≥ 2`;
+//!   pairwise settled distance, verified by multi-source BFS)
+//!
+//! `occ`/`dyn-ring`/`crash`/`dist`/`rounds`/`steps` appear only when they
+//! differ from their defaults (1.0 / absent / 0 / 1 / unlimited) — omission
+//! *is* the canonical form.
 //!
 //! Examples: `rtree/k64/rooted/sync/probe-dfs`,
 //! `er6/k32/scatter/async-rand0.7/ks-dfs`,
+//! `ring/k24/rooted/sync/dyn-ring1/probe-dfs`,
+//! `ring/k16/occ0.5/scatter/sync/crash3/random-walk`,
 //! `star/k96/rooted/sync/sync-seeker/probers=32/wait=6`.
 //!
 //! Floats are formatted canonically ([`fmt_f64`]): the shortest
@@ -47,8 +60,8 @@ use disp_graph::generators::GraphFamily;
 use disp_graph::{NodeId, Topology};
 use disp_rng::mix;
 use disp_sim::{
-    Adversary, AdversaryKind, AgentProtocol, AsyncRunner, Outcome, Placement, RunConfig, RunError,
-    SyncRunner, World,
+    Adversary, AdversaryKind, AgentProtocol, AsyncRunner, CrashPlan, DynamicAdversary, Outcome,
+    Placement, RunConfig, RunError, SyncRunner, World,
 };
 use std::fmt;
 
@@ -340,6 +353,20 @@ pub fn rooted_round_lower_bound(k: usize, max_degree: usize) -> u64 {
     d
 }
 
+/// The trivial round lower bound of a **dynamic ring** run (the arXiv
+/// 2408.12220 model): a distance-`d` dispersion of `k` agents spans at
+/// least `(k-1)·d` ring hops, and the edge-removing adversary can keep one
+/// side of the root permanently cut, forcing all expansion through a
+/// frontier that advances at most one hop per round — so `(k-1)·max(d,1)`
+/// rounds are necessary. User limits below this bound are rejected with a
+/// typed [`ScenarioError::LimitTooLow`].
+pub fn dyn_ring_round_lower_bound(k: usize, min_distance: u64) -> u64 {
+    if k <= 1 {
+        return 0;
+    }
+    (k as u64 - 1).saturating_mul(min_distance.max(1))
+}
+
 impl Limits {
     /// Resolve into the engine's [`RunConfig`] for a concrete instance.
     ///
@@ -356,11 +383,39 @@ impl Limits {
     /// any that slip past the family-level bound simply run to a faithful
     /// limit-exceeded record instead of aborting a campaign mid-run.
     pub fn resolve(self, k: usize, m: usize, max_degree: usize, schedule: Schedule) -> RunConfig {
-        let log2k = (usize::BITS - k.next_power_of_two().leading_zeros()) as u64;
+        self.resolve_with_faults(k, m, max_degree, schedule, None, 0)
+    }
+
+    /// [`Limits::resolve`] for a faulty world: the default budget is
+    /// derived from the **live** worst case. Crashed agents shrink the
+    /// effective `k` the envelope charges for (survivors do the remaining
+    /// work), but each crash may orphan a settled node and force a
+    /// re-settlement walk, so a per-crash recovery term is added back; a
+    /// dynamic adversary stretches every distance by blocking edges, which
+    /// multiplies the whole budget. Fault-free inputs reproduce
+    /// [`Limits::resolve`] exactly.
+    pub fn resolve_with_faults(
+        self,
+        k: usize,
+        m: usize,
+        max_degree: usize,
+        schedule: Schedule,
+        dyn_ring: Option<u64>,
+        crashes: u64,
+    ) -> RunConfig {
+        let k_live = k.saturating_sub(crashes as usize).max(1);
+        let log2k = (usize::BITS - k_live.next_power_of_two().leading_zeros()) as u64;
         let envelope = 64u64
-            .saturating_mul(k as u64)
+            .saturating_mul(k_live as u64)
             .saturating_mul(log2k.max(1))
-            .saturating_add(16u64.saturating_mul((m as u64).min(k as u64 * max_degree as u64)));
+            .saturating_add(16u64.saturating_mul((m as u64).min(k_live as u64 * max_degree as u64)))
+            // Each crash can orphan a settled node; re-settling it costs a
+            // walk bounded by the k-ball the protocol operates in.
+            .saturating_add(crashes.saturating_mul(16).saturating_mul(k as u64))
+            // One edge down per round delays a frontier move with
+            // probability ~1/n; a generous constant absorbs the stretch
+            // plus adversarial placement of the cut.
+            .saturating_mul(if dyn_ring.is_some() { 4 } else { 1 });
         let default_rounds = 10_000u64.saturating_add(envelope);
         let step_factor = match schedule {
             Schedule::Sync => 1,
@@ -429,6 +484,15 @@ pub enum ScenarioError {
         /// Schedule label.
         schedule: String,
     },
+    /// The scenario demands a fault model (`dyn-ring`/`crash`) the
+    /// algorithm does not tolerate (e.g. `ks-dfs` + `crash2`: its
+    /// backtracking reads settled agents' pointers, which a corpse orphans).
+    FaultUnsupported {
+        /// Algorithm label.
+        algorithm: String,
+        /// The fault dimension (`"dyn-ring"` or `"crash"`).
+        fault: &'static str,
+    },
     /// A parameter key the algorithm does not declare.
     UnknownParam {
         /// Algorithm label.
@@ -485,6 +549,10 @@ impl fmt::Display for ScenarioError {
                 f,
                 "algorithm '{algorithm}' cannot run under schedule '{schedule}'"
             ),
+            ScenarioError::FaultUnsupported { algorithm, fault } => write!(
+                f,
+                "algorithm '{algorithm}' does not tolerate the '{fault}' fault model"
+            ),
             ScenarioError::UnknownParam { algorithm, key } => {
                 write!(f, "algorithm '{algorithm}' has no parameter '{key}'")
             }
@@ -517,6 +585,23 @@ impl From<RunError> for ScenarioError {
 // The algorithm registry
 // ---------------------------------------------------------------------------
 
+/// `Some(digits)` when `seg` is exactly `prefix` followed by one or more
+/// ASCII digits — the shape of the reserved grammar tokens.
+fn digits_suffix<'a>(seg: &'a str, prefix: &str) -> Option<&'a str> {
+    seg.strip_prefix(prefix)
+        .filter(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
+}
+
+/// Whether `label` collides with a reserved grammar token (`dyn-ring<N>`,
+/// `crash<N>`, `dist<N>`). Algorithm labels must avoid these shapes or
+/// [`ScenarioSpec::from_label`] could not tell an algorithm segment from a
+/// fault/verification segment.
+fn is_reserved_label(label: &str) -> bool {
+    ["dyn-ring", "crash", "dist"]
+        .iter()
+        .any(|tok| digits_suffix(label, tok).is_some())
+}
+
 /// A constructor + capability declaration for one algorithm. Implement this
 /// (plus one [`Registry::with`] call) to plug a new algorithm into every
 /// campaign, bench and CLI — nothing else in the workspace needs touching.
@@ -533,6 +618,20 @@ pub trait AlgorithmFactory: Send + Sync {
     /// Whether the algorithm runs under asynchronous schedules.
     fn supports_async(&self) -> bool {
         true
+    }
+
+    /// Whether the algorithm tolerates the dynamic-graph adversary
+    /// (`dyn-ringR`): every move must go through the fallible
+    /// `try_move_via` path and treat `EdgeDown` as "wait, retry later".
+    fn supports_dynamic(&self) -> bool {
+        false
+    }
+
+    /// Whether the algorithm tolerates crash faults (`crashF`): it must
+    /// implement [`AgentProtocol::on_crash`], retract the corpse's claims,
+    /// and terminate on the surviving agents alone.
+    fn supports_crash(&self) -> bool {
+        false
     }
 
     /// The legal parameters with their default values; validation checks
@@ -561,12 +660,16 @@ impl Registry {
         Registry::default()
     }
 
-    /// The built-in algorithms: `ks-dfs`, `probe-dfs`, `sync-seeker`.
+    /// The built-in algorithms: `ks-dfs`, `probe-dfs`, `sync-seeker`,
+    /// `random-walk` (the crash-tolerant one — memoryless walks survive
+    /// arbitrary agent loss, which none of the DFS-structured algorithms
+    /// do, so the fault-worlds campaigns need it built in).
     pub fn builtin() -> Registry {
         Registry::empty()
             .with(KsDfsFactory)
             .with(ProbeDfsFactory)
             .with(SyncSeekerFactory)
+            .with(crate::extras::random_walk::RandomWalkFactory)
     }
 
     /// Register a factory, consuming and returning the registry so
@@ -583,6 +686,11 @@ impl Registry {
                     .bytes()
                     .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-'),
             "algorithm label '{label}' violates the grammar (lowercase/digits/'-')"
+        );
+        assert!(
+            !is_reserved_label(label),
+            "algorithm label '{label}' collides with a reserved grammar token \
+             (dyn-ring<N>/crash<N>/dist<N>)"
         );
         assert!(
             self.get(label).is_none(),
@@ -639,6 +747,13 @@ impl AlgorithmFactory for ProbeDfsFactory {
         "probe-dfs"
     }
 
+    // Every move site goes through the fallible path and treats a downed
+    // edge as "stay in this stage, retry next activation" — sound because
+    // the dynamic adversary restores each removed edge one round later.
+    fn supports_dynamic(&self) -> bool {
+        true
+    }
+
     fn build(&self, world: &World, _params: &Params, _seed: u64) -> Box<dyn AgentProtocol> {
         Box::new(ProbeDfs::new(world))
     }
@@ -689,6 +804,8 @@ const SEED_GRAPH: u64 = 0xD15C_0001;
 const SEED_PLACEMENT: u64 = 0xD15C_0002;
 const SEED_ADVERSARY: u64 = 0xD15C_0003;
 const SEED_ALGORITHM: u64 = 0xD15C_0004;
+const SEED_DYNAMICS: u64 = 0xD15C_0005;
+const SEED_CRASH: u64 = 0xD15C_0006;
 
 /// The canonical description of one run. See the module docs for the label
 /// grammar; construction goes through [`ScenarioSpec::new`] plus the
@@ -707,6 +824,14 @@ pub struct ScenarioSpec {
     /// Scheduler (with adversary seed normalized to 0 — run seeds supply
     /// the randomness).
     pub schedule: Schedule,
+    /// Dynamic-graph adversary: `Some(r)` removes `r` seeded edges per
+    /// round (restored the next round); ring family only.
+    pub dyn_ring: Option<u64>,
+    /// Crash faults: this many agents die at seeded times (`0` = none).
+    pub crashes: u64,
+    /// The dispersion predicate's minimum pairwise settled distance
+    /// (`1` = plain dispersion, the default).
+    pub min_distance: u64,
     /// Algorithm registry label.
     pub algorithm: String,
     /// Typed per-algorithm parameters (only the overridden ones).
@@ -736,10 +861,33 @@ impl ScenarioSpec {
             occupancy: 1.0,
             placement: Placement::Rooted,
             schedule: Schedule::Sync,
+            dyn_ring: None,
+            crashes: 0,
+            min_distance: 1,
             algorithm: algorithm.to_string(),
             params: Params::new(),
             limits: Limits::default(),
         }
+    }
+
+    /// Enable the dynamic-ring adversary: `rate ≥ 1` seeded edges removed
+    /// per round, restored the next round (arXiv 2408.12220 model).
+    pub fn with_dynamic_ring(mut self, rate: u64) -> ScenarioSpec {
+        self.dyn_ring = Some(rate);
+        self
+    }
+
+    /// Enable crash faults: `crashes` agents die at seeded times.
+    pub fn with_crashes(mut self, crashes: u64) -> ScenarioSpec {
+        self.crashes = crashes;
+        self
+    }
+
+    /// Require pairwise settled distance ≥ `d` at termination
+    /// (distance-`d` dispersion; `1` is plain dispersion).
+    pub fn with_min_distance(mut self, d: u64) -> ScenarioSpec {
+        self.min_distance = d;
+        self
     }
 
     /// Set the placement family.
@@ -781,13 +929,22 @@ impl ScenarioSpec {
             out.push_str(&format!("/occ{}", fmt_f64(self.occupancy)));
         }
         out.push_str(&format!(
-            "/{}/{}/{}",
+            "/{}/{}",
             self.placement.label(),
-            self.schedule.label(),
-            self.algorithm
+            self.schedule.label()
         ));
+        if let Some(rate) = self.dyn_ring {
+            out.push_str(&format!("/dyn-ring{rate}"));
+        }
+        if self.crashes > 0 {
+            out.push_str(&format!("/crash{}", self.crashes));
+        }
+        out.push_str(&format!("/{}", self.algorithm));
         for (key, value) in self.params.iter() {
             out.push_str(&format!("/{key}={}", value.fmt()));
+        }
+        if self.min_distance > 1 {
+            out.push_str(&format!("/dist{}", self.min_distance));
         }
         if let Some(r) = self.limits.max_rounds {
             out.push_str(&format!("/rounds{r}"));
@@ -833,19 +990,44 @@ impl ScenarioSpec {
         let sched_s = segments.next().ok_or_else(|| bad("missing schedule"))?;
         let schedule = Schedule::from_label(sched_s)
             .ok_or_else(|| bad(&format!("unknown schedule '{sched_s}'")))?;
-        let algorithm = segments
-            .next()
+        let mut next = segments.next().ok_or_else(|| bad("missing algorithm"))?;
+        let mut dyn_ring = None;
+        if let Some(digits) = digits_suffix(next, "dyn-ring") {
+            let rate =
+                parse_u64(digits).ok_or_else(|| bad(&format!("bad dyn-ring segment '{next}'")))?;
+            if rate == 0 {
+                return Err(bad("dyn-ring0 is meaningless (omit the segment)"));
+            }
+            dyn_ring = Some(rate);
+            next = segments.next().ok_or_else(|| bad("missing algorithm"))?;
+        }
+        let mut crashes = 0;
+        if let Some(digits) = digits_suffix(next, "crash") {
+            let f = parse_u64(digits).ok_or_else(|| bad(&format!("bad crash segment '{next}'")))?;
+            if f == 0 {
+                return Err(bad("crash0 must be omitted (canonical form)"));
+            }
+            crashes = f;
+            next = segments.next().ok_or_else(|| bad("missing algorithm"))?;
+        }
+        if is_reserved_label(next) {
+            return Err(bad(&format!(
+                "misplaced fault segment '{next}' (canonical order: dyn-ring, crash, algorithm)"
+            )));
+        }
+        let algorithm = Some(next)
             .filter(|s| !s.is_empty() && !s.contains('='))
             .ok_or_else(|| bad("missing algorithm"))?
             .to_string();
 
         let mut params = Params::new();
+        let mut min_distance = 1u64;
         let mut limits = Limits::default();
         let mut last_key: Option<String> = None;
         for seg in segments {
             if let Some((key, value)) = seg.split_once('=') {
-                if limits != Limits::default() {
-                    return Err(bad("params must precede limits"));
+                if min_distance != 1 || limits != Limits::default() {
+                    return Err(bad("params must precede dist/limits"));
                 }
                 if last_key.as_deref().is_some_and(|prev| prev >= key) {
                     return Err(bad("params must be sorted and unique (canonical form)"));
@@ -854,6 +1036,16 @@ impl ScenarioSpec {
                     .ok_or_else(|| bad(&format!("bad value in '{seg}'")))?;
                 last_key = Some(key.to_string());
                 params = params.set(key, value);
+            } else if let Some(digits) = seg.strip_prefix("dist") {
+                if min_distance != 1 || limits != Limits::default() {
+                    return Err(bad("duplicate or misordered dist segment"));
+                }
+                let d =
+                    parse_u64(digits).ok_or_else(|| bad(&format!("bad dist segment '{seg}'")))?;
+                if d < 2 {
+                    return Err(bad("dist0/dist1 must be omitted (canonical form)"));
+                }
+                min_distance = d;
             } else if let Some(digits) = seg.strip_prefix("rounds") {
                 if limits.max_rounds.is_some() || limits.max_steps.is_some() {
                     return Err(bad("duplicate or misordered limit segments"));
@@ -876,6 +1068,9 @@ impl ScenarioSpec {
             occupancy,
             placement,
             schedule,
+            dyn_ring,
+            crashes,
+            min_distance,
             algorithm,
             params,
             limits,
@@ -937,6 +1132,70 @@ impl ScenarioSpec {
                 });
             }
         }
+        if self.min_distance == 0 {
+            return Err(ScenarioError::BadSpec {
+                reason: "min_distance must be at least 1".into(),
+            });
+        }
+        if let Some(rate) = self.dyn_ring {
+            if rate == 0 {
+                return Err(ScenarioError::BadSpec {
+                    reason: "dyn-ring rate must be at least 1".into(),
+                });
+            }
+            // The arXiv 2408.12220 model removes edges from a *ring* —
+            // the one family where every single-edge removal leaves the
+            // graph connected, so progress is delayed, never made
+            // impossible.
+            if !matches!(self.family, GraphFamily::Ring) {
+                return Err(ScenarioError::BadSpec {
+                    reason: format!(
+                        "dyn-ring requires the ring family (a ring minus an edge stays \
+                         connected); got '{}'",
+                        self.family.label()
+                    ),
+                });
+            }
+            if !factory.supports_dynamic() {
+                return Err(ScenarioError::FaultUnsupported {
+                    algorithm: self.algorithm.clone(),
+                    fault: "dyn-ring",
+                });
+            }
+        }
+        if self.crashes > 0 {
+            if self.crashes >= self.k as u64 {
+                return Err(ScenarioError::BadSpec {
+                    reason: format!(
+                        "crash{} leaves no survivor among k = {} agents (need crashes < k)",
+                        self.crashes, self.k
+                    ),
+                });
+            }
+            if !factory.supports_crash() {
+                return Err(ScenarioError::FaultUnsupported {
+                    algorithm: self.algorithm.clone(),
+                    fault: "crash",
+                });
+            }
+        }
+        // Distance-d dispersion needs room: on a ring of n nodes the k
+        // settled agents occupy k disjoint arcs of ≥ d nodes each.
+        if self.min_distance >= 2 && matches!(self.family, GraphFamily::Ring) {
+            let n_target = ((self.k as f64 / self.occupancy).ceil() as usize).max(self.k);
+            if (self.k as u64).saturating_mul(self.min_distance) > n_target as u64 {
+                return Err(ScenarioError::BadSpec {
+                    reason: format!(
+                        "distance-{} dispersion of {} agents needs a ring of at least {} \
+                         nodes, but the instance has only {}",
+                        self.min_distance,
+                        self.k,
+                        (self.k as u64).saturating_mul(self.min_distance),
+                        n_target
+                    ),
+                });
+            }
+        }
         let declared = factory.default_params();
         for (key, value) in self.params.iter() {
             let default = declared
@@ -958,8 +1217,11 @@ impl ScenarioSpec {
         // realized instance happens again in [`Limits::resolve`].
         if self.placement.is_rooted() {
             let n_target = ((self.k as f64 / self.occupancy).ceil() as usize).max(self.k);
-            let lower =
+            let mut lower =
                 rooted_round_lower_bound(self.k, self.family.max_degree_upper_bound(n_target));
+            if self.dyn_ring.is_some() {
+                lower = lower.max(dyn_ring_round_lower_bound(self.k, self.min_distance));
+            }
             // Only the limit the scheduler actually consults is bounded
             // (SyncRunner reads max_rounds, AsyncRunner max_steps).
             let (key, given) = if self.schedule.is_async() {
@@ -1019,12 +1281,78 @@ impl ScenarioSpec {
 
     /// The resolved runner configuration for the realized `world`.
     pub fn run_config(&self, world: &World) -> RunConfig {
-        self.limits.resolve(
+        self.limits.resolve_with_faults(
             world.num_agents(),
             world.graph().num_edges(),
             world.graph().max_degree(),
             self.schedule,
+            self.dyn_ring,
+            self.crashes,
         )
+    }
+
+    /// The scenario's fault plans under `seed` for a `k`-agent world:
+    /// the dynamic-edge adversary and the crash plan, each `None` when the
+    /// spec does not ask for that fault dimension. Crash times are drawn
+    /// from a horizon scaled to the instance (`2k` rounds under SYNC, `4k`
+    /// steps under ASYNC) so every crash lands while the run is still in
+    /// flight. Exposed so out-of-band harnesses can replay exactly the
+    /// faults a [`ScenarioSpec::run`] of the same seed injects.
+    pub fn build_faults(
+        &self,
+        k: usize,
+        seed: u64,
+    ) -> (Option<DynamicAdversary>, Option<CrashPlan>) {
+        let dynamics = self.dyn_ring.map(|rate| {
+            // Rates above u32::MAX are senseless (no graph has that
+            // many edges down at once); saturate rather than panic.
+            let rate = u32::try_from(rate).unwrap_or(u32::MAX);
+            DynamicAdversary::new(mix(&[seed, SEED_DYNAMICS]), rate)
+        });
+        let crashes = (self.crashes > 0).then(|| {
+            let f = (self.crashes as usize).min(k.saturating_sub(1));
+            let horizon = if self.schedule.is_async() {
+                (4 * k as u64).max(32)
+            } else {
+                (2 * k as u64).max(16)
+            };
+            CrashPlan::new(mix(&[seed, SEED_CRASH]), k, f, horizon)
+        });
+        (dynamics, crashes)
+    }
+
+    /// Drive a prepared world/protocol pair to completion under this
+    /// spec's schedule and fault plans.
+    fn execute(
+        &self,
+        world: &mut World,
+        protocol: &mut dyn AgentProtocol,
+        seed: u64,
+    ) -> Result<Outcome, RunError> {
+        let config = self.run_config(world);
+        let (dynamics, crashes) = self.build_faults(world.num_agents(), seed);
+        match self.build_adversary(world.num_agents(), seed) {
+            None => {
+                let mut runner = SyncRunner::new(config);
+                if let Some(d) = dynamics {
+                    runner = runner.with_dynamics(d);
+                }
+                if let Some(c) = crashes {
+                    runner = runner.with_crashes(c);
+                }
+                runner.run(world, protocol)
+            }
+            Some(adversary) => {
+                let mut runner = AsyncRunner::new(config, adversary);
+                if let Some(d) = dynamics {
+                    runner = runner.with_dynamics(d);
+                }
+                if let Some(c) = crashes {
+                    runner = runner.with_crashes(c);
+                }
+                runner.run(world, protocol)
+            }
+        }
     }
 
     /// Execute the scenario under `seed`. The seed fully determines the run:
@@ -1032,17 +1360,11 @@ impl ScenarioSpec {
     /// randomness all derive from it through fixed sub-seed tags.
     pub fn run(&self, registry: &Registry, seed: u64) -> Result<ScenarioReport, ScenarioError> {
         let (mut world, mut protocol) = self.build(registry, seed)?;
-        let config = self.run_config(&world);
-        let outcome = match self.build_adversary(world.num_agents(), seed) {
-            None => SyncRunner::new(config).run(&mut world, protocol.as_mut())?,
-            Some(adversary) => {
-                AsyncRunner::new(config, adversary).run(&mut world, protocol.as_mut())?
-            }
-        };
+        let outcome = self.execute(&mut world, protocol.as_mut(), seed)?;
         Ok(ScenarioReport {
             scenario: self.label(),
             outcome,
-            dispersed: verify::is_dispersed(&world),
+            dispersed: verify::is_dispersed_at(&world, self.min_distance),
         })
     }
 
@@ -1060,17 +1382,11 @@ impl ScenarioSpec {
     ) -> Result<(ScenarioReport, disp_sim::Trace), ScenarioError> {
         let (mut world, mut protocol) = self.build(registry, seed)?;
         world.enable_trace_with_cap(cap);
-        let config = self.run_config(&world);
-        let outcome = match self.build_adversary(world.num_agents(), seed) {
-            None => SyncRunner::new(config).run(&mut world, protocol.as_mut())?,
-            Some(adversary) => {
-                AsyncRunner::new(config, adversary).run(&mut world, protocol.as_mut())?
-            }
-        };
+        let outcome = self.execute(&mut world, protocol.as_mut(), seed)?;
         let report = ScenarioReport {
             scenario: self.label(),
             outcome,
-            dispersed: verify::is_dispersed(&world),
+            dispersed: verify::is_dispersed_at(&world, self.min_distance),
         };
         Ok((report, world.take_trace()))
     }
@@ -1123,8 +1439,8 @@ pub fn grammar_help(registry: &Registry) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     out.push_str("Canonical scenario-label grammar (DESIGN.md §7):\n\n");
-    out.push_str("  family/k<K>[/occ<F>]/placement/schedule/algorithm[/key=value...]\n");
-    out.push_str("        [/rounds<N>][/steps<N>]\n\n");
+    out.push_str("  family/k<K>[/occ<F>]/placement/schedule[/dyn-ring<R>][/crash<F>]\n");
+    out.push_str("        /algorithm[/key=value...][/dist<D>][/rounds<N>][/steps<N>]\n\n");
     let families: Vec<String> = GraphFamily::all().iter().map(GraphFamily::label).collect();
     let _ = writeln!(out, "families   : {}", families.join(", "));
     let placements: Vec<String> = Placement::all().iter().map(Placement::label).collect();
@@ -1151,8 +1467,18 @@ pub fn grammar_help(registry: &Registry) -> String {
     out.push_str("                unsettled agents: DFS driver, cohort, probers) fires only\n");
     out.push_str("                every L-th step; everyone else fires every step\n");
     let _ = writeln!(out, "algorithms : {}", registry.labels().join(", "));
+    out.push_str("  dyn-ringR : dynamic-graph adversary — R seeded ring edges removed per\n");
+    out.push_str("              round, restored the next round (ring family only; the\n");
+    out.push_str("              algorithm must declare dynamic support)\n");
+    out.push_str("  crashF    : F agents crash at seeded times (crash-tolerant algorithms\n");
+    out.push_str("              only; F < k)\n");
+    out.push_str("  distD     : termination requires pairwise settled distance >= D\n");
+    out.push_str("              (D >= 2; verified by multi-source BFS on the base graph)\n");
     out.push_str("\nexample    : er6/k64/scatter/async-rand0.7/ks-dfs\n");
     out.push_str("example    : line/k100000/rooted/async-target4/probe-dfs\n");
+    out.push_str("example    : ring/k24/rooted/sync/dyn-ring1/probe-dfs\n");
+    out.push_str("example    : ring/k16/occ0.5/scatter/sync/crash3/random-walk\n");
+    out.push_str("example    : ring/k12/occ0.25/rooted/sync/probe-dfs/dist2\n");
     out
 }
 
@@ -1170,9 +1496,12 @@ mod tests {
         for needle in [
             "family/k<K>",
             "async-target",
-            "ks-dfs, probe-dfs, sync-seeker",
+            "ks-dfs, probe-dfs, sync-seeker, random-walk",
             "rooted",
             "scatter",
+            "dyn-ring",
+            "crash",
+            "dist",
         ] {
             assert!(help.contains(needle), "grammar help misses '{needle}'");
         }
@@ -1263,6 +1592,20 @@ mod tests {
             spec.label(),
             "star/k96/occ0.5/rooted/sync/sync-seeker/probers=32/wait=6/rounds10000"
         );
+        let spec = ScenarioSpec::new(GraphFamily::Ring, 24, "probe-dfs").with_dynamic_ring(1);
+        assert_eq!(spec.label(), "ring/k24/rooted/sync/dyn-ring1/probe-dfs");
+        let spec = ScenarioSpec::new(GraphFamily::Ring, 16, "random-walk")
+            .with_occupancy(0.5)
+            .with_placement(Placement::ScatteredUniform)
+            .with_crashes(3);
+        assert_eq!(
+            spec.label(),
+            "ring/k16/occ0.5/scatter/sync/crash3/random-walk"
+        );
+        let spec = ScenarioSpec::new(GraphFamily::Ring, 12, "probe-dfs")
+            .with_occupancy(0.25)
+            .with_min_distance(2);
+        assert_eq!(spec.label(), "ring/k12/occ0.25/rooted/sync/probe-dfs/dist2");
     }
 
     #[test]
@@ -1279,6 +1622,18 @@ mod tests {
                     max_rounds: Some(9),
                     max_steps: Some(11),
                 }),
+            ScenarioSpec::new(GraphFamily::Ring, 24, "probe-dfs")
+                .with_dynamic_ring(2)
+                .with_crashes(3)
+                .with_min_distance(4)
+                .with_limits(Limits {
+                    max_rounds: Some(100_000),
+                    max_steps: None,
+                }),
+            ScenarioSpec::new(GraphFamily::Ring, 16, "random-walk")
+                .with_placement(Placement::ScatteredUniform)
+                .with_occupancy(0.5)
+                .with_crashes(1),
         ];
         for spec in specs {
             let label = spec.label();
@@ -1313,6 +1668,17 @@ mod tests {
             "rtree/k8/rooted/async-lag04/ks-dfs",
             "rtree/k8/rooted/sync/ks-dfs/rounds07",
             "rtree/k8/rooted/sync/ks-dfs/steps+5",
+            "ring/k8/rooted/sync/dyn-ring0/probe-dfs",
+            "ring/k8/rooted/sync/dyn-ring01/probe-dfs",
+            "ring/k8/rooted/sync/crash0/random-walk",
+            "ring/k8/rooted/sync/crash01/random-walk",
+            "ring/k8/rooted/sync/crash1/dyn-ring1/random-walk",
+            "ring/k8/rooted/sync/dyn-ring1/crash1",
+            "ring/k8/rooted/sync/probe-dfs/dist0",
+            "ring/k8/rooted/sync/probe-dfs/dist1",
+            "ring/k8/rooted/sync/probe-dfs/dist02",
+            "ring/k8/rooted/sync/probe-dfs/rounds5/dist2",
+            "ring/k8/rooted/sync/probe-dfs/dist2/a=1",
         ] {
             let err = ScenarioSpec::from_label(label).unwrap_err();
             assert!(
@@ -1364,6 +1730,76 @@ mod tests {
         let cluster1 = ScenarioSpec::new(GraphFamily::Line, 8, "probe-dfs")
             .with_placement(Placement::Clustered { clusters: 1 });
         cluster1.validate(&r).unwrap();
+    }
+
+    #[test]
+    fn fault_dimensions_validate_against_family_and_capabilities() {
+        let r = reg();
+        // dyn-ring demands the ring family …
+        let dyn_line = ScenarioSpec::new(GraphFamily::Line, 8, "probe-dfs").with_dynamic_ring(1);
+        assert!(matches!(
+            dyn_line.validate(&r),
+            Err(ScenarioError::BadSpec { .. })
+        ));
+        // … and an algorithm that declares dynamic support.
+        let dyn_ks = ScenarioSpec::new(GraphFamily::Ring, 8, "ks-dfs").with_dynamic_ring(1);
+        assert!(matches!(
+            dyn_ks.validate(&r),
+            Err(ScenarioError::FaultUnsupported {
+                fault: "dyn-ring",
+                ..
+            })
+        ));
+        ScenarioSpec::new(GraphFamily::Ring, 8, "probe-dfs")
+            .with_dynamic_ring(1)
+            .validate(&r)
+            .unwrap();
+        // Crashes demand a crash-tolerant algorithm …
+        let crash_probe = ScenarioSpec::new(GraphFamily::Ring, 8, "probe-dfs").with_crashes(2);
+        assert!(matches!(
+            crash_probe.validate(&r),
+            Err(ScenarioError::FaultUnsupported { fault: "crash", .. })
+        ));
+        // … and at least one survivor.
+        let all_dead = ScenarioSpec::new(GraphFamily::Ring, 8, "random-walk").with_crashes(8);
+        assert!(matches!(
+            all_dead.validate(&r),
+            Err(ScenarioError::BadSpec { .. })
+        ));
+        ScenarioSpec::new(GraphFamily::Ring, 8, "random-walk")
+            .with_crashes(7)
+            .validate(&r)
+            .unwrap();
+        // Distance-k dispersion must fit on the ring: k·d ≤ n.
+        let cramped = ScenarioSpec::new(GraphFamily::Ring, 8, "probe-dfs").with_min_distance(2);
+        assert!(matches!(
+            cramped.validate(&r),
+            Err(ScenarioError::BadSpec { .. })
+        ));
+        ScenarioSpec::new(GraphFamily::Ring, 8, "probe-dfs")
+            .with_min_distance(2)
+            .with_occupancy(0.5)
+            .validate(&r)
+            .unwrap();
+        // A user limit below the dynamic-ring frontier bound is typed.
+        let tight = ScenarioSpec::new(GraphFamily::Ring, 32, "probe-dfs")
+            .with_dynamic_ring(1)
+            .with_limits(Limits {
+                max_rounds: Some(20),
+                max_steps: None,
+            });
+        match tight.validate(&r) {
+            Err(ScenarioError::LimitTooLow {
+                key,
+                given,
+                lower_bound,
+            }) => {
+                assert_eq!(key, "rounds");
+                assert_eq!(given, 20);
+                assert_eq!(lower_bound, 31, "(k-1)·max(d,1) = 31 beats ⌈31/2⌉");
+            }
+            other => panic!("expected LimitTooLow, got {other:?}"),
+        }
     }
 
     #[test]
@@ -1549,10 +1985,84 @@ mod tests {
     #[test]
     fn registry_is_open_and_guards_duplicates() {
         let r = reg();
-        assert_eq!(r.labels(), vec!["ks-dfs", "probe-dfs", "sync-seeker"]);
+        assert_eq!(
+            r.labels(),
+            vec!["ks-dfs", "probe-dfs", "sync-seeker", "random-walk"]
+        );
         assert!(r.get("ks-dfs").is_some());
         assert!(r.get("nope").is_none());
         let result = std::panic::catch_unwind(|| Registry::builtin().with(KsDfsFactory));
         assert!(result.is_err(), "duplicate labels must be rejected");
+    }
+
+    #[test]
+    fn registry_rejects_reserved_grammar_tokens() {
+        struct Impostor;
+        impl AlgorithmFactory for Impostor {
+            fn label(&self) -> &'static str {
+                "crash2"
+            }
+            fn build(&self, world: &World, _: &Params, seed: u64) -> Box<dyn AgentProtocol> {
+                Box::new(KsDfs::with_seed(world, seed))
+            }
+        }
+        let result = std::panic::catch_unwind(|| Registry::empty().with(Impostor));
+        assert!(result.is_err(), "'crash2' would shadow the crash token");
+        // Non-digit suffixes are fine: 'crash-test' is a legal label shape.
+        assert!(!is_reserved_label("crash-test"));
+        assert!(!is_reserved_label("crash"));
+        assert!(is_reserved_label("dyn-ring12"));
+        assert!(is_reserved_label("dist3"));
+    }
+
+    #[test]
+    fn dynamic_ring_runs_disperse_and_are_deterministic() {
+        let r = reg();
+        let spec = ScenarioSpec::new(GraphFamily::Ring, 24, "probe-dfs").with_dynamic_ring(1);
+        let a = spec.run(&r, 5).unwrap();
+        let b = spec.run(&r, 5).unwrap();
+        assert!(a.dispersed, "probe-dfs must survive per-round edge churn");
+        assert!(a.outcome.terminated);
+        assert_eq!(a.outcome, b.outcome, "fault injection is seed-determined");
+        // The churn costs rounds relative to the static ring.
+        let static_spec = ScenarioSpec::new(GraphFamily::Ring, 24, "probe-dfs");
+        let s = static_spec.run(&r, 5).unwrap();
+        assert!(
+            a.outcome.rounds >= s.outcome.rounds,
+            "dynamic ({}) vs static ({})",
+            a.outcome.rounds,
+            s.outcome.rounds
+        );
+    }
+
+    #[test]
+    fn crash_runs_disperse_the_survivors() {
+        let r = reg();
+        let spec = ScenarioSpec::new(GraphFamily::Ring, 12, "random-walk")
+            .with_occupancy(0.5)
+            .with_placement(Placement::ScatteredUniform)
+            .with_crashes(3);
+        let a = spec.run(&r, 9).unwrap();
+        let b = spec.run(&r, 9).unwrap();
+        assert!(a.outcome.terminated);
+        assert!(a.dispersed, "survivors must still disperse");
+        assert_eq!(a.outcome, b.outcome);
+    }
+
+    #[test]
+    fn distance_k_scenarios_verify_with_the_stronger_predicate() {
+        let r = reg();
+        // occ0.25 → ring of 48 nodes for 12 agents: plain probe-dfs packs
+        // them contiguously, which can never satisfy dist2 — the report
+        // must come back undispersed rather than silently passing.
+        let spec = ScenarioSpec::new(GraphFamily::Ring, 12, "probe-dfs")
+            .with_occupancy(0.25)
+            .with_min_distance(2);
+        let report = spec.run(&r, 3).unwrap();
+        assert!(report.outcome.terminated);
+        assert!(
+            !report.dispersed,
+            "contiguous settlement cannot be distance-2 dispersed"
+        );
     }
 }

@@ -13,6 +13,18 @@ pub enum DispersionViolation {
         /// The agents on it.
         agents: Vec<AgentId>,
     },
+    /// Two settled agents are closer than the required pairwise distance
+    /// (the distance-k dispersion predicate of arXiv 2408.12220).
+    TooClose {
+        /// One endpoint of the closest pair.
+        a: AgentId,
+        /// The other endpoint.
+        b: AgentId,
+        /// Their distance in the base topology.
+        distance: u64,
+        /// The minimum the scenario demanded.
+        required: u64,
+    },
 }
 
 impl std::fmt::Display for DispersionViolation {
@@ -21,19 +33,50 @@ impl std::fmt::Display for DispersionViolation {
             DispersionViolation::Collision { node, agents } => {
                 write!(f, "node {node} hosts {} agents: {:?}", agents.len(), agents)
             }
+            DispersionViolation::TooClose {
+                a,
+                b,
+                distance,
+                required,
+            } => write!(
+                f,
+                "agents {a} and {b} are at distance {distance} < required {required}"
+            ),
         }
     }
 }
 
 impl std::error::Error for DispersionViolation {}
 
-/// Check that the world is in a *dispersion configuration*: every agent is on
-/// a distinct node.
+/// Whether `agent` counts for the dispersion predicate. Crashed agents
+/// normally do not (their corpse frees the node). Under the
+/// `inject-orphan` test-of-the-test feature they *do* keep counting — the
+/// deliberate bug the invariant harness must catch when a survivor
+/// re-settles the orphaned node.
+fn counts(world: &World, agent: AgentId) -> bool {
+    #[cfg(feature = "inject-orphan")]
+    {
+        let _ = (world, agent);
+        true
+    }
+    #[cfg(not(feature = "inject-orphan"))]
+    {
+        !world.is_dead(agent)
+    }
+}
+
+/// Check that the world is in a *dispersion configuration*: every surviving
+/// agent is on a distinct node (crashed agents are ghosts — their last node
+/// counts as free).
 ///
 /// Runs in `O(k log k)` time and `O(k)` memory (a sort, no hash map), so it
 /// is cheap enough to call after every million-agent campaign trial.
 pub fn check_dispersion(world: &World) -> Result<(), DispersionViolation> {
-    let mut sorted = world.snapshot_positions();
+    let mut sorted: Vec<NodeId> = (0..world.num_agents() as u32)
+        .map(AgentId)
+        .filter(|&a| counts(world, a))
+        .map(|a| world.position(a))
+        .collect();
     sorted.sort_unstable();
     let Some(window) = sorted.windows(2).find(|w| w[0] == w[1]) else {
         return Ok(());
@@ -42,14 +85,109 @@ pub fn check_dispersion(world: &World) -> Result<(), DispersionViolation> {
     let node = window[0];
     let agents: Vec<AgentId> = (0..world.num_agents() as u32)
         .map(AgentId)
-        .filter(|&a| world.position(a) == node)
+        .filter(|&a| counts(world, a) && world.position(a) == node)
         .collect();
     Err(DispersionViolation::Collision { node, agents })
 }
 
-/// `true` iff every agent is on a distinct node.
+/// `true` iff every surviving agent is on a distinct node.
 pub fn is_dispersed(world: &World) -> bool {
     check_dispersion(world).is_ok()
+}
+
+/// Check the **distance-k dispersion** predicate: surviving agents sit on
+/// distinct nodes *and* every pair is at base-topology distance
+/// `≥ min_distance`. `min_distance ≤ 1` degenerates to the plain
+/// [`check_dispersion`] sort (no BFS is run).
+///
+/// Distances are measured in the *base* topology (not the current live
+/// world): the dynamic adversary's missing edge changes every round, so the
+/// stable base metric is the meaningful one — and it is also the stricter
+/// reading, since removing edges only ever lengthens distances.
+///
+/// The pairwise check is one multi-source BFS with nearest-source labels
+/// (`O(n + m)` time, `O(n)` memory): the closest pair of sources realizes
+/// its distance as `dist[u] + dist[v] + 1` over some edge `(u, v)` whose
+/// endpoints are claimed by different sources.
+pub fn check_dispersion_at(world: &World, min_distance: u64) -> Result<(), DispersionViolation> {
+    check_dispersion(world)?;
+    if min_distance <= 1 {
+        return Ok(());
+    }
+    let Some((a, b, distance)) = closest_settled_pair(world) else {
+        return Ok(()); // fewer than two counted agents
+    };
+    if distance < min_distance {
+        return Err(DispersionViolation::TooClose {
+            a,
+            b,
+            distance,
+            required: min_distance,
+        });
+    }
+    Ok(())
+}
+
+/// `true` iff the world satisfies distance-`min_distance` dispersion.
+pub fn is_dispersed_at(world: &World, min_distance: u64) -> bool {
+    check_dispersion_at(world, min_distance).is_ok()
+}
+
+/// The closest pair of counted agents and their base-topology distance, or
+/// `None` with fewer than two counted agents. Assumes distinct positions
+/// (call after [`check_dispersion`]).
+fn closest_settled_pair(world: &World) -> Option<(AgentId, AgentId, u64)> {
+    let topo = world.graph();
+    let n = topo.num_nodes();
+    const UNSEEN: u32 = u32::MAX;
+    let mut dist: Vec<u64> = vec![u64::MAX; n];
+    let mut label: Vec<u32> = vec![UNSEEN; n];
+    let mut queue: std::collections::VecDeque<NodeId> = std::collections::VecDeque::new();
+    let mut sources = 0u32;
+    for i in 0..world.num_agents() as u32 {
+        let agent = AgentId(i);
+        if !counts(world, agent) {
+            continue;
+        }
+        let v = world.position(agent);
+        dist[v.index()] = 0;
+        label[v.index()] = i;
+        queue.push_back(v);
+        sources += 1;
+    }
+    if sources < 2 {
+        return None;
+    }
+    while let Some(v) = queue.pop_front() {
+        for p in topo.ports(v) {
+            let (u, _) = topo.traverse(v, p);
+            if label[u.index()] == UNSEEN {
+                dist[u.index()] = dist[v.index()] + 1;
+                label[u.index()] = label[v.index()];
+                queue.push_back(u);
+            }
+        }
+    }
+    // The closest source pair is realized across some edge whose endpoints
+    // belong to different BFS regions.
+    let mut best: Option<(AgentId, AgentId, u64)> = None;
+    for v in topo.nodes() {
+        for p in topo.ports(v) {
+            let (u, _) = topo.traverse(v, p);
+            if label[v.index()] == label[u.index()] {
+                continue;
+            }
+            let d = dist[v.index()] + dist[u.index()] + 1;
+            if best.is_none_or(|(_, _, cur)| d < cur) {
+                let (mut a, mut b) = (label[v.index()], label[u.index()]);
+                if a > b {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                best = Some((AgentId(a), AgentId(b), d));
+            }
+        }
+    }
+    best
 }
 
 /// Convenience assertions about the measured complexity of an [`Outcome`],
@@ -109,8 +247,79 @@ mod tests {
                 assert_eq!(node, NodeId(1));
                 assert_eq!(agents, vec![AgentId(0), AgentId(2)]);
             }
+            other => panic!("expected Collision, got {other:?}"),
         }
         assert!(!is_dispersed(&w));
+    }
+
+    #[test]
+    fn crashed_agents_free_their_nodes() {
+        let g = generators::line(5);
+        let mut w = World::new(g, vec![NodeId(1), NodeId(3), NodeId(1)]);
+        // Agents 0 and 2 collide on node 1 — until one of them crashes.
+        assert!(!is_dispersed(&w));
+        w.crash(AgentId(2));
+        #[cfg(not(feature = "inject-orphan"))]
+        assert!(is_dispersed(&w), "the corpse must not count");
+        #[cfg(feature = "inject-orphan")]
+        assert!(!is_dispersed(&w), "inject-orphan keeps counting the corpse");
+    }
+
+    #[test]
+    fn distance_k_accepts_spaced_and_rejects_adjacent_pairs() {
+        let g = generators::ring(12);
+        // Distance-3 spacing: 0, 3, 6, 9.
+        let w = World::new(g.clone(), vec![NodeId(0), NodeId(3), NodeId(6), NodeId(9)]);
+        assert!(is_dispersed_at(&w, 1));
+        assert!(is_dispersed_at(&w, 2));
+        assert!(is_dispersed_at(&w, 3));
+        assert!(!is_dispersed_at(&w, 4));
+        // Puncture the spacing: move one agent next to another.
+        let w = World::new(g, vec![NodeId(0), NodeId(1), NodeId(6), NodeId(9)]);
+        let err = check_dispersion_at(&w, 2).unwrap_err();
+        match err {
+            DispersionViolation::TooClose {
+                a,
+                b,
+                distance,
+                required,
+            } => {
+                assert_eq!((a, b), (AgentId(0), AgentId(1)));
+                assert_eq!(distance, 1);
+                assert_eq!(required, 2);
+            }
+            other => panic!("expected TooClose, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn distance_k_wraps_around_the_ring() {
+        // 0 and 10 look far apart by index but are 2 apart around the seam.
+        let g = generators::ring(12);
+        let w = World::new(g, vec![NodeId(0), NodeId(10)]);
+        assert!(is_dispersed_at(&w, 2));
+        assert!(!is_dispersed_at(&w, 3));
+    }
+
+    #[test]
+    fn distance_k_collisions_still_report_as_collisions() {
+        let g = generators::ring(8);
+        let w = World::new(g, vec![NodeId(2), NodeId(2)]);
+        assert!(matches!(
+            check_dispersion_at(&w, 3),
+            Err(DispersionViolation::Collision { .. })
+        ));
+    }
+
+    #[test]
+    fn distance_k_degenerates_gracefully() {
+        let g = generators::ring(8);
+        // A single agent satisfies any distance requirement.
+        let w = World::new(g.clone(), vec![NodeId(5)]);
+        assert!(is_dispersed_at(&w, 100));
+        // d = 1 is exactly plain dispersion (no BFS).
+        let w = World::new(g, vec![NodeId(0), NodeId(1)]);
+        assert!(is_dispersed_at(&w, 1));
     }
 
     #[test]

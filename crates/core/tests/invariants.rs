@@ -11,15 +11,17 @@
 //! activated agent's node each step observes every way a collision can come
 //! into existence.
 //!
-//! The test-of-the-test lives behind the `inject-collision` feature (see
-//! `Cargo.toml`): with it enabled, `probe-dfs` deliberately settles a second
-//! agent on an occupied node and the harness must panic at that step. CI
-//! runs `cargo test -p disp-core --features inject-collision --test
-//! invariants` to prove the oracle has teeth.
+//! Two test-of-the-test hooks prove the oracle has teeth (see `Cargo.toml`):
+//! with `inject-collision`, `probe-dfs` deliberately settles a second agent
+//! on an occupied node and the harness must panic at that step; with
+//! `inject-orphan`, the verifier keeps counting crashed agents' positions
+//! and the harness must flag the survivor that re-settles an orphaned node.
+//! CI runs `cargo test -p disp-core --features <hook> --test invariants`
+//! for both.
 
-use disp_core::extras::random_walk::RandomWalkFactory;
+use disp_core::extras::spacer::SpacerFactory;
 use disp_core::scenario::{Registry, ScenarioSpec, Schedule};
-use disp_core::verify::{check_dispersion, envelope};
+use disp_core::verify::{check_dispersion, check_dispersion_at, envelope};
 use disp_graph::generators::GraphFamily;
 use disp_rng::mix;
 use disp_sim::{
@@ -53,6 +55,12 @@ impl AgentProtocol for InvariantChecked {
         self.checks += 1;
     }
 
+    fn on_crash(&mut self, agent: AgentId) {
+        // Forward faults: the inner protocol must retract the corpse's
+        // claims or termination never comes.
+        self.inner.on_crash(agent);
+    }
+
     fn is_terminated(&self) -> bool {
         self.inner.is_terminated()
     }
@@ -70,8 +78,11 @@ impl AgentProtocol for InvariantChecked {
     }
 }
 
+// `random-walk` is builtin now; `spacer` rides along for the fault-world
+// grid (it is ring-only, so `grid_specs` never selects it — its specs are
+// added explicitly below).
 fn registry() -> Registry {
-    Registry::builtin().with(RandomWalkFactory)
+    Registry::builtin().with(SpacerFactory)
 }
 
 /// Run `spec` under `seed` with the every-step checker attached. Built
@@ -83,13 +94,32 @@ fn run_checked(spec: &ScenarioSpec, registry: &Registry, seed: u64) -> (Outcome,
     let (mut world, inner) = spec.build(registry, seed).expect("grid specs are valid");
     let mut protocol = InvariantChecked { inner, checks: 0 };
     let config = spec.run_config(&world);
+    let (dynamics, crashes) = spec.build_faults(world.num_agents(), seed);
     let outcome = match spec.build_adversary(world.num_agents(), seed) {
-        None => SyncRunner::new(config)
-            .run(&mut world, &mut protocol)
-            .expect("grid runs must terminate"),
-        Some(adversary) => AsyncRunner::new(config, adversary)
-            .run(&mut world, &mut protocol)
-            .expect("grid runs must terminate"),
+        None => {
+            let mut runner = SyncRunner::new(config);
+            if let Some(d) = dynamics {
+                runner = runner.with_dynamics(d);
+            }
+            if let Some(c) = crashes {
+                runner = runner.with_crashes(c);
+            }
+            runner
+                .run(&mut world, &mut protocol)
+                .expect("grid runs must terminate")
+        }
+        Some(adversary) => {
+            let mut runner = AsyncRunner::new(config, adversary);
+            if let Some(d) = dynamics {
+                runner = runner.with_dynamics(d);
+            }
+            if let Some(c) = crashes {
+                runner = runner.with_crashes(c);
+            }
+            runner
+                .run(&mut world, &mut protocol)
+                .expect("grid runs must terminate")
+        }
     };
     (outcome, world, protocol.checks)
 }
@@ -118,6 +148,12 @@ fn grid_specs() -> Vec<ScenarioSpec> {
     let mut specs = Vec::new();
     for family in families {
         for algorithm in registry.labels() {
+            // spacer is ring-only — enforced by construction-time asserts,
+            // not `validate` — and the grid has no ring family; its specs
+            // live in `fault_world_specs`.
+            if algorithm == "spacer" {
+                continue;
+            }
             for &placement in &placements {
                 for schedule in schedules {
                     let mut spec = ScenarioSpec::new(family, 18, algorithm)
@@ -134,6 +170,58 @@ fn grid_specs() -> Vec<ScenarioSpec> {
             }
         }
     }
+    specs
+}
+
+/// Fault-world scenarios: the dynamic-ring adversary, crash plans, and the
+/// distance-k predicate, across the schedule families. Kept separate from
+/// [`grid_specs`] because faults are ring-only and stretch run time past
+/// the paper's fault-free envelopes.
+fn fault_world_specs() -> Vec<ScenarioSpec> {
+    let registry = registry();
+    let schedules = [
+        Schedule::Sync,
+        Schedule::AsyncRoundRobin,
+        Schedule::AsyncRandom { prob: 0.6, seed: 0 },
+        Schedule::AsyncLagging {
+            max_lag: 3,
+            seed: 0,
+        },
+    ];
+    let mut specs = Vec::new();
+    for schedule in schedules {
+        // One ring edge down per round, restored the next (arXiv 2408.12220).
+        specs.push(
+            ScenarioSpec::new(GraphFamily::Ring, 18, "probe-dfs")
+                .with_schedule(schedule)
+                .with_dynamic_ring(1),
+        );
+        // Crash faults from a scattered start: orphaned nodes re-settle.
+        specs.push(
+            ScenarioSpec::new(GraphFamily::Ring, 18, "random-walk")
+                .with_placement(Placement::ScatteredUniform)
+                .with_occupancy(0.5)
+                .with_schedule(schedule)
+                .with_crashes(4),
+        );
+        // Edge churn and crashes at once.
+        specs.push(
+            ScenarioSpec::new(GraphFamily::Ring, 18, "random-walk")
+                .with_occupancy(0.5)
+                .with_schedule(schedule)
+                .with_dynamic_ring(1)
+                .with_crashes(3),
+        );
+        // Distance-2 dispersion under churn (spacer is the positive oracle).
+        specs.push(
+            ScenarioSpec::new(GraphFamily::Ring, 12, "spacer")
+                .with_occupancy(0.25)
+                .with_schedule(schedule)
+                .with_dynamic_ring(1)
+                .with_min_distance(2),
+        );
+    }
+    specs.retain(|s| s.validate(&registry).is_ok());
     specs
 }
 
@@ -160,7 +248,7 @@ fn check_envelopes(spec: &ScenarioSpec, outcome: &Outcome) {
     }
 }
 
-#[cfg(not(feature = "inject-collision"))]
+#[cfg(not(any(feature = "inject-collision", feature = "inject-orphan")))]
 #[test]
 fn every_algorithm_placement_schedule_combination_holds_the_invariant() {
     let registry = registry();
@@ -186,7 +274,46 @@ fn every_algorithm_placement_schedule_combination_holds_the_invariant() {
     );
 }
 
-#[cfg(not(feature = "inject-collision"))]
+#[cfg(not(any(feature = "inject-collision", feature = "inject-orphan")))]
+#[test]
+fn fault_worlds_hold_the_invariant_and_disperse() {
+    let registry = registry();
+    let specs = fault_world_specs();
+    assert!(specs.len() >= 16, "fault grid too small: {}", specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        for rep in 0..2u64 {
+            let seed = mix(&[0xFA17_C0DE, i as u64, rep]);
+            let (outcome, world, checks) = run_checked(spec, &registry, seed);
+            assert!(outcome.terminated, "{spec} seed {seed}");
+            check_dispersion_at(&world, spec.min_distance).unwrap_or_else(|v| {
+                panic!("{spec} seed {seed}: final fault-world config invalid: {v}")
+            });
+            // Fault worlds still satisfy the memory envelope; the time
+            // envelopes do not apply (the adversary stretches runs at will).
+            assert!(
+                envelope::memory_logarithmic(&outcome, 36.0),
+                "{spec}: peak {} bits is not O(log(k+Δ))",
+                outcome.peak_memory_bits
+            );
+            assert!(checks > 0, "{spec}: the step hook never fired");
+        }
+    }
+}
+
+#[cfg(not(any(feature = "inject-collision", feature = "inject-orphan")))]
+#[test]
+fn fault_worlds_are_seed_deterministic() {
+    // Same spec + same seed must reproduce the exact outcome even with the
+    // adversary flipping edges and the crash plan killing agents mid-run.
+    let registry = registry();
+    for spec in fault_world_specs().iter().take(4) {
+        let (a, _, _) = run_checked(spec, &registry, 0xD1E5);
+        let (b, _, _) = run_checked(spec, &registry, 0xD1E5);
+        assert_eq!(a, b, "{spec}: fault injection must be seed-determined");
+    }
+}
+
+#[cfg(not(any(feature = "inject-collision", feature = "inject-orphan")))]
 #[test]
 fn worklist_parking_is_observably_equivalent_to_full_scans() {
     // The flat engine credits parked agents instead of activating them;
@@ -227,4 +354,35 @@ fn harness_catches_the_injected_collision() {
         message.contains("settled agents share node"),
         "unexpected panic message: {message}"
     );
+}
+
+/// The crash-side test-of-the-test: with `inject-orphan` enabled, the
+/// verifier keeps counting crashed agents' final positions, so a survivor
+/// re-settling an orphaned node must surface as a collision.
+#[cfg(feature = "inject-orphan")]
+#[test]
+fn harness_catches_the_orphaned_resettlement() {
+    let registry = registry();
+    // A full ring (k = n) with four crashes: the survivors have to reuse
+    // corpse nodes, so the orphan-counting verifier must object. The seed
+    // pins a run where that reuse happens.
+    let spec = ScenarioSpec::new(GraphFamily::Ring, 12, "random-walk")
+        .with_placement(Placement::ScatteredUniform)
+        .with_occupancy(1.0)
+        .with_crashes(4);
+    let (outcome, world, _) = run_checked(&spec, &registry, 3);
+    assert!(outcome.terminated);
+    let err =
+        check_dispersion(&world).expect_err("inject-orphan must flag the re-settled corpse node");
+    assert!(
+        matches!(
+            err,
+            disp_core::verify::DispersionViolation::Collision { .. }
+        ),
+        "expected an orphan collision, got: {err}"
+    );
+    // The same configuration is legal once corpses stop counting, which is
+    // exactly what the injected bug suppresses — checked from the other
+    // side by `fault_worlds_hold_the_invariant_and_disperse`.
+    let _ = check_dispersion_at(&world, spec.min_distance);
 }

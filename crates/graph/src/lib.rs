@@ -20,6 +20,9 @@
 //!   literature and by the reproduction harness: lines, rings, stars, trees,
 //!   grids, tori, hypercubes, random regular graphs, connected Erdős–Rényi
 //!   graphs, complete graphs, barbells, lollipops.
+//! * [`liveness`] — the [`EdgeLiveness`] overlay for dynamic worlds: O(1)
+//!   per-edge kill/revive with live-degree counters, base port numbering
+//!   preserved.
 //! * [`properties`] — degrees, BFS distances, eccentricity, diameter,
 //!   connectivity.
 //! * [`validate`] — the structural invariants of the model, including the
@@ -51,6 +54,7 @@ pub mod dot;
 pub mod generators;
 pub mod graph;
 pub mod ids;
+pub mod liveness;
 pub mod properties;
 pub mod topology;
 pub mod validate;
@@ -58,6 +62,7 @@ pub mod validate;
 pub use builder::GraphBuilder;
 pub use graph::PortGraph;
 pub use ids::{NodeId, Port};
+pub use liveness::EdgeLiveness;
 pub use topology::Topology;
 
 /// Convenient glob import for downstream crates.
@@ -66,6 +71,7 @@ pub mod prelude {
     pub use crate::generators;
     pub use crate::graph::PortGraph;
     pub use crate::ids::{NodeId, Port};
+    pub use crate::liveness::EdgeLiveness;
     pub use crate::properties;
     pub use crate::topology::Topology;
     pub use crate::validate;

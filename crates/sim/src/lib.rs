@@ -29,6 +29,9 @@
 //!   the two schedulers, producing an [`Outcome`] (rounds, epochs, moves,
 //!   peak per-agent memory bits).
 //! * [`adversary`] — pluggable ASYNC activation adversaries.
+//! * [`fault`] — deterministic fault plans: the [`DynamicAdversary`]
+//!   (one seeded edge removed per round, the arXiv 2408.12220 dynamic-ring
+//!   model) and the [`CrashPlan`] crash-fault schedule.
 //! * [`trip`] — a small reusable "itinerary" helper for the round-trip /
 //!   oscillation movement patterns that dispersion algorithms use heavily.
 //! * [`bits`] — helpers for accounting persistent agent memory in bits.
@@ -66,6 +69,7 @@
 pub mod adversary;
 pub mod bits;
 pub mod clock;
+pub mod fault;
 pub mod ids;
 pub mod metrics;
 pub mod placement;
@@ -80,6 +84,7 @@ pub use adversary::{
     RoundRobinAdversary, StepView, TargetedAdversary,
 };
 pub use clock::Clock;
+pub use fault::{CrashPlan, DynamicAdversary};
 pub use ids::AgentId;
 pub use metrics::{Metrics, Outcome};
 pub use placement::Placement;
@@ -87,7 +92,7 @@ pub use protocol::AgentProtocol;
 pub use runner::{AsyncRunner, RunConfig, RunError, SyncRunner};
 pub use trace::{Trace, TraceEvent, DEFAULT_TRACE_CAP};
 pub use trip::{Trip, TripProgress, TripStatus, TripStep};
-pub use world::{ActivationCtx, World};
+pub use world::{ActivationCtx, MoveError, World};
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {
@@ -96,11 +101,12 @@ pub mod prelude {
         RoundRobinAdversary, StepView, TargetedAdversary,
     };
     pub use crate::bits;
+    pub use crate::fault::{CrashPlan, DynamicAdversary};
     pub use crate::ids::AgentId;
     pub use crate::metrics::{Metrics, Outcome};
     pub use crate::placement::Placement;
     pub use crate::protocol::AgentProtocol;
     pub use crate::runner::{AsyncRunner, RunConfig, RunError, SyncRunner};
     pub use crate::trip::{Trip, TripProgress, TripStatus, TripStep};
-    pub use crate::world::{ActivationCtx, World};
+    pub use crate::world::{ActivationCtx, MoveError, World};
 }

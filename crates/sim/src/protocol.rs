@@ -29,6 +29,14 @@ pub trait AgentProtocol {
         false
     }
 
+    /// Notification that `agent` crashed (crash-fault adversary). Called by
+    /// the runners *after* the world has removed the agent, so the protocol
+    /// can retract any claims the corpse held (e.g. un-count a settled node
+    /// so survivors may re-settle it). Crash-tolerant protocols override
+    /// this; the default ignores the fault, which is correct for protocols
+    /// only ever run in fault-free worlds.
+    fn on_crash(&mut self, _agent: AgentId) {}
+
     /// Persistent memory of `agent` in bits, counted as the paper counts it:
     /// the number of bits stored at the agent *between* CCM cycles (temporary
     /// compute-phase memory is free).

@@ -11,6 +11,7 @@
 
 use crate::adversary::{Adversary, StepView};
 use crate::clock::Clock;
+use crate::fault::{CrashPlan, DynamicAdversary};
 use crate::ids::AgentId;
 use crate::metrics::Outcome;
 use crate::protocol::AgentProtocol;
@@ -145,12 +146,34 @@ fn build_outcome(world: &World, clock: &Clock, terminated: bool) -> Outcome {
 #[derive(Debug, Clone, Default)]
 pub struct SyncRunner {
     config: RunConfig,
+    dynamics: Option<DynamicAdversary>,
+    crashes: Option<CrashPlan>,
 }
 
 impl SyncRunner {
     /// A runner with the given configuration.
     pub fn new(config: RunConfig) -> Self {
-        SyncRunner { config }
+        SyncRunner {
+            config,
+            dynamics: None,
+            crashes: None,
+        }
+    }
+
+    /// Attach a dynamic-graph adversary: it advances at every round
+    /// boundary (the previous round's removed edges come back, the next
+    /// seeded batch goes down) before any agent of the round activates.
+    pub fn with_dynamics(mut self, dynamics: DynamicAdversary) -> Self {
+        self.dynamics = Some(dynamics);
+        self
+    }
+
+    /// Attach a crash plan: due victims crash at the round boundary, before
+    /// the round's worklist snapshot, and the protocol is notified via
+    /// [`AgentProtocol::on_crash`].
+    pub fn with_crashes(mut self, crashes: CrashPlan) -> Self {
+        self.crashes = Some(crashes);
+        self
     }
 
     /// Run `protocol` on `world` until it terminates or the round limit is
@@ -164,6 +187,9 @@ impl SyncRunner {
         let mut clock = Clock::new(k);
         let mut queue: Vec<AgentId> = Vec::new();
         let mut transitions: Vec<(AgentId, bool)> = Vec::new();
+        // Fault plans are cloned so the runner stays reusable (`&self`).
+        let mut dynamics = self.dynamics.clone();
+        let mut crashes = self.crashes.clone();
         sample_memory(world, protocol);
         while !protocol.is_terminated() {
             if clock.rounds() >= self.config.max_rounds || world.active_count() == 0 {
@@ -173,6 +199,24 @@ impl SyncRunner {
                 });
             }
             let now = clock.rounds();
+            // Round boundary: the world changes before any agent acts.
+            if let Some(dynamics) = dynamics.as_mut() {
+                dynamics.advance(world);
+            }
+            if let Some(crashes) = crashes.as_mut() {
+                let mut any = false;
+                while let Some(victim) = crashes.next_due(now) {
+                    world.crash(victim);
+                    protocol.on_crash(victim);
+                    any = true;
+                }
+                if any {
+                    // Crash-induced parks/wakes are already reflected in the
+                    // worklist the snapshot below reads; discard the log so
+                    // the in-round wake bookkeeping doesn't replay them.
+                    world.drain_transitions(&mut transitions);
+                }
+            }
             world.snapshot_active_sorted(&mut queue);
             let mut i = 0;
             while i < queue.len() {
@@ -219,12 +263,35 @@ impl SyncRunner {
 pub struct AsyncRunner<A: Adversary> {
     config: RunConfig,
     adversary: A,
+    dynamics: Option<DynamicAdversary>,
+    crashes: Option<CrashPlan>,
 }
 
 impl<A: Adversary> AsyncRunner<A> {
     /// A runner with the given configuration and adversary.
     pub fn new(config: RunConfig, adversary: A) -> Self {
-        AsyncRunner { config, adversary }
+        AsyncRunner {
+            config,
+            adversary,
+            dynamics: None,
+            crashes: None,
+        }
+    }
+
+    /// Attach a dynamic-graph adversary: it advances once before the first
+    /// step and then at every epoch boundary (the ASYNC analogue of the
+    /// SYNC per-round edge churn).
+    pub fn with_dynamics(mut self, dynamics: DynamicAdversary) -> Self {
+        self.dynamics = Some(dynamics);
+        self
+    }
+
+    /// Attach a crash plan keyed on scheduler steps: due victims crash
+    /// before the step's worklist snapshot, so a batch never contains a
+    /// freshly-crashed agent.
+    pub fn with_crashes(mut self, crashes: CrashPlan) -> Self {
+        self.crashes = Some(crashes);
+        self
     }
 
     /// The adversary's name (for reports).
@@ -249,6 +316,9 @@ impl<A: Adversary> AsyncRunner<A> {
         // the adversary discovers pre-parked agents lazily.
         world.drain_transitions(&mut transitions);
         clock.init_epoch(world.active_slice().iter().copied());
+        if let Some(dynamics) = self.dynamics.as_mut() {
+            dynamics.advance(world);
+        }
         sample_memory(world, protocol);
         while !protocol.is_terminated() {
             if clock.steps() >= self.config.max_steps || world.active_count() == 0 {
@@ -256,6 +326,32 @@ impl<A: Adversary> AsyncRunner<A> {
                 return Err(RunError::LimitExceeded {
                     outcome: build_outcome(world, &clock, false),
                 });
+            }
+            if let Some(crashes) = self.crashes.as_mut() {
+                let now = clock.steps();
+                let mut any = false;
+                while let Some(victim) = crashes.next_due(now) {
+                    world.crash(victim);
+                    protocol.on_crash(victim);
+                    any = true;
+                }
+                if any {
+                    // Feed the crash-induced transitions to the epoch
+                    // bookkeeping and the adversary's wake feed.
+                    world.drain_transitions(&mut transitions);
+                    for &(a, woke) in &transitions {
+                        if woke {
+                            woken_for_adv.push(a);
+                        } else {
+                            clock.note_park(a);
+                        }
+                    }
+                    // A crash may have terminated the protocol (the victim
+                    // was the last unsettled agent) or emptied the active
+                    // set; re-evaluate the loop conditions before asking
+                    // the adversary to schedule anything.
+                    continue;
+                }
             }
             world.snapshot_active_sorted(&mut active_sorted);
             let scheduled = {
@@ -334,6 +430,9 @@ impl<A: Adversary> AsyncRunner<A> {
                     clock.finish_final_epoch();
                 } else {
                     clock.begin_epoch(world.active_slice().iter().copied());
+                    if let Some(dynamics) = self.dynamics.as_mut() {
+                        dynamics.advance(world);
+                    }
                 }
             }
             clock.finish_step(fire);
@@ -767,6 +866,134 @@ mod tests {
             .unwrap();
         assert_eq!(out.rounds, 1);
         assert_eq!(proto.acted, vec![0], "agent 2 must act in round 0");
+    }
+
+    /// Like [`WalkAround`] but crash-aware: the walk is done when every
+    /// *surviving* agent finished its laps.
+    struct CrashAwareWalk {
+        laps_left: Vec<u32>,
+        dead: Vec<bool>,
+        crashes_seen: Vec<AgentId>,
+    }
+
+    impl CrashAwareWalk {
+        fn new(k: usize, n: u32) -> Self {
+            CrashAwareWalk {
+                laps_left: vec![n; k],
+                dead: vec![false; k],
+                crashes_seen: Vec::new(),
+            }
+        }
+    }
+
+    impl AgentProtocol for CrashAwareWalk {
+        fn on_activate(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+            if self.laps_left[agent.index()] > 0 {
+                ctx.move_via(Port(2));
+                self.laps_left[agent.index()] -= 1;
+            }
+        }
+        fn is_terminated(&self) -> bool {
+            self.laps_left
+                .iter()
+                .zip(&self.dead)
+                .all(|(&l, &d)| d || l == 0)
+        }
+        fn on_crash(&mut self, agent: AgentId) {
+            self.dead[agent.index()] = true;
+            self.crashes_seen.push(agent);
+        }
+        fn memory_bits(&self, _a: AgentId) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn sync_crash_plan_fires_and_notifies_the_protocol() {
+        let run = |seed: u64| {
+            let g = generators::ring(8);
+            let mut world = World::new_rooted(g, 3, NodeId(0));
+            let mut proto = CrashAwareWalk::new(3, 8);
+            let plan = crate::fault::CrashPlan::new(seed, 3, 1, 4);
+            let victim = plan.events()[0].1;
+            let out = SyncRunner::new(RunConfig::default())
+                .with_crashes(plan)
+                .run(&mut world, &mut proto)
+                .unwrap();
+            assert!(out.terminated);
+            assert_eq!(proto.crashes_seen, vec![victim]);
+            assert!(world.is_dead(victim));
+            assert_eq!(world.dead_count(), 1);
+            // The corpse stopped mid-walk; survivors finished all laps.
+            assert!(proto.laps_left[victim.index()] > 0);
+            (out, victim)
+        };
+        let (a, va) = run(11);
+        let (b, vb) = run(11);
+        assert_eq!(a, b, "crash runs are deterministic");
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn async_crash_plan_is_deterministic_too() {
+        let run = || {
+            let g = generators::ring(8);
+            let mut world = World::new_rooted(g, 3, NodeId(0));
+            let mut proto = CrashAwareWalk::new(3, 8);
+            AsyncRunner::new(RunConfig::default(), LaggingAdversary::new(3, 3, 7))
+                .with_crashes(crate::fault::CrashPlan::new(13, 3, 1, 10))
+                .run(&mut world, &mut proto)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert!(a.terminated);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sync_dynamic_edges_make_agents_wait_not_panic() {
+        use crate::world::MoveError;
+        // Patient walkers: on a dead edge they wait the round out instead
+        // of crashing the run.
+        struct PatientWalk {
+            laps_left: Vec<u32>,
+            waits: u64,
+        }
+        impl AgentProtocol for PatientWalk {
+            fn on_activate(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+                if self.laps_left[agent.index()] > 0 {
+                    match ctx.try_move_via(Port(2)) {
+                        Ok(_) => self.laps_left[agent.index()] -= 1,
+                        Err(MoveError::EdgeDown { .. }) => self.waits += 1,
+                        Err(e) => panic!("unexpected move error: {e}"),
+                    }
+                }
+            }
+            fn is_terminated(&self) -> bool {
+                self.laps_left.iter().all(|&l| l == 0)
+            }
+            fn memory_bits(&self, _a: AgentId) -> usize {
+                0
+            }
+        }
+        let g = generators::ring(8);
+        let mut world = World::new_rooted(g, 3, NodeId(0));
+        let mut proto = PatientWalk {
+            laps_left: vec![8; 3],
+            waits: 0,
+        };
+        let out = SyncRunner::new(RunConfig::default())
+            .with_dynamics(crate::fault::DynamicAdversary::new(21, 1))
+            .run(&mut world, &mut proto)
+            .unwrap();
+        assert!(out.terminated);
+        assert_eq!(out.total_moves, 24, "waits do not consume moves");
+        assert!(proto.waits > 0, "with 1/8 edges down someone must wait");
+        assert!(
+            out.rounds > 8,
+            "waiting stretches rounds past the fault-free 8"
+        );
     }
 
     #[test]

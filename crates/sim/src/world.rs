@@ -42,7 +42,7 @@
 use crate::ids::AgentId;
 use crate::metrics::Metrics;
 use crate::trace::{Trace, TraceEvent};
-use disp_graph::{NodeId, Port, Topology};
+use disp_graph::{EdgeLiveness, NodeId, Port, Topology};
 
 const NONE: u32 = u32::MAX;
 
@@ -58,6 +58,15 @@ pub enum MoveError {
         /// Degree of the node the agent is at.
         degree: usize,
     },
+    /// The port exists but its edge is currently dead (dynamic world).
+    /// Unlike [`MoveError::InvalidPort`] this is *not* a protocol bug: a
+    /// dynamic adversary may cut any edge, and the model's response is to
+    /// wait out the round — protocols recover via
+    /// [`ActivationCtx::try_move_via`].
+    EdgeDown {
+        /// The requested port.
+        port: Port,
+    },
 }
 
 impl std::fmt::Display for MoveError {
@@ -66,6 +75,9 @@ impl std::fmt::Display for MoveError {
             MoveError::AlreadyMoved => write!(f, "agent already moved during this activation"),
             MoveError::InvalidPort { port, degree } => {
                 write!(f, "port {port} invalid at a node of degree {degree}")
+            }
+            MoveError::EdgeDown { port } => {
+                write!(f, "the edge behind port {port} is currently removed")
             }
         }
     }
@@ -120,6 +132,13 @@ pub struct World {
     /// the clock's epoch requirement bookkeeping.
     transitions: Vec<(AgentId, bool)>,
     moved: Vec<bool>,
+    /// Edge-liveness overlay; `None` (the common case) means every edge is
+    /// alive and movement skips the liveness probe entirely.
+    liveness: Option<EdgeLiveness>,
+    /// Crash-fault flags: a dead agent is permanently parked, unlinked from
+    /// occupancy, and excluded from dispersion verification.
+    dead: Vec<bool>,
+    dead_count: usize,
     metrics: Metrics,
     trace: Trace,
 }
@@ -152,6 +171,9 @@ impl World {
             active_pos: (0..k as u32).collect(),
             transitions: Vec::new(),
             moved: vec![false; k],
+            liveness: None,
+            dead: vec![false; k],
+            dead_count: 0,
             metrics: Metrics::new(k),
             trace: Trace::disabled(),
         };
@@ -245,6 +267,95 @@ impl World {
     #[inline]
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic edges (liveness overlay)
+    // ------------------------------------------------------------------
+
+    /// Attach the edge-liveness overlay (idempotent). Static worlds never
+    /// pay for it: without an overlay, movement skips the liveness probe.
+    pub fn enable_liveness(&mut self) {
+        if self.liveness.is_none() {
+            self.liveness = Some(EdgeLiveness::new(&self.graph));
+        }
+    }
+
+    /// The edge-liveness overlay, if any edge dynamics were enabled.
+    #[inline]
+    pub fn liveness(&self) -> Option<&EdgeLiveness> {
+        self.liveness.as_ref()
+    }
+
+    /// Kill the edge behind port `p` at node `v` (attaching the overlay on
+    /// first use). Returns whether the edge was alive. Agents standing on
+    /// either endpoint are unaffected until they try to cross it.
+    pub fn kill_edge(&mut self, v: NodeId, p: Port) -> bool {
+        self.enable_liveness();
+        let live = self.liveness.as_mut().expect("just enabled");
+        live.kill(&self.graph, v, p)
+    }
+
+    /// Restore the edge behind port `p` at node `v`. Returns whether the
+    /// edge was dead.
+    pub fn revive_edge(&mut self, v: NodeId, p: Port) -> bool {
+        self.enable_liveness();
+        let live = self.liveness.as_mut().expect("just enabled");
+        live.revive(&self.graph, v, p)
+    }
+
+    // ------------------------------------------------------------------
+    // Crash faults
+    // ------------------------------------------------------------------
+
+    /// Whether `agent` has crashed.
+    #[inline]
+    pub fn is_dead(&self, agent: AgentId) -> bool {
+        self.dead[agent.index()]
+    }
+
+    /// Number of crashed agents.
+    #[inline]
+    pub fn dead_count(&self) -> usize {
+        self.dead_count
+    }
+
+    /// Number of surviving agents (`k` minus crashes).
+    #[inline]
+    pub fn alive_count(&self) -> usize {
+        self.num_agents() - self.dead_count
+    }
+
+    /// Crash `agent`: it permanently leaves the world. A settled victim's
+    /// node is *orphaned* — the agent is unlinked from the occupancy list,
+    /// so survivors see the node as free and may re-settle it. A driving
+    /// victim's cohort disbands first (members rematerialize at the
+    /// cohort's node, rides fully credited, and wake); a riding victim is
+    /// extracted the same way before dying. The agent's last position stays
+    /// readable via [`World::position`] for verification.
+    ///
+    /// Crashes are driven by the runners at round/step boundaries, never
+    /// mid-activation.
+    ///
+    /// # Panics
+    /// Panics if `agent` already crashed.
+    pub fn crash(&mut self, agent: AgentId) {
+        let a = agent.index();
+        assert!(!self.dead[a], "agent {agent} crashed twice");
+        if self.driving[a] != NONE {
+            // Disband: extract members one at a time (each extract pops the
+            // member list's head).
+            while let Some(member) = self.cohort_members(agent).next() {
+                self.extract_member(member);
+            }
+        }
+        if self.cohort_of[a] != NONE {
+            self.extract_member(agent);
+        }
+        self.unlink_from_node(a);
+        self.park(agent);
+        self.dead[a] = true;
+        self.dead_count += 1;
     }
 
     /// Mutable access to metrics (used by the runners for memory sampling).
@@ -416,12 +527,21 @@ impl World {
     }
 
     fn extract(&mut self, driver: AgentId, member: AgentId) {
-        let m = member.index();
-        let c = self.cohort_of[m];
+        let c = self.cohort_of[member.index()];
         assert!(
             c != NONE && self.driving[driver.index()] == c,
             "agent {member} is not riding {driver}'s cohort"
         );
+        self.extract_member(member);
+    }
+
+    /// Extract `member` from whatever cohort it rides, keyed by the
+    /// member's own `cohort_of` link (the crash path has no driver in
+    /// hand).
+    fn extract_member(&mut self, member: AgentId) {
+        let m = member.index();
+        let c = self.cohort_of[m];
+        assert!(c != NONE, "agent {member} is not riding a cohort");
         let c = c as usize;
         // Unlink from the member list.
         let (p, n) = (self.prev[m], self.next[m]);
@@ -492,6 +612,11 @@ impl World {
         let degree = self.graph.degree(from);
         if port.0 == 0 || port.offset() >= degree {
             return Err(MoveError::InvalidPort { port, degree });
+        }
+        if let Some(live) = &self.liveness {
+            if !live.is_alive(&self.graph, from, port) {
+                return Err(MoveError::EdgeDown { port });
+            }
         }
         let (to, pin) = self.graph.traverse(from, port);
         self.moved[a] = true;
@@ -621,9 +746,23 @@ impl<'w> ActivationCtx<'w> {
             .unwrap_or_else(|e| panic!("agent {} illegal move: {e}", self.agent))
     }
 
-    /// Fallible variant of [`ActivationCtx::move_via`].
+    /// Fallible variant of [`ActivationCtx::move_via`]. In dynamic worlds
+    /// this is the only lawful way to move: `Err(MoveError::EdgeDown)`
+    /// means the adversary cut the edge this round, and the agent should
+    /// wait (retry on a later activation) rather than panic.
     pub fn try_move_via(&mut self, port: Port) -> Result<Port, MoveError> {
         self.world.apply_move(self.agent, port, self.time)
+    }
+
+    /// Whether the edge behind `port` at the current node is alive right
+    /// now. Always `true` in static worlds. Protocols may use this to avoid
+    /// a doomed [`ActivationCtx::try_move_via`], but waiting on the error
+    /// is equally correct.
+    pub fn is_port_live(&self, port: Port) -> bool {
+        match &self.world.liveness {
+            Some(live) => live.is_alive(&self.world.graph, self.node(), port),
+            None => true,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -690,6 +829,15 @@ impl<'w> ActivationCtx<'w> {
     /// driver's node (the driver wandered off on a solo trip and must return
     /// before moving the cohort).
     pub fn move_cohort_via(&mut self, port: Port) -> Port {
+        self.try_move_cohort_via(port)
+            .unwrap_or_else(|e| panic!("agent {} illegal cohort move: {e}", self.agent))
+    }
+
+    /// Fallible variant of [`ActivationCtx::move_cohort_via`]: returns
+    /// `Err(MoveError::EdgeDown)` (leaving driver and cohort in place) when
+    /// the adversary has cut the edge. A cohort away from the driver's node
+    /// is still a protocol bug and still panics.
+    pub fn try_move_cohort_via(&mut self, port: Port) -> Result<Port, MoveError> {
         let from = self.node();
         let c = self.world.driving[self.agent.index()];
         if c != NONE {
@@ -699,7 +847,7 @@ impl<'w> ActivationCtx<'w> {
                 "cohort moves require the driver to be at the cohort's node"
             );
         }
-        let pin = self.move_via(port);
+        let pin = self.try_move_via(port)?;
         if c != NONE {
             let to = self.world.positions[self.agent.index()];
             let cohort = &mut self.world.cohorts[c as usize];
@@ -718,7 +866,7 @@ impl<'w> ActivationCtx<'w> {
                 });
             }
         }
-        pin
+        Ok(pin)
     }
 }
 
@@ -946,5 +1094,122 @@ mod tests {
             w.snapshot_positions(),
             vec![NodeId(1), NodeId(0), NodeId(1)]
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic edges and crash faults
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn dead_edges_refuse_moves_until_revived() {
+        let mut w = world_on_ring(1);
+        assert!(w.kill_edge(NodeId(0), Port(1))); // edge 0–1 down
+        w.begin_activation(AgentId(0));
+        let mut ctx = w.ctx(AgentId(0), 0);
+        assert!(!ctx.is_port_live(Port(1)));
+        assert!(ctx.is_port_live(Port(2)));
+        assert!(matches!(
+            ctx.try_move_via(Port(1)),
+            Err(MoveError::EdgeDown { port: Port(1) })
+        ));
+        // A refused move does not consume the per-activation move budget
+        // and leaves the agent in place.
+        assert!(!ctx.has_moved());
+        assert_eq!(w.position(AgentId(0)), NodeId(0));
+        assert_eq!(w.metrics().total_moves(), 0);
+        assert!(w.revive_edge(NodeId(0), Port(1)));
+        w.begin_activation(AgentId(0));
+        assert_eq!(w.ctx(AgentId(0), 1).try_move_via(Port(1)), Ok(Port(1)));
+        assert_eq!(w.position(AgentId(0)), NodeId(1));
+    }
+
+    #[test]
+    fn cohort_moves_respect_dead_edges() {
+        let mut w = world_on_ring(2);
+        w.kill_edge(NodeId(0), Port(1));
+        w.begin_activation(AgentId(1));
+        let mut ctx = w.ctx(AgentId(1), 0);
+        ctx.enroll(AgentId(0));
+        assert!(matches!(
+            ctx.try_move_cohort_via(Port(1)),
+            Err(MoveError::EdgeDown { .. })
+        ));
+        // Nothing moved: driver, rider and cohort node all stay put.
+        assert_eq!(w.position(AgentId(1)), NodeId(0));
+        assert_eq!(w.position(AgentId(0)), NodeId(0));
+        assert_eq!(w.metrics().total_moves(), 0);
+        w.begin_activation(AgentId(1));
+        w.ctx(AgentId(1), 1).move_cohort_via(Port(2));
+        assert_eq!(w.position(AgentId(0)), NodeId(5));
+    }
+
+    #[test]
+    fn crashing_a_settled_agent_orphans_its_node() {
+        let mut w = world_on_ring(2);
+        w.begin_activation(AgentId(0));
+        let mut ctx = w.ctx(AgentId(0), 0);
+        ctx.park(AgentId(0)); // "settled" from the scheduler's viewpoint
+        w.crash(AgentId(0));
+        assert!(w.is_dead(AgentId(0)));
+        assert_eq!(w.dead_count(), 1);
+        assert_eq!(w.alive_count(), 1);
+        // The node is orphaned: occupancy no longer lists the corpse, so a
+        // surviving agent sees an empty node and may re-settle there …
+        assert_eq!(at(&w, 0), vec![AgentId(1)]);
+        // … but the last position stays readable for forensics/verify.
+        assert_eq!(w.position(AgentId(0)), NodeId(0));
+        assert!(!w.is_active(AgentId(0)));
+    }
+
+    #[test]
+    fn crashing_a_driver_disbands_its_cohort_in_place() {
+        let mut w = world_on_ring(3);
+        w.begin_activation(AgentId(2));
+        let mut ctx = w.ctx(AgentId(2), 0);
+        ctx.enroll(AgentId(0));
+        ctx.enroll(AgentId(1));
+        ctx.move_cohort_via(Port(1));
+        w.crash(AgentId(2));
+        // Riders rematerialize at the cohort node, charged and woken; only
+        // the driver is gone.
+        assert_eq!(w.position(AgentId(0)), NodeId(1));
+        assert_eq!(w.position(AgentId(1)), NodeId(1));
+        assert!(w.is_active(AgentId(0)));
+        assert!(w.is_active(AgentId(1)));
+        assert!(!w.is_dead(AgentId(0)));
+        assert!(w.is_dead(AgentId(2)));
+        let here = at(&w, 1);
+        assert!(here.contains(&AgentId(0)) && here.contains(&AgentId(1)));
+        assert!(!here.contains(&AgentId(2)));
+        assert_eq!(w.metrics().moves_of(AgentId(0)), 1);
+    }
+
+    #[test]
+    fn crashing_a_rider_extracts_only_that_rider() {
+        let mut w = world_on_ring(3);
+        w.begin_activation(AgentId(2));
+        let mut ctx = w.ctx(AgentId(2), 0);
+        ctx.enroll(AgentId(0));
+        ctx.enroll(AgentId(1));
+        ctx.move_cohort_via(Port(1));
+        w.crash(AgentId(0));
+        // The crashed rider is accounted for (its ride hops are credited)
+        // and removed; the cohort keeps rolling with the survivor.
+        assert!(w.is_dead(AgentId(0)));
+        assert_eq!(w.position(AgentId(0)), NodeId(1));
+        assert!(!w.is_active(AgentId(0)));
+        assert_eq!(w.cohort_len(AgentId(2)), 1);
+        w.begin_activation(AgentId(2));
+        w.ctx(AgentId(2), 1).move_cohort_via(Port(2));
+        assert_eq!(w.position(AgentId(1)), NodeId(2));
+        assert_eq!(w.position(AgentId(0)), NodeId(1), "corpse stays behind");
+    }
+
+    #[test]
+    #[should_panic(expected = "crashed twice")]
+    fn double_crash_is_rejected() {
+        let mut w = world_on_ring(2);
+        w.crash(AgentId(0));
+        w.crash(AgentId(0));
     }
 }
