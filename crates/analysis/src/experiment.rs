@@ -115,12 +115,27 @@ impl ExperimentPoint {
     /// grids are validated up front, so hitting this means the grid
     /// construction is buggy, not the input.
     pub fn run_trial(&self, registry: &Registry, rep: usize, seed: u64) -> TrialRecord {
+        self.run_trial_pooled(registry, rep, seed, &mut disp_sim::WorldPool::new())
+    }
+
+    /// [`ExperimentPoint::run_trial`] with a [`disp_sim::WorldPool`]: the
+    /// trial's world is built from (and returned to) the pool, so a batch
+    /// of small trials sharing one pool allocates world buffers only once.
+    /// Records are byte-identical to [`ExperimentPoint::run_trial`] of the
+    /// same seed — the pool contract is state identity.
+    pub fn run_trial_pooled(
+        &self,
+        registry: &Registry,
+        rep: usize,
+        seed: u64,
+        pool: &mut disp_sim::WorldPool,
+    ) -> TrialRecord {
         use disp_core::scenario::ScenarioError;
         use disp_core::scenario::ScenarioReport;
         use disp_sim::RunError;
         let report = self
             .scenario
-            .run(registry, seed)
+            .run_pooled(registry, seed, pool)
             .unwrap_or_else(|e| match e {
                 ScenarioError::Run(RunError::LimitExceeded { outcome }) => ScenarioReport {
                     scenario: self.scenario.label(),

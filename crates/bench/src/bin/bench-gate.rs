@@ -1,13 +1,18 @@
 //! CI bench regression gate.
 //!
 //! ```text
-//! bench-gate record [--out BENCH_baseline.json] [--samples N]
-//! bench-gate check  [--baseline BENCH_baseline.json] [--samples N]
+//! bench-gate record  [--out BENCH_baseline.json] [--samples N]
+//! bench-gate check   [--baseline BENCH_baseline.json] [--samples N]
+//! bench-gate scaling [--threads 1,2,4]
 //! ```
 //!
 //! `record` measures the gated hot paths (see `disp_bench::gate`) and writes
 //! the baseline document; `check` re-measures and exits non-zero when any
-//! workload is more than the baseline's tolerance (25%) slower.
+//! workload is more than the baseline's tolerance (25%) slower. `scaling`
+//! runs the batched micro campaign at each thread count, prints the
+//! wall-clock/speedup table, and always asserts that sorted trial records
+//! are byte-identical across thread counts; the speedup gate itself is
+//! skipped on a single-core box (determinism still proves out there).
 
 use disp_bench::gate;
 use std::path::PathBuf;
@@ -17,14 +22,16 @@ const USAGE: &str = "\
 bench-gate — wall-clock regression gate for the dispersion hot paths
 
 USAGE:
-  bench-gate record [--out FILE] [--samples N]     (write a fresh baseline)
-  bench-gate check  [--baseline FILE] [--samples N] (fail on >25% regression)
+  bench-gate record  [--out FILE] [--samples N]      (write a fresh baseline)
+  bench-gate check   [--baseline FILE] [--samples N] (fail on >25% regression)
+  bench-gate scaling [--threads 1,2,4]               (thread-scaling table + identity check)
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path = PathBuf::from("BENCH_baseline.json");
     let mut samples = 5usize;
+    let mut threads = vec![1usize, 2, 4];
     let mut it = args.iter().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -36,6 +43,20 @@ fn main() -> ExitCode {
                 Some(v) => samples = v,
                 None => return fail("--samples expects a positive integer"),
             },
+            "--threads" => {
+                let parsed: Option<Vec<usize>> = it
+                    .next()
+                    .map(|v| v.split(',').map(|t| t.parse().ok()).collect())
+                    .unwrap_or(None);
+                match parsed {
+                    Some(v) if !v.is_empty() && v.iter().all(|&t| t > 0) => threads = v,
+                    _ => {
+                        return fail(
+                            "--threads expects a comma-separated list of positive integers",
+                        )
+                    }
+                }
+            }
             other => return fail(&format!("unknown flag '{other}'\n\n{USAGE}")),
         }
     }
@@ -77,6 +98,49 @@ fn main() -> ExitCode {
             }
             if regressed {
                 eprintln!("bench-gate: hot-path regression above the tolerance");
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Some("scaling") => {
+            let rows = match gate::scaling(&threads) {
+                Ok(rows) => rows,
+                Err(e) => return fail(&e),
+            };
+            println!(
+                "micro campaign ({} identical sorted-record runs):",
+                rows.len()
+            );
+            for row in &rows {
+                println!(
+                    "  threads {:>2}: {:>9.3} ms  speedup ×{:.2}",
+                    row.threads,
+                    row.wall_ns as f64 / 1e6,
+                    row.speedup
+                );
+            }
+            let cores = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1);
+            if cores == 1 {
+                eprintln!(
+                    "bench-gate: single-core host — byte-identity verified, speedup gate skipped"
+                );
+                return ExitCode::SUCCESS;
+            }
+            // On a multi-core box at least one multi-threaded run must be
+            // no slower than threads=1; a lenient bound so CI noise on
+            // small runners doesn't flake, but real serialization fails.
+            let best = rows
+                .iter()
+                .filter(|r| r.threads > 1)
+                .map(|r| r.speedup)
+                .fold(f64::NEG_INFINITY, f64::max);
+            if best.is_finite() && best < 1.0 {
+                eprintln!(
+                    "bench-gate: {cores}-core host but best multi-thread speedup is ×{best:.2}"
+                );
                 ExitCode::FAILURE
             } else {
                 ExitCode::SUCCESS

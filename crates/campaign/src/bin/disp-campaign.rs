@@ -24,7 +24,7 @@ use disp_campaign::grid::{CampaignSpec, Mode};
 use disp_campaign::report::{
     campaign_report_json, render_section_csv, render_section_markdown, section_measurements,
 };
-use disp_campaign::run::{run_campaign_telemetered, RunSummary};
+use disp_campaign::run::{run_campaign_batched, RunSummary};
 use disp_campaign::signal;
 use disp_campaign::store::CampaignStore;
 use disp_campaign::telemetry::{trace_to_jsonl, JsonlSink, Telemetry};
@@ -67,9 +67,9 @@ disp-campaign — parallel, deterministic experiment campaigns
 USAGE:
   disp-campaign run    [--campaign table1|figures|placements|scale|fault-worlds|mini]
                        [--scenario LABEL]... [--reps N]
-                       [--quick|--full] [--threads N] [--seed S]
+                       [--quick|--full] [--threads N] [--batch N] [--seed S]
                        [--section NAME]... [--out DIR] [--force] [--events]
-  disp-campaign resume --out DIR [--threads N] [--events]
+  disp-campaign resume --out DIR [--threads N] [--batch N] [--events]
   disp-campaign report --out DIR [--csv DIR | --format text|json]
   disp-campaign trace  --scenario LABEL [--seed S] [--cap N] [--out FILE]
   disp-campaign scenarios    (print the scenario-label grammar + vocabulary)
@@ -79,6 +79,11 @@ USAGE:
 
 --format json prints the machine-readable report document (the same schema
 disp-serve returns from GET /runs/:id/results?format=summary).
+
+--batch N steals work in runs of N contiguous grid trials, each run reusing
+one warm world-allocation pool — the fast path for campaigns of many small
+trials. Results, checkpoints and resumes are byte-identical to --batch 1
+(the default) for any thread count.
 
 --events (requires --out) streams per-trial telemetry — start/finish with
 wall-clock micros — to the DIR/events.jsonl sidecar. Timing is not content:
@@ -103,6 +108,7 @@ struct Flags {
     reps: Option<usize>,
     mode: Mode,
     threads: usize,
+    batch: usize,
     seed: u64,
     sections: Vec<String>,
     out: Option<PathBuf>,
@@ -128,6 +134,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         threads: std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(4),
+        batch: 1,
         seed: 1,
         sections: Vec::new(),
         out: None,
@@ -160,6 +167,15 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 flags.threads = value("--threads")?
                     .parse()
                     .map_err(|_| "--threads expects a positive integer".to_string())?
+            }
+            "--batch" => {
+                let batch: usize = value("--batch")?
+                    .parse()
+                    .map_err(|_| "--batch expects a positive integer".to_string())?;
+                if batch == 0 {
+                    return Err("--batch expects a positive integer".into());
+                }
+                flags.batch = batch;
             }
             "--seed" => {
                 flags.seed = value("--seed")?
@@ -299,10 +315,11 @@ fn cmd_run(args: &[String], registry: &Registry) -> Result<(), String> {
     };
     let telemetry = start_events(&flags, store.as_ref())?;
     let cancel: &AtomicBool = signal::install();
-    let (records, summary) = run_campaign_telemetered(
+    let (records, summary) = run_campaign_batched(
         &spec,
         store.as_ref(),
         flags.threads,
+        flags.batch,
         registry,
         cancel,
         telemetry.as_ref().map(Telemetry::handle).as_ref(),
@@ -325,10 +342,11 @@ fn cmd_resume(args: &[String], registry: &Registry) -> Result<(), String> {
     let spec = manifest.rebuild_spec()?;
     let telemetry = start_events(&flags, Some(&store))?;
     let cancel: &AtomicBool = signal::install();
-    let (records, summary) = run_campaign_telemetered(
+    let (records, summary) = run_campaign_batched(
         &spec,
         Some(&store),
         flags.threads,
+        flags.batch,
         registry,
         cancel,
         telemetry.as_ref().map(Telemetry::handle).as_ref(),

@@ -34,90 +34,121 @@
 //! node, and only then moves itself. This costs a small constant factor over
 //! the paper's idealized counting and works identically under asynchronous
 //! activation.
+//!
+//! ## Structure-of-arrays state (DESIGN.md §13)
+//!
+//! Per-agent state is a `u8` tag (role × stage, the follower's `executed`
+//! bit folded in — see the private `tag` module) plus packed parallel fields. Unlike the
+//! rooted protocols this baseline has one leader *per group*, so leader
+//! payload stays per-agent: `p0` = published order port (`Port(0)` = no
+//! order yet), `p3` = the order's flip bit (`Port(1)`/`Port(0)`), `p1` =
+//! return port, `p2` = arrival pin, `aux0` = group size, `aux1` = tree
+//! label. Followers keep their leader's id in `aux0`; settlers keep the
+//! parent port in `p0`, the scan cursor in `aux0` and the tree label in
+//! `aux1`; scatter walkers keep their 64-bit xorshift state split across
+//! `aux0`/`aux1`. A `node → settler` cache replaces the per-activation
+//! co-location scans for "does this node host a settler" (settlers never
+//! move). The `tests/soa_differential.rs` suite pins this rewrite
+//! step-for-step to the retained enum-of-structs reference.
 
 use crate::verify;
 use disp_graph::Port;
 use disp_sim::{bits, ActivationCtx, AgentId, AgentProtocol, World};
 
-/// A published group move order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct GroupOrder {
-    /// Flips every time a new order is published.
-    flip: bool,
-    /// The port every follower must take.
-    port: Port,
+const NO_SETTLER: u32 = u32::MAX;
+/// The `Option<Port>` sentinel: ports are 1-based, so `Port(0)` is free.
+const NO_PORT: Port = Port(0);
+
+#[inline]
+fn opt(p: Port) -> Option<Port> {
+    (p != NO_PORT).then_some(p)
 }
 
-/// Why the leader is moving.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum MoveIntent {
-    /// Moving to an unexamined neighbor to check whether it is free.
-    Scan,
-    /// Returning to the DFS node after finding the neighbor occupied.
-    Return,
-    /// Backtracking to the DFS parent.
-    Backtrack,
+#[inline]
+fn enc(p: Option<Port>) -> Port {
+    p.unwrap_or(NO_PORT)
 }
 
-/// Leader control state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum LeaderPhase {
-    /// At a node with the whole group; ready to decide the next action.
-    Decide,
-    /// Order published; waiting for all followers to leave, then move with
-    /// the given intent.
-    Departing(MoveIntent),
-    /// Arrived at a scan target; decide whether to settle here or go back.
-    CheckNeighbor,
+/// The flattened role × stage tag (`_F`/`_T` fold the follower's `executed`
+/// boolean into the byte).
+mod tag {
+    /// Follower with `executed == false`. Fields: `aux0` = leader id.
+    pub const FOLLOWER_F: u8 = 0;
+    /// Follower with `executed == true`.
+    pub const FOLLOWER_T: u8 = 1;
+    /// Settled. Fields: `p0` = parent port (opt), `aux0` = scan cursor,
+    /// `aux1` = tree label.
+    pub const SETTLED: u8 = 2;
+    /// Scatter walker. Fields: `aux0`/`aux1` = xorshift state halves.
+    pub const SCATTER: u8 = 3;
+
+    // Leader phases (fields: `p0` = order port (opt), `p3` = order flip
+    // bit, `p1` = return port (opt), `p2` = arrival pin (opt), `aux0` =
+    // group size, `aux1` = tree label).
+    pub const LEAD_DECIDE: u8 = 4;
+    pub const LEAD_DEPART_SCAN: u8 = 5;
+    pub const LEAD_DEPART_RETURN: u8 = 6;
+    pub const LEAD_DEPART_BACKTRACK: u8 = 7;
+    pub const LEAD_CHECK_NEIGHBOR: u8 = 8;
 }
 
-/// Per-agent persistent state.
-#[derive(Debug, Clone)]
-enum AgentState {
-    /// Travels with its leader, executing published orders.
-    Follower {
-        /// Simulator id of this agent's leader.
-        leader: AgentId,
-        /// Flip bit of the last executed order.
-        executed: bool,
-    },
-    /// Runs the DFS for its group.
-    Leader {
-        phase: LeaderPhase,
-        /// Number of unsettled followers in the group (leader excluded).
-        group_size: usize,
-        /// Currently published order, if any.
-        order: Option<GroupOrder>,
-        /// Port back to the DFS node while checking a neighbor.
-        return_port: Option<Port>,
-        /// `pin` recorded on the last move (parent port for a new settler).
-        arrival_pin: Option<Port>,
-        /// Algorithmic label of this group's tree (the leader's ID).
-        treelabel: u32,
-    },
-    /// Settled at its node; stores the DFS bookkeeping for that node.
-    Settled {
-        parent_port: Option<Port>,
-        /// Next port (1-based) to examine from this node.
-        next_port: u32,
-        treelabel: u32,
-    },
-    /// Scatter mode: random walk, settle at the first free node.
-    Scatter {
-        /// Small xorshift state, seeded per agent.
-        rng: u64,
-    },
+/// Number of memory classes (coarse roles with a fixed bit footprint):
+/// follower, settled, scatter, leader.
+const CLASSES: usize = 4;
+
+/// The memory class of a tag — the coarse role.
+#[inline]
+fn class(t: u8) -> usize {
+    match t {
+        tag::FOLLOWER_F | tag::FOLLOWER_T => 0,
+        tag::SETTLED => 1,
+        tag::SCATTER => 2,
+        _ => 3,
+    }
 }
 
-/// The group-DFS baseline protocol (rooted and general configurations).
+/// Per-class footprint in bits (the same accounting the pre-SoA enum
+/// variants used).
+fn class_bits_table(k: usize, max_degree: usize) -> [usize; CLASSES] {
+    let id = bits::id_bits(k);
+    let port = bits::port_bits(max_degree);
+    let opt_port = bits::opt_port_bits(max_degree);
+    [
+        // follower: own id + leader id + executed flag
+        id + id + bits::flag_bits(),
+        // settled: id + parent + cursor + treelabel
+        id + opt_port + port + 1 + id,
+        // scatter: id + xorshift state
+        id + 64,
+        // leader: phase tag + group size counter + order (flag+port) +
+        // return/arrival ports + treelabel + own id.
+        id + 3 + bits::counter_bits(k as u64) + bits::flag_bits() + opt_port + 2 * opt_port + id,
+    ]
+}
+
+/// The group-DFS baseline protocol (rooted and general configurations),
+/// structure-of-arrays layout.
 #[derive(Debug)]
 pub struct KsDfs {
-    states: Vec<AgentState>,
-    /// Algorithmic IDs (index + 1 by default).
-    ids: Vec<u32>,
+    /// Role × stage per agent — the dispatch byte (see [`tag`]).
+    tags: Vec<u8>,
+    /// Number of agents per memory class; with `class_bits` this makes
+    /// peak-memory sampling `O(1)` instead of an `O(k)` scan.
+    class_counts: [u32; CLASSES],
+    /// Per-class footprint in bits (a function of `k` and `Δ` only).
+    class_bits: [usize; CLASSES],
+    /// Packed port fields (`NO_PORT` = none); meaning per role in [`tag`].
+    p0: Vec<Port>,
+    p1: Vec<Port>,
+    p2: Vec<Port>,
+    p3: Vec<Port>,
+    /// Packed counter / reference fields; meaning per role in [`tag`].
+    aux0: Vec<u32>,
+    aux1: Vec<u32>,
     k: usize,
-    max_degree: usize,
     settled_count: usize,
+    /// `node → settler agent` cache (settlers never move here).
+    settled_at: Vec<u32>,
     scatter_seed: u64,
 }
 
@@ -131,43 +162,57 @@ impl KsDfs {
     /// Like [`KsDfs::new`] with an explicit seed for the scatter-mode RNG.
     pub fn with_seed(world: &World, scatter_seed: u64) -> Self {
         let k = world.num_agents();
-        let ids: Vec<u32> = (0..k as u32).map(|i| i + 1).collect();
-        let mut states: Vec<Option<AgentState>> = vec![None; k];
+        let mut proto = KsDfs {
+            tags: vec![tag::FOLLOWER_F; k],
+            class_counts: [0; CLASSES],
+            class_bits: class_bits_table(k, world.graph().max_degree()),
+            p0: vec![NO_PORT; k],
+            p1: vec![NO_PORT; k],
+            p2: vec![NO_PORT; k],
+            p3: vec![NO_PORT; k],
+            aux0: vec![0; k],
+            aux1: vec![0; k],
+            k,
+            settled_count: 0,
+            settled_at: vec![NO_SETTLER; world.graph().num_nodes()],
+            scatter_seed,
+        };
         for v in world.graph().nodes() {
-            let here: Vec<AgentId> = world.agents_at(v).collect();
-            if here.is_empty() {
-                continue;
+            let mut leader: Option<AgentId> = None;
+            let mut count = 0usize;
+            for a in world.agents_at(v) {
+                count += 1;
+                leader = Some(match leader {
+                    Some(l) if l >= a => l,
+                    _ => a,
+                });
             }
-            let leader = *here.iter().max().expect("non-empty");
-            for &a in &here {
+            let Some(leader) = leader else { continue };
+            for a in world.agents_at(v) {
+                let i = a.index();
                 if a == leader {
-                    states[a.index()] = Some(AgentState::Leader {
-                        phase: LeaderPhase::Decide,
-                        group_size: here.len() - 1,
-                        order: None,
-                        return_port: None,
-                        arrival_pin: None,
-                        treelabel: ids[leader.index()],
-                    });
+                    proto.tags[i] = tag::LEAD_DECIDE;
+                    proto.aux0[i] = count as u32 - 1;
+                    proto.aux1[i] = a.0 + 1; // tree label = algorithmic id
                 } else {
-                    states[a.index()] = Some(AgentState::Follower {
-                        leader,
-                        executed: false,
-                    });
+                    proto.tags[i] = tag::FOLLOWER_F;
+                    proto.aux0[i] = leader.0;
                 }
             }
         }
-        KsDfs {
-            states: states
-                .into_iter()
-                .map(|s| s.expect("every agent grouped"))
-                .collect(),
-            ids,
-            k,
-            max_degree: world.graph().max_degree(),
-            settled_count: 0,
-            scatter_seed,
+        for &t in &proto.tags {
+            proto.class_counts[class(t)] += 1;
         }
+        proto
+    }
+
+    /// The single tag-write point: keeps the per-class counts (and with them
+    /// the `O(1)` peak-memory sampling) coherent.
+    #[inline]
+    fn set_tag(&mut self, i: usize, t: u8) {
+        self.class_counts[class(self.tags[i])] -= 1;
+        self.class_counts[class(t)] += 1;
+        self.tags[i] = t;
     }
 
     /// Number of settled agents so far.
@@ -177,30 +222,32 @@ impl KsDfs {
 
     /// Whether any agent had to fall back to scatter mode (pocket case).
     pub fn used_scatter_fallback(&self) -> bool {
-        self.states
-            .iter()
-            .any(|s| matches!(s, AgentState::Scatter { .. }))
+        self.tags.contains(&tag::SCATTER)
     }
 
+    #[inline]
     fn settler_at(&self, ctx: &ActivationCtx<'_>) -> Option<AgentId> {
-        ctx.colocated_iter()
-            .find(|a| matches!(self.states[a.index()], AgentState::Settled { .. }))
+        match self.settled_at[ctx.node().index()] {
+            NO_SETTLER => None,
+            a => Some(AgentId(a)),
+        }
+    }
+
+    #[inline]
+    fn is_follower_of(&self, a: AgentId, leader: AgentId) -> bool {
+        self.tags[a.index()] <= tag::FOLLOWER_T && self.aux0[a.index()] == leader.0
     }
 
     /// Smallest-ID co-located follower of `leader` (unsettled group member).
     fn smallest_follower_here(&self, ctx: &ActivationCtx<'_>, leader: AgentId) -> Option<AgentId> {
         ctx.colocated_iter()
-            .filter(|a| {
-                matches!(self.states[a.index()], AgentState::Follower { leader: l, .. } if l == leader)
-            })
-            .min_by_key(|a| self.ids[a.index()])
+            .filter(|&a| self.is_follower_of(a, leader))
+            .min_by_key(|a| a.0)
     }
 
     fn followers_here(&self, ctx: &ActivationCtx<'_>, leader: AgentId) -> usize {
         ctx.colocated_iter()
-            .filter(|a| {
-                matches!(self.states[a.index()], AgentState::Follower { leader: l, .. } if l == leader)
-            })
+            .filter(|&a| self.is_follower_of(a, leader))
             .count()
     }
 
@@ -213,40 +260,34 @@ impl KsDfs {
         parent_port: Option<Port>,
         treelabel: u32,
     ) {
-        self.states[agent.index()] = AgentState::Settled {
-            parent_port,
-            next_port: 1,
-            treelabel,
-        };
+        let i = agent.index();
+        self.set_tag(i, tag::SETTLED);
+        self.p0[i] = enc(parent_port);
+        self.aux0[i] = 1; // scan cursor starts at port 1
+        self.aux1[i] = treelabel;
+        self.settled_at[ctx.node().index()] = agent.0;
         self.settled_count += 1;
         ctx.park(agent);
     }
 
-    fn act_leader(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
-        let AgentState::Leader {
-            phase,
-            group_size,
-            order,
-            return_port,
-            arrival_pin,
-            treelabel,
-        } = self.states[agent.index()].clone()
-        else {
-            unreachable!("act_leader on non-leader");
-        };
-        let mut phase = phase;
-        let mut group_size = group_size;
-        let mut order = order;
-        let mut return_port = return_port;
-        let mut arrival_pin = arrival_pin;
+    /// Publish a new group move order (port + toggled flip bit).
+    #[inline]
+    fn publish_order(&mut self, leader: usize, port: Port) {
+        let flip = self.p0[leader] == NO_PORT || self.p3[leader] != Port(1);
+        self.p0[leader] = port;
+        self.p3[leader] = Port(flip as u32);
+    }
 
-        match phase {
-            LeaderPhase::Decide => {
-                let settler = self.settler_at(ctx);
-                match settler {
+    fn act_leader(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        let a = agent.index();
+        match self.tags[a] {
+            tag::LEAD_DECIDE => {
+                match self.settler_at(ctx) {
                     None => {
                         // First visit of this node by anyone: settle here.
-                        if group_size == 0 {
+                        let arrival_pin = opt(self.p2[a]);
+                        let treelabel = self.aux1[a];
+                        if self.aux0[a] == 0 {
                             // The leader is the last unsettled member.
                             self.settle(ctx, agent, arrival_pin, treelabel);
                             return;
@@ -255,23 +296,17 @@ impl KsDfs {
                             .smallest_follower_here(ctx, agent)
                             .expect("group_size > 0 implies a co-located follower");
                         self.settle(ctx, chosen, arrival_pin, treelabel);
-                        group_size -= 1;
+                        self.aux0[a] -= 1;
                         // Stay in Decide: the settler now exists and scanning
                         // starts at the next activation.
                     }
                     Some(settler) => {
                         // Scan the settler's ports. The DFS bookkeeping lives
                         // in the settler (legal: it is co-located).
-                        let (parent_port, mut next_port, s_label) =
-                            match self.states[settler.index()] {
-                                AgentState::Settled {
-                                    parent_port,
-                                    next_port,
-                                    treelabel,
-                                } => (parent_port, next_port, treelabel),
-                                _ => unreachable!(),
-                            };
-                        if s_label != treelabel {
+                        let s = settler.index();
+                        let parent_port = opt(self.p0[s]);
+                        let mut next_port = self.aux0[s];
+                        if self.aux1[s] != self.aux1[a] {
                             // Another group's DFS settled this node before we
                             // could (under ASYNC a foreign scan can reach our
                             // home node before our leader's first
@@ -291,11 +326,8 @@ impl KsDfs {
                             // the root.
                             match parent_port {
                                 Some(p) => {
-                                    order = Some(GroupOrder {
-                                        flip: order.map(|o| !o.flip).unwrap_or(true),
-                                        port: p,
-                                    });
-                                    phase = LeaderPhase::Departing(MoveIntent::Backtrack);
+                                    self.publish_order(a, p);
+                                    self.set_tag(a, tag::LEAD_DEPART_BACKTRACK);
                                 }
                                 None => {
                                     // Root exhausted with members left: the
@@ -303,55 +335,44 @@ impl KsDfs {
                                     // to scatter mode for the remaining
                                     // members (including the leader).
                                     self.scatter_group(agent, ctx);
-                                    return;
                                 }
                             }
                         } else {
                             // Examine the neighbor behind `next_port`.
-                            if let AgentState::Settled { next_port: np, .. } =
-                                &mut self.states[settler.index()]
-                            {
-                                *np = next_port + 1;
-                            }
-                            order = Some(GroupOrder {
-                                flip: order.map(|o| !o.flip).unwrap_or(true),
-                                port: Port(next_port),
-                            });
-                            phase = LeaderPhase::Departing(MoveIntent::Scan);
+                            self.aux0[s] = next_port + 1;
+                            self.publish_order(a, Port(next_port));
+                            self.set_tag(a, tag::LEAD_DEPART_SCAN);
                         }
                     }
                 }
             }
-            LeaderPhase::Departing(intent) => {
-                let o = order.expect("departing without an order");
+
+            t @ (tag::LEAD_DEPART_SCAN | tag::LEAD_DEPART_RETURN | tag::LEAD_DEPART_BACKTRACK) => {
+                debug_assert_ne!(self.p0[a], NO_PORT, "departing without an order");
                 if self.followers_here(ctx, agent) == 0 {
                     // All followers executed the order; follow them.
-                    let pin = ctx.move_via(o.port);
-                    arrival_pin = Some(pin);
-                    match intent {
-                        MoveIntent::Scan => {
-                            return_port = Some(pin);
-                            phase = LeaderPhase::CheckNeighbor;
-                        }
-                        MoveIntent::Return | MoveIntent::Backtrack => {
-                            phase = LeaderPhase::Decide;
-                        }
+                    let pin = ctx.move_via(self.p0[a]);
+                    self.p2[a] = pin;
+                    if t == tag::LEAD_DEPART_SCAN {
+                        self.p1[a] = pin;
+                        self.set_tag(a, tag::LEAD_CHECK_NEIGHBOR);
+                    } else {
+                        self.set_tag(a, tag::LEAD_DECIDE);
                     }
                 }
                 // else: keep waiting for stragglers.
             }
-            LeaderPhase::CheckNeighbor => {
-                let rp = return_port.expect("checking a neighbor without a return port");
+
+            tag::LEAD_CHECK_NEIGHBOR => {
+                let rp = opt(self.p1[a]).expect("checking a neighbor without a return port");
                 if self.settler_at(ctx).is_some() {
                     // Occupied: go back and try the next port.
-                    order = Some(GroupOrder {
-                        flip: order.map(|o| !o.flip).unwrap_or(true),
-                        port: rp,
-                    });
-                    phase = LeaderPhase::Departing(MoveIntent::Return);
+                    self.publish_order(a, rp);
+                    self.set_tag(a, tag::LEAD_DEPART_RETURN);
                 } else {
                     // Free node: settle here (forward move of the DFS).
-                    if group_size == 0 {
+                    let treelabel = self.aux1[a];
+                    if self.aux0[a] == 0 {
                         self.settle(ctx, agent, Some(rp), treelabel);
                         return;
                     }
@@ -359,70 +380,72 @@ impl KsDfs {
                         .smallest_follower_here(ctx, agent)
                         .expect("group_size > 0 implies a co-located follower");
                     self.settle(ctx, chosen, Some(rp), treelabel);
-                    group_size -= 1;
-                    phase = LeaderPhase::Decide;
+                    self.aux0[a] -= 1;
+                    self.set_tag(a, tag::LEAD_DECIDE);
                 }
             }
-        }
 
-        self.states[agent.index()] = AgentState::Leader {
-            phase,
-            group_size,
-            order,
-            return_port,
-            arrival_pin,
-            treelabel,
-        };
+            t => unreachable!("act_leader on non-leader tag {t}"),
+        }
+    }
+
+    #[inline]
+    fn scatter_state(&self, agent: AgentId) -> u64 {
+        self.scatter_seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(agent.index() as u64 + 1))
+    }
+
+    #[inline]
+    fn set_scatter(&mut self, agent: AgentId, rng: u64) {
+        let i = agent.index();
+        self.set_tag(i, tag::SCATTER);
+        self.aux0[i] = rng as u32;
+        self.aux1[i] = (rng >> 32) as u32;
     }
 
     /// Switch the whole co-located group (leader included) to scatter mode.
     fn scatter_group(&mut self, leader: AgentId, ctx: &ActivationCtx<'_>) {
-        let members: Vec<AgentId> = ctx.colocated_iter()
-            .filter(|a| {
-                matches!(self.states[a.index()], AgentState::Follower { leader: l, .. } if l == leader)
-            })
-            .collect();
-        for a in members {
-            self.states[a.index()] = AgentState::Scatter {
-                rng: self.scatter_seed
-                    ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(a.index() as u64 + 1)),
-            };
+        for a in ctx.colocated_iter() {
+            if self.is_follower_of(a, leader) {
+                self.set_scatter(a, self.scatter_state(a));
+            }
         }
-        self.states[leader.index()] = AgentState::Scatter {
-            rng: self.scatter_seed
-                ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(leader.index() as u64 + 1)),
-        };
+        self.set_scatter(leader, self.scatter_state(leader));
     }
 
     fn act_follower(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
-        let AgentState::Follower { leader, executed } = self.states[agent.index()] else {
-            unreachable!();
-        };
+        let a = agent.index();
+        let leader = AgentId(self.aux0[a]);
+        let executed = self.tags[a] == tag::FOLLOWER_T;
         // Execute the leader's published order, if a fresh one is visible.
-        if ctx.colocated_iter().any(|peer| peer == leader) {
-            if let AgentState::Leader { order: Some(o), .. } = self.states[leader.index()] {
-                if o.flip != executed {
-                    ctx.move_via(o.port);
-                    self.states[agent.index()] = AgentState::Follower {
-                        leader,
-                        executed: o.flip,
-                    };
-                }
+        if ctx.colocated_iter().any(|peer| peer == leader)
+            && self.tags[leader.index()] >= tag::LEAD_DECIDE
+            && self.p0[leader.index()] != NO_PORT
+        {
+            let flip = self.p3[leader.index()] == Port(1);
+            if flip != executed {
+                ctx.move_via(self.p0[leader.index()]);
+                self.set_tag(
+                    a,
+                    if flip {
+                        tag::FOLLOWER_T
+                    } else {
+                        tag::FOLLOWER_F
+                    },
+                );
             }
         }
     }
 
     fn act_scatter(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
-        let AgentState::Scatter { mut rng } = self.states[agent.index()] else {
-            unreachable!();
-        };
+        let a = agent.index();
         // If the current node is free of settlers, settle here (activation
         // order breaks ties between walkers arriving in the same round).
         if self.settler_at(ctx).is_none() {
-            self.settle(ctx, agent, None, self.ids[agent.index()]);
+            self.settle(ctx, agent, None, agent.0 + 1);
             return;
         }
         // Otherwise take a pseudo-random step (xorshift64*).
+        let mut rng = (self.aux1[a] as u64) << 32 | self.aux0[a] as u64;
         rng ^= rng << 13;
         rng ^= rng >> 7;
         rng ^= rng << 17;
@@ -431,17 +454,18 @@ impl KsDfs {
             let port = Port((rng % d as u64) as u32 + 1);
             ctx.move_via(port);
         }
-        self.states[agent.index()] = AgentState::Scatter { rng };
+        self.aux0[a] = rng as u32;
+        self.aux1[a] = (rng >> 32) as u32;
     }
 }
 
 impl AgentProtocol for KsDfs {
     fn on_activate(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
-        match self.states[agent.index()] {
-            AgentState::Settled { .. } => {}
-            AgentState::Leader { .. } => self.act_leader(agent, ctx),
-            AgentState::Follower { .. } => self.act_follower(agent, ctx),
-            AgentState::Scatter { .. } => self.act_scatter(agent, ctx),
+        match self.tags[agent.index()] {
+            tag::FOLLOWER_F | tag::FOLLOWER_T => self.act_follower(agent, ctx),
+            tag::SETTLED => {}
+            tag::SCATTER => self.act_scatter(agent, ctx),
+            _ => self.act_leader(agent, ctx),
         }
     }
 
@@ -450,27 +474,21 @@ impl AgentProtocol for KsDfs {
     }
 
     fn is_settled(&self, agent: AgentId) -> bool {
-        matches!(self.states[agent.index()], AgentState::Settled { .. })
+        self.tags[agent.index()] == tag::SETTLED
     }
 
     fn memory_bits(&self, agent: AgentId) -> usize {
-        let id = bits::id_bits(self.k);
-        let port = bits::port_bits(self.max_degree);
-        match &self.states[agent.index()] {
-            AgentState::Follower { .. } => id + id + bits::flag_bits(),
-            AgentState::Leader { .. } => {
-                // phase tag + group size counter + order (flag+port) +
-                // return/arrival ports + treelabel + own id.
-                id + 3
-                    + bits::counter_bits(self.k as u64)
-                    + bits::flag_bits()
-                    + bits::opt_port_bits(self.max_degree)
-                    + 2 * bits::opt_port_bits(self.max_degree)
-                    + id
-            }
-            AgentState::Settled { .. } => id + bits::opt_port_bits(self.max_degree) + port + 1 + id,
-            AgentState::Scatter { .. } => id + 64,
-        }
+        self.class_bits[class(self.tags[agent.index()])]
+    }
+
+    fn max_memory_bits(&self) -> Option<usize> {
+        Some(
+            (0..CLASSES)
+                .filter(|&c| self.class_counts[c] > 0)
+                .map(|c| self.class_bits[c])
+                .max()
+                .unwrap_or(0),
+        )
     }
 
     fn name(&self) -> &'static str {

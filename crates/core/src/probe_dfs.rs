@@ -48,6 +48,21 @@
 //! to make; it turns the O(occupants) co-location scans of the old
 //! implementation into O(1) lookups.
 //!
+//! ## Structure-of-arrays state (DESIGN.md §13)
+//!
+//! Per-agent state is stored data-oriented rather than as a
+//! `Vec<AgentState>` of enums: one `u8` tag per agent (role × stage,
+//! flattened — see the private `tag` module) plus parallel packed field arrays (`p0..p3` for
+//! ports, with `Port(0)` as the `None` sentinel — ports are 1-based — and
+//! `aux0`/`aux1` for counters and agent references). An activation reads
+//! the tag byte, dispatches, and touches only the two or three fields its
+//! arm needs, instead of copying a 40-byte enum in and out of the state
+//! vector. The rider / idle-guest / returned-prober lists thread through
+//! one shared [`ListArena`] slab (intrusive index-linked lists), so after
+//! construction the protocol performs no further heap allocation beyond
+//! one reusable scratch buffer. The `tests/soa_differential.rs` suite pins
+//! this rewrite step-for-step to the retained enum-of-structs reference.
+//!
 //! This protocol assumes a **rooted** initial configuration (all agents on
 //! one node); see `DESIGN.md` for how general configurations are handled.
 //!
@@ -62,9 +77,23 @@
 //! is what lets the registry declare `supports_dynamic` for `probe-dfs`.
 
 use disp_graph::Port;
-use disp_sim::{bits, ActivationCtx, AgentId, AgentProtocol, MoveError, World};
+use disp_sim::{
+    bits, ActivationCtx, AgentId, AgentProtocol, ListArena, ListHandle, MoveError, World,
+};
 
 const NO_SETTLER: u32 = u32::MAX;
+/// The `Option<Port>` sentinel: ports are 1-based, so `Port(0)` is free.
+const NO_PORT: Port = Port(0);
+
+#[inline]
+fn opt(p: Port) -> Option<Port> {
+    (p != NO_PORT).then_some(p)
+}
+
+#[inline]
+fn enc(p: Option<Port>) -> Port {
+    p.unwrap_or(NO_PORT)
+}
 
 /// Attempt a move; `None` means the edge is down — wait in place and retry
 /// on the next activation. Any other failure is a protocol bug.
@@ -82,136 +111,141 @@ fn try_move(ctx: &mut ActivationCtx<'_>, port: Port) -> Option<Port> {
 /// later re-settled) records the code again at the new settlement.
 pub const MILESTONE_SETTLED: u32 = 1;
 
-/// Stages of a helper's probe round trip.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ProbeStage {
-    /// Assigned; has not left `w` yet.
-    Out,
-    /// At the neighbor; decide whether to recruit its settler.
-    AtNeighbor,
-    /// Waiting for the recruited settler to depart for `w`.
-    WaitGuestGone { recruited: AgentId },
-    /// Walking back to `w`.
-    GoHome { found_settler: bool },
-    /// Back at `w`, parked until the leader collects the report.
-    Returned { found_settler: bool },
+/// The flattened role × stage tag — the one byte the dispatcher reads.
+///
+/// Grouped by role, contiguous per role so dispatch and memory accounting
+/// test one range; boolean stage payloads (`found_settler`) are folded into
+/// the tag so the packed field arrays hold only ports, counters and agent
+/// references.
+mod tag {
+    /// Unsettled follower riding the leader's cohort (parked).
+    pub const RIDER: u8 = 0;
+    /// Settled at the current node. Fields: `p0` = parent port (opt).
+    pub const SETTLED: u8 = 1;
+
+    // Prober (fields: `p0` = probe port, `p1` = pin (opt), `p2` = origin
+    // home port — `NO_PORT` means the prober is a follower, a real port a
+    // recruited guest —, `p3` = origin saved parent port (opt), `aux0` =
+    // recruited settler id while waiting for it to leave).
+    pub const PROBER_OUT: u8 = 2;
+    pub const PROBER_AT_NEIGHBOR: u8 = 3;
+    pub const PROBER_WAIT_GUEST_GONE: u8 = 4;
+    pub const PROBER_GO_HOME_EMPTY: u8 = 5;
+    pub const PROBER_GO_HOME_FOUND: u8 = 6;
+    pub const PROBER_RETURNED_EMPTY: u8 = 7;
+    pub const PROBER_RETURNED_FOUND: u8 = 8;
+
+    // Guest (fields: `p0` = saved parent port (opt), `p1` = travel port —
+    // the walk port while moving, the home port while idle).
+    pub const GUEST_TO_PROBE_SITE: u8 = 9;
+    pub const GUEST_IDLE: u8 = 10;
+    pub const GUEST_GOING_HOME: u8 = 11;
+
+    // Escort (fields: `p0` = via, `p1` = pin (opt), `p2` = own home port —
+    // `NO_PORT` means the escort is the node settler α(w) —, `p3` = own
+    // saved parent port (opt), `aux0` = α(w)'s parent port, sentinel-coded).
+    pub const ESCORT_GOING: u8 = 12;
+    pub const ESCORT_AT_PARTNER_HOME: u8 = 13;
+    pub const ESCORT_RETURNED: u8 = 14;
+
+    // Leader (fields: `p0` = arrival pin (opt), `p1` = smallest port found
+    // empty (opt), `p2` = solo-probe pin (opt), `aux0` = ports checked,
+    // `aux1` = phase payload: probers assigned / recruited settler id /
+    // expected idle guests).
+    pub const LEAD_ENROLL: u8 = 15;
+    pub const LEAD_DECIDE: u8 = 16;
+    pub const LEAD_PROBE_ASSIGN: u8 = 17;
+    pub const LEAD_PROBE_WAIT: u8 = 18;
+    pub const LEAD_SOLO_OUT: u8 = 19;
+    pub const LEAD_SOLO_AT_NEIGHBOR: u8 = 20;
+    pub const LEAD_SOLO_WAIT_GUEST_GONE: u8 = 21;
+    pub const LEAD_SOLO_RETURN_EMPTY: u8 = 22;
+    pub const LEAD_SOLO_RETURN_FOUND: u8 = 23;
+    pub const LEAD_SEE_OFF_ASSIGN: u8 = 24;
+    pub const LEAD_SEE_OFF_WAIT: u8 = 25;
+    pub const LEAD_SEE_OFF_WAIT_SETTLER: u8 = 26;
+    pub const LEAD_ARRIVE_FORWARD: u8 = 27;
 }
 
-/// What a prober reverts to once the leader collects its report.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ProberOrigin {
-    Follower,
-    Guest {
-        home_port: Port,
-        saved_parent_port: Option<Port>,
-    },
+/// Number of memory classes (coarse roles with a fixed bit footprint):
+/// rider, prober, guest, escort, settled, leader.
+const CLASSES: usize = 6;
+
+/// The memory class of a tag — the coarse role; every stage of a role has
+/// the same persistent footprint.
+#[inline]
+fn class(t: u8) -> usize {
+    match t {
+        tag::RIDER => 0,
+        tag::SETTLED => 4,
+        tag::PROBER_OUT..=tag::PROBER_RETURNED_FOUND => 1,
+        tag::GUEST_TO_PROBE_SITE..=tag::GUEST_GOING_HOME => 2,
+        tag::ESCORT_GOING..=tag::ESCORT_RETURNED => 3,
+        _ => 5,
+    }
 }
 
-/// Travel status of a recruited settler.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum GuestTravel {
-    /// Ordered to walk to the probe site through this port of its home.
-    ToProbeSite { via: Port },
-    /// At the probe site; `home_port` is the port of the probe site leading
-    /// back to its home node.
-    Idle { home_port: Port },
-    /// Ordered home (see-off).
-    GoingHome { via: Port },
+/// Per-class footprint in bits, counted as the paper counts it (the same
+/// accounting the pre-SoA enum variants used).
+fn class_bits_table(k: usize, max_degree: usize) -> [usize; CLASSES] {
+    let id = bits::id_bits(k);
+    let port = bits::port_bits(max_degree);
+    let opt_port = bits::opt_port_bits(max_degree);
+    [
+        // rider: id + riding flag
+        id + 1,
+        // prober: id + stage + port + pin + origin flag + origin id + ports
+        id + 3 + port + opt_port + 1 + id + 2 * opt_port,
+        // guest: id + stage + saved parent + travel port
+        id + 2 + opt_port + port,
+        // escort: id + stage + guest ports + via + pin
+        id + 2 + 2 * opt_port + port + opt_port,
+        // settled: id + parent port
+        id + opt_port,
+        // leader: id + phase + counters + ports
+        id + 4
+            + bits::counter_bits(k as u64)
+            + 1
+            + port
+            + 2 * opt_port
+            + bits::counter_bits(max_degree as u64)
+            + opt_port
+            + opt_port,
+    ]
 }
 
-/// Stages of an escorting agent during `Guest_See_Off`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EscortStage {
-    Going,
-    AtPartnerHome,
-    Returned,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum LeaderPhase {
-    /// First activation: enroll every follower into the cohort.
-    Enroll,
-    /// At a DFS node with the group; start probing (or settle at the start).
-    Decide,
-    /// Assign ports to available helpers (or probe solo).
-    ProbeAssign,
-    /// Wait for all assigned probers of this iteration to return.
-    ProbeWait { assigned: u32 },
-    /// Leader probing alone: on the way out.
-    SoloOut,
-    /// Leader probing alone: at the neighbor.
-    SoloAtNeighbor,
-    /// Leader probing alone: waiting for the recruited settler to leave.
-    SoloWaitGuestGone { recruited: AgentId },
-    /// Leader probing alone: walking back.
-    SoloReturn { found_settler: bool },
-    /// Dispatch one halving round of `Guest_See_Off`.
-    SeeOffAssign,
-    /// Wait for this halving round's escorts to come back.
-    SeeOffWait { expect_idle: u32 },
-    /// The node's own settler is escorting the last guest home; wait for it.
-    SeeOffWaitSettler,
-    /// Arrived at a fully-unsettled node: settle an agent there.
-    ArriveForward,
-}
-
-#[derive(Debug, Clone)]
-enum AgentState {
-    /// An unsettled follower riding the leader's cohort (parked; its
-    /// observable behaviour — follow every movement order — is realized by
-    /// the cohort ride).
-    Rider,
-    Prober {
-        origin: ProberOrigin,
-        port: Port,
-        pin: Option<Port>,
-        stage: ProbeStage,
-    },
-    Guest {
-        saved_parent_port: Option<Port>,
-        travel: GuestTravel,
-    },
-    /// A guest escorting another guest home (or `α(w)` doing the same for the
-    /// final leftover guest).
-    Escort {
-        /// What to restore on return: `None` means "this is the node settler
-        /// α(w); restore Settled at the probe site", otherwise the guest data.
-        guest_self: Option<(Port, Option<Port>)>,
-        saved_parent_port: Option<Port>,
-        via: Port,
-        pin: Option<Port>,
-        stage: EscortStage,
-    },
-    Settled {
-        parent_port: Option<Port>,
-    },
-    Leader {
-        phase: LeaderPhase,
-        arrival_pin: Option<Port>,
-        /// Ports of the current node probed so far.
-        checked: u32,
-        /// Smallest port found to lead to a fully-unsettled node.
-        next_empty: Option<Port>,
-        /// Solo-probe bookkeeping.
-        solo_pin: Option<Port>,
-    },
-}
-
-/// The doubling-probe dispersion protocol (rooted configurations).
+/// The doubling-probe dispersion protocol (rooted configurations),
+/// structure-of-arrays layout.
 #[derive(Debug)]
 pub struct ProbeDfs {
-    states: Vec<AgentState>,
-    ids: Vec<u32>,
+    /// Role × stage per agent — the dispatch byte (see [`tag`]).
+    tags: Vec<u8>,
+    /// Number of agents per memory class; with [`class_bits`](Self::new)
+    /// this makes peak-memory sampling `O(1)` instead of an `O(k)` scan.
+    class_counts: [u32; CLASSES],
+    /// Per-class footprint in bits (a function of `k` and `Δ` only).
+    class_bits: [usize; CLASSES],
+    /// Packed port fields (`NO_PORT` = none); meaning per role in [`tag`].
+    p0: Vec<Port>,
+    p1: Vec<Port>,
+    p2: Vec<Port>,
+    p3: Vec<Port>,
+    /// Packed counter / agent-reference fields; meaning per role in [`tag`].
+    aux0: Vec<u32>,
+    aux1: Vec<u32>,
     k: usize,
-    max_degree: usize,
     settled_count: usize,
-    /// Unsettled followers riding the cohort, sorted descending by
-    /// algorithmic id (`pop()` yields the smallest).
-    riders: Vec<AgentId>,
-    /// Guests idle at the current probe node, sorted ascending by id.
-    idle_guests: Vec<AgentId>,
-    /// Probers back at the probe node, awaiting collection by the leader.
-    returned_probers: Vec<AgentId>,
+    /// The shared slab behind the three bookkeeping lists.
+    lists: ListArena,
+    /// Unsettled followers riding the cohort, ascending by id (front =
+    /// smallest, the next to settle or probe).
+    riders: ListHandle,
+    /// Guests idle at the current probe node, ascending by id.
+    idle_guests: ListHandle,
+    /// Probers back at the probe node in arrival order, awaiting collection.
+    returned_probers: ListHandle,
+    /// Reusable drain buffer for prober collection and see-off pairing.
+    scratch: Vec<AgentId>,
     /// `node → settler agent` cache (see the module docs).
     settled_at: Vec<u32>,
     /// Counts `Async_Probe` invocations (one per `Decide`), for tests.
@@ -231,23 +265,33 @@ impl ProbeDfs {
             "ProbeDfs handles rooted initial configurations; use KsDfs or the general wrappers for scattered starts"
         );
         let leader = AgentId(k as u32 - 1);
-        let mut states = vec![AgentState::Rider; k];
-        states[leader.index()] = AgentState::Leader {
-            phase: LeaderPhase::Enroll,
-            arrival_pin: None,
-            checked: 0,
-            next_empty: None,
-            solo_pin: None,
-        };
+        let mut tags = vec![tag::RIDER; k];
+        tags[leader.index()] = tag::LEAD_ENROLL;
+        let mut lists = ListArena::new(k);
+        let mut riders = ListHandle::new();
+        for i in 0..k as u32 - 1 {
+            lists.push_back(&mut riders, AgentId(i));
+        }
+        let mut class_counts = [0u32; CLASSES];
+        class_counts[0] = k as u32 - 1; // riders
+        class_counts[5] = 1; // the leader
         ProbeDfs {
-            states,
-            ids: (1..=k as u32).collect(),
+            tags,
+            class_counts,
+            class_bits: class_bits_table(k, world.graph().max_degree()),
+            p0: vec![NO_PORT; k],
+            p1: vec![NO_PORT; k],
+            p2: vec![NO_PORT; k],
+            p3: vec![NO_PORT; k],
+            aux0: vec![0; k],
+            aux1: vec![0; k],
             k,
-            max_degree: world.graph().max_degree(),
             settled_count: 0,
-            riders: (0..k as u32 - 1).rev().map(AgentId).collect(),
-            idle_guests: Vec::new(),
-            returned_probers: Vec::new(),
+            lists,
+            riders,
+            idle_guests: ListHandle::new(),
+            returned_probers: ListHandle::new(),
+            scratch: Vec::new(),
             settled_at: vec![NO_SETTLER; world.graph().num_nodes()],
             probe_invocations: 0,
             max_probe_iterations: 0,
@@ -267,6 +311,7 @@ impl ProbeDfs {
         self.max_probe_iterations
     }
 
+    #[inline]
     fn settler_here(&self, ctx: &ActivationCtx<'_>) -> Option<AgentId> {
         match self.settled_at[ctx.node().index()] {
             NO_SETTLER => None,
@@ -274,8 +319,18 @@ impl ProbeDfs {
         }
     }
 
+    /// The single tag-write point: keeps the per-class counts (and with them
+    /// the `O(1)` peak-memory sampling) coherent.
+    #[inline]
+    fn set_tag(&mut self, i: usize, t: u8) {
+        self.class_counts[class(self.tags[i])] -= 1;
+        self.class_counts[class(t)] += 1;
+        self.tags[i] = t;
+    }
+
     fn settle(&mut self, ctx: &mut ActivationCtx<'_>, agent: AgentId, parent_port: Option<Port>) {
-        self.states[agent.index()] = AgentState::Settled { parent_port };
+        self.set_tag(agent.index(), tag::SETTLED);
+        self.p0[agent.index()] = enc(parent_port);
         self.settled_at[ctx.node().index()] = agent.0;
         self.settled_count += 1;
         ctx.milestone(agent, MILESTONE_SETTLED);
@@ -283,9 +338,12 @@ impl ProbeDfs {
     }
 
     fn unsettle(&mut self, ctx: &mut ActivationCtx<'_>, settler: AgentId) -> Option<Port> {
-        let AgentState::Settled { parent_port } = self.states[settler.index()] else {
-            unreachable!("unsettle on a non-settled agent")
-        };
+        debug_assert_eq!(
+            self.tags[settler.index()],
+            tag::SETTLED,
+            "unsettle on a non-settled agent"
+        );
+        let parent_port = opt(self.p0[settler.index()]);
         self.settled_at[ctx.node().index()] = NO_SETTLER;
         self.settled_count -= 1;
         ctx.wake(settler);
@@ -300,7 +358,7 @@ impl ProbeDfs {
         leader: AgentId,
         arrival_pin: Option<Port>,
     ) -> bool {
-        match self.riders.pop() {
+        match self.lists.pop_front(&mut self.riders) {
             None => {
                 self.settle(ctx, leader, arrival_pin);
                 true
@@ -313,7 +371,7 @@ impl ProbeDfs {
                 // invariant harness must catch this at that very step.
                 #[cfg(feature = "inject-collision")]
                 if self.settled_count == 3 {
-                    if let Some(extra) = self.riders.pop() {
+                    if let Some(extra) = self.lists.pop_front(&mut self.riders) {
                         ctx.extract(extra);
                         self.settle(ctx, extra, arrival_pin);
                     }
@@ -323,74 +381,49 @@ impl ProbeDfs {
         }
     }
 
-    fn insert_rider(&mut self, a: AgentId) {
-        // Keep `riders` sorted descending by id (pop() = smallest).
-        let id = self.ids[a.index()];
-        let pos = self.riders.partition_point(|r| self.ids[r.index()] > id);
-        self.riders.insert(pos, a);
-    }
-
-    fn insert_idle_guest(&mut self, a: AgentId) {
-        let id = self.ids[a.index()];
-        let pos = self
-            .idle_guests
-            .partition_point(|g| self.ids[g.index()] < id);
-        self.idle_guests.insert(pos, a);
-    }
-
     // ------------------------------------------------------------------
     // Leader
     // ------------------------------------------------------------------
 
     #[allow(clippy::too_many_lines)]
     fn act_leader(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
-        let AgentState::Leader {
-            phase,
-            mut arrival_pin,
-            mut checked,
-            mut next_empty,
-            mut solo_pin,
-        } = self.states[agent.index()]
-        else {
-            unreachable!("act_leader on non-leader");
-        };
-        let mut phase = phase;
-
-        match phase {
-            LeaderPhase::Enroll => {
+        let a = agent.index();
+        match self.tags[a] {
+            tag::LEAD_ENROLL => {
                 for i in 0..self.k as u32 {
                     if AgentId(i) != agent {
                         ctx.enroll(AgentId(i));
                     }
                 }
-                phase = LeaderPhase::Decide;
+                self.set_tag(a, tag::LEAD_DECIDE);
             }
 
-            LeaderPhase::Decide => {
+            tag::LEAD_DECIDE => {
                 if self.settler_here(ctx).is_none() {
                     // Start node: settle the smallest follower (or the leader
                     // itself if it is alone).
-                    if self.settle_next(ctx, agent, arrival_pin) {
-                        return;
-                    }
+                    let arrival_pin = opt(self.p0[a]);
+                    self.settle_next(ctx, agent, arrival_pin);
                 } else {
                     // Begin a fresh Async_Probe invocation at this node.
-                    checked = 0;
-                    next_empty = None;
+                    self.aux0[a] = 0;
+                    self.p1[a] = NO_PORT;
                     self.probe_invocations += 1;
                     self.current_probe_iterations = 0;
-                    phase = LeaderPhase::ProbeAssign;
+                    self.set_tag(a, tag::LEAD_PROBE_ASSIGN);
                 }
             }
 
-            LeaderPhase::ProbeAssign => {
-                if next_empty.is_some() || checked as usize >= ctx.degree() {
-                    phase = if self.idle_guests.is_empty() {
+            tag::LEAD_PROBE_ASSIGN => {
+                let checked = self.aux0[a];
+                if self.p1[a] != NO_PORT || checked as usize >= ctx.degree() {
+                    let next = if self.idle_guests.is_empty() {
                         // Settler is present; falls through to movement.
-                        LeaderPhase::SeeOffWaitSettler
+                        tag::LEAD_SEE_OFF_WAIT_SETTLER
                     } else {
-                        LeaderPhase::SeeOffAssign
+                        tag::LEAD_SEE_OFF_ASSIGN
                     };
+                    self.set_tag(a, next);
                 } else {
                     self.current_probe_iterations += 1;
                     self.max_probe_iterations =
@@ -401,305 +434,260 @@ impl ProbeDfs {
                         // node: probe the next port itself.
                         let port = Port(checked + 1);
                         if let Some(pin) = try_move(ctx, port) {
-                            solo_pin = Some(pin);
-                            phase = LeaderPhase::SoloOut;
+                            self.p2[a] = pin;
+                            self.set_tag(a, tag::LEAD_SOLO_OUT);
                         }
                     } else {
                         // Assign the `want` smallest-id helpers from the
-                        // union of idle guests and riders.
+                        // union of idle guests and riders (both lists are
+                        // ascending: merge by taking the smaller front).
                         let want = (ctx.degree() - checked as usize).min(avail);
-                        let mut guests_taken = 0usize;
                         for i in 0..want {
                             let port = Port(checked + 1 + i as u32);
-                            let next_guest = self.idle_guests.get(guests_taken).copied();
-                            let next_rider = self.riders.last().copied();
-                            let take_guest = match (next_guest, next_rider) {
-                                (Some(g), Some(r)) => self.ids[g.index()] < self.ids[r.index()],
+                            let take_guest = match (self.idle_guests.front(), self.riders.front()) {
+                                (Some(g), Some(r)) => g.0 < r.0,
                                 (Some(_), None) => true,
                                 (None, _) => false,
                             };
-                            let (helper, origin) = if take_guest {
-                                let g = next_guest.expect("guest available");
-                                guests_taken += 1;
-                                let AgentState::Guest {
-                                    saved_parent_port,
-                                    travel: GuestTravel::Idle { home_port },
-                                } = self.states[g.index()]
-                                else {
-                                    unreachable!("idle_guests holds only idle guests")
-                                };
+                            let helper = if take_guest {
+                                let g = self
+                                    .lists
+                                    .pop_front(&mut self.idle_guests)
+                                    .expect("guest available");
+                                let gi = g.index();
+                                debug_assert_eq!(self.tags[gi], tag::GUEST_IDLE);
+                                // Guest home port / saved parent move to the
+                                // prober origin slots p2/p3.
+                                self.p2[gi] = self.p1[gi];
+                                self.p3[gi] = self.p0[gi];
                                 ctx.wake(g);
-                                (
-                                    g,
-                                    ProberOrigin::Guest {
-                                        home_port,
-                                        saved_parent_port,
-                                    },
-                                )
+                                g
                             } else {
-                                let r = self.riders.pop().expect("rider available");
+                                let r = self
+                                    .lists
+                                    .pop_front(&mut self.riders)
+                                    .expect("rider available");
                                 ctx.extract(r);
-                                (r, ProberOrigin::Follower)
+                                let ri = r.index();
+                                self.p2[ri] = NO_PORT;
+                                self.p3[ri] = NO_PORT;
+                                r
                             };
-                            self.states[helper.index()] = AgentState::Prober {
-                                origin,
-                                port,
-                                pin: None,
-                                stage: ProbeStage::Out,
-                            };
+                            let h = helper.index();
+                            self.set_tag(h, tag::PROBER_OUT);
+                            self.p0[h] = port;
+                            self.p1[h] = NO_PORT;
                         }
-                        self.idle_guests.drain(0..guests_taken);
-                        checked += want as u32;
-                        phase = LeaderPhase::ProbeWait {
-                            assigned: want as u32,
-                        };
+                        self.aux0[a] = checked + want as u32;
+                        self.aux1[a] = want as u32;
+                        self.set_tag(a, tag::LEAD_PROBE_WAIT);
                     }
                 }
             }
 
-            LeaderPhase::ProbeWait { assigned } => {
-                if self.returned_probers.len() as u32 == assigned {
-                    // Collect reports, revert probers.
-                    let probers = std::mem::take(&mut self.returned_probers);
-                    for prober in probers {
-                        let AgentState::Prober {
-                            origin,
-                            port,
-                            stage: ProbeStage::Returned { found_settler },
-                            ..
-                        } = self.states[prober.index()]
-                        else {
-                            unreachable!("returned_probers holds only returned probers")
+            tag::LEAD_PROBE_WAIT => {
+                if self.returned_probers.len() as u32 == self.aux1[a] {
+                    // Collect reports, revert probers (in arrival order).
+                    let mut probers = std::mem::take(&mut self.scratch);
+                    self.lists
+                        .drain_into(&mut self.returned_probers, &mut probers);
+                    for &prober in &probers {
+                        let p = prober.index();
+                        let found_settler = match self.tags[p] {
+                            tag::PROBER_RETURNED_FOUND => true,
+                            tag::PROBER_RETURNED_EMPTY => false,
+                            t => unreachable!("returned prober in stage {t}"),
                         };
                         if !found_settler {
-                            next_empty = Some(match next_empty {
-                                Some(p) if p < port => p,
+                            let port = self.p0[p];
+                            self.p1[a] = match opt(self.p1[a]) {
+                                Some(q) if q < port => q,
                                 _ => port,
-                            });
+                            };
                         }
-                        match origin {
-                            ProberOrigin::Follower => {
-                                self.states[prober.index()] = AgentState::Rider;
-                                ctx.enroll(prober);
-                                self.insert_rider(prober);
-                            }
-                            ProberOrigin::Guest {
-                                home_port,
-                                saved_parent_port,
-                            } => {
-                                self.states[prober.index()] = AgentState::Guest {
-                                    saved_parent_port,
-                                    travel: GuestTravel::Idle { home_port },
-                                };
-                                ctx.park(prober);
-                                self.insert_idle_guest(prober);
-                            }
+                        if self.p2[p] == NO_PORT {
+                            // Follower origin: back onto the cohort.
+                            self.set_tag(p, tag::RIDER);
+                            ctx.enroll(prober);
+                            self.lists.insert_sorted(&mut self.riders, prober);
+                        } else {
+                            // Guest origin: back to idling at the probe node.
+                            self.set_tag(p, tag::GUEST_IDLE);
+                            self.p0[p] = self.p3[p];
+                            self.p1[p] = self.p2[p];
+                            ctx.park(prober);
+                            self.lists.insert_sorted(&mut self.idle_guests, prober);
                         }
                     }
-                    phase = LeaderPhase::ProbeAssign;
+                    probers.clear();
+                    self.scratch = probers;
+                    self.set_tag(a, tag::LEAD_PROBE_ASSIGN);
                 }
             }
 
-            LeaderPhase::SoloOut => {
+            tag::LEAD_SOLO_OUT => {
                 // Arrived at the solo-probed neighbor.
-                phase = LeaderPhase::SoloAtNeighbor;
+                self.set_tag(a, tag::LEAD_SOLO_AT_NEIGHBOR);
             }
 
-            LeaderPhase::SoloAtNeighbor => {
+            tag::LEAD_SOLO_AT_NEIGHBOR => {
                 if let Some(settler) = self.settler_here(ctx) {
                     let parent_port = self.unsettle(ctx, settler);
-                    self.states[settler.index()] = AgentState::Guest {
-                        saved_parent_port: parent_port,
-                        travel: GuestTravel::ToProbeSite {
-                            via: solo_pin.expect("solo pin recorded"),
-                        },
-                    };
-                    phase = LeaderPhase::SoloWaitGuestGone { recruited: settler };
+                    let s = settler.index();
+                    self.set_tag(s, tag::GUEST_TO_PROBE_SITE);
+                    self.p0[s] = enc(parent_port);
+                    self.p1[s] = self.p2[a];
+                    debug_assert_ne!(self.p1[s], NO_PORT, "solo pin recorded");
+                    self.aux1[a] = settler.0;
+                    self.set_tag(a, tag::LEAD_SOLO_WAIT_GUEST_GONE);
                 } else {
-                    let pin = solo_pin.expect("solo pin recorded");
+                    let pin = self.p2[a];
+                    debug_assert_ne!(pin, NO_PORT, "solo pin recorded");
                     if try_move(ctx, pin).is_some() {
-                        phase = LeaderPhase::SoloReturn {
-                            found_settler: false,
-                        };
+                        self.set_tag(a, tag::LEAD_SOLO_RETURN_EMPTY);
                     }
                 }
             }
 
-            LeaderPhase::SoloWaitGuestGone { recruited } => {
+            tag::LEAD_SOLO_WAIT_GUEST_GONE => {
+                let recruited = AgentId(self.aux1[a]);
                 if !ctx.colocated_iter().any(|peer| peer == recruited) {
-                    let pin = solo_pin.expect("solo pin recorded");
+                    let pin = self.p2[a];
+                    debug_assert_ne!(pin, NO_PORT, "solo pin recorded");
                     if try_move(ctx, pin).is_some() {
-                        phase = LeaderPhase::SoloReturn {
-                            found_settler: true,
-                        };
+                        self.set_tag(a, tag::LEAD_SOLO_RETURN_FOUND);
                     }
                 }
             }
 
-            LeaderPhase::SoloReturn { found_settler } => {
+            t @ (tag::LEAD_SOLO_RETURN_EMPTY | tag::LEAD_SOLO_RETURN_FOUND) => {
                 // Back at the DFS node.
-                if !found_settler {
-                    next_empty = Some(Port(checked + 1));
+                if t == tag::LEAD_SOLO_RETURN_EMPTY {
+                    self.p1[a] = Port(self.aux0[a] + 1);
                 }
-                checked += 1;
-                solo_pin = None;
-                phase = LeaderPhase::ProbeAssign;
+                self.aux0[a] += 1;
+                self.p2[a] = NO_PORT;
+                self.set_tag(a, tag::LEAD_PROBE_ASSIGN);
             }
 
-            LeaderPhase::SeeOffAssign => {
+            tag::LEAD_SEE_OFF_ASSIGN => {
                 let x = self.idle_guests.len();
                 match x {
-                    0 => {
-                        phase = self.movement(
-                            ctx,
-                            next_empty,
-                            &mut arrival_pin,
-                            LeaderPhase::SeeOffAssign,
-                        );
-                    }
+                    0 => self.movement(ctx, agent, tag::LEAD_SEE_OFF_ASSIGN),
                     1 => {
                         // α(w) escorts the single leftover guest home.
-                        let guest = self.idle_guests[0];
+                        let guest = self
+                            .lists
+                            .pop_front(&mut self.idle_guests)
+                            .expect("one idle guest");
                         let settler = self
                             .settler_here(ctx)
                             .expect("probe node must have a settler");
-                        let AgentState::Guest {
-                            saved_parent_port,
-                            travel: GuestTravel::Idle { home_port },
-                        } = self.states[guest.index()]
-                        else {
-                            unreachable!()
-                        };
+                        let g = guest.index();
+                        debug_assert_eq!(self.tags[g], tag::GUEST_IDLE);
+                        let home_port = self.p1[g];
                         let settler_parent = self.unsettle(ctx, settler);
-                        self.states[guest.index()] = AgentState::Guest {
-                            saved_parent_port,
-                            travel: GuestTravel::GoingHome { via: home_port },
-                        };
+                        // The guest walks home: p0 (saved parent) stays and
+                        // p1 already holds the home port it walks through.
+                        self.set_tag(g, tag::GUEST_GOING_HOME);
                         ctx.wake(guest);
-                        self.states[settler.index()] = AgentState::Escort {
-                            guest_self: None,
-                            saved_parent_port: settler_parent,
-                            via: home_port,
-                            pin: None,
-                            stage: EscortStage::Going,
-                        };
-                        self.idle_guests.clear();
-                        phase = LeaderPhase::SeeOffWaitSettler;
+                        let s = settler.index();
+                        self.set_tag(s, tag::ESCORT_GOING);
+                        self.p0[s] = home_port;
+                        self.p1[s] = NO_PORT;
+                        self.p2[s] = NO_PORT;
+                        self.p3[s] = NO_PORT;
+                        self.aux0[s] = enc(settler_parent).0;
+                        self.set_tag(a, tag::LEAD_SEE_OFF_WAIT_SETTLER);
                     }
                     x => {
                         let pairs = x / 2;
-                        let guests = std::mem::take(&mut self.idle_guests);
+                        let mut guests = std::mem::take(&mut self.scratch);
+                        self.lists.drain_into(&mut self.idle_guests, &mut guests);
                         for i in 0..pairs {
-                            let a = guests[2 * i];
-                            let b = guests[2 * i + 1];
-                            let AgentState::Guest {
-                                saved_parent_port: a_parent,
-                                travel: GuestTravel::Idle { home_port: a_home },
-                            } = self.states[a.index()]
-                            else {
-                                unreachable!()
-                            };
-                            let AgentState::Guest {
-                                saved_parent_port: b_parent,
-                                travel: GuestTravel::Idle { home_port: b_home },
-                            } = self.states[b.index()]
-                            else {
-                                unreachable!()
-                            };
-                            self.states[a.index()] = AgentState::Guest {
-                                saved_parent_port: a_parent,
-                                travel: GuestTravel::GoingHome { via: a_home },
-                            };
-                            ctx.wake(a);
-                            self.states[b.index()] = AgentState::Escort {
-                                guest_self: Some((b_home, b_parent)),
-                                saved_parent_port: a_parent,
-                                via: a_home,
-                                pin: None,
-                                stage: EscortStage::Going,
-                            };
-                            ctx.wake(b);
+                            let walker = guests[2 * i];
+                            let escort = guests[2 * i + 1];
+                            let w = walker.index();
+                            let e = escort.index();
+                            let walker_parent = self.p0[w];
+                            let walker_home = self.p1[w];
+                            let escort_parent = self.p0[e];
+                            let escort_home = self.p1[e];
+                            // The first guest walks home (p1 already holds
+                            // its home port); the second escorts it there.
+                            self.set_tag(w, tag::GUEST_GOING_HOME);
+                            ctx.wake(walker);
+                            self.set_tag(e, tag::ESCORT_GOING);
+                            self.p0[e] = walker_home;
+                            self.p1[e] = NO_PORT;
+                            self.p2[e] = escort_home;
+                            self.p3[e] = escort_parent;
+                            self.aux0[e] = walker_parent.0;
+                            ctx.wake(escort);
                         }
                         // An odd leftover guest stays idle (and parked).
                         if x % 2 == 1 {
-                            self.idle_guests.push(guests[x - 1]);
+                            self.lists.push_back(&mut self.idle_guests, guests[x - 1]);
                         }
-                        phase = LeaderPhase::SeeOffWait {
-                            expect_idle: (x - pairs) as u32,
-                        };
+                        guests.clear();
+                        self.scratch = guests;
+                        self.aux1[a] = (x - pairs) as u32;
+                        self.set_tag(a, tag::LEAD_SEE_OFF_WAIT);
                     }
                 }
             }
 
-            LeaderPhase::SeeOffWait { expect_idle } => {
-                if self.idle_guests.len() as u32 == expect_idle {
-                    phase = LeaderPhase::SeeOffAssign;
+            tag::LEAD_SEE_OFF_WAIT => {
+                if self.idle_guests.len() as u32 == self.aux1[a] {
+                    self.set_tag(a, tag::LEAD_SEE_OFF_ASSIGN);
                 }
             }
 
-            LeaderPhase::SeeOffWaitSettler => {
+            tag::LEAD_SEE_OFF_WAIT_SETTLER => {
                 if self.settler_here(ctx).is_some() {
-                    phase = self.movement(
-                        ctx,
-                        next_empty,
-                        &mut arrival_pin,
-                        LeaderPhase::SeeOffWaitSettler,
-                    );
+                    self.movement(ctx, agent, tag::LEAD_SEE_OFF_WAIT_SETTLER);
                 }
             }
 
-            LeaderPhase::ArriveForward => {
+            tag::LEAD_ARRIVE_FORWARD => {
                 debug_assert!(
                     self.settler_here(ctx).is_none(),
                     "forward target must be fully unsettled"
                 );
-                if self.settle_next(ctx, agent, arrival_pin) {
-                    return;
+                let arrival_pin = opt(self.p0[a]);
+                if !self.settle_next(ctx, agent, arrival_pin) {
+                    self.set_tag(a, tag::LEAD_DECIDE);
                 }
-                phase = LeaderPhase::Decide;
             }
-        }
 
-        self.states[agent.index()] = AgentState::Leader {
-            phase,
-            arrival_pin,
-            checked,
-            next_empty,
-            solo_pin,
-        };
+            t => unreachable!("act_leader on non-leader tag {t}"),
+        }
     }
 
     /// Execute the DFS move (forward to the discovered unsettled neighbor, or
     /// backtrack to the parent) — the whole cohort rides along. When the
     /// dynamic adversary has the edge down, the group stays put and the
     /// leader remains in `stay`, retrying on its next activation.
-    fn movement(
-        &mut self,
-        ctx: &mut ActivationCtx<'_>,
-        next_empty: Option<Port>,
-        arrival_pin: &mut Option<Port>,
-        stay: LeaderPhase,
-    ) -> LeaderPhase {
-        let (p, arrived) = match next_empty {
-            Some(p) => (p, LeaderPhase::ArriveForward),
+    fn movement(&mut self, ctx: &mut ActivationCtx<'_>, leader: AgentId, stay: u8) {
+        let a = leader.index();
+        let (p, arrived) = match opt(self.p1[a]) {
+            Some(p) => (p, tag::LEAD_ARRIVE_FORWARD),
             None => {
                 let settler = self
                     .settler_here(ctx)
                     .expect("backtracking from a settled node");
-                let AgentState::Settled { parent_port } = self.states[settler.index()] else {
-                    unreachable!()
-                };
-                let p =
-                    parent_port.expect("DFS root can only be exhausted after every agent settled");
-                (p, LeaderPhase::Decide)
+                debug_assert_eq!(self.tags[settler.index()], tag::SETTLED);
+                let p = opt(self.p0[settler.index()])
+                    .expect("DFS root can only be exhausted after every agent settled");
+                (p, tag::LEAD_DECIDE)
             }
         };
         match ctx.try_move_cohort_via(p) {
             Ok(pin) => {
-                *arrival_pin = Some(pin);
-                arrived
+                self.p0[a] = pin;
+                self.set_tag(a, arrived);
             }
-            Err(MoveError::EdgeDown { .. }) => stay,
+            Err(MoveError::EdgeDown { .. }) => self.set_tag(a, stay),
             Err(e) => panic!("illegal probe-dfs cohort move: {e}"),
         }
     }
@@ -709,166 +697,132 @@ impl ProbeDfs {
     // ------------------------------------------------------------------
 
     fn act_prober(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
-        let AgentState::Prober {
-            origin,
-            port,
-            mut pin,
-            stage,
-        } = self.states[agent.index()]
-        else {
-            unreachable!()
-        };
-        let mut stage = stage;
-        match stage {
-            ProbeStage::Out => {
-                if let Some(p) = try_move(ctx, port) {
-                    pin = Some(p);
-                    stage = ProbeStage::AtNeighbor;
+        let a = agent.index();
+        match self.tags[a] {
+            tag::PROBER_OUT => {
+                if let Some(p) = try_move(ctx, self.p0[a]) {
+                    self.p1[a] = p;
+                    self.set_tag(a, tag::PROBER_AT_NEIGHBOR);
                 }
             }
-            ProbeStage::AtNeighbor => {
+            tag::PROBER_AT_NEIGHBOR => {
                 if let Some(settler) = self.settler_here(ctx) {
                     let parent_port = self.unsettle(ctx, settler);
-                    self.states[settler.index()] = AgentState::Guest {
-                        saved_parent_port: parent_port,
-                        travel: GuestTravel::ToProbeSite {
-                            via: pin.expect("pin recorded on the way out"),
-                        },
-                    };
-                    stage = ProbeStage::WaitGuestGone { recruited: settler };
+                    let s = settler.index();
+                    self.set_tag(s, tag::GUEST_TO_PROBE_SITE);
+                    self.p0[s] = enc(parent_port);
+                    self.p1[s] = self.p1[a];
+                    debug_assert_ne!(self.p1[s], NO_PORT, "pin recorded on the way out");
+                    self.aux0[a] = settler.0;
+                    self.set_tag(a, tag::PROBER_WAIT_GUEST_GONE);
                 } else {
-                    stage = ProbeStage::GoHome {
-                        found_settler: false,
-                    };
+                    self.set_tag(a, tag::PROBER_GO_HOME_EMPTY);
                 }
             }
-            ProbeStage::WaitGuestGone { recruited } => {
+            tag::PROBER_WAIT_GUEST_GONE => {
+                let recruited = AgentId(self.aux0[a]);
                 if !ctx.colocated_iter().any(|peer| peer == recruited) {
-                    stage = ProbeStage::GoHome {
-                        found_settler: true,
-                    };
+                    self.set_tag(a, tag::PROBER_GO_HOME_FOUND);
                 }
             }
-            ProbeStage::GoHome { found_settler } => {
-                if try_move(ctx, pin.expect("pin recorded on the way out")).is_some() {
-                    stage = ProbeStage::Returned { found_settler };
-                    self.returned_probers.push(agent);
+            t @ (tag::PROBER_GO_HOME_EMPTY | tag::PROBER_GO_HOME_FOUND) => {
+                let pin = self.p1[a];
+                debug_assert_ne!(pin, NO_PORT, "pin recorded on the way out");
+                if try_move(ctx, pin).is_some() {
+                    self.set_tag(
+                        a,
+                        if t == tag::PROBER_GO_HOME_FOUND {
+                            tag::PROBER_RETURNED_FOUND
+                        } else {
+                            tag::PROBER_RETURNED_EMPTY
+                        },
+                    );
+                    self.lists.push_back(&mut self.returned_probers, agent);
                     ctx.park(agent);
                 }
             }
-            ProbeStage::Returned { .. } => {}
+            tag::PROBER_RETURNED_EMPTY | tag::PROBER_RETURNED_FOUND => {}
+            t => unreachable!("act_prober on non-prober tag {t}"),
         }
-        self.states[agent.index()] = AgentState::Prober {
-            origin,
-            port,
-            pin,
-            stage,
-        };
     }
 
     fn act_guest(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
-        let AgentState::Guest {
-            saved_parent_port,
-            travel,
-        } = self.states[agent.index()]
-        else {
-            unreachable!()
-        };
-        match travel {
-            GuestTravel::ToProbeSite { via } => {
-                let Some(pin) = try_move(ctx, via) else {
+        let a = agent.index();
+        match self.tags[a] {
+            tag::GUEST_TO_PROBE_SITE => {
+                let Some(pin) = try_move(ctx, self.p1[a]) else {
                     return;
                 };
-                self.states[agent.index()] = AgentState::Guest {
-                    saved_parent_port,
-                    travel: GuestTravel::Idle { home_port: pin },
-                };
-                self.insert_idle_guest(agent);
+                self.set_tag(a, tag::GUEST_IDLE);
+                self.p1[a] = pin;
+                self.lists.insert_sorted(&mut self.idle_guests, agent);
                 ctx.park(agent);
             }
-            GuestTravel::Idle { .. } => {}
-            GuestTravel::GoingHome { via } => {
-                if try_move(ctx, via).is_none() {
+            tag::GUEST_IDLE => {}
+            tag::GUEST_GOING_HOME => {
+                if try_move(ctx, self.p1[a]).is_none() {
                     return;
                 }
-                self.states[agent.index()] = AgentState::Settled {
-                    parent_port: saved_parent_port,
-                };
+                // Re-settle at home: p0 already holds the saved parent port.
+                self.set_tag(a, tag::SETTLED);
                 self.settled_at[ctx.node().index()] = agent.0;
                 self.settled_count += 1;
                 ctx.park(agent);
             }
+            t => unreachable!("act_guest on non-guest tag {t}"),
         }
     }
 
     fn act_escort(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
-        let AgentState::Escort {
-            guest_self,
-            saved_parent_port,
-            via,
-            mut pin,
-            stage,
-        } = self.states[agent.index()]
-        else {
-            unreachable!()
-        };
-        let mut stage = stage;
-        match stage {
-            EscortStage::Going => {
-                if let Some(p) = try_move(ctx, via) {
-                    pin = Some(p);
-                    stage = EscortStage::AtPartnerHome;
+        let a = agent.index();
+        match self.tags[a] {
+            tag::ESCORT_GOING => {
+                if let Some(p) = try_move(ctx, self.p0[a]) {
+                    self.p1[a] = p;
+                    self.set_tag(a, tag::ESCORT_AT_PARTNER_HOME);
                 }
             }
-            EscortStage::AtPartnerHome => {
+            tag::ESCORT_AT_PARTNER_HOME => {
                 // Wait until the partner guest has arrived and re-settled.
-                if self.settler_here(ctx).is_some()
-                    && try_move(ctx, pin.expect("pin recorded on the way out")).is_some()
-                {
-                    stage = EscortStage::Returned;
+                if self.settler_here(ctx).is_some() {
+                    let pin = self.p1[a];
+                    debug_assert_ne!(pin, NO_PORT, "pin recorded on the way out");
+                    if try_move(ctx, pin).is_some() {
+                        self.set_tag(a, tag::ESCORT_RETURNED);
+                    }
                 }
             }
-            EscortStage::Returned => {
+            tag::ESCORT_RETURNED => {
                 // Restore.
-                match guest_self {
-                    None => {
-                        self.states[agent.index()] = AgentState::Settled {
-                            parent_port: saved_parent_port,
-                        };
-                        self.settled_at[ctx.node().index()] = agent.0;
-                        self.settled_count += 1;
-                        ctx.park(agent);
-                    }
-                    Some((home_port, my_parent)) => {
-                        self.states[agent.index()] = AgentState::Guest {
-                            saved_parent_port: my_parent,
-                            travel: GuestTravel::Idle { home_port },
-                        };
-                        self.insert_idle_guest(agent);
-                        ctx.park(agent);
-                    }
+                if self.p2[a] == NO_PORT {
+                    // α(w): re-settle at the probe node.
+                    self.set_tag(a, tag::SETTLED);
+                    self.p0[a] = Port(self.aux0[a]);
+                    self.settled_at[ctx.node().index()] = agent.0;
+                    self.settled_count += 1;
+                    ctx.park(agent);
+                } else {
+                    // A guest escort: back to idling at the probe node.
+                    self.set_tag(a, tag::GUEST_IDLE);
+                    self.p0[a] = self.p3[a];
+                    self.p1[a] = self.p2[a];
+                    self.lists.insert_sorted(&mut self.idle_guests, agent);
+                    ctx.park(agent);
                 }
-                return;
             }
+            t => unreachable!("act_escort on non-escort tag {t}"),
         }
-        self.states[agent.index()] = AgentState::Escort {
-            guest_self,
-            saved_parent_port,
-            via,
-            pin,
-            stage,
-        };
     }
 }
 
 impl AgentProtocol for ProbeDfs {
     fn on_activate(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
-        match self.states[agent.index()] {
-            AgentState::Settled { .. } | AgentState::Rider => {}
-            AgentState::Leader { .. } => self.act_leader(agent, ctx),
-            AgentState::Prober { .. } => self.act_prober(agent, ctx),
-            AgentState::Guest { .. } => self.act_guest(agent, ctx),
-            AgentState::Escort { .. } => self.act_escort(agent, ctx),
+        match self.tags[agent.index()] {
+            tag::RIDER | tag::SETTLED => {}
+            tag::PROBER_OUT..=tag::PROBER_RETURNED_FOUND => self.act_prober(agent, ctx),
+            tag::GUEST_TO_PROBE_SITE..=tag::GUEST_GOING_HOME => self.act_guest(agent, ctx),
+            tag::ESCORT_GOING..=tag::ESCORT_RETURNED => self.act_escort(agent, ctx),
+            _ => self.act_leader(agent, ctx),
         }
     }
 
@@ -877,30 +831,21 @@ impl AgentProtocol for ProbeDfs {
     }
 
     fn is_settled(&self, agent: AgentId) -> bool {
-        matches!(self.states[agent.index()], AgentState::Settled { .. })
+        self.tags[agent.index()] == tag::SETTLED
     }
 
     fn memory_bits(&self, agent: AgentId) -> usize {
-        let id = bits::id_bits(self.k);
-        let port = bits::port_bits(self.max_degree);
-        let opt_port = bits::opt_port_bits(self.max_degree);
-        match &self.states[agent.index()] {
-            AgentState::Rider => id + 1,
-            AgentState::Prober { .. } => id + 3 + port + opt_port + 1 + id + 2 * opt_port,
-            AgentState::Guest { .. } => id + 2 + opt_port + port,
-            AgentState::Escort { .. } => id + 2 + 2 * opt_port + port + opt_port,
-            AgentState::Settled { .. } => id + opt_port,
-            AgentState::Leader { .. } => {
-                id + 4
-                    + bits::counter_bits(self.k as u64)
-                    + 1
-                    + port
-                    + 2 * opt_port
-                    + bits::counter_bits(self.max_degree as u64)
-                    + opt_port
-                    + opt_port
-            }
-        }
+        self.class_bits[class(self.tags[agent.index()])]
+    }
+
+    fn max_memory_bits(&self) -> Option<usize> {
+        Some(
+            (0..CLASSES)
+                .filter(|&c| self.class_counts[c] > 0)
+                .map(|c| self.class_bits[c])
+                .max()
+                .unwrap_or(0),
+        )
     }
 
     fn name(&self) -> &'static str {

@@ -19,9 +19,37 @@
 //! graphs. The empty-node selection and oscillation components are
 //! implemented and verified separately; wiring them into this protocol is
 //! the one fidelity gap of this reproduction (tracked in `EXPERIMENTS.md`).
+//!
+//! ## Structure-of-arrays state (DESIGN.md §13)
+//!
+//! Per-agent state is a `u8` tag (role × stage, booleans such as a seeker's
+//! `saw_settler` folded in — see the private `tag` module) plus packed parallel fields: `p0`
+//! (a seeker's probe port / a settler's parent port, `Port(0)` = none),
+//! `p1` (a seeker's return pin) and `aux0` (a seeker's wait counter). The
+//! protocol has exactly **one** leader, so its phase payload — group size,
+//! movement order, probe counters — lives in plain struct scalars instead
+//! of per-agent enum variants, and a `node → settler` cache replaces the
+//! per-activation co-location scans for "does this node host a settler"
+//! (settlers never move in this protocol, so the cache is trivially
+//! coherent). The `tests/soa_differential.rs` suite pins this rewrite
+//! step-for-step to the retained enum-of-structs reference.
 
 use disp_graph::Port;
 use disp_sim::{bits, ActivationCtx, AgentId, AgentProtocol, World};
+
+const NO_SETTLER: u32 = u32::MAX;
+/// The `Option<Port>` sentinel: ports are 1-based, so `Port(0)` is free.
+const NO_PORT: Port = Port(0);
+
+#[inline]
+fn opt(p: Port) -> Option<Port> {
+    (p != NO_PORT).then_some(p)
+}
+
+#[inline]
+fn enc(p: Option<Port>) -> Port {
+    p.unwrap_or(NO_PORT)
+}
 
 /// Tuning knobs (also used by the ablation benches).
 #[derive(Debug, Clone, Copy)]
@@ -44,71 +72,123 @@ impl Default for SyncConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct GroupOrder {
-    flip: bool,
-    port: Port,
+/// The flattened role × stage tag (`_F`/`_T` fold the `saw_settler` /
+/// `executed` booleans into the byte).
+mod tag {
+    /// Follower with `executed == false` (group-order flip protocol).
+    pub const FOLLOWER_F: u8 = 0;
+    /// Follower with `executed == true`.
+    pub const FOLLOWER_T: u8 = 1;
+    /// Settled at the current node. Fields: `p0` = parent port (opt).
+    pub const SETTLED: u8 = 2;
+
+    // Seeker (fields: `p0` = probe port, `p1` = return pin (opt), `aux0` =
+    // wait rounds left; `saw_settler` in the tag).
+    pub const SEEK_OUT: u8 = 3;
+    pub const SEEK_WAIT_F: u8 = 4;
+    pub const SEEK_WAIT_T: u8 = 5;
+    pub const SEEK_RET_F: u8 = 6;
+    pub const SEEK_RET_T: u8 = 7;
+
+    // Leader phases (payload in the protocol's scalar fields — there is
+    // exactly one leader).
+    pub const LEAD_DECIDE: u8 = 8;
+    pub const LEAD_PROBE_ASSIGN: u8 = 9;
+    pub const LEAD_PROBE_WAIT: u8 = 10;
+    pub const LEAD_SOLO_OUT: u8 = 11;
+    pub const LEAD_SOLO_WAIT_F: u8 = 12;
+    pub const LEAD_SOLO_WAIT_T: u8 = 13;
+    pub const LEAD_SOLO_RET_F: u8 = 14;
+    pub const LEAD_SOLO_RET_T: u8 = 15;
+    pub const LEAD_DEPART_FORWARD: u8 = 16;
+    pub const LEAD_DEPART_BACKTRACK: u8 = 17;
+    pub const LEAD_ARRIVE_FORWARD: u8 = 18;
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum MoveIntent {
-    Forward,
-    Backtrack,
+/// Number of memory classes (coarse roles with a fixed bit footprint):
+/// follower, settled, seeker, leader.
+const CLASSES: usize = 4;
+
+/// The memory class of a tag — the coarse role.
+#[inline]
+fn class(t: u8) -> usize {
+    match t {
+        tag::FOLLOWER_F | tag::FOLLOWER_T => 0,
+        tag::SETTLED => 1,
+        tag::SEEK_OUT..=tag::SEEK_RET_T => 2,
+        _ => 3,
+    }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SeekStage {
-    Out,
-    Waiting { left: u32, saw_settler: bool },
-    Returned { saw_settler: bool },
+/// Per-class footprint in bits (the same accounting the pre-SoA enum
+/// variants used).
+fn class_bits_table(k: usize, max_degree: usize) -> [usize; CLASSES] {
+    let id = bits::id_bits(k);
+    let port = bits::port_bits(max_degree);
+    let opt_port = bits::opt_port_bits(max_degree);
+    [
+        // follower: id + executed flag
+        id + 1,
+        // settled: id + parent port
+        id + opt_port,
+        // seeker: id + stage + port + pin + wait counter + flag
+        id + 2 + port + opt_port + bits::counter_bits(8) + 1,
+        // leader: id + phase + counters + ports
+        id + 3
+            + bits::counter_bits(k as u64)
+            + 1
+            + port
+            + 2 * opt_port
+            + bits::counter_bits(max_degree as u64)
+            + opt_port
+            + opt_port,
+    ]
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum LeaderPhase {
-    Decide,
-    ProbeAssign,
-    ProbeWait { assigned: u32 },
-    SoloOut,
-    SoloWait { left: u32, saw_settler: bool },
-    SoloReturned { saw_settler: bool },
-    Departing(MoveIntent),
-    ArriveForward,
-}
-
-#[derive(Debug, Clone)]
-enum AgentState {
-    Follower {
-        executed: bool,
-    },
-    Seeker {
-        port: Port,
-        pin: Option<Port>,
-        stage: SeekStage,
-    },
-    Settled {
-        parent_port: Option<Port>,
-    },
-    Leader {
-        phase: LeaderPhase,
-        group_size: usize,
-        order: Option<GroupOrder>,
-        arrival_pin: Option<Port>,
-        checked: u32,
-        next_empty: Option<Port>,
-        solo_pin: Option<Port>,
-    },
-}
-
-/// The seeker-probing SYNC dispersion protocol (rooted configurations).
+/// The seeker-probing SYNC dispersion protocol (rooted configurations),
+/// structure-of-arrays layout.
 #[derive(Debug)]
 pub struct RootedSyncDisp {
     config: SyncConfig,
-    states: Vec<AgentState>,
-    ids: Vec<u32>,
+    /// Role × stage per agent — the dispatch byte (see [`tag`]).
+    tags: Vec<u8>,
+    /// Number of agents per memory class; with `class_bits` this makes
+    /// peak-memory sampling `O(1)` instead of an `O(k)` scan.
+    class_counts: [u32; CLASSES],
+    /// Per-class footprint in bits (a function of `k` and `Δ` only).
+    class_bits: [usize; CLASSES],
+    /// Seeker probe port / settler parent port (`NO_PORT` = none).
+    p0: Vec<Port>,
+    /// Seeker return pin (`NO_PORT` = none).
+    p1: Vec<Port>,
+    /// Seeker wait counter.
+    aux0: Vec<u32>,
     leader: AgentId,
     k: usize,
-    max_degree: usize,
     settled_count: usize,
+    /// `node → settler agent` cache (settlers never move here).
+    settled_at: Vec<u32>,
+    /// Reusable buffer for the seeker-pool and returned-seeker scans.
+    scratch: Vec<AgentId>,
+    // --- leader phase payload (one leader ⇒ plain scalars) ---
+    /// Unsettled followers remaining in the group.
+    group_size: usize,
+    /// Group movement order: the port (`NO_PORT` = no order yet) ...
+    order_port: Port,
+    /// ... and its flip bit (the followers' "have I executed this order").
+    order_flip: bool,
+    /// Pin of the edge the leader arrived through (opt).
+    arrival_pin: Port,
+    /// Ports checked at the current node.
+    checked: u32,
+    /// Smallest port found leading to a fully-unsettled neighbor (opt).
+    next_empty: Port,
+    /// Pin recorded for the leader's own solo probe (opt).
+    solo_pin: Port,
+    /// Seekers dispatched in the current probe iteration.
+    assigned: u32,
+    /// Rounds left in the leader's solo wait.
+    solo_left: u32,
     max_probe_iterations: u32,
     current_probe_iterations: u32,
 }
@@ -128,24 +208,33 @@ impl RootedSyncDisp {
             "RootedSyncDisp handles rooted initial configurations"
         );
         let leader = AgentId(k as u32 - 1);
-        let mut states = vec![AgentState::Follower { executed: false }; k];
-        states[leader.index()] = AgentState::Leader {
-            phase: LeaderPhase::Decide,
-            group_size: k - 1,
-            order: None,
-            arrival_pin: None,
-            checked: 0,
-            next_empty: None,
-            solo_pin: None,
-        };
+        let mut tags = vec![tag::FOLLOWER_F; k];
+        tags[leader.index()] = tag::LEAD_DECIDE;
+        let mut class_counts = [0u32; CLASSES];
+        class_counts[0] = k as u32 - 1; // followers
+        class_counts[3] = 1; // the leader
         RootedSyncDisp {
             config,
-            states,
-            ids: (1..=k as u32).collect(),
+            tags,
+            class_counts,
+            class_bits: class_bits_table(k, world.graph().max_degree()),
+            p0: vec![NO_PORT; k],
+            p1: vec![NO_PORT; k],
+            aux0: vec![0; k],
             leader,
             k,
-            max_degree: world.graph().max_degree(),
             settled_count: 0,
+            settled_at: vec![NO_SETTLER; world.graph().num_nodes()],
+            scratch: Vec::new(),
+            group_size: k - 1,
+            order_port: NO_PORT,
+            order_flip: false,
+            arrival_pin: NO_PORT,
+            checked: 0,
+            next_empty: NO_PORT,
+            solo_pin: NO_PORT,
+            assigned: 0,
+            solo_left: 0,
             max_probe_iterations: 0,
             current_probe_iterations: 0,
         }
@@ -156,284 +245,300 @@ impl RootedSyncDisp {
         self.max_probe_iterations
     }
 
+    /// The single write point for `tags`, keeping the per-class counts
+    /// behind [`AgentProtocol::max_memory_bits`] exact.
+    #[inline]
+    fn set_tag(&mut self, i: usize, t: u8) {
+        self.class_counts[class(self.tags[i])] -= 1;
+        self.class_counts[class(t)] += 1;
+        self.tags[i] = t;
+    }
+
+    #[inline]
     fn settler_here(&self, ctx: &ActivationCtx<'_>) -> Option<AgentId> {
-        ctx.colocated_iter()
-            .find(|a| matches!(self.states[a.index()], AgentState::Settled { .. }))
+        match self.settled_at[ctx.node().index()] {
+            NO_SETTLER => None,
+            a => Some(AgentId(a)),
+        }
     }
 
     /// Settle `agent` and park it: settlers in this protocol are never
     /// recruited, so their activations are no-ops forever.
     fn settle(&mut self, ctx: &mut ActivationCtx<'_>, agent: AgentId, parent_port: Option<Port>) {
-        self.states[agent.index()] = AgentState::Settled { parent_port };
+        self.set_tag(agent.index(), tag::SETTLED);
+        self.p0[agent.index()] = enc(parent_port);
+        self.settled_at[ctx.node().index()] = agent.0;
         self.settled_count += 1;
         ctx.park(agent);
     }
 
-    fn followers_here(&self, ctx: &ActivationCtx<'_>) -> Vec<AgentId> {
-        let mut v: Vec<AgentId> = ctx
-            .colocated_iter()
-            .filter(|a| matches!(self.states[a.index()], AgentState::Follower { .. }))
-            .collect();
-        v.sort_by_key(|a| self.ids[a.index()]);
-        v
-    }
-
-    fn returned_seekers(&self, ctx: &ActivationCtx<'_>) -> Vec<AgentId> {
+    /// The co-located follower with the smallest id, if any.
+    fn min_follower_here(&self, ctx: &ActivationCtx<'_>) -> Option<AgentId> {
         ctx.colocated_iter()
-            .filter(|a| {
-                matches!(
-                    self.states[a.index()],
-                    AgentState::Seeker {
-                        stage: SeekStage::Returned { .. },
-                        ..
-                    }
-                )
-            })
-            .collect()
+            .filter(|a| self.tags[a.index()] <= tag::FOLLOWER_T)
+            .min_by_key(|a| a.0)
     }
 
     #[allow(clippy::too_many_lines)]
     fn act_leader(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
-        let AgentState::Leader {
-            phase,
-            mut group_size,
-            mut order,
-            mut arrival_pin,
-            mut checked,
-            mut next_empty,
-            mut solo_pin,
-        } = self.states[agent.index()].clone()
-        else {
-            unreachable!()
-        };
-        let mut phase = phase;
-
-        match phase {
-            LeaderPhase::Decide => {
+        let a = agent.index();
+        match self.tags[a] {
+            tag::LEAD_DECIDE => {
                 if self.settler_here(ctx).is_none() {
-                    if group_size == 0 {
+                    let arrival_pin = opt(self.arrival_pin);
+                    if self.group_size == 0 {
                         self.settle(ctx, agent, arrival_pin);
                         return;
                     }
-                    let chosen = self.followers_here(ctx)[0];
+                    let chosen = self.min_follower_here(ctx).expect("group is co-located");
                     self.settle(ctx, chosen, arrival_pin);
-                    group_size -= 1;
+                    self.group_size -= 1;
                 } else {
-                    checked = 0;
-                    next_empty = None;
+                    self.checked = 0;
+                    self.next_empty = NO_PORT;
                     self.current_probe_iterations = 0;
-                    phase = LeaderPhase::ProbeAssign;
+                    self.set_tag(a, tag::LEAD_PROBE_ASSIGN);
                 }
             }
 
-            LeaderPhase::ProbeAssign => {
-                if next_empty.is_some() || checked as usize >= ctx.degree() {
-                    phase = self.movement_phase(ctx, next_empty, &mut order);
+            tag::LEAD_PROBE_ASSIGN => {
+                if self.next_empty != NO_PORT || self.checked as usize >= ctx.degree() {
+                    self.movement_phase(ctx, agent);
                 } else {
                     self.current_probe_iterations += 1;
                     self.max_probe_iterations =
                         self.max_probe_iterations.max(self.current_probe_iterations);
-                    let mut pool = self.followers_here(ctx);
+                    let mut pool = std::mem::take(&mut self.scratch);
+                    pool.clear();
+                    pool.extend(
+                        ctx.colocated_iter()
+                            .filter(|h| self.tags[h.index()] <= tag::FOLLOWER_T),
+                    );
+                    pool.sort_unstable_by_key(|h| h.0);
                     if let Some(cap) = self.config.max_probers {
                         pool.truncate(cap.max(1));
                     }
                     if pool.is_empty() {
                         // Leader probes the next port itself.
-                        let port = Port(checked + 1);
-                        solo_pin = Some(ctx.move_via(port));
-                        phase = LeaderPhase::SoloOut;
+                        let port = Port(self.checked + 1);
+                        self.solo_pin = ctx.move_via(port);
+                        self.set_tag(a, tag::LEAD_SOLO_OUT);
                     } else {
-                        let want = (ctx.degree() - checked as usize).min(pool.len());
+                        let want = (ctx.degree() - self.checked as usize).min(pool.len());
                         for (i, seeker) in pool.iter().take(want).enumerate() {
-                            self.states[seeker.index()] = AgentState::Seeker {
-                                port: Port(checked + 1 + i as u32),
-                                pin: None,
-                                stage: SeekStage::Out,
+                            let s = seeker.index();
+                            self.set_tag(s, tag::SEEK_OUT);
+                            self.p0[s] = Port(self.checked + 1 + i as u32);
+                            self.p1[s] = NO_PORT;
+                        }
+                        self.checked += want as u32;
+                        self.assigned = want as u32;
+                        self.set_tag(a, tag::LEAD_PROBE_WAIT);
+                    }
+                    pool.clear();
+                    self.scratch = pool;
+                }
+            }
+
+            tag::LEAD_PROBE_WAIT => {
+                let mut returned = std::mem::take(&mut self.scratch);
+                returned.clear();
+                returned.extend(
+                    ctx.colocated_iter().filter(|s| {
+                        matches!(self.tags[s.index()], tag::SEEK_RET_F | tag::SEEK_RET_T)
+                    }),
+                );
+                if returned.len() as u32 == self.assigned {
+                    let flip = self.order_port != NO_PORT && self.order_flip;
+                    for &s in &returned {
+                        let si = s.index();
+                        let port = self.p0[si];
+                        if self.tags[si] == tag::SEEK_RET_F {
+                            self.next_empty = match opt(self.next_empty) {
+                                Some(q) if q < port => q,
+                                _ => port,
                             };
                         }
-                        checked += want as u32;
-                        phase = LeaderPhase::ProbeWait {
-                            assigned: want as u32,
-                        };
+                        self.set_tag(
+                            si,
+                            if flip {
+                                tag::FOLLOWER_T
+                            } else {
+                                tag::FOLLOWER_F
+                            },
+                        );
                     }
+                    self.set_tag(a, tag::LEAD_PROBE_ASSIGN);
                 }
+                returned.clear();
+                self.scratch = returned;
             }
 
-            LeaderPhase::ProbeWait { assigned } => {
-                let returned = self.returned_seekers(ctx);
-                if returned.len() as u32 == assigned {
-                    let flip = order.map(|o| o.flip).unwrap_or(false);
-                    for s in returned {
-                        let AgentState::Seeker {
-                            port,
-                            stage: SeekStage::Returned { saw_settler },
-                            ..
-                        } = self.states[s.index()].clone()
-                        else {
-                            unreachable!()
-                        };
-                        if !saw_settler {
-                            next_empty = Some(match next_empty {
-                                Some(p) if p < port => p,
-                                _ => port,
-                            });
-                        }
-                        self.states[s.index()] = AgentState::Follower { executed: flip };
-                    }
-                    phase = LeaderPhase::ProbeAssign;
-                }
-            }
-
-            LeaderPhase::SoloOut => {
+            tag::LEAD_SOLO_OUT => {
                 let saw = self.settler_here(ctx).is_some();
-                phase = LeaderPhase::SoloWait {
-                    left: self.config.wait_rounds,
-                    saw_settler: saw,
-                };
+                self.solo_left = self.config.wait_rounds;
+                self.set_tag(
+                    a,
+                    if saw {
+                        tag::LEAD_SOLO_WAIT_T
+                    } else {
+                        tag::LEAD_SOLO_WAIT_F
+                    },
+                );
             }
 
-            LeaderPhase::SoloWait { left, saw_settler } => {
-                let saw = saw_settler || self.settler_here(ctx).is_some();
-                if left == 0 {
-                    ctx.move_via(solo_pin.expect("solo pin recorded"));
-                    phase = LeaderPhase::SoloReturned { saw_settler: saw };
+            t @ (tag::LEAD_SOLO_WAIT_F | tag::LEAD_SOLO_WAIT_T) => {
+                let saw = t == tag::LEAD_SOLO_WAIT_T || self.settler_here(ctx).is_some();
+                if self.solo_left == 0 {
+                    ctx.move_via(opt(self.solo_pin).expect("solo pin recorded"));
+                    self.set_tag(
+                        a,
+                        if saw {
+                            tag::LEAD_SOLO_RET_T
+                        } else {
+                            tag::LEAD_SOLO_RET_F
+                        },
+                    );
                 } else {
-                    phase = LeaderPhase::SoloWait {
-                        left: left - 1,
-                        saw_settler: saw,
-                    };
+                    self.solo_left -= 1;
+                    self.set_tag(
+                        a,
+                        if saw {
+                            tag::LEAD_SOLO_WAIT_T
+                        } else {
+                            tag::LEAD_SOLO_WAIT_F
+                        },
+                    );
                 }
             }
 
-            LeaderPhase::SoloReturned { saw_settler } => {
-                if !saw_settler {
-                    next_empty = Some(Port(checked + 1));
+            t @ (tag::LEAD_SOLO_RET_F | tag::LEAD_SOLO_RET_T) => {
+                if t == tag::LEAD_SOLO_RET_F {
+                    self.next_empty = Port(self.checked + 1);
                 }
-                checked += 1;
-                solo_pin = None;
-                phase = LeaderPhase::ProbeAssign;
+                self.checked += 1;
+                self.solo_pin = NO_PORT;
+                self.set_tag(a, tag::LEAD_PROBE_ASSIGN);
             }
 
-            LeaderPhase::Departing(intent) => {
-                let o = order.expect("departing without an order");
-                if self.followers_here(ctx).is_empty() {
-                    let pin = ctx.move_via(o.port);
-                    arrival_pin = Some(pin);
-                    phase = match intent {
-                        MoveIntent::Forward => LeaderPhase::ArriveForward,
-                        MoveIntent::Backtrack => LeaderPhase::Decide,
-                    };
+            t @ (tag::LEAD_DEPART_FORWARD | tag::LEAD_DEPART_BACKTRACK) => {
+                debug_assert_ne!(self.order_port, NO_PORT, "departing without an order");
+                if self.min_follower_here(ctx).is_none() {
+                    let pin = ctx.move_via(self.order_port);
+                    self.arrival_pin = pin;
+                    self.set_tag(
+                        a,
+                        if t == tag::LEAD_DEPART_FORWARD {
+                            tag::LEAD_ARRIVE_FORWARD
+                        } else {
+                            tag::LEAD_DECIDE
+                        },
+                    );
                 }
             }
 
-            LeaderPhase::ArriveForward => {
+            tag::LEAD_ARRIVE_FORWARD => {
                 debug_assert!(self.settler_here(ctx).is_none());
-                if group_size == 0 {
+                let arrival_pin = opt(self.arrival_pin);
+                if self.group_size == 0 {
                     self.settle(ctx, agent, arrival_pin);
                     return;
                 }
-                let chosen = self.followers_here(ctx)[0];
+                let chosen = self.min_follower_here(ctx).expect("group is co-located");
                 self.settle(ctx, chosen, arrival_pin);
-                group_size -= 1;
-                phase = LeaderPhase::Decide;
+                self.group_size -= 1;
+                self.set_tag(a, tag::LEAD_DECIDE);
             }
-        }
 
-        self.states[agent.index()] = AgentState::Leader {
-            phase,
-            group_size,
-            order,
-            arrival_pin,
-            checked,
-            next_empty,
-            solo_pin,
-        };
+            t => unreachable!("act_leader on non-leader tag {t}"),
+        }
     }
 
-    fn movement_phase(
-        &mut self,
-        ctx: &ActivationCtx<'_>,
-        next_empty: Option<Port>,
-        order: &mut Option<GroupOrder>,
-    ) -> LeaderPhase {
-        let flip = order.map(|o| !o.flip).unwrap_or(true);
-        match next_empty {
-            Some(p) => {
-                *order = Some(GroupOrder { flip, port: p });
-                LeaderPhase::Departing(MoveIntent::Forward)
-            }
+    /// Issue the next group movement order (forward to the discovered empty
+    /// neighbor or backtrack to the parent), flipping the order bit.
+    fn movement_phase(&mut self, ctx: &ActivationCtx<'_>, leader: AgentId) {
+        let flip = self.order_port == NO_PORT || !self.order_flip;
+        let (p, depart) = match opt(self.next_empty) {
+            Some(p) => (p, tag::LEAD_DEPART_FORWARD),
             None => {
                 let settler = self
                     .settler_here(ctx)
                     .expect("backtracking from a settled node");
-                let AgentState::Settled { parent_port } = self.states[settler.index()] else {
-                    unreachable!()
-                };
-                let p =
-                    parent_port.expect("the DFS root can only be exhausted after everyone settled");
-                *order = Some(GroupOrder { flip, port: p });
-                LeaderPhase::Departing(MoveIntent::Backtrack)
+                let p = opt(self.p0[settler.index()])
+                    .expect("the DFS root can only be exhausted after everyone settled");
+                (p, tag::LEAD_DEPART_BACKTRACK)
             }
-        }
+        };
+        self.order_port = p;
+        self.order_flip = flip;
+        self.set_tag(leader.index(), depart);
     }
 
     fn act_follower(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
-        let AgentState::Follower { executed } = self.states[agent.index()] else {
-            unreachable!()
-        };
-        if ctx.colocated_iter().any(|peer| peer == self.leader) {
-            if let AgentState::Leader { order: Some(o), .. } = self.states[self.leader.index()] {
-                if o.flip != executed {
-                    ctx.move_via(o.port);
-                    self.states[agent.index()] = AgentState::Follower { executed: o.flip };
-                }
-            }
+        let a = agent.index();
+        let executed = self.tags[a] == tag::FOLLOWER_T;
+        if ctx.colocated_iter().any(|peer| peer == self.leader)
+            && self.tags[self.leader.index()] >= tag::LEAD_DECIDE
+            && self.order_port != NO_PORT
+            && self.order_flip != executed
+        {
+            ctx.move_via(self.order_port);
+            self.set_tag(
+                a,
+                if self.order_flip {
+                    tag::FOLLOWER_T
+                } else {
+                    tag::FOLLOWER_F
+                },
+            );
         }
     }
 
     fn act_seeker(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
-        let AgentState::Seeker {
-            port,
-            mut pin,
-            stage,
-        } = self.states[agent.index()].clone()
-        else {
-            unreachable!()
-        };
-        let mut stage = stage;
-        match stage {
-            SeekStage::Out => {
-                pin = Some(ctx.move_via(port));
-                stage = SeekStage::Waiting {
-                    left: self.config.wait_rounds,
-                    saw_settler: false,
-                };
+        let a = agent.index();
+        match self.tags[a] {
+            tag::SEEK_OUT => {
+                self.p1[a] = ctx.move_via(self.p0[a]);
+                self.aux0[a] = self.config.wait_rounds;
+                self.set_tag(a, tag::SEEK_WAIT_F);
             }
-            SeekStage::Waiting { left, saw_settler } => {
-                let saw = saw_settler || self.settler_here(ctx).is_some();
-                if left == 0 {
-                    ctx.move_via(pin.expect("pin recorded"));
-                    stage = SeekStage::Returned { saw_settler: saw };
+            t @ (tag::SEEK_WAIT_F | tag::SEEK_WAIT_T) => {
+                let saw = t == tag::SEEK_WAIT_T || self.settler_here(ctx).is_some();
+                if self.aux0[a] == 0 {
+                    ctx.move_via(opt(self.p1[a]).expect("pin recorded"));
+                    self.set_tag(
+                        a,
+                        if saw {
+                            tag::SEEK_RET_T
+                        } else {
+                            tag::SEEK_RET_F
+                        },
+                    );
                 } else {
-                    stage = SeekStage::Waiting {
-                        left: left - 1,
-                        saw_settler: saw,
-                    };
+                    self.aux0[a] -= 1;
+                    self.set_tag(
+                        a,
+                        if saw {
+                            tag::SEEK_WAIT_T
+                        } else {
+                            tag::SEEK_WAIT_F
+                        },
+                    );
                 }
             }
-            SeekStage::Returned { .. } => {}
+            tag::SEEK_RET_F | tag::SEEK_RET_T => {}
+            t => unreachable!("act_seeker on non-seeker tag {t}"),
         }
-        self.states[agent.index()] = AgentState::Seeker { port, pin, stage };
     }
 }
 
 impl AgentProtocol for RootedSyncDisp {
     fn on_activate(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
-        match self.states[agent.index()] {
-            AgentState::Settled { .. } => {}
-            AgentState::Leader { .. } => self.act_leader(agent, ctx),
-            AgentState::Follower { .. } => self.act_follower(agent, ctx),
-            AgentState::Seeker { .. } => self.act_seeker(agent, ctx),
+        match self.tags[agent.index()] {
+            tag::FOLLOWER_F | tag::FOLLOWER_T => self.act_follower(agent, ctx),
+            tag::SETTLED => {}
+            tag::SEEK_OUT..=tag::SEEK_RET_T => self.act_seeker(agent, ctx),
+            _ => self.act_leader(agent, ctx),
         }
     }
 
@@ -442,28 +547,21 @@ impl AgentProtocol for RootedSyncDisp {
     }
 
     fn is_settled(&self, agent: AgentId) -> bool {
-        matches!(self.states[agent.index()], AgentState::Settled { .. })
+        self.tags[agent.index()] == tag::SETTLED
     }
 
     fn memory_bits(&self, agent: AgentId) -> usize {
-        let id = bits::id_bits(self.k);
-        let port = bits::port_bits(self.max_degree);
-        let opt_port = bits::opt_port_bits(self.max_degree);
-        match &self.states[agent.index()] {
-            AgentState::Follower { .. } => id + 1,
-            AgentState::Seeker { .. } => id + 2 + port + opt_port + bits::counter_bits(8) + 1,
-            AgentState::Settled { .. } => id + opt_port,
-            AgentState::Leader { .. } => {
-                id + 3
-                    + bits::counter_bits(self.k as u64)
-                    + 1
-                    + port
-                    + 2 * opt_port
-                    + bits::counter_bits(self.max_degree as u64)
-                    + opt_port
-                    + opt_port
-            }
-        }
+        self.class_bits[class(self.tags[agent.index()])]
+    }
+
+    fn max_memory_bits(&self) -> Option<usize> {
+        Some(
+            (0..CLASSES)
+                .filter(|&c| self.class_counts[c] > 0)
+                .map(|c| self.class_bits[c])
+                .max()
+                .unwrap_or(0),
+        )
     }
 
     fn name(&self) -> &'static str {

@@ -61,7 +61,7 @@ use disp_graph::{NodeId, Topology};
 use disp_rng::mix;
 use disp_sim::{
     Adversary, AdversaryKind, AgentProtocol, AsyncRunner, CrashPlan, DynamicAdversary, Outcome,
-    Placement, RunConfig, RunError, SyncRunner, World,
+    Placement, RunConfig, RunError, SyncRunner, World, WorldPool,
 };
 use std::fmt;
 
@@ -1251,6 +1251,19 @@ impl ScenarioSpec {
         registry: &Registry,
         seed: u64,
     ) -> Result<(World, Box<dyn AgentProtocol>), ScenarioError> {
+        self.build_pooled(registry, seed, &mut WorldPool::new())
+    }
+
+    /// [`ScenarioSpec::build`] with a [`WorldPool`]: the world is
+    /// constructed inside the pool's recycled allocations when it has any.
+    /// State-identical to an unpooled build (the pool contract), so pooled
+    /// and unpooled runs of the same seed produce the same outcome.
+    pub fn build_pooled(
+        &self,
+        registry: &Registry,
+        seed: u64,
+        pool: &mut WorldPool,
+    ) -> Result<(World, Box<dyn AgentProtocol>), ScenarioError> {
         self.validate(registry)?;
         let factory = registry.get(&self.algorithm).expect("validated");
         let n_target = ((self.k as f64 / self.occupancy).ceil() as usize).max(self.k);
@@ -1264,7 +1277,7 @@ impl ScenarioSpec {
         let positions = self
             .placement
             .positions(&graph, k, mix(&[seed, SEED_PLACEMENT]));
-        let world = World::new(graph, positions);
+        let world = pool.take(graph, positions);
         let protocol = factory.build(&world, &self.params, mix(&[seed, SEED_ALGORITHM]));
         Ok((world, protocol))
     }
@@ -1366,6 +1379,29 @@ impl ScenarioSpec {
             outcome,
             dispersed: verify::is_dispersed_at(&world, self.min_distance),
         })
+    }
+
+    /// [`ScenarioSpec::run`] with a [`WorldPool`]: the trial's world is
+    /// built from the pool's allocations and returned to it afterwards.
+    /// The batched micro-trial campaign path drives contiguous runs of
+    /// small trials through one pool so only the first trial pays the
+    /// world's allocation cost. Reports are byte-identical to unpooled
+    /// runs of the same seed.
+    pub fn run_pooled(
+        &self,
+        registry: &Registry,
+        seed: u64,
+        pool: &mut WorldPool,
+    ) -> Result<ScenarioReport, ScenarioError> {
+        let (mut world, mut protocol) = self.build_pooled(registry, seed, pool)?;
+        let outcome = self.execute(&mut world, protocol.as_mut(), seed)?;
+        let report = ScenarioReport {
+            scenario: self.label(),
+            outcome,
+            dispersed: verify::is_dispersed_at(&world, self.min_distance),
+        };
+        pool.put(world);
+        Ok(report)
     }
 
     /// Like [`ScenarioSpec::run`], but with event tracing enabled for the

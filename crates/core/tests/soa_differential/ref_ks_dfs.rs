@@ -1,0 +1,478 @@
+//! The OPODIS'21-style group-DFS dispersion baseline (`O(min{m, kΔ})` time,
+//! `O(log(k+Δ))` bits per agent), usable under both the SYNC and ASYNC
+//! schedulers.
+//!
+//! ## Algorithm
+//!
+//! All unsettled agents that started on the same node travel together as a
+//! *group* led by the largest-ID agent among them. At every node the group
+//! visits for the first time, the smallest-ID unsettled member settles and
+//! becomes the node's *settler*; the settler stores the port back to its DFS
+//! parent and a scan cursor over its remaining ports. The group then examines
+//! the settler's ports one at a time: it moves to the neighbor, settles an
+//! agent there if the neighbor is free, and otherwise returns and advances
+//! the cursor. When a node's ports are exhausted the group backtracks to the
+//! parent. The traversal therefore charges `O(1)` group moves per examined
+//! edge, i.e. `O(min{m, kΔ})` time overall.
+//!
+//! ## General initial configurations
+//!
+//! Multiple groups (one per initially-occupied node) run their DFSs
+//! concurrently and treat *any* settled agent — of any group — as an occupied
+//! node. This replaces the size-based subsumption of Kshemkalyani–Sharma with
+//! a simpler scheme (documented in `DESIGN.md`): if a group exhausts its DFS
+//! with members still unsettled (it got boxed into a "pocket" of occupied
+//! nodes), the leftover members switch to *scatter mode* — independent seeded
+//! random walks that settle on the first free node found. Scatter mode keeps
+//! the algorithm correct on every input; its time is measured empirically
+//! rather than bounded analytically.
+//!
+//! ## Group movement protocol
+//!
+//! The leader never outruns its followers: it publishes a move order (a port
+//! plus a flip bit), waits until every follower has executed it and left the
+//! node, and only then moves itself. This costs a small constant factor over
+//! the paper's idealized counting and works identically under asynchronous
+//! activation.
+
+use disp_graph::Port;
+use disp_sim::{bits, ActivationCtx, AgentId, AgentProtocol, World};
+
+/// A published group move order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GroupOrder {
+    /// Flips every time a new order is published.
+    flip: bool,
+    /// The port every follower must take.
+    port: Port,
+}
+
+/// Why the leader is moving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MoveIntent {
+    /// Moving to an unexamined neighbor to check whether it is free.
+    Scan,
+    /// Returning to the DFS node after finding the neighbor occupied.
+    Return,
+    /// Backtracking to the DFS parent.
+    Backtrack,
+}
+
+/// Leader control state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LeaderPhase {
+    /// At a node with the whole group; ready to decide the next action.
+    Decide,
+    /// Order published; waiting for all followers to leave, then move with
+    /// the given intent.
+    Departing(MoveIntent),
+    /// Arrived at a scan target; decide whether to settle here or go back.
+    CheckNeighbor,
+}
+
+/// Per-agent persistent state.
+#[derive(Debug, Clone)]
+enum AgentState {
+    /// Travels with its leader, executing published orders.
+    Follower {
+        /// Simulator id of this agent's leader.
+        leader: AgentId,
+        /// Flip bit of the last executed order.
+        executed: bool,
+    },
+    /// Runs the DFS for its group.
+    Leader {
+        phase: LeaderPhase,
+        /// Number of unsettled followers in the group (leader excluded).
+        group_size: usize,
+        /// Currently published order, if any.
+        order: Option<GroupOrder>,
+        /// Port back to the DFS node while checking a neighbor.
+        return_port: Option<Port>,
+        /// `pin` recorded on the last move (parent port for a new settler).
+        arrival_pin: Option<Port>,
+        /// Algorithmic label of this group's tree (the leader's ID).
+        treelabel: u32,
+    },
+    /// Settled at its node; stores the DFS bookkeeping for that node.
+    Settled {
+        parent_port: Option<Port>,
+        /// Next port (1-based) to examine from this node.
+        next_port: u32,
+        treelabel: u32,
+    },
+    /// Scatter mode: random walk, settle at the first free node.
+    Scatter {
+        /// Small xorshift state, seeded per agent.
+        rng: u64,
+    },
+}
+
+/// The group-DFS baseline protocol (rooted and general configurations).
+#[derive(Debug)]
+pub struct KsDfs {
+    states: Vec<AgentState>,
+    /// Algorithmic IDs (index + 1 by default).
+    ids: Vec<u32>,
+    k: usize,
+    max_degree: usize,
+    settled_count: usize,
+    scatter_seed: u64,
+}
+
+impl KsDfs {
+    /// Build the protocol for the given world. One group is formed per
+    /// initially-occupied node, led by the largest-ID agent on that node.
+    pub fn new(world: &World) -> Self {
+        Self::with_seed(world, 0xD15F_ECE5)
+    }
+
+    /// Like [`KsDfs::new`] with an explicit seed for the scatter-mode RNG.
+    pub fn with_seed(world: &World, scatter_seed: u64) -> Self {
+        let k = world.num_agents();
+        let ids: Vec<u32> = (0..k as u32).map(|i| i + 1).collect();
+        let mut states: Vec<Option<AgentState>> = vec![None; k];
+        for v in world.graph().nodes() {
+            let here: Vec<AgentId> = world.agents_at(v).collect();
+            if here.is_empty() {
+                continue;
+            }
+            let leader = *here.iter().max().expect("non-empty");
+            for &a in &here {
+                if a == leader {
+                    states[a.index()] = Some(AgentState::Leader {
+                        phase: LeaderPhase::Decide,
+                        group_size: here.len() - 1,
+                        order: None,
+                        return_port: None,
+                        arrival_pin: None,
+                        treelabel: ids[leader.index()],
+                    });
+                } else {
+                    states[a.index()] = Some(AgentState::Follower {
+                        leader,
+                        executed: false,
+                    });
+                }
+            }
+        }
+        KsDfs {
+            states: states
+                .into_iter()
+                .map(|s| s.expect("every agent grouped"))
+                .collect(),
+            ids,
+            k,
+            max_degree: world.graph().max_degree(),
+            settled_count: 0,
+            scatter_seed,
+        }
+    }
+
+    /// Number of settled agents so far.
+    pub fn settled_count(&self) -> usize {
+        self.settled_count
+    }
+
+    /// Whether any agent had to fall back to scatter mode (pocket case).
+    pub fn used_scatter_fallback(&self) -> bool {
+        self.states
+            .iter()
+            .any(|s| matches!(s, AgentState::Scatter { .. }))
+    }
+
+    fn settler_at(&self, ctx: &ActivationCtx<'_>) -> Option<AgentId> {
+        ctx.colocated_iter()
+            .find(|a| matches!(self.states[a.index()], AgentState::Settled { .. }))
+    }
+
+    /// Smallest-ID co-located follower of `leader` (unsettled group member).
+    fn smallest_follower_here(&self, ctx: &ActivationCtx<'_>, leader: AgentId) -> Option<AgentId> {
+        ctx.colocated_iter()
+            .filter(|a| {
+                matches!(self.states[a.index()], AgentState::Follower { leader: l, .. } if l == leader)
+            })
+            .min_by_key(|a| self.ids[a.index()])
+    }
+
+    fn followers_here(&self, ctx: &ActivationCtx<'_>, leader: AgentId) -> usize {
+        ctx.colocated_iter()
+            .filter(|a| {
+                matches!(self.states[a.index()], AgentState::Follower { leader: l, .. } if l == leader)
+            })
+            .count()
+    }
+
+    /// Settle `agent` and park it: a settled agent's activations are no-ops
+    /// forever (its scan cursor is mutated passively by visiting leaders).
+    fn settle(
+        &mut self,
+        ctx: &mut ActivationCtx<'_>,
+        agent: AgentId,
+        parent_port: Option<Port>,
+        treelabel: u32,
+    ) {
+        self.states[agent.index()] = AgentState::Settled {
+            parent_port,
+            next_port: 1,
+            treelabel,
+        };
+        self.settled_count += 1;
+        ctx.park(agent);
+    }
+
+    fn act_leader(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        let AgentState::Leader {
+            phase,
+            group_size,
+            order,
+            return_port,
+            arrival_pin,
+            treelabel,
+        } = self.states[agent.index()].clone()
+        else {
+            unreachable!("act_leader on non-leader");
+        };
+        let mut phase = phase;
+        let mut group_size = group_size;
+        let mut order = order;
+        let mut return_port = return_port;
+        let mut arrival_pin = arrival_pin;
+
+        match phase {
+            LeaderPhase::Decide => {
+                let settler = self.settler_at(ctx);
+                match settler {
+                    None => {
+                        // First visit of this node by anyone: settle here.
+                        if group_size == 0 {
+                            // The leader is the last unsettled member.
+                            self.settle(ctx, agent, arrival_pin, treelabel);
+                            return;
+                        }
+                        let chosen = self
+                            .smallest_follower_here(ctx, agent)
+                            .expect("group_size > 0 implies a co-located follower");
+                        self.settle(ctx, chosen, arrival_pin, treelabel);
+                        group_size -= 1;
+                        // Stay in Decide: the settler now exists and scanning
+                        // starts at the next activation.
+                    }
+                    Some(settler) => {
+                        // Scan the settler's ports. The DFS bookkeeping lives
+                        // in the settler (legal: it is co-located).
+                        let (parent_port, mut next_port, s_label) =
+                            match self.states[settler.index()] {
+                                AgentState::Settled {
+                                    parent_port,
+                                    next_port,
+                                    treelabel,
+                                } => (parent_port, next_port, treelabel),
+                                _ => unreachable!(),
+                            };
+                        if s_label != treelabel {
+                            // Another group's DFS settled this node before we
+                            // could (under ASYNC a foreign scan can reach our
+                            // home node before our leader's first
+                            // activation). The whole group must fall back
+                            // together: scattering only the leader would
+                            // strand its followers waiting for orders from a
+                            // leader that no longer exists.
+                            self.scatter_group(agent, ctx);
+                            return;
+                        }
+                        // Skip the parent port in the scan.
+                        if Some(Port(next_port)) == parent_port {
+                            next_port += 1;
+                        }
+                        if next_port as usize > ctx.degree() {
+                            // Node exhausted: backtrack, or finish/fallback at
+                            // the root.
+                            match parent_port {
+                                Some(p) => {
+                                    order = Some(GroupOrder {
+                                        flip: order.map(|o| !o.flip).unwrap_or(true),
+                                        port: p,
+                                    });
+                                    phase = LeaderPhase::Departing(MoveIntent::Backtrack);
+                                }
+                                None => {
+                                    // Root exhausted with members left: the
+                                    // group is boxed in ("pocket"); fall back
+                                    // to scatter mode for the remaining
+                                    // members (including the leader).
+                                    self.scatter_group(agent, ctx);
+                                    return;
+                                }
+                            }
+                        } else {
+                            // Examine the neighbor behind `next_port`.
+                            if let AgentState::Settled { next_port: np, .. } =
+                                &mut self.states[settler.index()]
+                            {
+                                *np = next_port + 1;
+                            }
+                            order = Some(GroupOrder {
+                                flip: order.map(|o| !o.flip).unwrap_or(true),
+                                port: Port(next_port),
+                            });
+                            phase = LeaderPhase::Departing(MoveIntent::Scan);
+                        }
+                    }
+                }
+            }
+            LeaderPhase::Departing(intent) => {
+                let o = order.expect("departing without an order");
+                if self.followers_here(ctx, agent) == 0 {
+                    // All followers executed the order; follow them.
+                    let pin = ctx.move_via(o.port);
+                    arrival_pin = Some(pin);
+                    match intent {
+                        MoveIntent::Scan => {
+                            return_port = Some(pin);
+                            phase = LeaderPhase::CheckNeighbor;
+                        }
+                        MoveIntent::Return | MoveIntent::Backtrack => {
+                            phase = LeaderPhase::Decide;
+                        }
+                    }
+                }
+                // else: keep waiting for stragglers.
+            }
+            LeaderPhase::CheckNeighbor => {
+                let rp = return_port.expect("checking a neighbor without a return port");
+                if self.settler_at(ctx).is_some() {
+                    // Occupied: go back and try the next port.
+                    order = Some(GroupOrder {
+                        flip: order.map(|o| !o.flip).unwrap_or(true),
+                        port: rp,
+                    });
+                    phase = LeaderPhase::Departing(MoveIntent::Return);
+                } else {
+                    // Free node: settle here (forward move of the DFS).
+                    if group_size == 0 {
+                        self.settle(ctx, agent, Some(rp), treelabel);
+                        return;
+                    }
+                    let chosen = self
+                        .smallest_follower_here(ctx, agent)
+                        .expect("group_size > 0 implies a co-located follower");
+                    self.settle(ctx, chosen, Some(rp), treelabel);
+                    group_size -= 1;
+                    phase = LeaderPhase::Decide;
+                }
+            }
+        }
+
+        self.states[agent.index()] = AgentState::Leader {
+            phase,
+            group_size,
+            order,
+            return_port,
+            arrival_pin,
+            treelabel,
+        };
+    }
+
+    /// Switch the whole co-located group (leader included) to scatter mode.
+    fn scatter_group(&mut self, leader: AgentId, ctx: &ActivationCtx<'_>) {
+        let members: Vec<AgentId> = ctx.colocated_iter()
+            .filter(|a| {
+                matches!(self.states[a.index()], AgentState::Follower { leader: l, .. } if l == leader)
+            })
+            .collect();
+        for a in members {
+            self.states[a.index()] = AgentState::Scatter {
+                rng: self.scatter_seed
+                    ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(a.index() as u64 + 1)),
+            };
+        }
+        self.states[leader.index()] = AgentState::Scatter {
+            rng: self.scatter_seed
+                ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(leader.index() as u64 + 1)),
+        };
+    }
+
+    fn act_follower(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        let AgentState::Follower { leader, executed } = self.states[agent.index()] else {
+            unreachable!();
+        };
+        // Execute the leader's published order, if a fresh one is visible.
+        if ctx.colocated_iter().any(|peer| peer == leader) {
+            if let AgentState::Leader { order: Some(o), .. } = self.states[leader.index()] {
+                if o.flip != executed {
+                    ctx.move_via(o.port);
+                    self.states[agent.index()] = AgentState::Follower {
+                        leader,
+                        executed: o.flip,
+                    };
+                }
+            }
+        }
+    }
+
+    fn act_scatter(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        let AgentState::Scatter { mut rng } = self.states[agent.index()] else {
+            unreachable!();
+        };
+        // If the current node is free of settlers, settle here (activation
+        // order breaks ties between walkers arriving in the same round).
+        if self.settler_at(ctx).is_none() {
+            self.settle(ctx, agent, None, self.ids[agent.index()]);
+            return;
+        }
+        // Otherwise take a pseudo-random step (xorshift64*).
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        let d = ctx.degree();
+        if d > 0 {
+            let port = Port((rng % d as u64) as u32 + 1);
+            ctx.move_via(port);
+        }
+        self.states[agent.index()] = AgentState::Scatter { rng };
+    }
+}
+
+impl AgentProtocol for KsDfs {
+    fn on_activate(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        match self.states[agent.index()] {
+            AgentState::Settled { .. } => {}
+            AgentState::Leader { .. } => self.act_leader(agent, ctx),
+            AgentState::Follower { .. } => self.act_follower(agent, ctx),
+            AgentState::Scatter { .. } => self.act_scatter(agent, ctx),
+        }
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.settled_count == self.k
+    }
+
+    fn is_settled(&self, agent: AgentId) -> bool {
+        matches!(self.states[agent.index()], AgentState::Settled { .. })
+    }
+
+    fn memory_bits(&self, agent: AgentId) -> usize {
+        let id = bits::id_bits(self.k);
+        let port = bits::port_bits(self.max_degree);
+        match &self.states[agent.index()] {
+            AgentState::Follower { .. } => id + id + bits::flag_bits(),
+            AgentState::Leader { .. } => {
+                // phase tag + group size counter + order (flag+port) +
+                // return/arrival ports + treelabel + own id.
+                id + 3
+                    + bits::counter_bits(self.k as u64)
+                    + bits::flag_bits()
+                    + bits::opt_port_bits(self.max_degree)
+                    + 2 * bits::opt_port_bits(self.max_degree)
+                    + id
+            }
+            AgentState::Settled { .. } => id + bits::opt_port_bits(self.max_degree) + port + 1 + id,
+            AgentState::Scatter { .. } => id + 64,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ks-dfs"
+    }
+}

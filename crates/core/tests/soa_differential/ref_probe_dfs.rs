@@ -1,0 +1,899 @@
+//! Doubling-probe DFS dispersion: the paper's `RootedAsyncDisp`
+//! (Algorithm 8, built from `Async_Probe` = Algorithm 3 and
+//! `Guest_See_Off` = Algorithm 4, Theorem 7.1).
+//!
+//! Run under the ASYNC scheduler this is the paper's `O(k log k)`-epoch,
+//! `O(log(k+Δ))`-bit rooted dispersion algorithm. Run under the SYNC
+//! scheduler the very same protocol reproduces the Sudo et al. [DISC'24]
+//! style doubling-probe baseline (`O(k log k)` rounds), which is what the
+//! paper extends to asynchrony.
+//!
+//! ## How probing works
+//!
+//! The group (leader `a_max` plus the unsettled followers) sits at a DFS node
+//! `w` whose settler `α(w)` stays put. To find a fully-unsettled neighbor:
+//!
+//! 1. The leader assigns one unprobed port each to the available helpers
+//!    (unsettled followers plus *guests* — settlers recruited from already
+//!    probed neighbors). Each helper makes a round trip through its port.
+//! 2. A helper that finds a settler at the neighbor recruits it: the settler
+//!    walks to `w` and becomes a guest (remembering the port of `w` it came
+//!    in through, so it can go home later). A helper that finds no settler
+//!    reports the port as leading to a fully-unsettled node.
+//! 3. Every completed iteration without a hit doubles the helper pool, so at
+//!    most `O(log min{k, δ_w})` iterations (2 epochs each) are needed.
+//! 4. Before the DFS moves on, `Guest_See_Off` sends every guest home in
+//!    `O(log k)` halving rounds: guests are paired, each pair walks to the
+//!    first guest's home, the second guest confirms the first arrived and
+//!    returns; a single leftover guest is escorted by `α(w)` itself.
+//!
+//! Waiting until guests are confirmed home is what makes the probe results
+//! trustworthy under asynchrony (paper §4.3): a node reported empty really
+//! is fully unsettled, never the momentarily-vacant home of a helper.
+//!
+//! ## Flat-state execution
+//!
+//! This implementation rides the follower group in a world *cohort* (see
+//! `disp_sim::world`): followers are enrolled as passengers, the leader
+//! moves the whole group with one O(1) cohort move per edge, and followers
+//! are extracted only to settle or to serve as probers. Settled agents and
+//! idle guests are parked off the runners' worklist and woken exactly when
+//! another agent's action makes them actionable (a recruit, a probe
+//! assignment, a see-off order). The realized schedule is the one where
+//! every follower executes the leader's movement order immediately — a
+//! legal refinement of the flip-order movement protocol under both
+//! schedulers (`DESIGN.md` §8). The protocol also keeps a per-node settler
+//! index (`settled_at`), a simulation-level cache of the locally-observable
+//! "does this node host a settled agent" query that every visit is entitled
+//! to make; it turns the O(occupants) co-location scans of the old
+//! implementation into O(1) lookups.
+//!
+//! This protocol assumes a **rooted** initial configuration (all agents on
+//! one node); see `DESIGN.md` for how general configurations are handled.
+//!
+//! ## Dynamic-graph hardening
+//!
+//! Every move goes through the fallible [`ActivationCtx::try_move_via`] /
+//! [`ActivationCtx::try_move_cohort_via`] path: when the dynamic adversary
+//! has the chosen edge down ([`MoveError::EdgeDown`]), the agent simply
+//! stays in its current stage and retries on its next activation — no state
+//! advances, so when the edge returns (one round later, in the
+//! arXiv 2408.12220 model) the walk resumes exactly where it stalled. This
+//! is what lets the registry declare `supports_dynamic` for `probe-dfs`.
+
+use disp_graph::Port;
+use disp_sim::{bits, ActivationCtx, AgentId, AgentProtocol, MoveError, World};
+
+const NO_SETTLER: u32 = u32::MAX;
+
+/// Attempt a move; `None` means the edge is down — wait in place and retry
+/// on the next activation. Any other failure is a protocol bug.
+fn try_move(ctx: &mut ActivationCtx<'_>, port: Port) -> Option<Port> {
+    match ctx.try_move_via(port) {
+        Ok(pin) => Some(pin),
+        Err(MoveError::EdgeDown { .. }) => None,
+        Err(e) => panic!("illegal probe-dfs move: {e}"),
+    }
+}
+
+/// Milestone code recorded (when tracing is enabled) each time an agent
+/// settles: exactly `k` of these fire in a dispersing run, one per agent,
+/// at the node it ends on. Unsettling (a settler recruited as a guest and
+/// later re-settled) records the code again at the new settlement.
+pub const MILESTONE_SETTLED: u32 = 1;
+
+/// Stages of a helper's probe round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProbeStage {
+    /// Assigned; has not left `w` yet.
+    Out,
+    /// At the neighbor; decide whether to recruit its settler.
+    AtNeighbor,
+    /// Waiting for the recruited settler to depart for `w`.
+    WaitGuestGone { recruited: AgentId },
+    /// Walking back to `w`.
+    GoHome { found_settler: bool },
+    /// Back at `w`, parked until the leader collects the report.
+    Returned { found_settler: bool },
+}
+
+/// What a prober reverts to once the leader collects its report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProberOrigin {
+    Follower,
+    Guest {
+        home_port: Port,
+        saved_parent_port: Option<Port>,
+    },
+}
+
+/// Travel status of a recruited settler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GuestTravel {
+    /// Ordered to walk to the probe site through this port of its home.
+    ToProbeSite { via: Port },
+    /// At the probe site; `home_port` is the port of the probe site leading
+    /// back to its home node.
+    Idle { home_port: Port },
+    /// Ordered home (see-off).
+    GoingHome { via: Port },
+}
+
+/// Stages of an escorting agent during `Guest_See_Off`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EscortStage {
+    Going,
+    AtPartnerHome,
+    Returned,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LeaderPhase {
+    /// First activation: enroll every follower into the cohort.
+    Enroll,
+    /// At a DFS node with the group; start probing (or settle at the start).
+    Decide,
+    /// Assign ports to available helpers (or probe solo).
+    ProbeAssign,
+    /// Wait for all assigned probers of this iteration to return.
+    ProbeWait { assigned: u32 },
+    /// Leader probing alone: on the way out.
+    SoloOut,
+    /// Leader probing alone: at the neighbor.
+    SoloAtNeighbor,
+    /// Leader probing alone: waiting for the recruited settler to leave.
+    SoloWaitGuestGone { recruited: AgentId },
+    /// Leader probing alone: walking back.
+    SoloReturn { found_settler: bool },
+    /// Dispatch one halving round of `Guest_See_Off`.
+    SeeOffAssign,
+    /// Wait for this halving round's escorts to come back.
+    SeeOffWait { expect_idle: u32 },
+    /// The node's own settler is escorting the last guest home; wait for it.
+    SeeOffWaitSettler,
+    /// Arrived at a fully-unsettled node: settle an agent there.
+    ArriveForward,
+}
+
+#[derive(Debug, Clone)]
+enum AgentState {
+    /// An unsettled follower riding the leader's cohort (parked; its
+    /// observable behaviour — follow every movement order — is realized by
+    /// the cohort ride).
+    Rider,
+    Prober {
+        origin: ProberOrigin,
+        port: Port,
+        pin: Option<Port>,
+        stage: ProbeStage,
+    },
+    Guest {
+        saved_parent_port: Option<Port>,
+        travel: GuestTravel,
+    },
+    /// A guest escorting another guest home (or `α(w)` doing the same for the
+    /// final leftover guest).
+    Escort {
+        /// What to restore on return: `None` means "this is the node settler
+        /// α(w); restore Settled at the probe site", otherwise the guest data.
+        guest_self: Option<(Port, Option<Port>)>,
+        saved_parent_port: Option<Port>,
+        via: Port,
+        pin: Option<Port>,
+        stage: EscortStage,
+    },
+    Settled {
+        parent_port: Option<Port>,
+    },
+    Leader {
+        phase: LeaderPhase,
+        arrival_pin: Option<Port>,
+        /// Ports of the current node probed so far.
+        checked: u32,
+        /// Smallest port found to lead to a fully-unsettled node.
+        next_empty: Option<Port>,
+        /// Solo-probe bookkeeping.
+        solo_pin: Option<Port>,
+    },
+}
+
+/// The doubling-probe dispersion protocol (rooted configurations).
+#[derive(Debug)]
+pub struct ProbeDfs {
+    states: Vec<AgentState>,
+    ids: Vec<u32>,
+    k: usize,
+    max_degree: usize,
+    settled_count: usize,
+    /// Unsettled followers riding the cohort, sorted descending by
+    /// algorithmic id (`pop()` yields the smallest).
+    riders: Vec<AgentId>,
+    /// Guests idle at the current probe node, sorted ascending by id.
+    idle_guests: Vec<AgentId>,
+    /// Probers back at the probe node, awaiting collection by the leader.
+    returned_probers: Vec<AgentId>,
+    /// `node → settler agent` cache (see the module docs).
+    settled_at: Vec<u32>,
+    /// Counts `Async_Probe` invocations (one per `Decide`), for tests.
+    probe_invocations: u64,
+    /// Largest number of probe iterations within a single invocation.
+    max_probe_iterations: u32,
+    current_probe_iterations: u32,
+}
+
+impl ProbeDfs {
+    /// Build the protocol for a rooted world (all agents on one node).
+    pub fn new(world: &World) -> Self {
+        let k = world.num_agents();
+        let root = world.position(AgentId(0));
+        assert!(
+            (0..k).all(|i| world.position(AgentId(i as u32)) == root),
+            "ProbeDfs handles rooted initial configurations; use KsDfs or the general wrappers for scattered starts"
+        );
+        let leader = AgentId(k as u32 - 1);
+        let mut states = vec![AgentState::Rider; k];
+        states[leader.index()] = AgentState::Leader {
+            phase: LeaderPhase::Enroll,
+            arrival_pin: None,
+            checked: 0,
+            next_empty: None,
+            solo_pin: None,
+        };
+        ProbeDfs {
+            states,
+            ids: (1..=k as u32).collect(),
+            k,
+            max_degree: world.graph().max_degree(),
+            settled_count: 0,
+            riders: (0..k as u32 - 1).rev().map(AgentId).collect(),
+            idle_guests: Vec::new(),
+            returned_probers: Vec::new(),
+            settled_at: vec![NO_SETTLER; world.graph().num_nodes()],
+            probe_invocations: 0,
+            max_probe_iterations: 0,
+            current_probe_iterations: 0,
+        }
+    }
+
+    /// Number of `Async_Probe` invocations so far (≤ 2(k-1) by Theorem 7.1's
+    /// accounting).
+    pub fn probe_invocations(&self) -> u64 {
+        self.probe_invocations
+    }
+
+    /// Largest number of doubling iterations observed within one probe
+    /// invocation (should stay `O(log min{k, Δ})`).
+    pub fn max_probe_iterations(&self) -> u32 {
+        self.max_probe_iterations
+    }
+
+    fn settler_here(&self, ctx: &ActivationCtx<'_>) -> Option<AgentId> {
+        match self.settled_at[ctx.node().index()] {
+            NO_SETTLER => None,
+            a => Some(AgentId(a)),
+        }
+    }
+
+    fn settle(&mut self, ctx: &mut ActivationCtx<'_>, agent: AgentId, parent_port: Option<Port>) {
+        self.states[agent.index()] = AgentState::Settled { parent_port };
+        self.settled_at[ctx.node().index()] = agent.0;
+        self.settled_count += 1;
+        ctx.milestone(agent, MILESTONE_SETTLED);
+        ctx.park(agent);
+    }
+
+    fn unsettle(&mut self, ctx: &mut ActivationCtx<'_>, settler: AgentId) -> Option<Port> {
+        let AgentState::Settled { parent_port } = self.states[settler.index()] else {
+            unreachable!("unsettle on a non-settled agent")
+        };
+        self.settled_at[ctx.node().index()] = NO_SETTLER;
+        self.settled_count -= 1;
+        ctx.wake(settler);
+        parent_port
+    }
+
+    /// Settle the smallest rider at the current node — or the leader itself
+    /// when the group is exhausted, in which case `true` is returned.
+    fn settle_next(
+        &mut self,
+        ctx: &mut ActivationCtx<'_>,
+        leader: AgentId,
+        arrival_pin: Option<Port>,
+    ) -> bool {
+        match self.riders.pop() {
+            None => {
+                self.settle(ctx, leader, arrival_pin);
+                true
+            }
+            Some(chosen) => {
+                ctx.extract(chosen);
+                self.settle(ctx, chosen, arrival_pin);
+                false
+            }
+        }
+    }
+
+    fn insert_rider(&mut self, a: AgentId) {
+        // Keep `riders` sorted descending by id (pop() = smallest).
+        let id = self.ids[a.index()];
+        let pos = self.riders.partition_point(|r| self.ids[r.index()] > id);
+        self.riders.insert(pos, a);
+    }
+
+    fn insert_idle_guest(&mut self, a: AgentId) {
+        let id = self.ids[a.index()];
+        let pos = self
+            .idle_guests
+            .partition_point(|g| self.ids[g.index()] < id);
+        self.idle_guests.insert(pos, a);
+    }
+
+    // ------------------------------------------------------------------
+    // Leader
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn act_leader(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        let AgentState::Leader {
+            phase,
+            mut arrival_pin,
+            mut checked,
+            mut next_empty,
+            mut solo_pin,
+        } = self.states[agent.index()]
+        else {
+            unreachable!("act_leader on non-leader");
+        };
+        let mut phase = phase;
+
+        match phase {
+            LeaderPhase::Enroll => {
+                for i in 0..self.k as u32 {
+                    if AgentId(i) != agent {
+                        ctx.enroll(AgentId(i));
+                    }
+                }
+                phase = LeaderPhase::Decide;
+            }
+
+            LeaderPhase::Decide => {
+                if self.settler_here(ctx).is_none() {
+                    // Start node: settle the smallest follower (or the leader
+                    // itself if it is alone).
+                    if self.settle_next(ctx, agent, arrival_pin) {
+                        return;
+                    }
+                } else {
+                    // Begin a fresh Async_Probe invocation at this node.
+                    checked = 0;
+                    next_empty = None;
+                    self.probe_invocations += 1;
+                    self.current_probe_iterations = 0;
+                    phase = LeaderPhase::ProbeAssign;
+                }
+            }
+
+            LeaderPhase::ProbeAssign => {
+                if next_empty.is_some() || checked as usize >= ctx.degree() {
+                    phase = if self.idle_guests.is_empty() {
+                        // Settler is present; falls through to movement.
+                        LeaderPhase::SeeOffWaitSettler
+                    } else {
+                        LeaderPhase::SeeOffAssign
+                    };
+                } else {
+                    self.current_probe_iterations += 1;
+                    self.max_probe_iterations =
+                        self.max_probe_iterations.max(self.current_probe_iterations);
+                    let avail = self.idle_guests.len() + self.riders.len();
+                    if avail == 0 {
+                        // The leader is the only unsettled agent left at this
+                        // node: probe the next port itself.
+                        let port = Port(checked + 1);
+                        if let Some(pin) = try_move(ctx, port) {
+                            solo_pin = Some(pin);
+                            phase = LeaderPhase::SoloOut;
+                        }
+                    } else {
+                        // Assign the `want` smallest-id helpers from the
+                        // union of idle guests and riders.
+                        let want = (ctx.degree() - checked as usize).min(avail);
+                        let mut guests_taken = 0usize;
+                        for i in 0..want {
+                            let port = Port(checked + 1 + i as u32);
+                            let next_guest = self.idle_guests.get(guests_taken).copied();
+                            let next_rider = self.riders.last().copied();
+                            let take_guest = match (next_guest, next_rider) {
+                                (Some(g), Some(r)) => self.ids[g.index()] < self.ids[r.index()],
+                                (Some(_), None) => true,
+                                (None, _) => false,
+                            };
+                            let (helper, origin) = if take_guest {
+                                let g = next_guest.expect("guest available");
+                                guests_taken += 1;
+                                let AgentState::Guest {
+                                    saved_parent_port,
+                                    travel: GuestTravel::Idle { home_port },
+                                } = self.states[g.index()]
+                                else {
+                                    unreachable!("idle_guests holds only idle guests")
+                                };
+                                ctx.wake(g);
+                                (
+                                    g,
+                                    ProberOrigin::Guest {
+                                        home_port,
+                                        saved_parent_port,
+                                    },
+                                )
+                            } else {
+                                let r = self.riders.pop().expect("rider available");
+                                ctx.extract(r);
+                                (r, ProberOrigin::Follower)
+                            };
+                            self.states[helper.index()] = AgentState::Prober {
+                                origin,
+                                port,
+                                pin: None,
+                                stage: ProbeStage::Out,
+                            };
+                        }
+                        self.idle_guests.drain(0..guests_taken);
+                        checked += want as u32;
+                        phase = LeaderPhase::ProbeWait {
+                            assigned: want as u32,
+                        };
+                    }
+                }
+            }
+
+            LeaderPhase::ProbeWait { assigned } => {
+                if self.returned_probers.len() as u32 == assigned {
+                    // Collect reports, revert probers.
+                    let probers = std::mem::take(&mut self.returned_probers);
+                    for prober in probers {
+                        let AgentState::Prober {
+                            origin,
+                            port,
+                            stage: ProbeStage::Returned { found_settler },
+                            ..
+                        } = self.states[prober.index()]
+                        else {
+                            unreachable!("returned_probers holds only returned probers")
+                        };
+                        if !found_settler {
+                            next_empty = Some(match next_empty {
+                                Some(p) if p < port => p,
+                                _ => port,
+                            });
+                        }
+                        match origin {
+                            ProberOrigin::Follower => {
+                                self.states[prober.index()] = AgentState::Rider;
+                                ctx.enroll(prober);
+                                self.insert_rider(prober);
+                            }
+                            ProberOrigin::Guest {
+                                home_port,
+                                saved_parent_port,
+                            } => {
+                                self.states[prober.index()] = AgentState::Guest {
+                                    saved_parent_port,
+                                    travel: GuestTravel::Idle { home_port },
+                                };
+                                ctx.park(prober);
+                                self.insert_idle_guest(prober);
+                            }
+                        }
+                    }
+                    phase = LeaderPhase::ProbeAssign;
+                }
+            }
+
+            LeaderPhase::SoloOut => {
+                // Arrived at the solo-probed neighbor.
+                phase = LeaderPhase::SoloAtNeighbor;
+            }
+
+            LeaderPhase::SoloAtNeighbor => {
+                if let Some(settler) = self.settler_here(ctx) {
+                    let parent_port = self.unsettle(ctx, settler);
+                    self.states[settler.index()] = AgentState::Guest {
+                        saved_parent_port: parent_port,
+                        travel: GuestTravel::ToProbeSite {
+                            via: solo_pin.expect("solo pin recorded"),
+                        },
+                    };
+                    phase = LeaderPhase::SoloWaitGuestGone { recruited: settler };
+                } else {
+                    let pin = solo_pin.expect("solo pin recorded");
+                    if try_move(ctx, pin).is_some() {
+                        phase = LeaderPhase::SoloReturn {
+                            found_settler: false,
+                        };
+                    }
+                }
+            }
+
+            LeaderPhase::SoloWaitGuestGone { recruited } => {
+                if !ctx.colocated_iter().any(|peer| peer == recruited) {
+                    let pin = solo_pin.expect("solo pin recorded");
+                    if try_move(ctx, pin).is_some() {
+                        phase = LeaderPhase::SoloReturn {
+                            found_settler: true,
+                        };
+                    }
+                }
+            }
+
+            LeaderPhase::SoloReturn { found_settler } => {
+                // Back at the DFS node.
+                if !found_settler {
+                    next_empty = Some(Port(checked + 1));
+                }
+                checked += 1;
+                solo_pin = None;
+                phase = LeaderPhase::ProbeAssign;
+            }
+
+            LeaderPhase::SeeOffAssign => {
+                let x = self.idle_guests.len();
+                match x {
+                    0 => {
+                        phase = self.movement(
+                            ctx,
+                            next_empty,
+                            &mut arrival_pin,
+                            LeaderPhase::SeeOffAssign,
+                        );
+                    }
+                    1 => {
+                        // α(w) escorts the single leftover guest home.
+                        let guest = self.idle_guests[0];
+                        let settler = self
+                            .settler_here(ctx)
+                            .expect("probe node must have a settler");
+                        let AgentState::Guest {
+                            saved_parent_port,
+                            travel: GuestTravel::Idle { home_port },
+                        } = self.states[guest.index()]
+                        else {
+                            unreachable!()
+                        };
+                        let settler_parent = self.unsettle(ctx, settler);
+                        self.states[guest.index()] = AgentState::Guest {
+                            saved_parent_port,
+                            travel: GuestTravel::GoingHome { via: home_port },
+                        };
+                        ctx.wake(guest);
+                        self.states[settler.index()] = AgentState::Escort {
+                            guest_self: None,
+                            saved_parent_port: settler_parent,
+                            via: home_port,
+                            pin: None,
+                            stage: EscortStage::Going,
+                        };
+                        self.idle_guests.clear();
+                        phase = LeaderPhase::SeeOffWaitSettler;
+                    }
+                    x => {
+                        let pairs = x / 2;
+                        let guests = std::mem::take(&mut self.idle_guests);
+                        for i in 0..pairs {
+                            let a = guests[2 * i];
+                            let b = guests[2 * i + 1];
+                            let AgentState::Guest {
+                                saved_parent_port: a_parent,
+                                travel: GuestTravel::Idle { home_port: a_home },
+                            } = self.states[a.index()]
+                            else {
+                                unreachable!()
+                            };
+                            let AgentState::Guest {
+                                saved_parent_port: b_parent,
+                                travel: GuestTravel::Idle { home_port: b_home },
+                            } = self.states[b.index()]
+                            else {
+                                unreachable!()
+                            };
+                            self.states[a.index()] = AgentState::Guest {
+                                saved_parent_port: a_parent,
+                                travel: GuestTravel::GoingHome { via: a_home },
+                            };
+                            ctx.wake(a);
+                            self.states[b.index()] = AgentState::Escort {
+                                guest_self: Some((b_home, b_parent)),
+                                saved_parent_port: a_parent,
+                                via: a_home,
+                                pin: None,
+                                stage: EscortStage::Going,
+                            };
+                            ctx.wake(b);
+                        }
+                        // An odd leftover guest stays idle (and parked).
+                        if x % 2 == 1 {
+                            self.idle_guests.push(guests[x - 1]);
+                        }
+                        phase = LeaderPhase::SeeOffWait {
+                            expect_idle: (x - pairs) as u32,
+                        };
+                    }
+                }
+            }
+
+            LeaderPhase::SeeOffWait { expect_idle } => {
+                if self.idle_guests.len() as u32 == expect_idle {
+                    phase = LeaderPhase::SeeOffAssign;
+                }
+            }
+
+            LeaderPhase::SeeOffWaitSettler => {
+                if self.settler_here(ctx).is_some() {
+                    phase = self.movement(
+                        ctx,
+                        next_empty,
+                        &mut arrival_pin,
+                        LeaderPhase::SeeOffWaitSettler,
+                    );
+                }
+            }
+
+            LeaderPhase::ArriveForward => {
+                debug_assert!(
+                    self.settler_here(ctx).is_none(),
+                    "forward target must be fully unsettled"
+                );
+                if self.settle_next(ctx, agent, arrival_pin) {
+                    return;
+                }
+                phase = LeaderPhase::Decide;
+            }
+        }
+
+        self.states[agent.index()] = AgentState::Leader {
+            phase,
+            arrival_pin,
+            checked,
+            next_empty,
+            solo_pin,
+        };
+    }
+
+    /// Execute the DFS move (forward to the discovered unsettled neighbor, or
+    /// backtrack to the parent) — the whole cohort rides along. When the
+    /// dynamic adversary has the edge down, the group stays put and the
+    /// leader remains in `stay`, retrying on its next activation.
+    fn movement(
+        &mut self,
+        ctx: &mut ActivationCtx<'_>,
+        next_empty: Option<Port>,
+        arrival_pin: &mut Option<Port>,
+        stay: LeaderPhase,
+    ) -> LeaderPhase {
+        let (p, arrived) = match next_empty {
+            Some(p) => (p, LeaderPhase::ArriveForward),
+            None => {
+                let settler = self
+                    .settler_here(ctx)
+                    .expect("backtracking from a settled node");
+                let AgentState::Settled { parent_port } = self.states[settler.index()] else {
+                    unreachable!()
+                };
+                let p =
+                    parent_port.expect("DFS root can only be exhausted after every agent settled");
+                (p, LeaderPhase::Decide)
+            }
+        };
+        match ctx.try_move_cohort_via(p) {
+            Ok(pin) => {
+                *arrival_pin = Some(pin);
+                arrived
+            }
+            Err(MoveError::EdgeDown { .. }) => stay,
+            Err(e) => panic!("illegal probe-dfs cohort move: {e}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn act_prober(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        let AgentState::Prober {
+            origin,
+            port,
+            mut pin,
+            stage,
+        } = self.states[agent.index()]
+        else {
+            unreachable!()
+        };
+        let mut stage = stage;
+        match stage {
+            ProbeStage::Out => {
+                if let Some(p) = try_move(ctx, port) {
+                    pin = Some(p);
+                    stage = ProbeStage::AtNeighbor;
+                }
+            }
+            ProbeStage::AtNeighbor => {
+                if let Some(settler) = self.settler_here(ctx) {
+                    let parent_port = self.unsettle(ctx, settler);
+                    self.states[settler.index()] = AgentState::Guest {
+                        saved_parent_port: parent_port,
+                        travel: GuestTravel::ToProbeSite {
+                            via: pin.expect("pin recorded on the way out"),
+                        },
+                    };
+                    stage = ProbeStage::WaitGuestGone { recruited: settler };
+                } else {
+                    stage = ProbeStage::GoHome {
+                        found_settler: false,
+                    };
+                }
+            }
+            ProbeStage::WaitGuestGone { recruited } => {
+                if !ctx.colocated_iter().any(|peer| peer == recruited) {
+                    stage = ProbeStage::GoHome {
+                        found_settler: true,
+                    };
+                }
+            }
+            ProbeStage::GoHome { found_settler } => {
+                if try_move(ctx, pin.expect("pin recorded on the way out")).is_some() {
+                    stage = ProbeStage::Returned { found_settler };
+                    self.returned_probers.push(agent);
+                    ctx.park(agent);
+                }
+            }
+            ProbeStage::Returned { .. } => {}
+        }
+        self.states[agent.index()] = AgentState::Prober {
+            origin,
+            port,
+            pin,
+            stage,
+        };
+    }
+
+    fn act_guest(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        let AgentState::Guest {
+            saved_parent_port,
+            travel,
+        } = self.states[agent.index()]
+        else {
+            unreachable!()
+        };
+        match travel {
+            GuestTravel::ToProbeSite { via } => {
+                let Some(pin) = try_move(ctx, via) else {
+                    return;
+                };
+                self.states[agent.index()] = AgentState::Guest {
+                    saved_parent_port,
+                    travel: GuestTravel::Idle { home_port: pin },
+                };
+                self.insert_idle_guest(agent);
+                ctx.park(agent);
+            }
+            GuestTravel::Idle { .. } => {}
+            GuestTravel::GoingHome { via } => {
+                if try_move(ctx, via).is_none() {
+                    return;
+                }
+                self.states[agent.index()] = AgentState::Settled {
+                    parent_port: saved_parent_port,
+                };
+                self.settled_at[ctx.node().index()] = agent.0;
+                self.settled_count += 1;
+                ctx.park(agent);
+            }
+        }
+    }
+
+    fn act_escort(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        let AgentState::Escort {
+            guest_self,
+            saved_parent_port,
+            via,
+            mut pin,
+            stage,
+        } = self.states[agent.index()]
+        else {
+            unreachable!()
+        };
+        let mut stage = stage;
+        match stage {
+            EscortStage::Going => {
+                if let Some(p) = try_move(ctx, via) {
+                    pin = Some(p);
+                    stage = EscortStage::AtPartnerHome;
+                }
+            }
+            EscortStage::AtPartnerHome => {
+                // Wait until the partner guest has arrived and re-settled.
+                if self.settler_here(ctx).is_some()
+                    && try_move(ctx, pin.expect("pin recorded on the way out")).is_some()
+                {
+                    stage = EscortStage::Returned;
+                }
+            }
+            EscortStage::Returned => {
+                // Restore.
+                match guest_self {
+                    None => {
+                        self.states[agent.index()] = AgentState::Settled {
+                            parent_port: saved_parent_port,
+                        };
+                        self.settled_at[ctx.node().index()] = agent.0;
+                        self.settled_count += 1;
+                        ctx.park(agent);
+                    }
+                    Some((home_port, my_parent)) => {
+                        self.states[agent.index()] = AgentState::Guest {
+                            saved_parent_port: my_parent,
+                            travel: GuestTravel::Idle { home_port },
+                        };
+                        self.insert_idle_guest(agent);
+                        ctx.park(agent);
+                    }
+                }
+                return;
+            }
+        }
+        self.states[agent.index()] = AgentState::Escort {
+            guest_self,
+            saved_parent_port,
+            via,
+            pin,
+            stage,
+        };
+    }
+}
+
+impl AgentProtocol for ProbeDfs {
+    fn on_activate(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        match self.states[agent.index()] {
+            AgentState::Settled { .. } | AgentState::Rider => {}
+            AgentState::Leader { .. } => self.act_leader(agent, ctx),
+            AgentState::Prober { .. } => self.act_prober(agent, ctx),
+            AgentState::Guest { .. } => self.act_guest(agent, ctx),
+            AgentState::Escort { .. } => self.act_escort(agent, ctx),
+        }
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.settled_count == self.k
+    }
+
+    fn is_settled(&self, agent: AgentId) -> bool {
+        matches!(self.states[agent.index()], AgentState::Settled { .. })
+    }
+
+    fn memory_bits(&self, agent: AgentId) -> usize {
+        let id = bits::id_bits(self.k);
+        let port = bits::port_bits(self.max_degree);
+        let opt_port = bits::opt_port_bits(self.max_degree);
+        match &self.states[agent.index()] {
+            AgentState::Rider => id + 1,
+            AgentState::Prober { .. } => id + 3 + port + opt_port + 1 + id + 2 * opt_port,
+            AgentState::Guest { .. } => id + 2 + opt_port + port,
+            AgentState::Escort { .. } => id + 2 + 2 * opt_port + port + opt_port,
+            AgentState::Settled { .. } => id + opt_port,
+            AgentState::Leader { .. } => {
+                id + 4
+                    + bits::counter_bits(self.k as u64)
+                    + 1
+                    + port
+                    + 2 * opt_port
+                    + bits::counter_bits(self.max_degree as u64)
+                    + opt_port
+                    + opt_port
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "probe-dfs"
+    }
+}

@@ -1,0 +1,472 @@
+//! Seeker-based synchronous dispersion (`Sync_Probe`, Algorithms 2 and 5–7).
+//!
+//! This protocol reproduces the *probing structure* of the paper's SYNC
+//! algorithm `RootedSyncDisp`: at every DFS node the leader dispatches a pool
+//! of **seekers** in parallel, one unprobed port each; each seeker makes a
+//! round trip (optionally waiting a configurable number of rounds at the
+//! neighbor, the paper's 6-round wait) and reports whether the neighbor
+//! hosts a settler. With a pool of `p` seekers, `min{k, δ_w}` ports are
+//! covered in `⌈min{k, δ_w}/p⌉` iterations of `O(1)` rounds each.
+//!
+//! **Fidelity note (see `DESIGN.md`).** The full Theorem 6.1 algorithm
+//! additionally leaves ≥ ⌈k/3⌉ DFS-tree nodes empty (Algorithm 1, module
+//! [`crate::empty_node`]) and covers them by oscillating settlers (module
+//! [`crate::oscillation`]) so that the seeker pool never shrinks below
+//! ⌈k/3⌉. This implementation settles an agent at every visited node
+//! instead, so the pool shrinks as the DFS progresses: the measured time is
+//! `O(k)` whenever node degrees stay below the remaining pool size and
+//! degrades toward the `O(k log k)` of the DISC'24 baseline on high-degree
+//! graphs. The empty-node selection and oscillation components are
+//! implemented and verified separately; wiring them into this protocol is
+//! the one fidelity gap of this reproduction (tracked in `EXPERIMENTS.md`).
+
+use disp_graph::Port;
+use disp_sim::{bits, ActivationCtx, AgentId, AgentProtocol, World};
+
+/// Tuning knobs (also used by the ablation benches).
+#[derive(Debug, Clone, Copy)]
+pub struct SyncConfig {
+    /// Rounds a seeker waits at the probed neighbor before returning. The
+    /// paper uses 6 (needed when tree nodes can be empty and are covered by
+    /// oscillating settlers); with every node settled, 1 suffices.
+    pub wait_rounds: u32,
+    /// Cap on the number of seekers dispatched per probe iteration
+    /// (`None` = use every available unsettled agent, the default).
+    pub max_probers: Option<usize>,
+}
+
+impl Default for SyncConfig {
+    fn default() -> Self {
+        SyncConfig {
+            wait_rounds: 1,
+            max_probers: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GroupOrder {
+    flip: bool,
+    port: Port,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MoveIntent {
+    Forward,
+    Backtrack,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SeekStage {
+    Out,
+    Waiting { left: u32, saw_settler: bool },
+    Returned { saw_settler: bool },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LeaderPhase {
+    Decide,
+    ProbeAssign,
+    ProbeWait { assigned: u32 },
+    SoloOut,
+    SoloWait { left: u32, saw_settler: bool },
+    SoloReturned { saw_settler: bool },
+    Departing(MoveIntent),
+    ArriveForward,
+}
+
+#[derive(Debug, Clone)]
+enum AgentState {
+    Follower {
+        executed: bool,
+    },
+    Seeker {
+        port: Port,
+        pin: Option<Port>,
+        stage: SeekStage,
+    },
+    Settled {
+        parent_port: Option<Port>,
+    },
+    Leader {
+        phase: LeaderPhase,
+        group_size: usize,
+        order: Option<GroupOrder>,
+        arrival_pin: Option<Port>,
+        checked: u32,
+        next_empty: Option<Port>,
+        solo_pin: Option<Port>,
+    },
+}
+
+/// The seeker-probing SYNC dispersion protocol (rooted configurations).
+#[derive(Debug)]
+pub struct RootedSyncDisp {
+    config: SyncConfig,
+    states: Vec<AgentState>,
+    ids: Vec<u32>,
+    leader: AgentId,
+    k: usize,
+    max_degree: usize,
+    settled_count: usize,
+    max_probe_iterations: u32,
+    current_probe_iterations: u32,
+}
+
+impl RootedSyncDisp {
+    /// Build the protocol for a rooted world with default configuration.
+    pub fn new(world: &World) -> Self {
+        Self::with_config(world, SyncConfig::default())
+    }
+
+    /// Build the protocol with explicit tuning knobs.
+    pub fn with_config(world: &World, config: SyncConfig) -> Self {
+        let k = world.num_agents();
+        let root = world.position(AgentId(0));
+        assert!(
+            (0..k).all(|i| world.position(AgentId(i as u32)) == root),
+            "RootedSyncDisp handles rooted initial configurations"
+        );
+        let leader = AgentId(k as u32 - 1);
+        let mut states = vec![AgentState::Follower { executed: false }; k];
+        states[leader.index()] = AgentState::Leader {
+            phase: LeaderPhase::Decide,
+            group_size: k - 1,
+            order: None,
+            arrival_pin: None,
+            checked: 0,
+            next_empty: None,
+            solo_pin: None,
+        };
+        RootedSyncDisp {
+            config,
+            states,
+            ids: (1..=k as u32).collect(),
+            leader,
+            k,
+            max_degree: world.graph().max_degree(),
+            settled_count: 0,
+            max_probe_iterations: 0,
+            current_probe_iterations: 0,
+        }
+    }
+
+    /// Largest number of probe iterations observed at a single node.
+    pub fn max_probe_iterations(&self) -> u32 {
+        self.max_probe_iterations
+    }
+
+    fn settler_here(&self, ctx: &ActivationCtx<'_>) -> Option<AgentId> {
+        ctx.colocated_iter()
+            .find(|a| matches!(self.states[a.index()], AgentState::Settled { .. }))
+    }
+
+    /// Settle `agent` and park it: settlers in this protocol are never
+    /// recruited, so their activations are no-ops forever.
+    fn settle(&mut self, ctx: &mut ActivationCtx<'_>, agent: AgentId, parent_port: Option<Port>) {
+        self.states[agent.index()] = AgentState::Settled { parent_port };
+        self.settled_count += 1;
+        ctx.park(agent);
+    }
+
+    fn followers_here(&self, ctx: &ActivationCtx<'_>) -> Vec<AgentId> {
+        let mut v: Vec<AgentId> = ctx
+            .colocated_iter()
+            .filter(|a| matches!(self.states[a.index()], AgentState::Follower { .. }))
+            .collect();
+        v.sort_by_key(|a| self.ids[a.index()]);
+        v
+    }
+
+    fn returned_seekers(&self, ctx: &ActivationCtx<'_>) -> Vec<AgentId> {
+        ctx.colocated_iter()
+            .filter(|a| {
+                matches!(
+                    self.states[a.index()],
+                    AgentState::Seeker {
+                        stage: SeekStage::Returned { .. },
+                        ..
+                    }
+                )
+            })
+            .collect()
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn act_leader(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        let AgentState::Leader {
+            phase,
+            mut group_size,
+            mut order,
+            mut arrival_pin,
+            mut checked,
+            mut next_empty,
+            mut solo_pin,
+        } = self.states[agent.index()].clone()
+        else {
+            unreachable!()
+        };
+        let mut phase = phase;
+
+        match phase {
+            LeaderPhase::Decide => {
+                if self.settler_here(ctx).is_none() {
+                    if group_size == 0 {
+                        self.settle(ctx, agent, arrival_pin);
+                        return;
+                    }
+                    let chosen = self.followers_here(ctx)[0];
+                    self.settle(ctx, chosen, arrival_pin);
+                    group_size -= 1;
+                } else {
+                    checked = 0;
+                    next_empty = None;
+                    self.current_probe_iterations = 0;
+                    phase = LeaderPhase::ProbeAssign;
+                }
+            }
+
+            LeaderPhase::ProbeAssign => {
+                if next_empty.is_some() || checked as usize >= ctx.degree() {
+                    phase = self.movement_phase(ctx, next_empty, &mut order);
+                } else {
+                    self.current_probe_iterations += 1;
+                    self.max_probe_iterations =
+                        self.max_probe_iterations.max(self.current_probe_iterations);
+                    let mut pool = self.followers_here(ctx);
+                    if let Some(cap) = self.config.max_probers {
+                        pool.truncate(cap.max(1));
+                    }
+                    if pool.is_empty() {
+                        // Leader probes the next port itself.
+                        let port = Port(checked + 1);
+                        solo_pin = Some(ctx.move_via(port));
+                        phase = LeaderPhase::SoloOut;
+                    } else {
+                        let want = (ctx.degree() - checked as usize).min(pool.len());
+                        for (i, seeker) in pool.iter().take(want).enumerate() {
+                            self.states[seeker.index()] = AgentState::Seeker {
+                                port: Port(checked + 1 + i as u32),
+                                pin: None,
+                                stage: SeekStage::Out,
+                            };
+                        }
+                        checked += want as u32;
+                        phase = LeaderPhase::ProbeWait {
+                            assigned: want as u32,
+                        };
+                    }
+                }
+            }
+
+            LeaderPhase::ProbeWait { assigned } => {
+                let returned = self.returned_seekers(ctx);
+                if returned.len() as u32 == assigned {
+                    let flip = order.map(|o| o.flip).unwrap_or(false);
+                    for s in returned {
+                        let AgentState::Seeker {
+                            port,
+                            stage: SeekStage::Returned { saw_settler },
+                            ..
+                        } = self.states[s.index()].clone()
+                        else {
+                            unreachable!()
+                        };
+                        if !saw_settler {
+                            next_empty = Some(match next_empty {
+                                Some(p) if p < port => p,
+                                _ => port,
+                            });
+                        }
+                        self.states[s.index()] = AgentState::Follower { executed: flip };
+                    }
+                    phase = LeaderPhase::ProbeAssign;
+                }
+            }
+
+            LeaderPhase::SoloOut => {
+                let saw = self.settler_here(ctx).is_some();
+                phase = LeaderPhase::SoloWait {
+                    left: self.config.wait_rounds,
+                    saw_settler: saw,
+                };
+            }
+
+            LeaderPhase::SoloWait { left, saw_settler } => {
+                let saw = saw_settler || self.settler_here(ctx).is_some();
+                if left == 0 {
+                    ctx.move_via(solo_pin.expect("solo pin recorded"));
+                    phase = LeaderPhase::SoloReturned { saw_settler: saw };
+                } else {
+                    phase = LeaderPhase::SoloWait {
+                        left: left - 1,
+                        saw_settler: saw,
+                    };
+                }
+            }
+
+            LeaderPhase::SoloReturned { saw_settler } => {
+                if !saw_settler {
+                    next_empty = Some(Port(checked + 1));
+                }
+                checked += 1;
+                solo_pin = None;
+                phase = LeaderPhase::ProbeAssign;
+            }
+
+            LeaderPhase::Departing(intent) => {
+                let o = order.expect("departing without an order");
+                if self.followers_here(ctx).is_empty() {
+                    let pin = ctx.move_via(o.port);
+                    arrival_pin = Some(pin);
+                    phase = match intent {
+                        MoveIntent::Forward => LeaderPhase::ArriveForward,
+                        MoveIntent::Backtrack => LeaderPhase::Decide,
+                    };
+                }
+            }
+
+            LeaderPhase::ArriveForward => {
+                debug_assert!(self.settler_here(ctx).is_none());
+                if group_size == 0 {
+                    self.settle(ctx, agent, arrival_pin);
+                    return;
+                }
+                let chosen = self.followers_here(ctx)[0];
+                self.settle(ctx, chosen, arrival_pin);
+                group_size -= 1;
+                phase = LeaderPhase::Decide;
+            }
+        }
+
+        self.states[agent.index()] = AgentState::Leader {
+            phase,
+            group_size,
+            order,
+            arrival_pin,
+            checked,
+            next_empty,
+            solo_pin,
+        };
+    }
+
+    fn movement_phase(
+        &mut self,
+        ctx: &ActivationCtx<'_>,
+        next_empty: Option<Port>,
+        order: &mut Option<GroupOrder>,
+    ) -> LeaderPhase {
+        let flip = order.map(|o| !o.flip).unwrap_or(true);
+        match next_empty {
+            Some(p) => {
+                *order = Some(GroupOrder { flip, port: p });
+                LeaderPhase::Departing(MoveIntent::Forward)
+            }
+            None => {
+                let settler = self
+                    .settler_here(ctx)
+                    .expect("backtracking from a settled node");
+                let AgentState::Settled { parent_port } = self.states[settler.index()] else {
+                    unreachable!()
+                };
+                let p =
+                    parent_port.expect("the DFS root can only be exhausted after everyone settled");
+                *order = Some(GroupOrder { flip, port: p });
+                LeaderPhase::Departing(MoveIntent::Backtrack)
+            }
+        }
+    }
+
+    fn act_follower(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        let AgentState::Follower { executed } = self.states[agent.index()] else {
+            unreachable!()
+        };
+        if ctx.colocated_iter().any(|peer| peer == self.leader) {
+            if let AgentState::Leader { order: Some(o), .. } = self.states[self.leader.index()] {
+                if o.flip != executed {
+                    ctx.move_via(o.port);
+                    self.states[agent.index()] = AgentState::Follower { executed: o.flip };
+                }
+            }
+        }
+    }
+
+    fn act_seeker(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        let AgentState::Seeker {
+            port,
+            mut pin,
+            stage,
+        } = self.states[agent.index()].clone()
+        else {
+            unreachable!()
+        };
+        let mut stage = stage;
+        match stage {
+            SeekStage::Out => {
+                pin = Some(ctx.move_via(port));
+                stage = SeekStage::Waiting {
+                    left: self.config.wait_rounds,
+                    saw_settler: false,
+                };
+            }
+            SeekStage::Waiting { left, saw_settler } => {
+                let saw = saw_settler || self.settler_here(ctx).is_some();
+                if left == 0 {
+                    ctx.move_via(pin.expect("pin recorded"));
+                    stage = SeekStage::Returned { saw_settler: saw };
+                } else {
+                    stage = SeekStage::Waiting {
+                        left: left - 1,
+                        saw_settler: saw,
+                    };
+                }
+            }
+            SeekStage::Returned { .. } => {}
+        }
+        self.states[agent.index()] = AgentState::Seeker { port, pin, stage };
+    }
+}
+
+impl AgentProtocol for RootedSyncDisp {
+    fn on_activate(&mut self, agent: AgentId, ctx: &mut ActivationCtx<'_>) {
+        match self.states[agent.index()] {
+            AgentState::Settled { .. } => {}
+            AgentState::Leader { .. } => self.act_leader(agent, ctx),
+            AgentState::Follower { .. } => self.act_follower(agent, ctx),
+            AgentState::Seeker { .. } => self.act_seeker(agent, ctx),
+        }
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.settled_count == self.k
+    }
+
+    fn is_settled(&self, agent: AgentId) -> bool {
+        matches!(self.states[agent.index()], AgentState::Settled { .. })
+    }
+
+    fn memory_bits(&self, agent: AgentId) -> usize {
+        let id = bits::id_bits(self.k);
+        let port = bits::port_bits(self.max_degree);
+        let opt_port = bits::opt_port_bits(self.max_degree);
+        match &self.states[agent.index()] {
+            AgentState::Follower { .. } => id + 1,
+            AgentState::Seeker { .. } => id + 2 + port + opt_port + bits::counter_bits(8) + 1,
+            AgentState::Settled { .. } => id + opt_port,
+            AgentState::Leader { .. } => {
+                id + 3
+                    + bits::counter_bits(self.k as u64)
+                    + 1
+                    + port
+                    + 2 * opt_port
+                    + bits::counter_bits(self.max_degree as u64)
+                    + opt_port
+                    + opt_port
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "rooted-sync-seeker"
+    }
+}

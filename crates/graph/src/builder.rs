@@ -55,6 +55,46 @@ impl fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
+/// Hash state for the duplicate-edge set. The keys are canonicalized
+/// `(min, max)` node pairs — already unique, well-distributed u64s — so one
+/// splitmix64 finalizer round replaces SipHash, which profiles as the hot
+/// spot of building 10^5-edge graphs.
+#[derive(Debug, Clone, Copy, Default)]
+struct EdgeKeyHash;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct EdgeKeyHasher(u64);
+
+impl std::hash::Hasher for EdgeKeyHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u32 writes (tuple layout changes, prefixes):
+        // FNV-1a, correct for any byte stream.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        // Two writes pack the (u32, u32) key into one u64.
+        self.0 = self.0.rotate_left(32) ^ u64::from(v);
+    }
+
+    fn finish(&self) -> u64 {
+        let mut z = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl std::hash::BuildHasher for EdgeKeyHash {
+    type Hasher = EdgeKeyHasher;
+
+    fn build_hasher(&self) -> EdgeKeyHasher {
+        EdgeKeyHasher(0)
+    }
+}
+
 /// Builder for [`PortGraph`].
 ///
 /// Ports are assigned per node in edge-insertion order: the first edge
@@ -65,8 +105,15 @@ impl std::error::Error for GraphError {}
 #[derive(Debug, Clone)]
 pub struct GraphBuilder {
     num_nodes: usize,
-    adjacency: Vec<Vec<(NodeId, usize)>>,
-    edge_set: HashSet<(u32, u32)>,
+    /// Undirected edges in insertion order. The CSR arrays are produced by a
+    /// counting sort over this list in [`GraphBuilder::build`]; a flat list
+    /// keeps construction at O(1) heap allocations instead of one small
+    /// `Vec` per node.
+    edges: Vec<(NodeId, NodeId)>,
+    /// Running degree of each node; doubles as the port counter (ports are
+    /// assigned per node in edge-insertion order).
+    degrees: Vec<u32>,
+    edge_set: HashSet<(u32, u32), EdgeKeyHash>,
     name: String,
     check_connectivity: bool,
 }
@@ -76,8 +123,12 @@ impl GraphBuilder {
     pub fn new(num_nodes: usize) -> Self {
         GraphBuilder {
             num_nodes,
-            adjacency: vec![Vec::new(); num_nodes],
-            edge_set: HashSet::new(),
+            // Most families are sparse (m = Θ(n)); reserving n slots up
+            // front spares the dense-growth reallocation cascade without
+            // hurting small builders. Dense families still grow amortized.
+            edges: Vec::with_capacity(num_nodes),
+            degrees: vec![0; num_nodes],
+            edge_set: HashSet::with_capacity_and_hasher(num_nodes, EdgeKeyHash),
             name: String::from("custom"),
             check_connectivity: true,
         }
@@ -103,7 +154,7 @@ impl GraphBuilder {
 
     /// Current degree of `v`.
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adjacency[v.index()].len()
+        self.degrees[v.index()] as usize
     }
 
     /// Whether the undirected edge `{u, v}` has already been added.
@@ -135,12 +186,11 @@ impl GraphBuilder {
         if !self.edge_set.insert(key) {
             return Err(GraphError::DuplicateEdge(u, v));
         }
-        let pu = Port::from_offset(self.adjacency[u.index()].len());
-        let pv = Port::from_offset(self.adjacency[v.index()].len());
-        // Each adjacency entry remembers the slot of the reverse entry so the
-        // CSR back-port array can be filled in O(1) per edge at build time.
-        self.adjacency[u.index()].push((v, pv.offset()));
-        self.adjacency[v.index()].push((u, pu.offset()));
+        let pu = Port::from_offset(self.degrees[u.index()] as usize);
+        let pv = Port::from_offset(self.degrees[v.index()] as usize);
+        self.degrees[u.index()] += 1;
+        self.degrees[v.index()] += 1;
+        self.edges.push((u, v));
         Ok((pu, pv))
     }
 
@@ -149,16 +199,30 @@ impl GraphBuilder {
         if self.num_nodes == 0 {
             return Err(GraphError::Empty);
         }
+        // Counting-sort the flat edge list into CSR form. Replaying edges in
+        // insertion order reproduces the per-node port order that add_edge
+        // promised, and each entry's local slot at the far endpoint is
+        // exactly the far node's fill cursor at that moment — which is the
+        // back-port add_edge assigned.
         let mut offsets = Vec::with_capacity(self.num_nodes + 1);
         offsets.push(0usize);
-        let mut neighbors = Vec::with_capacity(2 * self.edge_set.len());
-        let mut back_ports = Vec::with_capacity(2 * self.edge_set.len());
-        for adj in &self.adjacency {
-            for &(nbr, back_slot) in adj {
-                neighbors.push(nbr);
-                back_ports.push(Port::from_offset(back_slot));
-            }
-            offsets.push(neighbors.len());
+        let mut total = 0usize;
+        for &d in &self.degrees {
+            total += d as usize;
+            offsets.push(total);
+        }
+        let mut neighbors = vec![NodeId(0); total];
+        let mut back_ports = vec![Port::from_offset(0); total];
+        let mut fill = vec![0u32; self.num_nodes];
+        for &(u, v) in &self.edges {
+            let (ui, vi) = (u.index(), v.index());
+            let (lu, lv) = (fill[ui] as usize, fill[vi] as usize);
+            neighbors[offsets[ui] + lu] = v;
+            back_ports[offsets[ui] + lu] = Port::from_offset(lv);
+            neighbors[offsets[vi] + lv] = u;
+            back_ports[offsets[vi] + lv] = Port::from_offset(lu);
+            fill[ui] += 1;
+            fill[vi] += 1;
         }
         let graph = PortGraph {
             offsets,

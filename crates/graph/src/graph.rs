@@ -124,6 +124,22 @@ impl PortGraph {
         )
     }
 
+    /// Hot-path [`traverse`](PortGraph::traverse): identical results for
+    /// every valid `(v, p)`, but port validity is the *caller's* contract —
+    /// checked only by `debug_assert!`, so release builds carry no panicking
+    /// range test. The simulator validates the port once against
+    /// [`degree`](PortGraph::degree) and then calls this.
+    #[inline]
+    pub fn traverse_fast(&self, v: NodeId, p: Port) -> (NodeId, Port) {
+        debug_assert!(
+            p.0 >= 1 && p.offset() < self.degree(v),
+            "port {p} out of range at node {v} (degree {})",
+            self.degree(v)
+        );
+        let i = self.offsets[v.index()] + p.offset();
+        (self.neighbors[i], self.back_ports[i])
+    }
+
     /// All neighbors of `v`, in port order.
     pub fn neighbors_of(&self, v: NodeId) -> &[NodeId] {
         &self.neighbors[self.offsets[v.index()]..self.offsets[v.index() + 1]]

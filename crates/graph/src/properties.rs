@@ -6,11 +6,25 @@ use crate::ids::NodeId;
 use std::collections::VecDeque;
 
 /// Number of nodes reachable from `start` (including `start`).
+///
+/// Runs on every `GraphBuilder::build`, so it traverses with a flat seen
+/// bitmap and a grow-only visit stack instead of paying for the per-node
+/// `Option<usize>` distances that [`bfs_distances`] materializes.
 pub fn reachable_from(g: &PortGraph, start: NodeId) -> usize {
-    bfs_distances(g, start)
-        .iter()
-        .filter(|d| d.is_some())
-        .count()
+    let mut seen = vec![false; g.num_nodes()];
+    let mut stack = vec![start];
+    seen[start.index()] = true;
+    let mut count = 1usize;
+    while let Some(v) = stack.pop() {
+        for &u in g.neighbors_of(v) {
+            if !seen[u.index()] {
+                seen[u.index()] = true;
+                count += 1;
+                stack.push(u);
+            }
+        }
+    }
+    count
 }
 
 /// Whether the graph is connected.

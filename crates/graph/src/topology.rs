@@ -180,6 +180,50 @@ impl Topology {
         }
     }
 
+    /// Hot-path [`traverse`](Topology::traverse): identical results for
+    /// every valid `(v, p)`, but validity is the *caller's* contract (checked
+    /// only by `debug_assert!`) and the per-family arithmetic is branch-free —
+    /// no panicking range tests, no internal port `match` on the torus, and
+    /// the torus wraparound is a conditional subtract instead of a `%`
+    /// division. The simulator's movement path validates the port once
+    /// against [`degree`](Topology::degree) and then calls this; the
+    /// `fast_agrees_with_checked_traverse` test pins the equivalence over
+    /// every family.
+    #[inline]
+    pub fn traverse_fast(&self, v: NodeId, p: Port) -> (NodeId, Port) {
+        debug_assert!(
+            p.0 >= 1 && p.offset() < self.degree(v),
+            "port {p} out of range at node {v} (degree {})",
+            self.degree(v)
+        );
+        match *self {
+            Topology::Csr(ref g) => g.traverse_fast(v, p),
+            Topology::Complete { .. } => {
+                // `le` selects between the two halves of the builder labeling
+                // without a data-dependent jump.
+                let le = u32::from(p.0 <= v.0);
+                (NodeId(p.0 - le), Port(v.0 + 1 - le))
+            }
+            Topology::Hypercube { .. } => (NodeId(v.0 ^ (1 << (p.0 - 1))), p),
+            Topology::Torus { rows, cols } => {
+                let (rows, cols) = (rows as u32, cols as u32);
+                let (r, c) = (v.0 / cols, v.0 % cols);
+                // Ports 1..=4 are (east, west, south, north): bit 1 of
+                // `p - 1` picks the axis, bit 0 the direction, and the
+                // reverse port flips bit 0.
+                let e = p.0 - 1;
+                let axis = ((e >> 1) & 1) as usize;
+                let back = (e & 1) as usize;
+                let dim = [cols, rows][axis];
+                // +1 forward, dim-1 backward — both mod `dim`.
+                let along = [c, r][axis] + [1, dim - 1][back];
+                let wrapped = along - dim * u32::from(along >= dim);
+                let (nr, nc) = [(r, wrapped), (wrapped, c)][axis];
+                (NodeId(nr * cols + nc), Port((e ^ 1) + 1))
+            }
+        }
+    }
+
     /// The neighbor reached by leaving `v` through port `p`.
     #[inline]
     pub fn neighbor(&self, v: NodeId, p: Port) -> NodeId {
@@ -309,6 +353,20 @@ mod tests {
                         built.traverse(v, p),
                         "n={n} {v} {p}"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_agrees_with_checked_traverse() {
+        let mut families = implicit_families();
+        families.push(Topology::from(crate::generators::ring(9)));
+        families.push(Topology::from(crate::generators::line(6)));
+        for t in families {
+            for v in t.nodes() {
+                for p in t.ports(v) {
+                    assert_eq!(t.traverse_fast(v, p), t.traverse(v, p), "{t}: ({v}, {p})");
                 }
             }
         }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! disp-load bench  --addr HOST:PORT [--connections N] [--requests N]
-//!                  [--scenario LABEL]... [--reps N] [--seed S] [--format text|json]
+//!                  [--scenario LABEL]... [--grid default|micro] [--min-rps N]
+//!                  [--reps N] [--seed S] [--format text|json]
 //! disp-load once   --addr HOST:PORT --scenario LABEL... [--reps N] [--seed S]
 //! disp-load events --addr HOST:PORT [--scenario LABEL]... [--reps N] [--seed S]
 //! disp-load get    --addr HOST:PORT --path PATH
@@ -12,7 +13,11 @@
 //!   from N keep-alive connections with a mixed submit/poll/fetch/metrics
 //!   workload and reports throughput and p50/p99 latency — the numbers
 //!   behind the ROADMAP's "heavy traffic" claim. `--format json` prints
-//!   the same numbers as one machine-readable JSON object.
+//!   the same numbers as one machine-readable JSON object. `--grid micro`
+//!   swaps the builtin grid for a wide grid of many small trials (the
+//!   server-side analogue of the bench gate's micro workload, pushing the
+//!   executor's per-worker world pools), and `--min-rps` turns the
+//!   measured warm-cache throughput into a pass/fail floor.
 //! * `once` submits one grid, waits for completion and streams the JSONL
 //!   results to stdout (the CI smoke diffs this against an offline
 //!   `disp-campaign run` of the same grid).
@@ -34,7 +39,8 @@ disp-load — load generation for disp-serve
 
 USAGE:
   disp-load bench  --addr HOST:PORT [--connections N] [--requests N]
-                   [--scenario LABEL]... [--reps N] [--seed S] [--format text|json]
+                   [--scenario LABEL]... [--grid default|micro] [--min-rps N]
+                   [--reps N] [--seed S] [--format text|json]
                    [--target serve|coordinator]
   disp-load once   --addr HOST:PORT --scenario LABEL... [--reps N] [--seed S]
   disp-load events --addr HOST:PORT [--scenario LABEL]... [--reps N] [--seed S]
@@ -42,9 +48,12 @@ USAGE:
 
 bench defaults: 4 connections, 1000 requests, a small builtin grid.
 The mixed workload is, per 8 requests: 1 submit, 3 status polls,
-3 results fetches, 1 metrics scrape. --target coordinator additionally
-reports how the warm-up grid's trials were spread across cluster
-workers (from the /metrics per-worker gauges).
+3 results fetches, 1 metrics scrape. --grid micro replaces the builtin
+grid with many small trials across families and schedules; --min-rps N
+fails the bench when the measured warm-cache throughput falls below N
+requests per second. --target coordinator additionally reports how the
+warm-up grid's trials were spread across cluster workers (from the
+/metrics per-worker gauges).
 
 events submits a grid, subscribes to the run's live event stream and
 verifies it: one completed/cached event per grid trial, a clean close.
@@ -60,6 +69,33 @@ struct Flags {
     path: String,
     json: bool,
     coordinator: bool,
+    micro: bool,
+    min_rps: f64,
+}
+
+/// The `--grid micro` grid: many small trials across graph families,
+/// schedules and both algorithms — the serve-path analogue of the bench
+/// gate's micro workload. Every trial is tiny, so the executor's cost is
+/// dominated by per-trial setup, which is exactly what the per-worker
+/// world pools are for.
+fn micro_grid() -> Vec<String> {
+    [
+        "line/k256/rooted/sync/probe-dfs",
+        "line/k192/rooted/sync/probe-dfs",
+        "line/k128/rooted/sync/ks-dfs",
+        "ring/k256/rooted/sync/probe-dfs",
+        "ring/k128/rooted/sync/ks-dfs",
+        "star/k64/rooted/sync/probe-dfs",
+        "star/k64/rooted/sync/ks-dfs",
+        "rtree/k128/rooted/sync/probe-dfs",
+        "rtree/k64/rooted/async-rand0.7/ks-dfs",
+        "line/k128/rooted/async-lag4/probe-dfs",
+        "star/k32/rooted/async-rand0.7/probe-dfs",
+        "ring/k64/rooted/async-lag4/ks-dfs",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -73,6 +109,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         path: "/healthz".into(),
         json: false,
         coordinator: false,
+        micro: false,
+        min_rps: 0.0,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -105,6 +143,18 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .map_err(|_| "--seed expects an unsigned integer".to_string())?
             }
             "--path" => flags.path = value("--path")?,
+            "--grid" => {
+                flags.micro = match value("--grid")?.as_str() {
+                    "micro" => true,
+                    "default" => false,
+                    other => return Err(format!("--grid expects default|micro, got '{other}'")),
+                }
+            }
+            "--min-rps" => {
+                flags.min_rps = value("--min-rps")?
+                    .parse()
+                    .map_err(|_| "--min-rps expects a number".to_string())?
+            }
             "--target" => {
                 flags.coordinator = match value("--target")?.as_str() {
                     "coordinator" => true,
@@ -128,11 +178,17 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         return Err("--addr HOST:PORT is required".into());
     }
     if flags.scenarios.is_empty() {
-        // A small mixed grid: SYNC + ASYNC, two algorithms.
-        flags.scenarios = vec![
-            "star/k12/rooted/sync/probe-dfs".into(),
-            "rtree/k12/rooted/async-rand0.7/ks-dfs".into(),
-        ];
+        flags.scenarios = if flags.micro {
+            micro_grid()
+        } else {
+            // A small mixed grid: SYNC + ASYNC, two algorithms.
+            vec![
+                "star/k12/rooted/sync/probe-dfs".into(),
+                "rtree/k12/rooted/async-rand0.7/ks-dfs".into(),
+            ]
+        };
+    } else if flags.micro {
+        return Err("--grid micro and explicit --scenario are mutually exclusive".into());
     }
     Ok(flags)
 }
@@ -476,6 +532,16 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         return Err(format!(
             "{errors} of {} requests failed",
             total as u64 + errors
+        ));
+    }
+    // The measured phase runs against a warm cache (the warm-up executed
+    // the whole grid), so a floor here is a warm-cache throughput
+    // non-regression gate, not a hardware benchmark.
+    if flags.min_rps > 0.0 && throughput < flags.min_rps {
+        return Err(format!(
+            "warm-cache throughput regressed: {throughput:.1} req/s is below the \
+             --min-rps {} floor",
+            flags.min_rps
         ));
     }
     Ok(())

@@ -644,6 +644,14 @@ fn execute_job(
             }
         }
     }
+    // Each worker thread keeps one world-allocation pool across every trial
+    // it runs (and across jobs — executor threads are long-lived), so grids
+    // of many small trials pay for world buffers once per thread, not once
+    // per trial. Pooling is byte-invisible to results.
+    thread_local! {
+        static POOL: std::cell::RefCell<disp_sim::WorldPool> =
+            std::cell::RefCell::new(disp_sim::WorldPool::new());
+    }
     let (fresh, _stats) = parallel_map(
         todo,
         threads,
@@ -653,7 +661,10 @@ fn execute_job(
             }
             events.emit(TrialEvent::started(&t.point.point_id(), t.rep));
             let begun = Instant::now();
-            let rec = t.point.run_trial(registry, t.rep, t.seed);
+            let rec = POOL.with(|pool| {
+                t.point
+                    .run_trial_pooled(registry, t.rep, t.seed, &mut pool.borrow_mut())
+            });
             events.emit(TrialEvent::completed(
                 &rec,
                 begun.elapsed().as_micros() as u64,

@@ -67,6 +67,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod arena;
 pub mod bits;
 pub mod clock;
 pub mod fault;
@@ -83,6 +84,7 @@ pub use adversary::{
     Adversary, AdversaryError, AdversaryKind, LaggingAdversary, RandomSubsetAdversary,
     RoundRobinAdversary, StepView, TargetedAdversary,
 };
+pub use arena::{ListArena, ListHandle};
 pub use clock::Clock;
 pub use fault::{CrashPlan, DynamicAdversary};
 pub use ids::AgentId;
@@ -92,7 +94,7 @@ pub use protocol::AgentProtocol;
 pub use runner::{AsyncRunner, RunConfig, RunError, SyncRunner};
 pub use trace::{Trace, TraceEvent, DEFAULT_TRACE_CAP};
 pub use trip::{Trip, TripProgress, TripStatus, TripStep};
-pub use world::{ActivationCtx, MoveError, World};
+pub use world::{ActivationCtx, MoveError, World, WorldPool};
 
 /// Convenient glob import for downstream crates.
 pub mod prelude {

@@ -22,6 +22,17 @@ impl Metrics {
         }
     }
 
+    /// Reset to the state of `Metrics::new(k)` while keeping the per-agent
+    /// buffer's allocation (the `WorldPool` rebuild path).
+    pub fn into_reset(mut self, k: usize) -> Self {
+        self.total_moves = 0;
+        self.moves_per_agent.clear();
+        self.moves_per_agent.resize(k, 0);
+        self.peak_memory_bits = 0;
+        self.memory_samples = 0;
+        self
+    }
+
     /// Record one edge traversal by `agent`.
     pub fn record_move(&mut self, agent: AgentId) {
         self.total_moves += 1;

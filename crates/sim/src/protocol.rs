@@ -42,6 +42,17 @@ pub trait AgentProtocol {
     /// compute-phase memory is free).
     fn memory_bits(&self, agent: AgentId) -> usize;
 
+    /// The current maximum of [`memory_bits`](AgentProtocol::memory_bits)
+    /// over all agents, if the protocol can produce it in `O(1)` — e.g. from
+    /// per-role counts when the footprint is a function of the role alone.
+    /// The runners' periodic memory sampling uses this fast path when it is
+    /// available and falls back to the `O(k)` per-agent scan otherwise. An
+    /// override MUST return exactly the value the scan would compute; the
+    /// differential suite cross-checks this against scan-path references.
+    fn max_memory_bits(&self) -> Option<usize> {
+        None
+    }
+
     /// Human-readable protocol name (used in reports and traces).
     fn name(&self) -> &'static str {
         "unnamed-protocol"

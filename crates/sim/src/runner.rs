@@ -99,11 +99,16 @@ impl std::fmt::Display for RunError {
 impl std::error::Error for RunError {}
 
 fn sample_memory<P: AgentProtocol + ?Sized>(world: &mut World, protocol: &P) {
-    let k = world.num_agents();
-    let max_bits = (0..k)
-        .map(|i| protocol.memory_bits(AgentId(i as u32)))
-        .max()
-        .unwrap_or(0);
+    let max_bits = match protocol.max_memory_bits() {
+        Some(max) => max,
+        None => {
+            let k = world.num_agents();
+            (0..k)
+                .map(|i| protocol.memory_bits(AgentId(i as u32)))
+                .max()
+                .unwrap_or(0)
+        }
+    };
     world.metrics_mut().record_memory_sample(max_bits);
 }
 
@@ -308,7 +313,6 @@ impl<A: Adversary> AsyncRunner<A> {
     ) -> Result<Outcome, RunError> {
         let k = world.num_agents();
         let mut clock = Clock::new(k);
-        let mut active_sorted: Vec<AgentId> = Vec::new();
         let mut batch: Vec<AgentId> = Vec::new();
         let mut transitions: Vec<(AgentId, bool)> = Vec::new();
         let mut woken_for_adv: Vec<AgentId> = Vec::new();
@@ -353,11 +357,17 @@ impl<A: Adversary> AsyncRunner<A> {
                     continue;
                 }
             }
-            world.snapshot_active_sorted(&mut active_sorted);
             let scheduled = {
                 let victims = |a: AgentId| !protocol.is_settled(a);
-                let view =
-                    StepView::new(k, clock.steps(), &active_sorted, &woken_for_adv, &victims);
+                // Borrows the world's cached sorted worklist — no copy, and
+                // the sort itself only reruns after a park/wake/crash.
+                let view = StepView::new(
+                    k,
+                    clock.steps(),
+                    world.active_sorted(),
+                    &woken_for_adv,
+                    &victims,
+                );
                 self.adversary.next_step(&view, &mut batch)
             };
             let fault = |world: &mut World, clock: &Clock, reason: String| {

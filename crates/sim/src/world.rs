@@ -95,6 +95,9 @@ struct Cohort {
     members: u32,
     /// Head of the member list (threaded through `next`/`prev`).
     head: u32,
+    /// The driving agent — needed to sever `driving` when the last member
+    /// leaves and the slot goes back on the free list.
+    driver: u32,
 }
 
 /// Mutable world state: where every agent is, plus bookkeeping.
@@ -115,6 +118,10 @@ pub struct World {
     next: Vec<u32>,
     prev: Vec<u32>,
     cohorts: Vec<Cohort>,
+    /// Recyclable `cohorts` slots: a cohort whose last member leaves goes
+    /// back here, so trials that form and disband many convoys reuse a
+    /// handful of slots instead of growing `cohorts` forever.
+    free_cohorts: Vec<u32>,
     /// `agent → cohort` while riding, `NONE` otherwise.
     cohort_of: Vec<u32>,
     /// `agent → cohort` while driving one, `NONE` otherwise.
@@ -125,6 +132,13 @@ pub struct World {
     active: Vec<AgentId>,
     /// `agent → index in active`, `NONE` when parked.
     active_pos: Vec<u32>,
+    /// Ascending copy of `active`, valid while `active_clean`. Runners read
+    /// the sorted worklist every round/step but the worklist itself only
+    /// changes on park/wake/crash — caching the sort here turns the common
+    /// quiet round's snapshot into a no-op (ASYNC) or a small memcpy (SYNC).
+    active_sorted: Vec<AgentId>,
+    /// Whether `active_sorted` currently mirrors `active`.
+    active_clean: bool,
     /// Genuine park/wake transitions (`true` = woke) since the last
     /// [`World::drain_transitions`] call, in occurrence order. The runners
     /// drain this every round/step: the SYNC runner to inject same-round
@@ -143,11 +157,147 @@ pub struct World {
     trace: Trace,
 }
 
+/// Reset `v` to `len` copies of `fill`, keeping its allocation.
+fn refill<T: Copy>(v: &mut Vec<T>, len: usize, fill: T) {
+    v.clear();
+    v.resize(len, fill);
+}
+
+/// A recyclable allocation shell for [`World`]s.
+///
+/// Campaigns that run thousands of *small* trials (the batched micro-trial
+/// path) spend a measurable share of their time in the ~15 `Vec`
+/// allocations each `World::new` performs. A pool keeps the buffers of a
+/// finished world and rebuilds the next trial's world inside them:
+/// [`WorldPool::take`] is state-identical to [`World::new`] (the
+/// `pooled_world_is_indistinguishable_from_a_fresh_one` test pins this), so
+/// pooled and unpooled trials of the same seed produce byte-identical
+/// outcomes. After the first trial of a batch, `take` allocates nothing as
+/// long as instance sizes do not grow.
+#[derive(Debug, Default)]
+pub struct WorldPool {
+    shell: Option<World>,
+}
+
+impl WorldPool {
+    /// An empty pool; the first [`WorldPool::take`] falls back to
+    /// [`World::new`].
+    pub fn new() -> Self {
+        WorldPool::default()
+    }
+
+    /// Build a world for `positions`, reusing the pooled allocations when
+    /// available.
+    pub fn take(&mut self, graph: impl Into<Topology>, positions: Vec<NodeId>) -> World {
+        match self.shell.take() {
+            None => World::new(graph, positions),
+            Some(shell) => World::rebuild(shell, graph.into(), positions),
+        }
+    }
+
+    /// Return a finished world's allocations to the pool (its graph and
+    /// run state are discarded on the next [`WorldPool::take`]).
+    pub fn put(&mut self, world: World) {
+        self.shell = Some(world);
+    }
+}
+
 impl World {
     /// Create a world with the given initial agent positions (`positions[i]`
     /// is the start node of agent `i`).
     pub fn new(graph: impl Into<Topology>, positions: Vec<NodeId>) -> Self {
         let graph = graph.into();
+        let k = positions.len();
+        Self::check_instance(&graph, &positions);
+        let mut world = World {
+            graph,
+            positions,
+            head: Vec::new(),
+            next: Vec::new(),
+            prev: Vec::new(),
+            cohorts: Vec::new(),
+            free_cohorts: Vec::new(),
+            cohort_of: Vec::new(),
+            driving: Vec::new(),
+            ride_start: Vec::new(),
+            active: Vec::new(),
+            active_pos: Vec::new(),
+            active_sorted: Vec::new(),
+            active_clean: false,
+            transitions: Vec::new(),
+            moved: Vec::new(),
+            liveness: None,
+            dead: Vec::new(),
+            dead_count: 0,
+            metrics: Metrics::new(k),
+            trace: Trace::disabled(),
+        };
+        world.init_buffers();
+        world
+    }
+
+    /// Rebuild a world inside `shell`'s allocations — the [`WorldPool`]
+    /// fast path. Must leave every field exactly as [`World::new`] would;
+    /// the exhaustive destructure below makes adding a `World` field
+    /// without deciding its reset policy a compile error.
+    fn rebuild(shell: World, graph: Topology, positions: Vec<NodeId>) -> World {
+        Self::check_instance(&graph, &positions);
+        let k = positions.len();
+        let World {
+            graph: _,
+            positions: _,
+            head,
+            next,
+            prev,
+            mut cohorts,
+            mut free_cohorts,
+            cohort_of,
+            driving,
+            ride_start,
+            active,
+            active_pos,
+            mut active_sorted,
+            active_clean: _,
+            mut transitions,
+            moved,
+            liveness: _,
+            dead,
+            dead_count: _,
+            metrics: old_metrics,
+            trace: _,
+        } = shell;
+        cohorts.clear();
+        free_cohorts.clear();
+        active_sorted.clear();
+        transitions.clear();
+        let mut world = World {
+            graph,
+            positions,
+            head,
+            next,
+            prev,
+            cohorts,
+            free_cohorts,
+            cohort_of,
+            driving,
+            ride_start,
+            active,
+            active_pos,
+            active_sorted,
+            active_clean: false,
+            transitions,
+            moved,
+            liveness: None,
+            dead,
+            dead_count: 0,
+            metrics: old_metrics.into_reset(k),
+            trace: Trace::disabled(),
+        };
+        world.init_buffers();
+        world
+    }
+
+    fn check_instance(graph: &Topology, positions: &[NodeId]) {
         assert!(!positions.is_empty(), "a world needs at least one agent");
         assert!(
             positions.len() <= graph.num_nodes(),
@@ -155,36 +305,35 @@ impl World {
             positions.len(),
             graph.num_nodes()
         );
-        let k = positions.len();
-        let n = graph.num_nodes();
-        let mut world = World {
-            graph,
-            positions,
-            head: vec![NONE; n],
-            next: vec![NONE; k],
-            prev: vec![NONE; k],
-            cohorts: Vec::new(),
-            cohort_of: vec![NONE; k],
-            driving: vec![NONE; k],
-            ride_start: vec![0; k],
-            active: (0..k as u32).map(AgentId).collect(),
-            active_pos: (0..k as u32).collect(),
-            transitions: Vec::new(),
-            moved: vec![false; k],
-            liveness: None,
-            dead: vec![false; k],
-            dead_count: 0,
-            metrics: Metrics::new(k),
-            trace: Trace::disabled(),
-        };
+    }
+
+    /// Size every per-node/per-agent buffer for the current instance and
+    /// link the occupancy lists. Shared by [`World::new`] (fresh buffers)
+    /// and [`World::rebuild`] (pooled buffers).
+    fn init_buffers(&mut self) {
+        let k = self.positions.len();
+        let n = self.graph.num_nodes();
+        refill(&mut self.head, n, NONE);
+        refill(&mut self.next, k, NONE);
+        refill(&mut self.prev, k, NONE);
+        refill(&mut self.cohort_of, k, NONE);
+        refill(&mut self.driving, k, NONE);
+        refill(&mut self.ride_start, k, 0);
+        refill(&mut self.moved, k, false);
+        refill(&mut self.dead, k, false);
+        self.active.clear();
+        self.active.extend((0..k as u32).map(AgentId));
+        self.active_pos.clear();
+        self.active_pos.extend(0..k as u32);
+        self.active_sorted.clear();
+        self.active_clean = false;
         // Link occupancy lists in reverse so list order is ascending by id
         // (link_to_node rewrites positions[i] with the same value).
         for i in (0..k).rev() {
-            let v = world.positions[i];
+            let v = self.positions[i];
             assert!(v.index() < n, "agent {i} starts at nonexistent node {v}");
-            world.link_to_node(i, v);
+            self.link_to_node(i, v);
         }
-        world
     }
 
     /// Create a *rooted* initial configuration: all `k` agents start on
@@ -380,13 +529,26 @@ impl World {
         self.active.len()
     }
 
-    /// Copy the active list into `buf`, sorted ascending by agent id (the
-    /// SYNC runner's per-round activation order and the ASYNC adversaries'
-    /// canonical worklist view).
-    pub(crate) fn snapshot_active_sorted(&self, buf: &mut Vec<AgentId>) {
+    /// The active list sorted ascending by agent id (the SYNC runner's
+    /// per-round activation order and the ASYNC adversaries' canonical
+    /// worklist view), served from the cache — the sort reruns only when a
+    /// park/wake/crash dirtied the worklist since the last call.
+    pub(crate) fn active_sorted(&mut self) -> &[AgentId] {
+        if !self.active_clean {
+            self.active_sorted.clear();
+            self.active_sorted.extend_from_slice(&self.active);
+            self.active_sorted.sort_unstable();
+            self.active_clean = true;
+        }
+        &self.active_sorted
+    }
+
+    /// Copy the sorted active list into `buf` (for callers that go on to
+    /// mutate their copy, like the SYNC runner's same-round wake injection).
+    pub(crate) fn snapshot_active_sorted(&mut self, buf: &mut Vec<AgentId>) {
+        self.active_sorted();
         buf.clear();
-        buf.extend_from_slice(&self.active);
-        buf.sort_unstable();
+        buf.extend_from_slice(&self.active_sorted);
     }
 
     /// The active worklist in internal (unsorted) order — set semantics
@@ -415,6 +577,7 @@ impl World {
             self.active_pos[last.index()] = i;
         }
         self.active_pos[agent.index()] = NONE;
+        self.active_clean = false;
         self.transitions.push((agent, false));
     }
 
@@ -425,6 +588,7 @@ impl World {
         }
         self.active_pos[agent.index()] = self.active.len() as u32;
         self.active.push(agent);
+        self.active_clean = false;
         self.transitions.push((agent, true));
     }
 
@@ -498,13 +662,24 @@ impl World {
         );
         let c = match self.driving[driver.index()] {
             NONE => {
-                let c = self.cohorts.len() as u32;
-                self.cohorts.push(Cohort {
+                let fresh = Cohort {
                     node: at,
                     hops: 0,
                     members: 0,
                     head: NONE,
-                });
+                    driver: driver.0,
+                };
+                let c = match self.free_cohorts.pop() {
+                    Some(c) => {
+                        self.cohorts[c as usize] = fresh;
+                        c
+                    }
+                    None => {
+                        let c = self.cohorts.len() as u32;
+                        self.cohorts.push(fresh);
+                        c
+                    }
+                };
                 self.driving[driver.index()] = c;
                 c
             }
@@ -561,6 +736,13 @@ impl World {
         self.metrics.credit_rider_moves(member, ridden);
         self.link_to_node(m, node);
         self.wake(member);
+        // An emptied cohort's slot is recycled; the driver starts a fresh
+        // one on its next enroll.
+        if self.cohorts[c].members == 0 {
+            self.driving[self.cohorts[c].driver as usize] = NONE;
+            self.cohorts[c].head = NONE;
+            self.free_cohorts.push(c as u32);
+        }
     }
 
     /// Fold the pending per-agent move accounting of every live cohort into
@@ -618,7 +800,9 @@ impl World {
                 return Err(MoveError::EdgeDown { port });
             }
         }
-        let (to, pin) = self.graph.traverse(from, port);
+        // The port was just validated against `degree`, so take the
+        // branch-free path (no re-validation, no internal dispatch work).
+        let (to, pin) = self.graph.traverse_fast(from, port);
         self.moved[a] = true;
         self.unlink_from_node(a);
         self.link_to_node(a, to);
@@ -881,6 +1065,56 @@ mod tests {
 
     fn at(w: &World, v: u32) -> Vec<AgentId> {
         w.agents_at(NodeId(v)).collect()
+    }
+
+    #[test]
+    fn cohort_slots_are_recycled_when_a_cohort_empties() {
+        let mut w = world_on_ring(4);
+        w.begin_activation(AgentId(3));
+        let mut ctx = w.ctx(AgentId(3), 0);
+        ctx.enroll(AgentId(0));
+        ctx.enroll(AgentId(1));
+        ctx.move_cohort_via(Port(1));
+        ctx.extract(AgentId(0));
+        ctx.extract(AgentId(1));
+        assert_eq!(w.cohort_len(AgentId(3)), 0);
+        assert_eq!(w.cohorts.len(), 1);
+        assert_eq!(w.free_cohorts, vec![0]);
+        // A different driver's next convoy reuses the slot (agents 0 and 1
+        // materialized at the old cohort's node, so 0 can drive 1).
+        w.begin_activation(AgentId(0));
+        let mut ctx = w.ctx(AgentId(0), 1);
+        ctx.enroll(AgentId(1));
+        assert_eq!(w.cohorts.len(), 1);
+        assert!(w.free_cohorts.is_empty());
+        assert_eq!(w.cohort_len(AgentId(0)), 1);
+        // The ride accounting starts fresh in the reused slot.
+        assert_eq!(w.cohorts[0].hops, 0);
+        assert_eq!(w.cohorts[0].driver, 0);
+    }
+
+    #[test]
+    fn pooled_world_is_indistinguishable_from_a_fresh_one() {
+        // Dirty a world thoroughly: convoys, moves, parks, a crash.
+        let mut pool = WorldPool::new();
+        let mut w = pool.take(generators::ring(6), vec![NodeId(0); 5]);
+        w.begin_activation(AgentId(4));
+        let mut ctx = w.ctx(AgentId(4), 0);
+        ctx.enroll(AgentId(1));
+        ctx.enroll(AgentId(2));
+        ctx.move_cohort_via(Port(1));
+        ctx.extract(AgentId(1));
+        w.park(AgentId(0));
+        w.crash(AgentId(3));
+        pool.put(w);
+        // Rebuild on a *different* instance and compare every field against
+        // a from-scratch construction (Debug covers the full state).
+        let spec = || (generators::line(7), vec![NodeId(3), NodeId(3), NodeId(0)]);
+        let (g, pos) = spec();
+        let recycled = pool.take(g, pos);
+        let (g, pos) = spec();
+        let fresh = World::new(g, pos);
+        assert_eq!(format!("{recycled:?}"), format!("{fresh:?}"));
     }
 
     #[test]
