@@ -153,6 +153,47 @@ impl ExperimentPoint {
         }
     }
 
+    /// [`ExperimentPoint::run_trial`] with the flight recorder attached:
+    /// returns the record together with the run's
+    /// [`Timeline`](disp_sim::Timeline) (settled/active/role counts at
+    /// round/epoch boundaries, decimated into `budget` points). The record
+    /// is byte-identical to [`ExperimentPoint::run_trial`] of the same
+    /// seed — recording is observation, never content. A limit-exceeded
+    /// run keeps its faithful partial record but returns no timeline.
+    pub fn run_trial_with_timeline(
+        &self,
+        registry: &Registry,
+        rep: usize,
+        seed: u64,
+        budget: usize,
+    ) -> (TrialRecord, Option<disp_sim::Timeline>) {
+        use disp_core::scenario::ScenarioError;
+        use disp_sim::RunError;
+        match self.scenario.run_with_timeline(registry, seed, budget) {
+            Ok((report, timeline)) => (
+                TrialRecord {
+                    point: self.clone(),
+                    rep,
+                    seed,
+                    outcome: report.outcome,
+                    dispersed: report.dispersed,
+                },
+                Some(timeline),
+            ),
+            Err(ScenarioError::Run(RunError::LimitExceeded { outcome })) => (
+                TrialRecord {
+                    point: self.clone(),
+                    rep,
+                    seed,
+                    outcome,
+                    dispersed: false,
+                },
+                None,
+            ),
+            Err(other) => panic!("scenario '{}': {other}", self.scenario.label()),
+        }
+    }
+
     /// Run this point's repetitions (with the legacy fixed seed schedule)
     /// and aggregate them.
     pub fn measure(&self, registry: &Registry) -> Measurement {

@@ -24,6 +24,7 @@ pub mod jsonl;
 pub mod online;
 pub mod report;
 pub mod scenario_json;
+pub mod spark;
 pub mod stats;
 
 pub use experiment::{ExperimentPoint, ExperimentSpec, Measurement, TrialRecord};
@@ -35,4 +36,5 @@ pub use report::{
     csv_table, markdown_table, measurement_header, measurement_row, measurement_to_json,
 };
 pub use scenario_json::{scenario_from_json, scenario_to_json};
+pub use spark::{sparkline, sparkline_scaled, SPARK_RAMP};
 pub use stats::Summary;

@@ -1,0 +1,137 @@
+//! ASCII sparklines: render a numeric series as one fixed-width text row,
+//! for watching a protocol settle in a terminal (`disp-campaign report
+//! --timeline`, `disp-load watch`).
+//!
+//! Pure-ASCII glyphs — a ten-step density ramp — so the output survives
+//! logs, CI transcripts and dumb terminals. Rendering is deterministic:
+//! the same series and width always produce the same string.
+
+/// The density ramp, lowest to highest. Ten ASCII glyphs ordered by ink.
+pub const SPARK_RAMP: &[u8; 10] = b" .:-=+*#%@";
+
+/// Render `values` as a sparkline of at most `width` characters.
+///
+/// The series is resampled to `width` columns (each column averages its
+/// share of the series), then each column maps to a ramp glyph by linear
+/// scaling between the series minimum and maximum. A constant series
+/// renders at the bottom of the ramp unless it is positive, in which case
+/// it renders at the top — so "all settled" reads full, not empty. An
+/// empty series renders as an empty string.
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let columns = resample(values, width);
+    let (min, max) = columns
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let top = (SPARK_RAMP.len() - 1) as f64;
+    columns
+        .iter()
+        .map(|&v| {
+            let level = if max > min {
+                ((v - min) / (max - min) * top).round() as usize
+            } else if max > 0.0 {
+                SPARK_RAMP.len() - 1
+            } else {
+                0
+            };
+            SPARK_RAMP[level.min(SPARK_RAMP.len() - 1)] as char
+        })
+        .collect()
+}
+
+/// Render `values` scaled against a fixed `[0, max]` range instead of the
+/// series' own extrema — the right choice for fractions with a known
+/// ceiling (settled / k), where two sparklines must be comparable and a
+/// full row must mean "done". `max ≤ 0` falls back to the bottom glyph.
+pub fn sparkline_scaled(values: &[f64], max: f64, width: usize) -> String {
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let columns = resample(values, width);
+    let top = (SPARK_RAMP.len() - 1) as f64;
+    columns
+        .iter()
+        .map(|&v| {
+            let level = if max > 0.0 {
+                ((v.clamp(0.0, max) / max) * top).round() as usize
+            } else {
+                0
+            };
+            SPARK_RAMP[level.min(SPARK_RAMP.len() - 1)] as char
+        })
+        .collect()
+}
+
+/// Average `values` into exactly `min(width, len)` columns, each covering
+/// an equal contiguous share of the series.
+fn resample(values: &[f64], width: usize) -> Vec<f64> {
+    let width = width.min(values.len());
+    (0..width)
+        .map(|col| {
+            let lo = col * values.len() / width;
+            let hi = ((col + 1) * values.len() / width).max(lo + 1);
+            values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramps_from_bottom_to_top() {
+        let values: Vec<f64> = (0..10).map(|v| v as f64).collect();
+        let line = sparkline(&values, 10);
+        assert_eq!(line, " .:-=+*#%@");
+    }
+
+    #[test]
+    fn resamples_long_series_to_width() {
+        let values: Vec<f64> = (0..1000).map(|v| v as f64).collect();
+        let line = sparkline(&values, 20);
+        assert_eq!(line.len(), 20);
+        assert!(line.starts_with(' '));
+        assert!(line.ends_with('@'));
+    }
+
+    #[test]
+    fn short_series_render_one_glyph_per_value() {
+        assert_eq!(sparkline(&[1.0, 2.0], 80).len(), 2);
+    }
+
+    #[test]
+    fn constant_series_reads_full_when_positive_empty_when_zero() {
+        assert_eq!(sparkline(&[5.0; 4], 4), "@@@@");
+        assert_eq!(sparkline(&[0.0; 4], 4), "    ");
+    }
+
+    #[test]
+    fn empty_inputs_render_empty() {
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[1.0], 0), "");
+        assert_eq!(sparkline_scaled(&[], 1.0, 10), "");
+    }
+
+    #[test]
+    fn scaled_sparkline_uses_the_fixed_ceiling() {
+        // Half of max renders mid-ramp even though it is the series max.
+        let line = sparkline_scaled(&[8.0, 8.0], 16.0, 2);
+        assert_eq!(line, "++");
+        // Full max renders at the top; zero at the bottom.
+        assert_eq!(sparkline_scaled(&[16.0], 16.0, 1), "@");
+        assert_eq!(sparkline_scaled(&[0.0], 16.0, 1), " ");
+        // A non-positive ceiling degrades to the bottom glyph.
+        assert_eq!(sparkline_scaled(&[3.0], 0.0, 1), " ");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let values: Vec<f64> = (0..137).map(|v| ((v * 7) % 31) as f64).collect();
+        assert_eq!(sparkline(&values, 40), sparkline(&values, 40));
+    }
+}

@@ -1,9 +1,10 @@
 //! CI bench regression gate.
 //!
 //! ```text
-//! bench-gate record  [--out BENCH_baseline.json] [--samples N]
-//! bench-gate check   [--baseline BENCH_baseline.json] [--samples N]
-//! bench-gate scaling [--threads 1,2,4]
+//! bench-gate record   [--out BENCH_baseline.json] [--samples N]
+//! bench-gate check    [--baseline BENCH_baseline.json] [--samples N]
+//! bench-gate scaling  [--threads 1,2,4]
+//! bench-gate timeline [--samples N]
 //! ```
 //!
 //! `record` measures the gated hot paths (see `disp_bench::gate`) and writes
@@ -13,6 +14,10 @@
 //! wall-clock/speedup table, and always asserts that sorted trial records
 //! are byte-identical across thread counts; the speedup gate itself is
 //! skipped on a single-core box (determinism still proves out there).
+//! `timeline` measures the `scale/line100k` trial with and without the
+//! flight recorder in the same run and fails when the recorded variant
+//! exceeds [`gate::TIMELINE_FACTOR`]× the plain one — the "observation is
+//! (almost) free" acceptance bound.
 
 use disp_bench::gate;
 use std::path::PathBuf;
@@ -22,9 +27,10 @@ const USAGE: &str = "\
 bench-gate — wall-clock regression gate for the dispersion hot paths
 
 USAGE:
-  bench-gate record  [--out FILE] [--samples N]      (write a fresh baseline)
-  bench-gate check   [--baseline FILE] [--samples N] (fail on >25% regression)
-  bench-gate scaling [--threads 1,2,4]               (thread-scaling table + identity check)
+  bench-gate record   [--out FILE] [--samples N]      (write a fresh baseline)
+  bench-gate check    [--baseline FILE] [--samples N] (fail on >25% regression)
+  bench-gate scaling  [--threads 1,2,4]               (thread-scaling table + identity check)
+  bench-gate timeline [--samples N]                   (flight-recorder overhead bound)
 ";
 
 fn main() -> ExitCode {
@@ -140,6 +146,27 @@ fn main() -> ExitCode {
             if best.is_finite() && best < 1.0 {
                 eprintln!(
                     "bench-gate: {cores}-core host but best multi-thread speedup is ×{best:.2}"
+                );
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Some("timeline") => {
+            let (plain_ns, recorded_ns, ratio) = gate::timeline_overhead(samples);
+            println!(
+                "scale/line100k/probe-dfs: plain {:.3} ms, recorded {:.3} ms, ratio {:.3} \
+                 (bound {:.2})",
+                plain_ns / 1e6,
+                recorded_ns / 1e6,
+                ratio,
+                gate::TIMELINE_FACTOR,
+            );
+            if ratio > gate::TIMELINE_FACTOR {
+                eprintln!(
+                    "bench-gate: flight-recorder overhead ×{ratio:.3} exceeds the \
+                     ×{:.2} bound",
+                    gate::TIMELINE_FACTOR
                 );
                 ExitCode::FAILURE
             } else {

@@ -24,12 +24,14 @@ use disp_campaign::grid::{CampaignSpec, Mode};
 use disp_campaign::report::{
     campaign_report_json, render_section_csv, render_section_markdown, section_measurements,
 };
-use disp_campaign::run::{run_campaign_batched, RunSummary};
+use disp_campaign::run::{run_campaign_observed, RunSummary};
 use disp_campaign::signal;
 use disp_campaign::store::CampaignStore;
-use disp_campaign::telemetry::{trace_to_jsonl, JsonlSink, Telemetry};
+use disp_campaign::telemetry::{
+    timeline_to_jsonl, trace_to_jsonl, JsonlSink, Telemetry, TimelineSidecar,
+};
 use disp_core::scenario::{grammar_help, Registry, ScenarioSpec};
-use disp_sim::DEFAULT_TRACE_CAP;
+use disp_sim::{DEFAULT_TIMELINE_BUDGET, DEFAULT_TRACE_CAP};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::AtomicBool;
@@ -42,6 +44,7 @@ fn main() -> ExitCode {
         Some("resume") => cmd_resume(&args[1..], &registry),
         Some("report") => cmd_report(&args[1..]),
         Some("trace") => cmd_trace(&args[1..], &registry),
+        Some("timeline") => cmd_timeline(&args[1..], &registry),
         Some("scenarios") => {
             cmd_scenarios(&registry);
             Ok(())
@@ -69,9 +72,12 @@ USAGE:
                        [--scenario LABEL]... [--reps N]
                        [--quick|--full] [--threads N] [--batch N] [--seed S]
                        [--section NAME]... [--out DIR] [--force] [--events]
+                       [--timeline]
   disp-campaign resume --out DIR [--threads N] [--batch N] [--events]
-  disp-campaign report --out DIR [--csv DIR | --format text|json]
+                       [--timeline]
+  disp-campaign report --out DIR [--csv DIR | --format text|json] [--timeline]
   disp-campaign trace  --scenario LABEL [--seed S] [--cap N] [--out FILE]
+  disp-campaign timeline --scenario LABEL [--seed S] [--budget N] [--out FILE]
   disp-campaign scenarios    (print the scenario-label grammar + vocabulary)
 
 --scenario runs an ad-hoc grid of canonical scenario labels, e.g.
@@ -89,9 +95,26 @@ trials. Results, checkpoints and resumes are byte-identical to --batch 1
 wall-clock micros — to the DIR/events.jsonl sidecar. Timing is not content:
 trials.jsonl stays byte-identical with or without --events.
 
+--timeline on run/resume (requires --out) additionally records a decimated
+flight-recorder timeline per executed trial — round-by-round settled /
+active / parked counts and the per-role class histogram, within a fixed
+point budget — to the DIR/timelines.jsonl sidecar. Recording is pure
+observation: trials.jsonl stays byte-identical with or without --timeline.
+On report, --timeline renders each recorded trial's settling curve as an
+ASCII sparkline.
+
 `trace` runs ONE trial of a scenario with the simulator's event trace
 enabled and writes the log as JSONL (stdout, or --out FILE): every agent
-move, cohort ride and protocol milestone, capped at --cap events.
+move, cohort ride and protocol milestone, capped at --cap events. When the
+cap truncates the log, the closing {\"event\":\"trace_end\"} line carries
+\"truncated\":true plus a \"dropped\" count of events lost past the cap.
+
+`timeline` runs ONE trial of a scenario with the flight recorder enabled
+and writes the decimated timeline as JSONL (stdout, or --out FILE) —
+byte-identical to what disp-serve's GET /timeline returns for the same
+scenario and seed. --budget caps the number of retained points (default
+4096); longer runs are decimated by stride doubling, keeping the first and
+final boundaries exact.
 
 Trial seeds derive from (campaign seed, canonical scenario label,
 repetition): output is byte-identical for any --threads value. With --out,
@@ -117,6 +140,8 @@ struct Flags {
     format: Format,
     events: bool,
     cap: Option<usize>,
+    timeline: bool,
+    budget: Option<usize>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,6 +168,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         format: Format::Text,
         events: false,
         cap: None,
+        timeline: false,
+        budget: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -194,6 +221,16 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--force" => flags.force = true,
             "--events" => flags.events = true,
+            "--timeline" => flags.timeline = true,
+            "--budget" => {
+                let budget: usize = value("--budget")?
+                    .parse()
+                    .map_err(|_| "--budget expects a positive integer".to_string())?;
+                if budget == 0 {
+                    return Err("--budget expects a positive integer".into());
+                }
+                flags.budget = Some(budget);
+            }
             "--cap" => {
                 let cap: usize = value("--cap")?
                     .parse()
@@ -306,6 +343,20 @@ fn finish_events(telemetry: Option<Telemetry>, store: Option<&CampaignStore>) {
     }
 }
 
+/// Start the timelines.jsonl sidecar when `--timeline` was given on
+/// run/resume.
+fn start_timelines(
+    flags: &Flags,
+    store: Option<&CampaignStore>,
+) -> Result<Option<TimelineSidecar>, String> {
+    if !flags.timeline {
+        return Ok(None);
+    }
+    let store =
+        store.ok_or("--timeline requires --out DIR (the sidecar lives next to the store)")?;
+    Ok(Some(TimelineSidecar::create(&store.timelines_path())?))
+}
+
 fn cmd_run(args: &[String], registry: &Registry) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let spec = build_spec(&flags, registry)?;
@@ -314,8 +365,9 @@ fn cmd_run(args: &[String], registry: &Registry) -> Result<(), String> {
         None => None,
     };
     let telemetry = start_events(&flags, store.as_ref())?;
+    let timelines = start_timelines(&flags, store.as_ref())?;
     let cancel: &AtomicBool = signal::install();
-    let (records, summary) = run_campaign_batched(
+    let (records, summary) = run_campaign_observed(
         &spec,
         store.as_ref(),
         flags.threads,
@@ -323,6 +375,7 @@ fn cmd_run(args: &[String], registry: &Registry) -> Result<(), String> {
         registry,
         cancel,
         telemetry.as_ref().map(Telemetry::handle).as_ref(),
+        timelines.as_ref(),
     )?;
     finish_events(telemetry, store.as_ref());
     print_summary(&spec, &summary, flags.threads);
@@ -341,8 +394,9 @@ fn cmd_resume(args: &[String], registry: &Registry) -> Result<(), String> {
     let (store, manifest) = CampaignStore::open(dir)?;
     let spec = manifest.rebuild_spec()?;
     let telemetry = start_events(&flags, Some(&store))?;
+    let timelines = start_timelines(&flags, Some(&store))?;
     let cancel: &AtomicBool = signal::install();
-    let (records, summary) = run_campaign_batched(
+    let (records, summary) = run_campaign_observed(
         &spec,
         Some(&store),
         flags.threads,
@@ -350,6 +404,7 @@ fn cmd_resume(args: &[String], registry: &Registry) -> Result<(), String> {
         registry,
         cancel,
         telemetry.as_ref().map(Telemetry::handle).as_ref(),
+        timelines.as_ref(),
     )?;
     finish_events(telemetry, Some(&store));
     print_summary(&spec, &summary, flags.threads);
@@ -400,6 +455,105 @@ fn cmd_trace(args: &[String], registry: &Registry) -> Result<(), String> {
     Ok(())
 }
 
+/// `timeline`: run one trial of one scenario with the flight recorder
+/// enabled and write the decimated timeline as JSONL (stdout by default,
+/// `--out FILE`). Uses the same encoder as disp-serve's `GET /timeline`,
+/// so the two are byte-identical for the same scenario + seed.
+fn cmd_timeline(args: &[String], registry: &Registry) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    if flags.campaign.is_some() {
+        return Err("timeline takes --scenario LABEL, not --campaign".into());
+    }
+    let label = match flags.scenarios.as_slice() {
+        [label] => label,
+        [] => return Err("timeline requires --scenario LABEL".into()),
+        _ => return Err("timeline runs exactly one scenario (one --scenario flag)".into()),
+    };
+    let spec = ScenarioSpec::parse(label, registry).map_err(|e| e.to_string())?;
+    let budget = flags.budget.unwrap_or(DEFAULT_TIMELINE_BUDGET);
+    let (report, timeline) = spec
+        .run_with_timeline(registry, flags.seed, budget)
+        .map_err(|e| e.to_string())?;
+    let jsonl = timeline_to_jsonl(&timeline, &spec.label(), flags.seed);
+    match &flags.out {
+        Some(path) => {
+            std::fs::write(path, &jsonl).map_err(|e| format!("write {}: {e}", path.display()))?;
+            eprintln!(
+                "recorded {} (seed {}): {} point(s), decimation level {} → {}",
+                spec.label(),
+                flags.seed,
+                timeline.points.len(),
+                timeline.decimation_level(),
+                path.display()
+            );
+        }
+        None => print!("{jsonl}"),
+    }
+    eprintln!(
+        "outcome: dispersed={} moves={} time={}",
+        report.dispersed,
+        report.outcome.total_moves,
+        report.outcome.time()
+    );
+    Ok(())
+}
+
+/// The `report --timeline` view: parse `DIR/timelines.jsonl` and render
+/// each recorded trial's settling curve as one ASCII sparkline row.
+fn render_timelines(store: &CampaignStore) -> Result<(), String> {
+    use disp_analysis::Json;
+    let path = store.timelines_path();
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "read {}: {e} (record timelines with `run --timeline --out DIR`)",
+            path.display()
+        )
+    })?;
+    println!("# Timelines ({})\n", path.display());
+    let mut scenario = String::new();
+    let mut seed = 0u64;
+    let mut settled: Vec<f64> = Vec::new();
+    let mut population = 0.0f64;
+    let mut last_time = 0.0f64;
+    for line in text.lines() {
+        let Some(doc) = Json::parse(line).ok() else {
+            continue;
+        };
+        match doc.get("event").and_then(Json::as_str) {
+            Some("timeline_start") => {
+                scenario = doc
+                    .get("scenario")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                seed = doc.get("seed").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+                settled.clear();
+                population = 0.0;
+                last_time = 0.0;
+            }
+            Some("point") => {
+                let s = doc.get("settled").and_then(Json::as_f64).unwrap_or(0.0);
+                let active = doc.get("active").and_then(Json::as_f64).unwrap_or(0.0);
+                let parked = doc.get("parked").and_then(Json::as_f64).unwrap_or(0.0);
+                let crashed = doc.get("crashed").and_then(Json::as_f64).unwrap_or(0.0);
+                settled.push(s);
+                population = population.max(active + parked + crashed);
+                last_time = doc.get("time").and_then(Json::as_f64).unwrap_or(last_time);
+            }
+            Some("timeline_end") => {
+                let spark = disp_analysis::sparkline_scaled(&settled, population, 60);
+                let final_settled = settled.last().copied().unwrap_or(0.0);
+                println!(
+                    "{scenario} seed={seed}\n  [{spark}] settled {}/{} at t={}",
+                    final_settled as u64, population as u64, last_time as u64
+                );
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
 fn cmd_report(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let dir = flags
@@ -407,6 +561,9 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         .as_ref()
         .ok_or("report requires --out DIR (a campaign directory)")?;
     let (store, manifest) = CampaignStore::open(dir)?;
+    if flags.timeline {
+        return render_timelines(&store);
+    }
     let spec = manifest.rebuild_spec()?;
     let ingest = store.read_trials()?;
     if ingest.malformed > 0 {

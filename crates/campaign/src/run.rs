@@ -4,7 +4,7 @@
 use crate::engine::{parallel_map, EngineStats};
 use crate::grid::{CampaignSpec, TrialSpec};
 use crate::store::CampaignStore;
-use crate::telemetry::{TelemetryHandle, TrialEvent};
+use crate::telemetry::{timeline_to_jsonl, TelemetryHandle, TimelineSidecar, TrialEvent};
 use disp_analysis::jsonl::dedup_trials;
 use disp_analysis::TrialRecord;
 use disp_core::scenario::Registry;
@@ -123,6 +123,31 @@ pub fn run_campaign_batched(
     cancel: &AtomicBool,
     telemetry: Option<&TelemetryHandle>,
 ) -> Result<(Vec<TrialRecord>, RunSummary), String> {
+    run_campaign_observed(
+        spec, store, threads, batch, registry, cancel, telemetry, None,
+    )
+}
+
+/// [`run_campaign_batched`] with an optional flight-recorder sidecar.
+///
+/// With a sidecar, every *executed* trial also records a decimated
+/// [`disp_sim::Timeline`] and appends it (as one JSONL chunk) to the
+/// sidecar as the trial finishes. Trials satisfied from the checkpoint
+/// never re-execute, so they contribute no timeline — the sidecar covers
+/// exactly what this call ran. Recording is pure observation: the returned
+/// records and any store checkpoint are byte-identical with and without a
+/// sidecar, across thread counts and batch sizes (pinned by test and CI).
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_observed(
+    spec: &CampaignSpec,
+    store: Option<&CampaignStore>,
+    threads: usize,
+    batch: usize,
+    registry: &Registry,
+    cancel: &AtomicBool,
+    telemetry: Option<&TelemetryHandle>,
+    timelines: Option<&TimelineSidecar>,
+) -> Result<(Vec<TrialRecord>, RunSummary), String> {
     let grid = spec.trials();
     let total = grid.len();
 
@@ -185,9 +210,31 @@ pub fn run_campaign_batched(
                 telemetry.emit(TrialEvent::started(&trial.point.point_id(), trial.rep));
             }
             let begun = Instant::now();
-            let record = trial
-                .point
-                .run_trial_pooled(registry, trial.rep, trial.seed, pool);
+            let record = match timelines {
+                // Recorded trials skip the pool: pooling is a perf-only
+                // contract (state identity), so results are unchanged, and
+                // grids big enough to want timelines are not the
+                // many-tiny-trials shape the pool exists for.
+                Some(sidecar) => {
+                    let (record, timeline) = trial.point.run_trial_with_timeline(
+                        registry,
+                        trial.rep,
+                        trial.seed,
+                        disp_sim::DEFAULT_TIMELINE_BUDGET,
+                    );
+                    if let Some(timeline) = timeline {
+                        sidecar.append(&timeline_to_jsonl(
+                            &timeline,
+                            &trial.point.point_id(),
+                            trial.seed,
+                        ));
+                    }
+                    record
+                }
+                None => trial
+                    .point
+                    .run_trial_pooled(registry, trial.rep, trial.seed, pool),
+            };
             if let Some(telemetry) = telemetry {
                 let wall_micros = begun.elapsed().as_micros() as u64;
                 telemetry.emit(TrialEvent::completed(&record, wall_micros));
@@ -536,6 +583,72 @@ mod tests {
             rs.iter().map(TrialRecord::to_json_line).collect()
         };
         assert_eq!(lines(&records), lines(&full));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn timeline_recording_never_changes_results() {
+        // Satellite acceptance: `trials.jsonl` content is byte-identical
+        // with the flight recorder on and off, across thread counts and
+        // batch sizes.
+        let spec = tiny_spec(14);
+        let none = AtomicBool::new(false);
+        let (reference, _) = run_campaign(&spec, None, 1, &reg()).unwrap();
+        let lines = |rs: &[TrialRecord]| -> Vec<String> {
+            rs.iter().map(TrialRecord::to_json_line).collect()
+        };
+        let dir = std::env::temp_dir().join(format!(
+            "disp-campaign-timeline-sidecar-test-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        for threads in [1, 4] {
+            for batch in [1, 32] {
+                let path = dir.join(format!("timelines-t{threads}-b{batch}.jsonl"));
+                let sidecar = TimelineSidecar::create(&path).unwrap();
+                let (records, summary) = run_campaign_observed(
+                    &spec,
+                    None,
+                    threads,
+                    batch,
+                    &reg(),
+                    &none,
+                    None,
+                    Some(&sidecar),
+                )
+                .unwrap();
+                assert_eq!(
+                    lines(&records),
+                    lines(&reference),
+                    "threads={threads} batch={batch}"
+                );
+                assert_eq!(summary.executed, reference.len());
+                // One whole timeline chunk per executed trial, never
+                // interleaved: starts and ends pair up in order.
+                let sidecar_text = std::fs::read_to_string(&path).unwrap();
+                let starts = sidecar_text
+                    .lines()
+                    .filter(|l| l.contains("\"timeline_start\""))
+                    .count();
+                let ends = sidecar_text
+                    .lines()
+                    .filter(|l| l.contains("\"timeline_end\""))
+                    .count();
+                assert_eq!(starts, reference.len());
+                assert_eq!(ends, reference.len());
+                let mut open = false;
+                for line in sidecar_text.lines() {
+                    if line.contains("\"timeline_start\"") {
+                        assert!(!open, "interleaved timeline chunks");
+                        open = true;
+                    } else if line.contains("\"timeline_end\"") {
+                        assert!(open);
+                        open = false;
+                    }
+                }
+                assert!(!open);
+            }
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -316,6 +316,15 @@ impl CampaignStore {
         self.dir.join("events.jsonl")
     }
 
+    /// Path of the flight-recorder *sidecar* (`timelines.jsonl`). One
+    /// decimated per-trial timeline chunk per executed trial lands here
+    /// under `--timeline` — never in `trials.jsonl`, which stays a pure
+    /// function of `(grid, seed)`. Like `events.jsonl`, the sidecar is
+    /// informational: `resume` neither reads nor fingerprints it.
+    pub fn timelines_path(&self) -> PathBuf {
+        self.dir.join("timelines.jsonl")
+    }
+
     /// Stream the trial log (tolerating a torn tail).
     pub fn read_trials(&self) -> Result<Ingest, String> {
         let file = File::open(self.trials_path())

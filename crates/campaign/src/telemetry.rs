@@ -274,6 +274,37 @@ impl TelemetrySink for JsonlSink {
     }
 }
 
+/// A shared, thread-safe sidecar file for flight-recorder timelines
+/// (`timelines.jsonl` next to a campaign store). Engine workers append one
+/// whole JSONL chunk — header, points, summary — per trial under a mutex,
+/// so concurrent trials never interleave lines. Like every sidecar, write
+/// errors are swallowed: observability must never kill a campaign, and the
+/// results stream has its own stricter writer.
+pub struct TimelineSidecar {
+    out: std::sync::Mutex<std::io::BufWriter<std::fs::File>>,
+}
+
+impl TimelineSidecar {
+    /// Create (truncate) the sidecar at `path`.
+    pub fn create(path: &Path) -> Result<TimelineSidecar, String> {
+        let file =
+            std::fs::File::create(path).map_err(|e| format!("create {}: {e}", path.display()))?;
+        Ok(TimelineSidecar {
+            out: std::sync::Mutex::new(std::io::BufWriter::new(file)),
+        })
+    }
+
+    /// Append one trial's complete timeline chunk (already JSONL-encoded,
+    /// newline-terminated) atomically, flushed so a watcher sees whole
+    /// timelines as trials finish.
+    pub fn append(&self, chunk: &str) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.write_all(chunk.as_bytes());
+            let _ = out.flush();
+        }
+    }
+}
+
 /// A sink that collects events into a vector (tests, small in-memory uses).
 #[derive(Default)]
 pub struct VecSink {
@@ -452,7 +483,8 @@ pub fn trace_event_json(event: &TraceEvent) -> Json {
 
 /// Render a whole trace as JSONL: one event per line, in recording order,
 /// followed by a `{"event":"trace_end",...}` summary line carrying the
-/// event count and whether the cap truncated the log. Deterministic for a
+/// event count, whether the cap truncated the log, and — when it did — how
+/// many events were dropped past the cap. Deterministic for a
 /// deterministic run, so two exports of the same seed are byte-identical.
 pub fn trace_to_jsonl(trace: &Trace) -> String {
     let mut out = String::new();
@@ -464,6 +496,70 @@ pub fn trace_to_jsonl(trace: &Trace) -> String {
         ("event".into(), Json::Str("trace_end".into())),
         ("events".into(), Json::Num(trace.events().len() as f64)),
         ("truncated".into(), Json::Bool(trace.truncated())),
+        ("dropped".into(), Json::Num(trace.dropped() as f64)),
+    ]);
+    out.push_str(&end.to_string_compact());
+    out.push('\n');
+    out
+}
+
+/// Render one flight-recorder point as a JSON object. The per-role class
+/// histogram becomes a nested object in the protocol's canonical class
+/// order (field order is preserved by the in-house [`Json`] writer, so the
+/// rendering is deterministic).
+pub fn timeline_point_json(point: &disp_sim::TimelinePoint) -> Json {
+    Json::Obj(vec![
+        ("event".into(), Json::Str("point".into())),
+        ("time".into(), Json::Num(point.time as f64)),
+        ("settled".into(), Json::Num(point.settled as f64)),
+        ("active".into(), Json::Num(point.active as f64)),
+        ("parked".into(), Json::Num(point.parked as f64)),
+        ("crashed".into(), Json::Num(point.crashed as f64)),
+        ("moves".into(), Json::Num(point.moves as f64)),
+        ("dead_edges".into(), Json::Num(point.dead_edges as f64)),
+        ("batch".into(), Json::Num(point.batch as f64)),
+        (
+            "classes".into(),
+            Json::Obj(
+                point
+                    .classes
+                    .iter()
+                    .map(|&(name, count)| (name.to_string(), Json::Num(count as f64)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Render a recorded [`Timeline`](disp_sim::Timeline) as JSONL: a
+/// `timeline_start` header naming the scenario and seed, one `point` line
+/// per surviving sample, and a `timeline_end` summary with the point
+/// count, final stride and decimation level. This single encoder backs
+/// both `disp-campaign timeline` and the service's `GET /timeline`, which
+/// is what makes the two byte-identical for the same scenario + seed (an
+/// acceptance criterion CI pins).
+pub fn timeline_to_jsonl(timeline: &disp_sim::Timeline, scenario: &str, seed: u64) -> String {
+    let mut out = String::new();
+    let start = Json::Obj(vec![
+        ("event".into(), Json::Str("timeline_start".into())),
+        ("scenario".into(), Json::Str(scenario.to_string())),
+        ("seed".into(), Json::Num(seed as f64)),
+        ("budget".into(), Json::Num(timeline.budget as f64)),
+    ]);
+    out.push_str(&start.to_string_compact());
+    out.push('\n');
+    for point in &timeline.points {
+        out.push_str(&timeline_point_json(point).to_string_compact());
+        out.push('\n');
+    }
+    let end = Json::Obj(vec![
+        ("event".into(), Json::Str("timeline_end".into())),
+        ("points".into(), Json::Num(timeline.points.len() as f64)),
+        ("stride".into(), Json::Num(timeline.stride as f64)),
+        (
+            "decimation_level".into(),
+            Json::Num(timeline.decimation_level() as f64),
+        ),
     ]);
     out.push_str(&end.to_string_compact());
     out.push('\n');
@@ -569,5 +665,93 @@ mod tests {
         assert_eq!(last.get("event").and_then(Json::as_str), Some("trace_end"));
         assert_eq!(last.get("truncated").and_then(Json::as_bool), Some(false));
         assert_eq!(last.get("events").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(last.get("dropped").and_then(Json::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn truncated_trace_end_reports_the_dropped_count() {
+        let mut trace = Trace::enabled_with_cap(2);
+        for time in 0..7 {
+            trace.record(TraceEvent::Milestone {
+                agent: AgentId(0),
+                node: NodeId(0),
+                code: 1,
+                time,
+            });
+        }
+        let jsonl = trace_to_jsonl(&trace);
+        let last = Json::parse(jsonl.lines().last().unwrap()).unwrap();
+        assert_eq!(last.get("truncated").and_then(Json::as_bool), Some(true));
+        assert_eq!(last.get("dropped").and_then(Json::as_f64), Some(5.0));
+    }
+
+    #[test]
+    fn timeline_jsonl_has_header_points_and_summary() {
+        let tl = disp_sim::Timeline {
+            points: vec![
+                disp_sim::TimelinePoint {
+                    time: 0,
+                    settled: 0,
+                    active: 4,
+                    parked: 0,
+                    crashed: 0,
+                    moves: 0,
+                    dead_edges: 0,
+                    batch: 0,
+                    classes: vec![("follower", 3), ("settled", 0), ("leader", 1)],
+                },
+                disp_sim::TimelinePoint {
+                    time: 8,
+                    settled: 4,
+                    active: 0,
+                    parked: 4,
+                    crashed: 0,
+                    moves: 12,
+                    dead_edges: 0,
+                    batch: 0,
+                    classes: vec![("follower", 0), ("settled", 4), ("leader", 0)],
+                },
+            ],
+            stride: 2,
+            budget: 4096,
+        };
+        let jsonl = timeline_to_jsonl(&tl, "ring/k4/rooted/sync/ks-dfs", 7);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let head = Json::parse(lines[0]).unwrap();
+        assert_eq!(
+            head.get("event").and_then(Json::as_str),
+            Some("timeline_start")
+        );
+        assert_eq!(
+            head.get("scenario").and_then(Json::as_str),
+            Some("ring/k4/rooted/sync/ks-dfs")
+        );
+        assert_eq!(head.get("seed").and_then(Json::as_f64), Some(7.0));
+        let point = Json::parse(lines[1]).unwrap();
+        assert_eq!(point.get("event").and_then(Json::as_str), Some("point"));
+        assert_eq!(
+            point
+                .get("classes")
+                .and_then(|c| c.get("follower"))
+                .and_then(Json::as_f64),
+            Some(3.0)
+        );
+        let end = Json::parse(lines[3]).unwrap();
+        assert_eq!(
+            end.get("event").and_then(Json::as_str),
+            Some("timeline_end")
+        );
+        assert_eq!(end.get("points").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(end.get("stride").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(
+            end.get("decimation_level").and_then(Json::as_f64),
+            Some(1.0)
+        );
+        // Determinism: re-rendering is byte-identical.
+        assert_eq!(
+            jsonl,
+            timeline_to_jsonl(&tl, "ring/k4/rooted/sync/ks-dfs", 7)
+        );
     }
 }

@@ -23,6 +23,7 @@
 
 use crate::proto::{
     line_digest, BatchAssignment, CompleteReply, LeaseReply, ReconcileReply, SlotSpec, Upload,
+    WorkerStats,
 };
 use disp_analysis::TrialRecord;
 use std::collections::{HashMap, VecDeque};
@@ -76,6 +77,9 @@ struct JobShards {
 struct WorkerInfo {
     last_seen: Instant,
     trials_done: u64,
+    /// Latest cumulative counter snapshot the worker piggybacked on a
+    /// lease or heartbeat (zero until one arrives).
+    stats: WorkerStats,
 }
 
 #[derive(Debug, Default)]
@@ -112,6 +116,9 @@ pub struct BoardStats {
     pub leases_expired: u64,
     /// Trials uploaded per worker (name-sorted), ever.
     pub per_worker_trials: Vec<(String, u64)>,
+    /// Fleet-wide totals: the sum of every worker's latest piggybacked
+    /// counter snapshot (workers that never sent one contribute zeros).
+    pub fleet: WorkerStats,
 }
 
 /// The coordinator's scheduling state. All methods are `&self`; the board
@@ -409,6 +416,18 @@ impl ClusterBoard {
         self.cv.notify_all();
     }
 
+    /// Record the counter snapshot a worker piggybacked on a lease or
+    /// heartbeat body. Snapshots are cumulative, so the latest one simply
+    /// replaces its predecessor.
+    pub fn note_worker_stats(&self, worker: &str, stats: WorkerStats) {
+        let now = Instant::now();
+        let mut inner = self.inner.lock().unwrap();
+        touch_worker(&mut inner, worker, now);
+        if let Some(info) = inner.workers.get_mut(worker) {
+            info.stats = stats;
+        }
+    }
+
     /// Point-in-time statistics for `/metrics`.
     pub fn stats(&self) -> BoardStats {
         let now = Instant::now();
@@ -437,12 +456,23 @@ impl ClusterBoard {
             .map(|(name, info)| (name.clone(), info.trials_done))
             .collect();
         per_worker_trials.sort();
+        let fleet = inner
+            .workers
+            .values()
+            .fold(WorkerStats::default(), |acc, info| WorkerStats {
+                executed: acc.executed + info.stats.executed,
+                local_hits: acc.local_hits + info.stats.local_hits,
+                uploaded: acc.uploaded + info.stats.uploaded,
+                batches: acc.batches + info.stats.batches,
+                abandoned: acc.abandoned + info.stats.abandoned,
+            });
         BoardStats {
             workers,
             workers_busy,
             leases_active,
             leases_expired: inner.leases_expired,
             per_worker_trials,
+            fleet,
         }
     }
 }
@@ -470,6 +500,7 @@ fn touch_worker(inner: &mut Inner, worker: &str, now: Instant) {
         .or_insert(WorkerInfo {
             last_seen: now,
             trials_done: 0,
+            stats: WorkerStats::default(),
         });
 }
 
@@ -659,6 +690,49 @@ mod tests {
             board.wait("r0", Duration::from_millis(1)),
             WaitStatus::Waiting
         );
+    }
+
+    #[test]
+    fn fleet_stats_aggregate_latest_worker_snapshots() {
+        let board = ClusterBoard::new(Duration::from_secs(60));
+        board.note_worker_stats(
+            "w1",
+            WorkerStats {
+                executed: 10,
+                local_hits: 2,
+                uploaded: 12,
+                batches: 3,
+                abandoned: 0,
+            },
+        );
+        board.note_worker_stats(
+            "w2",
+            WorkerStats {
+                executed: 5,
+                local_hits: 0,
+                uploaded: 5,
+                batches: 1,
+                abandoned: 1,
+            },
+        );
+        // Snapshots are cumulative: a newer one replaces, never adds.
+        board.note_worker_stats(
+            "w1",
+            WorkerStats {
+                executed: 11,
+                local_hits: 2,
+                uploaded: 13,
+                batches: 4,
+                abandoned: 0,
+            },
+        );
+        let stats = board.stats();
+        assert_eq!(stats.workers, 2);
+        assert_eq!(stats.fleet.executed, 16);
+        assert_eq!(stats.fleet.uploaded, 18);
+        assert_eq!(stats.fleet.batches, 5);
+        assert_eq!(stats.fleet.abandoned, 1);
+        assert_eq!(stats.fleet.local_hits, 2);
     }
 
     #[test]

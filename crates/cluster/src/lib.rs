@@ -33,5 +33,5 @@ pub mod worker;
 pub use board::{BoardStats, ClusterBoard, WaitStatus};
 pub use cache::{compact_file, CacheBudget, CompactStats, TrialCache};
 pub use plan::plan_batches;
-pub use proto::{BatchAssignment, LeaseReply, SlotSpec};
+pub use proto::{BatchAssignment, LeaseReply, SlotSpec, WorkerStats};
 pub use worker::{Coordinator, WorkerConfig, WorkerShared, WorkerSummary};

@@ -249,18 +249,72 @@ pub struct CompleteHeader {
     pub batch: u64,
 }
 
-/// Render the request body for `POST /internal/lease` / `heartbeat`.
-pub fn encode_worker_ref(worker: &str, job: Option<(&str, u64)>) -> String {
+/// A worker's cumulative lifetime counters, piggybacked on lease and
+/// heartbeat bodies so the coordinator can render fleet-wide metrics
+/// without a dedicated reporting endpoint. Pure observability: the board's
+/// scheduling decisions never read these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Trials executed by the worker's engine, ever.
+    pub executed: u64,
+    /// Trials served from the worker's local cache, ever.
+    pub local_hits: u64,
+    /// Records uploaded to a coordinator, ever.
+    pub uploaded: u64,
+    /// Batches completed (non-stale), ever.
+    pub batches: u64,
+    /// Batches abandoned (lost lease or stale reconcile), ever.
+    pub abandoned: u64,
+}
+
+impl WorkerStats {
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("executed".into(), Json::Num(self.executed as f64)),
+            ("local_hits".into(), Json::Num(self.local_hits as f64)),
+            ("uploaded".into(), Json::Num(self.uploaded as f64)),
+            ("batches".into(), Json::Num(self.batches as f64)),
+            ("abandoned".into(), Json::Num(self.abandoned as f64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<WorkerStats, String> {
+        Ok(WorkerStats {
+            executed: u64_field(v, "executed")?,
+            local_hits: u64_field(v, "local_hits")?,
+            uploaded: u64_field(v, "uploaded")?,
+            batches: u64_field(v, "batches")?,
+            abandoned: u64_field(v, "abandoned")?,
+        })
+    }
+}
+
+/// Render the request body for `POST /internal/lease` / `heartbeat`,
+/// optionally piggybacking the worker's cumulative [`WorkerStats`].
+pub fn encode_worker_ref(
+    worker: &str,
+    job: Option<(&str, u64)>,
+    stats: Option<WorkerStats>,
+) -> String {
     let mut fields = vec![("worker".into(), Json::Str(worker.to_string()))];
     if let Some((job, batch)) = job {
         fields.push(("job".into(), Json::Str(job.to_string())));
         fields.push(("batch".into(), Json::Num(batch as f64)));
     }
+    if let Some(stats) = stats {
+        fields.push(("stats".into(), stats.to_json()));
+    }
     Json::Obj(fields).to_string_compact()
 }
 
-/// Parse a `{worker}` or `{worker, job, batch}` request body.
-pub fn decode_worker_ref(text: &str) -> Result<(String, Option<(String, u64)>), String> {
+/// Parse a `{worker}` or `{worker, job, batch}` request body, plus the
+/// optional piggybacked stats snapshot. A body without `stats` (an older
+/// worker) decodes to `None` — the field is additive and backward
+/// compatible.
+#[allow(clippy::type_complexity)]
+pub fn decode_worker_ref(
+    text: &str,
+) -> Result<(String, Option<(String, u64)>, Option<WorkerStats>), String> {
     let v = Json::parse(text)?;
     let worker = str_field(&v, "worker")?.to_string();
     let job = match v.get("job") {
@@ -270,7 +324,11 @@ pub fn decode_worker_ref(text: &str) -> Result<(String, Option<(String, u64)>), 
         )),
         None => None,
     };
-    Ok((worker, job))
+    let stats = match v.get("stats") {
+        Some(s) => Some(WorkerStats::from_json(s)?),
+        None => None,
+    };
+    Ok((worker, job, stats))
 }
 
 /// Render the request body for `POST /internal/reconcile`: one digest per
@@ -433,6 +491,28 @@ mod tests {
         ] {
             assert_eq!(LeaseReply::decode(&reply.encode()).unwrap(), reply);
         }
+    }
+
+    #[test]
+    fn worker_refs_round_trip_with_and_without_stats() {
+        let stats = WorkerStats {
+            executed: 12,
+            local_hits: 3,
+            uploaded: 15,
+            batches: 4,
+            abandoned: 1,
+        };
+        let body = encode_worker_ref("w1", Some(("r0", 2)), Some(stats));
+        let (worker, job, decoded) = decode_worker_ref(&body).unwrap();
+        assert_eq!(worker, "w1");
+        assert_eq!(job, Some(("r0".to_string(), 2)));
+        assert_eq!(decoded, Some(stats));
+        // A stats-less body (an older worker) still decodes.
+        let (worker, job, decoded) =
+            decode_worker_ref(&encode_worker_ref("w2", None, None)).unwrap();
+        assert_eq!(worker, "w2");
+        assert_eq!(job, None);
+        assert_eq!(decoded, None);
     }
 
     #[test]

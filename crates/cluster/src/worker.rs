@@ -17,7 +17,7 @@
 use crate::cache::TrialCache;
 use crate::proto::{
     line_digest, BatchAssignment, CompleteHeader, CompleteReply, LeaseReply, ReconcileReply,
-    SlotSpec, Upload,
+    SlotSpec, Upload, WorkerStats,
 };
 use disp_analysis::{ExperimentPoint, TrialRecord};
 use disp_campaign::grid::TrialSpec;
@@ -30,10 +30,17 @@ use std::time::Duration;
 /// A transport to the coordinator. Methods take `&mut self` because the
 /// HTTP client owns a reconnecting connection.
 pub trait Coordinator {
-    /// `POST /internal/lease`.
-    fn lease(&mut self, worker: &str) -> Result<LeaseReply, String>;
-    /// `POST /internal/heartbeat`.
-    fn heartbeat(&mut self, worker: &str, job: &str, batch: u64) -> Result<bool, String>;
+    /// `POST /internal/lease`. `stats` is the worker's cumulative counter
+    /// snapshot, piggybacked for fleet-wide metrics (observability only).
+    fn lease(&mut self, worker: &str, stats: WorkerStats) -> Result<LeaseReply, String>;
+    /// `POST /internal/heartbeat`, carrying the same stats snapshot.
+    fn heartbeat(
+        &mut self,
+        worker: &str,
+        job: &str,
+        batch: u64,
+        stats: WorkerStats,
+    ) -> Result<bool, String>;
     /// `POST /internal/reconcile`.
     fn reconcile(
         &mut self,
@@ -77,6 +84,20 @@ pub struct WorkerSummary {
     pub abandoned: u64,
 }
 
+impl WorkerSummary {
+    /// The wire snapshot of these counters, piggybacked on lease and
+    /// heartbeat bodies.
+    pub fn stats(&self) -> WorkerStats {
+        WorkerStats {
+            executed: self.executed,
+            local_hits: self.local_hits,
+            uploaded: self.uploaded,
+            batches: self.batches,
+            abandoned: self.abandoned,
+        }
+    }
+}
+
 /// The lease the worker currently holds, shared with the heartbeat thread.
 #[derive(Debug, Clone)]
 struct CurrentLease {
@@ -94,6 +115,9 @@ pub struct WorkerShared {
     /// exit.
     pub stop: AtomicBool,
     current: Mutex<Option<CurrentLease>>,
+    /// Latest cumulative counter snapshot, published by the worker loop and
+    /// read by the heartbeat thread for piggybacking.
+    stats: Mutex<WorkerStats>,
 }
 
 impl WorkerShared {
@@ -110,6 +134,16 @@ impl WorkerShared {
     /// Whether a stop has been requested.
     pub fn stopping(&self) -> bool {
         self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Publish the worker loop's latest counter snapshot.
+    pub fn publish_stats(&self, stats: WorkerStats) {
+        *self.stats.lock().unwrap() = stats;
+    }
+
+    /// The latest published counter snapshot.
+    pub fn stats_snapshot(&self) -> WorkerStats {
+        *self.stats.lock().unwrap()
     }
 }
 
@@ -133,7 +167,7 @@ pub fn heartbeat_loop<C: Coordinator>(transport: &mut C, shared: &WorkerShared, 
             continue;
         }
         since_beat = Duration::ZERO;
-        match transport.heartbeat(worker, &lease.job, lease.batch) {
+        match transport.heartbeat(worker, &lease.job, lease.batch, shared.stats_snapshot()) {
             Ok(true) => {}
             Ok(false) => lease.cancel.store(true, Ordering::SeqCst),
             // Transport errors are not lease loss: the main loop decides
@@ -158,7 +192,8 @@ pub fn run_worker_loop<C: Coordinator>(
     let mut summary = WorkerSummary::default();
     let mut errors = 0u32;
     while !shared.stopping() {
-        let reply = match transport.lease(&cfg.id) {
+        shared.publish_stats(summary.stats());
+        let reply = match transport.lease(&cfg.id, summary.stats()) {
             Ok(reply) => {
                 errors = 0;
                 reply
@@ -359,10 +394,18 @@ mod tests {
     }
 
     impl Coordinator for LocalTransport {
-        fn lease(&mut self, worker: &str) -> Result<LeaseReply, String> {
+        fn lease(&mut self, worker: &str, stats: WorkerStats) -> Result<LeaseReply, String> {
+            self.board.note_worker_stats(worker, stats);
             Ok(self.board.lease(worker))
         }
-        fn heartbeat(&mut self, worker: &str, job: &str, batch: u64) -> Result<bool, String> {
+        fn heartbeat(
+            &mut self,
+            worker: &str,
+            job: &str,
+            batch: u64,
+            stats: WorkerStats,
+        ) -> Result<bool, String> {
+            self.board.note_worker_stats(worker, stats);
             Ok(self.board.heartbeat(worker, job, batch))
         }
         fn reconcile(

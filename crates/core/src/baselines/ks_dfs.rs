@@ -96,6 +96,11 @@ mod tag {
 /// follower, settled, scatter, leader.
 const CLASSES: usize = 4;
 
+/// Class names in [`class`] index order, for the flight recorder's
+/// per-role histogram ([`AgentProtocol::class_counts`]). The settled class
+/// must be named exactly `"settled"` — the recorder keys on it.
+const CLASS_NAMES: [&str; CLASSES] = ["follower", "settled", "scatter", "leader"];
+
 /// The memory class of a tag — the coarse role.
 #[inline]
 fn class(t: u8) -> usize {
@@ -489,6 +494,12 @@ impl AgentProtocol for KsDfs {
                 .max()
                 .unwrap_or(0),
         )
+    }
+
+    fn class_counts(&self, out: &mut Vec<(&'static str, u32)>) {
+        for (name, &count) in CLASS_NAMES.iter().zip(&self.class_counts) {
+            out.push((name, count));
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -171,6 +171,11 @@ mod tag {
 /// rider, prober, guest, escort, settled, leader.
 const CLASSES: usize = 6;
 
+/// Class names in [`class`] index order, for the flight recorder's
+/// per-role histogram ([`AgentProtocol::class_counts`]). The settled class
+/// must be named exactly `"settled"` — the recorder keys on it.
+const CLASS_NAMES: [&str; CLASSES] = ["rider", "prober", "guest", "escort", "settled", "leader"];
+
 /// The memory class of a tag — the coarse role; every stage of a role has
 /// the same persistent footprint.
 #[inline]
@@ -846,6 +851,12 @@ impl AgentProtocol for ProbeDfs {
                 .max()
                 .unwrap_or(0),
         )
+    }
+
+    fn class_counts(&self, out: &mut Vec<(&'static str, u32)>) {
+        for (name, &count) in CLASS_NAMES.iter().zip(&self.class_counts) {
+            out.push((name, count));
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -61,7 +61,7 @@ use disp_graph::{NodeId, Topology};
 use disp_rng::mix;
 use disp_sim::{
     Adversary, AdversaryKind, AgentProtocol, AsyncRunner, CrashPlan, DynamicAdversary, Outcome,
-    Placement, RunConfig, RunError, SyncRunner, World, WorldPool,
+    Placement, RunConfig, RunError, SyncRunner, TimelineRecorder, World, WorldPool,
 };
 use std::fmt;
 
@@ -1342,6 +1342,18 @@ impl ScenarioSpec {
         protocol: &mut dyn AgentProtocol,
         seed: u64,
     ) -> Result<Outcome, RunError> {
+        self.execute_recorded(world, protocol, seed, None)
+    }
+
+    /// [`ScenarioSpec::execute`] with an optional flight recorder sampling
+    /// round/epoch boundaries (see [`disp_sim::timeline`]).
+    fn execute_recorded(
+        &self,
+        world: &mut World,
+        protocol: &mut dyn AgentProtocol,
+        seed: u64,
+        recorder: Option<&mut TimelineRecorder>,
+    ) -> Result<Outcome, RunError> {
         let config = self.run_config(world);
         let (dynamics, crashes) = self.build_faults(world.num_agents(), seed);
         match self.build_adversary(world.num_agents(), seed) {
@@ -1353,7 +1365,7 @@ impl ScenarioSpec {
                 if let Some(c) = crashes {
                     runner = runner.with_crashes(c);
                 }
-                runner.run(world, protocol)
+                runner.run_recorded(world, protocol, recorder)
             }
             Some(adversary) => {
                 let mut runner = AsyncRunner::new(config, adversary);
@@ -1363,7 +1375,7 @@ impl ScenarioSpec {
                 if let Some(c) = crashes {
                     runner = runner.with_crashes(c);
                 }
-                runner.run(world, protocol)
+                runner.run_recorded(world, protocol, recorder)
             }
         }
     }
@@ -1425,6 +1437,34 @@ impl ScenarioSpec {
             dispersed: verify::is_dispersed_at(&world, self.min_distance),
         };
         Ok((report, world.take_trace()))
+    }
+
+    /// Like [`ScenarioSpec::run`], but with the flight recorder attached:
+    /// returns the report together with the recorded
+    /// [`Timeline`](disp_sim::Timeline) — settled/active/parked counts, the
+    /// per-role class histogram, cumulative moves, and fault-world gauges
+    /// at round (SYNC) / epoch (ASYNC) boundaries, decimated into the
+    /// recorder's fixed budget (default
+    /// [`disp_sim::DEFAULT_TIMELINE_BUDGET`] points). Recording does not
+    /// perturb the run: the outcome is byte-identical to an unrecorded run
+    /// of the same seed, and the timeline itself is a pure function of
+    /// `(self, seed, budget)`.
+    pub fn run_with_timeline(
+        &self,
+        registry: &Registry,
+        seed: u64,
+        budget: usize,
+    ) -> Result<(ScenarioReport, disp_sim::Timeline), ScenarioError> {
+        let (mut world, mut protocol) = self.build(registry, seed)?;
+        let mut recorder = TimelineRecorder::with_budget(budget);
+        let outcome =
+            self.execute_recorded(&mut world, protocol.as_mut(), seed, Some(&mut recorder))?;
+        let report = ScenarioReport {
+            scenario: self.label(),
+            outcome,
+            dispersed: verify::is_dispersed_at(&world, self.min_distance),
+        };
+        Ok((report, recorder.finish()))
     }
 }
 
@@ -2083,6 +2123,72 @@ mod tests {
         assert!(a.outcome.terminated);
         assert!(a.dispersed, "survivors must still disperse");
         assert_eq!(a.outcome, b.outcome);
+    }
+
+    #[test]
+    fn timeline_runs_match_plain_runs_and_sample_role_histograms() {
+        let r = reg();
+        for label in [
+            "ring/k16/rooted/sync/probe-dfs",
+            "ring/k16/rooted/sync/ks-dfs",
+            "line/k12/rooted/sync/sync-seeker",
+            "ring/k16/rooted/async-lag3/probe-dfs",
+        ] {
+            let spec = ScenarioSpec::parse(label, &r).unwrap();
+            let plain = spec.run(&r, 11).unwrap();
+            let (report, tl) = spec.run_with_timeline(&r, 11, 4096).unwrap();
+            assert_eq!(
+                plain.outcome, report.outcome,
+                "{label}: recording must not change results"
+            );
+            assert_eq!(plain.dispersed, report.dispersed, "{label}");
+            let first = tl.points.first().unwrap();
+            let last = tl.points.last().unwrap();
+            assert_eq!(first.time, 0, "{label}");
+            assert_eq!(
+                last.time,
+                if matches!(spec.schedule, Schedule::Sync) {
+                    report.outcome.rounds
+                } else {
+                    report.outcome.epochs
+                },
+                "{label}: final point sits at the end of the run"
+            );
+            let k = report.outcome.k as u64;
+            assert_eq!(last.settled, k, "{label}: everyone settles at the end");
+            assert_eq!(last.moves, report.outcome.total_moves, "{label}");
+            // Every point's histogram covers all agents and names a
+            // "settled" class that matches the derived settled count.
+            for p in &tl.points {
+                let total: u64 = p.classes.iter().map(|&(_, c)| c as u64).sum();
+                assert_eq!(total + p.crashed, k, "{label} t={}", p.time);
+                let settled: u64 = p
+                    .classes
+                    .iter()
+                    .filter(|(n, _)| *n == "settled")
+                    .map(|&(_, c)| c as u64)
+                    .sum();
+                assert_eq!(settled, p.settled, "{label} t={}", p.time);
+            }
+            // And the whole thing is deterministic.
+            let (_, tl2) = spec.run_with_timeline(&r, 11, 4096).unwrap();
+            assert_eq!(tl, tl2, "{label}: timeline is a pure function of the run");
+        }
+    }
+
+    #[test]
+    fn timeline_budget_bounds_points_on_long_runs() {
+        let r = reg();
+        // A 256-agent rooted line takes hundreds of rounds — enough to
+        // force decimation at a budget of 32.
+        let spec = ScenarioSpec::parse("line/k256/rooted/sync/probe-dfs", &r).unwrap();
+        let (report, tl) = spec.run_with_timeline(&r, 7, 32).unwrap();
+        assert!(report.outcome.rounds > 64, "run long enough to decimate");
+        assert!(tl.points.len() <= 33, "{} points", tl.points.len());
+        assert!(tl.stride > 1);
+        assert!(tl.decimation_level() >= 1);
+        assert_eq!(tl.points.first().unwrap().time, 0);
+        assert_eq!(tl.points.last().unwrap().time, report.outcome.rounds);
     }
 
     #[test]

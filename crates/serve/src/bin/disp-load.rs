@@ -6,6 +6,7 @@
 //!                  [--reps N] [--seed S] [--format text|json]
 //! disp-load once   --addr HOST:PORT --scenario LABEL... [--reps N] [--seed S]
 //! disp-load events --addr HOST:PORT [--scenario LABEL]... [--reps N] [--seed S]
+//! disp-load watch  --addr HOST:PORT [--scenario LABEL]... [--run ID]
 //! disp-load get    --addr HOST:PORT --path PATH
 //! ```
 //!
@@ -24,7 +25,14 @@
 //! * `events` submits one grid and subscribes to `GET /runs/:id/events`,
 //!   verifying the live stream: every grid trial produces a completed or
 //!   cached event, lifecycle events bracket them, and the stream closes
-//!   cleanly when the job settles (the CI events smoke).
+//!   cleanly when the job settles (the CI events smoke). A subscriber
+//!   that fell behind (an `overflow` frame) is a *failure*: the windows
+//!   are sized so a healthy consumer never drops, so a drop is a signal,
+//!   not noise.
+//! * `watch` is the live dashboard: submit a grid (or point it at a
+//!   running job with `--run ID`) and poll `GET /runs/:id/timeline`,
+//!   re-rendering an ASCII sparkline of completed trials until the job
+//!   settles.
 //! * `get` fetches one path and prints the body (so CI needs no curl).
 
 use disp_analysis::json::Json;
@@ -44,6 +52,8 @@ USAGE:
                    [--target serve|coordinator]
   disp-load once   --addr HOST:PORT --scenario LABEL... [--reps N] [--seed S]
   disp-load events --addr HOST:PORT [--scenario LABEL]... [--reps N] [--seed S]
+  disp-load watch  --addr HOST:PORT [--scenario LABEL]... [--reps N] [--seed S]
+                   [--run ID]
   disp-load get    --addr HOST:PORT --path PATH
 
 bench defaults: 4 connections, 1000 requests, a small builtin grid.
@@ -56,7 +66,12 @@ warm-up grid's trials were spread across cluster workers (from the
 /metrics per-worker gauges).
 
 events submits a grid, subscribes to the run's live event stream and
-verifies it: one completed/cached event per grid trial, a clean close.
+verifies it: one completed/cached event per grid trial, a clean close,
+and no overflow frame (a subscriber that fell behind exits non-zero).
+
+watch submits a grid (or attaches to a running job with --run ID) and
+polls GET /runs/:id/timeline, re-rendering a sparkline of completed
+trials until the job settles.
 ";
 
 struct Flags {
@@ -71,6 +86,7 @@ struct Flags {
     coordinator: bool,
     micro: bool,
     min_rps: f64,
+    run: String,
 }
 
 /// The `--grid micro` grid: many small trials across graph families,
@@ -111,6 +127,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         coordinator: false,
         micro: false,
         min_rps: 0.0,
+        run: String::new(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -143,6 +160,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .map_err(|_| "--seed expects an unsigned integer".to_string())?
             }
             "--path" => flags.path = value("--path")?,
+            "--run" => flags.run = value("--run")?,
             "--grid" => {
                 flags.micro = match value("--grid")?.as_str() {
                     "micro" => true,
@@ -199,6 +217,7 @@ fn main() -> ExitCode {
         Some("bench") => cmd_bench(&args[1..]),
         Some("once") => cmd_once(&args[1..]),
         Some("events") => cmd_events(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
         Some("get") => cmd_get(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
@@ -335,18 +354,94 @@ fn cmd_events(args: &[String]) -> Result<(), String> {
     if !settled {
         return Err("stream closed without a terminal job_state event".into());
     }
-    // An overflowed subscriber may legitimately see fewer events; without
-    // overflow the accounting must be exact.
-    if overflow == 0 && completed + cached != total {
+    // An overflow frame means this subscriber fell behind the retained
+    // window and events were dropped — the stream is no longer a faithful
+    // record, so the check fails loudly instead of shrugging.
+    if overflow > 0 {
+        return Err(format!(
+            "event stream overflowed: {overflow} events dropped \
+             (saw {completed} completed + {cached} cached of {total})",
+        ));
+    }
+    if completed + cached != total {
         return Err(format!(
             "expected {total} trial events, saw {completed} completed + {cached} cached",
         ));
     }
     println!(
         "events ok: {total} trials → {completed} completed, {cached} cached, \
-         {overflow} dropped, clean close"
+         clean close"
     );
     Ok(())
+}
+
+/// The live dashboard: poll `GET /runs/:id/timeline` and re-render an
+/// ASCII sparkline of completed trials until the job settles. Without
+/// `--run ID` it submits the flag grid first and watches that.
+fn cmd_watch(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let mut client = Client::new(&flags.addr);
+    let id = if flags.run.is_empty() {
+        let resp = client.post_json("/runs", &submission_body(&flags))?;
+        if resp.status != 201 {
+            return Err(format!("submit failed ({}): {}", resp.status, resp.text()));
+        }
+        resp.json()?
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("submit response carries no id")?
+            .to_string()
+    } else {
+        flags.run.clone()
+    };
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let mut last = String::new();
+    loop {
+        let status = client.get(&format!("/runs/{id}"))?;
+        if status.status != 200 {
+            return Err(format!("/runs/{id} → {}", status.status));
+        }
+        let doc = status.json()?;
+        let state = doc
+            .get("state")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let total = doc.get("total").and_then(Json::as_u64).unwrap_or(0);
+        let done = doc.get("done").and_then(Json::as_u64).unwrap_or(0);
+        let tl = client.get(&format!("/runs/{id}/timeline"))?;
+        if tl.status != 200 {
+            return Err(format!("/runs/{id}/timeline → {}", tl.status));
+        }
+        let body = tl.text();
+        let series: Vec<f64> = body
+            .lines()
+            .filter_map(|line| {
+                let event = Json::parse(line).ok()?;
+                if event.get("event").and_then(Json::as_str) == Some("progress") {
+                    Some(event.get("done").and_then(Json::as_u64)? as f64)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let bar = disp_analysis::sparkline_scaled(&series, total as f64, 60);
+        let line = format!("[{bar}] {done}/{total} {state}");
+        if line != last {
+            println!("{line}");
+            last = line;
+        }
+        match state.as_str() {
+            "done" => return Ok(()),
+            "queued" | "running" => {
+                if Instant::now() > deadline {
+                    return Err(format!("run {id} still {state} after 300s"));
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            other => return Err(format!("run {id} ended {other}")),
+        }
+    }
 }
 
 fn cmd_get(args: &[String]) -> Result<(), String> {
@@ -372,12 +467,40 @@ fn parse_worker_trials(body: &str) -> Vec<(String, u64)> {
         .collect()
 }
 
+/// Fetch `/healthz` and render its identity fields for the bench header:
+/// `role=… version=… uptime=…s`.
+fn healthz_summary(client: &mut Client) -> Result<String, String> {
+    let resp = client.get("/healthz")?;
+    if resp.status != 200 {
+        return Err(format!("/healthz → {}", resp.status));
+    }
+    let doc = resp.json()?;
+    let field = |name: &str| {
+        doc.get(name)
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    Ok(format!(
+        "role={} version={} uptime={}s",
+        field("role"),
+        field("version"),
+        doc.get("uptime_seconds")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+    ))
+}
+
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
 
     // Warm-up: one full submission so the cache is hot and there is a
     // completed job id to poll/fetch during the measured phase.
     let mut warm = Client::new(&flags.addr);
+    let health = healthz_summary(&mut warm)?;
+    if !flags.json {
+        println!("disp-load: server {health}");
+    }
     let warm_start = Instant::now();
     let warm_id = submit_and_wait(&mut warm, &flags)?;
     let warm_wall = warm_start.elapsed();
@@ -461,6 +584,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     };
     if flags.json {
         let doc = Json::Obj(vec![
+            ("server".into(), Json::Str(health.clone())),
             ("requests".into(), Json::Num(total as f64)),
             ("connections".into(), Json::Num(flags.connections as f64)),
             ("errors".into(), Json::Num(errors as f64)),

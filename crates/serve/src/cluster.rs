@@ -24,7 +24,7 @@ use disp_cluster::proto::{
     encode_reconcile, encode_worker_ref, CompleteHeader, CompleteReply, LeaseReply, ReconcileReply,
     Upload,
 };
-use disp_cluster::{Coordinator, WorkerConfig, WorkerShared, WorkerSummary};
+use disp_cluster::{Coordinator, WorkerConfig, WorkerShared, WorkerStats, WorkerSummary};
 use disp_core::scenario::Registry;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -57,7 +57,10 @@ pub(crate) fn handle_internal(
     };
     match cmd {
         "lease" => match decode_worker_ref(text) {
-            Ok((worker, _)) => {
+            Ok((worker, _, stats)) => {
+                if let Some(stats) = stats {
+                    board.note_worker_stats(&worker, stats);
+                }
                 let reply = if shutdown.load(Ordering::SeqCst) {
                     LeaseReply::Draining
                 } else {
@@ -68,14 +71,17 @@ pub(crate) fn handle_internal(
             Err(e) => (400, error_body(&e)),
         },
         "heartbeat" => match decode_worker_ref(text) {
-            Ok((worker, Some((job, batch)))) => {
+            Ok((worker, Some((job, batch)), stats)) => {
+                if let Some(stats) = stats {
+                    board.note_worker_stats(&worker, stats);
+                }
                 let ok = !shutdown.load(Ordering::SeqCst) && board.heartbeat(&worker, &job, batch);
                 let body = Json::Obj(vec![("ok".into(), Json::Bool(ok))])
                     .to_string_compact()
                     .into_bytes();
                 (200, body)
             }
-            Ok((_, None)) => (400, error_body("heartbeat needs job and batch")),
+            Ok((_, None, _)) => (400, error_body("heartbeat needs job and batch")),
             Err(e) => (400, error_body(&e)),
         },
         "reconcile" => match decode_reconcile(text) {
@@ -155,15 +161,24 @@ impl HttpCoordinator {
 }
 
 impl Coordinator for HttpCoordinator {
-    fn lease(&mut self, worker: &str) -> Result<LeaseReply, String> {
-        let body = self.post("/internal/lease", encode_worker_ref(worker, None))?;
+    fn lease(&mut self, worker: &str, stats: WorkerStats) -> Result<LeaseReply, String> {
+        let body = self.post(
+            "/internal/lease",
+            encode_worker_ref(worker, None, Some(stats)),
+        )?;
         LeaseReply::decode(&body)
     }
 
-    fn heartbeat(&mut self, worker: &str, job: &str, batch: u64) -> Result<bool, String> {
+    fn heartbeat(
+        &mut self,
+        worker: &str,
+        job: &str,
+        batch: u64,
+        stats: WorkerStats,
+    ) -> Result<bool, String> {
         let body = self.post(
             "/internal/heartbeat",
-            encode_worker_ref(worker, Some((job, batch))),
+            encode_worker_ref(worker, Some((job, batch)), Some(stats)),
         )?;
         Json::parse(body.trim())?
             .get("ok")

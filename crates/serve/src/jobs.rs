@@ -95,6 +95,75 @@ pub struct EventBatch {
     pub closed: bool,
 }
 
+/// Retained progress samples per job — the job-level analogue of the trial
+/// flight recorder's point budget: the `GET /runs/:id/timeline` document
+/// stays O(1) no matter how many trials a grid holds.
+pub const PROGRESS_BUDGET: usize = 512;
+
+/// One decimated job-progress sample: the completion counters at the
+/// moment the sample was taken, plus the execution clock.
+#[derive(Debug, Clone, Copy)]
+struct ProgressSample {
+    done: u64,
+    executed: u64,
+    cache_hits: u64,
+    elapsed_us: u64,
+}
+
+/// The job-progress recorder: the same deterministic stride-doubling
+/// decimation as `disp_sim::TimelineRecorder`, keyed on the `done` counter
+/// instead of protocol time — a sample is kept when its `done` count is
+/// divisible by the stride, and reaching the budget doubles the stride and
+/// thins retroactively. The final sample is always force-recorded.
+#[derive(Debug)]
+struct ProgressLog {
+    stride: u64,
+    samples: Vec<ProgressSample>,
+}
+
+impl Default for ProgressLog {
+    fn default() -> ProgressLog {
+        ProgressLog {
+            stride: 1,
+            samples: Vec::new(),
+        }
+    }
+}
+
+impl ProgressLog {
+    fn record(&mut self, sample: ProgressSample) {
+        // Concurrent trial completions may observe the counters out of
+        // order; the log keeps only the monotone frontier.
+        if self
+            .samples
+            .last()
+            .is_some_and(|last| last.done >= sample.done)
+        {
+            return;
+        }
+        if !sample.done.is_multiple_of(self.stride) {
+            return;
+        }
+        self.samples.push(sample);
+        while self.samples.len() >= PROGRESS_BUDGET {
+            let next = self.stride * 2;
+            self.samples.retain(|s| s.done.is_multiple_of(next));
+            self.stride = next;
+        }
+    }
+
+    fn record_final(&mut self, sample: ProgressSample) {
+        match self.samples.last() {
+            Some(last) if last.done == sample.done => {}
+            _ => self.samples.push(sample),
+        }
+    }
+
+    fn decimation_level(&self) -> u32 {
+        self.stride.trailing_zeros()
+    }
+}
+
 /// Live per-grid-point statistics: streaming summaries of the two cost
 /// measures the paper plots, fed by completed (and cached) trials.
 #[derive(Debug, Default, Clone)]
@@ -136,6 +205,8 @@ pub struct Job {
     events_cv: Condvar,
     /// Streaming per-point statistics (label → stats), fed by telemetry.
     point_stats: Mutex<HashMap<String, PointStats>>,
+    /// Decimated completion-over-time samples (`GET /runs/:id/timeline`).
+    progress: Mutex<ProgressLog>,
     /// When the job was submitted (queue-wait metric).
     submitted_at: Instant,
     /// When the executor picked the job up, and how long execution took
@@ -178,6 +249,7 @@ impl Job {
             events: Mutex::new(EventLog::default()),
             events_cv: Condvar::new(),
             point_stats: Mutex::new(HashMap::new()),
+            progress: Mutex::new(ProgressLog::default()),
             submitted_at: Instant::now(),
             running_span: Mutex::new((None, None)),
         }
@@ -298,6 +370,67 @@ impl Job {
             self.cache_hits.fetch_add(1, Ordering::SeqCst);
         }
         self.done.fetch_add(1, Ordering::SeqCst);
+        self.note_progress();
+    }
+
+    /// Sample the completion counters into the progress log. Called after
+    /// every `done` increment; the log's divisibility filter makes almost
+    /// all calls on a large grid a push-free comparison.
+    fn note_progress(&self) {
+        let sample = ProgressSample {
+            done: self.done.load(Ordering::SeqCst) as u64,
+            executed: self.executed.load(Ordering::SeqCst) as u64,
+            cache_hits: self.cache_hits.load(Ordering::SeqCst) as u64,
+            elapsed_us: self.elapsed_us(),
+        };
+        self.progress.lock().unwrap().record(sample);
+    }
+
+    /// Force-record the terminal progress sample (the recorder's
+    /// final-point rule: the last state always survives decimation).
+    fn finish_progress(&self) {
+        let sample = ProgressSample {
+            done: self.done.load(Ordering::SeqCst) as u64,
+            executed: self.executed.load(Ordering::SeqCst) as u64,
+            cache_hits: self.cache_hits.load(Ordering::SeqCst) as u64,
+            elapsed_us: self.elapsed_us(),
+        };
+        self.progress.lock().unwrap().record_final(sample);
+    }
+
+    /// Microseconds on the execution clock (0 while queued).
+    fn elapsed_us(&self) -> u64 {
+        let span = self.running_span.lock().unwrap();
+        match *span {
+            (_, Some(total)) => total.as_micros() as u64,
+            (Some(started), None) => started.elapsed().as_micros() as u64,
+            (None, None) => 0,
+        }
+    }
+
+    /// Render the decimated progress timeline as JSONL — the body of
+    /// `GET /runs/:id/timeline`, available live while the job runs.
+    pub fn progress_jsonl(&self) -> String {
+        let state = self.state();
+        let log = self.progress.lock().unwrap();
+        let mut out = format!(
+            "{{\"event\":\"progress_start\",\"id\":{:?},\"total\":{},\"state\":{:?}}}\n",
+            self.id,
+            self.total,
+            state.label(),
+        );
+        for s in &log.samples {
+            out.push_str(&format!(
+                "{{\"event\":\"progress\",\"done\":{},\"executed\":{},\"cache_hits\":{},\"elapsed_us\":{}}}\n",
+                s.done, s.executed, s.cache_hits, s.elapsed_us,
+            ));
+        }
+        out.push_str(&format!(
+            "{{\"event\":\"progress_end\",\"points\":{},\"decimation_level\":{}}}\n",
+            log.samples.len(),
+            log.decimation_level(),
+        ));
+        out
     }
 
     /// Events after `cursor`, blocking up to `wait` for news when caught
@@ -511,6 +644,7 @@ impl JobManager {
                     }
                 }
                 job.mark_settled();
+                job.finish_progress();
                 // Terminal lifecycle event, then a clean end-of-stream for
                 // every `GET /runs/:id/events` subscriber.
                 job.push_state_event(&job.state());
@@ -634,6 +768,7 @@ fn execute_job(
                 events.emit(TrialEvent::cached(&rec));
                 job.cache_hits.fetch_add(1, Ordering::SeqCst);
                 job.done.fetch_add(1, Ordering::SeqCst);
+                job.note_progress();
             }
             None => {
                 let entry = slots.entry((t.trial_id(), t.seed)).or_default();
@@ -678,6 +813,7 @@ fn execute_job(
                 cache.insert(rec);
                 job.executed.fetch_add(1, Ordering::SeqCst);
                 job.done.fetch_add(1, Ordering::SeqCst);
+                job.note_progress();
                 Metrics::inc(&metrics.trials_executed);
             }
         },
@@ -695,6 +831,7 @@ fn execute_job(
                         // are hits on it.
                         job.cache_hits.fetch_add(1, Ordering::SeqCst);
                         job.done.fetch_add(1, Ordering::SeqCst);
+                        job.note_progress();
                     }
                 }
             }

@@ -105,6 +105,14 @@ pub struct Metrics {
     pub jobs_evicted: AtomicU64,
     /// Trials actually executed by the engine (cache misses that ran).
     pub trials_executed: AtomicU64,
+    /// Event-stream lines dropped by the slow-consumer policy: whenever a
+    /// `GET /runs/:id/events` subscriber falls behind the retained window,
+    /// the events it skipped are counted here (and reported to it in an
+    /// `overflow` frame).
+    pub events_dropped: AtomicU64,
+    /// Highest stride-doubling decimation level reached by any timeline
+    /// this process has served (a gauge: 0 = every recorded point kept).
+    pub timeline_decimation_level: AtomicU64,
     /// Per-request wall time, µs (request parsed → response written).
     pub http_request_duration_us: Histogram,
     /// Per-trial execution wall time, µs (fed by job telemetry).
@@ -124,6 +132,8 @@ impl Default for Metrics {
             jobs_failed: AtomicU64::new(0),
             jobs_evicted: AtomicU64::new(0),
             trials_executed: AtomicU64::new(0),
+            events_dropped: AtomicU64::new(0),
+            timeline_decimation_level: AtomicU64::new(0),
             http_request_duration_us: Histogram::new(HTTP_LATENCY_BUCKETS_US),
             trial_duration_us: Histogram::new(TRIAL_DURATION_BUCKETS_US),
             job_queue_wait_us: Histogram::new(TRIAL_DURATION_BUCKETS_US),
@@ -164,6 +174,8 @@ impl Metrics {
              disp_jobs_failed_total {}\n\
              disp_jobs_evicted_total {}\n\
              disp_trials_executed_total {}\n\
+             disp_events_dropped_total {}\n\
+             disp_timeline_decimation_level {}\n\
              disp_cache_hits_total {}\n\
              disp_cache_misses_total {}\n\
              disp_cache_entries {}\n\
@@ -180,6 +192,8 @@ impl Metrics {
             get(&self.jobs_failed),
             get(&self.jobs_evicted),
             get(&self.trials_executed),
+            get(&self.events_dropped),
+            get(&self.timeline_decimation_level),
             cache.hits(),
             cache.misses(),
             cache.len(),
@@ -199,6 +213,22 @@ impl Metrics {
              disp_leases_active {}\n\
              disp_leases_expired_total {}\n",
             board.workers, board.workers_busy, board.leases_active, board.leases_expired,
+        ));
+        // Fleet-wide execution counters: the sum of every worker's latest
+        // cumulative snapshot, piggybacked on leases and heartbeats. Like
+        // the cluster gauges they render unconditionally as zeros when the
+        // server is not a coordinator.
+        out.push_str(&format!(
+            "disp_fleet_trials_executed_total {}\n\
+             disp_fleet_local_cache_hits_total {}\n\
+             disp_fleet_trials_uploaded_total {}\n\
+             disp_fleet_batches_completed_total {}\n\
+             disp_fleet_batches_abandoned_total {}\n",
+            board.fleet.executed,
+            board.fleet.local_hits,
+            board.fleet.uploaded,
+            board.fleet.batches,
+            board.fleet.abandoned,
         ));
         for (worker, trials) in &board.per_worker_trials {
             out.push_str(&format!(
@@ -242,6 +272,10 @@ mod tests {
         Metrics::inc(&metrics.http_requests);
         Metrics::inc(&metrics.trials_executed);
         Metrics::inc(&metrics.jobs_evicted);
+        metrics.events_dropped.fetch_add(9, Ordering::Relaxed);
+        metrics
+            .timeline_decimation_level
+            .store(2, Ordering::Relaxed);
         let text = metrics.render(
             &cache,
             Gauges {
@@ -254,6 +288,13 @@ mod tests {
                     leases_active: 1,
                     leases_expired: 5,
                     per_worker_trials: vec![("w1".into(), 10), ("w2".into(), 7)],
+                    fleet: disp_cluster::WorkerStats {
+                        executed: 16,
+                        local_hits: 4,
+                        uploaded: 20,
+                        batches: 3,
+                        abandoned: 1,
+                    },
                 }),
             },
         );
@@ -270,6 +311,31 @@ mod tests {
         assert_eq!(parse_metric(&text, "disp_cluster_workers_busy"), Some(1));
         assert_eq!(parse_metric(&text, "disp_leases_active"), Some(1));
         assert_eq!(parse_metric(&text, "disp_leases_expired_total"), Some(5));
+        assert_eq!(parse_metric(&text, "disp_events_dropped_total"), Some(9));
+        assert_eq!(
+            parse_metric(&text, "disp_timeline_decimation_level"),
+            Some(2)
+        );
+        assert_eq!(
+            parse_metric(&text, "disp_fleet_trials_executed_total"),
+            Some(16)
+        );
+        assert_eq!(
+            parse_metric(&text, "disp_fleet_local_cache_hits_total"),
+            Some(4)
+        );
+        assert_eq!(
+            parse_metric(&text, "disp_fleet_trials_uploaded_total"),
+            Some(20)
+        );
+        assert_eq!(
+            parse_metric(&text, "disp_fleet_batches_completed_total"),
+            Some(3)
+        );
+        assert_eq!(
+            parse_metric(&text, "disp_fleet_batches_abandoned_total"),
+            Some(1)
+        );
         assert_eq!(
             parse_metric(&text, "disp_cluster_worker_trials_total{worker=\"w1\"}"),
             Some(10)
@@ -305,11 +371,11 @@ mod tests {
             );
             lines += 1;
         }
-        // Counters + gauges (incl. 4 cluster gauges, no per-worker lines
-        // under a default board) + 3 histograms × (buckets + +Inf + sum +
-        // count).
+        // Counters + gauges (incl. 4 cluster gauges and 5 fleet gauges, no
+        // per-worker lines under a default board) + 3 histograms ×
+        // (buckets + +Inf + sum + count).
         let expected =
-            20 + (HTTP_LATENCY_BUCKETS_US.len() + 3) + 2 * (TRIAL_DURATION_BUCKETS_US.len() + 3);
+            27 + (HTTP_LATENCY_BUCKETS_US.len() + 3) + 2 * (TRIAL_DURATION_BUCKETS_US.len() + 3);
         assert_eq!(lines, expected);
     }
 

@@ -8,10 +8,12 @@
 //! | `GET /runs/:id` | job status + progress + live per-point statistics and throughput |
 //! | `GET /runs/:id/results` | stream the JSONL records (grid order); `?format=summary` returns the JSON report document |
 //! | `GET /runs/:id/events` | live event stream (SSE): per-trial telemetry + lifecycle, closes when the job settles |
+//! | `GET /runs/:id/timeline` | the job's decimated progress timeline (JSONL), live while running |
 //! | `DELETE /runs/:id` | cancel |
 //! | `GET /trace?scenario=LABEL` | run one traced trial, stream the event log as JSONL (`&seed=S&cap=N` optional) |
+//! | `GET /timeline?scenario=LABEL` | run one recorded trial, stream its flight-recorder timeline as JSONL (`&seed=S&budget=N` optional) |
 //! | `GET /scenarios` | the scenario-label grammar (same text as `disp-campaign scenarios`) |
-//! | `GET /healthz` | liveness |
+//! | `GET /healthz` | liveness: `{"status":"ok","role":…,"uptime_seconds":…,"version":…}` |
 //! | `GET /metrics` | text-format counters, latency/duration histograms, worker gauges |
 //!
 //! ## Shape
@@ -35,10 +37,10 @@ use disp_analysis::json::Json;
 use disp_analysis::jsonl;
 use disp_campaign::grid::{CampaignSpec, Mode};
 use disp_campaign::report::{campaign_report_json, section_measurements};
-use disp_campaign::telemetry::trace_to_jsonl;
+use disp_campaign::telemetry::{timeline_to_jsonl, trace_to_jsonl};
 use disp_cluster::ClusterBoard;
 use disp_core::scenario::{grammar_help, Registry, ScenarioSpec};
-use disp_sim::DEFAULT_TRACE_CAP;
+use disp_sim::{DEFAULT_TIMELINE_BUDGET, DEFAULT_TRACE_CAP};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -123,6 +125,21 @@ pub struct AppState {
     pub http_workers: usize,
     /// The cluster lease board (`Some` in coordinator mode).
     pub cluster: Option<Arc<ClusterBoard>>,
+    /// When the server started (the `/healthz` uptime clock).
+    pub started: Instant,
+}
+
+impl AppState {
+    /// The role this process serves under, as reported by `/healthz`.
+    /// Worker processes (`--role worker`) have no HTTP listener, so the
+    /// roles observable here are `standalone` and `coordinator`.
+    pub fn role(&self) -> &'static str {
+        if self.cluster.is_some() {
+            "coordinator"
+        } else {
+            "standalone"
+        }
+    }
 }
 
 /// A running campaign service.
@@ -175,6 +192,7 @@ impl Server {
             workers_busy: AtomicUsize::new(0),
             http_workers: config.http_threads.max(1),
             cluster,
+            started: Instant::now(),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
 
@@ -378,7 +396,24 @@ fn route(
 ) -> std::io::Result<()> {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => respond(stream, state, 200, "text/plain", b"ok\n", keep_alive),
+        ("GET", ["healthz"]) => {
+            // The literal "ok" stays greppable for smoke checks while the
+            // body carries identity: role, uptime, workspace version.
+            let body = format!(
+                "{{\"status\":\"ok\",\"role\":\"{}\",\"uptime_seconds\":{},\"version\":\"{}\"}}\n",
+                state.role(),
+                state.started.elapsed().as_secs(),
+                env!("CARGO_PKG_VERSION"),
+            );
+            respond(
+                stream,
+                state,
+                200,
+                "application/json",
+                body.as_bytes(),
+                keep_alive,
+            )
+        }
         ("GET", ["metrics"]) => {
             let gauges = Gauges {
                 queue_depth: state.manager.queue_depth(),
@@ -401,6 +436,7 @@ fn route(
             respond(stream, state, status, "application/json", &body, keep_alive)
         }
         ("GET", ["trace"]) => serve_trace(req, stream, state, keep_alive),
+        ("GET", ["timeline"]) => serve_timeline(req, stream, state, keep_alive),
         ("GET", ["scenarios"]) => {
             let body = grammar_help(&Registry::builtin());
             respond(
@@ -459,7 +495,23 @@ fn route(
             ),
         },
         ("GET", ["runs", id, "events"]) => match state.manager.get(id) {
-            Some(job) => stream_events(stream, &job, shutdown, keep_alive),
+            Some(job) => stream_events(stream, &job, state, shutdown, keep_alive),
+            None => respond(
+                stream,
+                state,
+                404,
+                "application/json",
+                &error_json("no such run"),
+                keep_alive,
+            ),
+        },
+        ("GET", ["runs", id, "timeline"]) => match state.manager.get(id) {
+            Some(job) => {
+                let body = job.progress_jsonl();
+                write_chunked_head(stream, 200, "application/jsonl", keep_alive)?;
+                write_chunk(stream, body.as_bytes())?;
+                finish_chunks(stream)
+            }
             None => respond(
                 stream,
                 state,
@@ -574,6 +626,7 @@ fn stream_results(
 fn stream_events(
     stream: &mut TcpStream,
     job: &Job,
+    state: &AppState,
     shutdown: &AtomicBool,
     keep_alive: bool,
 ) -> std::io::Result<()> {
@@ -583,6 +636,10 @@ fn stream_events(
         let batch = job.events_after(cursor, 2 * READ_TICK);
         if batch.dropped > 0 {
             cursor += batch.dropped;
+            state
+                .metrics
+                .events_dropped
+                .fetch_add(batch.dropped, Ordering::Relaxed);
             let marker = format!(
                 "data: {{\"event\":\"overflow\",\"dropped\":{}}}\n\n",
                 batch.dropped
@@ -651,6 +708,68 @@ fn serve_trace(
     match spec.run_traced(&registry, seed, cap) {
         Ok((_report, trace)) => {
             let body = trace_to_jsonl(&trace);
+            write_chunked_head(stream, 200, "application/jsonl", keep_alive)?;
+            write_chunk(stream, body.as_bytes())?;
+            finish_chunks(stream)
+        }
+        Err(e) => bad(stream, &e.to_string()),
+    }
+}
+
+/// `GET /timeline?scenario=LABEL[&seed=S][&budget=N]`: run one recorded
+/// trial and stream its flight-recorder timeline as JSONL — byte-identical
+/// to `disp-campaign timeline` for the same scenario and seed (both sides
+/// use the shared encoder). The label is validated first, and the budget
+/// bounds recorder memory regardless of how long the trial runs.
+fn serve_timeline(
+    req: &Request,
+    stream: &mut TcpStream,
+    state: &AppState,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let bad = |stream: &mut TcpStream, msg: &str| {
+        respond(
+            stream,
+            state,
+            400,
+            "application/json",
+            &error_json(msg),
+            keep_alive,
+        )
+    };
+    let label = match req.query_param("scenario") {
+        Some(label) => label,
+        None => return bad(stream, "missing required query parameter 'scenario'"),
+    };
+    let seed = match req.query_param("seed") {
+        Some(s) => match s.parse::<u64>() {
+            Ok(seed) => seed,
+            Err(_) => return bad(stream, "seed must be an unsigned integer"),
+        },
+        None => 1,
+    };
+    let budget = match req.query_param("budget") {
+        Some(b) => match b.parse::<usize>() {
+            Ok(budget) if budget > 0 => budget,
+            _ => return bad(stream, "budget must be a positive integer"),
+        },
+        None => DEFAULT_TIMELINE_BUDGET,
+    };
+    let registry = Registry::builtin();
+    let spec = match ScenarioSpec::parse(label, &registry) {
+        Ok(spec) => spec,
+        Err(e) => return bad(stream, &format!("scenario '{label}': {e}")),
+    };
+    match spec.run_with_timeline(&registry, seed, budget) {
+        Ok((_report, timeline)) => {
+            // The gauge tracks the deepest decimation any served timeline
+            // reached: nonzero means budgets are being exercised.
+            let level = timeline.decimation_level() as u64;
+            state
+                .metrics
+                .timeline_decimation_level
+                .fetch_max(level, Ordering::Relaxed);
+            let body = timeline_to_jsonl(&timeline, &spec.label(), seed);
             write_chunked_head(stream, 200, "application/jsonl", keep_alive)?;
             write_chunk(stream, body.as_bytes())?;
             finish_chunks(stream)

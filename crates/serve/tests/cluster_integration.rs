@@ -18,7 +18,7 @@ use disp_analysis::json::Json;
 use disp_analysis::TrialRecord;
 use disp_campaign::grid::{CampaignSpec, Mode};
 use disp_campaign::run::run_campaign;
-use disp_cluster::{Coordinator, LeaseReply, WorkerShared, WorkerSummary};
+use disp_cluster::{Coordinator, LeaseReply, WorkerShared, WorkerStats, WorkerSummary};
 use disp_core::scenario::{Registry, ScenarioSpec};
 use disp_serve::cache::CacheBudget;
 use disp_serve::cluster::HttpCoordinator;
@@ -147,7 +147,7 @@ fn four_workers_shard_a_grid_byte_identically_even_through_a_worker_crash() {
         let mut transport = HttpCoordinator::new(&addr);
         let deadline = Instant::now() + Duration::from_secs(60);
         loop {
-            match transport.lease("crasher").unwrap() {
+            match transport.lease("crasher", WorkerStats::default()).unwrap() {
                 LeaseReply::Batch(a) => break a,
                 _ => {
                     assert!(Instant::now() < deadline, "job never published a batch");

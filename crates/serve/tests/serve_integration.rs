@@ -14,6 +14,7 @@ use disp_analysis::json::Json;
 use disp_analysis::TrialRecord;
 use disp_campaign::grid::{CampaignSpec, Mode};
 use disp_campaign::run::run_campaign;
+use disp_campaign::telemetry::timeline_to_jsonl;
 use disp_core::scenario::{Registry, ScenarioSpec};
 use disp_serve::{parse_metric, Client, ServeConfig, Server};
 use std::time::{Duration, Instant};
@@ -229,8 +230,22 @@ fn lifecycle_errors_are_typed_and_cancellation_works() {
     let server = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
     let mut client = Client::new(&server.addr().to_string());
 
-    // Health and vocabulary endpoints.
-    assert_eq!(client.get("/healthz").unwrap().text(), "ok\n");
+    // Health and vocabulary endpoints. `/healthz` carries the process
+    // identity; `status` stays the literal "ok" smoke checks grep for.
+    let health = client.get("/healthz").unwrap().json().unwrap();
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(
+        health.get("role").and_then(Json::as_str),
+        Some("standalone")
+    );
+    assert!(health
+        .get("uptime_seconds")
+        .and_then(Json::as_u64)
+        .is_some());
+    assert_eq!(
+        health.get("version").and_then(Json::as_str),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
     let scenarios = client.get("/scenarios").unwrap();
     assert!(scenarios.text().contains("async-target"));
 
@@ -387,4 +402,107 @@ fn persistent_cache_survives_a_restart() {
     );
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn timeline_endpoints_use_the_shared_encoder_and_track_job_progress() {
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = Client::new(&server.addr().to_string());
+
+    // `GET /timeline` streams exactly what `disp-campaign timeline` would
+    // print for the same scenario and seed: both sides run
+    // `run_with_timeline` and encode through the shared
+    // `timeline_to_jsonl`, so byte-identity holds by construction — and is
+    // pinned here over a real socket.
+    let label = "star/k8/rooted/sync/probe-dfs";
+    let registry = Registry::builtin();
+    let spec = ScenarioSpec::parse(label, &registry).unwrap();
+    let (_report, timeline) = spec
+        .run_with_timeline(&registry, 7, disp_sim::DEFAULT_TIMELINE_BUDGET)
+        .unwrap();
+    let expected = timeline_to_jsonl(&timeline, &spec.label(), 7);
+    let resp = client
+        .get(&format!("/timeline?scenario={label}&seed=7"))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.text(), expected);
+
+    // A tight budget decimates deterministically and surfaces on the
+    // `/metrics` decimation gauge.
+    let small = client
+        .get(&format!("/timeline?scenario={label}&seed=7&budget=4"))
+        .unwrap();
+    assert_eq!(small.status, 200);
+    let end = Json::parse(small.text().lines().last().unwrap()).unwrap();
+    assert_eq!(
+        end.get("event").and_then(Json::as_str),
+        Some("timeline_end")
+    );
+    let level = end
+        .get("decimation_level")
+        .and_then(Json::as_u64)
+        .expect("timeline_end carries decimation_level");
+    assert!(level >= 1, "budget 4 must force decimation");
+    assert!(metric(&mut client, "disp_timeline_decimation_level") >= level);
+
+    // Bad inputs are typed 400s, never mid-stream failures.
+    assert_eq!(client.get("/timeline").unwrap().status, 400);
+    assert_eq!(
+        client.get("/timeline?scenario=nope/k8").unwrap().status,
+        400
+    );
+    assert_eq!(
+        client
+            .get(&format!("/timeline?scenario={label}&budget=0"))
+            .unwrap()
+            .status,
+        400
+    );
+
+    // The per-job progress timeline brackets monotone samples with
+    // start/end lines and its last sample reaches done == total.
+    let resp = client.post_json("/runs", &mini_submission(7)).unwrap();
+    assert_eq!(resp.status, 201);
+    let id = resp
+        .json()
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    wait_done(&mut client, &id);
+    let body = client.get(&format!("/runs/{id}/timeline")).unwrap();
+    assert_eq!(body.status, 200);
+    let text = body.text();
+    let lines: Vec<Json> = text.lines().map(|l| Json::parse(l).unwrap()).collect();
+    assert_eq!(
+        lines
+            .first()
+            .and_then(|l| l.get("event"))
+            .and_then(Json::as_str),
+        Some("progress_start")
+    );
+    assert_eq!(
+        lines
+            .last()
+            .and_then(|l| l.get("event"))
+            .and_then(Json::as_str),
+        Some("progress_end")
+    );
+    let total = lines[0].get("total").and_then(Json::as_u64).unwrap();
+    let dones: Vec<u64> = lines
+        .iter()
+        .filter(|l| l.get("event").and_then(Json::as_str) == Some("progress"))
+        .map(|l| l.get("done").and_then(Json::as_u64).unwrap())
+        .collect();
+    assert!(!dones.is_empty(), "no progress samples in:\n{text}");
+    assert!(
+        dones.windows(2).all(|w| w[0] < w[1]),
+        "progress samples must be strictly monotone: {dones:?}"
+    );
+    assert_eq!(*dones.last().unwrap(), total);
+
+    // Unknown run id → 404.
+    assert_eq!(client.get("/runs/r999/timeline").unwrap().status, 404);
+    server.shutdown();
 }

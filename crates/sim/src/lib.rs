@@ -76,6 +76,7 @@ pub mod metrics;
 pub mod placement;
 pub mod protocol;
 pub mod runner;
+pub mod timeline;
 pub mod trace;
 pub mod trip;
 pub mod world;
@@ -92,6 +93,7 @@ pub use metrics::{Metrics, Outcome};
 pub use placement::Placement;
 pub use protocol::AgentProtocol;
 pub use runner::{AsyncRunner, RunConfig, RunError, SyncRunner};
+pub use timeline::{Timeline, TimelinePoint, TimelineRecorder, DEFAULT_TIMELINE_BUDGET};
 pub use trace::{Trace, TraceEvent, DEFAULT_TRACE_CAP};
 pub use trip::{Trip, TripProgress, TripStatus, TripStep};
 pub use world::{ActivationCtx, MoveError, World, WorldPool};
@@ -109,6 +111,7 @@ pub mod prelude {
     pub use crate::placement::Placement;
     pub use crate::protocol::AgentProtocol;
     pub use crate::runner::{AsyncRunner, RunConfig, RunError, SyncRunner};
+    pub use crate::timeline::{Timeline, TimelinePoint, TimelineRecorder, DEFAULT_TIMELINE_BUDGET};
     pub use crate::trip::{Trip, TripProgress, TripStatus, TripStep};
     pub use crate::world::{ActivationCtx, MoveError, World};
 }

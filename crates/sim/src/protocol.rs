@@ -53,6 +53,18 @@ pub trait AgentProtocol {
         None
     }
 
+    /// Per-role class histogram: push one `(class-name, live-agent-count)`
+    /// pair per protocol role, in the protocol's canonical order. The
+    /// flight recorder ([`crate::timeline`]) calls this at every sampled
+    /// round/epoch boundary, so an override must run in O(classes) — the
+    /// SoA protocol cores satisfy that from their incrementally-maintained
+    /// per-class counts. Protocols with a settlement notion must name the
+    /// settled role exactly `"settled"`; the recorder derives its settled
+    /// count by summing classes of that name. The default pushes nothing,
+    /// which the recorder reports as an unknown class breakdown (settled
+    /// count 0).
+    fn class_counts(&self, _out: &mut Vec<(&'static str, u32)>) {}
+
     /// Human-readable protocol name (used in reports and traces).
     fn name(&self) -> &'static str {
         "unnamed-protocol"

@@ -15,6 +15,7 @@ use crate::fault::{CrashPlan, DynamicAdversary};
 use crate::ids::AgentId;
 use crate::metrics::Outcome;
 use crate::protocol::AgentProtocol;
+use crate::timeline::{TimelinePoint, TimelineRecorder};
 use crate::world::World;
 
 /// Limits and sampling knobs for a run.
@@ -120,6 +121,40 @@ fn should_sample(t: u64, interval: u64) -> bool {
     }
 }
 
+/// Sample one flight-recorder point from the current world + protocol
+/// state. Pure observation: nothing here mutates either, so a recorded run
+/// is byte-identical to an unrecorded one. Cost is O(classes) plus one
+/// small allocation per sample — and samples happen once per *stride*
+/// boundaries, never per activation.
+fn timeline_point<P: AgentProtocol + ?Sized>(
+    world: &World,
+    protocol: &P,
+    time: u64,
+    batch: u64,
+) -> TimelinePoint {
+    let mut classes: Vec<(&'static str, u32)> = Vec::new();
+    protocol.class_counts(&mut classes);
+    let settled = classes
+        .iter()
+        .filter(|(name, _)| *name == "settled")
+        .map(|&(_, count)| count as u64)
+        .sum();
+    let k = world.num_agents() as u64;
+    let active = world.active_count() as u64;
+    let crashed = world.dead_count() as u64;
+    TimelinePoint {
+        time,
+        settled,
+        active,
+        parked: k.saturating_sub(active + crashed),
+        crashed,
+        moves: world.metrics().total_moves(),
+        dead_edges: world.liveness().map_or(0, |l| l.dead_edges() as u64),
+        batch,
+        classes,
+    }
+}
+
 fn build_outcome(world: &World, clock: &Clock, terminated: bool) -> Outcome {
     Outcome {
         rounds: clock.rounds(),
@@ -188,6 +223,19 @@ impl SyncRunner {
         world: &mut World,
         protocol: &mut P,
     ) -> Result<Outcome, RunError> {
+        self.run_recorded(world, protocol, None)
+    }
+
+    /// Like [`run`](SyncRunner::run), but samples a flight-recorder point
+    /// into `recorder` at every round boundary the recorder's stride
+    /// selects (plus the initial state and a forced final point — also on
+    /// the limit-exceeded path, so partial runs keep their tail).
+    pub fn run_recorded<P: AgentProtocol + ?Sized>(
+        &self,
+        world: &mut World,
+        protocol: &mut P,
+        mut recorder: Option<&mut TimelineRecorder>,
+    ) -> Result<Outcome, RunError> {
         let k = world.num_agents();
         let mut clock = Clock::new(k);
         let mut queue: Vec<AgentId> = Vec::new();
@@ -196,9 +244,15 @@ impl SyncRunner {
         let mut dynamics = self.dynamics.clone();
         let mut crashes = self.crashes.clone();
         sample_memory(world, protocol);
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.record(timeline_point(world, protocol, 0, 0));
+        }
         while !protocol.is_terminated() {
             if clock.rounds() >= self.config.max_rounds || world.active_count() == 0 {
                 world.sync_ride_accounting();
+                if let Some(rec) = recorder.as_deref_mut() {
+                    rec.record_final(timeline_point(world, protocol, clock.rounds(), 0));
+                }
                 return Err(RunError::LimitExceeded {
                     outcome: build_outcome(world, &clock, false),
                 });
@@ -248,9 +302,17 @@ impl SyncRunner {
             if should_sample(clock.rounds(), self.config.memory_sample_interval) {
                 sample_memory(world, protocol);
             }
+            if let Some(rec) = recorder.as_deref_mut() {
+                if rec.wants(clock.rounds()) {
+                    rec.record(timeline_point(world, protocol, clock.rounds(), 0));
+                }
+            }
         }
         world.sync_ride_accounting();
         sample_memory(world, protocol);
+        if let Some(rec) = recorder {
+            rec.record_final(timeline_point(world, protocol, clock.rounds(), 0));
+        }
         Ok(build_outcome(world, &clock, true))
     }
 }
@@ -311,6 +373,21 @@ impl<A: Adversary> AsyncRunner<A> {
         world: &mut World,
         protocol: &mut P,
     ) -> Result<Outcome, RunError> {
+        self.run_recorded(world, protocol, None)
+    }
+
+    /// Like [`run`](AsyncRunner::run), but samples a flight-recorder point
+    /// into `recorder` at every **epoch boundary** the recorder's stride
+    /// selects (plus the initial state and a forced final point — also on
+    /// the limit-exceeded paths). Timeline time is measured in epochs; the
+    /// `batch` field carries the size of the adversary batch that closed
+    /// the epoch.
+    pub fn run_recorded<P: AgentProtocol + ?Sized>(
+        &mut self,
+        world: &mut World,
+        protocol: &mut P,
+        mut recorder: Option<&mut TimelineRecorder>,
+    ) -> Result<Outcome, RunError> {
         let k = world.num_agents();
         let mut clock = Clock::new(k);
         let mut batch: Vec<AgentId> = Vec::new();
@@ -324,9 +401,15 @@ impl<A: Adversary> AsyncRunner<A> {
             dynamics.advance(world);
         }
         sample_memory(world, protocol);
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.record(timeline_point(world, protocol, 0, 0));
+        }
         while !protocol.is_terminated() {
             if clock.steps() >= self.config.max_steps || world.active_count() == 0 {
                 world.sync_ride_accounting();
+                if let Some(rec) = recorder.as_deref_mut() {
+                    rec.record_final(timeline_point(world, protocol, clock.epochs(), 0));
+                }
                 return Err(RunError::LimitExceeded {
                     outcome: build_outcome(world, &clock, false),
                 });
@@ -401,6 +484,9 @@ impl<A: Adversary> AsyncRunner<A> {
                 // steps up to the limit elapsed, nothing beyond it ran.
                 clock.cap_steps(self.config.max_steps);
                 world.sync_ride_accounting();
+                if let Some(rec) = recorder.as_deref_mut() {
+                    rec.record_final(timeline_point(world, protocol, clock.epochs(), 0));
+                }
                 return Err(RunError::LimitExceeded {
                     outcome: build_outcome(world, &clock, false),
                 });
@@ -443,6 +529,16 @@ impl<A: Adversary> AsyncRunner<A> {
                     if let Some(dynamics) = self.dynamics.as_mut() {
                         dynamics.advance(world);
                     }
+                    if let Some(rec) = recorder.as_deref_mut() {
+                        if rec.wants(clock.epochs()) {
+                            rec.record(timeline_point(
+                                world,
+                                protocol,
+                                clock.epochs(),
+                                batch.len() as u64,
+                            ));
+                        }
+                    }
                 }
             }
             clock.finish_step(fire);
@@ -452,6 +548,9 @@ impl<A: Adversary> AsyncRunner<A> {
         }
         world.sync_ride_accounting();
         sample_memory(world, protocol);
+        if let Some(rec) = recorder {
+            rec.record_final(timeline_point(world, protocol, clock.epochs(), 0));
+        }
         Ok(build_outcome(world, &clock, true))
     }
 }
@@ -799,6 +898,84 @@ mod tests {
             }
             other => panic!("expected LimitExceeded, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn recorded_sync_run_matches_unrecorded_and_samples_boundaries() {
+        let g = generators::ring(8);
+        let mut w1 = World::new_rooted(g.clone(), 3, NodeId(0));
+        let mut w2 = World::new_rooted(g, 3, NodeId(0));
+        let mut p1 = WalkAround::new(3, 8);
+        let mut p2 = WalkAround::new(3, 8);
+        let runner = SyncRunner::new(RunConfig::default());
+        let plain = runner.run(&mut w1, &mut p1).unwrap();
+        let mut rec = crate::timeline::TimelineRecorder::new();
+        let recorded = runner
+            .run_recorded(&mut w2, &mut p2, Some(&mut rec))
+            .unwrap();
+        assert_eq!(plain, recorded, "observation must never change results");
+        let tl = rec.finish();
+        // 8 rounds: initial point + one per boundary, no decimation.
+        let times: Vec<u64> = tl.points.iter().map(|p| p.time).collect();
+        assert_eq!(times, (0..=8).collect::<Vec<_>>());
+        assert_eq!(tl.stride, 1);
+        assert_eq!(tl.points[0].moves, 0);
+        assert_eq!(tl.points.last().unwrap().moves, 24);
+        assert_eq!(tl.points[0].active, 3);
+        // WalkAround reports no classes: settled stays 0, histogram empty.
+        assert!(tl
+            .points
+            .iter()
+            .all(|p| p.classes.is_empty() && p.settled == 0));
+    }
+
+    #[test]
+    fn recorded_async_run_samples_epoch_boundaries() {
+        let g = generators::ring(8);
+        let mut world = World::new_rooted(g, 3, NodeId(0));
+        let mut proto = WalkAround::new(3, 8);
+        let mut rec = crate::timeline::TimelineRecorder::new();
+        let out = AsyncRunner::new(RunConfig::default(), RoundRobinAdversary::new(3))
+            .run_recorded(&mut world, &mut proto, Some(&mut rec))
+            .unwrap();
+        assert!(out.terminated);
+        assert_eq!(out.epochs, 8);
+        let tl = rec.finish();
+        assert_eq!(tl.points.first().unwrap().time, 0);
+        assert_eq!(tl.points.last().unwrap().time, 8);
+        for w in tl.points.windows(2) {
+            assert!(w[0].time < w[1].time, "epoch times strictly increase");
+            assert!(w[0].moves <= w[1].moves, "moves are cumulative");
+        }
+        // Interior boundary points carry the closing batch size (the
+        // round-robin adversary schedules all 3 walkers per step).
+        assert!(tl.points[1..tl.points.len() - 1]
+            .iter()
+            .all(|p| p.batch == 3));
+    }
+
+    #[test]
+    fn recorded_limit_exceeded_run_keeps_its_tail() {
+        struct Never;
+        impl AgentProtocol for Never {
+            fn on_activate(&mut self, _a: AgentId, _c: &mut ActivationCtx<'_>) {}
+            fn is_terminated(&self) -> bool {
+                false
+            }
+            fn memory_bits(&self, _a: AgentId) -> usize {
+                0
+            }
+        }
+        let g = generators::ring(4);
+        let mut world = World::new_rooted(g, 2, NodeId(0));
+        let mut rec = crate::timeline::TimelineRecorder::new();
+        let err = SyncRunner::new(RunConfig::with_limits(10, 10))
+            .run_recorded(&mut world, &mut Never, Some(&mut rec))
+            .unwrap_err();
+        assert!(matches!(err, RunError::LimitExceeded { .. }));
+        let tl = rec.finish();
+        assert_eq!(tl.points.first().unwrap().time, 0);
+        assert_eq!(tl.points.last().unwrap().time, 10);
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub const DEFAULT_TRACE_CAP: usize = 1 << 20;
 pub struct Trace {
     enabled: bool,
     cap: usize,
-    truncated: bool,
+    dropped: u64,
     events: Vec<TraceEvent>,
 }
 
@@ -81,7 +81,7 @@ impl Trace {
         Trace {
             enabled: false,
             cap: DEFAULT_TRACE_CAP,
-            truncated: false,
+            dropped: 0,
             events: Vec::new(),
         }
     }
@@ -97,7 +97,7 @@ impl Trace {
         Trace {
             enabled: true,
             cap,
-            truncated: false,
+            dropped: 0,
             events: Vec::new(),
         }
     }
@@ -114,7 +114,14 @@ impl Trace {
 
     /// Whether any event was dropped because the cap was reached.
     pub fn truncated(&self) -> bool {
-        self.truncated
+        self.dropped > 0
+    }
+
+    /// How many events were dropped after the cap was reached. Exported in
+    /// the `trace_end` marker of JSONL trace dumps so consumers can tell
+    /// *how* lossy a truncated trace is, not just that it is.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Record an event (no-op when disabled; drops once the cap is hit).
@@ -123,7 +130,7 @@ impl Trace {
             return;
         }
         if self.events.len() >= self.cap {
-            self.truncated = true;
+            self.dropped += 1;
             return;
         }
         self.events.push(event);
@@ -195,6 +202,7 @@ mod tests {
         }
         assert_eq!(t.events().len(), 3);
         assert!(t.truncated());
+        assert_eq!(t.dropped(), 7, "10 recorded, 3 kept, 7 dropped");
         assert_eq!(t.cap(), 3);
         // The retained prefix is the first `cap` events, in order.
         let codes: Vec<u32> = t
@@ -221,5 +229,6 @@ mod tests {
         }
         assert!(t.events().is_empty());
         assert!(!t.truncated());
+        assert_eq!(t.dropped(), 0);
     }
 }
